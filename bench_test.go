@@ -1,0 +1,337 @@
+// Package swisstm_test holds one testing.B benchmark per figure and table
+// of the paper, so `go test -bench=.` exercises every experiment's code
+// path at reduced scale. The full-shape sweeps (thread series, long
+// measurements) are produced by cmd/paperfigs; DESIGN.md §4 maps each
+// benchmark to its figure.
+package swisstm_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"swisstm/internal/bench7"
+	"swisstm/internal/harness"
+	"swisstm/internal/leetm"
+	"swisstm/internal/rbtree"
+	"swisstm/internal/stamp"
+	"swisstm/internal/stm"
+	"swisstm/internal/swisstm"
+	"swisstm/internal/util"
+)
+
+// benchParallelOp runs op on all GOMAXPROCS workers, each with its own
+// engine thread.
+func benchParallelOp(b *testing.B, e stm.STM, op func(th stm.Thread, rng *util.Rand)) {
+	var tid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(tid.Add(1))
+		th := e.NewThread(id)
+		rng := util.NewRand(uint64(id)*977 + 13)
+		for pb.Next() {
+			op(th, rng)
+		}
+	})
+}
+
+// benchCfg is the scaled-down STMBench7 structure used by benchmarks.
+var benchCfg = bench7.Config{Levels: 3, Fanout: 3, CompPool: 32, AtomicPerComp: 10}
+
+func bench7Op(b *testing.B, spec harness.EngineSpec, roPct int) {
+	cfg := benchCfg
+	cfg.ReadOnlyPct = roPct
+	e := spec.New()
+	bench := bench7.Setup(e, cfg)
+	benchParallelOp(b, e, func(th stm.Thread, rng *util.Rand) { bench.Op(th, rng) })
+}
+
+// BenchmarkFig2 measures STMBench7 operations per engine and mix
+// (Figure 2's quantity is the inverse: operations/second).
+func BenchmarkFig2(b *testing.B) {
+	for _, mix := range []struct {
+		name string
+		ro   int
+	}{{"read", 90}, {"rw", 60}, {"write", 10}} {
+		for _, spec := range []harness.EngineSpec{
+			{Kind: "swisstm"}, {Kind: "tinystm"}, {Kind: "tl2"},
+			{Kind: "rstm", Manager: "serializer"},
+		} {
+			b.Run(mix.name+"/"+spec.DisplayName(), func(b *testing.B) {
+				bench7Op(b, spec, mix.ro)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 runs each STAMP workload to completion per iteration
+// (test scale, 2 workers) on the three word-based engines.
+func BenchmarkFig3(b *testing.B) {
+	for _, wl := range stamp.Workloads {
+		for _, kind := range []string{"swisstm", "tl2", "tinystm"} {
+			b.Run(wl+"/"+kind, func(b *testing.B) {
+				spec := harness.EngineSpec{Kind: kind}
+				for i := 0; i < b.N; i++ {
+					app, err := stamp.New(wl, stamp.Test)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := stamp.Run(app, spec.New(), 2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchBoard is a small Lee board: one full routing pass per iteration.
+var benchBoard = leetm.GenBoard("bench", 48, 48, 48, 4, 20, 0xfee1)
+
+func leeRun(b *testing.B, spec harness.EngineSpec, board leetm.Board) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var r *leetm.Router
+		_, err := harness.MeasureWork(spec,
+			func(e stm.STM) error { r = leetm.Setup(e, board); return nil },
+			func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
+				r.Work(e, th, worker, t, rng)
+			}, nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 routes the bench board per engine (Figure 4 uses the
+// memory/main boards; cmd/paperfigs runs those).
+func BenchmarkFig4(b *testing.B) {
+	for _, spec := range []harness.EngineSpec{
+		{Kind: "swisstm"}, {Kind: "tinystm"}, {Kind: "rstm", Manager: "polka", Label: "RSTM"},
+	} {
+		b.Run(spec.DisplayName(), func(b *testing.B) { leeRun(b, spec, benchBoard) })
+	}
+}
+
+func rbOp(b *testing.B, spec harness.EngineSpec, keyRange, updPct int) {
+	e := spec.New()
+	th0 := e.NewThread(0)
+	tree := rbtree.New(th0)
+	rng := util.NewRand(3)
+	for i := 0; i < keyRange/2; i++ {
+		k := stm.Word(rng.Intn(keyRange) + 1)
+		th0.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+	}
+	benchParallelOp(b, e, func(th stm.Thread, r *util.Rand) {
+		k := stm.Word(r.Intn(keyRange) + 1)
+		c := r.Intn(100)
+		switch {
+		case c < updPct/2:
+			th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+		case c < updPct:
+			th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+		default:
+			th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+		}
+	})
+}
+
+// BenchmarkFig5 is the red-black tree microbenchmark per engine.
+func BenchmarkFig5(b *testing.B) {
+	for _, spec := range []harness.EngineSpec{
+		{Kind: "swisstm"}, {Kind: "tl2"}, {Kind: "tinystm"},
+		{Kind: "rstm", Manager: "polka", Label: "RSTM"},
+	} {
+		b.Run(spec.DisplayName(), func(b *testing.B) { rbOp(b, spec, 4096, 20) })
+	}
+}
+
+// BenchmarkFig7 compares eager vs lazy conflict detection on the
+// read-dominated STMBench7 mix.
+func BenchmarkFig7(b *testing.B) {
+	for _, spec := range []harness.EngineSpec{
+		{Kind: "tinystm", Label: "eager-tiny"},
+		{Kind: "rstm", Acquire: "eager", Label: "eager-rstm"},
+		{Kind: "rstm", Acquire: "lazy", Label: "lazy-rstm"},
+		{Kind: "tl2", Label: "lazy-tl2"},
+	} {
+		b.Run(spec.Label, func(b *testing.B) { bench7Op(b, spec, 90) })
+	}
+}
+
+// BenchmarkFig8 is the irregular Lee-TM variant (R% of transactions
+// update the shared object Oc).
+func BenchmarkFig8(b *testing.B) {
+	for _, r := range []int{0, 5, 20} {
+		for _, kind := range []string{"swisstm", "tinystm"} {
+			board := benchBoard
+			board.IrregularPct = r
+			b.Run(kind+"/"+map[int]string{0: "R0", 5: "R5", 20: "R20"}[r], func(b *testing.B) {
+				leeRun(b, harness.EngineSpec{Kind: kind}, board)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 compares Polka and Greedy inside RSTM on read-dominated
+// STMBench7.
+func BenchmarkFig9(b *testing.B) {
+	for _, mgr := range []string{"greedy", "polka"} {
+		b.Run(mgr, func(b *testing.B) {
+			bench7Op(b, harness.EngineSpec{Kind: "rstm", Manager: mgr}, 90)
+		})
+	}
+}
+
+// BenchmarkFig10 compares SwissTM's two-phase CM against plain Greedy on
+// the short-transaction microbenchmark.
+func BenchmarkFig10(b *testing.B) {
+	for _, pol := range []string{"", "greedy"} {
+		name := pol
+		if name == "" {
+			name = "two-phase"
+		}
+		b.Run(name, func(b *testing.B) {
+			rbOp(b, harness.EngineSpec{Kind: "swisstm", Policy: pol}, 4096, 20)
+		})
+	}
+}
+
+// BenchmarkFig11 measures STAMP intruder with and without SwissTM's
+// post-abort back-off.
+func BenchmarkFig11(b *testing.B) {
+	for _, nob := range []bool{false, true} {
+		name := "backoff"
+		if nob {
+			name = "no-backoff"
+		}
+		b.Run(name, func(b *testing.B) {
+			spec := harness.EngineSpec{Kind: "swisstm", NoBackoff: nob}
+			for i := 0; i < b.N; i++ {
+				app, err := stamp.New("intruder", stamp.Test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := stamp.Run(app, spec.New(), 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 compares the two-phase CM against timid on the
+// write-dominated STMBench7 mix (where Figure 12 shows the largest gap).
+func BenchmarkFig12(b *testing.B) {
+	for _, pol := range []string{"", "timid"} {
+		name := pol
+		if name == "" {
+			name = "two-phase"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench7Op(b, harness.EngineSpec{Kind: "swisstm", Policy: pol}, 10)
+		})
+	}
+}
+
+// BenchmarkFig13 sweeps the lock granularity (words per stripe) on the
+// red-black tree; Table 2's comparison points are the 1/4/16-word runs.
+func BenchmarkFig13(b *testing.B) {
+	for _, g := range []uint{0, 1, 2, 3, 4, 5, 6} {
+		b.Run(map[uint]string{0: "1w", 1: "2w", 2: "4w", 3: "8w", 4: "16w", 5: "32w", 6: "64w"}[g],
+			func(b *testing.B) {
+				rbOp(b, harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}, 4096, 20)
+			})
+	}
+}
+
+// BenchmarkTable1 measures the six design-choice combinations of Table 1
+// on the read-write STMBench7 mix.
+func BenchmarkTable1(b *testing.B) {
+	rows := []struct {
+		name string
+		spec harness.EngineSpec
+	}{
+		{"lazy-inv-any", harness.EngineSpec{Kind: "rstm", Acquire: "lazy"}},
+		{"eager-vis-any", harness.EngineSpec{Kind: "rstm", Reads: "visible"}},
+		{"eager-inv-polka", harness.EngineSpec{Kind: "rstm", Manager: "polka"}},
+		{"eager-inv-timid", harness.EngineSpec{Kind: "rstm", Manager: "timid"}},
+		{"mixed-inv-timid", harness.EngineSpec{Kind: "swisstm", Policy: "timid"}},
+		{"mixed-inv-2phase", harness.EngineSpec{Kind: "swisstm"}},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) { bench7Op(b, row.spec, 60) })
+	}
+}
+
+// BenchmarkTable2 compares the three granularities Table 2 reports
+// (1, 4 and 16 words per stripe) on the two fixed-work benchmark
+// families (Lee board and STAMP ssca2).
+func BenchmarkTable2(b *testing.B) {
+	for _, g := range []uint{0, 2, 4} {
+		name := map[uint]string{0: "1w", 2: "4w", 4: "16w"}[g]
+		b.Run("lee/"+name, func(b *testing.B) {
+			leeRun(b, harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}, benchBoard)
+		})
+		b.Run("ssca2/"+name, func(b *testing.B) {
+			spec := harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}
+			for i := 0; i < b.N; i++ {
+				app, err := stamp.New("ssca2", stamp.Test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := stamp.Run(app, spec.New(), 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrivatizationAblation measures the cost of the quiescence
+// scheme of the paper's §6 (privatization safety) on the red-black tree:
+// every update commit additionally waits for concurrent snapshots to
+// advance.
+func BenchmarkPrivatizationAblation(b *testing.B) {
+	for _, safe := range []bool{false, true} {
+		name := "unsafe"
+		if safe {
+			name = "quiescence"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := swisstm.New(swisstm.Config{
+				ArenaWords: 1 << 20, TableBits: 14, PrivatizationSafe: safe,
+			})
+			th0 := e.NewThread(0)
+			tree := rbtree.New(th0)
+			rng := util.NewRand(3)
+			for i := 0; i < 2048; i++ {
+				k := stm.Word(rng.Intn(4096) + 1)
+				th0.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			}
+			benchParallelOp(b, e, func(th stm.Thread, r *util.Rand) {
+				k := stm.Word(r.Intn(4096) + 1)
+				if r.Intn(100) < 20 {
+					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				} else {
+					th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWnSensitivity sweeps the two-phase contention manager's
+// promotion threshold Wn (the paper fixes Wn = 10) on the write-dominated
+// STMBench7 mix, where the manager matters most.
+func BenchmarkWnSensitivity(b *testing.B) {
+	for _, wn := range []int{1, 5, 10, 20, 40} {
+		b.Run(fmt.Sprintf("Wn%d", wn), func(b *testing.B) {
+			cfg := benchCfg
+			cfg.ReadOnlyPct = 10
+			e := swisstm.New(swisstm.Config{ArenaWords: 1 << 22, TableBits: 18, Wn: wn})
+			bench := bench7.Setup(e, cfg)
+			benchParallelOp(b, e, func(th stm.Thread, rng *util.Rand) { bench.Op(th, rng) })
+		})
+	}
+}

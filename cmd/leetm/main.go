@@ -1,0 +1,54 @@
+// Command leetm runs the Lee-TM circuit-routing benchmark (paper
+// Figures 4 and 8) on a chosen engine and board, printing the routing
+// time and verifying all laid tracks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/leetm"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+func main() {
+	var (
+		engine    = flag.String("engine", "swisstm", "swisstm | tl2 | tinystm | rstm")
+		threads   = flag.Int("threads", 4, "worker threads")
+		boardName = flag.String("board", "memory", "board: memory | main")
+		irregular = flag.Int("irregular", 0, "percentage of transactions updating the shared object Oc (Figure 8)")
+	)
+	flag.Parse()
+	var board leetm.Board
+	switch *boardName {
+	case "memory":
+		board = leetm.MemoryBoard()
+	case "main":
+		board = leetm.MainBoard()
+	default:
+		fmt.Fprintf(os.Stderr, "leetm: unknown board %q\n", *boardName)
+		os.Exit(2)
+	}
+	board.IrregularPct = *irregular
+
+	var r *leetm.Router
+	spec := harness.EngineSpec{Kind: *engine, Manager: "polka"}
+	res, err := harness.MeasureWork(spec,
+		func(e stm.STM) error { r = leetm.Setup(e, board); return nil },
+		func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
+			r.Work(e, th, worker, t, rng)
+		},
+		func(e stm.STM) error { return r.Check() },
+		*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leetm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("board=%s engine=%s threads=%d time=%v routed=%d/%d aborts=%d (tracks verified)\n",
+		board.Name, spec.DisplayName(), *threads, res.Duration.Round(time.Millisecond),
+		r.Routed.Load(), len(board.Nets), res.Stats.Aborts)
+}

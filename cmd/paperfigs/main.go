@@ -1,0 +1,76 @@
+// Command paperfigs regenerates the figures and tables of "Stretching
+// Transactional Memory" (PLDI 2009). Each experiment prints the series
+// the corresponding figure plots (see DESIGN.md §4 for the mapping).
+//
+// Usage:
+//
+//	paperfigs -list
+//	paperfigs -run fig2 -dur 2s -threads 1,2,4,8
+//	paperfigs -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"swisstm/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment to run: fig2..fig13, table1, table2, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "small inputs and short measurements (smoke run)")
+		dur     = flag.Duration("dur", 0, "duration per throughput point (overrides preset)")
+		threads = flag.String("threads", "", "comma-separated thread sweep (overrides preset)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Default(os.Stdout)
+	if *quick {
+		opt = experiments.Quick(os.Stdout)
+	}
+	if *dur != 0 {
+		opt.Duration = *dur
+	}
+	if *threads != "" {
+		opt.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "paperfigs: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opt.Threads = append(opt.Threads, n)
+		}
+	}
+
+	names := []string{*run}
+	if *run == "all" {
+		names = experiments.Names
+	}
+	for _, name := range names {
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := opt.Run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

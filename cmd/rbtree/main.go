@@ -1,0 +1,63 @@
+// Command rbtree runs the red-black tree microbenchmark (paper Figure 5)
+// on a chosen engine and prints throughput and abort statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/rbtree"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+func main() {
+	var (
+		engine   = flag.String("engine", "swisstm", "swisstm | tl2 | tinystm | rstm")
+		threads  = flag.Int("threads", 4, "worker threads")
+		dur      = flag.Duration("dur", 2*time.Second, "measurement duration")
+		keyRange = flag.Int("range", 16384, "key range")
+		updates  = flag.Int("updates", 20, "update percentage")
+		manager  = flag.String("cm", "polka", "RSTM contention manager")
+		policy   = flag.String("policy", "", "SwissTM CM policy: twophase|greedy|timid")
+	)
+	flag.Parse()
+	spec := harness.EngineSpec{Kind: *engine, Manager: *manager, Policy: *policy}
+
+	var tree *rbtree.Tree
+	w := harness.Workload{
+		Setup: func(e stm.STM) error {
+			th := e.NewThread(0)
+			tree = rbtree.New(th)
+			rng := util.NewRand(1)
+			for i := 0; i < *keyRange/2; i++ {
+				k := stm.Word(rng.Intn(*keyRange) + 1)
+				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			}
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			k := stm.Word(rng.Intn(*keyRange) + 1)
+			r := rng.Intn(100)
+			switch {
+			case r < *updates/2:
+				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			case r < *updates:
+				th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+			default:
+				th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+			}
+		},
+	}
+	res, err := harness.MeasureThroughput(spec, w, *threads, *dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbtree:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("engine=%s threads=%d ops=%d throughput=%.0f tx/s aborts=%d abort-rate=%.2f%%\n",
+		spec.DisplayName(), *threads, res.Ops, res.Throughput(),
+		res.Stats.Aborts, 100*res.Stats.AbortRate())
+}

@@ -1,0 +1,51 @@
+// Command stamp runs one STAMP workload (paper Figure 3) on a chosen
+// word-based engine, printing the wall time and abort statistics, and
+// verifying the application's output against its sequential oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stamp"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "swisstm", "swisstm | tl2 | tinystm")
+		threads = flag.Int("threads", 4, "worker threads")
+		name    = flag.String("app", "", "workload: "+strings.Join(stamp.Workloads, ", "))
+		scale   = flag.String("scale", "bench", "input scale: test | bench")
+		backoff = flag.Bool("backoff", true, "SwissTM post-abort back-off (Figure 11 ablation)")
+	)
+	flag.Parse()
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := stamp.Bench
+	if *scale == "test" {
+		sc = stamp.Test
+	}
+	app, err := stamp.New(*name, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(2)
+	}
+	spec := harness.EngineSpec{Kind: *engine, NoBackoff: !*backoff}
+	e := spec.New()
+	start := time.Now()
+	stats, err := stamp.Run(app, e, *threads)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%s engine=%s threads=%d time=%v commits=%d aborts=%d abort-rate=%.2f%% (output verified)\n",
+		*name, spec.DisplayName(), *threads, elapsed.Round(time.Millisecond),
+		stats.Commits, stats.Aborts, 100*stats.AbortRate())
+}

@@ -1,0 +1,54 @@
+// Command stmbench7 runs the STMBench7-style workload (paper Figure 2) on
+// a chosen engine and workload mix, printing throughput and abort
+// statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swisstm/internal/bench7"
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "swisstm", "swisstm | tl2 | tinystm | rstm")
+		threads = flag.Int("threads", 4, "worker threads")
+		dur     = flag.Duration("dur", 2*time.Second, "measurement duration")
+		mix     = flag.String("mix", "read", "workload mix: read | rw | write")
+		manager = flag.String("cm", "serializer", "RSTM contention manager")
+		policy  = flag.String("policy", "", "SwissTM CM policy: twophase|greedy|timid")
+	)
+	flag.Parse()
+	ro := map[string]int{"read": 90, "rw": 60, "write": 10}[*mix]
+	if ro == 0 && *mix != "write" {
+		fmt.Fprintf(os.Stderr, "stmbench7: unknown mix %q\n", *mix)
+		os.Exit(2)
+	}
+
+	spec := harness.EngineSpec{Kind: *engine, Manager: *manager, Policy: *policy}
+	var b *bench7.Bench
+	w := harness.Workload{
+		Setup: func(e stm.STM) error {
+			b = bench7.Setup(e, bench7.Config{ReadOnlyPct: ro})
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			b.Op(th, rng)
+		},
+		Check: func(e stm.STM) error { return b.Check() },
+	}
+	res, err := harness.MeasureThroughput(spec, w, *threads, *dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench7:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("engine=%s mix=%s threads=%d throughput=%.1f tx/s aborts=%d abort-rate=%.2f%% (structure verified)\n",
+		spec.DisplayName(), *mix, *threads, res.Throughput(),
+		res.Stats.Aborts, 100*res.Stats.AbortRate())
+}

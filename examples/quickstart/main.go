@@ -1,0 +1,94 @@
+// The quickstart example: concurrent bank transfers under SwissTM.
+//
+// It shows the three steps every program takes: create an engine, give
+// each goroutine its own Thread, and wrap shared-memory accesses in
+// Atomic blocks. The invariant — money is neither created nor destroyed —
+// holds at every point in time, and a concurrent auditor verifies it
+// while the transfers run.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/swisstm"
+)
+
+func main() {
+	// 1. One engine, shared by everybody.
+	engine := swisstm.New(swisstm.Config{ArenaWords: 1 << 16})
+
+	// 2. Build the accounts (thread 0 is the setup thread).
+	const accounts = 64
+	const initial = 1000
+	setup := engine.NewThread(0)
+	var acct stm.Handle
+	setup.Atomic(func(tx stm.Tx) {
+		acct = tx.NewObject(accounts)
+		for i := uint32(0); i < accounts; i++ {
+			tx.WriteField(acct, i, initial)
+		}
+	})
+
+	// 3. Hammer it with transfers from four goroutines while an auditor
+	// keeps checking the total.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := engine.NewThread(id + 1)
+			seed := uint64(id)*2654435761 + 1
+			for n := 0; n < 50_000; n++ {
+				seed = seed*6364136223846793005 + 1
+				from := uint32(seed>>33) % accounts
+				to := uint32(seed>>13) % accounts
+				th.Atomic(func(tx stm.Tx) {
+					bal := tx.ReadField(acct, from)
+					if bal == 0 {
+						return
+					}
+					tx.WriteField(acct, from, bal-1)
+					tx.WriteField(acct, to, tx.ReadField(acct, to)+1)
+				})
+			}
+		}(w)
+	}
+	auditor := engine.NewThread(5)
+	audits := 0
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum stm.Word
+			auditor.Atomic(func(tx stm.Tx) {
+				sum = 0
+				for i := uint32(0); i < accounts; i++ {
+					sum += tx.ReadField(acct, i)
+				}
+			})
+			if sum != accounts*initial {
+				panic(fmt.Sprintf("conservation violated: %d", sum))
+			}
+			audits++
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	var sum stm.Word
+	setup.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < accounts; i++ {
+			sum += tx.ReadField(acct, i)
+		}
+	})
+	stats := setup.Stats()
+	_ = stats
+	fmt.Printf("200000 transfers done; total = %d (expected %d); %d consistent audits\n",
+		sum, accounts*initial, audits)
+}

@@ -1,0 +1,506 @@
+// Package bench7 implements an STMBench7-style workload (Guerraoui,
+// Kapałka, Vitek, EuroSys 2007) — the paper's flagship benchmark for
+// complex, mixed transactional workloads (Figures 2, 7, 9, 12; Table 1).
+//
+// The data structure follows STMBench7's CAD-inspired design:
+//
+//	Module → ComplexAssembly tree (fanout^levels) → BaseAssemblies,
+//	each referencing composite parts from a shared pool; every
+//	CompositePart owns a Document and a connected graph of AtomicParts;
+//	red-black tree indexes map ids and build dates to parts.
+//
+// The operation mix spans four orders of magnitude of transaction length —
+// from an index lookup touching a dozen words to a full-structure
+// traversal touching every atomic part — and three workload mixes are
+// provided, matching the paper: read-dominated (90% read-only), read-write
+// (60%) and write-dominated (10%).
+//
+// Relative to the original (which is "many orders of magnitude larger
+// than other STM benchmarks"), the default dimensions are scaled to run
+// multi-second experiments on a laptop while preserving the shape: a
+// deep shared tree, a fat middle layer of shared composite parts, long
+// pointer chases, and index updates that conflict with everything.
+package bench7
+
+import (
+	"fmt"
+
+	"swisstm/internal/rbtree"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Config sizes the structure and selects the workload mix.
+type Config struct {
+	Levels        int // complex-assembly tree height (≥ 2)
+	Fanout        int // children per complex assembly
+	CompPool      int // composite parts in the shared pool
+	AtomicPerComp int // atomic parts per composite part
+	ConnPerPart   int // outgoing connections per atomic part (≤ 3)
+	DocWords      int // document payload words
+	ReadOnlyPct   int // percentage of read-only operations (90/60/10)
+}
+
+func (c *Config) fill() {
+	if c.Levels == 0 {
+		c.Levels = 5
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 3
+	}
+	if c.CompPool == 0 {
+		c.CompPool = 128
+	}
+	if c.AtomicPerComp == 0 {
+		c.AtomicPerComp = 20
+	}
+	if c.ConnPerPart == 0 {
+		c.ConnPerPart = 3
+	}
+	if c.DocWords == 0 {
+		c.DocWords = 16
+	}
+	if c.ReadOnlyPct == 0 {
+		c.ReadOnlyPct = 90
+	}
+}
+
+// Workload mix presets matching the paper's three STMBench7 workloads.
+var (
+	ReadDominated  = Config{ReadOnlyPct: 90}
+	ReadWrite      = Config{ReadOnlyPct: 60}
+	WriteDominated = Config{ReadOnlyPct: 10}
+)
+
+// Object field layouts. All objects are blocks of stm.Word fields.
+const (
+	// AtomicPart: id, x, y, buildDate, conn0..conn{K-1}
+	apID uint32 = iota
+	apX
+	apY
+	apDate
+	apConn0 // + ConnPerPart fields
+)
+
+const (
+	// CompositePart: id, buildDate, doc, partsArr (object with
+	// AtomicPerComp handle fields), rootPart, usedIn reference count
+	// (STMBench7 keeps usedIn lists; a count suffices for unlink).
+	cpID uint32 = iota
+	cpDate
+	cpDoc
+	cpParts
+	cpRoot
+	cpUsed
+	cpFields
+)
+
+const (
+	// BaseAssembly: id, level (=1), comp0..comp{compPerBase-1}.
+	// The level field sits at the same offset as in ComplexAssembly so
+	// the tree walk can type-discriminate nodes.
+	baID uint32 = iota
+	baLevel
+	baComp0
+)
+
+const (
+	// ComplexAssembly: id, level, sub0..sub{fanout-1}
+	caID uint32 = iota
+	caLevel
+	caSub0
+)
+
+// compPerBase is STMBench7's NumCompPerAssembly.
+const compPerBase = 3
+
+// counters object fields: next composite id, next atomic part id, next
+// build date.
+const (
+	cntCompID uint32 = iota
+	cntPartID
+	cntDate
+	cntFields
+)
+
+// Bench is a constructed STMBench7 instance bound to one engine.
+type Bench struct {
+	E       stm.STM
+	Cfg     Config
+	Module  stm.Handle
+	PartIdx *rbtree.Tree // atomic-part id → part handle
+	CompIdx *rbtree.Tree // composite-part id → composite handle
+	DateIdx *rbtree.Tree // build date → composite handle
+	Bases   []stm.Handle // base assemblies (structure is fixed; contents mutate)
+
+	counters    stm.Handle
+	initialComp int // id range used by lookup operations
+	initialPart int
+}
+
+// Setup builds the structure single-threadedly on thread id 0.
+func Setup(e stm.STM, cfg Config) *Bench {
+	cfg.fill()
+	b := &Bench{E: e, Cfg: cfg}
+	th := e.NewThread(0)
+	b.PartIdx = rbtree.New(th)
+	b.CompIdx = rbtree.New(th)
+	b.DateIdx = rbtree.New(th)
+	th.Atomic(func(tx stm.Tx) { b.counters = tx.NewObject(cntFields) })
+
+	// Composite-part pool. Each composite gets its own transaction to
+	// keep setup transactions bounded.
+	comps := make([]stm.Handle, cfg.CompPool)
+	for i := range comps {
+		th.Atomic(func(tx stm.Tx) { comps[i] = b.newCompositePart(tx) })
+	}
+	b.initialComp = cfg.CompPool
+	b.initialPart = cfg.CompPool * cfg.AtomicPerComp
+
+	// Assembly tree.
+	rng := util.NewRand(0xb7)
+	var build func(tx stm.Tx, level int) stm.Handle
+	id := 0
+	build = func(tx stm.Tx, level int) stm.Handle {
+		id++
+		if level == 1 { // base assembly
+			ba := tx.NewObject(uint32(2 + compPerBase))
+			tx.WriteField(ba, baID, stm.Word(id))
+			tx.WriteField(ba, baLevel, 1)
+			for k := 0; k < compPerBase; k++ {
+				c := comps[rng.Intn(len(comps))]
+				tx.WriteField(ba, baComp0+uint32(k), c)
+				tx.WriteField(c, cpUsed, tx.ReadField(c, cpUsed)+1)
+			}
+			b.Bases = append(b.Bases, ba)
+			return ba
+		}
+		ca := tx.NewObject(uint32(2 + cfg.Fanout))
+		tx.WriteField(ca, caID, stm.Word(id))
+		tx.WriteField(ca, caLevel, stm.Word(level))
+		for k := 0; k < cfg.Fanout; k++ {
+			tx.WriteField(ca, caSub0+uint32(k), build(tx, level-1))
+		}
+		return ca
+	}
+	th.Atomic(func(tx stm.Tx) {
+		root := build(tx, cfg.Levels)
+		b.Module = tx.NewObject(2)
+		tx.WriteField(b.Module, 0, 1) // module id
+		tx.WriteField(b.Module, 1, root)
+	})
+	return b
+}
+
+// newCompositePart creates a composite part with its document and atomic
+// part graph, registering it in all indexes.
+func (b *Bench) newCompositePart(tx stm.Tx) stm.Handle {
+	cfg := &b.Cfg
+	compID := tx.ReadField(b.counters, cntCompID) + 1
+	tx.WriteField(b.counters, cntCompID, compID)
+	date := tx.ReadField(b.counters, cntDate) + 1
+	tx.WriteField(b.counters, cntDate, date)
+
+	doc := tx.NewObject(uint32(1 + cfg.DocWords))
+	tx.WriteField(doc, 0, compID)
+	for w := 0; w < cfg.DocWords; w++ {
+		tx.WriteField(doc, uint32(1+w), stm.Word(w)^stm.Word(compID))
+	}
+
+	partsArr := tx.NewObject(uint32(cfg.AtomicPerComp))
+	parts := make([]stm.Handle, cfg.AtomicPerComp)
+	for i := 0; i < cfg.AtomicPerComp; i++ {
+		partID := tx.ReadField(b.counters, cntPartID) + 1
+		tx.WriteField(b.counters, cntPartID, partID)
+		p := tx.NewObject(uint32(4 + cfg.ConnPerPart))
+		tx.WriteField(p, apID, partID)
+		tx.WriteField(p, apX, partID*31)
+		tx.WriteField(p, apY, partID*17)
+		tx.WriteField(p, apDate, date)
+		parts[i] = p
+		tx.WriteField(partsArr, uint32(i), p)
+		b.PartIdx.Insert(tx, partID, stm.Word(p))
+	}
+	// Ring + chords connection graph: part i connects to i+1, i+2, i+3
+	// (mod n) — connected, deterministic, degree ConnPerPart.
+	n := cfg.AtomicPerComp
+	for i := 0; i < n; i++ {
+		for k := 0; k < cfg.ConnPerPart; k++ {
+			tx.WriteField(parts[i], apConn0+uint32(k), stm.Word(parts[(i+k+1)%n]))
+		}
+	}
+
+	comp := tx.NewObject(cpFields)
+	tx.WriteField(comp, cpID, compID)
+	tx.WriteField(comp, cpDate, date)
+	tx.WriteField(comp, cpDoc, doc)
+	tx.WriteField(comp, cpParts, partsArr)
+	tx.WriteField(comp, cpRoot, parts[0])
+	b.CompIdx.Insert(tx, compID, stm.Word(comp))
+	b.DateIdx.Insert(tx, date, stm.Word(comp))
+	return comp
+}
+
+// ---------- Operations ----------
+//
+// Read-only: OpShortRead, OpReadComponent, OpQueryDates, OpLongTraversal.
+// Updates:   OpShortUpdate, OpUpdateComponent, OpStructureMod,
+//            OpLongTraversalUpdate.
+
+// OpShortRead looks up a random atomic part by id and reads its
+// coordinates (STMBench7 "short operation" class).
+func (b *Bench) OpShortRead(th stm.Thread, rng *util.Rand) {
+	key := stm.Word(rng.Intn(b.initialPart) + 1)
+	th.Atomic(func(tx stm.Tx) {
+		if h, ok := b.PartIdx.Lookup(tx, key); ok {
+			p := stm.Handle(h)
+			_ = tx.ReadField(p, apX)
+			_ = tx.ReadField(p, apY)
+		}
+	})
+}
+
+// OpShortUpdate swaps the coordinates of a random atomic part
+// (STMBench7 "short update" class).
+func (b *Bench) OpShortUpdate(th stm.Thread, rng *util.Rand) {
+	key := stm.Word(rng.Intn(b.initialPart) + 1)
+	th.Atomic(func(tx stm.Tx) {
+		if h, ok := b.PartIdx.Lookup(tx, key); ok {
+			p := stm.Handle(h)
+			x := tx.ReadField(p, apX)
+			y := tx.ReadField(p, apY)
+			tx.WriteField(p, apX, y)
+			tx.WriteField(p, apY, x)
+		}
+	})
+}
+
+// graphWalk visits every atomic part of a composite reachable from its
+// root part (bounded DFS over the connection graph), calling visit for
+// each distinct part.
+func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, visit func(part stm.Handle)) int {
+	root := stm.Handle(tx.ReadField(comp, cpRoot))
+	if root == 0 {
+		return 0
+	}
+	seen := map[stm.Handle]bool{root: true}
+	stack := []stm.Handle{root}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(p)
+		for k := 0; k < b.Cfg.ConnPerPart; k++ {
+			q := stm.Handle(tx.ReadField(p, apConn0+uint32(k)))
+			if q != 0 && !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// randomComposite picks a random live composite part via the id index.
+func (b *Bench) randomComposite(tx stm.Tx, rng *util.Rand) (stm.Handle, bool) {
+	for try := 0; try < 4; try++ {
+		key := stm.Word(rng.Intn(b.initialComp) + 1)
+		if h, ok := b.CompIdx.Lookup(tx, key); ok {
+			return stm.Handle(h), true
+		}
+	}
+	return 0, false
+}
+
+// OpReadComponent walks one composite part's whole atomic-part graph
+// read-only (STMBench7 traversal T1 restricted to one component).
+func (b *Bench) OpReadComponent(th stm.Thread, rng *util.Rand) {
+	th.Atomic(func(tx stm.Tx) {
+		if comp, ok := b.randomComposite(tx, rng); ok {
+			sum := stm.Word(0)
+			b.graphWalk(tx, comp, func(p stm.Handle) {
+				sum += tx.ReadField(p, apX)
+			})
+			_ = sum
+		}
+	})
+}
+
+// OpUpdateComponent walks one composite part's graph swapping coordinates
+// (STMBench7 T2b: long-ish update transaction).
+func (b *Bench) OpUpdateComponent(th stm.Thread, rng *util.Rand) {
+	th.Atomic(func(tx stm.Tx) {
+		if comp, ok := b.randomComposite(tx, rng); ok {
+			b.graphWalk(tx, comp, func(p stm.Handle) {
+				x := tx.ReadField(p, apX)
+				y := tx.ReadField(p, apY)
+				tx.WriteField(p, apX, y)
+				tx.WriteField(p, apY, x)
+			})
+		}
+	})
+}
+
+// OpQueryDates scans the build-date index for a random window
+// (STMBench7 query class).
+func (b *Bench) OpQueryDates(th stm.Thread, rng *util.Rand) {
+	lo := stm.Word(rng.Intn(b.initialComp) + 1)
+	hi := lo + 16
+	th.Atomic(func(tx stm.Tx) {
+		_ = b.DateIdx.RangeCount(tx, lo, hi)
+	})
+}
+
+// assemblyWalk traverses the complex-assembly tree from the module root,
+// calling visit for every composite referenced by every base assembly.
+func (b *Bench) assemblyWalk(tx stm.Tx, visit func(comp stm.Handle)) {
+	var walk func(h stm.Handle)
+	walk = func(h stm.Handle) {
+		level := tx.ReadField(h, caLevel)
+		if level <= 1 { // base assembly (field layout: baID, comps...)
+			for k := 0; k < compPerBase; k++ {
+				comp := stm.Handle(tx.ReadField(h, baComp0+uint32(k)))
+				if comp != 0 {
+					visit(comp)
+				}
+			}
+			return
+		}
+		for k := 0; k < b.Cfg.Fanout; k++ {
+			sub := stm.Handle(tx.ReadField(h, caSub0+uint32(k)))
+			if sub != 0 {
+				walk(sub)
+			}
+		}
+	}
+	walk(stm.Handle(tx.ReadField(b.Module, 1)))
+}
+
+// OpLongTraversal is STMBench7's long read-only traversal: the whole
+// assembly tree, every composite, every atomic part.
+func (b *Bench) OpLongTraversal(th stm.Thread, rng *util.Rand) {
+	th.Atomic(func(tx stm.Tx) {
+		total := 0
+		b.assemblyWalk(tx, func(comp stm.Handle) {
+			total += b.graphWalk(tx, comp, func(p stm.Handle) {
+				_ = tx.ReadField(p, apDate)
+			})
+		})
+		_ = total
+	})
+}
+
+// OpLongTraversalUpdate is the long update traversal: it touches every
+// composite part's build date through the whole tree.
+func (b *Bench) OpLongTraversalUpdate(th stm.Thread, rng *util.Rand) {
+	th.Atomic(func(tx stm.Tx) {
+		b.assemblyWalk(tx, func(comp stm.Handle) {
+			tx.WriteField(comp, cpDate, tx.ReadField(comp, cpDate)+1)
+		})
+	})
+}
+
+// OpStructureMod is STMBench7's structural modification: build a fresh
+// composite part (graph, document, index entries), unlink a random
+// composite from a random base assembly slot and link the new one in.
+// The old composite is removed from the id and date indexes (its parts
+// are unlinked from the part index), mirroring SM2/SM3.
+func (b *Bench) OpStructureMod(th stm.Thread, rng *util.Rand) {
+	base := b.Bases[rng.Intn(len(b.Bases))]
+	slot := baComp0 + uint32(rng.Intn(compPerBase))
+	th.Atomic(func(tx stm.Tx) {
+		old := stm.Handle(tx.ReadField(base, slot))
+		if old != 0 {
+			// Drop one reference; unregister the composite only when the
+			// last base assembly stops using it (shared composites stay).
+			used := tx.ReadField(old, cpUsed)
+			tx.WriteField(old, cpUsed, used-1)
+			if used <= 1 {
+				oldID := tx.ReadField(old, cpID)
+				oldDate := tx.ReadField(old, cpDate)
+				b.CompIdx.Delete(tx, oldID)
+				b.DateIdx.Delete(tx, oldDate)
+				partsArr := stm.Handle(tx.ReadField(old, cpParts))
+				for i := 0; i < b.Cfg.AtomicPerComp; i++ {
+					p := stm.Handle(tx.ReadField(partsArr, uint32(i)))
+					if p != 0 {
+						b.PartIdx.Delete(tx, tx.ReadField(p, apID))
+					}
+				}
+			}
+		}
+		comp := b.newCompositePart(tx)
+		tx.WriteField(comp, cpUsed, 1)
+		tx.WriteField(base, slot, stm.Word(comp))
+	})
+}
+
+// Op dispatches one operation according to the workload mix; this is the
+// function the throughput harness drives.
+func (b *Bench) Op(th stm.Thread, rng *util.Rand) {
+	readOnly := rng.Intn(100) < b.Cfg.ReadOnlyPct
+	roll := rng.Intn(100)
+	if readOnly {
+		switch {
+		case roll < 40:
+			b.OpShortRead(th, rng)
+		case roll < 80:
+			b.OpReadComponent(th, rng)
+		case roll < 95:
+			b.OpQueryDates(th, rng)
+		default:
+			b.OpLongTraversal(th, rng)
+		}
+		return
+	}
+	switch {
+	case roll < 40:
+		b.OpShortUpdate(th, rng)
+	case roll < 80:
+		b.OpUpdateComponent(th, rng)
+	case roll < 95:
+		b.OpStructureMod(th, rng)
+	default:
+		b.OpLongTraversalUpdate(th, rng)
+	}
+}
+
+// Check validates the structural invariants after a run: every base
+// assembly slot references a composite registered in the id index, every
+// composite's graph has exactly AtomicPerComp reachable parts, and each
+// part is present in the part index.
+func (b *Bench) Check() error {
+	th := b.E.NewThread(stm.MaxThreads - 1)
+	var err error
+	th.Atomic(func(tx stm.Tx) {
+		err = nil
+		for _, base := range b.Bases {
+			for k := 0; k < compPerBase; k++ {
+				comp := stm.Handle(tx.ReadField(base, baComp0+uint32(k)))
+				if comp == 0 {
+					err = fmt.Errorf("bench7: empty base-assembly slot")
+					return
+				}
+				id := tx.ReadField(comp, cpID)
+				if got, ok := b.CompIdx.Lookup(tx, id); !ok || stm.Handle(got) != comp {
+					err = fmt.Errorf("bench7: composite %d missing from index", id)
+					return
+				}
+				n := b.graphWalk(tx, comp, func(p stm.Handle) {
+					pid := tx.ReadField(p, apID)
+					if got, ok := b.PartIdx.Lookup(tx, pid); !ok || stm.Handle(got) != p {
+						err = fmt.Errorf("bench7: part %d missing from index", pid)
+					}
+				})
+				if err != nil {
+					return
+				}
+				if n != b.Cfg.AtomicPerComp {
+					err = fmt.Errorf("bench7: composite %d graph has %d parts, want %d",
+						id, n, b.Cfg.AtomicPerComp)
+					return
+				}
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,38 @@
+package bench7
+
+import (
+	"testing"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// TestRSTMLazySnapshotRegression is the regression test for a snapshot
+// bug in RSTM's lazy-acquire mode: openWriteLazy used to clone objects
+// outside the epoch discipline, letting a transaction mix data from two
+// snapshots and crash on the torn state (found via the Figure 7
+// experiment). See rstm.openWriteLazy.
+func TestRSTMLazySnapshotRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second stress test")
+	}
+	cfg := Config{Levels: 3, Fanout: 3, CompPool: 32, AtomicPerComp: 10, ReadOnlyPct: 90}
+	for round := 0; round < 3; round++ {
+		for _, spec := range []harness.EngineSpec{
+			{Kind: "rstm", Acquire: "eager", Manager: "polka"},
+			{Kind: "rstm", Acquire: "lazy", Manager: "polka"},
+		} {
+			var b *Bench
+			w := harness.Workload{
+				Setup: func(e stm.STM) error { b = Setup(e, cfg); return nil },
+				Op:    func(th stm.Thread, worker int, rng *util.Rand) { b.Op(th, rng) },
+				Check: func(e stm.STM) error { return b.Check() },
+			}
+			if _, err := harness.MeasureThroughput(spec, w, 8, 250*time.Millisecond); err != nil {
+				t.Fatalf("round %d %s: %v", round, spec.DisplayName(), err)
+			}
+		}
+	}
+}

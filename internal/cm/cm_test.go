@@ -1,0 +1,103 @@
+package cm
+
+import (
+	"testing"
+
+	"swisstm/internal/util"
+)
+
+func TestTimidAlwaysAbortsSelf(t *testing.T) {
+	m := NewTimid()
+	var a, v TxState
+	for i := 0; i < 5; i++ {
+		if d := m.Resolve(&a, &v, i); d != AbortSelf {
+			t.Fatalf("timid decision = %v, want AbortSelf", d)
+		}
+	}
+}
+
+func TestGreedyOlderWins(t *testing.T) {
+	m := NewGreedy()
+	var older, younger TxState
+	m.OnStart(&older, false)
+	m.OnStart(&younger, false)
+	if d := m.Resolve(&older, &younger, 0); d != AbortOther {
+		t.Fatalf("older attacker: got %v, want AbortOther", d)
+	}
+	if d := m.Resolve(&younger, &older, 0); d != Wait {
+		t.Fatalf("younger attacker: got %v, want Wait", d)
+	}
+	// Timestamps persist across restarts: the older transaction keeps
+	// winning after it is restarted (starvation freedom).
+	m.OnStart(&older, true)
+	if d := m.Resolve(&older, &younger, 0); d != AbortOther {
+		t.Fatalf("restarted older attacker: got %v, want AbortOther", d)
+	}
+}
+
+func TestSerializerReassignsTimestamp(t *testing.T) {
+	m := NewSerializer()
+	var a, b TxState
+	m.OnStart(&a, false)
+	m.OnStart(&b, false)
+	if d := m.Resolve(&a, &b, 0); d != AbortOther {
+		t.Fatalf("a should be older initially")
+	}
+	// After a restart, a becomes the youngest and loses.
+	m.OnStart(&a, true)
+	if d := m.Resolve(&a, &b, 0); d != Wait {
+		t.Fatalf("restarted a should now lose: got %v", d)
+	}
+}
+
+func TestPolkaPriorityAccumulation(t *testing.T) {
+	m := NewPolka()
+	var small, big TxState
+	m.OnStart(&small, false)
+	m.OnStart(&big, false)
+	for i := 0; i < 10; i++ {
+		m.OnOpen(&big)
+	}
+	m.OnOpen(&small)
+	// The small attacker must first wait...
+	if d := m.Resolve(&small, &big, 0); d != Wait {
+		t.Fatalf("low-priority attacker should wait, got %v", d)
+	}
+	// ...but each waiting round adds temporary priority; eventually it
+	// kills the victim (Polka's bounded patience).
+	if d := m.Resolve(&small, &big, 9); d != AbortOther {
+		t.Fatalf("attacker with enough waits should win, got %v", d)
+	}
+	// A high-priority attacker wins immediately.
+	if d := m.Resolve(&big, &small, 0); d != AbortOther {
+		t.Fatalf("high-priority attacker should win, got %v", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"timid", "greedy", "serializer", "polka"} {
+		if m := ByName(name); m == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if m := ByName("nope"); m != nil {
+		t.Fatalf("ByName(nope) should be nil")
+	}
+	// Managers with clocks must be independent instances.
+	g1, g2 := NewGreedy(), NewGreedy()
+	var a, b TxState
+	g1.OnStart(&a, false)
+	g2.OnStart(&b, false)
+	if a.Timestamp.Load() != b.Timestamp.Load() {
+		t.Fatal("fresh greedy clocks should both start at 1")
+	}
+}
+
+func TestWaitBackoffTerminates(t *testing.T) {
+	r := util.NewRand(1)
+	for _, m := range []Manager{NewGreedy(), NewSerializer(), NewPolka(), NewTimid()} {
+		for i := 0; i < 20; i++ {
+			m.WaitBackoff(r, i) // must return promptly even for large attempts
+		}
+	}
+}

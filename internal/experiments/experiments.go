@@ -1,0 +1,599 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (§4 and §5). Each experiment is a function that runs the
+// relevant workloads across engines and thread counts and prints the same
+// rows/series the paper plots; cmd/paperfigs and the repository-root
+// benchmarks drive them. The experiment ↔ module map lives in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"swisstm/internal/bench7"
+	"swisstm/internal/harness"
+	"swisstm/internal/leetm"
+	"swisstm/internal/rbtree"
+	"swisstm/internal/stamp"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Options tunes experiment size so the same code serves quick smoke runs
+// and full paper-shaped sweeps.
+type Options struct {
+	Out      io.Writer
+	Duration time.Duration // per throughput point
+	Threads  []int         // thread sweep
+	Scale    stamp.Scale   // STAMP input scale
+	Bench7   bench7.Config // structure dimensions (mix is set per run)
+	RBRange  int           // red-black tree key range (paper: 16384)
+	RBUpdate int           // update percentage (paper: 20)
+}
+
+// Default returns full-shape options (minutes of runtime).
+func Default(out io.Writer) Options {
+	return Options{
+		Out:      out,
+		Duration: 2 * time.Second,
+		Threads:  []int{1, 2, 4, 8},
+		Scale:    stamp.Bench,
+		RBRange:  16384,
+		RBUpdate: 20,
+	}
+}
+
+// Quick returns options that finish in tens of seconds (CI/smoke).
+func Quick(out io.Writer) Options {
+	return Options{
+		Out:      out,
+		Duration: 300 * time.Millisecond,
+		Threads:  []int{1, 2, 4},
+		Scale:    stamp.Test,
+		Bench7:   bench7.Config{Levels: 3, Fanout: 3, CompPool: 32, AtomicPerComp: 10},
+		RBRange:  1024,
+		RBUpdate: 20,
+	}
+}
+
+// fourEngines is the paper's headline engine line-up. RSTM uses the
+// Serializer CM for STMBench7 ("as this gave the best performing RSTM
+// configuration in STMBench7", §4) and Polka elsewhere (the default).
+func fourEngines(rstmManager string) []harness.EngineSpec {
+	return []harness.EngineSpec{
+		{Kind: "swisstm"},
+		{Kind: "tinystm"},
+		{Kind: "rstm", Manager: rstmManager, Label: "RSTM"},
+		{Kind: "tl2"},
+	}
+}
+
+// bench7Workload adapts a bench7 mix to the throughput harness.
+func (o Options) bench7Workload(mix int) harness.Workload {
+	cfg := o.Bench7
+	cfg.ReadOnlyPct = mix
+	var b *bench7.Bench
+	return harness.Workload{
+		Setup: func(e stm.STM) error {
+			b = bench7.Setup(e, cfg)
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			b.Op(th, rng)
+		},
+		Check: func(e stm.STM) error { return b.Check() },
+	}
+}
+
+// rbWorkload is the Figure 5/10 microbenchmark: lookups/inserts/removals
+// over a pre-filled tree.
+func (o Options) rbWorkload() harness.Workload {
+	var tree *rbtree.Tree
+	keyRange := o.RBRange
+	updPct := o.RBUpdate
+	return harness.Workload{
+		Setup: func(e stm.STM) error {
+			th := e.NewThread(0)
+			tree = rbtree.New(th)
+			rng := util.NewRand(0x5eed)
+			// Pre-fill to half occupancy, as customary for this bench.
+			for i := 0; i < keyRange/2; i++ {
+				k := stm.Word(rng.Intn(keyRange) + 1)
+				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			}
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			k := stm.Word(rng.Intn(keyRange) + 1)
+			r := rng.Intn(100)
+			switch {
+			case r < updPct/2:
+				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			case r < updPct:
+				th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+			default:
+				th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+			}
+		},
+		Check: func(e stm.STM) error {
+			th := e.NewThread(0)
+			var err error
+			th.Atomic(func(tx stm.Tx) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("rbtree invariant: %v", r)
+					}
+				}()
+				tree.CheckInvariants(tx)
+			})
+			return err
+		},
+	}
+}
+
+// throughputSeries sweeps threads for each spec on workload w and returns
+// one series per spec (throughput in tx/s).
+func (o Options) throughputSeries(specs []harness.EngineSpec, mk func() harness.Workload) ([]harness.Series, error) {
+	series := make([]harness.Series, len(specs))
+	for i, spec := range specs {
+		series[i] = harness.Series{Name: spec.DisplayName(), Points: map[int]float64{}}
+		for _, tc := range o.Threads {
+			res, err := harness.MeasureThroughput(spec, mk(), tc, o.Duration)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d: %w", spec.DisplayName(), tc, err)
+			}
+			series[i].Points[tc] = res.Throughput()
+		}
+	}
+	return series, nil
+}
+
+// Fig2 — STMBench7 throughput: 4 STMs × 3 workload mixes × thread sweep.
+func (o Options) Fig2() error {
+	for _, mix := range []struct {
+		name string
+		ro   int
+	}{{"read-dominated", 90}, {"read-write", 60}, {"write-dominated", 10}} {
+		specs := fourEngines("serializer")
+		series, err := o.throughputSeries(specs, func() harness.Workload { return o.bench7Workload(mix.ro) })
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(o.Out, harness.FormatFigure(
+			"Figure 2: STMBench7 "+mix.name+" workload", "throughput [tx/s]", o.Threads, series))
+	}
+	return nil
+}
+
+// stampDuration runs one STAMP workload on one engine spec and returns
+// the wall time.
+func (o Options) stampDuration(name string, spec harness.EngineSpec, threads int) (time.Duration, error) {
+	app, err := stamp.New(name, o.Scale)
+	if err != nil {
+		return 0, err
+	}
+	e := spec.New()
+	start := time.Now()
+	if _, err := stamp.Run(app, e, threads); err != nil {
+		return 0, fmt.Errorf("%s on %s: %w", name, spec.DisplayName(), err)
+	}
+	return time.Since(start), nil
+}
+
+// Fig3 — STAMP: speedup of SwissTM over TL2 and TinySTM (speedup − 1),
+// per workload, for 1, 2, 4, 8 threads.
+func (o Options) Fig3() error {
+	threads := []int{1, 2, 4, 8}
+	if len(o.Threads) < 4 {
+		threads = o.Threads
+	}
+	for _, baseline := range []string{"tl2", "tinystm"} {
+		fmt.Fprintf(o.Out, "# Figure 3: SwissTM vs %s on STAMP (speedup - 1; positive = SwissTM faster)\n", baseline)
+		fmt.Fprintf(o.Out, "%-16s", "workload")
+		for _, tc := range threads {
+			fmt.Fprintf(o.Out, "%10dthr", tc)
+		}
+		fmt.Fprintln(o.Out)
+		for _, wl := range stamp.Workloads {
+			fmt.Fprintf(o.Out, "%-16s", wl)
+			for _, tc := range threads {
+				dSwiss, err := o.stampDuration(wl, harness.EngineSpec{Kind: "swisstm"}, tc)
+				if err != nil {
+					return err
+				}
+				dBase, err := o.stampDuration(wl, harness.EngineSpec{Kind: baseline}, tc)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(o.Out, "%13.2f", dBase.Seconds()/dSwiss.Seconds()-1)
+			}
+			fmt.Fprintln(o.Out)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// leeDuration routes one board on one engine and returns the wall time.
+func leeDuration(board leetm.Board, spec harness.EngineSpec, threads int) (time.Duration, error) {
+	var r *leetm.Router
+	res, err := harness.MeasureWork(spec,
+		func(e stm.STM) error { r = leetm.Setup(e, board); return nil },
+		func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
+			r.Work(e, th, worker, t, rng)
+		},
+		func(e stm.STM) error { return r.Check() },
+		threads)
+	if err != nil {
+		return 0, err
+	}
+	return res.Duration, nil
+}
+
+// Fig4 — Lee-TM execution time: SwissTM, TinySTM, RSTM on the memory and
+// main boards (the paper could not run TL2 on Lee-TM; we mirror the
+// line-up).
+func (o Options) Fig4() error {
+	for _, board := range []leetm.Board{leetm.MemoryBoard(), leetm.MainBoard()} {
+		specs := []harness.EngineSpec{{Kind: "rstm", Manager: "polka", Label: "RSTM"}, {Kind: "tinystm"}, {Kind: "swisstm"}}
+		series := make([]harness.Series, len(specs))
+		for i, spec := range specs {
+			series[i] = harness.Series{Name: spec.DisplayName(), Points: map[int]float64{}}
+			for _, tc := range o.Threads {
+				d, err := leeDuration(board, spec, tc)
+				if err != nil {
+					return err
+				}
+				series[i].Points[tc] = d.Seconds()
+			}
+		}
+		fmt.Fprintln(o.Out, harness.FormatFigure(
+			"Figure 4: Lee-TM "+board.Name+" board", "duration [s]", o.Threads, series))
+	}
+	return nil
+}
+
+// Fig5 — red-black tree throughput, 4 STMs, range 16384, 20% updates.
+func (o Options) Fig5() error {
+	series, err := o.throughputSeries(fourEngines("polka"), o.rbWorkload)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		fmt.Sprintf("Figure 5: red-black tree (range %d, %d%% updates)", o.RBRange, o.RBUpdate),
+		"throughput [tx/s]", o.Threads, series))
+	return nil
+}
+
+// Fig7 — eager vs lazy conflict detection in read-dominated STMBench7:
+// TinySTM (eager), RSTM eager, RSTM lazy, TL2 (lazy).
+func (o Options) Fig7() error {
+	specs := []harness.EngineSpec{
+		{Kind: "tinystm", Label: "TinySTM (eager)"},
+		{Kind: "rstm", Acquire: "eager", Manager: "polka", Label: "RSTM eager"},
+		{Kind: "rstm", Acquire: "lazy", Manager: "polka", Label: "RSTM lazy"},
+		{Kind: "tl2", Label: "TL2 (lazy)"},
+	}
+	series, err := o.throughputSeries(specs, func() harness.Workload { return o.bench7Workload(90) })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 7: eager vs lazy conflict detection, read-dominated STMBench7",
+		"throughput [tx/s]", o.Threads, series))
+	return nil
+}
+
+// Fig8 — "irregular" Lee-TM: SwissTM vs TinySTM with R ∈ {0, 5, 20}% of
+// transactions updating the shared object Oc.
+func (o Options) Fig8() error {
+	board := leetm.MemoryBoard()
+	series := []harness.Series{}
+	for _, spec := range []harness.EngineSpec{{Kind: "swisstm"}, {Kind: "tinystm"}} {
+		for _, r := range []int{0, 5, 20} {
+			b := board
+			b.IrregularPct = r
+			s := harness.Series{
+				Name:   fmt.Sprintf("%s %d%%", spec.DisplayName(), r),
+				Points: map[int]float64{},
+			}
+			for _, tc := range o.Threads {
+				d, err := leeDuration(b, spec, tc)
+				if err != nil {
+					return err
+				}
+				s.Points[tc] = d.Seconds()
+			}
+			series = append(series, s)
+		}
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 8: irregular Lee-TM (memory board), SwissTM vs TinySTM",
+		"duration [s]", o.Threads, series))
+	return nil
+}
+
+// Fig9 — Polka vs Greedy contention managers in RSTM on read-dominated
+// STMBench7.
+func (o Options) Fig9() error {
+	specs := []harness.EngineSpec{
+		{Kind: "rstm", Manager: "greedy", Label: "RSTM Greedy"},
+		{Kind: "rstm", Manager: "polka", Label: "RSTM Polka"},
+	}
+	series, err := o.throughputSeries(specs, func() harness.Workload { return o.bench7Workload(90) })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 9: Polka vs Greedy (RSTM), read-dominated STMBench7",
+		"throughput [tx/s]", o.Threads, series))
+	return nil
+}
+
+// Fig10 — SwissTM's two-phase CM vs plain Greedy on the red-black tree:
+// Greedy's shared startup counter costs short transactions dearly.
+func (o Options) Fig10() error {
+	specs := []harness.EngineSpec{
+		{Kind: "swisstm", Label: "Two-phase"},
+		{Kind: "swisstm", Policy: "greedy", Label: "Greedy"},
+	}
+	series, err := o.throughputSeries(specs, o.rbWorkload)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 10: two-phase vs Greedy CM (SwissTM), red-black tree",
+		"throughput [tx/s]", o.Threads, series))
+	return nil
+}
+
+// Fig11 — back-off vs no back-off (SwissTM) on STAMP intruder.
+func (o Options) Fig11() error {
+	specs := []harness.EngineSpec{
+		{Kind: "swisstm", NoBackoff: true, Label: "No backoff"},
+		{Kind: "swisstm", Label: "Linear backoff"},
+	}
+	series := make([]harness.Series, len(specs))
+	for i, spec := range specs {
+		series[i] = harness.Series{Name: spec.DisplayName(), Points: map[int]float64{}}
+		for _, tc := range o.Threads {
+			d, err := o.stampDuration("intruder", spec, tc)
+			if err != nil {
+				return err
+			}
+			series[i].Points[tc] = d.Seconds()
+		}
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 11: back-off vs no back-off (SwissTM), STAMP intruder",
+		"duration [s]", o.Threads, series))
+	return nil
+}
+
+// Fig12 — speedup (−1) of the two-phase CM over timid in SwissTM on the
+// three STMBench7 mixes.
+func (o Options) Fig12() error {
+	series := []harness.Series{}
+	for _, mix := range []struct {
+		name string
+		ro   int
+	}{{"read", 90}, {"read/write", 60}, {"write", 10}} {
+		s := harness.Series{Name: mix.name, Points: map[int]float64{}}
+		for _, tc := range o.Threads {
+			two, err := harness.MeasureThroughput(
+				harness.EngineSpec{Kind: "swisstm"}, o.bench7Workload(mix.ro), tc, o.Duration)
+			if err != nil {
+				return err
+			}
+			timid, err := harness.MeasureThroughput(
+				harness.EngineSpec{Kind: "swisstm", Policy: "timid"}, o.bench7Workload(mix.ro), tc, o.Duration)
+			if err != nil {
+				return err
+			}
+			s.Points[tc] = two.Throughput()/timid.Throughput() - 1
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintln(o.Out, harness.FormatFigure(
+		"Figure 12: two-phase vs timid CM speedup-1 (SwissTM), STMBench7",
+		"speedup - 1", o.Threads, series))
+	return nil
+}
+
+// granularities lists the sweep of Figure 13 in words per stripe. The
+// paper sweeps 2^2..2^8 *bytes* with 32-bit words, i.e. 1..64 words;
+// with this repository's 64-bit words the same word counts are
+// 2^0..2^6 words ≡ 2^3..2^9 bytes.
+var granularities = []uint{0, 1, 2, 3, 4, 5, 6}
+
+// benchmarkScore measures one benchmark's figure of merit (throughput,
+// higher = better) for a SwissTM engine with the given granularity.
+type benchmarkScore struct {
+	name string
+	run  func(gran uint) (float64, error)
+}
+
+func (o Options) granBenchmarks(threads int) []benchmarkScore {
+	mk := func(g uint) harness.EngineSpec {
+		return harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}
+	}
+	scores := []benchmarkScore{}
+	for _, wl := range stamp.Workloads {
+		wl := wl
+		scores = append(scores, benchmarkScore{name: wl, run: func(g uint) (float64, error) {
+			d, err := o.stampDuration(wl, mk(g), threads)
+			if err != nil {
+				return 0, err
+			}
+			return 1 / d.Seconds(), nil
+		}})
+	}
+	scores = append(scores, benchmarkScore{name: "red-black tree", run: func(g uint) (float64, error) {
+		res, err := harness.MeasureThroughput(mk(g), o.rbWorkload(), threads, o.Duration)
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput(), nil
+	}})
+	for _, board := range []leetm.Board{leetm.MemoryBoard(), leetm.MainBoard()} {
+		board := board
+		scores = append(scores, benchmarkScore{name: "Lee-TM " + board.Name, run: func(g uint) (float64, error) {
+			d, err := leeDuration(board, mk(g), threads)
+			if err != nil {
+				return 0, err
+			}
+			return 1 / d.Seconds(), nil
+		}})
+	}
+	for _, mix := range []struct {
+		name string
+		ro   int
+	}{{"STMBench7 read", 90}, {"STMBench7 read-write", 60}, {"STMBench7 write", 10}} {
+		mix := mix
+		scores = append(scores, benchmarkScore{name: mix.name, run: func(g uint) (float64, error) {
+			res, err := harness.MeasureThroughput(mk(g), o.bench7Workload(mix.ro), threads, o.Duration)
+			if err != nil {
+				return 0, err
+			}
+			return res.Throughput(), nil
+		}})
+	}
+	return scores
+}
+
+// Fig13 — average speedup (−1) of each lock granularity against all the
+// others, across all benchmarks, at 8 threads (or the sweep's maximum).
+func (o Options) Fig13() error {
+	threads := o.Threads[len(o.Threads)-1]
+	benches := o.granBenchmarks(threads)
+	// score[g][b] = figure of merit for granularity g on benchmark b.
+	score := make(map[uint][]float64, len(granularities))
+	for _, g := range granularities {
+		for _, b := range benches {
+			v, err := b.run(g)
+			if err != nil {
+				return fmt.Errorf("fig13 %s gran 2^%d: %w", b.name, g, err)
+			}
+			score[g] = append(score[g], v)
+		}
+	}
+	fmt.Fprintf(o.Out, "# Figure 13: average speedup-1 per lock granularity vs all others (%d threads)\n", threads)
+	fmt.Fprintf(o.Out, "# granularity axis: words/stripe (paper: 2^2..2^8 bytes at 4B words; here 64-bit words)\n")
+	fmt.Fprintf(o.Out, "%-18s%14s\n", "words/stripe", "avg speedup-1")
+	for _, g := range granularities {
+		sum := 0.0
+		for bi := range benches {
+			others := []float64{}
+			for _, g2 := range granularities {
+				if g2 != g {
+					others = append(others, score[g2][bi])
+				}
+			}
+			sum += harness.GeoMeanSpeedup(score[g][bi], others)
+		}
+		fmt.Fprintf(o.Out, "%-18s%14.3f\n", fmt.Sprintf("%d", 1<<g), sum/float64(len(benches)))
+	}
+	fmt.Fprintln(o.Out)
+	return nil
+}
+
+// Table1 — effectiveness of STM design-choice combinations on the mixed
+// (read-write) STMBench7 workload: the paper's qualitative ranking,
+// quantified as throughput at the sweep's top thread count.
+func (o Options) Table1() error {
+	threads := o.Threads[len(o.Threads)-1]
+	rows := []struct {
+		label string
+		spec  harness.EngineSpec
+	}{
+		{"lazy/invisible/any (TL2-like)", harness.EngineSpec{Kind: "rstm", Acquire: "lazy", Manager: "polka"}},
+		{"eager/visible/any", harness.EngineSpec{Kind: "rstm", Acquire: "eager", Reads: "visible", Manager: "polka"}},
+		{"eager/invisible/Polka", harness.EngineSpec{Kind: "rstm", Acquire: "eager", Manager: "polka"}},
+		{"eager/invisible/timid", harness.EngineSpec{Kind: "rstm", Acquire: "eager", Manager: "timid"}},
+		{"mixed/invisible/timid", harness.EngineSpec{Kind: "swisstm", Policy: "timid"}},
+		{"mixed/invisible/2-phase (SwissTM)", harness.EngineSpec{Kind: "swisstm"}},
+	}
+	fmt.Fprintf(o.Out, "# Table 1: design-choice combinations on read-write STMBench7 (%d threads)\n", threads)
+	fmt.Fprintf(o.Out, "%-36s%16s\n", "acquire/reads/CM", "throughput tx/s")
+	for _, row := range rows {
+		res, err := harness.MeasureThroughput(row.spec, o.bench7Workload(60), threads, o.Duration)
+		if err != nil {
+			return fmt.Errorf("table1 %s: %w", row.label, err)
+		}
+		fmt.Fprintf(o.Out, "%-36s%16.1f\n", row.label, res.Throughput())
+	}
+	fmt.Fprintln(o.Out)
+	return nil
+}
+
+// Table2 — per-benchmark relative speedups (−1) between three lock
+// granularities: 4 words vs 1 word vs 16 words per stripe (the paper's
+// 2^4 vs 2^2 vs 2^6 bytes with 32-bit words).
+func (o Options) Table2() error {
+	threads := o.Threads[len(o.Threads)-1]
+	benches := o.granBenchmarks(threads)
+	fmt.Fprintf(o.Out, "# Table 2: lock granularity comparison (%d threads; speedup-1)\n", threads)
+	fmt.Fprintf(o.Out, "%-22s%12s%12s%12s\n", "benchmark", "4w vs 1w", "4w vs 16w", "1w vs 16w")
+	sums := [3]float64{}
+	for _, b := range benches {
+		v1, err := b.run(0) // 1 word
+		if err != nil {
+			return err
+		}
+		v4, err := b.run(2) // 4 words (the paper's pick)
+		if err != nil {
+			return err
+		}
+		v16, err := b.run(4) // 16 words (cache-line-ish)
+		if err != nil {
+			return err
+		}
+		c := [3]float64{v4/v1 - 1, v4/v16 - 1, v1/v16 - 1}
+		for i := range sums {
+			sums[i] += c[i]
+		}
+		fmt.Fprintf(o.Out, "%-22s%12.2f%12.2f%12.2f\n", b.name, c[0], c[1], c[2])
+	}
+	n := float64(len(benches))
+	fmt.Fprintf(o.Out, "%-22s%12.2f%12.2f%12.2f\n\n", "Average", sums[0]/n, sums[1]/n, sums[2]/n)
+	return nil
+}
+
+// Names lists the runnable experiments.
+var Names = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "table1", "table2",
+}
+
+// Run dispatches one experiment by name.
+func (o Options) Run(name string) error {
+	switch name {
+	case "fig2":
+		return o.Fig2()
+	case "fig3":
+		return o.Fig3()
+	case "fig4":
+		return o.Fig4()
+	case "fig5":
+		return o.Fig5()
+	case "fig7":
+		return o.Fig7()
+	case "fig8":
+		return o.Fig8()
+	case "fig9":
+		return o.Fig9()
+	case "fig10":
+		return o.Fig10()
+	case "fig11":
+		return o.Fig11()
+	case "fig12":
+		return o.Fig12()
+	case "fig13":
+		return o.Fig13()
+	case "table1":
+		return o.Table1()
+	case "table2":
+		return o.Table2()
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny(out *bytes.Buffer) Options {
+	o := Quick(out)
+	o.Duration = 50 * time.Millisecond
+	o.Threads = []int{1, 2}
+	return o
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tiny(&buf).Run("fig6"); err == nil {
+		t.Fatal("fig6 is a diagram, not an experiment; expected an error")
+	}
+}
+
+// TestSmokeLightweight exercises the cheap experiments end to end and
+// checks they emit the expected headers and series.
+func TestSmokeLightweight(t *testing.T) {
+	cases := map[string][]string{
+		"fig5":   {"Figure 5", "SwissTM", "TL2", "TinySTM", "RSTM"},
+		"fig9":   {"Figure 9", "Greedy", "Polka"},
+		"fig10":  {"Figure 10", "Two-phase", "Greedy"},
+		"table1": {"Table 1", "mixed/invisible/2-phase"},
+	}
+	for name, wants := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tiny(&buf).Run(name); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, w := range wants {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestSmokeFixedWork exercises one fixed-work experiment (Figure 11's
+// intruder ablation) at test scale.
+func TestSmokeFixedWork(t *testing.T) {
+	var buf bytes.Buffer
+	o := tiny(&buf)
+	if err := o.Run("fig11"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "back-off") {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,343 @@
+// Package harness runs the paper's experiments: it constructs engines
+// from declarative specs, drives fixed-time (throughput) and fixed-work
+// (makespan) workloads across thread sweeps, aggregates commit/abort
+// statistics, and formats the series the paper's figures and tables plot.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"swisstm/internal/cm"
+	"swisstm/internal/rstm"
+	"swisstm/internal/stm"
+	"swisstm/internal/swisstm"
+	"swisstm/internal/tinystm"
+	"swisstm/internal/tl2"
+	"swisstm/internal/util"
+)
+
+// EngineSpec declaratively describes an engine configuration; it is the
+// unit the experiment drivers sweep over.
+type EngineSpec struct {
+	// Kind is one of "swisstm", "tl2", "tinystm", "rstm".
+	Kind string
+	// Label overrides the display name (defaults to the engine name).
+	Label string
+	// ArenaWords sizes the word arena (word-based engines).
+	ArenaWords int
+	// StripeWordsLog2 sets the lock granularity (word-based engines).
+	StripeWordsLog2 uint
+	// TableBits sizes the lock table (word-based engines).
+	TableBits uint
+	// Policy is SwissTM's CM: "twophase" (default), "greedy", "timid".
+	Policy string
+	// NoBackoff disables SwissTM's post-abort back-off.
+	NoBackoff bool
+	// Acquire is RSTM's mode: "eager" (default) or "lazy".
+	Acquire string
+	// Reads is RSTM's read mode: "invisible" (default) or "visible".
+	Reads string
+	// Manager is RSTM's CM: "polka" (default), "greedy", "serializer",
+	// "timid".
+	Manager string
+}
+
+// DisplayName returns the label used in tables.
+func (s EngineSpec) DisplayName() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	switch s.Kind {
+	case "swisstm":
+		if s.Policy != "" && s.Policy != "twophase" {
+			return "SwissTM(" + s.Policy + ")"
+		}
+		return "SwissTM"
+	case "tl2":
+		return "TL2"
+	case "tinystm":
+		return "TinySTM"
+	case "rstm":
+		parts := []string{}
+		if s.Acquire != "" {
+			parts = append(parts, s.Acquire)
+		}
+		if s.Reads != "" {
+			parts = append(parts, s.Reads)
+		}
+		if s.Manager != "" {
+			parts = append(parts, s.Manager)
+		}
+		if len(parts) == 0 {
+			return "RSTM"
+		}
+		return "RSTM(" + strings.Join(parts, "/") + ")"
+	}
+	return s.Kind
+}
+
+// New builds a fresh engine for the spec.
+func (s EngineSpec) New() stm.STM {
+	arena := s.ArenaWords
+	if arena == 0 {
+		arena = 1 << 22
+	}
+	table := s.TableBits
+	if table == 0 {
+		table = 18
+	}
+	switch s.Kind {
+	case "swisstm":
+		pol := swisstm.TwoPhase
+		switch s.Policy {
+		case "greedy":
+			pol = swisstm.Greedy
+		case "timid":
+			pol = swisstm.Timid
+		}
+		return swisstm.New(swisstm.Config{
+			ArenaWords:      arena,
+			StripeWordsLog2: s.StripeWordsLog2,
+			TableBits:       table,
+			Policy:          pol,
+			NoBackoff:       s.NoBackoff,
+		})
+	case "tl2":
+		return tl2.New(tl2.Config{
+			ArenaWords:      arena,
+			StripeWordsLog2: s.StripeWordsLog2,
+			TableBits:       table,
+		})
+	case "tinystm":
+		return tinystm.New(tinystm.Config{
+			ArenaWords:      arena,
+			StripeWordsLog2: s.StripeWordsLog2,
+			TableBits:       table,
+		})
+	case "rstm":
+		acq := rstm.Eager
+		if s.Acquire == "lazy" {
+			acq = rstm.Lazy
+		}
+		rd := rstm.Invisible
+		if s.Reads == "visible" {
+			rd = rstm.Visible
+		}
+		mgr := s.Manager
+		if mgr == "" {
+			mgr = "polka"
+		}
+		return rstm.New(rstm.Config{Acquire: acq, Reads: rd, Manager: cm.ByName(mgr)})
+	}
+	panic("harness: unknown engine kind " + s.Kind)
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Spec      EngineSpec
+	Threads   int
+	Ops       uint64        // committed operations
+	Duration  time.Duration // wall time of the measured phase
+	Stats     stm.Stats     // aggregated across worker threads
+	CheckedOK bool          // post-run validation outcome (if any)
+}
+
+// Throughput returns committed operations per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Workload binds a benchmark to an engine instance: Setup builds the
+// shared data (single-threaded), Op executes one operation on the worker's
+// thread, and Check optionally validates post-conditions.
+type Workload struct {
+	// Setup builds the benchmark state on e, using thread id 0.
+	Setup func(e stm.STM) error
+	// Op runs a single operation; worker is the worker index (≥ 1 because
+	// id 0 belongs to setup), rng is worker-private.
+	Op func(th stm.Thread, worker int, rng *util.Rand)
+	// Check, if non-nil, validates invariants after the run.
+	Check func(e stm.STM) error
+}
+
+// MeasureThroughput runs w on a fresh engine with the given worker count
+// for approximately dur, returning ops/second (fixed-time mode; used by
+// STMBench7 and the red-black tree experiments).
+func MeasureThroughput(spec EngineSpec, w Workload, threads int, dur time.Duration) (Result, error) {
+	e := spec.New()
+	if err := w.Setup(e); err != nil {
+		return Result{}, fmt.Errorf("setup: %w", err)
+	}
+	var (
+		wg     sync.WaitGroup
+		stop   = make(chan struct{})
+		counts = make([]uint64, threads)
+		stats  = make([]stm.Stats, threads)
+	)
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			th := e.NewThread(worker + 1)
+			rng := util.NewRand(uint64(worker)*0x9e3779b97f4a7c15 + 0xabcdef)
+			var n uint64
+			for {
+				select {
+				case <-stop:
+					counts[worker] = n
+					stats[worker] = th.Stats()
+					return
+				default:
+				}
+				w.Op(th, worker, rng)
+				n++
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{Spec: spec, Threads: threads, Duration: elapsed, CheckedOK: true}
+	for i := 0; i < threads; i++ {
+		res.Ops += counts[i]
+		res.Stats.Add(stats[i])
+	}
+	if w.Check != nil {
+		if err := w.Check(e); err != nil {
+			res.CheckedOK = false
+			return res, fmt.Errorf("post-run check: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// WorkFn performs a fixed unit of work, partitioned internally among
+// workers (e.g. a shared work queue); it must return when the work is
+// exhausted.
+type WorkFn func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand)
+
+// MeasureWork runs a fixed-work benchmark (Lee-TM, STAMP): all routes /
+// tasks are processed exactly once and the wall time is reported.
+func MeasureWork(spec EngineSpec, setup func(e stm.STM) error, work WorkFn, check func(e stm.STM) error, threads int) (Result, error) {
+	e := spec.New()
+	if setup != nil {
+		if err := setup(e); err != nil {
+			return Result{}, fmt.Errorf("setup: %w", err)
+		}
+	}
+	var wg sync.WaitGroup
+	stats := make([]stm.Stats, threads)
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			th := e.NewThread(worker + 1)
+			rng := util.NewRand(uint64(worker)*0x2545f4914f6cdd1d + 99)
+			work(e, th, worker, threads, rng)
+			stats[worker] = th.Stats()
+		}(i)
+	}
+	wg.Wait()
+	res := Result{Spec: spec, Threads: threads, Duration: time.Since(start), CheckedOK: true}
+	for i := 0; i < threads; i++ {
+		res.Stats.Add(stats[i])
+		res.Ops += stats[i].Commits
+	}
+	if check != nil {
+		if err := check(e); err != nil {
+			res.CheckedOK = false
+			return res, fmt.Errorf("post-run check: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Series is one line of a figure: a metric per thread count.
+type Series struct {
+	Name   string
+	Points map[int]float64
+}
+
+// FormatFigure renders series as the paper's figures' data: one row per
+// thread count, one column per series.
+func FormatFigure(title, metric string, threadCounts []int, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# metric: %s\n", title, metric)
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, tc := range threadCounts {
+		fmt.Fprintf(&b, "%-8d", tc)
+		for _, s := range series {
+			v, ok := s.Points[tc]
+			if !ok {
+				fmt.Fprintf(&b, "%22s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%22.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SpeedupTable renders "A vs B" relative speedups (speedup − 1, as the
+// paper's Figure 3 and Table 2 report them).
+func SpeedupTable(title string, rows []string, cols []string, cell func(row, col string) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (speedup - 1)\n%-18s", title, "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s", r)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%14.2f", cell(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMeanSpeedup returns the average of pairwise speedups-minus-one used
+// by Figure 13 (average speedup of one configuration against the others).
+func GeoMeanSpeedup(mine float64, others []float64) float64 {
+	if len(others) == 0 || mine <= 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, o := range others {
+		if o > 0 {
+			sum += mine/o - 1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ThreadCounts is the paper's sweep: 1..8 threads.
+var ThreadCounts = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+// SortSpecs orders specs deterministically for stable output.
+func SortSpecs(specs []EngineSpec) {
+	sort.Slice(specs, func(i, j int) bool {
+		return specs[i].DisplayName() < specs[j].DisplayName()
+	})
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+func TestEngineSpecFactory(t *testing.T) {
+	cases := []struct {
+		spec EngineSpec
+		name string
+	}{
+		{EngineSpec{Kind: "swisstm"}, "SwissTM"},
+		{EngineSpec{Kind: "swisstm", Policy: "timid"}, "SwissTM(timid)"},
+		{EngineSpec{Kind: "tl2"}, "TL2"},
+		{EngineSpec{Kind: "tinystm"}, "TinySTM"},
+		{EngineSpec{Kind: "rstm", Acquire: "lazy", Manager: "greedy"}, "RSTM(lazy/greedy)"},
+		{EngineSpec{Kind: "rstm", Label: "RSTM"}, "RSTM"},
+	}
+	for _, c := range cases {
+		if got := c.spec.DisplayName(); got != c.name {
+			t.Errorf("DisplayName(%+v) = %q, want %q", c.spec, got, c.name)
+		}
+		e := c.spec.New()
+		if e == nil {
+			t.Fatalf("New(%+v) returned nil", c.spec)
+		}
+		// Every engine must run a trivial transaction.
+		th := e.NewThread(0)
+		var h stm.Handle
+		th.Atomic(func(tx stm.Tx) {
+			h = tx.NewObject(1)
+			tx.WriteField(h, 0, 5)
+		})
+		th.Atomic(func(tx stm.Tx) {
+			if tx.ReadField(h, 0) != 5 {
+				t.Errorf("%s: lost write", c.spec.DisplayName())
+			}
+		})
+	}
+}
+
+func TestUnknownEngineKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown engine kind")
+		}
+	}()
+	EngineSpec{Kind: "nope"}.New()
+}
+
+func TestMeasureThroughputCountsOps(t *testing.T) {
+	var h stm.Handle
+	w := Workload{
+		Setup: func(e stm.STM) error {
+			th := e.NewThread(0)
+			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+		},
+	}
+	res, err := MeasureThroughput(EngineSpec{Kind: "swisstm"}, w, 2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Throughput() == 0 {
+		t.Fatal("no operations measured")
+	}
+	if res.Stats.Commits < res.Ops {
+		t.Fatalf("commits %d < ops %d (each op commits ≥ once)", res.Stats.Commits, res.Ops)
+	}
+}
+
+func TestMeasureWorkConservation(t *testing.T) {
+	// Fixed-work: all tasks processed exactly once across workers.
+	const tasks = 1000
+	var h stm.Handle
+	cursor := make(chan int, tasks)
+	for i := 0; i < tasks; i++ {
+		cursor <- i
+	}
+	close(cursor)
+	res, err := MeasureWork(EngineSpec{Kind: "tinystm"},
+		func(e stm.STM) error {
+			th := e.NewThread(0)
+			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			return nil
+		},
+		func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+			for range cursor {
+				th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+			}
+		},
+		func(e stm.STM) error {
+			th := e.NewThread(10)
+			var got stm.Word
+			th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+			if got != tasks {
+				t.Errorf("processed %d tasks, want %d", got, tasks)
+			}
+			return nil
+		},
+		3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CheckedOK {
+		t.Fatal("check did not run")
+	}
+}
+
+func TestFormatFigure(t *testing.T) {
+	out := FormatFigure("Test", "tx/s", []int{1, 2},
+		[]Series{{Name: "A", Points: map[int]float64{1: 10, 2: 20}},
+			{Name: "B", Points: map[int]float64{1: 5}}})
+	for _, want := range []string{"# Test", "tx/s", "A", "B", "10.00", "20.00", "5.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	// 2× faster than one peer, equal to another: mean of (1.0, 0.0) = 0.5.
+	if got := GeoMeanSpeedup(2, []float64{1, 2}); got != 0.5 {
+		t.Fatalf("GeoMeanSpeedup = %v, want 0.5", got)
+	}
+	if got := GeoMeanSpeedup(0, []float64{1}); got != 0 {
+		t.Fatalf("zero merit should give 0, got %v", got)
+	}
+	if got := GeoMeanSpeedup(1, nil); got != 0 {
+		t.Fatalf("no peers should give 0, got %v", got)
+	}
+}

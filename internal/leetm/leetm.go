@@ -1,0 +1,362 @@
+// Package leetm implements the Lee-TM benchmark (Ansari et al., ICA3PP
+// 2008): transactional circuit routing with Lee's algorithm. Each
+// transaction routes one two-pin net on a shared grid — a large, regular
+// transaction that first *reads* many cells (breadth-first expansion
+// looking for a free path) and then *writes* a few (laying the track),
+// the access pattern the paper uses in Figure 4 and, with an injected
+// irregularity, in Figure 8.
+//
+// The original distribution's "memory" and "main" circuit boards are not
+// redistributable; Boards are generated synthetically instead (see
+// MemoryBoard and MainBoard) with the same relationship — "main" is
+// larger with more and longer nets — as documented in DESIGN.md §2.
+//
+// Grid cells are 1-field objects ("very simple objects — each can be
+// represented as a single integer variable", §2.2), so the benchmark runs
+// on object-based RSTM as well as the word-based engines.
+package leetm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Net is one two-pin connection request.
+type Net struct {
+	ID             int // 1-based; 0 denotes a free cell
+	SX, SY, TX, TY int
+}
+
+// Board is a routing problem: a grid plus a list of nets. Like the
+// original Lee-TM boards, routing uses two layers connected by vias at
+// every cell; pins are through-holes blocking both layers.
+type Board struct {
+	Name string
+	W, H int
+	Nets []Net
+	// IrregularPct, when > 0, adds the paper's §5 irregularity: every
+	// routing transaction reads a single shared object Oc, and this
+	// percentage of transactions also update it.
+	IrregularPct int
+}
+
+// GenBoard creates a deterministic synthetic board with n nets whose pins
+// are at least minLen and at most maxLen apart (Manhattan distance).
+func GenBoard(name string, w, h, n, minLen, maxLen int, seed uint64) Board {
+	rng := util.NewRand(seed)
+	b := Board{Name: name, W: w, H: h}
+	used := map[int]bool{}
+	pick := func() (int, int) {
+		for {
+			x, y := rng.Intn(w), rng.Intn(h)
+			if !used[y*w+x] {
+				used[y*w+x] = true
+				return x, y
+			}
+		}
+	}
+	for id := 1; id <= n; id++ {
+		for try := 0; ; try++ {
+			sx, sy := pick()
+			tx, ty := pick()
+			d := abs(sx-tx) + abs(sy-ty)
+			if d >= minLen && d <= maxLen {
+				b.Nets = append(b.Nets, Net{ID: id, SX: sx, SY: sy, TX: tx, TY: ty})
+				break
+			}
+			used[sy*w+sx] = false
+			used[ty*w+tx] = false
+			if try > 1000 {
+				panic("leetm: cannot place net; board too dense")
+			}
+		}
+	}
+	return b
+}
+
+// MemoryBoard is the stand-in for Lee-TM's "memory" input: a moderately
+// sized grid with many short, regular connections (a memory array's bus
+// structure).
+func MemoryBoard() Board { return GenBoard("memory", 128, 128, 280, 6, 40, 0x11ee) }
+
+// MainBoard is the stand-in for Lee-TM's "main" input: a larger grid with
+// more and longer nets, which makes transactions bigger and contention
+// higher (the paper's main board behaves the same way relative to
+// memory).
+func MainBoard() Board { return GenBoard("main", 192, 192, 420, 12, 90, 0x3a1b) }
+
+// Router is a Lee-TM instance bound to an engine.
+type Router struct {
+	E     stm.STM
+	Board Board
+	Cells []stm.Handle // W*H grid cell objects, row-major
+	Oc    stm.Handle   // the irregularity hot-spot object (Figure 8)
+
+	Routed  atomic.Uint64 // successfully routed nets
+	Failed  atomic.Uint64 // nets with no free path (not an error)
+	nextNet atomic.Uint64 // work-queue cursor
+	flags   []atomic.Bool // per-net routed flag (for verification)
+}
+
+// Layers is the number of routing layers (Lee-TM boards have two).
+const Layers = 2
+
+// Setup allocates the grid on thread 0.
+func Setup(e stm.STM, b Board) *Router {
+	r := &Router{E: e, Board: b, Cells: make([]stm.Handle, b.W*b.H*Layers)}
+	th := e.NewThread(0)
+	// Allocate in row batches to bound transaction size.
+	for z := 0; z < Layers; z++ {
+		for y := 0; y < b.H; y++ {
+			base := (z*b.H + y) * b.W
+			th.Atomic(func(tx stm.Tx) {
+				for x := 0; x < b.W; x++ {
+					r.Cells[base+x] = tx.NewObject(1)
+				}
+			})
+		}
+	}
+	th.Atomic(func(tx stm.Tx) { r.Oc = tx.NewObject(1) })
+	// Pre-mark every pin with its net id on both layers: pins are
+	// through-holes, obstacles to every other net.
+	th.Atomic(func(tx stm.Tx) {
+		for _, net := range b.Nets {
+			for z := 0; z < Layers; z++ {
+				off := z * b.W * b.H
+				tx.WriteField(r.Cells[off+net.SY*b.W+net.SX], 0, stm.Word(net.ID))
+				tx.WriteField(r.Cells[off+net.TY*b.W+net.TX], 0, stm.Word(net.ID))
+			}
+		}
+	})
+	r.flags = make([]atomic.Bool, len(b.Nets)+1)
+	return r
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// scratch is per-worker non-transactional expansion state, reset by
+// generation stamping rather than clearing.
+type scratch struct {
+	dist []int32
+	gen  []int32
+	cur  int32
+	q    []int32
+}
+
+func (r *Router) newScratch() *scratch {
+	n := r.Board.W * r.Board.H * Layers
+	return &scratch{dist: make([]int32, n), gen: make([]int32, n), q: make([]int32, 0, n)}
+}
+
+var dirs = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// neighbors appends c's grid neighbors (4 in-plane + the via to the other
+// layer) to buf and returns it.
+func (r *Router) neighbors(c int32, buf []int32) []int32 {
+	b := r.Board
+	plane := int32(b.W * b.H)
+	z := c / plane
+	rest := c % plane
+	cx, cy := int(rest)%b.W, int(rest)/b.W
+	for _, dir := range dirs {
+		nx, ny := cx+dir[0], cy+dir[1]
+		if nx < 0 || ny < 0 || nx >= b.W || ny >= b.H {
+			continue
+		}
+		buf = append(buf, z*plane+int32(ny*b.W+nx))
+	}
+	buf = append(buf, (1-z)*plane+rest) // via
+	return buf
+}
+
+// routeOne attempts to route net inside tx. It returns false when no free
+// path exists. The expansion reads cell occupancy transactionally (the
+// long read phase); the backtrack writes the path (the short write
+// phase).
+func (r *Router) routeOne(tx stm.Tx, net Net, sc *scratch, rng *util.Rand) bool {
+	b := r.Board
+	if b.IrregularPct > 0 {
+		// The §5 irregularity: everybody reads Oc…
+		v := tx.ReadField(r.Oc, 0)
+		if int(rng.Next()%100) < b.IrregularPct {
+			// …and a fraction also writes it, creating a read/write
+			// conflict with every concurrent routing transaction.
+			tx.WriteField(r.Oc, 0, v+1)
+		}
+	}
+	sc.cur++
+	w := b.W
+	src := int32(net.SY*w + net.SX) // pins live on layer 0
+	dst := int32(net.TY*w + net.TX)
+	sc.q = sc.q[:0]
+	sc.q = append(sc.q, src)
+	sc.gen[src] = sc.cur
+	sc.dist[src] = 0
+	found := false
+	var nbuf [5]int32
+	for head := 0; head < len(sc.q) && !found; head++ {
+		c := sc.q[head]
+		d := sc.dist[c]
+		for _, n := range r.neighbors(c, nbuf[:0]) {
+			if sc.gen[n] == sc.cur {
+				continue
+			}
+			sc.gen[n] = sc.cur
+			if n == dst {
+				sc.dist[n] = d + 1
+				found = true
+				break
+			}
+			// The transactional read of the expansion phase. Occupied
+			// cells (tracks and other nets' pins) block the wavefront;
+			// mark them with a poisoned distance so the backtrack can
+			// never step onto one through a stale value. The dst pin on
+			// layer 1 is also poisoned here (it carries our own id), so
+			// only the true layer-0 dst terminates the search.
+			if tx.ReadField(r.Cells[n], 0) != 0 {
+				sc.dist[n] = -1
+				continue
+			}
+			sc.dist[n] = d + 1
+			sc.q = append(sc.q, n)
+		}
+	}
+	if !found {
+		return false
+	}
+	// Backtrack: walk from dst to src along strictly decreasing distance,
+	// writing the net id (the write phase).
+	id := stm.Word(net.ID)
+	c := dst
+	tx.WriteField(r.Cells[dst], 0, id)
+	for c != src {
+		d := sc.dist[c]
+		next := int32(-1)
+		for _, n := range r.neighbors(c, nbuf[:0]) {
+			if sc.gen[n] == sc.cur && sc.dist[n] == d-1 {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			panic("leetm: backtrack lost the wavefront")
+		}
+		tx.WriteField(r.Cells[next], 0, id)
+		c = next
+	}
+	return true
+}
+
+// Work is the fixed-work body: workers pull nets from the shared cursor
+// until all are routed. It matches harness.WorkFn.
+func (r *Router) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	sc := r.newScratch()
+	for {
+		i := r.nextNet.Add(1) - 1
+		if i >= uint64(len(r.Board.Nets)) {
+			return
+		}
+		net := r.Board.Nets[i]
+		ok := false
+		th.Atomic(func(tx stm.Tx) { ok = r.routeOne(tx, net, sc, rng) })
+		if ok {
+			r.Routed.Add(1)
+			r.flags[net.ID].Store(true)
+		} else {
+			r.Failed.Add(1)
+		}
+	}
+}
+
+// Reset clears routing state so the same router can be reused (tests).
+func (r *Router) Reset() {
+	th := r.E.NewThread(0)
+	for i := 0; i < len(r.Cells); i += r.Board.W {
+		i := i
+		th.Atomic(func(tx stm.Tx) {
+			for k := i; k < i+r.Board.W && k < len(r.Cells); k++ {
+				tx.WriteField(r.Cells[k], 0, 0)
+			}
+		})
+	}
+	th.Atomic(func(tx stm.Tx) {
+		for _, net := range r.Board.Nets {
+			for z := 0; z < Layers; z++ {
+				off := z * r.Board.W * r.Board.H
+				tx.WriteField(r.Cells[off+net.SY*r.Board.W+net.SX], 0, stm.Word(net.ID))
+				tx.WriteField(r.Cells[off+net.TY*r.Board.W+net.TX], 0, stm.Word(net.ID))
+			}
+		}
+	})
+	r.Routed.Store(0)
+	r.Failed.Store(0)
+	r.nextNet.Store(0)
+	for i := range r.flags {
+		r.flags[i].Store(false)
+	}
+}
+
+// Check verifies the post-conditions: each routed net's pins are
+// connected by a path of its own id, and every occupied cell belongs to
+// exactly one net (implicit: cells hold one id).
+func (r *Router) Check() error {
+	th := r.E.NewThread(stm.MaxThreads - 1)
+	b := r.Board
+	grid := make([]stm.Word, b.W*b.H*Layers)
+	// Snapshot in chunks to keep read sets moderate.
+	for i := 0; i < len(grid); i += b.W {
+		i := i
+		th.Atomic(func(tx stm.Tx) {
+			for k := i; k < i+b.W && k < len(grid); k++ {
+				grid[k] = tx.ReadField(r.Cells[k], 0)
+			}
+		})
+	}
+	routed := 0
+	for _, net := range b.Nets {
+		if !r.flags[net.ID].Load() {
+			continue // not routed (no free path); fine
+		}
+		src := net.SY*b.W + net.SX
+		dst := net.TY*b.W + net.TX
+		if grid[src] != stm.Word(net.ID) {
+			return fmt.Errorf("leetm: net %d's source pin was overwritten", net.ID)
+		}
+		// BFS over own-id cells, across both layers.
+		seen := make(map[int32]bool, 64)
+		stack := []int32{int32(src)}
+		seen[int32(src)] = true
+		ok := false
+		var nbuf [5]int32
+		for len(stack) > 0 && !ok {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c == int32(dst) {
+				ok = true
+				break
+			}
+			for _, n := range r.neighbors(c, nbuf[:0]) {
+				if !seen[n] && grid[n] == stm.Word(net.ID) {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("leetm: net %d's pins are not connected", net.ID)
+		}
+		routed++
+	}
+	if routed != int(r.Routed.Load()) {
+		return fmt.Errorf("leetm: %d nets verified routed, %d claimed", routed, r.Routed.Load())
+	}
+	return nil
+}

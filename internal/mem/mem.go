@@ -1,0 +1,74 @@
+// Package mem provides the flat transactional word arena that stands in for
+// the raw C heap of the original SwissTM implementation.
+//
+// Go's garbage collector rules out instrumenting arbitrary addresses, so
+// every STM engine in this repository operates on a single preallocated
+// arena of 64-bit words. An address (Addr) is simply a word index; the
+// engines map addresses onto lock-table stripes with the shift-and-mask
+// scheme of the paper's Figure 1.
+//
+// All word accesses are atomic so that the invisible-read protocols of the
+// engines (which read data words while concurrent committers write them)
+// are well-defined under the Go memory model.
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Word is the unit of transactional storage: one 64-bit machine word.
+type Word = uint64
+
+// Addr is a word index into an Arena. Address 0 is valid but, by
+// convention, allocation starts at 1 so that 0 can serve as a nil handle.
+type Addr = uint32
+
+// Arena is a fixed-capacity flat array of transactional words with a
+// lock-free bump allocator. It is the shared "heap" all transactions
+// operate on.
+type Arena struct {
+	words []atomic.Uint64
+	next  atomic.Uint64 // next free word index
+}
+
+// NewArena returns an arena with capacity for capWords words.
+// Word index 0 is reserved (the nil handle), so usable capacity is
+// capWords-1 words.
+func NewArena(capWords int) *Arena {
+	if capWords < 2 {
+		capWords = 2
+	}
+	a := &Arena{words: make([]atomic.Uint64, capWords)}
+	a.next.Store(1) // reserve index 0 as nil
+	return a
+}
+
+// Alloc reserves n contiguous words and returns the address of the first.
+// It never returns 0. Alloc panics if the arena is exhausted: benchmarks
+// size their arenas up front, and exhaustion is a configuration error, not
+// a runtime condition to handle.
+func (a *Arena) Alloc(n uint32) Addr {
+	if n == 0 {
+		n = 1
+	}
+	base := a.next.Add(uint64(n)) - uint64(n)
+	if base+uint64(n) > uint64(len(a.words)) {
+		panic(fmt.Sprintf("mem: arena exhausted (cap %d words, want %d more)", len(a.words), n))
+	}
+	return Addr(base)
+}
+
+// Load reads the word at addr atomically (non-transactional access; used by
+// engine internals and single-threaded setup code).
+func (a *Arena) Load(addr Addr) Word { return a.words[addr].Load() }
+
+// Store writes the word at addr atomically (non-transactional access).
+func (a *Arena) Store(addr Addr, v Word) { a.words[addr].Store(v) }
+
+// Cap returns the arena capacity in words.
+func (a *Arena) Cap() int { return len(a.words) }
+
+// Used returns the number of words allocated so far (including the reserved
+// word 0).
+func (a *Arena) Used() int { return int(a.next.Load()) }

@@ -1,0 +1,441 @@
+// Package rbtree implements the transactional red-black tree
+// microbenchmark — the workload with the shortest, simplest transactions
+// in the paper's evaluation (Figure 5: range 16384, 20% updates; also
+// Figure 10's substrate for the contention-manager ablation).
+//
+// The tree is written against the object API, so it runs on all four
+// engines, including object-based RSTM; each node is one 6-field object.
+// The algorithms are the textbook insert/delete with parent pointers and
+// rebalancing fix-ups, executed entirely inside the caller's transaction.
+package rbtree
+
+import "swisstm/internal/stm"
+
+// Node field indices.
+const (
+	fKey uint32 = iota
+	fVal
+	fLeft
+	fRight
+	fParent
+	fColor
+	nodeFields
+)
+
+const (
+	red   stm.Word = 0
+	black stm.Word = 1
+)
+
+// nilH is the nil node handle.
+const nilH stm.Handle = 0
+
+// Tree is a transactional red-black tree mapping uint64 keys to uint64
+// values. The root pointer lives in a 1-field holder object so that the
+// tree itself is reachable transactionally.
+type Tree struct {
+	holder stm.Handle
+}
+
+// New creates an empty tree using th for the allocation transaction.
+func New(th stm.Thread) *Tree {
+	t := &Tree{}
+	th.Atomic(func(tx stm.Tx) { t.holder = tx.NewObject(1) })
+	return t
+}
+
+func (t *Tree) root(tx stm.Tx) stm.Handle       { return tx.ReadField(t.holder, 0) }
+func (t *Tree) setRoot(tx stm.Tx, h stm.Handle) { tx.WriteField(t.holder, 0, h) }
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(tx stm.Tx, key stm.Word) (stm.Word, bool) {
+	n := t.root(tx)
+	for n != nilH {
+		k := tx.ReadField(n, fKey)
+		switch {
+		case key == k:
+			return tx.ReadField(n, fVal), true
+		case key < k:
+			n = tx.ReadField(n, fLeft)
+		default:
+			n = tx.ReadField(n, fRight)
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest key in the tree (ok=false when empty).
+func (t *Tree) Min(tx stm.Tx) (stm.Word, bool) {
+	n := t.root(tx)
+	if n == nilH {
+		return 0, false
+	}
+	for {
+		l := tx.ReadField(n, fLeft)
+		if l == nilH {
+			return tx.ReadField(n, fKey), true
+		}
+		n = l
+	}
+}
+
+// RangeCount counts keys in [lo, hi] by in-order traversal — used by the
+// STMBench7-style index scans and by tests.
+func (t *Tree) RangeCount(tx stm.Tx, lo, hi stm.Word) int {
+	return t.rangeCount(tx, t.root(tx), lo, hi)
+}
+
+func (t *Tree) rangeCount(tx stm.Tx, n stm.Handle, lo, hi stm.Word) int {
+	if n == nilH {
+		return 0
+	}
+	k := tx.ReadField(n, fKey)
+	cnt := 0
+	if lo < k {
+		cnt += t.rangeCount(tx, tx.ReadField(n, fLeft), lo, hi)
+	}
+	if lo <= k && k <= hi {
+		cnt++
+	}
+	if k < hi {
+		cnt += t.rangeCount(tx, tx.ReadField(n, fRight), lo, hi)
+	}
+	return cnt
+}
+
+// Visit calls fn for every (key, value) pair in ascending key order.
+func (t *Tree) Visit(tx stm.Tx, fn func(k, v stm.Word)) {
+	t.visit(tx, t.root(tx), fn)
+}
+
+func (t *Tree) visit(tx stm.Tx, n stm.Handle, fn func(k, v stm.Word)) {
+	if n == nilH {
+		return
+	}
+	t.visit(tx, tx.ReadField(n, fLeft), fn)
+	fn(tx.ReadField(n, fKey), tx.ReadField(n, fVal))
+	t.visit(tx, tx.ReadField(n, fRight), fn)
+}
+
+// Insert adds key→val, returning false (and updating the value) when the
+// key already existed.
+func (t *Tree) Insert(tx stm.Tx, key, val stm.Word) bool {
+	parent := nilH
+	n := t.root(tx)
+	for n != nilH {
+		k := tx.ReadField(n, fKey)
+		if key == k {
+			tx.WriteField(n, fVal, val)
+			return false
+		}
+		parent = n
+		if key < k {
+			n = tx.ReadField(n, fLeft)
+		} else {
+			n = tx.ReadField(n, fRight)
+		}
+	}
+	node := tx.NewObject(nodeFields)
+	tx.WriteField(node, fKey, key)
+	tx.WriteField(node, fVal, val)
+	tx.WriteField(node, fParent, parent)
+	tx.WriteField(node, fColor, red)
+	if parent == nilH {
+		t.setRoot(tx, node)
+	} else if key < tx.ReadField(parent, fKey) {
+		tx.WriteField(parent, fLeft, node)
+	} else {
+		tx.WriteField(parent, fRight, node)
+	}
+	t.insertFixup(tx, node)
+	return true
+}
+
+func (t *Tree) rotateLeft(tx stm.Tx, x stm.Handle) {
+	y := tx.ReadField(x, fRight)
+	yl := tx.ReadField(y, fLeft)
+	tx.WriteField(x, fRight, yl)
+	if yl != nilH {
+		tx.WriteField(yl, fParent, x)
+	}
+	xp := tx.ReadField(x, fParent)
+	tx.WriteField(y, fParent, xp)
+	if xp == nilH {
+		t.setRoot(tx, y)
+	} else if tx.ReadField(xp, fLeft) == x {
+		tx.WriteField(xp, fLeft, y)
+	} else {
+		tx.WriteField(xp, fRight, y)
+	}
+	tx.WriteField(y, fLeft, x)
+	tx.WriteField(x, fParent, y)
+}
+
+func (t *Tree) rotateRight(tx stm.Tx, x stm.Handle) {
+	y := tx.ReadField(x, fLeft)
+	yr := tx.ReadField(y, fRight)
+	tx.WriteField(x, fLeft, yr)
+	if yr != nilH {
+		tx.WriteField(yr, fParent, x)
+	}
+	xp := tx.ReadField(x, fParent)
+	tx.WriteField(y, fParent, xp)
+	if xp == nilH {
+		t.setRoot(tx, y)
+	} else if tx.ReadField(xp, fRight) == x {
+		tx.WriteField(xp, fRight, y)
+	} else {
+		tx.WriteField(xp, fLeft, y)
+	}
+	tx.WriteField(y, fRight, x)
+	tx.WriteField(x, fParent, y)
+}
+
+func colorOf(tx stm.Tx, n stm.Handle) stm.Word {
+	if n == nilH {
+		return black
+	}
+	return tx.ReadField(n, fColor)
+}
+
+func setColor(tx stm.Tx, n stm.Handle, c stm.Word) {
+	if n != nilH {
+		tx.WriteField(n, fColor, c)
+	}
+}
+
+func (t *Tree) insertFixup(tx stm.Tx, z stm.Handle) {
+	for {
+		zp := tx.ReadField(z, fParent)
+		if zp == nilH || colorOf(tx, zp) == black {
+			break
+		}
+		zpp := tx.ReadField(zp, fParent)
+		if zpp == nilH {
+			break
+		}
+		if tx.ReadField(zpp, fLeft) == zp {
+			u := tx.ReadField(zpp, fRight) // uncle
+			if colorOf(tx, u) == red {
+				setColor(tx, zp, black)
+				setColor(tx, u, black)
+				setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if tx.ReadField(zp, fRight) == z {
+				z = zp
+				t.rotateLeft(tx, z)
+				zp = tx.ReadField(z, fParent)
+				zpp = tx.ReadField(zp, fParent)
+			}
+			setColor(tx, zp, black)
+			setColor(tx, zpp, red)
+			t.rotateRight(tx, zpp)
+		} else {
+			u := tx.ReadField(zpp, fLeft)
+			if colorOf(tx, u) == red {
+				setColor(tx, zp, black)
+				setColor(tx, u, black)
+				setColor(tx, zpp, red)
+				z = zpp
+				continue
+			}
+			if tx.ReadField(zp, fLeft) == z {
+				z = zp
+				t.rotateRight(tx, z)
+				zp = tx.ReadField(z, fParent)
+				zpp = tx.ReadField(zp, fParent)
+			}
+			setColor(tx, zp, black)
+			setColor(tx, zpp, red)
+			t.rotateLeft(tx, zpp)
+		}
+	}
+	setColor(tx, t.root(tx), black)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(tx stm.Tx, key stm.Word) bool {
+	z := t.root(tx)
+	for z != nilH {
+		k := tx.ReadField(z, fKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = tx.ReadField(z, fLeft)
+		} else {
+			z = tx.ReadField(z, fRight)
+		}
+	}
+	if z == nilH {
+		return false
+	}
+
+	// y is the node physically removed; x its (possibly nil) child that
+	// moves up; xParent tracks x's parent since x may be nil.
+	y := z
+	if tx.ReadField(z, fLeft) != nilH && tx.ReadField(z, fRight) != nilH {
+		// Two children: splice out the in-order successor instead.
+		y = tx.ReadField(z, fRight)
+		for {
+			l := tx.ReadField(y, fLeft)
+			if l == nilH {
+				break
+			}
+			y = l
+		}
+	}
+	var x stm.Handle
+	if tx.ReadField(y, fLeft) != nilH {
+		x = tx.ReadField(y, fLeft)
+	} else {
+		x = tx.ReadField(y, fRight)
+	}
+	xParent := tx.ReadField(y, fParent)
+	if x != nilH {
+		tx.WriteField(x, fParent, xParent)
+	}
+	if xParent == nilH {
+		t.setRoot(tx, x)
+	} else if tx.ReadField(xParent, fLeft) == y {
+		tx.WriteField(xParent, fLeft, x)
+	} else {
+		tx.WriteField(xParent, fRight, x)
+	}
+	if y != z {
+		// Move successor's payload into z (keys move, nodes stay).
+		tx.WriteField(z, fKey, tx.ReadField(y, fKey))
+		tx.WriteField(z, fVal, tx.ReadField(y, fVal))
+	}
+	if colorOf(tx, y) == black {
+		t.deleteFixup(tx, x, xParent)
+	}
+	return true
+}
+
+func (t *Tree) deleteFixup(tx stm.Tx, x, xParent stm.Handle) {
+	for x != t.root(tx) && colorOf(tx, x) == black {
+		if xParent == nilH {
+			break
+		}
+		if tx.ReadField(xParent, fLeft) == x {
+			w := tx.ReadField(xParent, fRight) // sibling
+			if colorOf(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xParent, red)
+				t.rotateLeft(tx, xParent)
+				w = tx.ReadField(xParent, fRight)
+			}
+			if w == nilH {
+				x = xParent
+				xParent = tx.ReadField(x, fParent)
+				continue
+			}
+			wl := tx.ReadField(w, fLeft)
+			wr := tx.ReadField(w, fRight)
+			if colorOf(tx, wl) == black && colorOf(tx, wr) == black {
+				setColor(tx, w, red)
+				x = xParent
+				xParent = tx.ReadField(x, fParent)
+				continue
+			}
+			if colorOf(tx, wr) == black {
+				setColor(tx, wl, black)
+				setColor(tx, w, red)
+				t.rotateRight(tx, w)
+				w = tx.ReadField(xParent, fRight)
+			}
+			setColor(tx, w, colorOf(tx, xParent))
+			setColor(tx, xParent, black)
+			setColor(tx, tx.ReadField(w, fRight), black)
+			t.rotateLeft(tx, xParent)
+			x = t.root(tx)
+			break
+		} else {
+			w := tx.ReadField(xParent, fLeft)
+			if colorOf(tx, w) == red {
+				setColor(tx, w, black)
+				setColor(tx, xParent, red)
+				t.rotateRight(tx, xParent)
+				w = tx.ReadField(xParent, fLeft)
+			}
+			if w == nilH {
+				x = xParent
+				xParent = tx.ReadField(x, fParent)
+				continue
+			}
+			wl := tx.ReadField(w, fLeft)
+			wr := tx.ReadField(w, fRight)
+			if colorOf(tx, wr) == black && colorOf(tx, wl) == black {
+				setColor(tx, w, red)
+				x = xParent
+				xParent = tx.ReadField(x, fParent)
+				continue
+			}
+			if colorOf(tx, wl) == black {
+				setColor(tx, wr, black)
+				setColor(tx, w, red)
+				t.rotateLeft(tx, w)
+				w = tx.ReadField(xParent, fLeft)
+			}
+			setColor(tx, w, colorOf(tx, xParent))
+			setColor(tx, xParent, black)
+			setColor(tx, tx.ReadField(w, fLeft), black)
+			t.rotateRight(tx, xParent)
+			x = t.root(tx)
+			break
+		}
+	}
+	setColor(tx, x, black)
+}
+
+// CheckInvariants walks the whole tree inside tx and reports the node
+// count. It panics with a descriptive message when a red-black or BST
+// invariant is violated (tests only).
+func (t *Tree) CheckInvariants(tx stm.Tx) int {
+	root := t.root(tx)
+	if root == nilH {
+		return 0
+	}
+	if colorOf(tx, root) != black {
+		panic("rbtree: root is red")
+	}
+	count, _ := t.check(tx, root, nilH, 0, ^stm.Word(0))
+	return count
+}
+
+func (t *Tree) check(tx stm.Tx, n, parent stm.Handle, lo, hi stm.Word) (count, blackHeight int) {
+	if n == nilH {
+		return 0, 1
+	}
+	if tx.ReadField(n, fParent) != parent {
+		panic("rbtree: bad parent pointer")
+	}
+	k := tx.ReadField(n, fKey)
+	if k < lo || k > hi {
+		panic("rbtree: BST order violated")
+	}
+	c := colorOf(tx, n)
+	l := tx.ReadField(n, fLeft)
+	r := tx.ReadField(n, fRight)
+	if c == red && (colorOf(tx, l) == red || colorOf(tx, r) == red) {
+		panic("rbtree: red node with red child")
+	}
+	var lc, lb, rc, rb int
+	if k > 0 {
+		lc, lb = t.check(tx, l, n, lo, k-1)
+	} else {
+		lc, lb = t.check(tx, l, n, lo, 0)
+	}
+	rc, rb = t.check(tx, r, n, k+1, hi)
+	if lb != rb {
+		panic("rbtree: black height mismatch")
+	}
+	bh := lb
+	if c == black {
+		bh++
+	}
+	return lc + rc + 1, bh
+}

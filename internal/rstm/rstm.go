@@ -1,0 +1,654 @@
+// Package rstm implements an object-based, obstruction-free software
+// transactional memory in the style of RSTM version 3 (Marathe et al.,
+// "Lowering the Overhead of Software Transactional Memory", TRANSACT
+// 2006), the third baseline of the paper's evaluation.
+//
+// Unlike the word-based engines, RSTM logs whole objects: each object
+// holds an atomic pointer to an immutable locator {owner, old, new}. The
+// object's current committed data resolves through the owner's status —
+// new if the owner committed, old otherwise. Acquiring an object means
+// CASing in a fresh locator whose new-data is a private clone; committing
+// means a single CAS of the owner's status word, which atomically makes
+// every acquired object's clone the current version. Any transaction can
+// abort any other by CASing its status (obstruction freedom); who yields
+// is decided by a pluggable contention manager (package cm).
+//
+// The paper exercises four RSTM variants (§2.1): eager vs lazy
+// acquisition and visible vs invisible reads; all four are implemented,
+// along with the global-commit-counter validation heuristic that bounds
+// the cost of invisible-read revalidation.
+//
+// Per-object cloning gives RSTM its characteristic cost profile — high
+// overhead on small, simple objects (Figures 4 and 5) — which this
+// implementation reproduces naturally.
+package rstm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"swisstm/internal/cm"
+	"swisstm/internal/mem"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// AcquireMode selects when writers acquire objects.
+type AcquireMode int
+
+const (
+	// Eager acquires at open time (encounter-time W/W detection).
+	Eager AcquireMode = iota
+	// Lazy acquires at commit time (commit-time W/W detection).
+	Lazy
+)
+
+func (m AcquireMode) String() string {
+	if m == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// ReadMode selects whether readers announce themselves.
+type ReadMode int
+
+const (
+	// Invisible readers validate their own read sets.
+	Invisible ReadMode = iota
+	// Visible readers register in per-object slots; writers abort them.
+	Visible
+)
+
+func (m ReadMode) String() string {
+	if m == Invisible {
+		return "invisible"
+	}
+	return "visible"
+}
+
+// visSlots is the size of each object's visible-reader table. It bounds
+// the number of threads that may concurrently hold visible reads of one
+// object; the paper's experiments use at most 8 threads.
+const visSlots = 16
+
+// Config parameterizes an RSTM engine.
+type Config struct {
+	Acquire AcquireMode
+	Reads   ReadMode
+	// Manager arbitrates conflicts (default: Polka, the paper's default
+	// RSTM configuration).
+	Manager cm.Manager
+	// BackoffUnit scales the post-abort randomized back-off.
+	BackoffUnit int
+}
+
+func (c *Config) fill() {
+	if c.Manager == nil {
+		c.Manager = cm.NewPolka()
+	}
+	if c.BackoffUnit == 0 {
+		c.BackoffUnit = 512
+	}
+}
+
+const (
+	statusActive    = uint32(0)
+	statusCommitted = uint32(1)
+	statusAborted   = uint32(2)
+)
+
+// attempt is one execution attempt of a transaction. Locators reference
+// the attempt that installed them, so each retry gets a fresh attempt
+// object and stale locators keep resolving against the right status.
+type attempt struct {
+	status atomic.Uint32
+	state  *cm.TxState // the owning thread's persistent CM state
+}
+
+// locator is the immutable triple an object points at (DSTM design).
+type locator struct {
+	owner *attempt // nil for pre-initialized clean objects
+	old   []stm.Word
+	new   []stm.Word
+}
+
+// object is one transactional object.
+type object struct {
+	loc     atomic.Pointer[locator]
+	readers *[visSlots]atomic.Pointer[attempt] // non-nil in visible-read mode
+}
+
+// chunking of the object table: chunkBits of index inside a chunk.
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	maxChunks = 1 << 14 // 64 Mi objects
+)
+
+// Engine is an RSTM instance.
+type Engine struct {
+	cfg    Config
+	next   atomic.Uint64 // next object handle (0 is nil)
+	chunks [maxChunks]atomic.Pointer[[chunkSize]object]
+	growMu sync.Mutex
+	// commits is the global commit counter of RSTM's invisible-read
+	// validation heuristic, hardened into a parity lock: even values are
+	// stable epochs; a writer makes the counter odd for the short
+	// validate-and-flip critical section of its commit. Invisible readers
+	// only trust data observed under a stable even value, which makes
+	// commit visibility changes atomic with respect to counter changes
+	// (plain "validate when the counter moved" has a window in which a
+	// reader caches the new counter before the writer's status flip and
+	// then misses it — an opacity violation).
+	commits atomic.Uint64
+}
+
+// New creates an RSTM engine.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{cfg: cfg}
+	e.next.Store(1) // handle 0 is the nil reference
+	return e
+}
+
+// Name implements stm.STM.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("RSTM(%s/%s/%s)", e.cfg.Acquire, e.cfg.Reads, e.cfg.Manager.Name())
+}
+
+// Arena implements stm.STM. RSTM is object-based and has no word arena.
+func (e *Engine) Arena() *mem.Arena { return nil }
+
+func (e *Engine) object(h stm.Handle) *object {
+	if h == 0 || h >= e.next.Load() {
+		panic(fmt.Sprintf("rstm: invalid object handle %#x (next %#x)", h, e.next.Load()))
+	}
+	c := e.chunks[h>>chunkBits].Load()
+	if c == nil {
+		panic(fmt.Sprintf("rstm: handle %#x points into an unallocated chunk", h))
+	}
+	return &c[h&(chunkSize-1)]
+}
+
+// newObject allocates an object with nFields zeroed fields.
+func (e *Engine) newObject(nFields uint32) stm.Handle {
+	h := e.next.Add(1) - 1
+	ci := h >> chunkBits
+	if ci >= maxChunks {
+		panic("rstm: object table exhausted")
+	}
+	if e.chunks[ci].Load() == nil {
+		e.growMu.Lock()
+		if e.chunks[ci].Load() == nil {
+			e.chunks[ci].Store(new([chunkSize]object))
+		}
+		e.growMu.Unlock()
+	}
+	o := e.object(h)
+	o.loc.Store(&locator{new: make([]stm.Word, nFields)})
+	if e.cfg.Reads == Visible {
+		o.readers = new([visSlots]atomic.Pointer[attempt])
+	}
+	return h
+}
+
+// current resolves a locator to the object's current committed data.
+func current(loc *locator) []stm.Word {
+	if loc.owner == nil || loc.owner.status.Load() == statusCommitted {
+		return loc.new
+	}
+	return loc.old
+}
+
+// readEntry records one invisible read for validation.
+type readEntry struct {
+	obj  *object
+	data []stm.Word // the slice observed; pointer identity is the version
+}
+
+// lazyWrite is a privately buffered write of the lazy-acquire variant.
+type lazyWrite struct {
+	obj   *object
+	base  []stm.Word // committed data the clone was taken from
+	clone []stm.Word
+}
+
+// txn is a per-thread transaction context.
+type txn struct {
+	e        *Engine
+	id       int
+	cur      *attempt
+	state    cm.TxState
+	readSet  []readEntry
+	writeSet []*object   // eagerly acquired objects (for bookkeeping)
+	lazySet  []lazyWrite // lazy mode: private clones
+	visSet   []*object   // objects where we occupy a visible-reader slot
+	lastCC   uint64      // commit counter at last validation
+	rng      *util.Rand
+	succ     int
+	stats    stm.Stats
+}
+
+// NewThread implements stm.STM.
+func (e *Engine) NewThread(id int) stm.Thread {
+	if id < 0 || id >= stm.MaxThreads {
+		panic("rstm: thread id out of range")
+	}
+	return &txn{
+		e:   e,
+		id:  id,
+		rng: util.NewRand(uint64(id)*0x2545f491 + 11),
+	}
+}
+
+// Stats implements stm.Thread.
+func (t *txn) Stats() stm.Stats { return t.stats }
+
+// Atomic implements stm.Thread.
+func (t *txn) Atomic(body func(stm.Tx)) {
+	restart := false
+	for {
+		t.begin(restart)
+		if t.attemptRun(body) {
+			t.succ = 0
+			return
+		}
+		restart = true
+		t.succ++
+		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+	}
+}
+
+func (t *txn) begin(restart bool) {
+	t.cur = &attempt{state: &t.state}
+	t.readSet = t.readSet[:0]
+	t.writeSet = t.writeSet[:0]
+	t.lazySet = t.lazySet[:0]
+	t.visSet = t.visSet[:0]
+	t.lastCC = t.e.stableEpoch()
+	t.e.cfg.Manager.OnStart(&t.state, restart)
+}
+
+func (t *txn) attemptRun(body func(stm.Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, rb := r.(stm.RollbackSignal); rb {
+				ok = false
+				return
+			}
+			t.cur.status.CompareAndSwap(statusActive, statusAborted)
+			t.dropVisible()
+			panic(r)
+		}
+	}()
+	body(t)
+	t.commit()
+	return true
+}
+
+func (t *txn) rollback(explicit bool) {
+	t.cur.status.CompareAndSwap(statusActive, statusAborted)
+	t.dropVisible()
+	t.stats.Aborts++
+	if explicit {
+		t.stats.AbortsExplicit++
+	}
+	panic(stm.RollbackSignal{Explicit: explicit})
+}
+
+// Restart implements stm.Tx.
+func (t *txn) Restart() { t.rollback(true) }
+
+func (t *txn) killedCheck() {
+	if t.cur.status.Load() == statusAborted {
+		t.stats.AbortsKilled++
+		t.rollback(false)
+	}
+}
+
+// resolveConflict runs the contention manager until the conflict with the
+// owner of loc clears. It returns when the attacker may retry the open
+// (the victim is gone or was aborted); it panics (rollback) when the
+// manager says the attacker dies.
+func (t *txn) resolveConflict(owner *attempt) {
+	for attemptNo := 0; ; attemptNo++ {
+		if owner.status.Load() != statusActive {
+			return // victim finished on its own
+		}
+		switch t.e.cfg.Manager.Resolve(&t.state, owner.state, attemptNo) {
+		case cm.AbortSelf:
+			t.stats.AbortsWW++
+			t.rollback(false)
+		case cm.AbortOther:
+			owner.status.CompareAndSwap(statusActive, statusAborted)
+			return
+		case cm.Wait:
+			t.stats.WaitsCM++
+			t.e.cfg.Manager.WaitBackoff(t.rng, attemptNo)
+			t.killedCheck()
+		}
+	}
+}
+
+// stableEpoch spins until the commit counter holds a stable (even) epoch
+// and returns it.
+func (e *Engine) stableEpoch() uint64 {
+	for {
+		cc := e.commits.Load()
+		if cc&1 == 0 {
+			return cc
+		}
+		runtime.Gosched() // a writer is inside its flip section
+	}
+}
+
+// maybeValidate brings the transaction's epoch up to date, revalidating
+// the read set whenever the epoch moved. It aborts on validation failure.
+func (t *txn) maybeValidate() {
+	for {
+		cc := t.e.commits.Load()
+		if cc == t.lastCC {
+			return
+		}
+		if cc&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		if !t.validate() {
+			t.stats.AbortsValid++
+			t.rollback(false)
+		}
+		if t.e.commits.Load() != cc {
+			continue // a commit landed mid-validation; redo
+		}
+		t.lastCC = cc
+		return
+	}
+}
+
+// openRead returns a consistent snapshot of the object's data for reading.
+func (t *txn) openRead(o *object) []stm.Word {
+	t.killedCheck()
+	// Read-after-write through the lazy buffer.
+	for i := range t.lazySet {
+		if t.lazySet[i].obj == o {
+			return t.lazySet[i].clone
+		}
+	}
+	loc := o.loc.Load()
+	if loc.owner == t.cur {
+		return loc.new // our own acquired object
+	}
+	if t.e.cfg.Reads == Visible {
+		return t.openReadVisible(o, loc)
+	}
+	// Invisible read: resolve current data under a stable epoch; an
+	// active foreign owner does not conflict yet (its redo clone stays
+	// private until it commits).
+	for {
+		t.maybeValidate()
+		cc := t.lastCC
+		loc = o.loc.Load()
+		data := current(loc)
+		if t.e.commits.Load() != cc {
+			continue // a commit raced with the read; resample
+		}
+		t.readSet = append(t.readSet, readEntry{obj: o, data: data})
+		return data
+	}
+}
+
+func (t *txn) openReadVisible(o *object, loc *locator) []stm.Word {
+	// Register in a reader slot first so a racing writer sees us.
+	if !t.registered(o) {
+		slot := -1
+		for i := 0; i < visSlots; i++ {
+			if o.readers[i].Load() == nil && o.readers[i].CompareAndSwap(nil, t.cur) {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			// No slot free: fall back to aborting ourselves; with the
+			// paper's thread counts (≤8) this cannot happen.
+			t.stats.AbortsLocked++
+			t.rollback(false)
+		}
+		t.visSet = append(t.visSet, o)
+	}
+	for {
+		loc = o.loc.Load()
+		if loc.owner == nil || loc.owner == t.cur ||
+			loc.owner.status.Load() != statusActive {
+			t.killedCheck() // a writer may have aborted us while registering
+			return current(loc)
+		}
+		// Read/write conflict with an active writer, detected eagerly
+		// because we are visible.
+		t.resolveConflict(loc.owner)
+	}
+}
+
+// openWrite returns a writable clone of the object's data.
+func (t *txn) openWrite(o *object) []stm.Word {
+	t.killedCheck()
+	if t.e.cfg.Acquire == Lazy {
+		return t.openWriteLazy(o)
+	}
+	for {
+		loc := o.loc.Load()
+		if loc.owner == t.cur {
+			return loc.new
+		}
+		if loc.owner != nil && loc.owner.status.Load() == statusActive {
+			t.resolveConflict(loc.owner)
+			continue
+		}
+		data := current(loc)
+		clone := make([]stm.Word, len(data))
+		copy(clone, data)
+		if o.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: data, new: clone}) {
+			t.afterAcquire(o)
+			t.writeSet = append(t.writeSet, o)
+			return clone
+		}
+	}
+}
+
+// afterAcquire implements post-acquire duties shared by both modes:
+// aborting visible readers and CM/validation bookkeeping.
+func (t *txn) afterAcquire(o *object) {
+	t.e.cfg.Manager.OnOpen(&t.state)
+	if t.e.cfg.Reads == Visible && o.readers != nil {
+		for i := 0; i < visSlots; i++ {
+			r := o.readers[i].Load()
+			if r == nil || r == t.cur || r.status.Load() != statusActive {
+				continue
+			}
+			// Eager read/write conflict: writer vs visible reader.
+			switch t.e.cfg.Manager.Resolve(&t.state, r.state, 0) {
+			case cm.AbortSelf:
+				t.stats.AbortsWW++
+				t.rollback(false)
+			default:
+				// Both AbortOther and Wait kill the reader here: a waiting
+				// writer could deadlock against a reader waiting for us,
+				// so RSTM's writers always clear visible readers.
+				r.status.CompareAndSwap(statusActive, statusAborted)
+			}
+		}
+	}
+	if t.e.cfg.Reads == Invisible {
+		t.maybeValidate()
+	}
+}
+
+func (t *txn) openWriteLazy(o *object) []stm.Word {
+	for i := range t.lazySet {
+		if t.lazySet[i].obj == o {
+			return t.lazySet[i].clone
+		}
+	}
+	// Truly lazy: clone the current committed data without acquiring the
+	// object, even if some transaction holds it right now; the
+	// write/write conflict, if it persists, surfaces only at commit time
+	// (the late detection Figure 6a illustrates). The clone source is
+	// routed through openRead: cloning *is* a read, and it must obey the
+	// same snapshot discipline (stable epoch + read-set entry), or a
+	// transaction could buffer a clone from a newer snapshot than its
+	// earlier reads and act on the torn mix before any validation runs.
+	data := t.openRead(o)
+	clone := make([]stm.Word, len(data))
+	copy(clone, data)
+	t.lazySet = append(t.lazySet, lazyWrite{obj: o, base: data, clone: clone})
+	t.e.cfg.Manager.OnOpen(&t.state)
+	return clone
+}
+
+// validate re-checks every invisible read: the object's current data must
+// still be the slice we observed.
+func (t *txn) validate() bool {
+	for i := range t.readSet {
+		re := &t.readSet[i]
+		loc := re.obj.loc.Load()
+		if len(re.data) == 0 {
+			continue // zero-field objects have no observable state
+		}
+		if loc.owner == t.cur {
+			// We acquired it after reading; our clone descends from the
+			// data we read iff the old pointer matches.
+			if (len(loc.old) > 0 && &loc.old[0] == &re.data[0]) ||
+				(len(loc.new) > 0 && &loc.new[0] == &re.data[0]) {
+				continue
+			}
+			return false
+		}
+		cur := current(loc)
+		if len(cur) == 0 || &cur[0] != &re.data[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// commit finishes the transaction.
+func (t *txn) commit() {
+	t.killedCheck()
+	// Lazy mode: acquire everything now (commit-time W/W detection).
+	for i := range t.lazySet {
+		lw := &t.lazySet[i]
+		for {
+			loc := lw.obj.loc.Load()
+			if loc.owner == t.cur {
+				break
+			}
+			if loc.owner != nil && loc.owner.status.Load() == statusActive {
+				// Never steal from an active owner: arbitrate first.
+				t.resolveConflict(loc.owner)
+				continue
+			}
+			cur := current(loc)
+			if len(cur) > 0 && (len(lw.base) == 0 || &cur[0] != &lw.base[0]) {
+				// Someone committed a new version since we cloned:
+				// our buffered update is stale.
+				t.stats.LockAcquireFail++
+				t.rollback(false)
+			}
+			if lw.obj.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: cur, new: lw.clone}) {
+				t.afterAcquire(lw.obj)
+				break
+			}
+		}
+	}
+	writer := len(t.lazySet) > 0 || len(t.writeSet) > 0
+	if !writer {
+		// Read-only: validate under a stable epoch and finish.
+		if t.e.cfg.Reads == Invisible && len(t.readSet) > 0 {
+			t.maybeValidate()
+		}
+		if !t.cur.status.CompareAndSwap(statusActive, statusCommitted) {
+			t.stats.AbortsKilled++
+			t.rollback(false)
+		}
+		t.dropVisible()
+		t.stats.Commits++
+		return
+	}
+	// Writer: enter the flip section (counter even→odd), validate, flip,
+	// leave (odd→even). The section makes the visibility change atomic
+	// with respect to the validation heuristic; two concurrent writers
+	// whose read and write sets cross cannot both validate-then-flip.
+	for {
+		cc := t.e.stableEpoch()
+		if t.e.commits.CompareAndSwap(cc, cc+1) {
+			break
+		}
+	}
+	ok := t.e.cfg.Reads == Visible || len(t.readSet) == 0 || t.validate()
+	flipped := false
+	if ok {
+		flipped = t.cur.status.CompareAndSwap(statusActive, statusCommitted)
+	}
+	t.e.commits.Add(1) // leave the flip section (back to even)
+	if !ok {
+		t.stats.AbortsValid++
+		t.rollback(false)
+	}
+	if !flipped {
+		t.stats.AbortsKilled++
+		t.rollback(false)
+	}
+	t.dropVisible()
+	t.stats.Commits++
+}
+
+// dropVisible clears our visible-reader registrations.
+func (t *txn) dropVisible() {
+	for _, o := range t.visSet {
+		for i := 0; i < visSlots; i++ {
+			if o.readers[i].Load() == t.cur {
+				o.readers[i].Store(nil)
+			}
+		}
+	}
+	t.visSet = t.visSet[:0]
+}
+
+func (t *txn) registered(o *object) bool {
+	for _, v := range t.visSet {
+		if v == o {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadField implements stm.Tx.
+func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
+	return t.openRead(t.e.object(h))[field]
+}
+
+// WriteField implements stm.Tx.
+func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
+	t.openWrite(t.e.object(h))[field] = v
+}
+
+// NewObject implements stm.Tx.
+func (t *txn) NewObject(fields uint32) stm.Handle { return t.e.newObject(fields) }
+
+// Load implements stm.Tx. RSTM has no word API (the paper cannot run
+// STAMP on RSTM for the same reason, §4 footnote 4).
+func (t *txn) Load(a stm.Addr) stm.Word { panic(stm.ErrWordAPI) }
+
+// Store implements stm.Tx.
+func (t *txn) Store(a stm.Addr, v stm.Word) { panic(stm.ErrWordAPI) }
+
+// AllocWords implements stm.Tx.
+func (t *txn) AllocWords(n uint32) stm.Addr { panic(stm.ErrWordAPI) }
+
+var _ stm.STM = (*Engine)(nil)
+var _ stm.Thread = (*txn)(nil)
+var _ stm.Tx = (*txn)(nil)

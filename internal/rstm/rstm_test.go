@@ -1,0 +1,104 @@
+package rstm
+
+import (
+	"testing"
+
+	"swisstm/internal/cm"
+	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
+)
+
+func TestConformanceVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"eager-invisible-polka", Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewPolka()}},
+		{"eager-invisible-timid", Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewTimid()}},
+		{"eager-invisible-greedy", Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewGreedy()}},
+		{"eager-invisible-serializer", Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewSerializer()}},
+		{"eager-visible-polka", Config{Acquire: Eager, Reads: Visible, Manager: cm.NewPolka()}},
+		{"lazy-invisible-polka", Config{Acquire: Lazy, Reads: Invisible, Manager: cm.NewPolka()}},
+		{"lazy-invisible-timid", Config{Acquire: Lazy, Reads: Invisible, Manager: cm.NewTimid()}},
+		{"lazy-visible-timid", Config{Acquire: Lazy, Reads: Visible, Manager: cm.NewTimid()}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cfg := v.cfg
+			stmtest.Run(t, func() stm.STM {
+				c := cfg
+				c.Manager = cm.ByName(cfg.Manager.Name()) // fresh clock per engine
+				return New(c)
+			}, stmtest.Options{WordAPI: false})
+		})
+	}
+}
+
+func TestWordAPIRejected(t *testing.T) {
+	e := New(Config{})
+	th := e.NewThread(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("word API should panic on RSTM")
+		}
+	}()
+	th.Atomic(func(tx stm.Tx) { tx.Load(1) })
+}
+
+func TestCloneIsolation(t *testing.T) {
+	// A writer's clone must be invisible to a concurrent reader until the
+	// status CAS; after abort, the old data must remain current.
+	e := New(Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewTimid()})
+	th := e.NewThread(0)
+	var h stm.Handle
+	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(2) })
+	th.Atomic(func(tx stm.Tx) {
+		tx.WriteField(h, 0, 10)
+		tx.WriteField(h, 1, 20)
+	})
+
+	// Abort a transaction mid-flight via Restart after writing; the writes
+	// must not be visible afterwards.
+	tries := 0
+	th.Atomic(func(tx stm.Tx) {
+		tries++
+		if tries == 1 {
+			tx.WriteField(h, 0, 999)
+			tx.Restart()
+		}
+	})
+	var a, b stm.Word
+	th.Atomic(func(tx stm.Tx) {
+		a = tx.ReadField(h, 0)
+		b = tx.ReadField(h, 1)
+	})
+	if a != 10 || b != 20 {
+		t.Fatalf("aborted write leaked: got (%d,%d), want (10,20)", a, b)
+	}
+	if tries != 2 {
+		t.Fatalf("restart count = %d, want 2", tries)
+	}
+}
+
+func TestObjectTableGrowth(t *testing.T) {
+	e := New(Config{})
+	th := e.NewThread(0)
+	// Allocate across multiple chunks.
+	n := chunkSize + 100
+	hs := make([]stm.Handle, 0, n)
+	th.Atomic(func(tx stm.Tx) {
+		for i := 0; i < n; i++ {
+			hs = append(hs, tx.NewObject(1))
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		tx.WriteField(hs[0], 0, 1)
+		tx.WriteField(hs[n-1], 0, 2)
+	})
+	th.Atomic(func(tx stm.Tx) {
+		if tx.ReadField(hs[0], 0) != 1 || tx.ReadField(hs[n-1], 0) != 2 {
+			t.Error("cross-chunk object state lost")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package rstm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"swisstm/internal/cm"
+	"swisstm/internal/stm"
+)
+
+// TestLinkedStructureStress hammers a shared sorted linked list (insert/
+// delete/scan) — pointer-chasing like the red-black tree but simple
+// enough that any lost update or torn snapshot is immediately fatal. It
+// runs on every acquire/read mode combination.
+func TestLinkedStructureStress(t *testing.T) {
+	for _, acq := range []AcquireMode{Eager, Lazy} {
+		for _, rd := range []ReadMode{Invisible, Visible} {
+			name := fmt.Sprintf("%s-%s", acq, rd)
+			t.Run(name, func(t *testing.T) {
+				e := New(Config{Acquire: acq, Reads: rd, Manager: cm.NewPolka()})
+				setup := e.NewThread(0)
+				// head object: field 0 = first node handle.
+				// node: field 0 = key, field 1 = next.
+				var head stm.Handle
+				setup.Atomic(func(tx stm.Tx) { head = tx.NewObject(1) })
+				const keyRange = 64
+				var wg sync.WaitGroup
+				stop := false
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						th := e.NewThread(id + 1)
+						seed := uint64(id)*0x9e3779b9 + 1
+						for n := 0; n < 3000 && !stop; n++ {
+							seed = seed*6364136223846793005 + 1
+							key := stm.Word(seed>>33)%keyRange + 1
+							switch (seed >> 20) % 3 {
+							case 0: // insert sorted (no duplicates)
+								th.Atomic(func(tx stm.Tx) {
+									prev := head
+									prevField := uint32(0)
+									cur := stm.Handle(tx.ReadField(head, 0))
+									for cur != 0 {
+										k := tx.ReadField(cur, 0)
+										if k == key {
+											return
+										}
+										if k > key {
+											break
+										}
+										prev, prevField = cur, 1
+										cur = stm.Handle(tx.ReadField(cur, 1))
+									}
+									n := tx.NewObject(2)
+									tx.WriteField(n, 0, key)
+									tx.WriteField(n, 1, stm.Word(cur))
+									tx.WriteField(prev, prevField, stm.Word(n))
+								})
+							case 1: // delete
+								th.Atomic(func(tx stm.Tx) {
+									prev := head
+									prevField := uint32(0)
+									cur := stm.Handle(tx.ReadField(head, 0))
+									for cur != 0 {
+										k := tx.ReadField(cur, 0)
+										if k == key {
+											tx.WriteField(prev, prevField, tx.ReadField(cur, 1))
+											return
+										}
+										if k > key {
+											return
+										}
+										prev, prevField = cur, 1
+										cur = stm.Handle(tx.ReadField(cur, 1))
+									}
+								})
+							case 2: // scan: keys must be strictly ascending
+								th.Atomic(func(tx stm.Tx) {
+									last := stm.Word(0)
+									cur := stm.Handle(tx.ReadField(head, 0))
+									hops := 0
+									for cur != 0 {
+										k := tx.ReadField(cur, 0)
+										if k <= last {
+											panic(fmt.Sprintf("list order violated: %d after %d", k, last))
+										}
+										last = k
+										cur = stm.Handle(tx.ReadField(cur, 1))
+										hops++
+										if hops > keyRange+8 {
+											panic("list has a cycle")
+										}
+									}
+								})
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				stop = true
+				// Final scan must be sorted and acyclic.
+				setup.Atomic(func(tx stm.Tx) {
+					last := stm.Word(0)
+					cur := stm.Handle(tx.ReadField(head, 0))
+					for cur != 0 {
+						k := tx.ReadField(cur, 0)
+						if k <= last {
+							t.Fatalf("final list unsorted: %d after %d", k, last)
+						}
+						last = k
+						cur = stm.Handle(tx.ReadField(cur, 1))
+					}
+				})
+			})
+		}
+	}
+}

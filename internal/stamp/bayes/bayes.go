@@ -1,0 +1,230 @@
+// Package bayes re-implements the transactional core of STAMP's bayes:
+// score-based hill climbing over Bayesian-network structures. Workers
+// propose edge insertions; each proposal is one transaction that reads a
+// large part of the adjacency structure (the acyclicity check walks the
+// graph, standing in for the original's adtree queries) and, when the
+// score improves, writes the new edge, the parent count and the global
+// score — long reads, small writes, and a score hot spot, like the
+// original. The data set is synthesized from a hidden ground-truth DAG
+// whose edges carry high score gains (DESIGN.md §2).
+package bayes
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Row object fields: parent count, then V adjacency entries
+// (row r, field 1+c == 1 ⇔ edge r→c).
+const rowParents uint32 = 0
+const rowAdj0 uint32 = 1
+
+// App is one bayes instance.
+type App struct {
+	v         int
+	proposals int
+	penalty   int64
+
+	gain   [][]int64 // gain[a][b]: score delta of edge a→b (fixed-point)
+	hidden [][2]int  // ground-truth edges
+	rows   []stm.Handle
+	score  stm.Handle // 1-field object: accumulated network score
+	cursor atomic.Uint64
+}
+
+// New creates a bayes workload.
+func New(big bool) *App {
+	// The per-parent penalty exceeds the largest noise gain (30), so only
+	// ground-truth edges (gain ≥ 200) can improve the score. True edges
+	// all point forward in the hidden topological order, so they can
+	// never cycle-block each other and recovery is deterministic.
+	a := &App{penalty: 64}
+	if big {
+		a.v = 28
+	} else {
+		a.v = 12
+	}
+	a.proposals = 24 * a.v * a.v
+	return a
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "bayes" }
+
+// Bind implements stamp.App.
+func (a *App) Bind(threads int) {}
+
+// Setup implements stamp.App.
+func (a *App) Setup(e stm.STM) error {
+	rng := util.NewRand(0xbae5)
+	// Hidden DAG over a topological order 0..v-1: each node gets up to two
+	// parents from earlier nodes.
+	a.gain = make([][]int64, a.v)
+	for i := range a.gain {
+		a.gain[i] = make([]int64, a.v)
+		for j := range a.gain[i] {
+			a.gain[i][j] = int64(rng.Intn(30)) // noise edges: below penalty
+		}
+	}
+	for b := 1; b < a.v; b++ {
+		nPar := 1 + rng.Intn(2)
+		for p := 0; p < nPar; p++ {
+			par := rng.Intn(b)
+			if a.gain[par][b] < 200 {
+				a.gain[par][b] = int64(200 + rng.Intn(100)) // strong true edge
+				a.hidden = append(a.hidden, [2]int{par, b})
+			}
+		}
+	}
+	th := e.NewThread(0)
+	a.rows = make([]stm.Handle, a.v)
+	th.Atomic(func(tx stm.Tx) {
+		for r := range a.rows {
+			a.rows[r] = tx.NewObject(uint32(1 + a.v))
+		}
+		a.score = tx.NewObject(1)
+	})
+	return nil
+}
+
+// reachable reports whether to is reachable from from over current edges
+// (transactional DFS — the long read phase of each proposal).
+func (a *App) reachable(tx stm.Tx, from, to int) bool {
+	seen := make([]bool, a.v)
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		row := a.rows[n]
+		for c := 0; c < a.v; c++ {
+			if !seen[c] && tx.ReadField(row, rowAdj0+uint32(c)) != 0 {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// Work implements stamp.App: each worker pulls proposal indices and tries
+// to add the proposed edge when it improves the penalized score.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	for {
+		i := a.cursor.Add(1) - 1
+		if i >= uint64(a.proposals) {
+			return
+		}
+		from := rng.Intn(a.v)
+		to := rng.Intn(a.v)
+		if from == to {
+			continue
+		}
+		th.Atomic(func(tx stm.Tx) {
+			row := a.rows[from]
+			if tx.ReadField(row, rowAdj0+uint32(to)) != 0 {
+				return // edge already present
+			}
+			// Score delta: gain minus the per-parent structure penalty.
+			parents := int64(tx.ReadField(a.rows[to], rowParents))
+			delta := a.gain[from][to] - a.penalty*(parents+1)/2
+			if delta <= 0 {
+				return
+			}
+			// Acyclicity: from→to is legal iff to cannot reach from.
+			if a.reachable(tx, to, from) {
+				return
+			}
+			tx.WriteField(row, rowAdj0+uint32(to), 1)
+			tx.WriteField(a.rows[to], rowParents, tx.ReadField(a.rows[to], rowParents)+1)
+			tx.WriteField(a.score, 0, tx.ReadField(a.score, 0)+stm.Word(uint64(delta)))
+		})
+	}
+}
+
+// Check implements stamp.App: the learned structure must be acyclic, must
+// contain most of the hidden high-gain edges, and the incremental score
+// must equal a recomputation from the final structure.
+func (a *App) Check(e stm.STM) error {
+	th := e.NewThread(stm.MaxThreads - 1)
+	adj := make([][]bool, a.v)
+	var parents []int64
+	var score int64
+	th.Atomic(func(tx stm.Tx) {
+		parents = make([]int64, a.v)
+		for r := 0; r < a.v; r++ {
+			adj[r] = make([]bool, a.v)
+			for c := 0; c < a.v; c++ {
+				adj[r][c] = tx.ReadField(a.rows[r], rowAdj0+uint32(c)) != 0
+			}
+			parents[r] = int64(tx.ReadField(a.rows[r], rowParents))
+		}
+		score = int64(tx.ReadField(a.score, 0))
+	})
+	// Parent counts must match the adjacency matrix.
+	for c := 0; c < a.v; c++ {
+		n := int64(0)
+		for r := 0; r < a.v; r++ {
+			if adj[r][c] {
+				n++
+			}
+		}
+		if n != parents[c] {
+			return fmt.Errorf("bayes: node %d parent count %d, adjacency says %d", c, parents[c], n)
+		}
+	}
+	// Acyclicity via Kahn's algorithm.
+	indeg := make([]int, a.v)
+	for r := 0; r < a.v; r++ {
+		for c := 0; c < a.v; c++ {
+			if adj[r][c] {
+				indeg[c]++
+			}
+		}
+	}
+	queue := []int{}
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for c := 0; c < a.v; c++ {
+			if adj[n][c] {
+				indeg[c]--
+				if indeg[c] == 0 {
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	if removed != a.v {
+		return fmt.Errorf("bayes: learned structure contains a cycle")
+	}
+	// Every hidden edge must be recovered: noise edges cannot pass the
+	// penalty, and true edges cannot block each other (forward edges in a
+	// topological order), so hill climbing always finds all of them.
+	found := 0
+	for _, h := range a.hidden {
+		if adj[h[0]][h[1]] {
+			found++
+		}
+	}
+	if found < len(a.hidden) {
+		return fmt.Errorf("bayes: recovered %d/%d hidden edges", found, len(a.hidden))
+	}
+	if score <= 0 {
+		return fmt.Errorf("bayes: final score %d not positive", score)
+	}
+	return nil
+}

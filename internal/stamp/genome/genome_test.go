@@ -1,0 +1,44 @@
+package genome
+
+import (
+	"testing"
+
+	"swisstm/internal/swisstm"
+)
+
+func TestEncodeOverlap(t *testing.T) {
+	gene := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	segLen := 4
+	a := encode(gene, 0, segLen) // 0123
+	b := encode(gene, 1, segLen) // 1230
+	// suffix(a) = gene[1:4] must equal prefix(b) = gene[1:4].
+	if suffixOf(a, segLen) != prefixOf(b, segLen) {
+		t.Fatalf("overlap codes differ: %b vs %b", suffixOf(a, segLen), prefixOf(b, segLen))
+	}
+	// Non-adjacent segments must not match by construction here.
+	c := encode(gene, 2, segLen)
+	if suffixOf(a, segLen) == prefixOf(c, segLen) {
+		t.Fatal("false overlap match")
+	}
+}
+
+func TestEncodeMarkerBitSeparatesLengths(t *testing.T) {
+	gene := []byte{0, 0, 0, 0}
+	if encode(gene, 0, 3) == encode(gene, 0, 4) {
+		t.Fatal("codes of different lengths must differ (marker bit)")
+	}
+}
+
+func TestSequentialReassembly(t *testing.T) {
+	app := New(false)
+	e := swisstm.New(swisstm.Config{ArenaWords: 1 << 20, TableBits: 14})
+	if err := app.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	app.Bind(1)
+	th := e.NewThread(1)
+	app.Work(e, th, 0, 1, nil)
+	if err := app.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}

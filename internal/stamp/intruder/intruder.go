@@ -1,0 +1,194 @@
+// Package intruder re-implements STAMP's intruder: network intrusion
+// detection over fragmented flows. Workers repeatedly (1) dequeue a
+// fragment from one shared queue — the hot spot the paper points at in
+// Figure 11 ("a high number of transactions dequeue elements from a
+// single queue") — (2) add it to the per-flow reassembly map, and
+// (3) when a flow completes, scan its payload for the attack signature
+// and log attacks in a shared list.
+package intruder
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swisstm/internal/stamp/tmds"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Flow-assembly object fields: fragments received, payload checksum
+// accumulator (order-independent), and fragment count expected.
+const (
+	faGot uint32 = iota
+	faSum
+	faWant
+	faFields
+)
+
+// App is one intruder instance.
+type App struct {
+	nFlows    int
+	maxFrags  int
+	queue     *tmds.Queue
+	flows     *tmds.Map // flowID → assembly object
+	attacks   *tmds.List
+	processed atomic.Uint64
+	oracle    map[int]bool // flowID → is attack (sequential ground truth)
+	fragments []fragment
+}
+
+type fragment struct {
+	flow    int
+	idx     int
+	total   int
+	payload uint64
+}
+
+// New creates an intruder workload.
+func New(big bool) *App {
+	a := &App{maxFrags: 6}
+	if big {
+		a.nFlows = 2048
+	} else {
+		a.nFlows = 256
+	}
+	return a
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "intruder" }
+
+// Bind implements stamp.App.
+func (a *App) Bind(threads int) {}
+
+// attack reports whether a completed flow's checksum matches the
+// "signature" (a simple predicate standing in for the original's
+// string-search detector; the transactional pattern is unchanged).
+func attack(sum uint64) bool { return sum%7 == 0 }
+
+// Setup implements stamp.App: build flows, fragment them, shuffle all
+// fragments into the shared queue.
+func (a *App) Setup(e stm.STM) error {
+	rng := util.NewRand(0x1d7)
+	a.oracle = make(map[int]bool, a.nFlows)
+	for f := 1; f <= a.nFlows; f++ {
+		n := 1 + rng.Intn(a.maxFrags)
+		var sum uint64
+		for i := 0; i < n; i++ {
+			p := rng.Next() >> 8
+			sum += p
+			a.fragments = append(a.fragments, fragment{flow: f, idx: i, total: n, payload: p})
+		}
+		a.oracle[f] = attack(sum)
+	}
+	// Shuffle fragments: reassembly must cope with arbitrary arrival.
+	for i := len(a.fragments) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		a.fragments[i], a.fragments[j] = a.fragments[j], a.fragments[i]
+	}
+	th := e.NewThread(0)
+	th.Atomic(func(tx stm.Tx) {
+		a.queue = tmds.NewQueue(tx)
+		a.flows = tmds.NewMap(tx, 512)
+		a.attacks = tmds.NewList(tx)
+	})
+	// Enqueue in batches to bound transaction size.
+	const batch = 64
+	for i := 0; i < len(a.fragments); i += batch {
+		end := i + batch
+		if end > len(a.fragments) {
+			end = len(a.fragments)
+		}
+		i := i
+		th.Atomic(func(tx stm.Tx) {
+			for k := i; k < end; k++ {
+				// The queue carries indexes into a.fragments, which is
+				// immutable once setup completes.
+				a.queue.Enqueue(tx, stm.Word(k))
+			}
+		})
+	}
+	return nil
+}
+
+// Work implements stamp.App.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	for {
+		var fragIdx stm.Word
+		empty := false
+		// Capture phase: one transaction per dequeue (the hot spot).
+		th.Atomic(func(tx stm.Tx) {
+			v, ok := a.queue.Dequeue(tx)
+			empty = !ok
+			fragIdx = v
+		})
+		if empty {
+			return
+		}
+		fr := a.fragments[fragIdx]
+		// Reassembly phase: merge the fragment into its flow object;
+		// detection runs when the last fragment lands.
+		var completedSum uint64
+		completed := false
+		th.Atomic(func(tx stm.Tx) {
+			completed = false
+			var fa stm.Handle
+			if v, ok := a.flows.Get(tx, stm.Word(fr.flow)); ok {
+				fa = stm.Handle(v)
+			} else {
+				fa = tx.NewObject(faFields)
+				tx.WriteField(fa, faWant, stm.Word(fr.total))
+				a.flows.Put(tx, stm.Word(fr.flow), stm.Word(fa))
+			}
+			got := tx.ReadField(fa, faGot) + 1
+			sum := tx.ReadField(fa, faSum) + stm.Word(fr.payload)
+			tx.WriteField(fa, faGot, got)
+			tx.WriteField(fa, faSum, sum)
+			if got == tx.ReadField(fa, faWant) {
+				completed = true
+				completedSum = uint64(sum)
+			}
+		})
+		a.processed.Add(1)
+		if completed && attack(completedSum) {
+			// Detection phase: log the attack.
+			th.Atomic(func(tx stm.Tx) {
+				a.attacks.Push(tx, stm.Word(fr.flow))
+			})
+		}
+	}
+}
+
+// Check implements stamp.App: every fragment processed exactly once and
+// the attack list matches the sequential oracle.
+func (a *App) Check(e stm.STM) error {
+	if got := a.processed.Load(); got != uint64(len(a.fragments)) {
+		return fmt.Errorf("intruder: processed %d fragments, want %d", got, len(a.fragments))
+	}
+	th := e.NewThread(stm.MaxThreads - 1)
+	var err error
+	th.Atomic(func(tx stm.Tx) {
+		err = nil
+		if n := a.queue.Len(tx); n != 0 {
+			err = fmt.Errorf("intruder: %d fragments left in queue", n)
+			return
+		}
+		found := map[stm.Word]bool{}
+		a.attacks.Visit(tx, func(v stm.Word) { found[v] = true })
+		want := 0
+		for f, isAtk := range a.oracle {
+			if isAtk {
+				want++
+				if !found[stm.Word(f)] {
+					err = fmt.Errorf("intruder: attack flow %d not detected", f)
+				}
+			} else if found[stm.Word(f)] {
+				err = fmt.Errorf("intruder: false positive on flow %d", f)
+			}
+		}
+		if err == nil && len(found) != want {
+			err = fmt.Errorf("intruder: %d attacks logged, want %d", len(found), want)
+		}
+	})
+	return err
+}

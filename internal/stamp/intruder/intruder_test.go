@@ -1,0 +1,55 @@
+package intruder
+
+import (
+	"testing"
+
+	"swisstm/internal/swisstm"
+	"swisstm/internal/util"
+)
+
+func TestFragmentsCoverAllFlows(t *testing.T) {
+	app := New(false)
+	e := swisstm.New(swisstm.Config{ArenaWords: 1 << 20, TableBits: 14})
+	if err := app.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	perFlow := map[int]int{}
+	sums := map[int]uint64{}
+	for _, fr := range app.fragments {
+		perFlow[fr.flow]++
+		sums[fr.flow] += fr.payload
+	}
+	if len(perFlow) != app.nFlows {
+		t.Fatalf("%d flows fragmented, want %d", len(perFlow), app.nFlows)
+	}
+	for f, n := range perFlow {
+		if n < 1 || n > app.maxFrags {
+			t.Fatalf("flow %d has %d fragments", f, n)
+		}
+		if app.oracle[f] != attack(sums[f]) {
+			t.Fatalf("oracle mismatch for flow %d", f)
+		}
+	}
+}
+
+func TestDetectionMatchesOracle(t *testing.T) {
+	app := New(false)
+	e := swisstm.New(swisstm.Config{ArenaWords: 1 << 21, TableBits: 14})
+	if err := app.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	app.Bind(2)
+	done := make(chan struct{}, 2)
+	for w := 0; w < 2; w++ {
+		go func(id int) {
+			th := e.NewThread(id + 1)
+			app.Work(e, th, id, 2, util.NewRand(uint64(id)+1))
+			done <- struct{}{}
+		}(w)
+	}
+	<-done
+	<-done
+	if err := app.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}

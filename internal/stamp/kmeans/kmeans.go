@@ -1,0 +1,255 @@
+// Package kmeans re-implements STAMP's kmeans: iterative K-means
+// clustering where each point's assignment to its nearest center runs as
+// a transaction that updates the shared per-cluster accumulators. The
+// high-contention variant uses few clusters (every transaction fights
+// over the same handful of accumulator objects); the low-contention
+// variant uses many.
+package kmeans
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// App is one kmeans instance.
+type App struct {
+	high    bool
+	nPoints int
+	dims    int
+	k       int
+	maxIter int
+
+	points  [][]int64    // immutable input, fixed-point coordinates
+	centers [][]int64    // current centers; rewritten between barriers
+	acc     []stm.Handle // per-cluster accumulator: fields [count, sum0..sumD-1]
+	barrier *util.Barrier
+	parties atomic.Int32
+	cursor  atomic.Uint64 // point cursor within the current iteration
+	moved   atomic.Uint64 // points that changed assignment this iteration
+	done    atomic.Bool
+	assign  []int32 // current assignment (plain memory; one writer per point)
+	initial [][]int64
+	iters   int
+}
+
+// New creates a kmeans workload. high selects the high-contention variant
+// (fewer clusters).
+func New(big, high bool) *App {
+	a := &App{high: high, dims: 8, maxIter: 12}
+	if big {
+		a.nPoints = 8192
+	} else {
+		a.nPoints = 1024
+	}
+	if high {
+		a.k = 4 // few clusters: heavy W/W contention on accumulators
+	} else {
+		a.k = 24
+	}
+	return a
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string {
+	if a.high {
+		return "kmeans-high"
+	}
+	return "kmeans-low"
+}
+
+// Setup implements stamp.App: generate clustered points and allocate the
+// transactional accumulators.
+func (a *App) Setup(e stm.STM) error {
+	rng := util.NewRand(0x6b6d)
+	a.points = make([][]int64, a.nPoints)
+	for i := range a.points {
+		p := make([]int64, a.dims)
+		c := i % a.k // true cluster
+		for d := range p {
+			p[d] = int64(c*1000) + int64(rng.Intn(200)) - 100
+		}
+		a.points[i] = p
+	}
+	a.centers = make([][]int64, a.k)
+	a.initial = make([][]int64, a.k)
+	for c := range a.centers {
+		ctr := make([]int64, a.dims)
+		p := a.points[rng.Intn(a.nPoints)]
+		copy(ctr, p)
+		a.centers[c] = ctr
+		a.initial[c] = append([]int64(nil), ctr...)
+	}
+	a.assign = make([]int32, a.nPoints)
+	for i := range a.assign {
+		a.assign[i] = -1
+	}
+	th := e.NewThread(0)
+	a.acc = make([]stm.Handle, a.k)
+	th.Atomic(func(tx stm.Tx) {
+		for c := range a.acc {
+			a.acc[c] = tx.NewObject(uint32(1 + a.dims))
+		}
+	})
+	return nil
+}
+
+func (a *App) nearest(p []int64) int {
+	best, bestD := 0, int64(1)<<62
+	for c := range a.centers {
+		var d int64
+		for i, v := range p {
+			dv := v - a.centers[c][i]
+			d += dv * dv
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Work implements stamp.App. All workers iterate in lock-step: assign
+// points transactionally, then worker 0 recomputes centers.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	// The first worker to arrive sizes the barrier for this run.
+	if a.barrier == nil {
+		panic("kmeans: Bind(threads) must be called before Work")
+	}
+	for iter := 0; ; iter++ {
+		if a.done.Load() {
+			return
+		}
+		// Phase 1: each worker claims chunks of points and adds them to
+		// their nearest center's accumulator, one transaction per chunk
+		// (STAMP's kmeans batches the same way).
+		const chunk = 16
+		for {
+			start := a.cursor.Add(chunk) - chunk
+			if start >= uint64(a.nPoints) {
+				break
+			}
+			end := start + chunk
+			if end > uint64(a.nPoints) {
+				end = uint64(a.nPoints)
+			}
+			moved := 0
+			th.Atomic(func(tx stm.Tx) {
+				moved = 0
+				for i := start; i < end; i++ {
+					p := a.points[i]
+					c := a.nearest(p)
+					if int32(c) != a.assign[i] {
+						moved++
+					}
+					h := a.acc[c]
+					tx.WriteField(h, 0, tx.ReadField(h, 0)+1)
+					for d := 0; d < a.dims; d++ {
+						f := uint32(1 + d)
+						tx.WriteField(h, f, tx.ReadField(h, f)+stm.Word(uint64(p[d])))
+					}
+				}
+			})
+			// Assignment bookkeeping outside the transaction (plain
+			// memory, single writer per point since chunks are disjoint).
+			for i := start; i < end; i++ {
+				c := a.nearest(a.points[i])
+				if int32(c) != a.assign[i] {
+					a.assign[i] = int32(c)
+				}
+			}
+			a.moved.Add(uint64(moved))
+		}
+		a.barrier.Await()
+		// Phase 2: worker 0 folds the accumulators into new centers.
+		if worker == 0 {
+			th.Atomic(func(tx stm.Tx) {
+				for c := 0; c < a.k; c++ {
+					h := a.acc[c]
+					n := int64(tx.ReadField(h, 0))
+					if n > 0 {
+						for d := 0; d < a.dims; d++ {
+							sum := int64(tx.ReadField(h, uint32(1+d)))
+							a.centers[c][d] = sum / n
+						}
+					}
+					tx.WriteField(h, 0, 0)
+					for d := 0; d < a.dims; d++ {
+						tx.WriteField(h, uint32(1+d), 0)
+					}
+				}
+			})
+			a.iters = iter + 1
+			if a.moved.Load() == 0 || iter+1 >= a.maxIter {
+				a.done.Store(true)
+			}
+			a.moved.Store(0)
+			a.cursor.Store(0)
+		}
+		a.barrier.Await()
+	}
+}
+
+// Bind fixes the worker count before the run (the barrier needs it).
+func (a *App) Bind(threads int) { a.barrier = util.NewBarrier(threads) }
+
+// Check implements stamp.App by replaying Lloyd's iterations sequentially
+// from the recorded initial centers. Integer accumulation is commutative,
+// so the parallel transactional run must produce *exactly* the same
+// centers after the same number of iterations — any divergence means lost
+// or duplicated accumulator updates (an atomicity bug).
+func (a *App) Check(e stm.STM) error {
+	if a.iters == 0 {
+		return fmt.Errorf("kmeans: no iterations ran")
+	}
+	centers := make([][]int64, a.k)
+	for c := range centers {
+		centers[c] = append([]int64(nil), a.initial[c]...)
+	}
+	nearest := func(p []int64) int {
+		best, bestD := 0, int64(1)<<62
+		for c := range centers {
+			var d int64
+			for i, v := range p {
+				dv := v - centers[c][i]
+				d += dv * dv
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best
+	}
+	for it := 0; it < a.iters; it++ {
+		count := make([]int64, a.k)
+		sums := make([][]int64, a.k)
+		for c := range sums {
+			sums[c] = make([]int64, a.dims)
+		}
+		for _, p := range a.points {
+			c := nearest(p)
+			count[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := 0; c < a.k; c++ {
+			if count[c] > 0 {
+				for d := 0; d < a.dims; d++ {
+					centers[c][d] = sums[c][d] / count[c]
+				}
+			}
+		}
+	}
+	for c := range centers {
+		for d := range centers[c] {
+			if centers[c][d] != a.centers[c][d] {
+				return fmt.Errorf("kmeans: center %d dim %d = %d, oracle %d (after %d iters)",
+					c, d, a.centers[c][d], centers[c][d], a.iters)
+			}
+		}
+	}
+	return nil
+}

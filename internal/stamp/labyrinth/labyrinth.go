@@ -1,0 +1,53 @@
+// Package labyrinth re-implements STAMP's labyrinth, which "uses the same
+// algorithm as Lee-TM" (paper §2.2): transactional path routing on a
+// grid. It wraps the Lee router (internal/leetm) with a denser synthetic
+// maze than the Lee-TM boards, matching labyrinth's higher-contention
+// profile.
+package labyrinth
+
+import (
+	"fmt"
+
+	"swisstm/internal/leetm"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// App is one labyrinth instance.
+type App struct {
+	board  leetm.Board
+	router *leetm.Router
+}
+
+// New creates a labyrinth workload.
+func New(big bool) *App {
+	if big {
+		return &App{board: leetm.GenBoard("labyrinth", 128, 128, 300, 8, 60, 0x1ab1)}
+	}
+	return &App{board: leetm.GenBoard("labyrinth", 32, 32, 28, 4, 16, 0x1ab1)}
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "labyrinth" }
+
+// Bind implements stamp.App.
+func (a *App) Bind(threads int) {}
+
+// Setup implements stamp.App.
+func (a *App) Setup(e stm.STM) error {
+	a.router = leetm.Setup(e, a.board)
+	return nil
+}
+
+// Work implements stamp.App.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	a.router.Work(e, th, worker, threads, rng)
+}
+
+// Check implements stamp.App.
+func (a *App) Check(e stm.STM) error {
+	if done := a.router.Routed.Load() + a.router.Failed.Load(); done != uint64(len(a.board.Nets)) {
+		return fmt.Errorf("labyrinth: %d nets processed, want %d", done, len(a.board.Nets))
+	}
+	return a.router.Check()
+}

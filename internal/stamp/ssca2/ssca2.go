@@ -1,0 +1,143 @@
+// Package ssca2 re-implements the transactional kernel of STAMP's ssca2
+// (Scalable Synthetic Compact Applications 2): parallel graph
+// construction, where every edge insertion appends to the target node's
+// adjacency array under a transaction. Transactions are tiny (a handful
+// of reads and writes) and conflicts are rare — the workload where STMs
+// are mostly measuring their per-access overhead.
+package ssca2
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Node object fields: degree, then capacity slots for neighbor ids.
+const ndDegree uint32 = 0
+const ndSlot0 uint32 = 1
+
+// App is one ssca2 instance.
+type App struct {
+	nNodes int
+	nEdges int
+	maxDeg int
+
+	edges  [][2]int // generated edge list
+	nodes  []stm.Handle
+	cursor atomic.Uint64
+}
+
+// New creates an ssca2 workload.
+func New(big bool) *App {
+	a := &App{maxDeg: 32}
+	if big {
+		a.nNodes, a.nEdges = 4096, 16384
+	} else {
+		a.nNodes, a.nEdges = 512, 2048
+	}
+	return a
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "ssca2" }
+
+// Bind implements stamp.App.
+func (a *App) Bind(threads int) {}
+
+// Setup implements stamp.App: generate an R-MAT-flavoured edge list
+// (skewed endpoint distribution, like SSCA2's generator) and allocate
+// node objects.
+func (a *App) Setup(e stm.STM) error {
+	rng := util.NewRand(0x55ca2)
+	pick := func() int {
+		// Skewed: half the draws land in the first quarter of the ids.
+		if rng.Intn(2) == 0 {
+			return rng.Intn(a.nNodes / 4)
+		}
+		return rng.Intn(a.nNodes)
+	}
+	deg := make([]int, a.nNodes)
+	for len(a.edges) < a.nEdges {
+		u, v := pick(), pick()
+		if u == v || deg[u] >= a.maxDeg {
+			continue
+		}
+		deg[u]++
+		a.edges = append(a.edges, [2]int{u, v})
+	}
+	th := e.NewThread(0)
+	a.nodes = make([]stm.Handle, a.nNodes)
+	const batch = 128
+	for i := 0; i < a.nNodes; i += batch {
+		i := i
+		th.Atomic(func(tx stm.Tx) {
+			for k := i; k < i+batch && k < a.nNodes; k++ {
+				a.nodes[k] = tx.NewObject(uint32(1 + a.maxDeg))
+			}
+		})
+	}
+	return nil
+}
+
+// Work implements stamp.App: one transaction per edge insertion.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	for {
+		i := a.cursor.Add(1) - 1
+		if i >= uint64(len(a.edges)) {
+			return
+		}
+		u, v := a.edges[i][0], a.edges[i][1]
+		h := a.nodes[u]
+		th.Atomic(func(tx stm.Tx) {
+			d := tx.ReadField(h, ndDegree)
+			tx.WriteField(h, ndSlot0+uint32(d), stm.Word(v))
+			tx.WriteField(h, ndDegree, d+1)
+		})
+	}
+}
+
+// Check implements stamp.App: total degree equals the edge count and each
+// node's multiset of neighbors matches the input edge list.
+func (a *App) Check(e stm.STM) error {
+	want := make([]map[int]int, a.nNodes)
+	for i := range want {
+		want[i] = map[int]int{}
+	}
+	for _, ed := range a.edges {
+		want[ed[0]][ed[1]]++
+	}
+	th := e.NewThread(stm.MaxThreads - 1)
+	var err error
+	total := 0
+	for u := 0; u < a.nNodes; u++ {
+		u := u
+		deg := 0
+		th.Atomic(func(tx stm.Tx) {
+			err = nil
+			d := int(tx.ReadField(a.nodes[u], ndDegree))
+			deg = d
+			got := map[int]int{}
+			for s := 0; s < d; s++ {
+				got[int(tx.ReadField(a.nodes[u], ndSlot0+uint32(s)))]++
+			}
+			for v, n := range want[u] {
+				if got[v] != n {
+					err = fmt.Errorf("ssca2: node %d neighbor %d count %d, want %d", u, v, got[v], n)
+				}
+			}
+			if len(got) != len(want[u]) {
+				err = fmt.Errorf("ssca2: node %d has %d distinct neighbors, want %d", u, len(got), len(want[u]))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		total += deg
+	}
+	if total != len(a.edges) {
+		return fmt.Errorf("ssca2: total degree %d, want %d", total, len(a.edges))
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package stamp
+
+import (
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/swisstm"
+	"swisstm/internal/tinystm"
+	"swisstm/internal/tl2"
+)
+
+func engines() map[string]func() stm.STM {
+	// STAMP runs only on the word-based engines, as in the paper (§4,
+	// footnote 4: RSTM's object API is incompatible).
+	return map[string]func() stm.STM{
+		"swisstm": func() stm.STM { return swisstm.New(swisstm.Config{ArenaWords: 1 << 21, TableBits: 15}) },
+		"tl2":     func() stm.STM { return tl2.New(tl2.Config{ArenaWords: 1 << 21, TableBits: 15}) },
+		"tinystm": func() stm.STM { return tinystm.New(tinystm.Config{ArenaWords: 1 << 21, TableBits: 15}) },
+	}
+}
+
+// TestAllWorkloadsSequential runs every workload at Test scale with one
+// worker on every engine and validates its oracle.
+func TestAllWorkloadsSequential(t *testing.T) {
+	for _, name := range Workloads {
+		for ename, factory := range engines() {
+			t.Run(name+"/"+ename, func(t *testing.T) {
+				app, err := New(name, Test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := Run(app, factory(), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Commits == 0 {
+					t.Fatal("no transactions committed")
+				}
+			})
+		}
+	}
+}
+
+// TestAllWorkloadsParallel runs every workload with 4 workers on SwissTM
+// and TinySTM (the eager engines exercise the kill/retry paths hardest).
+func TestAllWorkloadsParallel(t *testing.T) {
+	for _, name := range Workloads {
+		for _, ename := range []string{"swisstm", "tinystm", "tl2"} {
+			t.Run(name+"/"+ename, func(t *testing.T) {
+				app, err := New(name, Test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Run(app, engines()[ename](), 4); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("nope", Test); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

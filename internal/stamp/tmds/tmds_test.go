@@ -1,0 +1,187 @@
+package tmds
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/swisstm"
+	"swisstm/internal/tinystm"
+	"swisstm/internal/tl2"
+)
+
+func engines() map[string]func() stm.STM {
+	return map[string]func() stm.STM{
+		"swisstm": func() stm.STM { return swisstm.New(swisstm.Config{ArenaWords: 1 << 18, TableBits: 12}) },
+		"tl2":     func() stm.STM { return tl2.New(tl2.Config{ArenaWords: 1 << 18, TableBits: 12}) },
+		"tinystm": func() stm.STM { return tinystm.New(tinystm.Config{ArenaWords: 1 << 18, TableBits: 12}) },
+	}
+}
+
+func TestMapModel(t *testing.T) {
+	for name, factory := range engines() {
+		t.Run(name, func(t *testing.T) {
+			e := factory()
+			th := e.NewThread(0)
+			check := func(ops []uint16) bool {
+				// Fresh map and model per property invocation.
+				var m *Map
+				th.Atomic(func(tx stm.Tx) { m = NewMap(tx, 16) })
+				model := map[stm.Word]stm.Word{}
+				for _, op := range ops {
+					k := stm.Word(op % 61)
+					v := stm.Word(op)
+					ok := true
+					switch op % 3 {
+					case 0:
+						var fresh bool
+						th.Atomic(func(tx stm.Tx) { fresh = m.Put(tx, k, v) })
+						_, had := model[k]
+						ok = fresh == !had
+						model[k] = v
+					case 1:
+						var got stm.Word
+						var found bool
+						th.Atomic(func(tx stm.Tx) { got, found = m.Get(tx, k) })
+						want, had := model[k]
+						ok = found == had && (!found || got == want)
+					case 2:
+						var deleted bool
+						th.Atomic(func(tx stm.Tx) { deleted = m.Delete(tx, k) })
+						_, had := model[k]
+						ok = deleted == had
+						delete(model, k)
+					}
+					if !ok {
+						return false
+					}
+				}
+				count := 0
+				th.Atomic(func(tx stm.Tx) {
+					count = 0
+					m.Visit(tx, func(k, v stm.Word) { count++ })
+				})
+				return count == len(model)
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMapPutIfAbsent(t *testing.T) {
+	e := engines()["swisstm"]()
+	th := e.NewThread(0)
+	var m *Map
+	th.Atomic(func(tx stm.Tx) { m = NewMap(tx, 4) })
+	th.Atomic(func(tx stm.Tx) {
+		if !m.PutIfAbsent(tx, 1, 10) {
+			t.Error("first PutIfAbsent should succeed")
+		}
+		if m.PutIfAbsent(tx, 1, 20) {
+			t.Error("second PutIfAbsent should fail")
+		}
+		if v, _ := m.Get(tx, 1); v != 10 {
+			t.Errorf("value overwritten: %d", v)
+		}
+	})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := engines()["tinystm"]()
+	th := e.NewThread(0)
+	var q *Queue
+	th.Atomic(func(tx stm.Tx) { q = NewQueue(tx) })
+	th.Atomic(func(tx stm.Tx) {
+		for i := stm.Word(1); i <= 10; i++ {
+			q.Enqueue(tx, i)
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		if q.Len(tx) != 10 {
+			t.Fatalf("len = %d", q.Len(tx))
+		}
+		for i := stm.Word(1); i <= 10; i++ {
+			v, ok := q.Dequeue(tx)
+			if !ok || v != i {
+				t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+			}
+		}
+		if _, ok := q.Dequeue(tx); ok {
+			t.Fatal("dequeue from empty queue succeeded")
+		}
+	})
+}
+
+// TestQueueConcurrentDrain: N producers + N consumers; every element is
+// consumed exactly once.
+func TestQueueConcurrentDrain(t *testing.T) {
+	for name, factory := range engines() {
+		t.Run(name, func(t *testing.T) {
+			e := factory()
+			setup := e.NewThread(0)
+			var q *Queue
+			setup.Atomic(func(tx stm.Tx) { q = NewQueue(tx) })
+			const items = 500
+			setup.Atomic(func(tx stm.Tx) {
+				for i := 1; i <= items; i++ {
+					q.Enqueue(tx, stm.Word(i))
+				}
+			})
+			var mu sync.Mutex
+			got := map[stm.Word]int{}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := e.NewThread(id + 1)
+					for {
+						var v stm.Word
+						var ok bool
+						th.Atomic(func(tx stm.Tx) { v, ok = q.Dequeue(tx) })
+						if !ok {
+							return
+						}
+						mu.Lock()
+						got[v]++
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if len(got) != items {
+				t.Fatalf("consumed %d distinct items, want %d", len(got), items)
+			}
+			for v, n := range got {
+				if n != 1 {
+					t.Fatalf("item %d consumed %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestListPushVisit(t *testing.T) {
+	e := engines()["tl2"]()
+	th := e.NewThread(0)
+	var l *List
+	th.Atomic(func(tx stm.Tx) { l = NewList(tx) })
+	th.Atomic(func(tx stm.Tx) {
+		l.Push(tx, 1)
+		l.Push(tx, 2)
+		l.Push(tx, 3)
+	})
+	th.Atomic(func(tx stm.Tx) {
+		if l.Len(tx) != 3 {
+			t.Fatalf("len = %d", l.Len(tx))
+		}
+		var order []stm.Word
+		l.Visit(tx, func(v stm.Word) { order = append(order, v) })
+		if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+			t.Fatalf("visit order %v, want [3 2 1]", order)
+		}
+	})
+}

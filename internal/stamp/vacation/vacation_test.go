@@ -1,0 +1,58 @@
+package vacation
+
+import (
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/tinystm"
+	"swisstm/internal/util"
+)
+
+func TestQueryRangeVariants(t *testing.T) {
+	hi := New(false, true)
+	lo := New(false, false)
+	if hi.queryRange >= lo.queryRange {
+		t.Fatalf("high-contention range %d must be narrower than low %d",
+			hi.queryRange, lo.queryRange)
+	}
+}
+
+func TestReservationConservation(t *testing.T) {
+	app := New(false, true)
+	e := tinystm.New(tinystm.Config{ArenaWords: 1 << 21, TableBits: 14})
+	if err := app.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	app.Bind(3)
+	done := make(chan struct{}, 3)
+	for w := 0; w < 3; w++ {
+		go func(id int) {
+			th := e.NewThread(id + 1)
+			app.Work(e, th, id, 3, util.NewRand(uint64(id)*9+2))
+			done <- struct{}{}
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	if err := app.Check(e); err != nil {
+		t.Fatal(err)
+	}
+	// Some reservations must actually have happened.
+	th := e.NewThread(10)
+	reserved := 0
+	th.Atomic(func(tx stm.Tx) {
+		reserved = 0
+		app.customers.Visit(tx, func(_, cuV stm.Word) {
+			cu := stm.Handle(cuV)
+			for s := uint32(0); s < maxResPerCustomer; s++ {
+				if tx.ReadField(cu, cuSlot0+s) != 0 {
+					reserved++
+				}
+			}
+		})
+	})
+	if reserved == 0 {
+		t.Fatal("no reservations made; workload inert")
+	}
+}

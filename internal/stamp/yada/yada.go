@@ -1,0 +1,182 @@
+// Package yada re-implements the transactional skeleton of STAMP's yada
+// (Yet Another Delaunay Application): work-queue-driven mesh refinement.
+//
+// The original refines a Delaunay triangulation by retriangulating the
+// cavity around each "bad" triangle. Full incremental Delaunay geometry
+// is orthogonal to the STM behaviour the paper measures, so this version
+// keeps yada's transactional shape exactly — pop a bad element from a
+// shared queue, read its cavity (the element plus its neighborhood),
+// rewrite most of the cavity, and push any newly-bad elements back on the
+// queue — over a simpler refinement rule: element "badness" is split
+// among its mesh neighbors until every element is below threshold. The
+// substitution is documented in DESIGN.md §2.
+package yada
+
+import (
+	"fmt"
+
+	"swisstm/internal/stamp/tmds"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// App is one yada instance. The mesh is a W×H grid of elements; each
+// element is a 2-field object {badness, queued}.
+const (
+	elBad uint32 = iota
+	elQueued
+	elFields
+)
+
+// App is one yada instance.
+type App struct {
+	w, h      int
+	threshold stm.Word
+	seeds     int
+
+	cells []stm.Handle
+	queue *tmds.Queue
+}
+
+// New creates a yada workload.
+func New(big bool) *App {
+	a := &App{threshold: 8}
+	if big {
+		a.w, a.h, a.seeds = 64, 64, 192
+	} else {
+		a.w, a.h, a.seeds = 24, 24, 40
+	}
+	return a
+}
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "yada" }
+
+// Bind implements stamp.App.
+func (a *App) Bind(threads int) {}
+
+// Setup implements stamp.App: seed random elements with high badness and
+// enqueue them.
+func (a *App) Setup(e stm.STM) error {
+	th := e.NewThread(0)
+	a.cells = make([]stm.Handle, a.w*a.h)
+	const batch = 128
+	for i := 0; i < len(a.cells); i += batch {
+		i := i
+		th.Atomic(func(tx stm.Tx) {
+			for k := i; k < i+batch && k < len(a.cells); k++ {
+				a.cells[k] = tx.NewObject(elFields)
+			}
+		})
+	}
+	rng := util.NewRand(0x9ada)
+	th.Atomic(func(tx stm.Tx) { a.queue = tmds.NewQueue(tx) })
+	seeded := map[int]bool{}
+	th.Atomic(func(tx stm.Tx) {
+		for s := 0; s < a.seeds; s++ {
+			c := rng.Intn(len(a.cells))
+			if seeded[c] {
+				continue
+			}
+			seeded[c] = true
+			tx.WriteField(a.cells[c], elBad, a.threshold*stm.Word(4+rng.Intn(60)))
+			tx.WriteField(a.cells[c], elQueued, 1)
+			a.queue.Enqueue(tx, stm.Word(c))
+		}
+	})
+	return nil
+}
+
+func (a *App) neighbors(c int) []int {
+	x, y := c%a.w, c/a.w
+	out := make([]int, 0, 8)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if nx >= 0 && ny >= 0 && nx < a.w && ny < a.h {
+				out = append(out, ny*a.w+nx)
+			}
+		}
+	}
+	return out
+}
+
+// Work implements stamp.App: the refinement loop. Each transaction
+// processes one bad element's cavity. Refinement terminates because the
+// integer division strictly reduces the total badness.
+func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	for {
+		empty := false
+		th.Atomic(func(tx stm.Tx) {
+			empty = false
+			v, ok := a.queue.Dequeue(tx)
+			if !ok {
+				empty = true
+				return
+			}
+			c := int(v)
+			cell := a.cells[c]
+			tx.WriteField(cell, elQueued, 0)
+			bad := tx.ReadField(cell, elBad)
+			if bad < a.threshold {
+				return // stale queue entry; already refined
+			}
+			// Retriangulate the cavity: the element keeps a fraction,
+			// the rest spills into the neighborhood (reads + writes of
+			// the whole cavity, like the original's cavity rebuild).
+			nbs := a.neighbors(c)
+			share := bad / stm.Word(len(nbs)+2)
+			tx.WriteField(cell, elBad, share)
+			if share >= a.threshold {
+				// Still bad after refinement (very skinny cavity):
+				// back on the queue it goes, like the original's
+				// re-badded triangles.
+				tx.WriteField(cell, elQueued, 1)
+				a.queue.Enqueue(tx, stm.Word(c))
+			}
+			for _, nb := range nbs {
+				h := a.cells[nb]
+				nb2 := tx.ReadField(h, elBad) + share/2
+				tx.WriteField(h, elBad, nb2)
+				if nb2 >= a.threshold && tx.ReadField(h, elQueued) == 0 {
+					tx.WriteField(h, elQueued, 1)
+					a.queue.Enqueue(tx, stm.Word(nb))
+				}
+			}
+		})
+		if empty {
+			return
+		}
+	}
+}
+
+// Check implements stamp.App: the queue is empty and no element is bad.
+func (a *App) Check(e stm.STM) error {
+	th := e.NewThread(stm.MaxThreads - 1)
+	var err error
+	th.Atomic(func(tx stm.Tx) {
+		err = nil
+		if n := a.queue.Len(tx); n != 0 {
+			err = fmt.Errorf("yada: queue still holds %d elements", n)
+			return
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i, cell := range a.cells {
+		i, cell := i, cell
+		th.Atomic(func(tx stm.Tx) {
+			if b := tx.ReadField(cell, elBad); b >= a.threshold {
+				err = fmt.Errorf("yada: element %d still bad (%d ≥ %d)", i, b, a.threshold)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package yada
+
+import (
+	"testing"
+
+	"swisstm/internal/swisstm"
+	"swisstm/internal/util"
+)
+
+func TestNeighborsShape(t *testing.T) {
+	a := New(false)
+	// Corner cell: 3 neighbors; edge: 5; interior: 8.
+	if got := len(a.neighbors(0)); got != 3 {
+		t.Fatalf("corner neighbors = %d, want 3", got)
+	}
+	if got := len(a.neighbors(1)); got != 5 {
+		t.Fatalf("edge neighbors = %d, want 5", got)
+	}
+	if got := len(a.neighbors(a.w + 1)); got != 8 {
+		t.Fatalf("interior neighbors = %d, want 8", got)
+	}
+}
+
+// TestRefinementTerminates checks the termination argument: total badness
+// strictly decreases per cavity refinement, so the queue must drain.
+func TestRefinementTerminates(t *testing.T) {
+	a := New(false)
+	e := swisstm.New(swisstm.Config{ArenaWords: 1 << 20, TableBits: 14})
+	if err := a.Setup(e); err != nil {
+		t.Fatal(err)
+	}
+	a.Bind(1)
+	th := e.NewThread(1)
+	a.Work(e, th, 0, 1, util.NewRand(1))
+	if err := a.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}

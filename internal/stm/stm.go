@@ -1,0 +1,127 @@
+// Package stm defines the programming interface shared by every software
+// transactional memory engine in this repository: SwissTM (the paper's
+// contribution) and the three baselines it is evaluated against (TL2,
+// TinySTM, RSTM).
+//
+// Two access styles are provided, mirroring the paper's setup:
+//
+//   - The word API (Load/Store on arena addresses) is the native interface
+//     of the word-based engines — SwissTM, TL2, TinySTM. STAMP uses it.
+//   - The object API (ReadField/WriteField on opaque handles) is the native
+//     interface of object-based RSTM; the word-based engines implement it
+//     with a thin wrapper that lays an object out as a contiguous block of
+//     words (the approach of "Dividing Transactional Memories by Zero",
+//     which the paper uses to run STMBench7 on word-based STMs).
+//
+// STMBench7, Lee-TM and the red-black tree are written against the object
+// API so they run on all four engines, exactly as in the paper.
+package stm
+
+import "swisstm/internal/mem"
+
+// Word is one 64-bit unit of transactional data.
+type Word = mem.Word
+
+// Addr is a word index into the shared arena (word API).
+type Addr = mem.Addr
+
+// Handle is an opaque object reference (object API). For word-based engines
+// a handle is the arena address of the object's first field; for RSTM it
+// indexes an object table. Handle 0 is the nil reference.
+type Handle = uint64
+
+// Tx is the per-transaction access handle passed to atomic blocks. All
+// methods abort the transaction (by panicking with an internal signal that
+// the enclosing Atomic call recovers) when a conflict requires it; user
+// code never observes an inconsistent snapshot (opacity).
+type Tx interface {
+	// Word API. RSTM does not support it and panics with ErrWordAPI.
+	Load(a Addr) Word
+	Store(a Addr, v Word)
+	// AllocWords reserves n fresh arena words inside the transaction.
+	// Allocation is not undone on abort (the arena is a bump allocator);
+	// a retried transaction simply allocates fresh words, and the leaked
+	// ones are unreachable. This matches the C implementations, whose
+	// transactional allocators also leak on abort in the common case.
+	AllocWords(n uint32) Addr
+
+	// Object API, supported by every engine.
+	ReadField(h Handle, field uint32) Word
+	WriteField(h Handle, field uint32, v Word)
+	NewObject(fields uint32) Handle
+
+	// Restart aborts and retries the transaction immediately (user-level
+	// retry, e.g. bounded wait loops in benchmark code).
+	Restart()
+}
+
+// Thread is a per-worker execution context. Each OS-level worker goroutine
+// must create its own Thread; Threads are not safe for concurrent use.
+type Thread interface {
+	// Atomic runs body as a transaction, retrying on conflicts until it
+	// commits. The body may run many times; it must be idempotent apart
+	// from its transactional effects.
+	Atomic(body func(tx Tx))
+	// Stats returns a snapshot of this thread's commit/abort counters.
+	Stats() Stats
+}
+
+// STM is a transactional memory engine instance bound to an arena.
+type STM interface {
+	Name() string
+	Arena() *mem.Arena
+	// NewThread registers a worker. id must be unique per live thread and
+	// < MaxThreads.
+	NewThread(id int) Thread
+}
+
+// MaxThreads bounds the number of concurrently registered threads. The
+// paper's testbed has 8 hardware threads; we leave headroom.
+const MaxThreads = 64
+
+// Stats counts transaction outcomes for one thread.
+type Stats struct {
+	Commits         uint64 // successfully committed transactions
+	Aborts          uint64 // total rollbacks (all causes)
+	AbortsWW        uint64 // write/write conflicts (encounter-time)
+	AbortsValid     uint64 // read-set validation / extension failures
+	AbortsLocked    uint64 // read or commit hit a locked location
+	AbortsKilled    uint64 // aborted by another transaction's CM decision
+	AbortsExplicit  uint64 // user-requested restarts
+	WaitsCM         uint64 // times the CM told the attacker to wait
+	LockAcquireFail uint64 // commit-time lock acquisition failures (lazy engines)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.AbortsWW += other.AbortsWW
+	s.AbortsValid += other.AbortsValid
+	s.AbortsLocked += other.AbortsLocked
+	s.AbortsKilled += other.AbortsKilled
+	s.AbortsExplicit += other.AbortsExplicit
+	s.WaitsCM += other.WaitsCM
+	s.LockAcquireFail += other.LockAcquireFail
+}
+
+// AbortRate returns aborts/(commits+aborts), the fraction of transaction
+// executions that rolled back.
+func (s *Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// RollbackSignal is the panic payload engines use to unwind an aborted
+// transaction to its Atomic retry loop. It is exported so that engine
+// packages share one signal type; user code should never see it.
+type RollbackSignal struct {
+	// Explicit marks a user-requested restart (Tx.Restart).
+	Explicit bool
+}
+
+// ErrWordAPI is the panic message RSTM raises when the word API is used.
+const ErrWordAPI = "stm: engine is object-based; word API not supported (see DESIGN.md §3.1)"

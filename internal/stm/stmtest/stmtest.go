@@ -1,0 +1,390 @@
+// Package stmtest is a conformance and stress suite run against every STM
+// engine in the repository. It checks the semantic guarantees the paper
+// assumes of all four systems (§3.1): atomicity, isolation, opacity
+// (transactions never observe inconsistent snapshots), and
+// read-your-writes, plus engine liveness under contention.
+package stmtest
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"swisstm/internal/stm"
+)
+
+// Options configures the conformance run for one engine.
+type Options struct {
+	// WordAPI is true for word-based engines (SwissTM, TL2, TinySTM);
+	// object-based RSTM skips word-API tests, as in the paper (STAMP
+	// cannot run on RSTM for the same reason).
+	WordAPI bool
+	// Threads caps the concurrency of the stress tests.
+	Threads int
+}
+
+// Run executes the full conformance suite. factory must return a fresh
+// engine per call.
+func Run(t *testing.T, factory func() stm.STM, opts Options) {
+	if opts.Threads == 0 {
+		opts.Threads = 4
+	}
+	t.Run("ReadYourWrites", func(t *testing.T) { testReadYourWrites(t, factory()) })
+	t.Run("ObjectRoundTrip", func(t *testing.T) { testObjectRoundTrip(t, factory()) })
+	t.Run("CommitPublishes", func(t *testing.T) { testCommitPublishes(t, factory()) })
+	t.Run("CountersParallel", func(t *testing.T) { testCounters(t, factory(), opts.Threads) })
+	t.Run("BankConservation", func(t *testing.T) { testBank(t, factory(), opts.Threads) })
+	t.Run("OpacityPairs", func(t *testing.T) { testOpacity(t, factory(), opts.Threads) })
+	t.Run("DisjointScaling", func(t *testing.T) { testDisjoint(t, factory(), opts.Threads) })
+	t.Run("WriteSkewPrevented", func(t *testing.T) { testNoWriteSkew(t, factory(), opts.Threads) })
+	t.Run("QuickModelCheck", func(t *testing.T) { testQuickModel(t, factory) })
+	if opts.WordAPI {
+		t.Run("WordAPI", func(t *testing.T) { testWordAPI(t, factory()) })
+	}
+}
+
+// alloc creates an n-field object outside any transaction by running a
+// tiny allocation-only transaction.
+func alloc(e stm.STM, th stm.Thread, n uint32) stm.Handle {
+	var h stm.Handle
+	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(n) })
+	_ = e
+	return h
+}
+
+func testReadYourWrites(t *testing.T, e stm.STM) {
+	th := e.NewThread(0)
+	h := alloc(e, th, 4)
+	th.Atomic(func(tx stm.Tx) {
+		tx.WriteField(h, 0, 41)
+		tx.WriteField(h, 1, 17)
+		if got := tx.ReadField(h, 0); got != 41 {
+			t.Fatalf("read-after-write field 0: got %d, want 41", got)
+		}
+		tx.WriteField(h, 0, 42)
+		if got := tx.ReadField(h, 0); got != 42 {
+			t.Fatalf("overwrite not visible: got %d, want 42", got)
+		}
+		if got := tx.ReadField(h, 1); got != 17 {
+			t.Fatalf("read-after-write field 1: got %d, want 17", got)
+		}
+		// Field 2 was never written in this transaction: must read the
+		// pre-transaction value (zero) even though fields 0-1 of the same
+		// object (possibly the same lock stripe) are written.
+		if got := tx.ReadField(h, 2); got != 0 {
+			t.Fatalf("unwritten field: got %d, want 0", got)
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		if got := tx.ReadField(h, 0); got != 42 {
+			t.Fatalf("after commit: got %d, want 42", got)
+		}
+	})
+}
+
+func testObjectRoundTrip(t *testing.T, e stm.STM) {
+	th := e.NewThread(0)
+	const fields = 16
+	h := alloc(e, th, fields)
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < fields; i++ {
+			tx.WriteField(h, i, stm.Word(i*i+1))
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < fields; i++ {
+			if got := tx.ReadField(h, i); got != stm.Word(i*i+1) {
+				t.Fatalf("field %d: got %d, want %d", i, got, i*i+1)
+			}
+		}
+	})
+}
+
+func testCommitPublishes(t *testing.T, e stm.STM) {
+	th0 := e.NewThread(0)
+	th1 := e.NewThread(1)
+	h := alloc(e, th0, 1)
+	th0.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, 7) })
+	var got stm.Word
+	th1.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+	if got != 7 {
+		t.Fatalf("thread 1 read %d, want 7", got)
+	}
+}
+
+// testCounters hammers a single shared counter from all threads; the final
+// value must equal the total number of increments (atomicity + isolation).
+func testCounters(t *testing.T, e stm.STM, threads int) {
+	th0 := e.NewThread(0)
+	h := alloc(e, th0, 1)
+	const perThread = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for n := 0; n < perThread; n++ {
+				th.Atomic(func(tx stm.Tx) {
+					tx.WriteField(h, 0, tx.ReadField(h, 0)+1)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	var got stm.Word
+	th0.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+	if got != stm.Word(threads*perThread) {
+		t.Fatalf("counter = %d, want %d", got, threads*perThread)
+	}
+}
+
+// testBank moves money between random accounts; the total must be
+// conserved at every observation point.
+func testBank(t *testing.T, e stm.STM, threads int) {
+	const accounts = 32
+	const initial = 1000
+	th0 := e.NewThread(0)
+	h := alloc(e, th0, accounts)
+	th0.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < accounts; i++ {
+			tx.WriteField(h, i, initial)
+		}
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			seed := uint64(id)*2654435761 + 12345
+			for n := 0; n < 3000; n++ {
+				seed = seed*6364136223846793005 + 1
+				from := uint32(seed>>33) % accounts
+				to := uint32(seed>>13) % accounts
+				th.Atomic(func(tx stm.Tx) {
+					bal := tx.ReadField(h, from)
+					if bal == 0 {
+						return
+					}
+					tx.WriteField(h, from, bal-1)
+					tx.WriteField(h, to, tx.ReadField(h, to)+1)
+				})
+			}
+		}(i)
+	}
+	// A concurrent auditor keeps summing; every snapshot must conserve the
+	// total (atomicity of transfers + opacity of the read-only scan).
+	auditor := e.NewThread(threads + 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum stm.Word
+			auditor.Atomic(func(tx stm.Tx) {
+				sum = 0
+				for i := uint32(0); i < accounts; i++ {
+					sum += tx.ReadField(h, i)
+				}
+			})
+			if sum != accounts*initial {
+				t.Errorf("mid-run audit: sum = %d, want %d", sum, accounts*initial)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	var sum stm.Word
+	th0.Atomic(func(tx stm.Tx) {
+		sum = 0
+		for i := uint32(0); i < accounts; i++ {
+			sum += tx.ReadField(h, i)
+		}
+	})
+	if sum != accounts*initial {
+		t.Fatalf("final sum = %d, want %d", sum, accounts*initial)
+	}
+}
+
+// testOpacity updates pairs of words together; a reader inside a
+// transaction must never see the two halves differ, even transiently —
+// the opacity guarantee of §3.1 (no stale values, no inconsistent reads).
+func testOpacity(t *testing.T, e stm.STM, threads int) {
+	const pairs = 8
+	th0 := e.NewThread(0)
+	hs := make([]stm.Handle, pairs)
+	for i := range hs {
+		hs[i] = alloc(e, th0, 2)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			seed := uint64(id+1) * 40503
+			for n := 0; n < 2000; n++ {
+				seed = seed*6364136223846793005 + 1
+				p := hs[seed%pairs]
+				if seed&1 == 0 {
+					th.Atomic(func(tx stm.Tx) {
+						v := tx.ReadField(p, 0) + 1
+						tx.WriteField(p, 0, v)
+						tx.WriteField(p, 1, v)
+					})
+				} else {
+					th.Atomic(func(tx stm.Tx) {
+						a := tx.ReadField(p, 0)
+						b := tx.ReadField(p, 1)
+						if a != b {
+							t.Errorf("opacity violation: pair halves %d != %d", a, b)
+						}
+					})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// testDisjoint runs threads on disjoint objects; nothing conflicts, so all
+// work must complete with a final per-thread value intact.
+func testDisjoint(t *testing.T, e stm.STM, threads int) {
+	th0 := e.NewThread(0)
+	hs := make([]stm.Handle, threads)
+	for i := range hs {
+		hs[i] = alloc(e, th0, 1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for n := 0; n < 5000; n++ {
+				th.Atomic(func(tx stm.Tx) {
+					tx.WriteField(hs[id], 0, tx.ReadField(hs[id], 0)+1)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < threads; i++ {
+		var got stm.Word
+		th0.Atomic(func(tx stm.Tx) { got = tx.ReadField(hs[i], 0) })
+		if got != 5000 {
+			t.Fatalf("disjoint counter %d = %d, want 5000", i, got)
+		}
+	}
+}
+
+// testNoWriteSkew checks serializability on the classic write-skew shape:
+// two accounts, invariant a+b ≥ 0, each transaction checks the sum then
+// withdraws from one side. Under snapshot isolation the invariant breaks;
+// under the serializability/opacity all four engines provide, it must hold.
+func testNoWriteSkew(t *testing.T, e stm.STM, threads int) {
+	th0 := e.NewThread(0)
+	h := alloc(e, th0, 2)
+	th0.Atomic(func(tx stm.Tx) {
+		tx.WriteField(h, 0, 100)
+		tx.WriteField(h, 1, 100)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			side := uint32(id % 2)
+			for n := 0; n < 1000; n++ {
+				th.Atomic(func(tx stm.Tx) {
+					a := int64(tx.ReadField(h, 0))
+					b := int64(tx.ReadField(h, 1))
+					if a+b >= 10 {
+						tx.WriteField(h, side, stm.Word(int64(tx.ReadField(h, side))-10))
+					}
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	var a, b int64
+	th0.Atomic(func(tx stm.Tx) {
+		a = int64(tx.ReadField(h, 0))
+		b = int64(tx.ReadField(h, 1))
+	})
+	if a+b < 0 {
+		t.Fatalf("write skew: a+b = %d < 0 (a=%d b=%d)", a+b, a, b)
+	}
+}
+
+// testQuickModel drives a fresh engine with random single-threaded
+// operation sequences and compares against a map model (testing/quick).
+func testQuickModel(t *testing.T, factory func() stm.STM) {
+	check := func(ops []uint16) bool {
+		e := factory()
+		th := e.NewThread(0)
+		const slots = 16
+		h := alloc(e, th, slots)
+		model := make(map[uint32]stm.Word, slots)
+		for _, op := range ops {
+			slot := uint32(op) % slots
+			val := stm.Word(op >> 4)
+			if op&1 == 0 {
+				th.Atomic(func(tx stm.Tx) { tx.WriteField(h, slot, val) })
+				model[slot] = val
+			} else {
+				var got stm.Word
+				th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, slot) })
+				if got != model[slot] {
+					return false
+				}
+			}
+		}
+		// Final full scan in one transaction.
+		ok := true
+		th.Atomic(func(tx stm.Tx) {
+			ok = true
+			for s := uint32(0); s < slots; s++ {
+				if tx.ReadField(h, s) != model[s] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testWordAPI(t *testing.T, e stm.STM) {
+	th := e.NewThread(0)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) {
+		base = tx.AllocWords(8)
+		for i := uint32(0); i < 8; i++ {
+			tx.Store(base+i, stm.Word(100+i))
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < 8; i++ {
+			if got := tx.Load(base + i); got != stm.Word(100+i) {
+				t.Fatalf("word %d: got %d, want %d", i, got, 100+i)
+			}
+		}
+		tx.Store(base, 999)
+		if got := tx.Load(base); got != 999 {
+			t.Fatalf("word read-after-write: got %d, want 999", got)
+		}
+	})
+	if got := e.Arena().Load(base); got != 999 {
+		t.Fatalf("raw arena read: got %d, want 999", got)
+	}
+}

@@ -1,0 +1,126 @@
+package swisstm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
+)
+
+// TestConformancePrivatizationSafe runs the standard conformance suite
+// with the quiescence scheme enabled.
+func TestConformancePrivatizationSafe(t *testing.T) {
+	stmtest.Run(t, func() stm.STM {
+		return New(Config{ArenaWords: 1 << 16, TableBits: 12, PrivatizationSafe: true})
+	}, stmtest.Options{WordAPI: true})
+}
+
+// TestPrivatizationSafety exercises the §6 pattern: a thread unlinks a
+// node transactionally and then works on it with raw (non-transactional)
+// accesses. With quiescence, no concurrent transaction's redo write-back
+// can land on the privatized node afterwards; the raw value must stick.
+func TestPrivatizationSafety(t *testing.T) {
+	const rounds = 300
+	e := New(Config{ArenaWords: 1 << 14, TableBits: 10, PrivatizationSafe: true})
+	setup := e.NewThread(0)
+	var head stm.Addr // holds the address of the current node (0 = none)
+	setup.Atomic(func(tx stm.Tx) {
+		head = tx.AllocWords(1)
+	})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Attackers: transactionally increment whatever node is published.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for !stop.Load() {
+				th.Atomic(func(tx stm.Tx) {
+					n := stm.Addr(tx.Load(head))
+					if n != 0 {
+						tx.Store(n, tx.Load(n)+1)
+					}
+				})
+			}
+		}(w)
+	}
+
+	// Privatizer: publish a node, let attackers hit it, unlink it, then
+	// use it non-transactionally. The raw value must never be clobbered
+	// by a late transactional write-back.
+	priv := e.NewThread(5)
+	clobbered := 0
+	for r := 0; r < rounds; r++ {
+		var node stm.Addr
+		priv.Atomic(func(tx stm.Tx) {
+			node = tx.AllocWords(1)
+			tx.Store(head, stm.Word(node))
+		})
+		// Give the attackers a moment to open transactions on the node.
+		for i := 0; i < 50; i++ {
+			_ = e.Arena().Load(head)
+		}
+		priv.Atomic(func(tx stm.Tx) {
+			tx.Store(head, 0) // unlink: node is now private
+		})
+		// After the privatizing commit (plus quiescence), raw access to
+		// the node must be safe.
+		e.Arena().Store(node, 999_999)
+		for i := 0; i < 100; i++ {
+			if e.Arena().Load(node) != 999_999 {
+				clobbered++
+				break
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if clobbered != 0 {
+		t.Fatalf("privatized node clobbered in %d/%d rounds", clobbered, rounds)
+	}
+}
+
+// TestQuiesceWaitsForSnapshot pins the quiescence rule itself: a commit
+// must not return while another thread's transaction still runs on an
+// older snapshot, and must return once that transaction finishes.
+func TestQuiesceWaitsForSnapshot(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, PrivatizationSafe: true})
+	setup := e.NewThread(0)
+	var a stm.Addr
+	setup.Atomic(func(tx stm.Tx) { a = tx.AllocWords(1) })
+
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		th := e.NewThread(1)
+		th.Atomic(func(tx stm.Tx) {
+			_ = tx.Load(a) // open a snapshot, then linger
+			select {
+			case <-inTx:
+			default:
+				close(inTx)
+			}
+			<-release
+		})
+	}()
+	<-inTx
+	committed := make(chan struct{})
+	go func() {
+		th := e.NewThread(2)
+		th.Atomic(func(tx stm.Tx) { tx.Store(a, 7) })
+		close(committed)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the writer reach its quiescence wait
+	select {
+	case <-committed:
+		t.Fatal("writer returned before the lingering reader finished (no quiescence)")
+	default:
+	}
+	close(release)
+	<-committed // must now complete
+}

@@ -1,0 +1,650 @@
+// Package swisstm implements SwissTM, the lock- and word-based software
+// transactional memory of Dragojević, Guerraoui and Kapałka, "Stretching
+// Transactional Memory" (PLDI 2009) — the paper's primary contribution.
+//
+// SwissTM's two distinctive design choices (paper §3):
+//
+//  1. Mixed conflict detection. Write/write conflicts are detected eagerly:
+//     a writer acquires a stripe's w-lock at its first write, so a second
+//     writer notices immediately and the contention manager arbitrates.
+//     Read/write conflicts are detected lazily: reads are invisible and a
+//     transaction may read a stripe whose w-lock is held, because the
+//     writer's redo log keeps memory unchanged until commit. A global
+//     commit counter plus timestamp extension keeps validation cheap.
+//
+//  2. A two-phase contention manager. Transactions start in the first
+//     phase with conceptual priority ∞ and abort themselves on any
+//     write/write conflict (the cheap "timid" policy, touching no shared
+//     state). Upon their Wn-th write they enter the second phase and draw a
+//     Greedy timestamp from a shared counter; among second-phase
+//     transactions the older wins, and any second-phase transaction wins
+//     against a first-phase one. Rolled-back transactions wait a
+//     randomized linear back-off before retrying.
+//
+// The implementation follows Algorithm 1 and Algorithm 2 of the paper
+// line by line; the mapping of memory words to lock-table entries is the
+// paper's Figure 1 (shift by the stripe size, mask by the table size).
+package swisstm
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"swisstm/internal/mem"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// CMPolicy selects the contention-management scheme used on write/write
+// conflicts. The paper's SwissTM uses TwoPhase; Greedy and Timid exist to
+// reproduce the ablations of §5 (Figures 10 and 12).
+type CMPolicy int
+
+const (
+	// TwoPhase is the paper's two-phase manager (Algorithm 2).
+	TwoPhase CMPolicy = iota
+	// Greedy assigns every transaction a Greedy timestamp at its first
+	// start, including short ones (Figure 10's strawman).
+	Greedy
+	// Timid always aborts the attacker (the TL2/TinySTM default,
+	// Figure 12's baseline).
+	Timid
+)
+
+func (p CMPolicy) String() string {
+	switch p {
+	case TwoPhase:
+		return "two-phase"
+	case Greedy:
+		return "greedy"
+	default:
+		return "timid"
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ArenaWords is the transactional heap capacity in 64-bit words.
+	ArenaWords int
+	// Arena optionally supplies a pre-built arena (shared setup);
+	// when non-nil ArenaWords is ignored.
+	Arena *mem.Arena
+	// StripeWordsLog2 is log2 of the number of consecutive words covered
+	// by one lock-table entry. The paper's default granularity is 2^4
+	// bytes = 4 (32-bit) words; we default to 4 words as well (log2 = 2).
+	// Must be ≤ 6 (stripe write masks are 64-bit).
+	StripeWordsLog2 uint
+	// TableBits is log2 of the lock-table entry count (paper: 22).
+	TableBits uint
+	// Policy is the contention-management scheme (default TwoPhase).
+	Policy CMPolicy
+	// Wn is the write count at which a two-phase transaction enters its
+	// second (Greedy) phase. The paper sets 10.
+	Wn int
+	// NoBackoff disables the randomized linear back-off after rollbacks
+	// (Figure 11's ablation).
+	NoBackoff bool
+	// BackoffUnit is the spin budget multiplied by the successive-abort
+	// count when backing off.
+	BackoffUnit int
+	// PrivatizationSafe enables the quiescence scheme sketched in the
+	// paper's §6: every committing update transaction waits until all
+	// transactions that started before its commit have validated,
+	// committed or aborted. Afterwards, data made private by the commit
+	// (e.g. an unlinked node) can be accessed non-transactionally with no
+	// risk of a belated redo-log write-back or a zombie reader. The paper
+	// predicts (and the ablation benchmark confirms) a significant cost.
+	PrivatizationSafe bool
+}
+
+func (c *Config) fill() {
+	if c.ArenaWords == 0 {
+		c.ArenaWords = 1 << 22
+	}
+	if c.TableBits == 0 {
+		c.TableBits = 20
+	}
+	if c.Wn == 0 {
+		c.Wn = 10
+	}
+	if c.BackoffUnit == 0 {
+		c.BackoffUnit = 512
+	}
+	if c.StripeWordsLog2 > 6 {
+		panic("swisstm: StripeWordsLog2 must be ≤ 6")
+	}
+}
+
+const (
+	rLocked  = uint64(1) // r-lock value while its owner is committing
+	infinity = ^uint64(0)
+)
+
+// wEntry is a write-log entry covering one lock-table stripe: the redo
+// values for the words of that stripe this transaction has written. The
+// stripe's w-lock points at its owner's wEntry, which makes the lock table
+// itself the write-set lookup structure (as in the C implementation).
+type wEntry struct {
+	owner      atomic.Pointer[txn] // read by other threads; everything else is owner-private
+	lockIdx    uint32
+	base       stm.Addr // first word of the primary stripe
+	mask       uint64   // bit i set ⇒ vals[i] holds the new value of base+i
+	vals       []stm.Word
+	savedRLock uint64 // r-lock value saved while locked at commit
+	// overflow holds writes to *aliased* stripes: distinct memory regions
+	// that map to the same lock-table entry (the table is a hash of the
+	// address space, Figure 1). Aliasing is rare with paper-sized tables
+	// but must be correct at any table size.
+	overflow []wsPair
+}
+
+// wsPair is one buffered aliased write.
+type wsPair struct {
+	addr stm.Addr
+	val  stm.Word
+}
+
+// rEntry is a read-log entry: the raw (unlocked) r-lock value observed.
+type rEntry struct {
+	lockIdx uint32
+	rlock   uint64 // version<<1 as read
+}
+
+// Engine is a SwissTM instance: an arena plus its lock table and global
+// counters.
+type Engine struct {
+	cfg      Config
+	arena    *mem.Arena
+	rlocks   []atomic.Uint64          // version<<1 when unlocked; 1 when locked
+	wlocks   []atomic.Pointer[wEntry] // nil when unlocked
+	commitTS atomic.Uint64            // global commit counter (Algorithm 1)
+	greedyTS atomic.Uint64            // Greedy timestamp source (Algorithm 2)
+	shift    uint
+	mask     uint32
+	stripeW  uint32 // words per stripe
+	// activity publishes each thread's in-flight snapshot timestamp + 1
+	// (0 = no transaction running); used by the quiescence scheme.
+	activity [stm.MaxThreads]atomic.Uint64
+}
+
+// New creates a SwissTM engine.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	a := cfg.Arena
+	if a == nil {
+		a = mem.NewArena(cfg.ArenaWords)
+	}
+	n := 1 << cfg.TableBits
+	return &Engine{
+		cfg:     cfg,
+		arena:   a,
+		rlocks:  make([]atomic.Uint64, n),
+		wlocks:  make([]atomic.Pointer[wEntry], n),
+		shift:   cfg.StripeWordsLog2,
+		mask:    uint32(n - 1),
+		stripeW: 1 << cfg.StripeWordsLog2,
+	}
+}
+
+// Name implements stm.STM.
+func (e *Engine) Name() string {
+	if e.cfg.Policy != TwoPhase {
+		return fmt.Sprintf("SwissTM(%s)", e.cfg.Policy)
+	}
+	return "SwissTM"
+}
+
+// Arena implements stm.STM.
+func (e *Engine) Arena() *mem.Arena { return e.arena }
+
+// stripe returns the lock-table index for addr (Figure 1's mapping).
+func (e *Engine) stripe(a stm.Addr) uint32 { return (a >> e.shift) & e.mask }
+
+// stripeBase returns the first address covered by the same stripe as a.
+func (e *Engine) stripeBase(a stm.Addr) stm.Addr { return a &^ (e.stripeW - 1) }
+
+// txn is a transaction descriptor. One descriptor per thread is reused
+// across that thread's transactions.
+type txn struct {
+	e         *Engine
+	id        int
+	validTS   uint64
+	cmTS      atomic.Uint64 // ∞ in phase one; Greedy timestamp in phase two
+	status    atomic.Uint32 // 0 active, 1 killed by another transaction's CM
+	readLog   []rEntry
+	writeLog  []*wEntry
+	pool      []*wEntry
+	poolIdx   int
+	rng       *util.Rand
+	succ      int    // successive aborts of the current logical transaction
+	quiesceTS uint64 // commit timestamp to quiesce on (privatization safety)
+	stats     stm.Stats
+}
+
+// NewThread implements stm.STM.
+func (e *Engine) NewThread(id int) stm.Thread {
+	if id < 0 || id >= stm.MaxThreads {
+		panic("swisstm: thread id out of range")
+	}
+	t := &txn{
+		e:        e,
+		id:       id,
+		readLog:  make([]rEntry, 0, 1024),
+		writeLog: make([]*wEntry, 0, 256),
+		rng:      util.NewRand(uint64(id)*0x9e3779b9 + 1),
+	}
+	t.cmTS.Store(infinity)
+	return t
+}
+
+// Stats implements stm.Thread.
+func (t *txn) Stats() stm.Stats { return t.stats }
+
+// Atomic implements stm.Thread: run body with automatic retry.
+func (t *txn) Atomic(body func(stm.Tx)) {
+	restart := false
+	for {
+		t.begin(restart)
+		if t.attempt(body) {
+			t.succ = 0
+			if t.e.cfg.PrivatizationSafe {
+				t.e.activity[t.id].Store(0)
+				if t.quiesceTS != 0 {
+					t.e.quiesce(t.id, t.quiesceTS)
+					t.quiesceTS = 0
+				}
+			}
+			return
+		}
+		if t.e.cfg.PrivatizationSafe {
+			t.e.activity[t.id].Store(0)
+		}
+		restart = true
+		t.succ++
+		// cm-on-rollback (Algorithm 2 line 11): randomized linear back-off
+		// proportional to the number of successive aborts.
+		if !t.e.cfg.NoBackoff {
+			util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+		}
+	}
+}
+
+// quiesce waits until every other thread's in-flight transaction either
+// finished or has validated at a snapshot no older than ts (§6's scheme).
+func (e *Engine) quiesce(self int, ts uint64) {
+	for i := range e.activity {
+		if i == self {
+			continue
+		}
+		for spin := 0; ; spin++ {
+			v := e.activity[i].Load()
+			if v == 0 || v > ts {
+				break
+			}
+			if spin&0x3f == 0x3f {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// attempt runs the body once, committing at the end. It reports false when
+// the transaction rolled back (signalled by a RollbackSignal panic).
+func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, rb := r.(stm.RollbackSignal); rb {
+				ok = false
+				return
+			}
+			// A foreign panic (bug in benchmark code, arena exhaustion):
+			// release write locks so other threads are not wedged, then
+			// propagate.
+			t.releaseWLocks()
+			panic(r)
+		}
+	}()
+	body(t)
+	t.commit()
+	return true
+}
+
+// begin is Algorithm 1's start: snapshot the commit counter, then
+// cm-start (Algorithm 2 lines 1-2: a fresh transaction resets its
+// timestamp to ∞; a restarted one keeps it, preserving Greedy's
+// starvation-freedom for long transactions).
+func (t *txn) begin(restart bool) {
+	t.validTS = t.e.commitTS.Load()
+	if t.e.cfg.PrivatizationSafe {
+		t.e.activity[t.id].Store(t.validTS + 1)
+	}
+	t.status.Store(0)
+	t.readLog = t.readLog[:0]
+	t.writeLog = t.writeLog[:0]
+	t.poolIdx = 0
+	if !restart {
+		switch t.e.cfg.Policy {
+		case Greedy:
+			t.cmTS.Store(t.e.greedyTS.Add(1))
+		default:
+			t.cmTS.Store(infinity)
+		}
+	}
+}
+
+func (t *txn) killed() bool { return t.status.Load() != 0 }
+
+// Load implements Algorithm 1's read-word.
+func (t *txn) Load(a stm.Addr) stm.Word {
+	if t.killed() {
+		t.stats.AbortsKilled++
+		t.rollback()
+	}
+	idx := t.e.stripe(a)
+	if we := t.e.wlocks[idx].Load(); we != nil && we.owner.Load() == t {
+		// Read-after-write: return the value from our own write log
+		// (line 6). Unwritten words of an owned stripe are stable in
+		// memory because we hold the w-lock.
+		if v, ok := we.get(a); ok {
+			return v
+		}
+		return t.e.arena.Load(a)
+	}
+	// Consistent double-read of r-lock around the data word (lines 8-15).
+	rl := &t.e.rlocks[idx]
+	var v1 uint64
+	var val stm.Word
+	for spin := 0; ; spin++ {
+		v1 = rl.Load()
+		if v1 == rLocked {
+			// The owner is committing this stripe; it will release
+			// momentarily. Reading would be inconsistent, so wait.
+			if spin&0x3f == 0x3f {
+				if t.killed() {
+					t.stats.AbortsKilled++
+					t.rollback()
+				}
+				runtime.Gosched()
+			}
+			continue
+		}
+		val = t.e.arena.Load(a)
+		if rl.Load() == v1 {
+			break
+		}
+	}
+	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
+	if v1>>1 > t.validTS && !t.extend() {
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	return val
+}
+
+// Store implements Algorithm 1's write-word: eager w-lock acquisition
+// (write/write conflicts surface immediately), redo-log buffering
+// (read/write conflicts stay invisible until commit).
+func (t *txn) Store(a stm.Addr, v stm.Word) {
+	if t.killed() {
+		t.stats.AbortsKilled++
+		t.rollback()
+	}
+	idx := t.e.stripe(a)
+	wl := &t.e.wlocks[idx]
+	if we := wl.Load(); we != nil && we.owner.Load() == t {
+		we.set(a, v)
+		return
+	}
+	for spin := 0; ; spin++ {
+		we := wl.Load()
+		if we != nil {
+			if we.owner.Load() == t {
+				we.set(a, v)
+				return
+			}
+			// Write/write conflict: ask the contention manager
+			// (Algorithm 1 line 26).
+			if t.cmShouldAbort(we.owner.Load()) {
+				t.stats.AbortsWW++
+				t.rollback()
+			}
+			// CM said wait for the owner to finish.
+			if t.killed() {
+				t.stats.AbortsKilled++
+				t.rollback()
+			}
+			if spin&0x3f == 0x3f {
+				runtime.Gosched()
+			}
+			continue
+		}
+		entry := t.newEntry(idx, t.e.stripeBase(a))
+		entry.set(a, v)
+		if wl.CompareAndSwap(nil, entry) {
+			t.writeLog = append(t.writeLog, entry)
+			break
+		}
+		t.poolIdx-- // CAS lost; return the entry to the pool
+	}
+	// Opacity guard (lines 31-32): if the stripe moved past our snapshot
+	// we must revalidate before continuing.
+	if rv := t.e.rlocks[idx].Load(); rv != rLocked && rv>>1 > t.validTS && !t.extend() {
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	t.cmOnWrite()
+}
+
+// commit implements Algorithm 1's commit.
+func (t *txn) commit() {
+	if t.killed() {
+		t.stats.AbortsKilled++
+		t.rollback()
+	}
+	if len(t.writeLog) == 0 { // read-only fast path (line 35)
+		t.stats.Commits++
+		return
+	}
+	// Lock the r-locks of all written stripes so readers cannot observe a
+	// partially written state.
+	for _, we := range t.writeLog {
+		rl := &t.e.rlocks[we.lockIdx]
+		we.savedRLock = rl.Load() // unlocked: only the w-lock owner locks it
+		rl.Store(rLocked)
+	}
+	ts := t.e.commitTS.Add(1)
+	if ts > t.validTS+1 && !t.validate() {
+		for _, we := range t.writeLog {
+			t.e.rlocks[we.lockIdx].Store(we.savedRLock)
+		}
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	newRLock := ts << 1
+	for _, we := range t.writeLog {
+		m := we.mask
+		for m != 0 {
+			i := uint(bits.TrailingZeros64(m))
+			t.e.arena.Store(we.base+stm.Addr(i), we.vals[i])
+			m &= m - 1
+		}
+		for _, p := range we.overflow {
+			t.e.arena.Store(p.addr, p.val)
+		}
+		t.e.rlocks[we.lockIdx].Store(newRLock)
+		t.e.wlocks[we.lockIdx].Store(nil)
+	}
+	if t.e.cfg.PrivatizationSafe {
+		t.quiesceTS = ts // quiesce after the descriptor is deactivated
+	}
+	t.stats.Commits++
+}
+
+// validate re-checks every read-log entry (Algorithm 1 lines 50-53).
+func (t *txn) validate() bool {
+	for i := range t.readLog {
+		re := &t.readLog[i]
+		cur := t.e.rlocks[re.lockIdx].Load()
+		if cur == re.rlock {
+			continue
+		}
+		// Changed or locked: still fine if we are the one holding it
+		// (we locked our own written stripes at commit).
+		if cur == rLocked {
+			if we := t.e.wlocks[re.lockIdx].Load(); we != nil && we.owner.Load() == t {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// extend is Algorithm 1's extend: revalidate, then advance valid-ts.
+func (t *txn) extend() bool {
+	ts := t.e.commitTS.Load()
+	if t.validate() {
+		t.validTS = ts
+		if t.e.cfg.PrivatizationSafe {
+			// Publish the new snapshot so quiescing committers older
+			// than it stop waiting for us.
+			t.e.activity[t.id].Store(ts + 1)
+		}
+		return true
+	}
+	return false
+}
+
+// rollback releases write locks and unwinds to the Atomic retry loop.
+func (t *txn) rollback() {
+	t.releaseWLocks()
+	t.stats.Aborts++
+	panic(stm.RollbackSignal{})
+}
+
+func (t *txn) releaseWLocks() {
+	for _, we := range t.writeLog {
+		t.e.wlocks[we.lockIdx].Store(nil)
+	}
+	t.writeLog = t.writeLog[:0]
+}
+
+// Restart implements stm.Tx.
+func (t *txn) Restart() {
+	t.releaseWLocks()
+	t.stats.Aborts++
+	t.stats.AbortsExplicit++
+	panic(stm.RollbackSignal{Explicit: true})
+}
+
+// cmShouldAbort is Algorithm 2's cm-should-abort: true means the attacker
+// (t) must abort itself; false means it should wait for owner to finish
+// (after the owner has been killed, when the attacker has priority).
+func (t *txn) cmShouldAbort(owner *txn) bool {
+	switch t.e.cfg.Policy {
+	case Timid:
+		return true
+	default: // TwoPhase and Greedy share the arbitration rule
+		myTS := t.cmTS.Load()
+		if myTS == infinity {
+			return true // phase one: abort self (line 6)
+		}
+		if owner == nil {
+			return false
+		}
+		if owner.cmTS.Load() < myTS {
+			return true // older owner wins (line 8)
+		}
+		// We have priority: kill the owner and wait for it to release
+		// (line 9). The CAS may hit a later transaction of the same
+		// thread (descriptor reuse); that only causes a spurious retry
+		// of that transaction, never a safety violation.
+		owner.status.CompareAndSwap(0, 1)
+		t.stats.WaitsCM++
+		return false
+	}
+}
+
+// cmOnWrite is Algorithm 2's cm-on-write: upon the Wn-th write the
+// transaction enters the second phase and draws a Greedy timestamp.
+func (t *txn) cmOnWrite() {
+	if t.e.cfg.Policy != TwoPhase {
+		return
+	}
+	if t.cmTS.Load() == infinity && len(t.writeLog) == t.e.cfg.Wn {
+		t.cmTS.Store(t.e.greedyTS.Add(1))
+	}
+}
+
+// newEntry takes a write-log entry from the per-thread pool.
+func (t *txn) newEntry(idx uint32, base stm.Addr) *wEntry {
+	if t.poolIdx == len(t.pool) {
+		t.pool = append(t.pool, &wEntry{vals: make([]stm.Word, t.e.stripeW)})
+	}
+	we := t.pool[t.poolIdx]
+	t.poolIdx++
+	we.owner.Store(t)
+	we.lockIdx = idx
+	we.base = base
+	we.mask = 0
+	we.overflow = we.overflow[:0]
+	return we
+}
+
+func (we *wEntry) set(a stm.Addr, v stm.Word) {
+	if off := a - we.base; off < stm.Addr(len(we.vals)) {
+		we.mask |= 1 << off
+		we.vals[off] = v
+		return
+	}
+	for i := range we.overflow {
+		if we.overflow[i].addr == a {
+			we.overflow[i].val = v
+			return
+		}
+	}
+	we.overflow = append(we.overflow, wsPair{addr: a, val: v})
+}
+
+// get returns the buffered value for a, or ok=false when this entry holds
+// no write for it (the caller may then read memory: it owns the lock).
+func (we *wEntry) get(a stm.Addr) (stm.Word, bool) {
+	if off := a - we.base; off < stm.Addr(len(we.vals)) {
+		if we.mask&(1<<off) != 0 {
+			return we.vals[off], true
+		}
+		return 0, false
+	}
+	for i := range we.overflow {
+		if we.overflow[i].addr == a {
+			return we.overflow[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// AllocWords implements stm.Tx.
+func (t *txn) AllocWords(n uint32) stm.Addr { return t.e.arena.Alloc(n) }
+
+// Object API: an object is a contiguous block of words (DESIGN.md §3.1).
+
+// ReadField implements stm.Tx.
+func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
+	return t.Load(stm.Addr(h) + field)
+}
+
+// WriteField implements stm.Tx.
+func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
+	t.Store(stm.Addr(h)+field, v)
+}
+
+// NewObject implements stm.Tx.
+func (t *txn) NewObject(fields uint32) stm.Handle {
+	return stm.Handle(t.e.arena.Alloc(fields))
+}
+
+var _ stm.STM = (*Engine)(nil)
+var _ stm.Thread = (*txn)(nil)
+var _ stm.Tx = (*txn)(nil)

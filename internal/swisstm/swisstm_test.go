@@ -1,0 +1,211 @@
+package swisstm
+
+import (
+	"sync"
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
+)
+
+func newEngine() stm.STM {
+	return New(Config{ArenaWords: 1 << 16, TableBits: 12})
+}
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, newEngine, stmtest.Options{WordAPI: true})
+}
+
+func TestConformanceTimidCM(t *testing.T) {
+	stmtest.Run(t, func() stm.STM {
+		return New(Config{ArenaWords: 1 << 16, TableBits: 12, Policy: Timid})
+	}, stmtest.Options{WordAPI: true})
+}
+
+func TestConformanceGreedyCM(t *testing.T) {
+	stmtest.Run(t, func() stm.STM {
+		return New(Config{ArenaWords: 1 << 16, TableBits: 12, Policy: Greedy})
+	}, stmtest.Options{WordAPI: true})
+}
+
+func TestConformanceNoBackoff(t *testing.T) {
+	stmtest.Run(t, func() stm.STM {
+		return New(Config{ArenaWords: 1 << 16, TableBits: 12, NoBackoff: true})
+	}, stmtest.Options{WordAPI: true})
+}
+
+func TestConformanceGranularities(t *testing.T) {
+	for _, g := range []uint{0, 2, 6} {
+		g := g
+		t.Run(map[uint]string{0: "1word", 2: "4words", 6: "64words"}[g], func(t *testing.T) {
+			stmtest.Run(t, func() stm.STM {
+				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWordsLog2: g})
+			}, stmtest.Options{WordAPI: true})
+		})
+	}
+}
+
+func TestStripeMapping(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 10, TableBits: 8, StripeWordsLog2: 2})
+	// Four consecutive words share a stripe; the fifth does not (Figure 1).
+	if e.stripe(0) != e.stripe(3) {
+		t.Fatalf("words 0 and 3 should share a stripe")
+	}
+	if e.stripe(3) == e.stripe(4) {
+		t.Fatalf("words 3 and 4 should be in different stripes")
+	}
+	if e.stripeBase(7) != 4 {
+		t.Fatalf("stripeBase(7) = %d, want 4", e.stripeBase(7))
+	}
+	// Mapping wraps modulo the table size rather than overflowing.
+	big := stm.Addr(1<<9 - 1)
+	if int(e.stripe(big)) >= 1<<8 {
+		t.Fatalf("stripe index out of table range")
+	}
+}
+
+func TestFalseConflictSameStripe(t *testing.T) {
+	// Two words in the same stripe conflict (false conflict, §3.3): both
+	// transactions must still execute correctly, one after the other.
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, StripeWordsLog2: 2})
+	th0 := e.NewThread(0)
+	var base stm.Addr
+	th0.Atomic(func(tx stm.Tx) { base = tx.AllocWords(4) })
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for n := 0; n < 2000; n++ {
+				th.Atomic(func(tx stm.Tx) {
+					a := stm.Addr(uint32(base) + uint32(id)) // distinct words, same stripe
+					tx.Store(a, tx.Load(a)+1)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	th0.Atomic(func(tx stm.Tx) {
+		if got := tx.Load(base); got != 2000 {
+			t.Errorf("word 0: got %d, want 2000", got)
+		}
+		if got := tx.Load(base + 1); got != 2000 {
+			t.Errorf("word 1: got %d, want 2000", got)
+		}
+	})
+}
+
+func TestTwoPhasePromotion(t *testing.T) {
+	// A transaction that performs Wn writes must enter phase two (acquire
+	// a finite Greedy timestamp); one with Wn-1 writes must not.
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, Wn: 4})
+	th := e.NewThread(0).(*txn)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(64) })
+
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < 3; i++ {
+			tx.Store(base+i*8, 1) // distinct stripes at default granularity
+		}
+		if th.cmTS.Load() != infinity {
+			t.Errorf("phase-two entered after 3 writes with Wn=4")
+		}
+	})
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < 4; i++ {
+			tx.Store(base+i*8, 1)
+		}
+		if th.cmTS.Load() == infinity {
+			t.Errorf("still phase-one after Wn=4 writes")
+		}
+	})
+	// A fresh (non-restart) transaction resets to phase one.
+	th.Atomic(func(tx stm.Tx) {
+		if th.cmTS.Load() != infinity {
+			t.Errorf("cm-ts not reset at fresh start")
+		}
+	})
+}
+
+func TestKilledVictimRetries(t *testing.T) {
+	// A long phase-two transaction must win against short phase-two
+	// transactions that started later, and everything must still commit.
+	e := New(Config{ArenaWords: 1 << 14, TableBits: 10, Wn: 1})
+	th0 := e.NewThread(0)
+	var base stm.Addr
+	th0.Atomic(func(tx stm.Tx) { base = tx.AllocWords(256) })
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for n := 0; n < 300; n++ {
+				th.Atomic(func(tx stm.Tx) {
+					// Touch a window of stripes so transactions overlap.
+					for k := uint32(0); k < 16; k++ {
+						a := base + stm.Addr((uint32(n)+k*4)%256)
+						tx.Store(a, tx.Load(a)+1)
+					}
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	var sum stm.Word
+	th0.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < 256; i++ {
+			sum += tx.Load(base + i)
+		}
+	})
+	if sum != 3*300*16 {
+		t.Fatalf("sum = %d, want %d", sum, 3*300*16)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
+	th := e.NewThread(0)
+	var h stm.Handle
+	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	for i := 0; i < 10; i++ {
+		th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, stm.Word(i)) })
+	}
+	s := th.Stats()
+	if s.Commits != 11 {
+		t.Fatalf("commits = %d, want 11", s.Commits)
+	}
+	if s.Aborts != 0 {
+		t.Fatalf("aborts = %d, want 0 (single thread)", s.Aborts)
+	}
+}
+
+func TestForeignPanicReleasesLocks(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
+	th := e.NewThread(0)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(1) })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		th.Atomic(func(tx stm.Tx) {
+			tx.Store(base, 1)
+			panic("user bug")
+		})
+	}()
+	// The write lock must have been released: another thread can write.
+	th2 := e.NewThread(1)
+	done := make(chan struct{})
+	go func() {
+		th2.Atomic(func(tx stm.Tx) { tx.Store(base, 2) })
+		close(done)
+	}()
+	<-done
+	if got := e.Arena().Load(base); got != 2 {
+		t.Fatalf("arena value = %d, want 2", got)
+	}
+}

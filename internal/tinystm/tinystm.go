@@ -1,0 +1,390 @@
+// Package tinystm implements the TinySTM algorithm of Felber, Fetzer and
+// Riegel ("Dynamic Performance Tuning of Word-Based Software Transactional
+// Memory", PPoPP 2008), the eager baseline of the paper's evaluation
+// (version 0.9.5 defaults: encounter-time locking, write-back, timid
+// contention management).
+//
+// TinySTM detects *both* conflict kinds eagerly:
+//
+//   - Writes acquire a per-stripe lock at encounter time (like SwissTM),
+//     buffering new values in a redo log.
+//   - A read of a stripe locked by another transaction aborts the reader
+//     immediately — the behaviour the paper's §1 (point 2) identifies as
+//     harmful for mixed workloads, and which Figure 8 demonstrates: one
+//     long writer blocks many readers.
+//
+// Like SwissTM (and unlike TL2) it uses a time-based scheme with
+// timestamp extension, so reads of freshly updated locations can
+// revalidate instead of aborting.
+package tinystm
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"swisstm/internal/mem"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Config parameterizes a TinySTM engine.
+type Config struct {
+	ArenaWords      int
+	Arena           *mem.Arena
+	StripeWordsLog2 uint
+	TableBits       uint
+	BackoffUnit     int
+}
+
+func (c *Config) fill() {
+	if c.ArenaWords == 0 {
+		c.ArenaWords = 1 << 22
+	}
+	if c.TableBits == 0 {
+		c.TableBits = 20
+	}
+	if c.BackoffUnit == 0 {
+		c.BackoffUnit = 512
+	}
+	if c.StripeWordsLog2 > 6 {
+		panic("tinystm: StripeWordsLog2 must be ≤ 6")
+	}
+}
+
+// wEntry is a redo-log entry for one stripe (write-back design).
+type wEntry struct {
+	owner atomic.Pointer[txn] // read by other threads for identity checks
+	idx   uint32
+	base  stm.Addr
+	mask  uint64
+	vals  []stm.Word
+	// overflow buffers writes to aliased stripes (distinct memory regions
+	// hashing to the same lock-table entry); see the same field in
+	// package swisstm.
+	overflow []wsPair
+}
+
+// wsPair is one buffered aliased write.
+type wsPair struct {
+	addr stm.Addr
+	val  stm.Word
+}
+
+type rEntry struct {
+	idx uint32
+	ver uint64
+}
+
+// Engine is a TinySTM instance. Each stripe has a version counter and an
+// owner pointer; a non-nil owner is the encounter-time write lock.
+type Engine struct {
+	cfg    Config
+	arena  *mem.Arena
+	vers   []atomic.Uint64
+	owners []atomic.Pointer[wEntry]
+	clock  atomic.Uint64
+	shift  uint
+	mask   uint32
+	stripe uint32
+}
+
+// New creates a TinySTM engine.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	a := cfg.Arena
+	if a == nil {
+		a = mem.NewArena(cfg.ArenaWords)
+	}
+	n := 1 << cfg.TableBits
+	return &Engine{
+		cfg:    cfg,
+		arena:  a,
+		vers:   make([]atomic.Uint64, n),
+		owners: make([]atomic.Pointer[wEntry], n),
+		shift:  cfg.StripeWordsLog2,
+		mask:   uint32(n - 1),
+		stripe: 1 << cfg.StripeWordsLog2,
+	}
+}
+
+// Name implements stm.STM.
+func (e *Engine) Name() string { return "TinySTM" }
+
+// Arena implements stm.STM.
+func (e *Engine) Arena() *mem.Arena { return e.arena }
+
+func (e *Engine) stripeIdx(a stm.Addr) uint32    { return (a >> e.shift) & e.mask }
+func (e *Engine) stripeBase(a stm.Addr) stm.Addr { return a &^ (e.stripe - 1) }
+
+// txn is a TinySTM transaction descriptor, one per thread.
+type txn struct {
+	e        *Engine
+	id       int
+	validTS  uint64
+	readLog  []rEntry
+	writeLog []*wEntry
+	pool     []*wEntry
+	poolIdx  int
+	rng      *util.Rand
+	succ     int
+	stats    stm.Stats
+}
+
+// NewThread implements stm.STM.
+func (e *Engine) NewThread(id int) stm.Thread {
+	if id < 0 || id >= stm.MaxThreads {
+		panic("tinystm: thread id out of range")
+	}
+	return &txn{
+		e:        e,
+		id:       id,
+		readLog:  make([]rEntry, 0, 1024),
+		writeLog: make([]*wEntry, 0, 256),
+		rng:      util.NewRand(uint64(id)*0xabcd1234 + 3),
+	}
+}
+
+// Stats implements stm.Thread.
+func (t *txn) Stats() stm.Stats { return t.stats }
+
+// Atomic implements stm.Thread.
+func (t *txn) Atomic(body func(stm.Tx)) {
+	for {
+		t.begin()
+		if t.attempt(body) {
+			t.succ = 0
+			return
+		}
+		t.succ++
+		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+	}
+}
+
+func (t *txn) begin() {
+	t.validTS = t.e.clock.Load()
+	t.readLog = t.readLog[:0]
+	t.writeLog = t.writeLog[:0]
+	t.poolIdx = 0
+}
+
+func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, rb := r.(stm.RollbackSignal); rb {
+				ok = false
+				return
+			}
+			t.releaseOwned()
+			panic(r)
+		}
+	}()
+	body(t)
+	t.commit()
+	return true
+}
+
+func (t *txn) rollback() {
+	t.releaseOwned()
+	t.stats.Aborts++
+	panic(stm.RollbackSignal{})
+}
+
+// Restart implements stm.Tx.
+func (t *txn) Restart() {
+	t.releaseOwned()
+	t.stats.Aborts++
+	t.stats.AbortsExplicit++
+	panic(stm.RollbackSignal{Explicit: true})
+}
+
+func (t *txn) releaseOwned() {
+	for _, we := range t.writeLog {
+		t.e.owners[we.idx].Store(nil)
+	}
+	t.writeLog = t.writeLog[:0]
+}
+
+// Load implements the TinySTM read protocol: encounter-time lock check
+// (abort if locked by another), consistent version/value sample, timestamp
+// extension when the version is newer than the snapshot.
+func (t *txn) Load(a stm.Addr) stm.Word {
+	idx := t.e.stripeIdx(a)
+	own := &t.e.owners[idx]
+	ver := &t.e.vers[idx]
+	for {
+		if we := own.Load(); we != nil {
+			if we.owner.Load() == t {
+				if v, ok := we.get(a); ok {
+					return v
+				}
+				return t.e.arena.Load(a)
+			}
+			// Encounter-time locking: a reader hitting a foreign lock
+			// aborts at once (timid CM).
+			t.stats.AbortsLocked++
+			t.rollback()
+		}
+		v1 := ver.Load()
+		val := t.e.arena.Load(a)
+		v2 := ver.Load()
+		if v1 != v2 || own.Load() != nil {
+			// A committer moved under us; resample.
+			runtime.Gosched()
+			continue
+		}
+		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
+		if v1 > t.validTS && !t.extend() {
+			t.stats.AbortsValid++
+			t.rollback()
+		}
+		return val
+	}
+}
+
+// Store implements encounter-time lock acquisition with redo logging.
+func (t *txn) Store(a stm.Addr, v stm.Word) {
+	idx := t.e.stripeIdx(a)
+	own := &t.e.owners[idx]
+	for {
+		we := own.Load()
+		if we != nil {
+			if we.owner.Load() == t {
+				we.set(a, v)
+				return
+			}
+			// Write/write conflict: timid — abort self.
+			t.stats.AbortsWW++
+			t.rollback()
+		}
+		entry := t.newEntry(idx, t.e.stripeBase(a))
+		entry.set(a, v)
+		if own.CompareAndSwap(nil, entry) {
+			t.writeLog = append(t.writeLog, entry)
+			break
+		}
+		t.poolIdx--
+	}
+	if ver := t.e.vers[idx].Load(); ver > t.validTS && !t.extend() {
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+}
+
+// commit writes back the redo log under the encounter-time locks.
+func (t *txn) commit() {
+	if len(t.writeLog) == 0 {
+		t.stats.Commits++
+		return
+	}
+	ts := t.e.clock.Add(1)
+	if ts > t.validTS+1 && !t.validate() {
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	for _, we := range t.writeLog {
+		m := we.mask
+		for m != 0 {
+			i := uint(bits.TrailingZeros64(m))
+			t.e.arena.Store(we.base+stm.Addr(i), we.vals[i])
+			m &= m - 1
+		}
+		for _, p := range we.overflow {
+			t.e.arena.Store(p.addr, p.val)
+		}
+		t.e.vers[we.idx].Store(ts)
+		t.e.owners[we.idx].Store(nil)
+	}
+	t.writeLog = t.writeLog[:0] // ownership transferred; nothing to release
+	t.stats.Commits++
+}
+
+func (t *txn) validate() bool {
+	for i := range t.readLog {
+		re := &t.readLog[i]
+		if t.e.vers[re.idx].Load() != re.ver {
+			return false
+		}
+		if we := t.e.owners[re.idx].Load(); we != nil && we.owner.Load() != t {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *txn) extend() bool {
+	ts := t.e.clock.Load()
+	if t.validate() {
+		t.validTS = ts
+		return true
+	}
+	return false
+}
+
+func (t *txn) newEntry(idx uint32, base stm.Addr) *wEntry {
+	if t.poolIdx == len(t.pool) {
+		t.pool = append(t.pool, &wEntry{vals: make([]stm.Word, t.e.stripe)})
+	}
+	we := t.pool[t.poolIdx]
+	t.poolIdx++
+	we.owner.Store(t)
+	we.idx = idx
+	we.base = base
+	we.mask = 0
+	we.overflow = we.overflow[:0]
+	return we
+}
+
+func (we *wEntry) set(a stm.Addr, v stm.Word) {
+	if off := a - we.base; off < stm.Addr(len(we.vals)) {
+		we.mask |= 1 << off
+		we.vals[off] = v
+		return
+	}
+	for i := range we.overflow {
+		if we.overflow[i].addr == a {
+			we.overflow[i].val = v
+			return
+		}
+	}
+	we.overflow = append(we.overflow, wsPair{addr: a, val: v})
+}
+
+// get returns the buffered value for a, or ok=false when this entry holds
+// no write for it.
+func (we *wEntry) get(a stm.Addr) (stm.Word, bool) {
+	if off := a - we.base; off < stm.Addr(len(we.vals)) {
+		if we.mask&(1<<off) != 0 {
+			return we.vals[off], true
+		}
+		return 0, false
+	}
+	for i := range we.overflow {
+		if we.overflow[i].addr == a {
+			return we.overflow[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// AllocWords implements stm.Tx.
+func (t *txn) AllocWords(n uint32) stm.Addr { return t.e.arena.Alloc(n) }
+
+// ReadField implements stm.Tx (object-over-words wrapper).
+func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
+	return t.Load(stm.Addr(h) + field)
+}
+
+// WriteField implements stm.Tx.
+func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
+	t.Store(stm.Addr(h)+field, v)
+}
+
+// NewObject implements stm.Tx.
+func (t *txn) NewObject(fields uint32) stm.Handle {
+	return stm.Handle(t.e.arena.Alloc(fields))
+}
+
+var _ stm.STM = (*Engine)(nil)
+var _ stm.Thread = (*txn)(nil)
+var _ stm.Tx = (*txn)(nil)

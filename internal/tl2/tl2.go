@@ -1,0 +1,363 @@
+// Package tl2 implements the TL2 algorithm of Dice, Shalev and Shavit
+// ("Transactional Locking II", DISC 2006), the lazy baseline of the paper's
+// evaluation (its "TL2 x86" port, GV4 clock variant).
+//
+// TL2 is word-based and lock-based like SwissTM, but makes the opposite
+// conflict-detection choices:
+//
+//   - Lazy acquisition (commit-time locking): writes are buffered in a
+//     private redo log; per-stripe versioned write-locks are taken only
+//     during commit. Write/write conflicts therefore surface only at
+//     commit time — the behaviour §5 shows wastes the work of long
+//     transactions (Figure 6a).
+//   - No timestamp extension: a read that observes a version newer than
+//     the transaction's read version aborts immediately.
+//   - Timid contention management with back-off: on any conflict the
+//     attacker aborts itself.
+//
+// The GV4 optimization is preserved: a writer that increments the global
+// clock from rv to rv+1 skips read-set validation, since no other
+// transaction can have committed in between.
+package tl2
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"swisstm/internal/mem"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
+)
+
+// Config parameterizes a TL2 engine.
+type Config struct {
+	ArenaWords      int
+	Arena           *mem.Arena
+	StripeWordsLog2 uint // words per versioned-lock stripe
+	TableBits       uint
+	BackoffUnit     int
+	// CommitSpin bounds how long the committer spins on a locked stripe
+	// before giving up and aborting (the original aborts immediately; a
+	// tiny bounded spin reduces convoying on oversubscribed hosts).
+	CommitSpin int
+}
+
+func (c *Config) fill() {
+	if c.ArenaWords == 0 {
+		c.ArenaWords = 1 << 22
+	}
+	if c.TableBits == 0 {
+		c.TableBits = 20
+	}
+	if c.BackoffUnit == 0 {
+		c.BackoffUnit = 512
+	}
+	if c.CommitSpin == 0 {
+		c.CommitSpin = 64
+	}
+	if c.StripeWordsLog2 > 6 {
+		panic("tl2: StripeWordsLog2 must be ≤ 6")
+	}
+}
+
+// Engine is a TL2 instance. Each lock-table entry is a versioned lock:
+// version<<1 when free, owner-tagged odd value when locked.
+type Engine struct {
+	cfg   Config
+	arena *mem.Arena
+	locks []atomic.Uint64
+	clock atomic.Uint64
+	shift uint
+	mask  uint32
+}
+
+// New creates a TL2 engine.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	a := cfg.Arena
+	if a == nil {
+		a = mem.NewArena(cfg.ArenaWords)
+	}
+	n := 1 << cfg.TableBits
+	return &Engine{
+		cfg:   cfg,
+		arena: a,
+		locks: make([]atomic.Uint64, n),
+		shift: cfg.StripeWordsLog2,
+		mask:  uint32(n - 1),
+	}
+}
+
+// Name implements stm.STM.
+func (e *Engine) Name() string { return "TL2" }
+
+// Arena implements stm.STM.
+func (e *Engine) Arena() *mem.Arena { return e.arena }
+
+func (e *Engine) stripe(a stm.Addr) uint32 { return (a >> e.shift) & e.mask }
+
+// wsEntry is one buffered write (TL2 logs individual words).
+type wsEntry struct {
+	addr stm.Addr
+	val  stm.Word
+}
+
+// txn is a TL2 transaction descriptor, one per thread.
+type txn struct {
+	e       *Engine
+	id      int
+	rv      uint64 // read version (clock snapshot at start)
+	readLog []uint32
+	readVer []uint64
+	writes  []wsEntry
+	bloom   uint64 // write-set membership filter for read-after-write
+	lockSet []uint32
+	saved   []savedLock // pre-lock versions, for release on commit abort
+	rng     *util.Rand
+	succ    int
+	stats   stm.Stats
+}
+
+// NewThread implements stm.STM.
+func (e *Engine) NewThread(id int) stm.Thread {
+	if id < 0 || id >= stm.MaxThreads {
+		panic("tl2: thread id out of range")
+	}
+	return &txn{
+		e:       e,
+		id:      id,
+		readLog: make([]uint32, 0, 1024),
+		readVer: make([]uint64, 0, 1024),
+		writes:  make([]wsEntry, 0, 256),
+		lockSet: make([]uint32, 0, 256),
+		rng:     util.NewRand(uint64(id)*0x51f15ee1 + 7),
+	}
+}
+
+// Stats implements stm.Thread.
+func (t *txn) Stats() stm.Stats { return t.stats }
+
+// Atomic implements stm.Thread.
+func (t *txn) Atomic(body func(stm.Tx)) {
+	for {
+		t.begin()
+		if t.attempt(body) {
+			t.succ = 0
+			return
+		}
+		t.succ++
+		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+	}
+}
+
+func (t *txn) begin() {
+	t.rv = t.e.clock.Load()
+	t.readLog = t.readLog[:0]
+	t.readVer = t.readVer[:0]
+	t.writes = t.writes[:0]
+	t.saved = t.saved[:0]
+	t.bloom = 0
+}
+
+func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, rb := r.(stm.RollbackSignal); rb {
+				ok = false
+				return
+			}
+			panic(r) // no locks are held outside commit; just propagate
+		}
+	}()
+	body(t)
+	t.commit()
+	return true
+}
+
+func (t *txn) rollback() {
+	t.stats.Aborts++
+	panic(stm.RollbackSignal{})
+}
+
+// Restart implements stm.Tx.
+func (t *txn) Restart() {
+	t.stats.Aborts++
+	t.stats.AbortsExplicit++
+	panic(stm.RollbackSignal{Explicit: true})
+}
+
+func bloomBit(a stm.Addr) uint64 { return 1 << ((uint64(a) * 0x9e3779b97f4a7c15) >> 58) }
+
+// Load implements the TL2 read protocol: write-set lookup for
+// read-after-write, then a consistent (lock, value, lock) sample that must
+// be unlocked and no newer than rv.
+func (t *txn) Load(a stm.Addr) stm.Word {
+	if t.bloom&bloomBit(a) != 0 {
+		for i := len(t.writes) - 1; i >= 0; i-- {
+			if t.writes[i].addr == a {
+				return t.writes[i].val
+			}
+		}
+	}
+	idx := t.e.stripe(a)
+	l := &t.e.locks[idx]
+	v1 := l.Load()
+	val := t.e.arena.Load(a)
+	v2 := l.Load()
+	if v1 != v2 || v1&1 == 1 {
+		// Locked or changed under us: the timid policy aborts the reader.
+		t.stats.AbortsLocked++
+		t.rollback()
+	}
+	if v1>>1 > t.rv {
+		// Newer than our snapshot; TL2 has no extension mechanism.
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	t.readLog = append(t.readLog, idx)
+	t.readVer = append(t.readVer, v1)
+	return val
+}
+
+// Store implements stm.Tx: lazy buffering, no locks taken.
+func (t *txn) Store(a stm.Addr, v stm.Word) {
+	b := bloomBit(a)
+	if t.bloom&b != 0 {
+		for i := len(t.writes) - 1; i >= 0; i-- {
+			if t.writes[i].addr == a {
+				t.writes[i].val = v
+				return
+			}
+		}
+	}
+	t.bloom |= b
+	t.writes = append(t.writes, wsEntry{addr: a, val: v})
+}
+
+// commit implements the TL2 commit protocol.
+func (t *txn) commit() {
+	if len(t.writes) == 0 {
+		t.stats.Commits++ // read-only: already validated incrementally
+		return
+	}
+	// Collect the distinct stripes of the write set, in a canonical order
+	// so concurrent committers cannot deadlock.
+	t.lockSet = t.lockSet[:0]
+	for _, w := range t.writes {
+		t.lockSet = append(t.lockSet, t.e.stripe(w.addr))
+	}
+	sort.Slice(t.lockSet, func(i, j int) bool { return t.lockSet[i] < t.lockSet[j] })
+	n := 0
+	for i, idx := range t.lockSet {
+		if i == 0 || idx != t.lockSet[n-1] {
+			t.lockSet[n] = idx
+			n++
+		}
+	}
+	t.lockSet = t.lockSet[:n]
+
+	// Phase 1: acquire the versioned locks (CAS free→locked).
+	lockedVal := uint64(t.id)<<1 | 1
+	acquired := 0
+	for _, idx := range t.lockSet {
+		l := &t.e.locks[idx]
+		ok := false
+		for spin := 0; spin < t.e.cfg.CommitSpin; spin++ {
+			v := l.Load()
+			if v&1 == 1 {
+				if spin&0xf == 0xf {
+					runtime.Gosched()
+				}
+				continue
+			}
+			if v>>1 > t.rv {
+				break // stripe moved past our snapshot: abort
+			}
+			if l.CompareAndSwap(v, lockedVal) {
+				t.saved = append(t.saved, savedLock{idx: idx, ver: v})
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.releaseLocks(acquired)
+			t.stats.LockAcquireFail++
+			t.rollback()
+		}
+		acquired++
+	}
+	// Phase 2: increment the global clock.
+	wv := t.e.clock.Add(1)
+	// Phase 3: validate the read set (GV4: skip when wv == rv+1).
+	if wv != t.rv+1 {
+		for i, idx := range t.readLog {
+			v := t.e.locks[idx].Load()
+			if v&1 == 1 {
+				if v == lockedVal && t.ownsStripe(idx) {
+					continue
+				}
+				t.releaseLocks(acquired)
+				t.stats.AbortsValid++
+				t.rollback()
+			}
+			if v != t.readVer[i] {
+				t.releaseLocks(acquired)
+				t.stats.AbortsValid++
+				t.rollback()
+			}
+		}
+	}
+	// Phase 4: write back and release with the new version.
+	for _, w := range t.writes {
+		t.e.arena.Store(w.addr, w.val)
+	}
+	newVer := wv << 1
+	for _, idx := range t.lockSet {
+		t.e.locks[idx].Store(newVer)
+	}
+	t.stats.Commits++
+}
+
+// savedLock records a stripe's pre-lock version for restoration if the
+// commit aborts after acquiring some locks.
+type savedLock struct {
+	idx uint32
+	ver uint64
+}
+
+func (t *txn) releaseLocks(acquired int) {
+	for i := 0; i < acquired; i++ {
+		s := t.saved[i]
+		t.e.locks[s.idx].Store(s.ver)
+	}
+	t.saved = t.saved[:0]
+}
+
+// ownsStripe reports whether idx is in this commit's lock set.
+func (t *txn) ownsStripe(idx uint32) bool {
+	i := sort.Search(len(t.lockSet), func(i int) bool { return t.lockSet[i] >= idx })
+	return i < len(t.lockSet) && t.lockSet[i] == idx
+}
+
+// AllocWords implements stm.Tx.
+func (t *txn) AllocWords(n uint32) stm.Addr { return t.e.arena.Alloc(n) }
+
+// ReadField implements stm.Tx (object-over-words wrapper).
+func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
+	return t.Load(stm.Addr(h) + field)
+}
+
+// WriteField implements stm.Tx.
+func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
+	t.Store(stm.Addr(h)+field, v)
+}
+
+// NewObject implements stm.Tx.
+func (t *txn) NewObject(fields uint32) stm.Handle {
+	return stm.Handle(t.e.arena.Alloc(fields))
+}
+
+var _ stm.STM = (*Engine)(nil)
+var _ stm.Thread = (*txn)(nil)
+var _ stm.Tx = (*txn)(nil)

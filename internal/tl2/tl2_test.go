@@ -1,0 +1,90 @@
+package tl2
+
+import (
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
+)
+
+func newEngine() stm.STM {
+	return New(Config{ArenaWords: 1 << 16, TableBits: 12})
+}
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, newEngine, stmtest.Options{WordAPI: true})
+}
+
+func TestConformanceGranularities(t *testing.T) {
+	for _, g := range []uint{0, 2, 6} {
+		g := g
+		t.Run(map[uint]string{0: "1word", 2: "4words", 6: "64words"}[g], func(t *testing.T) {
+			stmtest.Run(t, func() stm.STM {
+				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWordsLog2: g})
+			}, stmtest.Options{WordAPI: true})
+		})
+	}
+}
+
+func TestWriteSetLookup(t *testing.T) {
+	// Lazy engines must find buffered writes through the bloom filter even
+	// with many writes hashing to colliding bits.
+	e := New(Config{ArenaWords: 1 << 14, TableBits: 10})
+	th := e.NewThread(0)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(512) })
+	th.Atomic(func(tx stm.Tx) {
+		for i := uint32(0); i < 512; i++ {
+			tx.Store(base+i, stm.Word(i)*3)
+		}
+		for i := uint32(0); i < 512; i++ {
+			if got := tx.Load(base + i); got != stm.Word(i)*3 {
+				t.Fatalf("word %d: got %d, want %d", i, got, i*3)
+			}
+		}
+		// Overwrite and re-read.
+		tx.Store(base+100, 999)
+		if got := tx.Load(base + 100); got != 999 {
+			t.Fatalf("overwrite lookup failed: got %d", got)
+		}
+	})
+}
+
+func TestGV4SkipsValidation(t *testing.T) {
+	// A solo writer's commits must always take the wv == rv+1 fast path:
+	// no validation aborts may be counted.
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
+	th := e.NewThread(0)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(64) })
+	for n := 0; n < 100; n++ {
+		th.Atomic(func(tx stm.Tx) {
+			for i := uint32(0); i < 16; i++ {
+				tx.Store(base+i, tx.Load(base+i)+1)
+			}
+		})
+	}
+	if s := th.Stats(); s.Aborts != 0 {
+		t.Fatalf("solo writer aborted %d times", s.Aborts)
+	}
+}
+
+func TestLazyAcquireDefersConflict(t *testing.T) {
+	// With lazy acquisition, two overlapping writers only collide at
+	// commit; the body itself must never see a lock. We verify by having
+	// writer 2 read the location freely while writer 1's transaction is
+	// open (single-threaded interleaving via manual staging is not
+	// possible through the public API, so this asserts the weaker,
+	// still-distinctive property: a store takes no lock).
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
+	th := e.NewThread(0)
+	var base stm.Addr
+	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(1) })
+	th.Atomic(func(tx stm.Tx) {
+		tx.Store(base, 5)
+		// The stripe's versioned lock must still be free mid-transaction.
+		if v := e.locks[e.stripe(base)].Load(); v&1 == 1 {
+			t.Fatal("lazy engine locked a stripe before commit")
+		}
+	})
+}
