@@ -1,0 +1,49 @@
+# CI and humans run the same commands: .github/workflows/ci.yml calls
+# exactly these targets. See README.md § Development.
+
+GO ?= go
+
+# Engine packages get a dedicated -race pass: they are the lock-level
+# concurrent code, and the data-structure stress tests hammer them.
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm
+
+SMOKE_DIR ?= /tmp/swisstm-smoke
+
+.PHONY: build test race smoke fmt vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# smoke regenerates every figure at quick scale, persists the records,
+# and fails if any result file is empty or any workload check failed.
+smoke:
+	rm -rf $(SMOKE_DIR)
+	$(GO) run ./cmd/paperfigs -run all -quick -format csv -out $(SMOKE_DIR)
+	@for f in $(SMOKE_DIR)/*.csv; do \
+		lines=$$(wc -l < "$$f"); \
+		if [ "$$lines" -le 1 ]; then echo "empty result file: $$f"; exit 1; fi; \
+	done
+	@if grep -l 'false$$' $(SMOKE_DIR)/*.summary.csv; then \
+		echo "a workload check failed (all_checked=false above)"; exit 1; \
+	fi
+	@echo "smoke OK: $$(ls $(SMOKE_DIR) | wc -l) result files in $(SMOKE_DIR)"
+
+ci: fmt vet build test race smoke

@@ -1,6 +1,7 @@
 // Command leetm runs the Lee-TM circuit-routing benchmark (paper
 // Figures 4 and 8) on a chosen engine and board, printing the routing
-// time and verifying all laid tracks.
+// time, verifying all laid tracks, and optionally persisting structured
+// records (DESIGN.md §5).
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 
 	"swisstm/internal/harness"
 	"swisstm/internal/leetm"
+	"swisstm/internal/results"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -21,6 +23,10 @@ func main() {
 		threads   = flag.Int("threads", 4, "worker threads")
 		boardName = flag.String("board", "memory", "board: memory | main")
 		irregular = flag.Int("irregular", 0, "percentage of transactions updating the shared object Oc (Figure 8)")
+		repeats   = flag.Int("repeats", 1, "measured repeats (summary reports medians)")
+		seed      = flag.Uint64("seed", 0, "seed for the worker RNG streams (0 = legacy fixed seeds)")
+		format    = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir    = flag.String("out", "", "directory for result files (required for csv/jsonl)")
 	)
 	flag.Parse()
 	var board leetm.Board
@@ -34,21 +40,58 @@ func main() {
 		os.Exit(2)
 	}
 	board.IrregularPct = *irregular
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "leetm: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		fmt.Fprintf(os.Stderr, "leetm: -format %s requires -out <dir>\n", *format)
+		os.Exit(2)
+	}
 
-	var r *leetm.Router
 	spec := harness.EngineSpec{Kind: *engine, Manager: "polka"}
-	res, err := harness.MeasureWork(spec,
-		func(e stm.STM) error { r = leetm.Setup(e, board); return nil },
-		func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
-			r.Work(e, th, worker, t, rng)
-		},
-		func(e stm.STM) error { return r.Check() },
-		*threads)
+	var routed []uint64 // per-repeat routed-net counts, in repeat order
+	mk := func(seed uint64) harness.WorkSpec {
+		var r *leetm.Router
+		return harness.WorkSpec{
+			Setup: func(e stm.STM) error { r = leetm.Setup(e, board); return nil },
+			Work: func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
+				r.Work(e, th, worker, t, rng)
+			},
+			Check: func(e stm.STM) error {
+				routed = append(routed, r.Routed.Load())
+				return r.Check()
+			},
+		}
+	}
+	recs, err := harness.RepeatWork(spec, mk, harness.RunConfig{
+		Experiment: "leetm", Workload: "leetm/" + board.Name,
+		Threads: *threads, Repeats: *repeats, Seed: *seed,
+	})
+	if *outDir != "" {
+		if werr := results.WriteDriverFiles(*outDir, "leetm-"+board.Name, *format, recs); werr != nil {
+			fmt.Fprintln(os.Stderr, "leetm:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leetm:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("board=%s engine=%s threads=%d time=%v routed=%d/%d aborts=%d (tracks verified)\n",
-		board.Name, spec.DisplayName(), *threads, res.Duration.Round(time.Millisecond),
-		r.Routed.Load(), len(board.Nets), res.Stats.Aborts)
+	// All repeats route the same board, so the counts normally agree;
+	// report the spread if they ever do not.
+	minR, maxR := routed[0], routed[0]
+	for _, r := range routed[1:] {
+		minR, maxR = min(minR, r), max(maxR, r)
+	}
+	routedStr := fmt.Sprintf("%d", minR)
+	if maxR != minR {
+		routedStr = fmt.Sprintf("%d..%d", minR, maxR)
+	}
+	for _, a := range results.Aggregate(recs) {
+		fmt.Printf("board=%s engine=%s threads=%d repeats=%d time=%v (median) routed=%s/%d abort-rate=%.2f%% (tracks verified)\n",
+			board.Name, a.Engine, a.Threads, a.Repeats,
+			time.Duration(a.Duration.Median*float64(time.Second)).Round(time.Millisecond),
+			routedStr, len(board.Nets), 100*a.AbortRate.Median)
+	}
 }

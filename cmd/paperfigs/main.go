@@ -1,12 +1,16 @@
 // Command paperfigs regenerates the figures and tables of "Stretching
 // Transactional Memory" (PLDI 2009). Each experiment prints the series
-// the corresponding figure plots (see DESIGN.md §4 for the mapping).
+// the corresponding figure plots (see DESIGN.md §4 for the mapping) and
+// can additionally persist the underlying per-repeat measurement
+// records as CSV or JSONL, one file pair per experiment (DESIGN.md §5).
 //
 // Usage:
 //
 //	paperfigs -list
 //	paperfigs -run fig2 -dur 2s -threads 1,2,4,8
 //	paperfigs -run all -quick
+//	paperfigs -run fig2 -quick -repeats 3 -format csv -out paper_runs/smoke
+//	paperfigs -run fig5 -quick -seed 42 -repeats 5 -out runs/seeded
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"swisstm/internal/experiments"
+	"swisstm/internal/results"
 )
 
 func main() {
@@ -27,6 +32,11 @@ func main() {
 		quick   = flag.Bool("quick", false, "small inputs and short measurements (smoke run)")
 		dur     = flag.Duration("dur", 0, "duration per throughput point (overrides preset)")
 		threads = flag.String("threads", "", "comma-separated thread sweep (overrides preset)")
+		repeats = flag.Int("repeats", 1, "measured repeats per point (text tables report medians)")
+		seed    = flag.Uint64("seed", 0, "deterministic mode: seed workload RNGs and measure fixed op counts (0 = off)")
+		ops     = flag.Uint64("ops", 0, "per-worker ops per throughput point (overrides the seeded-mode default)")
+		format  = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir  = flag.String("out", "", "directory for result files, one per experiment (required for csv/jsonl)")
 	)
 	flag.Parse()
 
@@ -38,6 +48,14 @@ func main() {
 	}
 	if *run == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		fmt.Fprintf(os.Stderr, "paperfigs: -format %s requires -out <dir>\n", *format)
 		os.Exit(2)
 	}
 
@@ -59,6 +77,9 @@ func main() {
 			opt.Threads = append(opt.Threads, n)
 		}
 	}
+	opt.Repeats = *repeats
+	opt.Seed = *seed
+	opt.FixedOps = *ops
 
 	names := []string{*run}
 	if *run == "all" {
@@ -67,10 +88,19 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("== %s ==\n", name)
 		start := time.Now()
-		if err := opt.Run(name); err != nil {
+		recs, err := opt.Run(name)
+		// Persist whatever was measured even when a check failed, so the
+		// run directory holds the evidence.
+		if *outDir != "" {
+			if werr := results.WriteDriverFiles(*outDir, name, *format, recs); werr != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: writing %s results: %v\n", name, werr)
+				os.Exit(1)
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v (%d records) --\n\n", name, time.Since(start).Round(time.Millisecond), len(recs))
 	}
 }

@@ -1,5 +1,6 @@
 // Command rbtree runs the red-black tree microbenchmark (paper Figure 5)
-// on a chosen engine and prints throughput and abort statistics.
+// on a chosen engine and prints throughput and abort statistics,
+// optionally persisting structured records (DESIGN.md §5).
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	"swisstm/internal/harness"
 	"swisstm/internal/rbtree"
+	"swisstm/internal/results"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -23,41 +25,68 @@ func main() {
 		updates  = flag.Int("updates", 20, "update percentage")
 		manager  = flag.String("cm", "polka", "RSTM contention manager")
 		policy   = flag.String("policy", "", "SwissTM CM policy: twophase|greedy|timid")
+		repeats  = flag.Int("repeats", 1, "measured repeats (summary reports medians)")
+		seed     = flag.Uint64("seed", 0, "deterministic mode: seeded RNGs + fixed op count (0 = off)")
+		ops      = flag.Uint64("ops", 0, "per-worker op quota (overrides the seeded-mode default of 2000)")
+		format   = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir   = flag.String("out", "", "directory for result files (required for csv/jsonl)")
 	)
 	flag.Parse()
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "rbtree: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		fmt.Fprintf(os.Stderr, "rbtree: -format %s requires -out <dir>\n", *format)
+		os.Exit(2)
+	}
 	spec := harness.EngineSpec{Kind: *engine, Manager: *manager, Policy: *policy}
 
-	var tree *rbtree.Tree
-	w := harness.Workload{
-		Setup: func(e stm.STM) error {
-			th := e.NewThread(0)
-			tree = rbtree.New(th)
-			rng := util.NewRand(1)
-			for i := 0; i < *keyRange/2; i++ {
+	mk := func(seed uint64) harness.Workload {
+		var tree *rbtree.Tree
+		return harness.Workload{
+			Setup: func(e stm.STM) error {
+				th := e.NewThread(0)
+				tree = rbtree.New(th)
+				rng := util.NewRand(seed ^ 1)
+				for i := 0; i < *keyRange/2; i++ {
+					k := stm.Word(rng.Intn(*keyRange) + 1)
+					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				}
+				return nil
+			},
+			Op: func(th stm.Thread, worker int, rng *util.Rand) {
 				k := stm.Word(rng.Intn(*keyRange) + 1)
-				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
-			}
-			return nil
-		},
-		Op: func(th stm.Thread, worker int, rng *util.Rand) {
-			k := stm.Word(rng.Intn(*keyRange) + 1)
-			r := rng.Intn(100)
-			switch {
-			case r < *updates/2:
-				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
-			case r < *updates:
-				th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
-			default:
-				th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
-			}
-		},
+				r := rng.Intn(100)
+				switch {
+				case r < *updates/2:
+					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				case r < *updates:
+					th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+				default:
+					th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+				}
+			},
+		}
 	}
-	res, err := harness.MeasureThroughput(spec, w, *threads, *dur)
+	recs, err := harness.RepeatThroughput(spec, mk, harness.RunConfig{
+		Experiment: "rbtree", Workload: "rbtree",
+		Threads: *threads, Duration: *dur, FixedOps: *ops,
+		Repeats: *repeats, Seed: *seed,
+	})
+	if *outDir != "" {
+		if werr := results.WriteDriverFiles(*outDir, "rbtree", *format, recs); werr != nil {
+			fmt.Fprintln(os.Stderr, "rbtree:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rbtree:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("engine=%s threads=%d ops=%d throughput=%.0f tx/s aborts=%d abort-rate=%.2f%%\n",
-		spec.DisplayName(), *threads, res.Ops, res.Throughput(),
-		res.Stats.Aborts, 100*res.Stats.AbortRate())
+	for _, a := range results.Aggregate(recs) {
+		fmt.Printf("engine=%s threads=%d repeats=%d ops=%.0f (median) throughput=%.0f tx/s (median) abort-rate=%.2f%%\n",
+			a.Engine, a.Threads, a.Repeats, a.Ops.Median,
+			a.Throughput.Median, 100*a.AbortRate.Median)
+	}
 }

@@ -1,6 +1,7 @@
 // Command stamp runs one STAMP workload (paper Figure 3) on a chosen
-// word-based engine, printing the wall time and abort statistics, and
-// verifying the application's output against its sequential oracle.
+// word-based engine, printing the wall time and abort statistics,
+// verifying the application's output against its sequential oracle, and
+// optionally persisting structured records (DESIGN.md §5).
 package main
 
 import (
@@ -11,7 +12,10 @@ import (
 	"time"
 
 	"swisstm/internal/harness"
+	"swisstm/internal/results"
 	"swisstm/internal/stamp"
+	"swisstm/internal/stm"
+	"swisstm/internal/util"
 )
 
 func main() {
@@ -21,31 +25,71 @@ func main() {
 		name    = flag.String("app", "", "workload: "+strings.Join(stamp.Workloads, ", "))
 		scale   = flag.String("scale", "bench", "input scale: test | bench")
 		backoff = flag.Bool("backoff", true, "SwissTM post-abort back-off (Figure 11 ablation)")
+		repeats = flag.Int("repeats", 1, "measured repeats (summary reports medians)")
+		seed    = flag.Uint64("seed", 0, "seed for the worker RNG streams (0 = legacy fixed seeds)")
+		format  = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir  = flag.String("out", "", "directory for result files (required for csv/jsonl)")
 	)
 	flag.Parse()
 	if *name == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "stamp: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		fmt.Fprintf(os.Stderr, "stamp: -format %s requires -out <dir>\n", *format)
+		os.Exit(2)
+	}
 	sc := stamp.Bench
 	if *scale == "test" {
 		sc = stamp.Test
 	}
-	app, err := stamp.New(*name, sc)
-	if err != nil {
+	if _, err := stamp.New(*name, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
 		os.Exit(2)
 	}
 	spec := harness.EngineSpec{Kind: *engine, NoBackoff: !*backoff}
-	e := spec.New()
-	start := time.Now()
-	stats, err := stamp.Run(app, e, *threads)
-	elapsed := time.Since(start)
+	mk := func(seed uint64) harness.WorkSpec {
+		var app stamp.App
+		return harness.WorkSpec{
+			Setup: func(e stm.STM) error {
+				var err error
+				if app, err = stamp.New(*name, sc); err != nil {
+					return err
+				}
+				if err := app.Setup(e); err != nil {
+					return err
+				}
+				app.Bind(*threads)
+				return nil
+			},
+			Work: func(e stm.STM, th stm.Thread, worker, t int, rng *util.Rand) {
+				app.Work(e, th, worker, t, rng)
+			},
+			Check: func(e stm.STM) error { return app.Check(e) },
+		}
+	}
+	recs, err := harness.RepeatWork(spec, mk, harness.RunConfig{
+		Experiment: "stamp", Workload: "stamp/" + *name,
+		Threads: *threads, Repeats: *repeats, Seed: *seed,
+	})
+	if *outDir != "" {
+		if werr := results.WriteDriverFiles(*outDir, "stamp-"+*name, *format, recs); werr != nil {
+			fmt.Fprintln(os.Stderr, "stamp:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("app=%s engine=%s threads=%d time=%v commits=%d aborts=%d abort-rate=%.2f%% (output verified)\n",
-		*name, spec.DisplayName(), *threads, elapsed.Round(time.Millisecond),
-		stats.Commits, stats.Aborts, 100*stats.AbortRate())
+	for _, a := range results.Aggregate(recs) {
+		fmt.Printf("app=%s engine=%s threads=%d repeats=%d time=%v (median) commits=%.0f aborts-rate=%.2f%% (output verified)\n",
+			*name, a.Engine, a.Threads, a.Repeats,
+			time.Duration(a.Duration.Median*float64(time.Second)).Round(time.Millisecond),
+			a.Ops.Median, 100*a.AbortRate.Median)
+	}
 }

@@ -1,6 +1,6 @@
 // Command stmbench7 runs the STMBench7-style workload (paper Figure 2) on
 // a chosen engine and workload mix, printing throughput and abort
-// statistics.
+// statistics and optionally persisting structured records (DESIGN.md §5).
 package main
 
 import (
@@ -11,6 +11,7 @@ import (
 
 	"swisstm/internal/bench7"
 	"swisstm/internal/harness"
+	"swisstm/internal/results"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -23,6 +24,11 @@ func main() {
 		mix     = flag.String("mix", "read", "workload mix: read | rw | write")
 		manager = flag.String("cm", "serializer", "RSTM contention manager")
 		policy  = flag.String("policy", "", "SwissTM CM policy: twophase|greedy|timid")
+		repeats = flag.Int("repeats", 1, "measured repeats (summary reports medians)")
+		seed    = flag.Uint64("seed", 0, "deterministic mode: seeded RNGs + fixed op count (0 = off)")
+		ops     = flag.Uint64("ops", 0, "per-worker op quota (overrides the seeded-mode default of 2000)")
+		format  = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir  = flag.String("out", "", "directory for result files (required for csv/jsonl)")
 	)
 	flag.Parse()
 	ro := map[string]int{"read": 90, "rw": 60, "write": 10}[*mix]
@@ -30,25 +36,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stmbench7: unknown mix %q\n", *mix)
 		os.Exit(2)
 	}
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "stmbench7: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		fmt.Fprintf(os.Stderr, "stmbench7: -format %s requires -out <dir>\n", *format)
+		os.Exit(2)
+	}
 
 	spec := harness.EngineSpec{Kind: *engine, Manager: *manager, Policy: *policy}
-	var b *bench7.Bench
-	w := harness.Workload{
-		Setup: func(e stm.STM) error {
-			b = bench7.Setup(e, bench7.Config{ReadOnlyPct: ro})
-			return nil
-		},
-		Op: func(th stm.Thread, worker int, rng *util.Rand) {
-			b.Op(th, rng)
-		},
-		Check: func(e stm.STM) error { return b.Check() },
+	mk := func(seed uint64) harness.Workload {
+		var b *bench7.Bench
+		return harness.Workload{
+			Setup: func(e stm.STM) error {
+				b = bench7.Setup(e, bench7.Config{ReadOnlyPct: ro})
+				return nil
+			},
+			Op: func(th stm.Thread, worker int, rng *util.Rand) {
+				b.Op(th, rng)
+			},
+			Check: func(e stm.STM) error { return b.Check() },
+		}
 	}
-	res, err := harness.MeasureThroughput(spec, w, *threads, *dur)
+	recs, err := harness.RepeatThroughput(spec, mk, harness.RunConfig{
+		Experiment: "stmbench7", Workload: "stmbench7/" + *mix,
+		Threads: *threads, Duration: *dur, FixedOps: *ops,
+		Repeats: *repeats, Seed: *seed,
+	})
+	if *outDir != "" {
+		if werr := results.WriteDriverFiles(*outDir, "stmbench7", *format, recs); werr != nil {
+			fmt.Fprintln(os.Stderr, "stmbench7:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmbench7:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("engine=%s mix=%s threads=%d throughput=%.1f tx/s aborts=%d abort-rate=%.2f%% (structure verified)\n",
-		spec.DisplayName(), *mix, *threads, res.Throughput(),
-		res.Stats.Aborts, 100*res.Stats.AbortRate())
+	for _, a := range results.Aggregate(recs) {
+		fmt.Printf("engine=%s mix=%s threads=%d repeats=%d throughput=%.1f tx/s (median) abort-rate=%.2f%% (structure verified)\n",
+			a.Engine, *mix, a.Threads, a.Repeats,
+			a.Throughput.Median, 100*a.AbortRate.Median)
+	}
 }

@@ -1,0 +1,3 @@
+module swisstm
+
+go 1.22

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"swisstm/internal/results"
 )
 
 // tiny returns options small enough for unit tests.
@@ -17,13 +19,13 @@ func tiny(out *bytes.Buffer) Options {
 
 func TestRunUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tiny(&buf).Run("fig6"); err == nil {
+	if _, err := tiny(&buf).Run("fig6"); err == nil {
 		t.Fatal("fig6 is a diagram, not an experiment; expected an error")
 	}
 }
 
 // TestSmokeLightweight exercises the cheap experiments end to end and
-// checks they emit the expected headers and series.
+// checks they emit the expected headers and series and return records.
 func TestSmokeLightweight(t *testing.T) {
 	cases := map[string][]string{
 		"fig5":   {"Figure 5", "SwissTM", "TL2", "TinySTM", "RSTM"},
@@ -34,13 +36,28 @@ func TestSmokeLightweight(t *testing.T) {
 	for name, wants := range cases {
 		t.Run(name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := tiny(&buf).Run(name); err != nil {
+			recs, err := tiny(&buf).Run(name)
+			if err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
 			for _, w := range wants {
 				if !strings.Contains(out, w) {
 					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+			if len(recs) == 0 {
+				t.Fatal("experiment returned no records")
+			}
+			for _, r := range recs {
+				if r.Experiment != name {
+					t.Fatalf("record tagged %q, want %q", r.Experiment, name)
+				}
+				if r.Workload == "" || r.Engine == "" || r.EngineKind == "" {
+					t.Fatalf("record missing identity fields: %+v", r)
+				}
+				if !r.CheckedOK {
+					t.Fatalf("record failed its check: %+v", r)
 				}
 			}
 		})
@@ -52,10 +69,77 @@ func TestSmokeLightweight(t *testing.T) {
 func TestSmokeFixedWork(t *testing.T) {
 	var buf bytes.Buffer
 	o := tiny(&buf)
-	if err := o.Run("fig11"); err != nil {
+	recs, err := o.Run("fig11")
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "back-off") {
 		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+	// Two specs × two thread counts, one repeat each.
+	if len(recs) != 4 {
+		t.Fatalf("want 4 records, got %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Workload != "stamp/intruder" || r.DurationSec <= 0 || r.Ops == 0 {
+			t.Fatalf("bad fixed-work record: %+v", r)
+		}
+	}
+}
+
+// TestRepeatsAggregateInRendering runs fig10 with 3 repeats and checks
+// each point carries all repeats while the rendered table stays one row
+// per thread count.
+func TestRepeatsAggregateInRendering(t *testing.T) {
+	var buf bytes.Buffer
+	o := tiny(&buf)
+	o.Threads = []int{1}
+	o.Repeats = 3
+	o.Seed = 99 // fixed-ops mode keeps the test fast and deterministic
+	o.FixedOps = 200
+	recs, err := o.Run("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2*3 { // 2 specs × 3 repeats
+		t.Fatalf("want 6 records, got %d", len(recs))
+	}
+	aggs := results.Aggregate(recs)
+	if len(aggs) != 2 {
+		t.Fatalf("want 2 aggregated points, got %d", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Repeats != 3 {
+			t.Fatalf("aggregated point has %d repeats, want 3: %+v", a.Repeats, a)
+		}
+	}
+}
+
+// TestSeededRunsReproduceOps is the acceptance check: two seeded runs
+// must produce identical per-repeat Ops counts on one thread.
+func TestSeededRunsReproduceOps(t *testing.T) {
+	run := func() []results.Record {
+		o := tiny(new(bytes.Buffer))
+		o.Threads = []int{1}
+		o.Repeats = 2
+		o.Seed = 4242
+		o.FixedOps = 150
+		recs, err := o.Run("fig9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Ops != b[i].Ops {
+			t.Fatalf("record %d: Ops %d != %d (seeded runs must reproduce)", i, a[i].Ops, b[i].Ops)
+		}
+		if a[i].Seed == 0 {
+			t.Fatal("seeded run recorded seed 0")
+		}
 	}
 }

@@ -6,12 +6,14 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"swisstm/internal/cm"
+	"swisstm/internal/results"
 	"swisstm/internal/rstm"
 	"swisstm/internal/stm"
 	"swisstm/internal/swisstm"
@@ -154,6 +156,57 @@ func (r Result) Throughput() float64 {
 	return float64(r.Ops) / r.Duration.Seconds()
 }
 
+// ToRecord bridges a Result into the structured results schema.
+func (r Result) ToRecord(experiment, workload string, repeat int, seed uint64) results.Record {
+	rec := results.Record{
+		Experiment:  experiment,
+		Workload:    workload,
+		Engine:      r.Spec.DisplayName(),
+		EngineKind:  r.Spec.Kind,
+		Threads:     r.Threads,
+		Repeat:      repeat,
+		Seed:        seed,
+		DurationSec: r.Duration.Seconds(),
+		Ops:         r.Ops,
+		Throughput:  r.Throughput(),
+		CheckedOK:   r.CheckedOK,
+	}
+	rec.SetStats(r.Stats)
+	return rec
+}
+
+// DeriveSeed mixes a base seed with a label and the run point's thread
+// count and repeat index, so every run gets a distinct but reproducible
+// RNG stream. A zero base yields zero: seed 0 means "nondeterministic
+// mode" throughout the pipeline and derived seeds must preserve that.
+func DeriveSeed(base uint64, label string, threads, repeat int) uint64 {
+	if base == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", label, threads, repeat)
+	x := base ^ h.Sum64()
+	// splitmix64 finalizer: avalanche the combined bits.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // never collapse a seeded run into nondeterministic mode
+	}
+	return x
+}
+
+// workerSeed derives the RNG seed for one worker of one run. With base
+// seed 0 it reproduces the legacy per-worker constants, keeping
+// unseeded runs byte-identical to the pre-pipeline behavior.
+func workerSeed(base uint64, worker int) uint64 {
+	if base == 0 {
+		return uint64(worker)*0x9e3779b97f4a7c15 + 0xabcdef
+	}
+	return DeriveSeed(base, "worker", worker, 0)
+}
+
 // Workload binds a benchmark to an engine instance: Setup builds the
 // shared data (single-threaded), Op executes one operation on the worker's
 // thread, and Check optionally validates post-conditions.
@@ -167,19 +220,42 @@ type Workload struct {
 	Check func(e stm.STM) error
 }
 
+// measureCfg parameterizes one measured run.
+type measureCfg struct {
+	threads  int
+	dur      time.Duration // fixed-time budget (ignored when fixedOps > 0)
+	fixedOps uint64        // per-worker op quota; > 0 selects fixed-ops mode
+	seed     uint64        // base RNG seed; 0 = legacy nondeterministic seeding
+}
+
 // MeasureThroughput runs w on a fresh engine with the given worker count
 // for approximately dur, returning ops/second (fixed-time mode; used by
 // STMBench7 and the red-black tree experiments).
 func MeasureThroughput(spec EngineSpec, w Workload, threads int, dur time.Duration) (Result, error) {
+	return measureThroughput(spec, w, measureCfg{threads: threads, dur: dur})
+}
+
+// MeasureThroughputOps runs w with a fixed per-worker operation quota
+// instead of a time budget: every worker performs exactly opsPerWorker
+// operations and the elapsed wall time yields the throughput. Because
+// the op count is part of the configuration rather than a race against
+// the clock, seeded runs are reproducible bit-for-bit (identical Ops on
+// one thread; identical per-worker op streams at any thread count).
+func MeasureThroughputOps(spec EngineSpec, w Workload, threads int, opsPerWorker, seed uint64) (Result, error) {
+	return measureThroughput(spec, w, measureCfg{threads: threads, fixedOps: opsPerWorker, seed: seed})
+}
+
+func measureThroughput(spec EngineSpec, w Workload, cfg measureCfg) (Result, error) {
 	e := spec.New()
 	if err := w.Setup(e); err != nil {
 		return Result{}, fmt.Errorf("setup: %w", err)
 	}
 	var (
-		wg     sync.WaitGroup
-		stop   = make(chan struct{})
-		counts = make([]uint64, threads)
-		stats  = make([]stm.Stats, threads)
+		threads = cfg.threads
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		counts  = make([]uint64, threads)
+		stats   = make([]stm.Stats, threads)
 	)
 	start := time.Now()
 	for i := 0; i < threads; i++ {
@@ -187,23 +263,33 @@ func MeasureThroughput(spec EngineSpec, w Workload, threads int, dur time.Durati
 		go func(worker int) {
 			defer wg.Done()
 			th := e.NewThread(worker + 1)
-			rng := util.NewRand(uint64(worker)*0x9e3779b97f4a7c15 + 0xabcdef)
+			rng := util.NewRand(workerSeed(cfg.seed, worker))
 			var n uint64
 			for {
-				select {
-				case <-stop:
-					counts[worker] = n
-					stats[worker] = th.Stats()
-					return
-				default:
+				if cfg.fixedOps > 0 {
+					if n == cfg.fixedOps {
+						break
+					}
+				} else {
+					select {
+					case <-stop:
+						counts[worker] = n
+						stats[worker] = th.Stats()
+						return
+					default:
+					}
 				}
 				w.Op(th, worker, rng)
 				n++
 			}
+			counts[worker] = n
+			stats[worker] = th.Stats()
 		}(i)
 	}
-	time.Sleep(dur)
-	close(stop)
+	if cfg.fixedOps == 0 {
+		time.Sleep(cfg.dur)
+		close(stop)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := Result{Spec: spec, Threads: threads, Duration: elapsed, CheckedOK: true}
@@ -225,12 +311,27 @@ func MeasureThroughput(spec EngineSpec, w Workload, threads int, dur time.Durati
 // exhausted.
 type WorkFn func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand)
 
+// WorkSpec bundles the phases of a fixed-work benchmark run.
+type WorkSpec struct {
+	// Setup builds the benchmark state on e, using thread id 0.
+	Setup func(e stm.STM) error
+	// Work is the fixed-work body executed by every worker.
+	Work WorkFn
+	// Check, if non-nil, validates invariants after the run.
+	Check func(e stm.STM) error
+}
+
 // MeasureWork runs a fixed-work benchmark (Lee-TM, STAMP): all routes /
 // tasks are processed exactly once and the wall time is reported.
 func MeasureWork(spec EngineSpec, setup func(e stm.STM) error, work WorkFn, check func(e stm.STM) error, threads int) (Result, error) {
+	return measureWork(spec, WorkSpec{Setup: setup, Work: work, Check: check}, measureCfg{threads: threads})
+}
+
+func measureWork(spec EngineSpec, ws WorkSpec, cfg measureCfg) (Result, error) {
 	e := spec.New()
-	if setup != nil {
-		if err := setup(e); err != nil {
+	threads := cfg.threads
+	if ws.Setup != nil {
+		if err := ws.Setup(e); err != nil {
 			return Result{}, fmt.Errorf("setup: %w", err)
 		}
 	}
@@ -242,8 +343,13 @@ func MeasureWork(spec EngineSpec, setup func(e stm.STM) error, work WorkFn, chec
 		go func(worker int) {
 			defer wg.Done()
 			th := e.NewThread(worker + 1)
-			rng := util.NewRand(uint64(worker)*0x2545f4914f6cdd1d + 99)
-			work(e, th, worker, threads, rng)
+			var rng *util.Rand
+			if cfg.seed == 0 {
+				rng = util.NewRand(uint64(worker)*0x2545f4914f6cdd1d + 99)
+			} else {
+				rng = util.NewRand(DeriveSeed(cfg.seed, "work", worker, 0))
+			}
+			ws.Work(e, th, worker, threads, rng)
 			stats[worker] = th.Stats()
 		}(i)
 	}
@@ -253,13 +359,90 @@ func MeasureWork(spec EngineSpec, setup func(e stm.STM) error, work WorkFn, chec
 		res.Stats.Add(stats[i])
 		res.Ops += stats[i].Commits
 	}
-	if check != nil {
-		if err := check(e); err != nil {
+	if ws.Check != nil {
+		if err := ws.Check(e); err != nil {
 			res.CheckedOK = false
 			return res, fmt.Errorf("post-run check: %w", err)
 		}
 	}
 	return res, nil
+}
+
+// DefaultFixedOps is the per-worker op quota a seeded throughput run
+// uses when the caller did not pick one: deterministic runs must count
+// ops, not time, so RepeatThroughput applies this default whenever
+// Seed is set but FixedOps is not.
+const DefaultFixedOps = 2000
+
+// RunConfig describes one experiment point for the repeat-aware
+// entry points: which (experiment, workload) the records are tagged
+// with, how many repeats to take, and how each run is measured.
+type RunConfig struct {
+	Experiment string
+	Workload   string
+	Threads    int
+	Duration   time.Duration // per-repeat time budget (fixed-time mode)
+	FixedOps   uint64        // per-worker op quota; > 0 selects fixed-ops mode
+	Repeats    int           // number of measured repeats (min 1)
+	Seed       uint64        // base seed; 0 = nondeterministic mode
+}
+
+// pointSeed derives the per-repeat seed for one run of cfg on spec.
+func (cfg RunConfig) pointSeed(spec EngineSpec, repeat int) uint64 {
+	label := cfg.Experiment + "|" + cfg.Workload + "|" + spec.DisplayName()
+	return DeriveSeed(cfg.Seed, label, cfg.Threads, repeat)
+}
+
+// RepeatThroughput measures cfg.Repeats runs of the workload built by
+// mk (called once per repeat with that repeat's derived seed, so
+// workload-internal RNGs — e.g. the red-black tree pre-fill — follow
+// the seed too) and returns one Record per repeat. On error the records
+// measured so far are returned alongside it, so a failing check still
+// leaves an audit trail in the output files.
+func RepeatThroughput(spec EngineSpec, mk func(seed uint64) Workload, cfg RunConfig) ([]results.Record, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	fixedOps := cfg.FixedOps
+	if fixedOps == 0 && cfg.Seed != 0 {
+		fixedOps = DefaultFixedOps
+	}
+	recs := make([]results.Record, 0, repeats)
+	for rep := 0; rep < repeats; rep++ {
+		seed := cfg.pointSeed(spec, rep)
+		res, err := measureThroughput(spec, mk(seed), measureCfg{
+			threads: cfg.Threads, dur: cfg.Duration, fixedOps: fixedOps, seed: seed,
+		})
+		if res.Threads != 0 || err == nil { // setup failures have no measurement to record
+			recs = append(recs, res.ToRecord(cfg.Experiment, cfg.Workload, rep, seed))
+		}
+		if err != nil {
+			return recs, fmt.Errorf("%s @%d threads repeat %d: %w", spec.DisplayName(), cfg.Threads, rep, err)
+		}
+	}
+	return recs, nil
+}
+
+// RepeatWork is RepeatThroughput for fixed-work benchmarks: mk builds a
+// fresh WorkSpec per repeat from that repeat's derived seed.
+func RepeatWork(spec EngineSpec, mk func(seed uint64) WorkSpec, cfg RunConfig) ([]results.Record, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	recs := make([]results.Record, 0, repeats)
+	for rep := 0; rep < repeats; rep++ {
+		seed := cfg.pointSeed(spec, rep)
+		res, err := measureWork(spec, mk(seed), measureCfg{threads: cfg.Threads, seed: seed})
+		if res.Threads != 0 || err == nil {
+			recs = append(recs, res.ToRecord(cfg.Experiment, cfg.Workload, rep, seed))
+		}
+		if err != nil {
+			return recs, fmt.Errorf("%s @%d threads repeat %d: %w", spec.DisplayName(), cfg.Threads, rep, err)
+		}
+	}
+	return recs, nil
 }
 
 // Series is one line of a figure: a metric per thread count.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"swisstm/internal/results"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -122,6 +123,148 @@ func TestFormatFigure(t *testing.T) {
 	for _, want := range []string{"# Test", "tx/s", "A", "B", "10.00", "20.00", "5.00", "-"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(0, "x", 1, 0) != 0 {
+		t.Fatal("zero base must stay zero (nondeterministic mode)")
+	}
+	a := DeriveSeed(42, "fig2|stmbench7|SwissTM", 1, 0)
+	if a == 0 {
+		t.Fatal("seeded derivation must never yield 0")
+	}
+	if a != DeriveSeed(42, "fig2|stmbench7|SwissTM", 1, 0) {
+		t.Fatal("derivation must be deterministic")
+	}
+	for _, other := range []uint64{
+		DeriveSeed(42, "fig2|stmbench7|SwissTM", 1, 1),
+		DeriveSeed(42, "fig2|stmbench7|SwissTM", 2, 0),
+		DeriveSeed(42, "fig2|stmbench7|TL2", 1, 0),
+		DeriveSeed(43, "fig2|stmbench7|SwissTM", 1, 0),
+	} {
+		if other == a {
+			t.Fatal("distinct run points must get distinct seeds")
+		}
+	}
+}
+
+// counterWorkload increments one shared field per op.
+func counterWorkload() Workload {
+	var h stm.Handle
+	return Workload{
+		Setup: func(e stm.STM) error {
+			th := e.NewThread(0)
+			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			return nil
+		},
+		Op: func(th stm.Thread, worker int, rng *util.Rand) {
+			th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+		},
+	}
+}
+
+func TestMeasureThroughputOpsIsExact(t *testing.T) {
+	const quota = 500
+	res, err := MeasureThroughputOps(EngineSpec{Kind: "swisstm"}, counterWorkload(), 2, quota, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2*quota {
+		t.Fatalf("fixed-ops run did %d ops, want %d", res.Ops, 2*quota)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+func TestToRecord(t *testing.T) {
+	res, err := MeasureThroughputOps(EngineSpec{Kind: "tl2"}, counterWorkload(), 1, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.ToRecord("figX", "counter", 2, 9)
+	if rec.Experiment != "figX" || rec.Workload != "counter" || rec.Repeat != 2 || rec.Seed != 9 {
+		t.Fatalf("labels not bridged: %+v", rec)
+	}
+	if rec.Engine != "TL2" || rec.EngineKind != "tl2" || rec.Threads != 1 {
+		t.Fatalf("engine identity not bridged: %+v", rec)
+	}
+	if rec.Ops != 100 || rec.Commits != res.Stats.Commits || !rec.CheckedOK {
+		t.Fatalf("measurement not bridged: %+v", rec)
+	}
+	if rec.Throughput == 0 || rec.DurationSec == 0 {
+		t.Fatalf("derived metrics missing: %+v", rec)
+	}
+}
+
+func TestRepeatThroughputSeededIsReproducible(t *testing.T) {
+	cfg := RunConfig{
+		Experiment: "t", Workload: "counter", Threads: 1,
+		FixedOps: 300, Repeats: 3, Seed: 1234,
+	}
+	run := func() []results.Record {
+		recs, err := RepeatThroughput(EngineSpec{Kind: "tinystm"},
+			func(seed uint64) Workload { return counterWorkload() }, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 records per run, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Ops != b[i].Ops {
+			t.Fatalf("repeat %d: Ops %d != %d (seeded runs must match bit-for-bit)", i, a[i].Ops, b[i].Ops)
+		}
+		if a[i].Seed != b[i].Seed || a[i].Seed == 0 {
+			t.Fatalf("repeat %d: per-repeat seeds must match and be non-zero", i)
+		}
+		if i > 0 && a[i].Seed == a[i-1].Seed {
+			t.Fatal("distinct repeats must get distinct derived seeds")
+		}
+	}
+}
+
+func TestRepeatWorkRecords(t *testing.T) {
+	var h stm.Handle
+	const tasks = 200
+	mk := func(seed uint64) WorkSpec {
+		cursor := make(chan int, tasks)
+		for i := 0; i < tasks; i++ {
+			cursor <- i
+		}
+		close(cursor)
+		return WorkSpec{
+			Setup: func(e stm.STM) error {
+				th := e.NewThread(0)
+				th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+				return nil
+			},
+			Work: func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+				for range cursor {
+					th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+				}
+			},
+		}
+	}
+	recs, err := RepeatWork(EngineSpec{Kind: "swisstm"}, mk,
+		RunConfig{Experiment: "t", Workload: "fixed", Threads: 2, Repeats: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 records, got %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Ops < tasks {
+			t.Fatalf("repeat %d: ops %d < %d tasks", i, r.Ops, tasks)
+		}
+		if r.Repeat != i {
+			t.Fatalf("repeat index %d recorded as %d", i, r.Repeat)
 		}
 	}
 }

@@ -1,0 +1,388 @@
+// Package results is the machine-readable measurement layer of the
+// experiment pipeline. Every experiment run produces one Record per
+// (engine, workload, threads, repeat) point; records are written as CSV
+// or JSONL (one file per experiment, see DESIGN.md §5 for the schema)
+// and aggregated across repeats into summary rows (median/mean/stddev/
+// min/max) that the paper-style text tables and the CI smoke gate read.
+package results
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"swisstm/internal/stm"
+)
+
+// Record is one measured run: a single repeat of one engine on one
+// workload at one thread count. Fields mirror the CSV/JSONL schema
+// documented in DESIGN.md §5; keep the three in sync.
+type Record struct {
+	Experiment  string  `json:"experiment"`   // e.g. "fig2", "table1", "stamp"
+	Workload    string  `json:"workload"`     // e.g. "stmbench7/read-dominated", "stamp/intruder"
+	Engine      string  `json:"engine"`       // display name, e.g. "SwissTM", "RSTM(lazy/polka)"
+	EngineKind  string  `json:"engine_kind"`  // "swisstm" | "tl2" | "tinystm" | "rstm"
+	Threads     int     `json:"threads"`      // worker count
+	Repeat      int     `json:"repeat"`       // 0-based repeat index
+	Seed        uint64  `json:"seed"`         // per-run derived seed (0 = nondeterministic mode)
+	DurationSec float64 `json:"duration_sec"` // wall time of the measured phase
+	Ops         uint64  `json:"ops"`          // committed operations
+	Throughput  float64 `json:"throughput"`   // ops per second
+
+	// Full stm.Stats breakdown, aggregated across worker threads.
+	Commits         uint64 `json:"commits"`
+	Aborts          uint64 `json:"aborts"`
+	AbortsWW        uint64 `json:"aborts_ww"`
+	AbortsValid     uint64 `json:"aborts_valid"`
+	AbortsLocked    uint64 `json:"aborts_locked"`
+	AbortsKilled    uint64 `json:"aborts_killed"`
+	AbortsExplicit  uint64 `json:"aborts_explicit"`
+	WaitsCM         uint64 `json:"waits_cm"`
+	LockAcquireFail uint64 `json:"lock_acquire_fail"`
+
+	AbortRate float64 `json:"abort_rate"` // aborts / (commits + aborts)
+	CheckedOK bool    `json:"checked_ok"` // post-run validation outcome
+}
+
+// SetStats copies the full per-run statistics breakdown into r.
+func (r *Record) SetStats(s stm.Stats) {
+	r.Commits = s.Commits
+	r.Aborts = s.Aborts
+	r.AbortsWW = s.AbortsWW
+	r.AbortsValid = s.AbortsValid
+	r.AbortsLocked = s.AbortsLocked
+	r.AbortsKilled = s.AbortsKilled
+	r.AbortsExplicit = s.AbortsExplicit
+	r.WaitsCM = s.WaitsCM
+	r.LockAcquireFail = s.LockAcquireFail
+	r.AbortRate = s.AbortRate()
+}
+
+// header is the CSV column order; it must match record()'s field order.
+var header = []string{
+	"experiment", "workload", "engine", "engine_kind", "threads", "repeat",
+	"seed", "duration_sec", "ops", "throughput",
+	"commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
+	"aborts_killed", "aborts_explicit", "waits_cm", "lock_acquire_fail",
+	"abort_rate", "checked_ok",
+}
+
+func (r Record) row() []string {
+	return []string{
+		r.Experiment, r.Workload, r.Engine, r.EngineKind,
+		strconv.Itoa(r.Threads), strconv.Itoa(r.Repeat),
+		strconv.FormatUint(r.Seed, 10),
+		strconv.FormatFloat(r.DurationSec, 'g', -1, 64),
+		strconv.FormatUint(r.Ops, 10),
+		strconv.FormatFloat(r.Throughput, 'g', -1, 64),
+		strconv.FormatUint(r.Commits, 10),
+		strconv.FormatUint(r.Aborts, 10),
+		strconv.FormatUint(r.AbortsWW, 10),
+		strconv.FormatUint(r.AbortsValid, 10),
+		strconv.FormatUint(r.AbortsLocked, 10),
+		strconv.FormatUint(r.AbortsKilled, 10),
+		strconv.FormatUint(r.AbortsExplicit, 10),
+		strconv.FormatUint(r.WaitsCM, 10),
+		strconv.FormatUint(r.LockAcquireFail, 10),
+		strconv.FormatFloat(r.AbortRate, 'g', -1, 64),
+		strconv.FormatBool(r.CheckedOK),
+	}
+}
+
+// WriteCSV writes recs as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := cw.Write(r.row()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL writes recs as JSON Lines: one object per line.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a CSV previously written by WriteCSV. It is the
+// round-trip used by tests and by external tooling that post-processes
+// run directories.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("results: empty CSV")
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != header[0] {
+		return nil, fmt.Errorf("results: unexpected CSV header %v", rows[0])
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("results: row has %d columns, want %d", len(row), len(header))
+		}
+		var rec Record
+		rec.Experiment, rec.Workload, rec.Engine, rec.EngineKind = row[0], row[1], row[2], row[3]
+		var perr error
+		keep := func(err error) {
+			if err != nil && perr == nil {
+				perr = err
+			}
+		}
+		ints := func(s string) int { n, err := strconv.Atoi(s); keep(err); return n }
+		u64 := func(s string) uint64 { n, err := strconv.ParseUint(s, 10, 64); keep(err); return n }
+		f64 := func(s string) float64 { f, err := strconv.ParseFloat(s, 64); keep(err); return f }
+		rec.Threads, rec.Repeat = ints(row[4]), ints(row[5])
+		rec.Seed = u64(row[6])
+		rec.DurationSec = f64(row[7])
+		rec.Ops = u64(row[8])
+		rec.Throughput = f64(row[9])
+		rec.Commits, rec.Aborts = u64(row[10]), u64(row[11])
+		rec.AbortsWW, rec.AbortsValid = u64(row[12]), u64(row[13])
+		rec.AbortsLocked, rec.AbortsKilled = u64(row[14]), u64(row[15])
+		rec.AbortsExplicit, rec.WaitsCM = u64(row[16]), u64(row[17])
+		rec.LockAcquireFail = u64(row[18])
+		rec.AbortRate = f64(row[19])
+		switch row[20] {
+		case "true":
+			rec.CheckedOK = true
+		case "false":
+			rec.CheckedOK = false
+		default:
+			keep(fmt.Errorf("bad checked_ok value %q", row[20]))
+		}
+		if perr != nil {
+			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// Summary is a distribution over the repeats of one metric.
+type Summary struct {
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes the five-number summary of vals (sample stddev).
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	s := Summary{Min: sorted[0], Max: sorted[len(sorted)-1]}
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	for _, v := range sorted {
+		s.Mean += v
+	}
+	s.Mean /= float64(len(sorted))
+	if len(sorted) > 1 {
+		var ss float64
+		for _, v := range sorted {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Agg is one aggregated point: all repeats of (experiment, workload,
+// engine, threads) folded into distribution summaries.
+type Agg struct {
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"`
+	EngineKind string  `json:"engine_kind"`
+	Threads    int     `json:"threads"`
+	Repeats    int     `json:"repeats"`
+	Throughput Summary `json:"throughput"`
+	Duration   Summary `json:"duration_sec"`
+	Ops        Summary `json:"ops"`
+	AbortRate  Summary `json:"abort_rate"`
+	AllChecked bool    `json:"all_checked"` // every repeat passed its post-run check
+}
+
+// Aggregate groups recs by (experiment, workload, engine, threads) and
+// summarizes each group, preserving first-appearance order.
+func Aggregate(recs []Record) []Agg {
+	type key struct {
+		exp, wl, eng string
+		threads      int
+	}
+	order := []key{}
+	groups := map[key][]Record{}
+	for _, r := range recs {
+		k := key{r.Experiment, r.Workload, r.Engine, r.Threads}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	aggs := make([]Agg, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		a := Agg{
+			Experiment: k.exp, Workload: k.wl, Engine: k.eng,
+			EngineKind: g[0].EngineKind, Threads: k.threads,
+			Repeats: len(g), AllChecked: true,
+		}
+		var tp, dur, ops, ar []float64
+		for _, r := range g {
+			tp = append(tp, r.Throughput)
+			dur = append(dur, r.DurationSec)
+			ops = append(ops, float64(r.Ops))
+			ar = append(ar, r.AbortRate)
+			if !r.CheckedOK {
+				a.AllChecked = false
+			}
+		}
+		a.Throughput = Summarize(tp)
+		a.Duration = Summarize(dur)
+		a.Ops = Summarize(ops)
+		a.AbortRate = Summarize(ar)
+		aggs = append(aggs, a)
+	}
+	return aggs
+}
+
+// aggHeader is the summary-CSV column order; it must match Agg.row().
+var aggHeader = []string{
+	"experiment", "workload", "engine", "engine_kind", "threads", "repeats",
+	"throughput_median", "throughput_mean", "throughput_stddev",
+	"throughput_min", "throughput_max",
+	"duration_sec_median", "ops_median", "abort_rate_median",
+	"all_checked",
+}
+
+func (a Agg) row() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	return []string{
+		a.Experiment, a.Workload, a.Engine, a.EngineKind,
+		strconv.Itoa(a.Threads), strconv.Itoa(a.Repeats),
+		f(a.Throughput.Median), f(a.Throughput.Mean), f(a.Throughput.Stddev),
+		f(a.Throughput.Min), f(a.Throughput.Max),
+		strconv.FormatFloat(a.Duration.Median, 'f', 6, 64),
+		f(a.Ops.Median), strconv.FormatFloat(a.AbortRate.Median, 'f', 6, 64),
+		strconv.FormatBool(a.AllChecked),
+	}
+}
+
+// WriteAggCSV writes aggregated rows as CSV with a header row.
+func WriteAggCSV(w io.Writer, aggs []Agg) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(aggHeader); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if err := cw.Write(a.row()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggJSONL writes aggregated rows as JSON Lines.
+func WriteAggJSONL(w io.Writer, aggs []Agg) error {
+	enc := json.NewEncoder(w)
+	for _, a := range aggs {
+		if err := enc.Encode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KnownFormat reports whether format is a recognized -format value, so
+// drivers can reject typos before running a long measurement.
+func KnownFormat(format string) bool {
+	switch format {
+	case "text", "csv", "jsonl":
+		return true
+	}
+	return false
+}
+
+// WriteDriverFiles persists a driver run for its -format flag: "text"
+// (whose human-readable output already went to stdout) writes CSV
+// files, otherwise the format itself.
+func WriteDriverFiles(dir, name, format string, recs []Record) error {
+	if format == "text" {
+		format = "csv"
+	}
+	return WriteFiles(dir, name, format, recs)
+}
+
+// WriteFiles writes one experiment's records under dir in the given
+// format ("csv" or "jsonl"): <name>.<ext> holds the per-repeat records
+// and <name>.summary.<ext> the aggregated rows — the paper_runs-style
+// layout one directory per invocation, one file pair per experiment.
+func WriteFiles(dir, name, format string, recs []Record) error {
+	if format != "csv" && format != "jsonl" {
+		return fmt.Errorf("results: unknown format %q (want csv or jsonl)", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	aggs := Aggregate(recs)
+	if format == "csv" {
+		if err := write(filepath.Join(dir, name+".csv"), func(w io.Writer) error {
+			return WriteCSV(w, recs)
+		}); err != nil {
+			return err
+		}
+		return write(filepath.Join(dir, name+".summary.csv"), func(w io.Writer) error {
+			return WriteAggCSV(w, aggs)
+		})
+	}
+	if err := write(filepath.Join(dir, name+".jsonl"), func(w io.Writer) error {
+		return WriteJSONL(w, recs)
+	}); err != nil {
+		return err
+	}
+	return write(filepath.Join(dir, name+".summary.jsonl"), func(w io.Writer) error {
+		return WriteAggJSONL(w, aggs)
+	})
+}

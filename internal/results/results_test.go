@@ -1,0 +1,201 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swisstm/internal/stm"
+)
+
+func sample() []Record {
+	mk := func(engine string, threads, repeat int, tput float64, ops uint64, ok bool) Record {
+		r := Record{
+			Experiment: "fig2", Workload: "stmbench7/read-dominated",
+			Engine: engine, EngineKind: strings.ToLower(engine),
+			Threads: threads, Repeat: repeat, Seed: 42,
+			DurationSec: 0.5, Ops: ops, Throughput: tput, CheckedOK: ok,
+		}
+		r.SetStats(stm.Stats{Commits: ops, Aborts: ops / 10})
+		return r
+	}
+	return []Record{
+		mk("SwissTM", 1, 0, 100, 50, true),
+		mk("SwissTM", 1, 1, 300, 150, true),
+		mk("SwissTM", 1, 2, 200, 100, true),
+		mk("SwissTM", 2, 0, 400, 200, true),
+		mk("TL2", 1, 0, 80, 40, false),
+	}
+}
+
+func TestSetStats(t *testing.T) {
+	var r Record
+	r.SetStats(stm.Stats{Commits: 90, Aborts: 10, AbortsWW: 4, WaitsCM: 7})
+	if r.Commits != 90 || r.Aborts != 10 || r.AbortsWW != 4 || r.WaitsCM != 7 {
+		t.Fatalf("stats not copied: %+v", r)
+	}
+	if math.Abs(r.AbortRate-0.1) > 1e-9 {
+		t.Fatalf("abort rate = %v, want 0.1", r.AbortRate)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := sample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d != %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d changed:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("wrong header should fail")
+	}
+	// Corrupt one numeric cell: the row must be rejected, not zeroed.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), ",50,", ",5x0,", 1)
+	if corrupted == buf.String() {
+		t.Fatal("test setup: ops column not found")
+	}
+	if _, err := ReadCSV(strings.NewReader(corrupted)); err == nil {
+		t.Error("corrupt numeric cell should fail, not parse as zero")
+	}
+	bogusBool := strings.Replace(buf.String(), ",true", ",yes", 1)
+	if _, err := ReadCSV(strings.NewReader(bogusBool)); err == nil {
+		t.Error("bad checked_ok value should fail")
+	}
+}
+
+func TestKnownFormat(t *testing.T) {
+	for _, f := range []string{"text", "csv", "jsonl"} {
+		if !KnownFormat(f) {
+			t.Errorf("%q should be known", f)
+		}
+	}
+	for _, f := range []string{"", "xml", "json", "CSV"} {
+		if KnownFormat(f) {
+			t.Errorf("%q should be rejected", f)
+		}
+	}
+}
+
+func TestJSONLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sample()) {
+		t.Fatalf("want one line per record, got %d lines", len(lines))
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(lines[0]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "SwissTM" || r.Throughput != 100 {
+		t.Fatalf("first line decoded wrong: %+v", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{100, 300, 200})
+	if s.Median != 200 || s.Mean != 200 || s.Min != 100 || s.Max != 300 {
+		t.Fatalf("odd-length summary wrong: %+v", s)
+	}
+	if math.Abs(s.Stddev-100) > 1e-9 {
+		t.Fatalf("sample stddev = %v, want 100", s.Stddev)
+	}
+	if even := Summarize([]float64{1, 2, 3, 4}); even.Median != 2.5 {
+		t.Fatalf("even-length median = %v, want 2.5", even.Median)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary should be zero: %+v", z)
+	}
+	if one := Summarize([]float64{7}); one.Stddev != 0 || one.Median != 7 {
+		t.Fatalf("single-sample summary wrong: %+v", one)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	aggs := Aggregate(sample())
+	// Groups: SwissTM@1 (3 repeats), SwissTM@2, TL2@1 — in first-appearance order.
+	if len(aggs) != 3 {
+		t.Fatalf("want 3 groups, got %d: %+v", len(aggs), aggs)
+	}
+	a := aggs[0]
+	if a.Engine != "SwissTM" || a.Threads != 1 || a.Repeats != 3 {
+		t.Fatalf("first group wrong: %+v", a)
+	}
+	if a.Throughput.Median != 200 {
+		t.Fatalf("median throughput = %v, want 200", a.Throughput.Median)
+	}
+	if !a.AllChecked {
+		t.Fatal("all SwissTM repeats passed their check")
+	}
+	if aggs[2].Engine != "TL2" || aggs[2].AllChecked {
+		t.Fatalf("TL2 group should have AllChecked=false: %+v", aggs[2])
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFiles(dir, "fig2", "csv", sample()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCSV(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sample()) {
+		t.Fatalf("per-repeat CSV has %d records, want %d", len(recs), len(sample()))
+	}
+	sum, err := os.ReadFile(filepath.Join(dir, "fig2.summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sum)), "\n")
+	if len(lines) != 1+3 { // header + 3 aggregated points
+		t.Fatalf("summary CSV has %d lines, want 4:\n%s", len(lines), sum)
+	}
+	if !strings.Contains(lines[0], "throughput_median") || !strings.Contains(lines[0], "abort_rate_median") {
+		t.Fatalf("summary header missing required columns: %s", lines[0])
+	}
+
+	if err := WriteFiles(dir, "fig2", "jsonl", sample()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.jsonl", "fig2.summary.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	if err := WriteFiles(dir, "x", "xml", nil); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

@@ -43,6 +43,13 @@ type App interface {
 // returns the aggregated statistics. It is the fixed-work protocol every
 // experiment driver uses.
 func Run(app App, e stm.STM, threads int) (stm.Stats, error) {
+	return RunSeeded(app, e, threads, 0)
+}
+
+// RunSeeded is Run with the per-worker RNG streams derived from seed,
+// so a seeded run replays the same operation sequences (seed 0 keeps
+// the legacy fixed per-worker constants).
+func RunSeeded(app App, e stm.STM, threads int, seed uint64) (stm.Stats, error) {
 	if err := app.Setup(e); err != nil {
 		return stm.Stats{}, fmt.Errorf("%s setup: %w", app.Name(), err)
 	}
@@ -54,7 +61,7 @@ func Run(app App, e stm.STM, threads int) (stm.Stats, error) {
 		go func(worker int) {
 			defer wg.Done()
 			th := e.NewThread(worker + 1)
-			app.Work(e, th, worker, threads, util.NewRand(uint64(worker)*0x9e3779b9+13))
+			app.Work(e, th, worker, threads, util.NewRand(seed^(uint64(worker)*0x9e3779b9+13)))
 			stats[worker] = th.Stats()
 		}(i)
 	}
