@@ -5,11 +5,12 @@ GO ?= go
 
 # Engine packages get a dedicated -race pass: they are the lock-level
 # concurrent code, and the data-structure stress tests hammer them.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm
+# txkv rides along for its concurrent transfer-invariant test.
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke fmt vet bench ci
+.PHONY: build test race smoke smoke-txkv fmt vet bench ci
 
 build:
 	$(GO) build ./...
@@ -30,7 +31,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/txkv
 
 # smoke regenerates every figure at quick scale, persists the records,
 # and fails if any result file is empty or any workload check failed.
@@ -46,4 +47,19 @@ smoke:
 	fi
 	@echo "smoke OK: $$(ls $(SMOKE_DIR) | wc -l) result files in $(SMOKE_DIR)"
 
-ci: fmt vet build test race smoke
+# smoke-txkv runs a short seeded txkv experiment per engine through the
+# dedicated driver (all three headline mixes, correctness oracles
+# armed) and fails on empty result files or failed invariant checks.
+smoke-txkv:
+	rm -rf $(SMOKE_DIR)/txkv
+	$(GO) run ./cmd/txkv -threads 1,2 -repeats 2 -seed 1 -ops 200 -keys 1024 -format csv -out $(SMOKE_DIR)/txkv
+	@for f in $(SMOKE_DIR)/txkv/*.csv; do \
+		lines=$$(wc -l < "$$f"); \
+		if [ "$$lines" -le 1 ]; then echo "empty result file: $$f"; exit 1; fi; \
+	done
+	@if grep -l 'false$$' $(SMOKE_DIR)/txkv/*.summary.csv; then \
+		echo "a txkv correctness check failed (all_checked=false above)"; exit 1; \
+	fi
+	@echo "smoke-txkv OK: all engines, all mixes, oracles green"
+
+ci: fmt vet build test race smoke smoke-txkv

@@ -1,8 +1,10 @@
 // Command paperfigs regenerates the figures and tables of "Stretching
-// Transactional Memory" (PLDI 2009). Each experiment prints the series
-// the corresponding figure plots (see DESIGN.md §4 for the mapping) and
-// can additionally persist the underlying per-repeat measurement
-// records as CSV or JSONL, one file pair per experiment (DESIGN.md §5).
+// Transactional Memory" (PLDI 2009), plus the repository's own txkv
+// key-value-store experiment family (DESIGN.md §6). Each experiment
+// prints the series the corresponding figure plots (see DESIGN.md §4
+// for the mapping) and can additionally persist the underlying
+// per-repeat measurement records as CSV or JSONL, one file pair per
+// experiment (DESIGN.md §5).
 //
 // Usage:
 //
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "", "experiment to run: fig2..fig13, table1, table2, or 'all'")
+		run     = flag.String("run", "", "experiment to run: fig2..fig13, table1, table2, txkv, or 'all'")
 		list    = flag.Bool("list", false, "list available experiments")
 		quick   = flag.Bool("quick", false, "small inputs and short measurements (smoke run)")
 		dur     = flag.Duration("dur", 0, "duration per throughput point (overrides preset)")

@@ -1,0 +1,150 @@
+// Command txkv runs the transactional key-value store under YCSB-style
+// workload mixes (DESIGN.md §6) across engines and thread counts, and
+// persists structured records (DESIGN.md §5). Every run arms the
+// cross-engine correctness oracles: the total-balance invariant under
+// multi-key transfers and the per-key last-write check under updates;
+// a failed oracle exits non-zero after persisting the evidence.
+//
+// Usage:
+//
+//	txkv -repeats 3 -seed 1 -format csv
+//	txkv -engines swisstm,tl2 -mixes transfer -threads 1,2,4,8 -dur 2s
+//	txkv -zipf 0 -keys 65536 -threads 8 -repeats 5 -format jsonl -out runs/kv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/results"
+	"swisstm/internal/txkv"
+)
+
+func main() {
+	var (
+		engines = flag.String("engines", "swisstm,tinystm,rstm,tl2", "comma-separated engine kinds")
+		mixes   = flag.String("mixes", "read-heavy,update-heavy,transfer", "comma-separated workload mixes: read-heavy | update-heavy | transfer | read-only")
+		threads = flag.String("threads", "1,2,4", "comma-separated thread sweep")
+		keys    = flag.Int("keys", 4096, "key population (store pre-filled with keys 1..n)")
+		zipf    = flag.Float64("zipf", 0.99, "zipfian key-popularity skew θ in (0,1); 0 = uniform")
+		dur     = flag.Duration("dur", time.Second, "measurement duration per point (unseeded mode)")
+		manager = flag.String("cm", "polka", "RSTM contention manager")
+		repeats = flag.Int("repeats", 1, "measured repeats per point (summaries report medians)")
+		seed    = flag.Uint64("seed", 0, "deterministic mode: seeded RNGs + fixed op count (0 = off)")
+		ops     = flag.Uint64("ops", 0, "per-worker op quota (overrides the seeded-mode default of 2000)")
+		format  = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir  = flag.String("out", "", "directory for result files (default txkv_runs for csv/jsonl)")
+	)
+	flag.Parse()
+	if !results.KnownFormat(*format) {
+		fmt.Fprintf(os.Stderr, "txkv: unknown format %q (want text, csv or jsonl)\n", *format)
+		os.Exit(2)
+	}
+	if *format != "text" && *outDir == "" {
+		*outDir = "txkv_runs"
+		fmt.Fprintf(os.Stderr, "txkv: no -out given; writing %s files to %s/\n", *format, *outDir)
+	}
+
+	var specs []harness.EngineSpec
+	for _, kind := range splitList(*engines) {
+		switch kind {
+		case "swisstm", "tl2", "tinystm", "rstm":
+			specs = append(specs, harness.EngineSpec{Kind: kind, Manager: *manager})
+		default:
+			fmt.Fprintf(os.Stderr, "txkv: unknown engine %q\n", kind)
+			os.Exit(2)
+		}
+	}
+	if *zipf < 0 || *zipf >= 1 {
+		fmt.Fprintf(os.Stderr, "txkv: -zipf %v out of range (want 0 for uniform, or θ in (0,1))\n", *zipf)
+		os.Exit(2)
+	}
+	if *keys < 1 {
+		fmt.Fprintf(os.Stderr, "txkv: -keys %d must be positive\n", *keys)
+		os.Exit(2)
+	}
+	var mixList []txkv.Mix
+	for _, name := range splitList(*mixes) {
+		m, ok := txkv.MixByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "txkv: unknown mix %q\n", name)
+			os.Exit(2)
+		}
+		if m.TransferPct > 0 && *keys <= m.TransferKeys {
+			fmt.Fprintf(os.Stderr, "txkv: mix %s needs -keys above %d, have %d\n", name, m.TransferKeys, *keys)
+			os.Exit(2)
+		}
+		mixList = append(mixList, m)
+	}
+	var sweep []int
+	for _, part := range splitList(*threads) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "txkv: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		sweep = append(sweep, n)
+	}
+
+	dist := "uniform"
+	if *zipf > 0 {
+		dist = "zipf"
+	}
+	var all []results.Record
+	runErr := func() error {
+		for _, mix := range mixList {
+			mix := mix
+			wl := fmt.Sprintf("txkv/%s-%s", mix.Name, dist)
+			for _, spec := range specs {
+				for _, tc := range sweep {
+					recs, err := harness.RepeatThroughput(spec,
+						func(uint64) harness.Workload {
+							return txkv.NewGen(txkv.GenConfig{Mix: mix, Keys: *keys, Zipf: *zipf}).Workload()
+						},
+						harness.RunConfig{
+							Experiment: "txkv", Workload: wl,
+							Threads: tc, Duration: *dur, FixedOps: *ops,
+							Repeats: *repeats, Seed: *seed,
+						})
+					all = append(all, recs...)
+					if err != nil {
+						return fmt.Errorf("%s: %w", wl, err)
+					}
+				}
+			}
+		}
+		return nil
+	}()
+	// Persist whatever was measured even when an oracle failed, so the
+	// run directory holds the evidence.
+	if *outDir != "" {
+		if werr := results.WriteDriverFiles(*outDir, "txkv", *format, all); werr != nil {
+			fmt.Fprintln(os.Stderr, "txkv:", werr)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "txkv:", runErr)
+		os.Exit(1)
+	}
+	for _, a := range results.Aggregate(all) {
+		fmt.Printf("workload=%s engine=%s threads=%d repeats=%d throughput=%.0f tx/s (median) abort-rate=%.2f%% checked=%v\n",
+			a.Workload, a.Engine, a.Threads, a.Repeats,
+			a.Throughput.Median, 100*a.AbortRate.Median, a.AllChecked)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

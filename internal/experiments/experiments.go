@@ -1,6 +1,7 @@
 // Package experiments reproduces every figure and table of the paper's
-// evaluation (§4 and §5). Each experiment is a function that runs the
-// relevant workloads across engines and thread counts, returns the
+// evaluation (§4 and §5), plus the repository's own txkv key-value
+// store family (DESIGN.md §6). Each experiment is a function that runs
+// the relevant workloads across engines and thread counts, returns the
 // structured per-repeat measurement records, and renders the same
 // rows/series the paper plots from those records; cmd/paperfigs and the
 // repository-root benchmarks drive them. The experiment ↔ module map
@@ -33,6 +34,8 @@ type Options struct {
 	Bench7   bench7.Config // structure dimensions (mix is set per run)
 	RBRange  int           // red-black tree key range (paper: 16384)
 	RBUpdate int           // update percentage (paper: 20)
+	KVKeys   int           // txkv key population (default 1024)
+	KVZipf   float64       // txkv zipfian skew θ (default 0.99)
 	Repeats  int           // measured repeats per point (0 or 1 = single run)
 	Seed     uint64        // non-zero = deterministic mode: seeded RNGs + fixed-ops points
 	FixedOps uint64        // per-worker ops per throughput point (0 = harness.DefaultFixedOps when seeded)
@@ -47,6 +50,8 @@ func Default(out io.Writer) Options {
 		Scale:    stamp.Bench,
 		RBRange:  16384,
 		RBUpdate: 20,
+		KVKeys:   16384,
+		KVZipf:   0.99,
 		Repeats:  1,
 	}
 }
@@ -61,6 +66,8 @@ func Quick(out io.Writer) Options {
 		Bench7:   bench7.Config{Levels: 3, Fanout: 3, CompPool: 32, AtomicPerComp: 10},
 		RBRange:  1024,
 		RBUpdate: 20,
+		KVKeys:   1024,
+		KVZipf:   0.99,
 		Repeats:  1,
 	}
 }
@@ -714,6 +721,7 @@ func (o Options) Table2() ([]results.Record, error) {
 var Names = []string{
 	"fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "table1", "table2",
+	"txkv",
 }
 
 // Run dispatches one experiment by name, returning its per-repeat
@@ -746,6 +754,8 @@ func (o Options) Run(name string) ([]results.Record, error) {
 		return o.Table1()
 	case "table2":
 		return o.Table2()
+	case "txkv":
+		return o.TxKV()
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 }

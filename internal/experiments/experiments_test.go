@@ -64,6 +64,42 @@ func TestSmokeLightweight(t *testing.T) {
 	}
 }
 
+// TestSmokeTxKV runs the txkv family at test scale in seeded fixed-ops
+// mode and checks the rendered figures, record tagging and oracles.
+func TestSmokeTxKV(t *testing.T) {
+	var buf bytes.Buffer
+	o := tiny(&buf)
+	o.KVKeys = 256
+	o.Seed = 5
+	o.FixedOps = 150
+	recs, err := o.Run("txkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{"TxKV read-heavy (zipfian", "TxKV transfer", "TxKV read-heavy (uniform", "SwissTM", "TL2", "TinySTM", "RSTM"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	// 4 engines × 5 workloads × 2 thread counts.
+	if len(recs) != 4*5*2 {
+		t.Fatalf("want 40 records, got %d", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Workload] = true
+		if r.Experiment != "txkv" || !r.CheckedOK || r.Ops == 0 {
+			t.Fatalf("bad txkv record: %+v", r)
+		}
+	}
+	for _, wl := range []string{"txkv/read-heavy-zipf", "txkv/update-heavy-zipf", "txkv/transfer-zipf", "txkv/read-only-zipf", "txkv/read-heavy-uniform"} {
+		if !seen[wl] {
+			t.Errorf("no records for workload %s (have %v)", wl, seen)
+		}
+	}
+}
+
 // TestSmokeFixedWork exercises one fixed-work experiment (Figure 11's
 // intruder ablation) at test scale.
 func TestSmokeFixedWork(t *testing.T) {

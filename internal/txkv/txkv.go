@@ -1,0 +1,279 @@
+// Package txkv is a sharded transactional key-value store — the
+// server-traffic workload family of the evaluation. The paper argues
+// SwissTM targets workloads "larger and more complex" than
+// microbenchmarks; an in-memory KV store with mixed point operations,
+// multi-key transactions and iteration-based aggregate reads is exactly
+// the mixed short/long-transaction regime its two-phase contention
+// manager is built for.
+//
+// The store is written entirely against the engine-agnostic object API
+// (DESIGN.md §3.1), so it runs unmodified on SwissTM, TL2, TinySTM and
+// object-based RSTM. Layout (DESIGN.md §6):
+//
+//   - The key space is hashed (splitmix64 finalizer) onto Shards ×
+//     Buckets chains. The shard/bucket directory is built once at
+//     setup and immutable afterwards, so it lives in plain Go memory
+//     and costs no read-set entries.
+//   - Each bucket is one 1-field holder object containing the chain
+//     head, so two transactions conflict only when they touch the same
+//     bucket (object-granularity engines) or the same lock stripe
+//     (word-based engines).
+//   - Each entry is one 3-field object {key, value, next}. Updates
+//     write only the entry's value field; inserts link a fresh entry
+//     at the chain head; deletes unlink (the bump-allocator arena
+//     leaks the node, as all engines here leak on abort — see
+//     stm.Tx.AllocWords).
+package txkv
+
+import "swisstm/internal/stm"
+
+// Entry object field indices.
+const (
+	eKey uint32 = iota
+	eVal
+	eNext
+	entryFields
+)
+
+// nilH is the nil entry handle.
+const nilH stm.Handle = 0
+
+// Config sizes the store. Both dimensions must be powers of two.
+type Config struct {
+	// Shards is the number of shards (aggregate/scan unit). Default 16.
+	Shards int
+	// Buckets is the number of hash buckets per shard. Default 64.
+	Buckets int
+}
+
+func (c *Config) fill() {
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 64
+	}
+	if c.Shards&(c.Shards-1) != 0 || c.Buckets&(c.Buckets-1) != 0 {
+		panic("txkv: Shards and Buckets must be powers of two")
+	}
+}
+
+// ConfigForKeys sizes a store for an expected population of keys at
+// roughly four keys per bucket across 16 shards.
+func ConfigForKeys(keys int) Config {
+	c := Config{Shards: 16, Buckets: 1}
+	for c.Shards*c.Buckets*4 < keys {
+		c.Buckets <<= 1
+	}
+	return c
+}
+
+// Store is a transactional hash map from uint64 keys to uint64 values.
+// All operations run inside the caller's transaction, so any sequence
+// of them composes into one atomic multi-key transaction. The Store
+// struct itself is immutable after New and safe to share across worker
+// threads.
+type Store struct {
+	shards  int
+	buckets int
+	// heads[shard][bucket] is the handle of that bucket's 1-field chain
+	// head holder. Written once during New, read-only afterwards.
+	heads [][]stm.Handle
+}
+
+// New builds an empty store using th for the allocation transactions.
+func New(th stm.Thread, cfg Config) *Store {
+	cfg.fill()
+	s := &Store{shards: cfg.Shards, buckets: cfg.Buckets}
+	s.heads = make([][]stm.Handle, cfg.Shards)
+	for si := range s.heads {
+		row := make([]stm.Handle, cfg.Buckets)
+		// One allocation-only transaction per shard keeps transactions
+		// bounded; fresh objects cannot conflict with anything.
+		th.Atomic(func(tx stm.Tx) {
+			for bi := range row {
+				row[bi] = tx.NewObject(1)
+			}
+		})
+		s.heads[si] = row
+	}
+	return s
+}
+
+// Shards returns the shard count (the unit SumShard iterates).
+func (s *Store) Shards() int { return s.shards }
+
+// mix is the splitmix64 finalizer: avalanches key bits so that hot
+// zipfian ranks and sequential key populations scatter across shards
+// and buckets.
+func mix(k stm.Word) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// head returns the bucket holder handle for key.
+func (s *Store) head(key stm.Word) stm.Handle {
+	h := mix(key)
+	return s.heads[int(h)&(s.shards-1)][int(h>>32)&(s.buckets-1)]
+}
+
+// find walks key's bucket chain, returning the entry holding key and
+// its predecessor (both nilH when absent / first in chain).
+func (s *Store) find(tx stm.Tx, holder stm.Handle, key stm.Word) (entry, prev stm.Handle) {
+	e := tx.ReadField(holder, 0)
+	for e != nilH {
+		if tx.ReadField(e, eKey) == key {
+			return e, prev
+		}
+		prev = e
+		e = tx.ReadField(e, eNext)
+	}
+	return nilH, nilH
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(tx stm.Tx, key stm.Word) (stm.Word, bool) {
+	e, _ := s.find(tx, s.head(key), key)
+	if e == nilH {
+		return 0, false
+	}
+	return tx.ReadField(e, eVal), true
+}
+
+// Put sets key → val, returning true when the key was newly inserted
+// (false when an existing value was overwritten).
+func (s *Store) Put(tx stm.Tx, key, val stm.Word) bool {
+	holder := s.head(key)
+	e, _ := s.find(tx, holder, key)
+	if e != nilH {
+		tx.WriteField(e, eVal, val)
+		return false
+	}
+	n := tx.NewObject(entryFields)
+	tx.WriteField(n, eKey, key)
+	tx.WriteField(n, eVal, val)
+	tx.WriteField(n, eNext, tx.ReadField(holder, 0))
+	tx.WriteField(holder, 0, n)
+	return true
+}
+
+// Delete removes key, returning whether it was present.
+func (s *Store) Delete(tx stm.Tx, key stm.Word) bool {
+	holder := s.head(key)
+	e, prev := s.find(tx, holder, key)
+	if e == nilH {
+		return false
+	}
+	next := tx.ReadField(e, eNext)
+	if prev == nilH {
+		tx.WriteField(holder, 0, next)
+	} else {
+		tx.WriteField(prev, eNext, next)
+	}
+	return true
+}
+
+// CAS replaces key's value with newv only when it currently equals
+// oldv. It returns false — writing nothing — when the key is absent or
+// holds a different value.
+func (s *Store) CAS(tx stm.Tx, key, oldv, newv stm.Word) bool {
+	e, _ := s.find(tx, s.head(key), key)
+	if e == nilH || tx.ReadField(e, eVal) != oldv {
+		return false
+	}
+	tx.WriteField(e, eVal, newv)
+	return true
+}
+
+// Transfer atomically moves amount from keys[0] to each of keys[1:]
+// (debiting amount × (len(keys)−1) from the source) — the multi-key
+// transaction class of the workload mixes. It returns false, writing
+// nothing, when fewer than two keys are given, keys repeat, any key is
+// absent, or the source balance is insufficient. The sum over all keys
+// is invariant either way, which the cross-engine balance checks
+// exploit.
+func (s *Store) Transfer(tx stm.Tx, keys []stm.Word, amount stm.Word) bool {
+	if len(keys) < 2 {
+		return false
+	}
+	for i, k := range keys {
+		for _, prior := range keys[:i] {
+			if prior == k {
+				return false
+			}
+		}
+	}
+	debit := amount * stm.Word(len(keys)-1)
+	// Locate every entry once; the write pass reuses the handles, so a
+	// transfer over k keys walks each chain a single time.
+	entries := make([]stm.Handle, len(keys))
+	vals := make([]stm.Word, len(keys))
+	for i, k := range keys {
+		e, _ := s.find(tx, s.head(k), k)
+		if e == nilH {
+			return false
+		}
+		entries[i] = e
+		vals[i] = tx.ReadField(e, eVal)
+	}
+	if vals[0] < debit {
+		return false
+	}
+	tx.WriteField(entries[0], eVal, vals[0]-debit)
+	for i := 1; i < len(entries); i++ {
+		tx.WriteField(entries[i], eVal, vals[i]+amount)
+	}
+	return true
+}
+
+// ForEachShard calls fn for every (key, value) pair in one shard,
+// stopping early when fn returns false.
+func (s *Store) ForEachShard(tx stm.Tx, shard int, fn func(k, v stm.Word) bool) bool {
+	for _, holder := range s.heads[shard] {
+		e := tx.ReadField(holder, 0)
+		for e != nilH {
+			if !fn(tx.ReadField(e, eKey), tx.ReadField(e, eVal)) {
+				return false
+			}
+			e = tx.ReadField(e, eNext)
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every (key, value) pair in the store, stopping
+// early when fn returns false. Iteration order is the hash layout, not
+// key order.
+func (s *Store) ForEach(tx stm.Tx, fn func(k, v stm.Word) bool) {
+	for si := 0; si < s.shards; si++ {
+		if !s.ForEachShard(tx, si, fn) {
+			return
+		}
+	}
+}
+
+// SumShard returns the sum of all values in one shard — the bounded
+// iteration aggregate the scan ops issue (a long read-only
+// transaction over ~1/Shards of the store).
+func (s *Store) SumShard(tx stm.Tx, shard int) stm.Word {
+	var sum stm.Word
+	s.ForEachShard(tx, shard, func(_, v stm.Word) bool { sum += v; return true })
+	return sum
+}
+
+// SumAll returns the sum of every value — the whole-store aggregate
+// used by the balance-invariant checks.
+func (s *Store) SumAll(tx stm.Tx) stm.Word {
+	var sum stm.Word
+	s.ForEach(tx, func(_, v stm.Word) bool { sum += v; return true })
+	return sum
+}
+
+// Len counts the stored keys.
+func (s *Store) Len(tx stm.Tx) int {
+	n := 0
+	s.ForEach(tx, func(_, _ stm.Word) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,94 @@
+package util
+
+import "math"
+
+// Dist draws item indices in [0, N()) — the key-choice distributions of
+// the YCSB-style txkv workloads. Implementations are immutable after
+// construction and safe for concurrent use: all randomness comes from
+// the caller's per-worker Rand, so seeded runs reproduce exactly and
+// the transaction hot path never contends on sampler state.
+type Dist interface {
+	// Next draws one index using r as the randomness source.
+	Next(r *Rand) int
+	// N is the population size.
+	N() int
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct{ n int }
+
+// NewUniform returns a uniform distribution over [0, n). n must be > 0.
+func NewUniform(n int) Uniform {
+	if n <= 0 {
+		panic("util: uniform population must be positive")
+	}
+	return Uniform{n: n}
+}
+
+// Next implements Dist.
+func (u Uniform) Next(r *Rand) int { return r.Intn(u.n) }
+
+// N implements Dist.
+func (u Uniform) N() int { return u.n }
+
+// Zipf draws rank indices from a zipfian distribution over [0, n): rank
+// 0 is the hottest item and rank frequencies fall off as 1/(i+1)^theta.
+// It is the YCSB generator (Gray et al.'s bounded zipfian via inverted
+// CDF approximation), the standard model for skewed key popularity in
+// key-value workloads. Construction is O(n) (the harmonic normalizer);
+// drawing is O(1).
+//
+// Hot ranks are the low indices; callers that map ranks straight onto
+// key space get their hot keys adjacent. The txkv store hashes keys
+// before placement, so no extra scrambling pass is needed there.
+type Zipf struct {
+	n       int
+	theta   float64
+	alpha   float64 // 1/(1-theta)
+	zetan   float64 // generalized harmonic number H_{n,theta}
+	eta     float64
+	halfPow float64 // 0.5^theta, the rank-1 threshold
+}
+
+// NewZipf returns a zipfian distribution over [0, n) with skew theta.
+// n must be > 0 and theta in (0, 1); theta near 1 is most skewed
+// (YCSB's default is 0.99).
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("util: zipf population must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("util: zipf skew must be in (0, 1)")
+	}
+	z := &Zipf{n: n, theta: theta, alpha: 1 / (1 - theta)}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.halfPow = math.Pow(0.5, theta)
+	return z
+}
+
+// Next implements Dist.
+func (z *Zipf) Next(r *Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.halfPow {
+		return 1
+	}
+	i := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if i >= z.n { // guard float rounding at u → 1
+		i = z.n - 1
+	}
+	return i
+}
+
+// N implements Dist.
+func (z *Zipf) N() int { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }

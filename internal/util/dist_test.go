@@ -1,0 +1,137 @@
+package util
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBounds(t *testing.T) {
+	check := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		d := NewUniform(int(n))
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := d.Next(r)
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	check := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		d := NewZipf(int(n), 0.99)
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := d.Next(r)
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfDeterministic: the sampler must be a pure function of the
+// caller's Rand — same seed and parameters, same index stream.
+func TestZipfDeterministic(t *testing.T) {
+	za, zb := NewZipf(4096, 0.8), NewZipf(4096, 0.8)
+	ra, rb := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a, b := za.Next(ra), zb.Next(rb); a != b {
+			t.Fatalf("draw %d: %d != %d (same seed must give the same sequence)", i, a, b)
+		}
+	}
+}
+
+// TestZipfSkew checks the statistical shape at YCSB's default skew:
+// rank frequencies fall off steeply and the head dominates.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipf(n, 0.99)
+	r := NewRand(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	// The hottest rank should carry ≳ 1/H_{n,θ} ≈ 13% of the mass.
+	if counts[0] < draws*8/100 {
+		t.Fatalf("rank 0 drawn %d/%d times; zipfian head too light", counts[0], draws)
+	}
+	// The top 10 ranks carry a large share (theoretically ≈ 39%).
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if top10 < draws*25/100 {
+		t.Fatalf("top-10 ranks drawn %d/%d times; distribution not skewed enough", top10, draws)
+	}
+	// Frequencies decrease with rank (with generous sampling slack).
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("rank frequencies not decreasing: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+}
+
+// TestZipfSkewParameter: larger theta must concentrate more mass on the
+// hottest rank.
+func TestZipfSkewParameter(t *testing.T) {
+	const n, draws = 1000, 100000
+	head := func(theta float64) int {
+		z := NewZipf(n, theta)
+		r := NewRand(11)
+		c := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r) == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	lo, hi := head(0.5), head(0.99)
+	if hi <= lo {
+		t.Fatalf("theta=0.99 head count %d not above theta=0.5 head count %d", hi, lo)
+	}
+}
+
+// TestZipfSmallPopulations: degenerate sizes must stay in bounds.
+func TestZipfSmallPopulations(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		z := NewZipf(n, 0.99)
+		r := NewRand(3)
+		for i := 0; i < 1000; i++ {
+			v := z.Next(r)
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: draw %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUniformRoughlyUniform(t *testing.T) {
+	d := NewUniform(10)
+	r := NewRand(13)
+	const draws = 100000
+	counts := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		counts[d.Next(r)]++
+	}
+	for i, c := range counts {
+		if c < draws/10*8/10 || c > draws/10*12/10 {
+			t.Fatalf("bucket %d has %d/%d draws; uniform sampler badly skewed", i, c, draws)
+		}
+	}
+}
