@@ -10,7 +10,7 @@ RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rst
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv fmt vet bench ci
+.PHONY: build test race smoke smoke-txkv fmt vet bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/txkv
+
+# bench-json measures per-op hot-path cost (ns/op + allocs/op) of the
+# core engine micro-benchmarks and writes the machine-readable perf
+# artifact CI accumulates (non-gating; see DESIGN.md §7).
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # smoke regenerates every figure at quick scale, persists the records,
 # and fails if any result file is empty or any workload check failed.

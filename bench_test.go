@@ -240,7 +240,7 @@ func BenchmarkFig13(b *testing.B) {
 	for _, g := range []uint{0, 1, 2, 3, 4, 5, 6} {
 		b.Run(map[uint]string{0: "1w", 1: "2w", 2: "4w", 3: "8w", 4: "16w", 5: "32w", 6: "64w"}[g],
 			func(b *testing.B) {
-				rbOp(b, harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}, 4096, 20)
+				rbOp(b, harness.EngineSpec{Kind: "swisstm", StripeWords: 1 << g}, 4096, 20)
 			})
 	}
 }
@@ -271,10 +271,10 @@ func BenchmarkTable2(b *testing.B) {
 	for _, g := range []uint{0, 2, 4} {
 		name := map[uint]string{0: "1w", 2: "4w", 4: "16w"}[g]
 		b.Run("lee/"+name, func(b *testing.B) {
-			leeRun(b, harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}, benchBoard)
+			leeRun(b, harness.EngineSpec{Kind: "swisstm", StripeWords: 1 << g}, benchBoard)
 		})
 		b.Run("ssca2/"+name, func(b *testing.B) {
-			spec := harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g}
+			spec := harness.EngineSpec{Kind: "swisstm", StripeWords: 1 << g}
 			for i := 0; i < b.N; i++ {
 				app, err := stamp.New("ssca2", stamp.Test)
 				if err != nil {

@@ -1,0 +1,172 @@
+// Command benchjson measures the per-operation hot-path cost (ns/op,
+// allocs/op) of the core engine micro-benchmarks — rbtree lookup-heavy,
+// STMBench7 read-dominated, txkv read-heavy — on every engine, and emits
+// a machine-readable JSON artifact through internal/results. CI runs it
+// non-gating (`make bench-json`) so the perf trajectory accumulates one
+// BENCH_PR<n>.json per change; compare two artifacts (or benchstat two
+// `go test -bench` runs, README § Performance) to price a PR.
+//
+// Measurements run single-goroutine via testing.Benchmark: the point is
+// per-access overhead — the quantity the paper's §3 design choices
+// minimize — not parallel scalability, which the figure experiments and
+// the structured results pipeline already cover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"swisstm/internal/bench7"
+	"swisstm/internal/harness"
+	"swisstm/internal/rbtree"
+	"swisstm/internal/results"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/util"
+)
+
+var (
+	out     = flag.String("out", "BENCH_PR3.json", "output JSON path")
+	repeats = flag.Int("repeats", 5, "repeats per benchmark (median reported)")
+	benchMs = flag.Int("benchms", 300, "target measurement time per repeat, milliseconds")
+)
+
+// engines is the sweep: the three word-based engines plus object-based
+// RSTM (which runs the object-API workloads only — same coverage as the
+// paper's figures).
+var engines = []harness.EngineSpec{
+	{Kind: "swisstm"},
+	{Kind: "tl2"},
+	{Kind: "tinystm"},
+	{Kind: "rstm", Manager: "polka", Label: "RSTM"},
+}
+
+type workload struct {
+	name string
+	// setup builds shared state and returns the per-iteration op.
+	setup func(spec harness.EngineSpec) func()
+}
+
+func workloads() []workload {
+	return []workload{
+		{name: "rbtree-lookup", setup: func(spec harness.EngineSpec) func() {
+			e := spec.New()
+			th := e.NewThread(0)
+			tree := rbtree.New(th)
+			rng := util.NewRand(3)
+			for i := 0; i < 2048; i++ {
+				k := stm.Word(rng.Intn(4096) + 1)
+				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			}
+			var k stm.Word
+			lookup := func(tx stm.Tx) { tree.Lookup(tx, k) }
+			insert := func(tx stm.Tx) { tree.Insert(tx, k, k) }
+			del := func(tx stm.Tx) { tree.Delete(tx, k) }
+			return func() {
+				k = stm.Word(rng.Intn(4096) + 1)
+				switch c := rng.Intn(100); {
+				case c < 5:
+					th.Atomic(insert)
+				case c < 10:
+					th.Atomic(del)
+				default:
+					th.Atomic(lookup)
+				}
+			}
+		}},
+		{name: "bench7-read", setup: func(spec harness.EngineSpec) func() {
+			cfg := bench7.Config{
+				Levels: 3, Fanout: 3, CompPool: 32,
+				AtomicPerComp: 10, ReadOnlyPct: 90,
+			}
+			e := spec.New()
+			b := bench7.Setup(e, cfg)
+			th := e.NewThread(1)
+			rng := util.NewRand(99)
+			return func() { b.Op(th, rng) }
+		}},
+		{name: "txkv-read", setup: func(spec harness.EngineSpec) func() {
+			e := spec.New()
+			th := e.NewThread(0)
+			s := txkv.New(th, txkv.ConfigForKeys(4096))
+			for k := 1; k <= 4096; k++ {
+				kk := stm.Word(k)
+				th.Atomic(func(tx stm.Tx) { s.Put(tx, kk, kk) })
+			}
+			zipf := util.NewZipf(4096, 0.99)
+			rng := util.NewRand(977)
+			var k stm.Word
+			get := func(tx stm.Tx) { s.Get(tx, k) }
+			return func() {
+				k = stm.Word(zipf.Next(rng) + 1)
+				th.Atomic(get)
+			}
+		}},
+	}
+}
+
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+func main() {
+	testing.Init() // registers test.* flags so benchtime is settable
+	flag.Parse()
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%dms", *benchMs)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var recs []results.BenchRecord
+	for _, wl := range workloads() {
+		for _, spec := range engines {
+			op := wl.setup(spec)
+			var ns, allocs, bytes []float64
+			ops := 0
+			for r := 0; r < *repeats; r++ {
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						op()
+					}
+				})
+				ns = append(ns, float64(res.NsPerOp()))
+				allocs = append(allocs, float64(res.AllocsPerOp()))
+				bytes = append(bytes, float64(res.AllocedBytesPerOp()))
+				ops = res.N
+			}
+			rec := results.BenchRecord{
+				Name:        wl.name + "/" + spec.DisplayName(),
+				Workload:    wl.name,
+				Engine:      spec.DisplayName(),
+				EngineKind:  spec.Kind,
+				Ops:         ops,
+				NsPerOp:     median(ns),
+				AllocsPerOp: median(allocs),
+				BytesPerOp:  median(bytes),
+				Repeats:     *repeats,
+			}
+			recs = append(recs, rec)
+			fmt.Printf("%-28s %10.1f ns/op %8.2f allocs/op\n",
+				rec.Name, rec.NsPerOp, rec.AllocsPerOp)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := results.WriteBenchJSON(f, recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

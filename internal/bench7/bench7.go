@@ -24,6 +24,7 @@ package bench7
 
 import (
 	"fmt"
+	"sync"
 
 	"swisstm/internal/rbtree"
 	"swisstm/internal/stm"
@@ -136,12 +137,30 @@ type Bench struct {
 	counters    stm.Handle
 	initialComp int // id range used by lookup operations
 	initialPart int
+
+	// walkers pools graph-walk scratch state. The visited set and DFS
+	// stack used to be a fresh Go map and slice per operation — an
+	// allocation plus hash-table growth on every traversal, ~a quarter
+	// of a read-dominated operation's time (DESIGN.md §7).
+	walkers sync.Pool
+}
+
+// walkScratch is the reusable per-walk state.
+type walkScratch struct {
+	seen  *util.HandleSet
+	stack []stm.Handle
 }
 
 // Setup builds the structure single-threadedly on thread id 0.
 func Setup(e stm.STM, cfg Config) *Bench {
 	cfg.fill()
 	b := &Bench{E: e, Cfg: cfg}
+	b.walkers.New = func() any {
+		return &walkScratch{
+			seen:  util.NewHandleSet(cfg.AtomicPerComp),
+			stack: make([]stm.Handle, 0, cfg.AtomicPerComp),
+		}
+	}
 	th := e.NewThread(0)
 	b.PartIdx = rbtree.New(th)
 	b.CompIdx = rbtree.New(th)
@@ -283,21 +302,28 @@ func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, visit func(part stm.Handle
 	if root == 0 {
 		return 0
 	}
-	seen := map[stm.Handle]bool{root: true}
-	stack := []stm.Handle{root}
+	ws := b.walkers.Get().(*walkScratch)
+	// Deferred so the scratch survives a mid-walk abort (tx reads panic
+	// with RollbackSignal); it is reset on reuse, so returning it dirty
+	// is fine, and losing it to the GC on every abort would reintroduce
+	// the per-operation allocation under contention.
+	defer b.walkers.Put(ws)
+	ws.seen.Reset()
+	ws.seen.Add(root)
+	stack := append(ws.stack[:0], root)
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		visit(p)
 		for k := 0; k < b.Cfg.ConnPerPart; k++ {
 			q := stm.Handle(tx.ReadField(p, apConn0+uint32(k)))
-			if q != 0 && !seen[q] {
-				seen[q] = true
+			if q != 0 && ws.seen.Add(q) {
 				stack = append(stack, q)
 			}
 		}
 	}
-	return len(seen)
+	ws.stack = stack
+	return ws.seen.Len()
 }
 
 // randomComposite picks a random live composite part via the id index.

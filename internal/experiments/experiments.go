@@ -542,7 +542,7 @@ type granBench struct {
 
 func (o Options) granBenchmarks(experiment string, threads int) []granBench {
 	mk := func(g uint) harness.EngineSpec {
-		return harness.EngineSpec{Kind: "swisstm", StripeWordsLog2: g, Label: granLabel(g)}
+		return harness.EngineSpec{Kind: "swisstm", StripeWords: 1 << g, Label: granLabel(g)}
 	}
 	benches := []granBench{}
 	for _, wl := range stamp.Workloads {

@@ -31,8 +31,9 @@ type EngineSpec struct {
 	Label string
 	// ArenaWords sizes the word arena (word-based engines).
 	ArenaWords int
-	// StripeWordsLog2 sets the lock granularity (word-based engines).
-	StripeWordsLog2 uint
+	// StripeWords sets the lock granularity in words (word-based
+	// engines); 0 selects the engines' 4-word default.
+	StripeWords int
 	// TableBits sizes the lock table (word-based engines).
 	TableBits uint
 	// Policy is SwissTM's CM: "twophase" (default), "greedy", "timid".
@@ -102,23 +103,23 @@ func (s EngineSpec) New() stm.STM {
 			pol = swisstm.Timid
 		}
 		return swisstm.New(swisstm.Config{
-			ArenaWords:      arena,
-			StripeWordsLog2: s.StripeWordsLog2,
-			TableBits:       table,
-			Policy:          pol,
-			NoBackoff:       s.NoBackoff,
+			ArenaWords:  arena,
+			StripeWords: s.StripeWords,
+			TableBits:   table,
+			Policy:      pol,
+			NoBackoff:   s.NoBackoff,
 		})
 	case "tl2":
 		return tl2.New(tl2.Config{
-			ArenaWords:      arena,
-			StripeWordsLog2: s.StripeWordsLog2,
-			TableBits:       table,
+			ArenaWords:  arena,
+			StripeWords: s.StripeWords,
+			TableBits:   table,
 		})
 	case "tinystm":
 		return tinystm.New(tinystm.Config{
-			ArenaWords:      arena,
-			StripeWordsLog2: s.StripeWordsLog2,
-			TableBits:       table,
+			ArenaWords:  arena,
+			StripeWords: s.StripeWords,
+			TableBits:   table,
 		})
 	case "rstm":
 		acq := rstm.Eager

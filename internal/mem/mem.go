@@ -17,6 +17,28 @@ import (
 	"sync/atomic"
 )
 
+// CacheLine is the assumed coherence granularity. 64 bytes is correct for
+// every x86-64 and almost every arm64 part; padding to it prevents false
+// sharing of logically independent hot words (DESIGN.md §7).
+const CacheLine = 64
+
+// CacheLinePad is inserted between struct fields to push the next field
+// onto its own cache line.
+type CacheLinePad struct{ _ [CacheLine]byte }
+
+// PaddedUint64 is an atomic.Uint64 followed by enough padding that
+// adjacent PaddedUint64s (e.g. array slots owned by different threads)
+// sit a full cache line apart. Go only guarantees 8-byte alignment, so
+// when the enclosing allocation is not line-aligned a slot may straddle
+// two lines and neighbors share the boundary line — the padding bounds
+// false sharing to at most that boundary rather than eliminating it
+// outright. Engines use it for their global clocks and per-thread
+// activity slots, which are written from different cores at high rates.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
 // Word is the unit of transactional storage: one 64-bit machine word.
 type Word = uint64
 
@@ -65,6 +87,14 @@ func (a *Arena) Load(addr Addr) Word { return a.words[addr].Load() }
 
 // Store writes the word at addr atomically (non-transactional access).
 func (a *Arena) Store(addr Addr, v Word) { a.words[addr].Store(v) }
+
+// Words exposes the backing word array so engines can index the heap
+// directly on their hot paths. Going through the slice header cached in
+// the engine struct saves one pointer dereference per transactional
+// access compared to calling a.Load/a.Store (arena pointer → slice
+// header → element), and the engine-side accesses inline fully. The
+// slice must only be accessed with atomic operations.
+func (a *Arena) Words() []atomic.Uint64 { return a.words }
 
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() int { return len(a.words) }

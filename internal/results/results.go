@@ -46,6 +46,14 @@ type Record struct {
 	WaitsCM         uint64 `json:"waits_cm"`
 	LockAcquireFail uint64 `json:"lock_acquire_fail"`
 
+	// Hot-path instrumentation (DESIGN.md §7): read-log growth and
+	// validation extent, so read-set dedup wins are quantified in the
+	// results pipeline rather than only in benchstat.
+	ReadsLogged     uint64 `json:"reads_logged"`
+	ReadsDeduped    uint64 `json:"reads_deduped"`
+	Validations     uint64 `json:"validations"`
+	ValidationReads uint64 `json:"validation_reads"`
+
 	AbortRate float64 `json:"abort_rate"` // aborts / (commits + aborts)
 	CheckedOK bool    `json:"checked_ok"` // post-run validation outcome
 }
@@ -61,6 +69,10 @@ func (r *Record) SetStats(s stm.Stats) {
 	r.AbortsExplicit = s.AbortsExplicit
 	r.WaitsCM = s.WaitsCM
 	r.LockAcquireFail = s.LockAcquireFail
+	r.ReadsLogged = s.ReadsLogged
+	r.ReadsDeduped = s.ReadsDeduped
+	r.Validations = s.Validations
+	r.ValidationReads = s.ValidationReads
 	r.AbortRate = s.AbortRate()
 }
 
@@ -70,6 +82,7 @@ var header = []string{
 	"seed", "duration_sec", "ops", "throughput",
 	"commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
 	"aborts_killed", "aborts_explicit", "waits_cm", "lock_acquire_fail",
+	"reads_logged", "reads_deduped", "validations", "validation_reads",
 	"abort_rate", "checked_ok",
 }
 
@@ -90,6 +103,10 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.AbortsExplicit, 10),
 		strconv.FormatUint(r.WaitsCM, 10),
 		strconv.FormatUint(r.LockAcquireFail, 10),
+		strconv.FormatUint(r.ReadsLogged, 10),
+		strconv.FormatUint(r.ReadsDeduped, 10),
+		strconv.FormatUint(r.Validations, 10),
+		strconv.FormatUint(r.ValidationReads, 10),
 		strconv.FormatFloat(r.AbortRate, 'g', -1, 64),
 		strconv.FormatBool(r.CheckedOK),
 	}
@@ -162,14 +179,16 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.AbortsLocked, rec.AbortsKilled = u64(row[14]), u64(row[15])
 		rec.AbortsExplicit, rec.WaitsCM = u64(row[16]), u64(row[17])
 		rec.LockAcquireFail = u64(row[18])
-		rec.AbortRate = f64(row[19])
-		switch row[20] {
+		rec.ReadsLogged, rec.ReadsDeduped = u64(row[19]), u64(row[20])
+		rec.Validations, rec.ValidationReads = u64(row[21]), u64(row[22])
+		rec.AbortRate = f64(row[23])
+		switch row[24] {
 		case "true":
 			rec.CheckedOK = true
 		case "false":
 			rec.CheckedOK = false
 		default:
-			keep(fmt.Errorf("bad checked_ok value %q", row[20]))
+			keep(fmt.Errorf("bad checked_ok value %q", row[24]))
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
@@ -322,6 +341,40 @@ func WriteAggJSONL(w io.Writer, aggs []Agg) error {
 		}
 	}
 	return nil
+}
+
+// BenchRecord is one micro-benchmark measurement: the per-operation
+// cost profile (ns/op, allocations) of one engine on one workload, as
+// produced by cmd/benchjson for the perf-trajectory artifact
+// (BENCH_PR<n>.json) CI accumulates. It deliberately measures hot-path
+// cost, not parallel throughput — Record covers the latter.
+type BenchRecord struct {
+	Name        string  `json:"name"`     // benchmark id, e.g. "rbtree-lookup/SwissTM"
+	Workload    string  `json:"workload"` // e.g. "rbtree-lookup"
+	Engine      string  `json:"engine"`   // display name
+	EngineKind  string  `json:"engine_kind"`
+	Ops         int     `json:"ops"`           // measured iterations
+	NsPerOp     float64 `json:"ns_per_op"`     // median across repeats
+	AllocsPerOp float64 `json:"allocs_per_op"` // median across repeats
+	BytesPerOp  float64 `json:"bytes_per_op"`  // median across repeats
+	Repeats     int     `json:"repeats"`
+}
+
+// WriteBenchJSON writes recs as one JSON document (an array), the
+// BENCH_PR<n>.json format.
+func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// ReadBenchJSON parses a document written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) ([]BenchRecord, error) {
+	var recs []BenchRecord
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("results: bad bench JSON: %w", err)
+	}
+	return recs, nil
 }
 
 // KnownFormat reports whether format is a recognized -format value, so

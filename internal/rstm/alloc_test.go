@@ -1,0 +1,18 @@
+package rstm
+
+import (
+	"testing"
+
+	"swisstm/internal/stm/stmtest"
+)
+
+// TestZeroAllocSteadyStateReadOnly: invisible-read transactions that
+// never write reuse their attempt descriptor (it was never published
+// through a locator or reader slot), so warm read-only transactions
+// allocate nothing. Update transactions are exempt: per-object cloning
+// is RSTM's defining cost (the paper's Figures 4 and 5) and each commit
+// necessarily allocates clone + locator + attempt.
+func TestZeroAllocSteadyStateReadOnly(t *testing.T) {
+	e := New(Config{})
+	stmtest.ZeroAllocSteadyState(t, e, false, false)
+}

@@ -142,8 +142,13 @@ type Engine struct {
 	// commit visibility changes atomic with respect to counter changes
 	// (plain "validate when the counter moved" has a window in which a
 	// reader caches the new counter before the writer's status flip and
-	// then misses it — an opacity violation).
-	commits atomic.Uint64
+	// then misses it — an opacity violation). Padded onto a private cache
+	// line: every invisible reader polls it and every writer flips it
+	// twice per commit, so sharing a line with the allocator word or the
+	// chunk table would put allocator traffic on the hottest line in the
+	// engine.
+	_       mem.CacheLinePad
+	commits mem.PaddedUint64
 }
 
 // New creates an RSTM engine.
@@ -221,6 +226,7 @@ type txn struct {
 	e        *Engine
 	id       int
 	cur      *attempt
+	pub      bool // cur escaped into shared state (locator / reader slot)
 	state    cm.TxState
 	readSet  []readEntry
 	writeSet []*object   // eagerly acquired objects (for bookkeeping)
@@ -263,7 +269,20 @@ func (t *txn) Atomic(body func(stm.Tx)) {
 }
 
 func (t *txn) begin(restart bool) {
-	t.cur = &attempt{state: &t.state}
+	// Reuse the attempt descriptor whenever the previous attempt never
+	// published it: locators and visible-reader slots are the only places
+	// other threads can obtain the pointer, so an unpublished descriptor
+	// is thread-private and resetting its status is invisible to everyone
+	// else. Invisible-read transactions that never wrote — the dominant
+	// case in read-heavy workloads — therefore run allocation-free in
+	// steady state. A published descriptor must stay frozen forever:
+	// stale locators keep resolving current data through its final status.
+	if t.cur == nil || t.pub {
+		t.cur = &attempt{state: &t.state}
+		t.pub = false
+	} else {
+		t.cur.status.Store(statusActive)
+	}
 	t.readSet = t.readSet[:0]
 	t.writeSet = t.writeSet[:0]
 	t.lazySet = t.lazySet[:0]
@@ -407,6 +426,7 @@ func (t *txn) openReadVisible(o *object, loc *locator) []stm.Word {
 		slot := -1
 		for i := 0; i < visSlots; i++ {
 			if o.readers[i].Load() == nil && o.readers[i].CompareAndSwap(nil, t.cur) {
+				t.pub = true
 				slot = i
 				break
 			}
@@ -451,6 +471,7 @@ func (t *txn) openWrite(o *object) []stm.Word {
 		clone := make([]stm.Word, len(data))
 		copy(clone, data)
 		if o.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: data, new: clone}) {
+			t.pub = true
 			t.afterAcquire(o)
 			t.writeSet = append(t.writeSet, o)
 			return clone
@@ -558,6 +579,7 @@ func (t *txn) commit() {
 				t.rollback(false)
 			}
 			if lw.obj.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: cur, new: lw.clone}) {
+				t.pub = true
 				t.afterAcquire(lw.obj)
 				break
 			}

@@ -90,6 +90,14 @@ type Stats struct {
 	AbortsExplicit  uint64 // user-requested restarts
 	WaitsCM         uint64 // times the CM told the attacker to wait
 	LockAcquireFail uint64 // commit-time lock acquisition failures (lazy engines)
+
+	// Hot-path instrumentation (DESIGN.md §7): how long read logs get and
+	// how much work validation does, so the read-set dedup win is visible
+	// in the structured results, not only in benchstat.
+	ReadsLogged     uint64 // read-log entries appended (distinct stripes when dedup is on)
+	ReadsDeduped    uint64 // transactional reads absorbed by the read-set dedup cache
+	Validations     uint64 // read-set validation passes (commit-time + extensions)
+	ValidationReads uint64 // read-log entries scanned across all validation passes
 }
 
 // Add accumulates other into s.
@@ -103,6 +111,10 @@ func (s *Stats) Add(other Stats) {
 	s.AbortsExplicit += other.AbortsExplicit
 	s.WaitsCM += other.WaitsCM
 	s.LockAcquireFail += other.LockAcquireFail
+	s.ReadsLogged += other.ReadsLogged
+	s.ReadsDeduped += other.ReadsDeduped
+	s.Validations += other.Validations
+	s.ValidationReads += other.ValidationReads
 }
 
 // AbortRate returns aborts/(commits+aborts), the fraction of transaction

@@ -1,0 +1,80 @@
+package stmtest
+
+import (
+	"testing"
+
+	"swisstm/internal/stm"
+)
+
+// ZeroAllocSteadyState asserts the allocation-free transaction lifecycle
+// invariant of DESIGN.md §7: once a thread's logs, pools and caches are
+// warm, committed transactions allocate nothing. It checks a read-only
+// transaction (with re-reads, so the dedup path is exercised) and — when
+// updates is true — a small update transaction. Engines whose design
+// inherently allocates on writes (RSTM clones objects per acquisition)
+// pass updates=false and are only held to the read-only bound.
+func ZeroAllocSteadyState(t *testing.T, e stm.STM, wordAPI, updates bool) {
+	t.Helper()
+	th := e.NewThread(0)
+
+	var roBody, upBody func(stm.Tx)
+	if wordAPI {
+		var base stm.Addr
+		th.Atomic(func(tx stm.Tx) {
+			base = tx.AllocWords(16)
+			for i := stm.Addr(0); i < 16; i++ {
+				tx.Store(base+i, stm.Word(i))
+			}
+		})
+		roBody = func(tx stm.Tx) {
+			var sum stm.Word
+			for i := stm.Addr(0); i < 8; i++ {
+				sum += tx.Load(base + i)
+			}
+			sum += tx.Load(base) // re-read: dedup cache hit
+			_ = sum
+		}
+		upBody = func(tx stm.Tx) {
+			v := tx.Load(base)
+			tx.Store(base+1, v+1)
+			tx.Store(base+9, v+2)
+		}
+	} else {
+		var obj stm.Handle
+		th.Atomic(func(tx stm.Tx) {
+			obj = tx.NewObject(8)
+			for i := uint32(0); i < 8; i++ {
+				tx.WriteField(obj, i, stm.Word(i))
+			}
+		})
+		roBody = func(tx stm.Tx) {
+			var sum stm.Word
+			for i := uint32(0); i < 8; i++ {
+				sum += tx.ReadField(obj, i)
+			}
+			sum += tx.ReadField(obj, 0)
+			_ = sum
+		}
+		upBody = func(tx stm.Tx) {
+			v := tx.ReadField(obj, 0)
+			tx.WriteField(obj, 1, v+1)
+		}
+	}
+
+	// Warm the per-thread logs, write-entry pools and dedup cache.
+	for i := 0; i < 100; i++ {
+		th.Atomic(roBody)
+		if updates {
+			th.Atomic(upBody)
+		}
+	}
+
+	if n := testing.AllocsPerRun(200, func() { th.Atomic(roBody) }); n != 0 {
+		t.Errorf("%s: read-only transaction allocates %.1f objects/commit, want 0", e.Name(), n)
+	}
+	if updates {
+		if n := testing.AllocsPerRun(200, func() { th.Atomic(upBody) }); n != 0 {
+			t.Errorf("%s: small update transaction allocates %.1f objects/commit, want 0", e.Name(), n)
+		}
+	}
+}

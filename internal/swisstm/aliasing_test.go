@@ -11,7 +11,7 @@ import (
 // write-back and isolation all survive the aliasing.
 func TestAliasedStripes(t *testing.T) {
 	// 16-entry table, 4-word stripes: addresses 64 apart alias.
-	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWordsLog2: 2})
+	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWords: 4})
 	th := e.NewThread(0)
 	var base stm.Addr
 	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(4096) })
@@ -47,7 +47,7 @@ func TestAliasedStripes(t *testing.T) {
 // aliased region owned by the same transaction returns memory, not a
 // buffered value.
 func TestAliasedUnwrittenRead(t *testing.T) {
-	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWordsLog2: 2})
+	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWords: 4})
 	th := e.NewThread(0)
 	var base stm.Addr
 	th.Atomic(func(tx stm.Tx) {

@@ -71,11 +71,14 @@ type Config struct {
 	// Arena optionally supplies a pre-built arena (shared setup);
 	// when non-nil ArenaWords is ignored.
 	Arena *mem.Arena
-	// StripeWordsLog2 is log2 of the number of consecutive words covered
-	// by one lock-table entry. The paper's default granularity is 2^4
-	// bytes = 4 (32-bit) words; we default to 4 words as well (log2 = 2).
-	// Must be ≤ 6 (stripe write masks are 64-bit).
-	StripeWordsLog2 uint
+	// StripeWords is the number of consecutive words covered by one
+	// lock-table entry. The paper's default granularity is 4 words
+	// (Table 2 shows it strikes the best balance), and 0 selects that
+	// default — the seed's log2-encoded field silently defaulted to
+	// 1-word stripes, contradicting its own documentation and tripling
+	// read-log traffic on object traversals. Must be a power of two ≤ 64
+	// (stripe write masks are 64-bit); pass 1 for word granularity.
+	StripeWords int
 	// TableBits is log2 of the lock-table entry count (paper: 22).
 	TableBits uint
 	// Policy is the contention-management scheme (default TwoPhase).
@@ -112,8 +115,11 @@ func (c *Config) fill() {
 	if c.BackoffUnit == 0 {
 		c.BackoffUnit = 512
 	}
-	if c.StripeWordsLog2 > 6 {
-		panic("swisstm: StripeWordsLog2 must be ≤ 6")
+	if c.StripeWords == 0 {
+		c.StripeWords = 4
+	}
+	if c.StripeWords > 64 || c.StripeWords&(c.StripeWords-1) != 0 {
+		panic("swisstm: StripeWords must be a power of two ≤ 64")
 	}
 }
 
@@ -153,20 +159,31 @@ type rEntry struct {
 }
 
 // Engine is a SwissTM instance: an arena plus its lock table and global
-// counters.
+// counters. Field order is cache-line-aware: the read-mostly mapping
+// state (heap slice, lock-table slices, shift/mask) sits together and is
+// never written after New, while the two global counters — the hottest
+// write-shared words in the system — are each padded onto a private line
+// so a committer bumping commitTS does not invalidate the line holding
+// greedyTS (or the mapping state) in every other core's cache.
 type Engine struct {
-	cfg      Config
-	arena    *mem.Arena
-	rlocks   []atomic.Uint64          // version<<1 when unlocked; 1 when locked
-	wlocks   []atomic.Pointer[wEntry] // nil when unlocked
-	commitTS atomic.Uint64            // global commit counter (Algorithm 1)
-	greedyTS atomic.Uint64            // Greedy timestamp source (Algorithm 2)
-	shift    uint
-	mask     uint32
-	stripeW  uint32 // words per stripe
+	cfg     Config
+	arena   *mem.Arena
+	heap    []atomic.Uint64          // arena backing array, cached for direct indexing
+	rlocks  []atomic.Uint64          // version<<1 when unlocked; 1 when locked
+	wlocks  []atomic.Pointer[wEntry] // nil when unlocked
+	shift   uint
+	mask    uint32
+	stripeW uint32 // words per stripe
+
+	_        mem.CacheLinePad
+	commitTS mem.PaddedUint64 // global commit counter (Algorithm 1)
+	greedyTS mem.PaddedUint64 // Greedy timestamp source (Algorithm 2)
 	// activity publishes each thread's in-flight snapshot timestamp + 1
-	// (0 = no transaction running); used by the quiescence scheme.
-	activity [stm.MaxThreads]atomic.Uint64
+	// (0 = no transaction running); used by the quiescence scheme. One
+	// padded slot per thread: each slot is stored by exactly one thread
+	// but polled by every committer, so unpadded slots false-share
+	// heavily under PrivatizationSafe (see BenchmarkActivitySlotLayout).
+	activity [stm.MaxThreads]mem.PaddedUint64
 }
 
 // New creates a SwissTM engine.
@@ -180,11 +197,12 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		arena:   a,
+		heap:    a.Words(),
 		rlocks:  make([]atomic.Uint64, n),
 		wlocks:  make([]atomic.Pointer[wEntry], n),
-		shift:   cfg.StripeWordsLog2,
+		shift:   uint(bits.TrailingZeros(uint(cfg.StripeWords))),
 		mask:    uint32(n - 1),
-		stripeW: 1 << cfg.StripeWordsLog2,
+		stripeW: uint32(cfg.StripeWords),
 	}
 }
 
@@ -217,6 +235,7 @@ type txn struct {
 	writeLog  []*wEntry
 	pool      []*wEntry
 	poolIdx   int
+	rc        util.StripeCache // read-set dedup cache (DESIGN.md §7)
 	rng       *util.Rand
 	succ      int    // successive aborts of the current logical transaction
 	quiesceTS uint64 // commit timestamp to quiesce on (privatization safety)
@@ -235,6 +254,7 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		writeLog: make([]*wEntry, 0, 256),
 		rng:      util.NewRand(uint64(id)*0x9e3779b9 + 1),
 	}
+	t.rc.Init(1024)
 	t.cmTS.Store(infinity)
 	return t
 }
@@ -324,6 +344,7 @@ func (t *txn) begin(restart bool) {
 	t.readLog = t.readLog[:0]
 	t.writeLog = t.writeLog[:0]
 	t.poolIdx = 0
+	t.rc.Reset()
 	if !restart {
 		switch t.e.cfg.Policy {
 		case Greedy:
@@ -342,18 +363,28 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 		t.stats.AbortsKilled++
 		t.rollback()
 	}
-	idx := t.e.stripe(a)
-	if we := t.e.wlocks[idx].Load(); we != nil && we.owner.Load() == t {
-		// Read-after-write: return the value from our own write log
-		// (line 6). Unwritten words of an owned stripe are stable in
-		// memory because we hold the w-lock.
-		if v, ok := we.get(a); ok {
-			return v
+	// Index the lock table through a local slice header masked by its own
+	// length: the compiler proves the access in bounds (no check) and the
+	// engine pointer is dereferenced once.
+	rlocks := t.e.rlocks
+	i := int(a>>t.e.shift) & (len(rlocks) - 1)
+	idx := uint32(i)
+	// The w-lock lookup exists only for read-after-write; a transaction
+	// that has written nothing cannot own any w-lock, so read-only
+	// transactions skip the shared-table probe entirely.
+	if len(t.writeLog) != 0 {
+		if we := t.e.wlocks[idx].Load(); we != nil && we.owner.Load() == t {
+			// Read-after-write: return the value from our own write log
+			// (line 6). Unwritten words of an owned stripe are stable in
+			// memory because we hold the w-lock.
+			if v, ok := we.get(a); ok {
+				return v
+			}
+			return t.e.heap[a].Load()
 		}
-		return t.e.arena.Load(a)
 	}
 	// Consistent double-read of r-lock around the data word (lines 8-15).
-	rl := &t.e.rlocks[idx]
+	rl := &rlocks[i]
 	var v1 uint64
 	var val stm.Word
 	for spin := 0; ; spin++ {
@@ -370,10 +401,36 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 			}
 			continue
 		}
-		val = t.e.arena.Load(a)
+		val = t.e.heap[a].Load()
 		if rl.Load() == v1 {
 			break
 		}
+	}
+	// Read-set dedup: a stripe already in the read log needs no second
+	// entry. If the observed r-lock still matches the logged one the read
+	// is consistent with the first; if it moved, the first read is stale,
+	// every future extension would fail on its entry, and the only
+	// difference from logging a duplicate is that we abort now instead of
+	// at the next validation (see dedup_test.go for the equivalence
+	// argument). validate()/extend() therefore scale with *distinct*
+	// stripes, not total reads. Consecutive reads of one stripe — field
+	// walks over one object — are caught by comparing against the newest
+	// log entry before touching the hash cache.
+	if n := len(t.readLog); n != 0 && t.readLog[n-1].lockIdx == idx {
+		if t.readLog[n-1].rlock == v1 {
+			t.stats.ReadsDeduped++
+			return val
+		}
+		t.stats.AbortsValid++
+		t.rollback()
+	}
+	if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
+		if t.readLog[pos].rlock == v1 {
+			t.stats.ReadsDeduped++
+			return val
+		}
+		t.stats.AbortsValid++
+		t.rollback()
 	}
 	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
 	if v1>>1 > t.validTS && !t.extend() {
@@ -445,6 +502,7 @@ func (t *txn) commit() {
 	}
 	if len(t.writeLog) == 0 { // read-only fast path (line 35)
 		t.stats.Commits++
+		t.stats.ReadsLogged += uint64(len(t.readLog))
 		return
 	}
 	// Lock the r-locks of all written stripes so readers cannot observe a
@@ -467,11 +525,11 @@ func (t *txn) commit() {
 		m := we.mask
 		for m != 0 {
 			i := uint(bits.TrailingZeros64(m))
-			t.e.arena.Store(we.base+stm.Addr(i), we.vals[i])
+			t.e.heap[we.base+stm.Addr(i)].Store(we.vals[i])
 			m &= m - 1
 		}
 		for _, p := range we.overflow {
-			t.e.arena.Store(p.addr, p.val)
+			t.e.heap[p.addr].Store(p.val)
 		}
 		t.e.rlocks[we.lockIdx].Store(newRLock)
 		t.e.wlocks[we.lockIdx].Store(nil)
@@ -480,10 +538,13 @@ func (t *txn) commit() {
 		t.quiesceTS = ts // quiesce after the descriptor is deactivated
 	}
 	t.stats.Commits++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 }
 
 // validate re-checks every read-log entry (Algorithm 1 lines 50-53).
 func (t *txn) validate() bool {
+	t.stats.Validations++
+	t.stats.ValidationReads += uint64(len(t.readLog))
 	for i := range t.readLog {
 		re := &t.readLog[i]
 		cur := t.e.rlocks[re.lockIdx].Load()
@@ -521,6 +582,7 @@ func (t *txn) extend() bool {
 func (t *txn) rollback() {
 	t.releaseWLocks()
 	t.stats.Aborts++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{})
 }
 
@@ -536,6 +598,7 @@ func (t *txn) Restart() {
 	t.releaseWLocks()
 	t.stats.Aborts++
 	t.stats.AbortsExplicit++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{Explicit: true})
 }
 

@@ -39,14 +39,14 @@ func TestConformanceGranularities(t *testing.T) {
 		g := g
 		t.Run(map[uint]string{0: "1word", 2: "4words", 6: "64words"}[g], func(t *testing.T) {
 			stmtest.Run(t, func() stm.STM {
-				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWordsLog2: g})
+				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWords: 1 << g})
 			}, stmtest.Options{WordAPI: true})
 		})
 	}
 }
 
 func TestStripeMapping(t *testing.T) {
-	e := New(Config{ArenaWords: 1 << 10, TableBits: 8, StripeWordsLog2: 2})
+	e := New(Config{ArenaWords: 1 << 10, TableBits: 8, StripeWords: 4})
 	// Four consecutive words share a stripe; the fifth does not (Figure 1).
 	if e.stripe(0) != e.stripe(3) {
 		t.Fatalf("words 0 and 3 should share a stripe")
@@ -67,7 +67,7 @@ func TestStripeMapping(t *testing.T) {
 func TestFalseConflictSameStripe(t *testing.T) {
 	// Two words in the same stripe conflict (false conflict, §3.3): both
 	// transactions must still execute correctly, one after the other.
-	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, StripeWordsLog2: 2})
+	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, StripeWords: 4})
 	th0 := e.NewThread(0)
 	var base stm.Addr
 	th0.Atomic(func(tx stm.Tx) { base = tx.AllocWords(4) })

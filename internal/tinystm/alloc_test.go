@@ -1,0 +1,14 @@
+package tinystm
+
+import (
+	"testing"
+
+	"swisstm/internal/stm/stmtest"
+)
+
+// TestZeroAllocSteadyState is the allocation-regression gate of
+// DESIGN.md §7: warm transactions must not allocate.
+func TestZeroAllocSteadyState(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 16, TableBits: 10})
+	stmtest.ZeroAllocSteadyState(t, e, true, true)
+}

@@ -1,0 +1,127 @@
+package tinystm
+
+import (
+	"sync"
+	"testing"
+
+	"swisstm/internal/stm"
+)
+
+func newDedupEngine() *Engine {
+	return New(Config{ArenaWords: 1 << 12, TableBits: 8, StripeWords: 4})
+}
+
+// TestDedupLogsStripeOnce: re-reading a stripe — same word or sibling
+// words — must append exactly one read-log entry.
+func TestDedupLogsStripeOnce(t *testing.T) {
+	e := newDedupEngine()
+	th := e.NewThread(0)
+	tx0 := th.(*txn)
+	base := e.arena.Alloc(8) // spans two 4-word stripes
+	th.Atomic(func(tx stm.Tx) {
+		for rep := 0; rep < 10; rep++ {
+			tx.Load(base)     // stripe A
+			tx.Load(base + 1) // stripe A again (sibling word)
+			tx.Load(base + 4) // stripe B
+		}
+		if got := len(tx0.readLog); got != 2 {
+			t.Errorf("read log has %d entries, want 2 (one per distinct stripe)", got)
+		}
+	})
+	s := th.Stats()
+	if s.ReadsLogged != 2 {
+		t.Errorf("ReadsLogged = %d, want 2", s.ReadsLogged)
+	}
+	if s.ReadsDeduped != 28 {
+		t.Errorf("ReadsDeduped = %d, want 28 (30 reads, 2 logged)", s.ReadsDeduped)
+	}
+}
+
+// TestDedupDoesNotMaskConflict: a conflicting commit between the first
+// and second read of one stripe must still abort the reader; the dedup
+// hit may only be taken when the observed version matches the logged one.
+func TestDedupDoesNotMaskConflict(t *testing.T) {
+	e := newDedupEngine()
+	thA := e.NewThread(0)
+	thB := e.NewThread(1)
+	addr := e.arena.Alloc(1)
+	e.arena.Store(addr, 1)
+
+	attempts := 0
+	var first, second stm.Word
+	thA.Atomic(func(tx stm.Tx) {
+		attempts++
+		first = tx.Load(addr)
+		if attempts == 1 {
+			thB.Atomic(func(txB stm.Tx) { txB.Store(addr, 2) })
+		}
+		second = tx.Load(addr)
+	})
+	if attempts != 2 {
+		t.Fatalf("transaction ran %d attempts, want 2 (abort + clean retry)", attempts)
+	}
+	if first != second || first != 2 {
+		t.Fatalf("committed attempt saw %d then %d, want consistent 2", first, second)
+	}
+	if s := thA.Stats(); s.AbortsValid == 0 {
+		t.Errorf("expected the injected conflict to count as a validation abort, got %+v", s)
+	}
+}
+
+// TestDedupOpacityUnderContention re-reads two invariant-linked words
+// from several threads while writers update them, under -race; the dedup
+// cache must never let re-reads disagree or the invariant appear broken.
+func TestDedupOpacityUnderContention(t *testing.T) {
+	e := newDedupEngine()
+	setup := e.NewThread(0)
+	x := e.arena.Alloc(1)
+	y := e.arena.Alloc(5) // a different stripe than x
+	setup.Atomic(func(tx stm.Tx) {
+		tx.Store(x, 0)
+		tx.Store(y, 0)
+	})
+
+	const workers = 4
+	const txns = 2000
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := e.NewThread(id + 1)
+			for i := 0; i < txns; i++ {
+				if id%2 == 0 {
+					th.Atomic(func(tx stm.Tx) {
+						v := tx.Load(x)
+						tx.Store(x, v+1)
+						tx.Store(y, v+1)
+					})
+					continue
+				}
+				var bad string
+				th.Atomic(func(tx stm.Tx) {
+					bad = ""
+					a1, b1 := tx.Load(x), tx.Load(y)
+					a2, b2 := tx.Load(x), tx.Load(y) // dedup hits
+					if a1 != a2 || b1 != b2 {
+						bad = "re-read disagreed with first read"
+					} else if a1 != b1 {
+						bad = "invariant x == y violated inside a transaction"
+					}
+				})
+				if bad != "" {
+					select {
+					case errs <- bad:
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

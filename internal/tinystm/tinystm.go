@@ -30,11 +30,14 @@ import (
 
 // Config parameterizes a TinySTM engine.
 type Config struct {
-	ArenaWords      int
-	Arena           *mem.Arena
-	StripeWordsLog2 uint
-	TableBits       uint
-	BackoffUnit     int
+	ArenaWords int
+	Arena      *mem.Arena
+	// StripeWords is the lock granularity in words; 0 selects the
+	// 4-word default shared by all word-based engines (see the field's
+	// documentation in package swisstm). Must be a power of two ≤ 64.
+	StripeWords int
+	TableBits   uint
+	BackoffUnit int
 }
 
 func (c *Config) fill() {
@@ -47,8 +50,11 @@ func (c *Config) fill() {
 	if c.BackoffUnit == 0 {
 		c.BackoffUnit = 512
 	}
-	if c.StripeWordsLog2 > 6 {
-		panic("tinystm: StripeWordsLog2 must be ≤ 6")
+	if c.StripeWords == 0 {
+		c.StripeWords = 4
+	}
+	if c.StripeWords > 64 || c.StripeWords&(c.StripeWords-1) != 0 {
+		panic("tinystm: StripeWords must be a power of two ≤ 64")
 	}
 }
 
@@ -77,16 +83,22 @@ type rEntry struct {
 }
 
 // Engine is a TinySTM instance. Each stripe has a version counter and an
-// owner pointer; a non-nil owner is the encounter-time write lock.
+// owner pointer; a non-nil owner is the encounter-time write lock. The
+// global clock — the hottest write-shared word — is padded onto its own
+// cache line so committers bumping it do not invalidate the line holding
+// the read-mostly mapping state in every other core's cache.
 type Engine struct {
 	cfg    Config
 	arena  *mem.Arena
+	heap   []atomic.Uint64 // arena backing array, cached for direct indexing
 	vers   []atomic.Uint64
 	owners []atomic.Pointer[wEntry]
-	clock  atomic.Uint64
 	shift  uint
 	mask   uint32
 	stripe uint32
+
+	_     mem.CacheLinePad
+	clock mem.PaddedUint64
 }
 
 // New creates a TinySTM engine.
@@ -100,11 +112,12 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:    cfg,
 		arena:  a,
+		heap:   a.Words(),
 		vers:   make([]atomic.Uint64, n),
 		owners: make([]atomic.Pointer[wEntry], n),
-		shift:  cfg.StripeWordsLog2,
+		shift:  uint(bits.TrailingZeros(uint(cfg.StripeWords))),
 		mask:   uint32(n - 1),
-		stripe: 1 << cfg.StripeWordsLog2,
+		stripe: uint32(cfg.StripeWords),
 	}
 }
 
@@ -126,6 +139,7 @@ type txn struct {
 	writeLog []*wEntry
 	pool     []*wEntry
 	poolIdx  int
+	rc       util.StripeCache // read-set dedup cache (DESIGN.md §7)
 	rng      *util.Rand
 	succ     int
 	stats    stm.Stats
@@ -136,13 +150,15 @@ func (e *Engine) NewThread(id int) stm.Thread {
 	if id < 0 || id >= stm.MaxThreads {
 		panic("tinystm: thread id out of range")
 	}
-	return &txn{
+	t := &txn{
 		e:        e,
 		id:       id,
 		readLog:  make([]rEntry, 0, 1024),
 		writeLog: make([]*wEntry, 0, 256),
 		rng:      util.NewRand(uint64(id)*0xabcd1234 + 3),
 	}
+	t.rc.Init(1024)
+	return t
 }
 
 // Stats implements stm.Thread.
@@ -166,6 +182,7 @@ func (t *txn) begin() {
 	t.readLog = t.readLog[:0]
 	t.writeLog = t.writeLog[:0]
 	t.poolIdx = 0
+	t.rc.Reset()
 }
 
 func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
@@ -187,6 +204,7 @@ func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 func (t *txn) rollback() {
 	t.releaseOwned()
 	t.stats.Aborts++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{})
 }
 
@@ -195,6 +213,7 @@ func (t *txn) Restart() {
 	t.releaseOwned()
 	t.stats.Aborts++
 	t.stats.AbortsExplicit++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{Explicit: true})
 }
 
@@ -209,16 +228,20 @@ func (t *txn) releaseOwned() {
 // (abort if locked by another), consistent version/value sample, timestamp
 // extension when the version is newer than the snapshot.
 func (t *txn) Load(a stm.Addr) stm.Word {
-	idx := t.e.stripeIdx(a)
-	own := &t.e.owners[idx]
-	ver := &t.e.vers[idx]
+	// Local slice header + length mask: provably in-bounds (no check),
+	// one engine dereference.
+	vers := t.e.vers
+	i := int(a>>t.e.shift) & (len(vers) - 1)
+	idx := uint32(i)
+	own := &t.e.owners[i]
+	ver := &vers[i]
 	for {
 		if we := own.Load(); we != nil {
 			if we.owner.Load() == t {
 				if v, ok := we.get(a); ok {
 					return v
 				}
-				return t.e.arena.Load(a)
+				return t.e.heap[a].Load()
 			}
 			// Encounter-time locking: a reader hitting a foreign lock
 			// aborts at once (timid CM).
@@ -226,12 +249,35 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 			t.rollback()
 		}
 		v1 := ver.Load()
-		val := t.e.arena.Load(a)
+		val := t.e.heap[a].Load()
 		v2 := ver.Load()
 		if v1 != v2 || own.Load() != nil {
 			// A committer moved under us; resample.
 			runtime.Gosched()
 			continue
+		}
+		// Read-set dedup: log each stripe once. A matching version means
+		// the re-read is consistent with the logged entry; a moved
+		// version means the logged entry can never validate again, so
+		// abort now rather than at the next extension (the outcome the
+		// duplicate entry would force anyway; see dedup_test.go).
+		// Consecutive same-stripe reads hit the newest log entry without
+		// touching the hash cache.
+		if n := len(t.readLog); n != 0 && t.readLog[n-1].idx == idx {
+			if t.readLog[n-1].ver == v1 {
+				t.stats.ReadsDeduped++
+				return val
+			}
+			t.stats.AbortsValid++
+			t.rollback()
+		}
+		if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
+			if t.readLog[pos].ver == v1 {
+				t.stats.ReadsDeduped++
+				return val
+			}
+			t.stats.AbortsValid++
+			t.rollback()
 		}
 		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
 		if v1 > t.validTS && !t.extend() {
@@ -275,6 +321,7 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 func (t *txn) commit() {
 	if len(t.writeLog) == 0 {
 		t.stats.Commits++
+		t.stats.ReadsLogged += uint64(len(t.readLog))
 		return
 	}
 	ts := t.e.clock.Add(1)
@@ -286,20 +333,23 @@ func (t *txn) commit() {
 		m := we.mask
 		for m != 0 {
 			i := uint(bits.TrailingZeros64(m))
-			t.e.arena.Store(we.base+stm.Addr(i), we.vals[i])
+			t.e.heap[we.base+stm.Addr(i)].Store(we.vals[i])
 			m &= m - 1
 		}
 		for _, p := range we.overflow {
-			t.e.arena.Store(p.addr, p.val)
+			t.e.heap[p.addr].Store(p.val)
 		}
 		t.e.vers[we.idx].Store(ts)
 		t.e.owners[we.idx].Store(nil)
 	}
 	t.writeLog = t.writeLog[:0] // ownership transferred; nothing to release
 	t.stats.Commits++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 }
 
 func (t *txn) validate() bool {
+	t.stats.Validations++
+	t.stats.ValidationReads += uint64(len(t.readLog))
 	for i := range t.readLog {
 		re := &t.readLog[i]
 		if t.e.vers[re.idx].Load() != re.ver {

@@ -20,7 +20,7 @@ func TestConformanceGranularities(t *testing.T) {
 		g := g
 		t.Run(map[uint]string{0: "1word", 2: "4words", 6: "64words"}[g], func(t *testing.T) {
 			stmtest.Run(t, func() stm.STM {
-				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWordsLog2: g})
+				return New(Config{ArenaWords: 1 << 16, TableBits: 10, StripeWords: 1 << g})
 			}, stmtest.Options{WordAPI: true})
 		})
 	}

@@ -1,0 +1,17 @@
+package tl2
+
+import (
+	"testing"
+
+	"swisstm/internal/stm/stmtest"
+)
+
+// TestZeroAllocSteadyState is the allocation-regression gate of
+// DESIGN.md §7. TL2's commit is the interesting path: lock-set
+// collection, sorting and acquisition must all run out of the reused
+// per-thread buffers (the closure-based sort.Slice it shipped with cost
+// two allocations per update commit).
+func TestZeroAllocSteadyState(t *testing.T) {
+	e := New(Config{ArenaWords: 1 << 16, TableBits: 10})
+	stmtest.ZeroAllocSteadyState(t, e, true, true)
+}

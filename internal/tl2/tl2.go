@@ -21,8 +21,9 @@
 package tl2
 
 import (
+	"math/bits"
 	"runtime"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"swisstm/internal/mem"
@@ -32,11 +33,14 @@ import (
 
 // Config parameterizes a TL2 engine.
 type Config struct {
-	ArenaWords      int
-	Arena           *mem.Arena
-	StripeWordsLog2 uint // words per versioned-lock stripe
-	TableBits       uint
-	BackoffUnit     int
+	ArenaWords int
+	Arena      *mem.Arena
+	// StripeWords is the lock granularity in words; 0 selects the
+	// 4-word default shared by all word-based engines (see the field's
+	// documentation in package swisstm). Must be a power of two ≤ 64.
+	StripeWords int
+	TableBits   uint
+	BackoffUnit int
 	// CommitSpin bounds how long the committer spins on a locked stripe
 	// before giving up and aborting (the original aborts immediately; a
 	// tiny bounded spin reduces convoying on oversubscribed hosts).
@@ -56,20 +60,29 @@ func (c *Config) fill() {
 	if c.CommitSpin == 0 {
 		c.CommitSpin = 64
 	}
-	if c.StripeWordsLog2 > 6 {
-		panic("tl2: StripeWordsLog2 must be ≤ 6")
+	if c.StripeWords == 0 {
+		c.StripeWords = 4
+	}
+	if c.StripeWords > 64 || c.StripeWords&(c.StripeWords-1) != 0 {
+		panic("tl2: StripeWords must be a power of two ≤ 64")
 	}
 }
 
 // Engine is a TL2 instance. Each lock-table entry is a versioned lock:
-// version<<1 when free, owner-tagged odd value when locked.
+// version<<1 when free, owner-tagged odd value when locked. The global
+// clock — bumped by every update commit — is padded onto its own cache
+// line so clock traffic does not invalidate the read-mostly mapping
+// state cached by every reader.
 type Engine struct {
 	cfg   Config
 	arena *mem.Arena
+	heap  []atomic.Uint64 // arena backing array, cached for direct indexing
 	locks []atomic.Uint64
-	clock atomic.Uint64
 	shift uint
 	mask  uint32
+
+	_     mem.CacheLinePad
+	clock mem.PaddedUint64
 }
 
 // New creates a TL2 engine.
@@ -83,8 +96,9 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:   cfg,
 		arena: a,
+		heap:  a.Words(),
 		locks: make([]atomic.Uint64, n),
-		shift: cfg.StripeWordsLog2,
+		shift: uint(bits.TrailingZeros(uint(cfg.StripeWords))),
 		mask:  uint32(n - 1),
 	}
 }
@@ -105,18 +119,19 @@ type wsEntry struct {
 
 // txn is a TL2 transaction descriptor, one per thread.
 type txn struct {
-	e       *Engine
-	id      int
-	rv      uint64 // read version (clock snapshot at start)
-	readLog []uint32
-	readVer []uint64
-	writes  []wsEntry
-	bloom   uint64 // write-set membership filter for read-after-write
-	lockSet []uint32
-	saved   []savedLock // pre-lock versions, for release on commit abort
-	rng     *util.Rand
-	succ    int
-	stats   stm.Stats
+	e         *Engine
+	id        int
+	rv        uint64 // read version (clock snapshot at start)
+	readLog   []uint32
+	readVer   []uint64
+	writes    []wsEntry
+	bloom     uint64 // write-set membership filter for read-after-write
+	lockSet   []uint32
+	lockBloom uint64      // stripe-membership filter over lockSet (commit only)
+	saved     []savedLock // pre-lock versions, for release on commit abort
+	rng       *util.Rand
+	succ      int
+	stats     stm.Stats
 }
 
 // NewThread implements stm.STM.
@@ -131,6 +146,7 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		readVer: make([]uint64, 0, 1024),
 		writes:  make([]wsEntry, 0, 256),
 		lockSet: make([]uint32, 0, 256),
+		saved:   make([]savedLock, 0, 256),
 		rng:     util.NewRand(uint64(id)*0x51f15ee1 + 7),
 	}
 }
@@ -177,6 +193,7 @@ func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 
 func (t *txn) rollback() {
 	t.stats.Aborts++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{})
 }
 
@@ -184,6 +201,7 @@ func (t *txn) rollback() {
 func (t *txn) Restart() {
 	t.stats.Aborts++
 	t.stats.AbortsExplicit++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	panic(stm.RollbackSignal{Explicit: true})
 }
 
@@ -200,10 +218,14 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 			}
 		}
 	}
-	idx := t.e.stripe(a)
-	l := &t.e.locks[idx]
+	// Local slice header + length mask: provably in-bounds (no check),
+	// one engine dereference.
+	locks := t.e.locks
+	i := int(a>>t.e.shift) & (len(locks) - 1)
+	idx := uint32(i)
+	l := &locks[i]
 	v1 := l.Load()
-	val := t.e.arena.Load(a)
+	val := t.e.heap[a].Load()
 	v2 := l.Load()
 	if v1 != v2 || v1&1 == 1 {
 		// Locked or changed under us: the timid policy aborts the reader.
@@ -239,15 +261,23 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 func (t *txn) commit() {
 	if len(t.writes) == 0 {
 		t.stats.Commits++ // read-only: already validated incrementally
+		t.stats.ReadsLogged += uint64(len(t.readLog))
 		return
 	}
 	// Collect the distinct stripes of the write set, in a canonical order
-	// so concurrent committers cannot deadlock.
+	// so concurrent committers cannot deadlock. sortLockSet is
+	// allocation-free, unlike the closure-based sort.Slice (which costs
+	// two heap allocations per commit and defeats inlining on the
+	// comparison), and the stripe bloom filter makes the ownsStripe
+	// check during read validation O(1) for the common miss.
 	t.lockSet = t.lockSet[:0]
+	t.lockBloom = 0
 	for _, w := range t.writes {
-		t.lockSet = append(t.lockSet, t.e.stripe(w.addr))
+		idx := t.e.stripe(w.addr)
+		t.lockSet = append(t.lockSet, idx)
+		t.lockBloom |= stripeBloomBit(idx)
 	}
-	sort.Slice(t.lockSet, func(i, j int) bool { return t.lockSet[i] < t.lockSet[j] })
+	sortLockSet(t.lockSet)
 	n := 0
 	for i, idx := range t.lockSet {
 		if i == 0 || idx != t.lockSet[n-1] {
@@ -291,6 +321,8 @@ func (t *txn) commit() {
 	wv := t.e.clock.Add(1)
 	// Phase 3: validate the read set (GV4: skip when wv == rv+1).
 	if wv != t.rv+1 {
+		t.stats.Validations++
+		t.stats.ValidationReads += uint64(len(t.readLog))
 		for i, idx := range t.readLog {
 			v := t.e.locks[idx].Load()
 			if v&1 == 1 {
@@ -310,13 +342,14 @@ func (t *txn) commit() {
 	}
 	// Phase 4: write back and release with the new version.
 	for _, w := range t.writes {
-		t.e.arena.Store(w.addr, w.val)
+		t.e.heap[w.addr].Store(w.val)
 	}
 	newVer := wv << 1
 	for _, idx := range t.lockSet {
 		t.e.locks[idx].Store(newVer)
 	}
 	t.stats.Commits++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 }
 
 // savedLock records a stripe's pre-lock version for restoration if the
@@ -334,10 +367,49 @@ func (t *txn) releaseLocks(acquired int) {
 	t.saved = t.saved[:0]
 }
 
-// ownsStripe reports whether idx is in this commit's lock set.
+// stripeBloomBit maps a stripe index onto the 64-bit lock-set filter.
+func stripeBloomBit(idx uint32) uint64 {
+	return 1 << ((uint64(idx) * 0x9e3779b97f4a7c15) >> 58)
+}
+
+// sortLockSet sorts stripes ascending without allocating: insertion sort
+// for the small write sets that dominate (rbtree updates touch a handful
+// of stripes), pdqsort via slices.Sort — also allocation-free for uint32
+// — beyond that.
+func sortLockSet(s []uint32) {
+	if len(s) <= 32 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return
+	}
+	slices.Sort(s)
+}
+
+// ownsStripe reports whether idx is in this commit's lock set: a bloom
+// probe rejects almost every foreign stripe in one branch, and the rare
+// filter hits fall back to a closure-free binary search of the sorted
+// lock set.
 func (t *txn) ownsStripe(idx uint32) bool {
-	i := sort.Search(len(t.lockSet), func(i int) bool { return t.lockSet[i] >= idx })
-	return i < len(t.lockSet) && t.lockSet[i] == idx
+	if t.lockBloom&stripeBloomBit(idx) == 0 {
+		return false
+	}
+	lo, hi := 0, len(t.lockSet)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.lockSet[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(t.lockSet) && t.lockSet[lo] == idx
 }
 
 // AllocWords implements stm.Tx.

@@ -32,23 +32,26 @@ func (u Uniform) Next(r *Rand) int { return r.Intn(u.n) }
 func (u Uniform) N() int { return u.n }
 
 // Zipf draws rank indices from a zipfian distribution over [0, n): rank
-// 0 is the hottest item and rank frequencies fall off as 1/(i+1)^theta.
-// It is the YCSB generator (Gray et al.'s bounded zipfian via inverted
-// CDF approximation), the standard model for skewed key popularity in
-// key-value workloads. Construction is O(n) (the harmonic normalizer);
-// drawing is O(1).
+// 0 is the hottest item and rank frequencies fall off as 1/(i+1)^theta —
+// the standard model for skewed key popularity in key-value workloads
+// (YCSB). Construction is O(n); it precomputes the exact inverse CDF
+// plus a quantile index, so drawing is O(1) expected with no math.Pow on
+// the hot path (the YCSB approximation formula this replaces cost one
+// Pow — ~a third of a whole txkv Get — per draw; see DESIGN.md §7).
 //
 // Hot ranks are the low indices; callers that map ranks straight onto
 // key space get their hot keys adjacent. The txkv store hashes keys
 // before placement, so no extra scrambling pass is needed there.
 type Zipf struct {
-	n       int
-	theta   float64
-	alpha   float64 // 1/(1-theta)
-	zetan   float64 // generalized harmonic number H_{n,theta}
-	eta     float64
-	halfPow float64 // 0.5^theta, the rank-1 threshold
+	n     int
+	theta float64
+	cdf   []float64 // cdf[i] = P(rank ≤ i); cdf[n-1] == 1
+	qidx  []int32   // qidx[k] = first rank i with cdf[i] ≥ k/zipfQuantiles
 }
+
+// zipfQuantiles is the quantile-index resolution: Next narrows a draw to
+// an expected O(1) rank range before its final scan.
+const zipfQuantiles = 1024
 
 // NewZipf returns a zipfian distribution over [0, n) with skew theta.
 // n must be > 0 and theta in (0, 1); theta near 1 is most skewed
@@ -60,31 +63,43 @@ func NewZipf(n int, theta float64) *Zipf {
 	if theta <= 0 || theta >= 1 {
 		panic("util: zipf skew must be in (0, 1)")
 	}
-	z := &Zipf{n: n, theta: theta, alpha: 1 / (1 - theta)}
-	for i := 1; i <= n; i++ {
-		z.zetan += 1 / math.Pow(float64(i), theta)
+	z := &Zipf{n: n, theta: theta, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		z.cdf[i] = sum
 	}
-	zeta2 := 1 + 1/math.Pow(2, theta)
-	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
-	z.halfPow = math.Pow(0.5, theta)
+	for i := 0; i < n; i++ {
+		z.cdf[i] /= sum
+	}
+	z.cdf[n-1] = 1 // exact despite rounding
+	z.qidx = make([]int32, zipfQuantiles+1)
+	rank := int32(0)
+	for k := 1; k <= zipfQuantiles; k++ {
+		for z.cdf[rank] < float64(k)/zipfQuantiles && int(rank) < n-1 {
+			rank++
+		}
+		z.qidx[k] = rank
+	}
 	return z
 }
 
-// Next implements Dist.
+// Next implements Dist. The draw is the first rank whose CDF reaches u;
+// u ∈ [k/Q, (k+1)/Q) bounds that rank to [qidx[k], qidx[k+1]], so the
+// binary search runs over one quantile bucket — O(1) expected.
 func (z *Zipf) Next(r *Rand) int {
 	u := r.Float64()
-	uz := u * z.zetan
-	if uz < 1 {
-		return 0
+	k := int(u * zipfQuantiles)
+	lo, hi := int(z.qidx[k]), int(z.qidx[k+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	if uz < 1+z.halfPow {
-		return 1
-	}
-	i := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
-	if i >= z.n { // guard float rounding at u → 1
-		i = z.n - 1
-	}
-	return i
+	return lo
 }
 
 // N implements Dist.

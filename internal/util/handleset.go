@@ -1,0 +1,81 @@
+package util
+
+// HandleSet is a reusable open-addressed set of uint64 handles with
+// epoch-tagged slots, built for per-operation visited-set tracking in
+// graph walks (STMBench7's traversals). A Go map in that position costs
+// an allocation plus hash-table growth every operation; a pooled
+// HandleSet amortizes to zero allocations and a few loads per visit
+// (DESIGN.md §7). Reset is O(1): bumping the epoch invalidates every
+// slot. Not safe for concurrent use — pool or thread-own it.
+type HandleSet struct {
+	keys  []uint64
+	epoch []uint32
+	cur   uint32
+	mask  uint32
+	count uint32
+}
+
+// NewHandleSet returns a set sized for expected elements (rounded up to
+// a power of two with headroom).
+func NewHandleSet(expected int) *HandleSet {
+	size := 16
+	for size < 2*expected {
+		size *= 2
+	}
+	s := &HandleSet{
+		keys:  make([]uint64, size),
+		epoch: make([]uint32, size),
+		mask:  uint32(size - 1),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset empties the set.
+func (s *HandleSet) Reset() {
+	s.count = 0
+	s.cur++
+	if s.cur == 0 { // wrapped: zero-epoch slots would read as current
+		clear(s.epoch)
+		s.cur = 1
+	}
+}
+
+// Add inserts h and reports whether it was absent.
+func (s *HandleSet) Add(h uint64) bool {
+	x := h * 0x9e3779b97f4a7c15
+	for i := uint32(x>>40) & s.mask; ; i = (i + 1) & s.mask {
+		if s.epoch[i] != s.cur {
+			if s.count >= s.mask-s.mask>>2 {
+				s.grow()
+				return s.Add(h)
+			}
+			s.keys[i] = h
+			s.epoch[i] = s.cur
+			s.count++
+			return true
+		}
+		if s.keys[i] == h {
+			return false
+		}
+	}
+}
+
+// Len returns the number of elements added since the last Reset.
+func (s *HandleSet) Len() int { return int(s.count) }
+
+func (s *HandleSet) grow() {
+	oldKeys, oldEpoch := s.keys, s.epoch
+	s.keys = make([]uint64, 2*len(oldKeys))
+	s.epoch = make([]uint32, 2*len(oldEpoch))
+	s.mask = uint32(len(s.keys) - 1)
+	s.count = 0
+	cur := s.cur
+	s.cur = 1
+	clear(s.epoch) // fresh arrays are zero already; keep epochs canonical
+	for i := range oldKeys {
+		if oldEpoch[i] == cur {
+			s.Add(oldKeys[i])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package util
+
+// StripeCache is the per-thread read-set deduplication cache of the
+// time-based engines (SwissTM, TinySTM): an open-addressed hash map from
+// lock-table stripe index to read-log position. Workloads that traverse
+// shared structures (rbtree descents, STMBench7 graph walks) re-read the
+// same stripes constantly; without dedup every re-read appends a read-log
+// entry and validation cost grows with *total* reads. With the cache a
+// transaction logs each stripe once and validation scales with *distinct*
+// stripes (DESIGN.md §7).
+//
+// Slots are epoch-tagged: a slot belongs to the current transaction
+// attempt iff its epoch matches the cache's, so Reset between attempts is
+// a single counter increment instead of an O(size) wipe. Each slot packs
+// epoch and key into one uint64 — a probe is a single 8-byte load and
+// compare — and lookup and insert share one probe sequence
+// (LookupOrInsert), so the common miss path touches each slot once.
+//
+// A StripeCache is owned by exactly one thread and is not safe for
+// concurrent use — exactly like the transaction descriptor embedding it.
+type StripeCache struct {
+	slots []uint64 // epoch<<32 | key; stale epoch ⇒ empty
+	pos   []uint32 // read-log position, parallel to slots
+	mask  uint32
+	epoch uint32
+	count uint32 // live entries this epoch (load-factor bookkeeping)
+}
+
+func scHash(key uint32) uint32 {
+	h := key * 0x9e3779b1 // Fibonacci scramble; low bits feed the mask
+	return h ^ h>>16
+}
+
+// Init sizes the cache. size must be a power of two and should exceed the
+// distinct-stripe count of common transactions so steady state never
+// grows (an rbtree descent touches a few dozen stripes).
+func (c *StripeCache) Init(size int) {
+	if size&(size-1) != 0 || size == 0 {
+		panic("util: StripeCache size must be a power of two")
+	}
+	c.slots = make([]uint64, size)
+	c.pos = make([]uint32, size)
+	c.mask = uint32(size - 1)
+	c.Reset() // move off epoch 0 so zero-valued slots read as stale
+}
+
+// Reset invalidates every entry, preparing the cache for a new attempt.
+func (c *StripeCache) Reset() {
+	c.count = 0
+	c.epoch++
+	if c.epoch == 0 { // wrapped: zero-epoch slots would read as current
+		clear(c.slots)
+		c.epoch = 1
+	}
+}
+
+// LookupOrInsert probes for key in one pass. When key is present it
+// returns the recorded position and found=true; otherwise it records
+// (key, pos) — the caller passes its read-log length and must append the
+// matching entry — and returns found=false.
+func (c *StripeCache) LookupOrInsert(key, pos uint32) (uint32, bool) {
+	target := uint64(c.epoch)<<32 | uint64(key)
+	for i := scHash(key) & c.mask; ; i = (i + 1) & c.mask {
+		s := c.slots[i]
+		if s == target {
+			return c.pos[i], true
+		}
+		if uint32(s>>32) != c.epoch { // stale slot: key is absent
+			if c.count >= c.mask-c.mask>>2 { // keep load factor below 3/4
+				c.grow()
+				c.place(key, pos)
+			} else {
+				c.slots[i] = target
+				c.pos[i] = pos
+			}
+			c.count++
+			return pos, false
+		}
+	}
+}
+
+func (c *StripeCache) place(key, pos uint32) {
+	target := uint64(c.epoch)<<32 | uint64(key)
+	for i := scHash(key) & c.mask; ; i = (i + 1) & c.mask {
+		if uint32(c.slots[i]>>32) != c.epoch {
+			c.slots[i] = target
+			c.pos[i] = pos
+			return
+		}
+	}
+}
+
+// grow doubles the table and migrates the current epoch's entries.
+// Growth only happens while a transaction's distinct read set is still
+// outgrowing the cache; once warm, transactions allocate nothing here.
+func (c *StripeCache) grow() {
+	oldSlots, oldPos := c.slots, c.pos
+	c.slots = make([]uint64, 2*len(oldSlots))
+	c.pos = make([]uint32, 2*len(oldPos))
+	c.mask = uint32(len(c.slots) - 1)
+	for i, s := range oldSlots {
+		if uint32(s>>32) == c.epoch {
+			c.place(uint32(s), oldPos[i])
+		}
+	}
+}
