@@ -6,11 +6,11 @@ GO ?= go
 # Engine packages get a dedicated -race pass: they are the lock-level
 # concurrent code, and the data-structure stress tests hammer them.
 # txkv rides along for its concurrent transfer-invariant test.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv fmt vet bench bench-json ci
+.PHONY: build test race smoke smoke-txkv fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -33,12 +33,20 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/txkv
 
-# bench-json measures per-op hot-path cost (ns/op + allocs/op) of the
-# core engine micro-benchmarks and writes the machine-readable perf
-# artifact CI accumulates (non-gating; see DESIGN.md §7).
-BENCH_JSON ?= BENCH_PR3.json
+# bench-json measures per-op hot-path cost (ns/op + allocs/op +
+# aborts/op, including the forced-conflict abort tier) of the core
+# engine micro-benchmarks and writes the machine-readable perf artifact
+# CI accumulates (non-gating; see DESIGN.md §7–§8).
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# bench-compare diffs two bench-json artifacts per engine/workload:
+#   make bench-compare BENCH_OLD=BENCH_PR3.json BENCH_NEW=BENCH_PR4.json
+BENCH_OLD ?= BENCH_PR3.json
+BENCH_NEW ?= BENCH_PR4.json
+bench-compare:
+	$(GO) run ./cmd/benchcompare $(BENCH_OLD) $(BENCH_NEW)
 
 # smoke regenerates every figure at quick scale, persists the records,
 # and fails if any result file is empty or any workload check failed.

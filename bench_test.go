@@ -20,18 +20,26 @@ import (
 	"swisstm/internal/util"
 )
 
-// benchParallelOp runs op on all GOMAXPROCS workers, each with its own
-// engine thread.
-func benchParallelOp(b *testing.B, e stm.STM, op func(th stm.Thread, rng *util.Rand)) {
+// benchParallelBind runs a per-worker-bound operation on all GOMAXPROCS
+// workers: bind is called once per worker with its own engine thread
+// and private RNG (for workloads whose operations come from pre-bound
+// tables, e.g. bench7), and the returned closure runs per iteration.
+func benchParallelBind(b *testing.B, e stm.STM, bind func(th stm.Thread, rng *util.Rand) func()) {
 	var tid atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		id := int(tid.Add(1))
-		th := e.NewThread(id)
-		rng := util.NewRand(uint64(id)*977 + 13)
+		op := bind(e.NewThread(id), util.NewRand(uint64(id)*977+13))
 		for pb.Next() {
-			op(th, rng)
+			op()
 		}
+	})
+}
+
+// benchParallelOp is benchParallelBind for per-call operations.
+func benchParallelOp(b *testing.B, e stm.STM, op func(th stm.Thread, rng *util.Rand)) {
+	benchParallelBind(b, e, func(th stm.Thread, rng *util.Rand) func() {
+		return func() { op(th, rng) }
 	})
 }
 
@@ -43,7 +51,9 @@ func bench7Op(b *testing.B, spec harness.EngineSpec, roPct int) {
 	cfg.ReadOnlyPct = roPct
 	e := spec.New()
 	bench := bench7.Setup(e, cfg)
-	benchParallelOp(b, e, func(th stm.Thread, rng *util.Rand) { bench.Op(th, rng) })
+	benchParallelBind(b, e, func(th stm.Thread, rng *util.Rand) func() {
+		return bench.NewOps(th, rng).Op
+	})
 }
 
 // BenchmarkFig2 measures STMBench7 operations per engine and mix
@@ -331,7 +341,9 @@ func BenchmarkWnSensitivity(b *testing.B) {
 			cfg.ReadOnlyPct = 10
 			e := swisstm.New(swisstm.Config{ArenaWords: 1 << 22, TableBits: 18, Wn: wn})
 			bench := bench7.Setup(e, cfg)
-			benchParallelOp(b, e, func(th stm.Thread, rng *util.Rand) { bench.Op(th, rng) })
+			benchParallelBind(b, e, func(th stm.Thread, rng *util.Rand) func() {
+				return bench.NewOps(th, rng).Op
+			})
 		})
 	}
 }

@@ -1,0 +1,90 @@
+// Command benchcompare diffs two BENCH_PR<n>.json artifacts produced by
+// cmd/benchjson, pairing records by (workload, engine) and printing the
+// ns/op, allocs/op and aborts/op movement per pair — the one-command way
+// to price a PR against the previous artifact (`make bench-compare`).
+//
+// Workloads or engines present in only one file are listed separately
+// rather than silently dropped, so a renamed workload cannot masquerade
+// as a perf win.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swisstm/internal/results"
+)
+
+func load(path string) ([]results.BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return results.ReadBenchJSON(f)
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "   —  "
+		}
+		return "  new "
+	}
+	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcompare OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRecs, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	newRecs, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	type key struct{ workload, engine string }
+	oldBy := map[key]results.BenchRecord{}
+	for _, r := range oldRecs {
+		oldBy[key{r.Workload, r.Engine}] = r
+	}
+	fmt.Printf("%-36s %22s %12s %18s\n", "workload/engine", "ns/op old→new", "Δ", "allocs/op old→new")
+	matched := map[key]bool{}
+	for _, n := range newRecs {
+		k := key{n.Workload, n.Engine}
+		o, ok := oldBy[k]
+		if !ok {
+			continue
+		}
+		matched[k] = true
+		fmt.Printf("%-36s %9.1f → %9.1f %12s %7.2f → %7.2f",
+			n.Name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp)
+		if o.AbortsPerOp > 0 || n.AbortsPerOp > 0 {
+			fmt.Printf("   %6.3f → %6.3f aborts/op", o.AbortsPerOp, n.AbortsPerOp)
+		}
+		fmt.Println()
+	}
+	for _, n := range newRecs {
+		if !matched[key{n.Workload, n.Engine}] {
+			fmt.Printf("%-36s only in %s (%.1f ns/op)\n", n.Name, flag.Arg(1), n.NsPerOp)
+		}
+	}
+	for _, o := range oldRecs {
+		if !matched[key{o.Workload, o.Engine}] {
+			fmt.Printf("%-36s only in %s (%.1f ns/op)\n", o.Name, flag.Arg(0), o.NsPerOp)
+		}
+	}
+}

@@ -1,15 +1,31 @@
 // Command benchjson measures the per-operation hot-path cost (ns/op,
 // allocs/op) of the core engine micro-benchmarks — rbtree lookup-heavy,
-// STMBench7 read-dominated, txkv read-heavy — on every engine, and emits
-// a machine-readable JSON artifact through internal/results. CI runs it
-// non-gating (`make bench-json`) so the perf trajectory accumulates one
-// BENCH_PR<n>.json per change; compare two artifacts (or benchstat two
+// STMBench7 read-dominated, txkv read-heavy, plus the PR 4 abort tier —
+// on every engine, and emits a machine-readable JSON artifact through
+// internal/results. CI runs it non-gating (`make bench-json`) so the
+// perf trajectory accumulates one BENCH_PR<n>.json per change; compare
+// two artifacts with `make bench-compare` (or benchstat two
 // `go test -bench` runs, README § Performance) to price a PR.
+//
+// The abort tier targets the quantity this repo's panic-free abort
+// refactor changes (DESIGN.md §8):
+//
+//   - abort-forced drives stmtest.ForcedAbort — exactly one
+//     deterministic commit-time abort per op — on each engine twice:
+//     once normal (checked-return delivery) and once under the
+//     UnwindAborts ablation (the old panic/recover delivery). The pair
+//     of ns_per_abort values is the before/after price of one abort.
+//   - abort-heavy is a high-contention mix over a tiny object pool
+//     (every transaction writes; an injected conflicting transaction
+//     lands mid-body), reporting the realistic aborts_per_op blend of
+//     unwound and returned deliveries.
 //
 // Measurements run single-goroutine via testing.Benchmark: the point is
 // per-access overhead — the quantity the paper's §3 design choices
 // minimize — not parallel scalability, which the figure experiments and
-// the structured results pipeline already cover.
+// the structured results pipeline already cover. The abort workloads
+// inject their conflicting transactions from a second engine thread on
+// the same goroutine, so conflict schedules are exact, not racy.
 package main
 
 import (
@@ -24,35 +40,71 @@ import (
 	"swisstm/internal/rbtree"
 	"swisstm/internal/results"
 	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
 	"swisstm/internal/txkv"
 	"swisstm/internal/util"
 )
 
 var (
-	out     = flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out     = flag.String("out", "BENCH_PR4.json", "output JSON path")
 	repeats = flag.Int("repeats", 5, "repeats per benchmark (median reported)")
 	benchMs = flag.Int("benchms", 300, "target measurement time per repeat, milliseconds")
 )
 
-// engines is the sweep: the three word-based engines plus object-based
-// RSTM (which runs the object-API workloads only — same coverage as the
-// paper's figures).
-var engines = []harness.EngineSpec{
+// defaultEngines is the standard sweep: the three word-based engines
+// plus object-based RSTM (which runs the object-API workloads only —
+// same coverage as the paper's figures).
+var defaultEngines = []harness.EngineSpec{
 	{Kind: "swisstm"},
 	{Kind: "tl2"},
 	{Kind: "tinystm"},
 	{Kind: "rstm", Manager: "polka", Label: "RSTM"},
 }
 
+// abortEngines pairs each engine with its UnwindAborts ablation twin, so
+// one artifact holds the checked-return and panic-delivery costs side by
+// side. Back-off is pinned to the minimum: the abort path, not the
+// retry policy, is the measurand.
+func abortEngines() []harness.EngineSpec {
+	specs := make([]harness.EngineSpec, 0, 8)
+	for _, s := range defaultEngines {
+		s.NoBackoff = true
+		s.BackoffUnit = 1
+		checked := s
+		specs = append(specs, checked)
+		unwind := s
+		unwind.UnwindAborts = true
+		unwind.Label = s.DisplayName() + "(unwind)"
+		specs = append(specs, unwind)
+	}
+	return specs
+}
+
+// abortShape maps an engine kind to the commit-time conflict class its
+// design detects (see stmtest.AbortShape).
+func abortShape(kind string) stmtest.AbortShape {
+	switch kind {
+	case "tl2":
+		return stmtest.ShapeLockAcquire
+	case "rstm":
+		return stmtest.ShapeObjectValidation
+	default:
+		return stmtest.ShapeReadValidation
+	}
+}
+
 type workload struct {
 	name string
-	// setup builds shared state and returns the per-iteration op.
-	setup func(spec harness.EngineSpec) func()
+	// engines overrides the default engine sweep when non-nil.
+	engines []harness.EngineSpec
+	// setup builds shared state and returns the per-iteration op plus a
+	// snapshot function over the stats of every thread the op drives.
+	setup func(spec harness.EngineSpec) (op func(), stats func() stm.Stats)
 }
 
 func workloads() []workload {
 	return []workload{
-		{name: "rbtree-lookup", setup: func(spec harness.EngineSpec) func() {
+		{name: "rbtree-lookup", setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
 			e := spec.New()
 			th := e.NewThread(0)
 			tree := rbtree.New(th)
@@ -75,9 +127,9 @@ func workloads() []workload {
 				default:
 					th.Atomic(lookup)
 				}
-			}
+			}, th.Stats
 		}},
-		{name: "bench7-read", setup: func(spec harness.EngineSpec) func() {
+		{name: "bench7-read", setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
 			cfg := bench7.Config{
 				Levels: 3, Fanout: 3, CompPool: 32,
 				AtomicPerComp: 10, ReadOnlyPct: 90,
@@ -85,10 +137,10 @@ func workloads() []workload {
 			e := spec.New()
 			b := bench7.Setup(e, cfg)
 			th := e.NewThread(1)
-			rng := util.NewRand(99)
-			return func() { b.Op(th, rng) }
+			ops := b.NewOps(th, util.NewRand(99))
+			return ops.Op, th.Stats
 		}},
-		{name: "txkv-read", setup: func(spec harness.EngineSpec) func() {
+		{name: "txkv-read", setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
 			e := spec.New()
 			th := e.NewThread(0)
 			s := txkv.New(th, txkv.ConfigForKeys(4096))
@@ -103,9 +155,72 @@ func workloads() []workload {
 			return func() {
 				k = stm.Word(zipf.Next(rng) + 1)
 				th.Atomic(get)
-			}
+			}, th.Stats
 		}},
+		{name: "abort-forced", engines: abortEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				spec.ArenaWords = 1 << 12
+				spec.TableBits = 10
+				fa := stmtest.NewForcedAbort(spec.New(), abortShape(spec.Kind))
+				return fa.Op, fa.Stats
+			}},
+		{name: "abort-heavy", engines: abortEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				spec.ArenaWords = 1 << 12
+				spec.TableBits = 10
+				return setupAbortHeavy(spec.New())
+			}},
 	}
+}
+
+// setupAbortHeavy builds the high-contention 100%-write mix: a pool of
+// 8 single-field objects; the victim reads two and updates two per
+// transaction while a conflicting updater transaction is injected
+// mid-body from a second thread (same goroutine, exact interleaving).
+// The injected writer commits before the victim resumes, so the victim
+// aborts on read validation — mid-body (unwound) when the conflict
+// surfaces at its second read, at commit (returned) otherwise — and the
+// retry runs conflict-free. No transaction ever waits on a suspended
+// lock holder, so the schedule cannot wedge under any CM.
+func setupAbortHeavy(e stm.STM) (func(), func() stm.Stats) {
+	thA := e.NewThread(stm.MaxThreads - 1)
+	thB := e.NewThread(stm.MaxThreads - 2)
+	const pool = 8
+	var objs [pool]stm.Handle
+	thA.Atomic(func(tx stm.Tx) {
+		for i := range objs {
+			objs[i] = tx.NewObject(1)
+		}
+	})
+	rng := util.NewRand(0xab0a7)
+	inject := false
+	var r [6]int
+	bump := func(tx stm.Tx) {
+		tx.WriteField(objs[r[4]], 0, tx.ReadField(objs[r[4]], 0)+1)
+		tx.WriteField(objs[r[5]], 0, tx.ReadField(objs[r[5]], 0)+1)
+	}
+	body := func(tx stm.Tx) {
+		v := tx.ReadField(objs[r[0]], 0)
+		if inject {
+			inject = false
+			thB.Atomic(bump)
+		}
+		v += tx.ReadField(objs[r[1]], 0)
+		tx.WriteField(objs[r[2]], 0, v)
+		tx.WriteField(objs[r[3]], 0, v+1)
+	}
+	stats := func() stm.Stats {
+		s := thA.Stats()
+		s.Add(thB.Stats())
+		return s
+	}
+	return func() {
+		for i := range r {
+			r[i] = rng.Intn(pool)
+		}
+		inject = true
+		thA.Atomic(body)
+	}, stats
 }
 
 func median(vals []float64) float64 {
@@ -126,20 +241,31 @@ func main() {
 	}
 	var recs []results.BenchRecord
 	for _, wl := range workloads() {
+		engines := wl.engines
+		if engines == nil {
+			engines = defaultEngines
+		}
 		for _, spec := range engines {
-			op := wl.setup(spec)
-			var ns, allocs, bytes []float64
+			op, stats := wl.setup(spec)
+			var ns, allocs, bytes, aborts []float64
 			ops := 0
 			for r := 0; r < *repeats; r++ {
+				before := stats().Aborts
+				// testing.Benchmark calls the function several times while
+				// calibrating b.N; count every iteration so the abort
+				// delta divides by what actually ran, not just the final N.
+				var iters uint64
 				res := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						op()
 					}
+					iters += uint64(b.N)
 				})
 				ns = append(ns, float64(res.NsPerOp()))
 				allocs = append(allocs, float64(res.AllocsPerOp()))
 				bytes = append(bytes, float64(res.AllocedBytesPerOp()))
+				aborts = append(aborts, float64(stats().Aborts-before)/float64(iters))
 				ops = res.N
 			}
 			rec := results.BenchRecord{
@@ -151,11 +277,15 @@ func main() {
 				NsPerOp:     median(ns),
 				AllocsPerOp: median(allocs),
 				BytesPerOp:  median(bytes),
+				AbortsPerOp: median(aborts),
 				Repeats:     *repeats,
 			}
+			if rec.AbortsPerOp > 0 {
+				rec.NsPerAbort = rec.NsPerOp / rec.AbortsPerOp
+			}
 			recs = append(recs, rec)
-			fmt.Printf("%-28s %10.1f ns/op %8.2f allocs/op\n",
-				rec.Name, rec.NsPerOp, rec.AllocsPerOp)
+			fmt.Printf("%-36s %10.1f ns/op %8.2f allocs/op %8.3f aborts/op\n",
+				rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.AbortsPerOp)
 		}
 	}
 	f, err := os.Create(*out)

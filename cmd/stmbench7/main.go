@@ -53,8 +53,8 @@ func main() {
 				b = bench7.Setup(e, bench7.Config{ReadOnlyPct: ro})
 				return nil
 			},
-			Op: func(th stm.Thread, worker int, rng *util.Rand) {
-				b.Op(th, rng)
+			BindOp: func(th stm.Thread, worker int, rng *util.Rand) func() {
+				return b.NewOps(th, rng).Op
 			},
 			Check: func(e stm.STM) error { return b.Check() },
 		}

@@ -24,7 +24,6 @@ package bench7
 
 import (
 	"fmt"
-	"sync"
 
 	"swisstm/internal/rbtree"
 	"swisstm/internal/stm"
@@ -137,30 +136,29 @@ type Bench struct {
 	counters    stm.Handle
 	initialComp int // id range used by lookup operations
 	initialPart int
-
-	// walkers pools graph-walk scratch state. The visited set and DFS
-	// stack used to be a fresh Go map and slice per operation — an
-	// allocation plus hash-table growth on every traversal, ~a quarter
-	// of a read-dominated operation's time (DESIGN.md §7).
-	walkers sync.Pool
 }
 
-// walkScratch is the reusable per-walk state.
+// walkScratch is the reusable graph-walk state: a visited set and a DFS
+// stack. Each Ops table owns one (the hot path), and Check builds its
+// own; both used to come from a fresh Go map and slice per traversal —
+// an allocation plus hash-table growth on every operation, ~a quarter of
+// a read-dominated operation's time (DESIGN.md §7).
 type walkScratch struct {
 	seen  *util.HandleSet
 	stack []stm.Handle
+}
+
+func newWalkScratch(cfg *Config) walkScratch {
+	return walkScratch{
+		seen:  util.NewHandleSet(cfg.AtomicPerComp),
+		stack: make([]stm.Handle, 0, cfg.AtomicPerComp),
+	}
 }
 
 // Setup builds the structure single-threadedly on thread id 0.
 func Setup(e stm.STM, cfg Config) *Bench {
 	cfg.fill()
 	b := &Bench{E: e, Cfg: cfg}
-	b.walkers.New = func() any {
-		return &walkScratch{
-			seen:  util.NewHandleSet(cfg.AtomicPerComp),
-			stack: make([]stm.Handle, 0, cfg.AtomicPerComp),
-		}
-	}
 	th := e.NewThread(0)
 	b.PartIdx = rbtree.New(th)
 	b.CompIdx = rbtree.New(th)
@@ -262,52 +260,26 @@ func (b *Bench) newCompositePart(tx stm.Tx) stm.Handle {
 
 // ---------- Operations ----------
 //
-// Read-only: OpShortRead, OpReadComponent, OpQueryDates, OpLongTraversal.
-// Updates:   OpShortUpdate, OpUpdateComponent, OpStructureMod,
-//            OpLongTraversalUpdate.
-
-// OpShortRead looks up a random atomic part by id and reads its
-// coordinates (STMBench7 "short operation" class).
-func (b *Bench) OpShortRead(th stm.Thread, rng *util.Rand) {
-	key := stm.Word(rng.Intn(b.initialPart) + 1)
-	th.Atomic(func(tx stm.Tx) {
-		if h, ok := b.PartIdx.Lookup(tx, key); ok {
-			p := stm.Handle(h)
-			_ = tx.ReadField(p, apX)
-			_ = tx.ReadField(p, apY)
-		}
-	})
-}
-
-// OpShortUpdate swaps the coordinates of a random atomic part
-// (STMBench7 "short update" class).
-func (b *Bench) OpShortUpdate(th stm.Thread, rng *util.Rand) {
-	key := stm.Word(rng.Intn(b.initialPart) + 1)
-	th.Atomic(func(tx stm.Tx) {
-		if h, ok := b.PartIdx.Lookup(tx, key); ok {
-			p := stm.Handle(h)
-			x := tx.ReadField(p, apX)
-			y := tx.ReadField(p, apY)
-			tx.WriteField(p, apX, y)
-			tx.WriteField(p, apY, x)
-		}
-	})
-}
+// Read-only: ShortRead, ReadComponent, QueryDates, LongTraversal.
+// Updates:   ShortUpdate, UpdateComponent, StructureMod,
+//            LongTraversalUpdate.
+//
+// Operations live on a per-thread Ops table: every transaction body and
+// graph visitor is a closure built once at NewOps. The old per-call
+// shape — each operation capturing its parameters in a fresh closure —
+// was the last remaining allocation per bench7 operation; the table
+// passes parameters through fields instead, so the steady-state op loop
+// allocates nothing (bench7_test.TestZeroAllocOps holds the read-only
+// mixes to exactly zero).
 
 // graphWalk visits every atomic part of a composite reachable from its
-// root part (bounded DFS over the connection graph), calling visit for
-// each distinct part.
-func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, visit func(part stm.Handle)) int {
+// root part (bounded DFS over the connection graph, using the caller's
+// scratch), calling visit for each distinct part.
+func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, ws *walkScratch, visit func(part stm.Handle)) int {
 	root := stm.Handle(tx.ReadField(comp, cpRoot))
 	if root == 0 {
 		return 0
 	}
-	ws := b.walkers.Get().(*walkScratch)
-	// Deferred so the scratch survives a mid-walk abort (tx reads panic
-	// with RollbackSignal); it is reset on reuse, so returning it dirty
-	// is fine, and losing it to the GC on every abort would reintroduce
-	// the per-operation allocation under contention.
-	defer b.walkers.Put(ws)
 	ws.seen.Reset()
 	ws.seen.Add(root)
 	stack := append(ws.stack[:0], root)
@@ -337,104 +309,121 @@ func (b *Bench) randomComposite(tx stm.Tx, rng *util.Rand) (stm.Handle, bool) {
 	return 0, false
 }
 
-// OpReadComponent walks one composite part's whole atomic-part graph
-// read-only (STMBench7 traversal T1 restricted to one component).
-func (b *Bench) OpReadComponent(th stm.Thread, rng *util.Rand) {
-	th.Atomic(func(tx stm.Tx) {
-		if comp, ok := b.randomComposite(tx, rng); ok {
-			sum := stm.Word(0)
-			b.graphWalk(tx, comp, func(p stm.Handle) {
-				sum += tx.ReadField(p, apX)
-			})
-			_ = sum
-		}
-	})
-}
-
-// OpUpdateComponent walks one composite part's graph swapping coordinates
-// (STMBench7 T2b: long-ish update transaction).
-func (b *Bench) OpUpdateComponent(th stm.Thread, rng *util.Rand) {
-	th.Atomic(func(tx stm.Tx) {
-		if comp, ok := b.randomComposite(tx, rng); ok {
-			b.graphWalk(tx, comp, func(p stm.Handle) {
-				x := tx.ReadField(p, apX)
-				y := tx.ReadField(p, apY)
-				tx.WriteField(p, apX, y)
-				tx.WriteField(p, apY, x)
-			})
-		}
-	})
-}
-
-// OpQueryDates scans the build-date index for a random window
-// (STMBench7 query class).
-func (b *Bench) OpQueryDates(th stm.Thread, rng *util.Rand) {
-	lo := stm.Word(rng.Intn(b.initialComp) + 1)
-	hi := lo + 16
-	th.Atomic(func(tx stm.Tx) {
-		_ = b.DateIdx.RangeCount(tx, lo, hi)
-	})
-}
-
 // assemblyWalk traverses the complex-assembly tree from the module root,
 // calling visit for every composite referenced by every base assembly.
+// Plain method recursion: the self-referential `var walk func(...)`
+// closure it replaced allocated on every traversal.
 func (b *Bench) assemblyWalk(tx stm.Tx, visit func(comp stm.Handle)) {
-	var walk func(h stm.Handle)
-	walk = func(h stm.Handle) {
-		level := tx.ReadField(h, caLevel)
-		if level <= 1 { // base assembly (field layout: baID, comps...)
-			for k := 0; k < compPerBase; k++ {
-				comp := stm.Handle(tx.ReadField(h, baComp0+uint32(k)))
-				if comp != 0 {
-					visit(comp)
-				}
+	b.walkAssembly(tx, stm.Handle(tx.ReadField(b.Module, 1)), visit)
+}
+
+func (b *Bench) walkAssembly(tx stm.Tx, h stm.Handle, visit func(comp stm.Handle)) {
+	level := tx.ReadField(h, caLevel)
+	if level <= 1 { // base assembly (field layout: baID, comps...)
+		for k := 0; k < compPerBase; k++ {
+			comp := stm.Handle(tx.ReadField(h, baComp0+uint32(k)))
+			if comp != 0 {
+				visit(comp)
 			}
-			return
 		}
-		for k := 0; k < b.Cfg.Fanout; k++ {
-			sub := stm.Handle(tx.ReadField(h, caSub0+uint32(k)))
-			if sub != 0 {
-				walk(sub)
-			}
+		return
+	}
+	for k := 0; k < b.Cfg.Fanout; k++ {
+		sub := stm.Handle(tx.ReadField(h, caSub0+uint32(k)))
+		if sub != 0 {
+			b.walkAssembly(tx, sub, visit)
 		}
 	}
-	walk(stm.Handle(tx.ReadField(b.Module, 1)))
 }
 
-// OpLongTraversal is STMBench7's long read-only traversal: the whole
-// assembly tree, every composite, every atomic part.
-func (b *Bench) OpLongTraversal(th stm.Thread, rng *util.Rand) {
-	th.Atomic(func(tx stm.Tx) {
-		total := 0
-		b.assemblyWalk(tx, func(comp stm.Handle) {
-			total += b.graphWalk(tx, comp, func(p stm.Handle) {
-				_ = tx.ReadField(p, apDate)
-			})
-		})
-		_ = total
-	})
+// Ops is a per-thread operation table. Each worker goroutine builds one
+// over its engine thread and private RNG and drives Op (or the
+// individual operations); Ops is not safe for concurrent use, exactly
+// like the Thread it wraps.
+type Ops struct {
+	b   *Bench
+	th  stm.Thread
+	rng *util.Rand
+	ws  walkScratch
+
+	// Parameter and result slots written by the dispatch methods and the
+	// current-transaction rebind; the pre-bound closures read them.
+	tx    stm.Tx   // current transaction (for visitors)
+	key   stm.Word // part/composite id of the short ops
+	lo    stm.Word // date-window start
+	sum   stm.Word
+	total int
+	base  stm.Handle // structure-mod target slot
+	slot  uint32
+
+	shortRead, shortUpdate, readComponent, updateComponent func(stm.Tx)
+	queryDates, longTraversal, longTravUpdate, structMod   func(stm.Tx)
+	visitSum, visitSwap, visitDate                         func(p stm.Handle)
+	visitCompCount, visitCompBump                          func(comp stm.Handle)
 }
 
-// OpLongTraversalUpdate is the long update traversal: it touches every
-// composite part's build date through the whole tree.
-func (b *Bench) OpLongTraversalUpdate(th stm.Thread, rng *util.Rand) {
-	th.Atomic(func(tx stm.Tx) {
-		b.assemblyWalk(tx, func(comp stm.Handle) {
-			tx.WriteField(comp, cpDate, tx.ReadField(comp, cpDate)+1)
-		})
-	})
-}
+// NewOps builds the pre-bound operation table for one worker thread.
+func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
+	o := &Ops{b: b, th: th, rng: rng, ws: newWalkScratch(&b.Cfg)}
 
-// OpStructureMod is STMBench7's structural modification: build a fresh
-// composite part (graph, document, index entries), unlink a random
-// composite from a random base assembly slot and link the new one in.
-// The old composite is removed from the id and date indexes (its parts
-// are unlinked from the part index), mirroring SM2/SM3.
-func (b *Bench) OpStructureMod(th stm.Thread, rng *util.Rand) {
-	base := b.Bases[rng.Intn(len(b.Bases))]
-	slot := baComp0 + uint32(rng.Intn(compPerBase))
-	th.Atomic(func(tx stm.Tx) {
-		old := stm.Handle(tx.ReadField(base, slot))
+	o.visitSum = func(p stm.Handle) { o.sum += o.tx.ReadField(p, apX) }
+	o.visitSwap = func(p stm.Handle) {
+		x := o.tx.ReadField(p, apX)
+		y := o.tx.ReadField(p, apY)
+		o.tx.WriteField(p, apX, y)
+		o.tx.WriteField(p, apY, x)
+	}
+	o.visitDate = func(p stm.Handle) { _ = o.tx.ReadField(p, apDate) }
+	o.visitCompCount = func(comp stm.Handle) {
+		o.total += b.graphWalk(o.tx, comp, &o.ws, o.visitDate)
+	}
+	o.visitCompBump = func(comp stm.Handle) {
+		o.tx.WriteField(comp, cpDate, o.tx.ReadField(comp, cpDate)+1)
+	}
+
+	o.shortRead = func(tx stm.Tx) {
+		if h, ok := b.PartIdx.Lookup(tx, o.key); ok {
+			p := stm.Handle(h)
+			_ = tx.ReadField(p, apX)
+			_ = tx.ReadField(p, apY)
+		}
+	}
+	o.shortUpdate = func(tx stm.Tx) {
+		if h, ok := b.PartIdx.Lookup(tx, o.key); ok {
+			p := stm.Handle(h)
+			x := tx.ReadField(p, apX)
+			y := tx.ReadField(p, apY)
+			tx.WriteField(p, apX, y)
+			tx.WriteField(p, apY, x)
+		}
+	}
+	o.readComponent = func(tx stm.Tx) {
+		o.tx = tx
+		if comp, ok := b.randomComposite(tx, o.rng); ok {
+			o.sum = 0
+			b.graphWalk(tx, comp, &o.ws, o.visitSum)
+		}
+	}
+	o.updateComponent = func(tx stm.Tx) {
+		o.tx = tx
+		if comp, ok := b.randomComposite(tx, o.rng); ok {
+			b.graphWalk(tx, comp, &o.ws, o.visitSwap)
+		}
+	}
+	o.queryDates = func(tx stm.Tx) {
+		_ = b.DateIdx.RangeCount(tx, o.lo, o.lo+16)
+	}
+	o.longTraversal = func(tx stm.Tx) {
+		o.tx = tx
+		o.total = 0
+		b.assemblyWalk(tx, o.visitCompCount)
+	}
+	o.longTravUpdate = func(tx stm.Tx) {
+		o.tx = tx
+		b.assemblyWalk(tx, o.visitCompBump)
+	}
+	o.structMod = func(tx stm.Tx) {
+		old := stm.Handle(tx.ReadField(o.base, o.slot))
 		if old != 0 {
 			// Drop one reference; unregister the composite only when the
 			// last base assembly stops using it (shared composites stay).
@@ -456,37 +445,86 @@ func (b *Bench) OpStructureMod(th stm.Thread, rng *util.Rand) {
 		}
 		comp := b.newCompositePart(tx)
 		tx.WriteField(comp, cpUsed, 1)
-		tx.WriteField(base, slot, stm.Word(comp))
-	})
+		tx.WriteField(o.base, o.slot, stm.Word(comp))
+	}
+	return o
+}
+
+// ShortRead looks up a random atomic part by id and reads its
+// coordinates (STMBench7 "short operation" class).
+func (o *Ops) ShortRead() {
+	o.key = stm.Word(o.rng.Intn(o.b.initialPart) + 1)
+	o.th.Atomic(o.shortRead)
+}
+
+// ShortUpdate swaps the coordinates of a random atomic part
+// (STMBench7 "short update" class).
+func (o *Ops) ShortUpdate() {
+	o.key = stm.Word(o.rng.Intn(o.b.initialPart) + 1)
+	o.th.Atomic(o.shortUpdate)
+}
+
+// ReadComponent walks one composite part's whole atomic-part graph
+// read-only (STMBench7 traversal T1 restricted to one component).
+func (o *Ops) ReadComponent() { o.th.Atomic(o.readComponent) }
+
+// UpdateComponent walks one composite part's graph swapping coordinates
+// (STMBench7 T2b: long-ish update transaction).
+func (o *Ops) UpdateComponent() { o.th.Atomic(o.updateComponent) }
+
+// QueryDates scans the build-date index for a random window
+// (STMBench7 query class).
+func (o *Ops) QueryDates() {
+	o.lo = stm.Word(o.rng.Intn(o.b.initialComp) + 1)
+	o.th.Atomic(o.queryDates)
+}
+
+// LongTraversal is STMBench7's long read-only traversal: the whole
+// assembly tree, every composite, every atomic part.
+func (o *Ops) LongTraversal() { o.th.Atomic(o.longTraversal) }
+
+// LongTraversalUpdate is the long update traversal: it touches every
+// composite part's build date through the whole tree.
+func (o *Ops) LongTraversalUpdate() { o.th.Atomic(o.longTravUpdate) }
+
+// StructureMod is STMBench7's structural modification: build a fresh
+// composite part (graph, document, index entries), unlink a random
+// composite from a random base assembly slot and link the new one in.
+// The old composite is removed from the id and date indexes (its parts
+// are unlinked from the part index), mirroring SM2/SM3.
+func (o *Ops) StructureMod() {
+	o.base = o.b.Bases[o.rng.Intn(len(o.b.Bases))]
+	o.slot = baComp0 + uint32(o.rng.Intn(compPerBase))
+	o.th.Atomic(o.structMod)
 }
 
 // Op dispatches one operation according to the workload mix; this is the
 // function the throughput harness drives.
-func (b *Bench) Op(th stm.Thread, rng *util.Rand) {
-	readOnly := rng.Intn(100) < b.Cfg.ReadOnlyPct
-	roll := rng.Intn(100)
+func (o *Ops) Op() {
+	readOnly := o.rng.Intn(100) < o.b.Cfg.ReadOnlyPct
+	roll := o.rng.Intn(100)
 	if readOnly {
 		switch {
 		case roll < 40:
-			b.OpShortRead(th, rng)
+			o.ShortRead()
 		case roll < 80:
-			b.OpReadComponent(th, rng)
+			o.ReadComponent()
 		case roll < 95:
-			b.OpQueryDates(th, rng)
+			o.QueryDates()
 		default:
-			b.OpLongTraversal(th, rng)
+			o.LongTraversal()
 		}
 		return
 	}
 	switch {
 	case roll < 40:
-		b.OpShortUpdate(th, rng)
+		o.ShortUpdate()
 	case roll < 80:
-		b.OpUpdateComponent(th, rng)
+		o.UpdateComponent()
 	case roll < 95:
-		b.OpStructureMod(th, rng)
+		o.StructureMod()
 	default:
-		b.OpLongTraversalUpdate(th, rng)
+		o.LongTraversalUpdate()
 	}
 }
 
@@ -496,6 +534,7 @@ func (b *Bench) Op(th stm.Thread, rng *util.Rand) {
 // part is present in the part index.
 func (b *Bench) Check() error {
 	th := b.E.NewThread(stm.MaxThreads - 1)
+	ws := newWalkScratch(&b.Cfg)
 	var err error
 	th.Atomic(func(tx stm.Tx) {
 		err = nil
@@ -511,7 +550,7 @@ func (b *Bench) Check() error {
 					err = fmt.Errorf("bench7: composite %d missing from index", id)
 					return
 				}
-				n := b.graphWalk(tx, comp, func(p stm.Handle) {
+				n := b.graphWalk(tx, comp, &ws, func(p stm.Handle) {
 					pid := tx.ReadField(p, apID)
 					if got, ok := b.PartIdx.Lookup(tx, pid); !ok || stm.Handle(got) != p {
 						err = fmt.Errorf("bench7: part %d missing from index", pid)

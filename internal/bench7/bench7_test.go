@@ -7,6 +7,7 @@ import (
 	"swisstm/internal/cm"
 	"swisstm/internal/rstm"
 	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
 	"swisstm/internal/swisstm"
 	"swisstm/internal/tinystm"
 	"swisstm/internal/tl2"
@@ -28,6 +29,24 @@ func engines() map[string]func() stm.STM {
 	}
 }
 
+// TestZeroAllocOps extends the allocation-regression gate of
+// DESIGN.md §7.2 to the bench7 operation loop itself: with the
+// pre-bound per-thread op tables, a warmed 100%-read-only op stream —
+// index lookups, graph walks, date queries, long traversals — must
+// allocate nothing on the word-based engines, and nothing on RSTM
+// either (invisible read-only transactions reuse their attempt
+// descriptor). The op dispatch used to build a fresh closure per call,
+// the last remaining allocation per operation in this package.
+func TestZeroAllocOps(t *testing.T) {
+	for name, factory := range engines() {
+		t.Run(name, func(t *testing.T) {
+			b := Setup(factory(), testConfig(100))
+			o := b.NewOps(b.E.NewThread(1), util.NewRand(11))
+			stmtest.ZeroAllocLoop(t, name+"/bench7-readonly", 300, o.Op)
+		})
+	}
+}
+
 func TestSetupInvariants(t *testing.T) {
 	for name, factory := range engines() {
 		t.Run(name, func(t *testing.T) {
@@ -44,21 +63,20 @@ func TestSetupInvariants(t *testing.T) {
 
 func TestEachOperation(t *testing.T) {
 	b := Setup(engines()["swisstm"](), testConfig(90))
-	th := b.E.NewThread(1)
-	rng := util.NewRand(5)
-	ops := map[string]func(stm.Thread, *util.Rand){
-		"shortRead":      b.OpShortRead,
-		"shortUpdate":    b.OpShortUpdate,
-		"readComponent":  b.OpReadComponent,
-		"updateComp":     b.OpUpdateComponent,
-		"queryDates":     b.OpQueryDates,
-		"longTraversal":  b.OpLongTraversal,
-		"longTravUpdate": b.OpLongTraversalUpdate,
-		"structureMod":   b.OpStructureMod,
+	o := b.NewOps(b.E.NewThread(1), util.NewRand(5))
+	ops := map[string]func(){
+		"shortRead":      o.ShortRead,
+		"shortUpdate":    o.ShortUpdate,
+		"readComponent":  o.ReadComponent,
+		"updateComp":     o.UpdateComponent,
+		"queryDates":     o.QueryDates,
+		"longTraversal":  o.LongTraversal,
+		"longTravUpdate": o.LongTraversalUpdate,
+		"structureMod":   o.StructureMod,
 	}
 	for name, op := range ops {
 		for i := 0; i < 10; i++ {
-			op(th, rng)
+			op()
 		}
 		if err := b.Check(); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -84,8 +102,9 @@ func TestStructureModReplacesComposite(t *testing.T) {
 	// elsewhere from the index; Check() would catch that. With distinct
 	// slots the count is preserved.
 	before := count()
+	o := b.NewOps(th, rng)
 	for i := 0; i < 5; i++ {
-		b.OpStructureMod(th, rng)
+		o.StructureMod()
 	}
 	after := count()
 	if after < before-5 || after > before+5 {
@@ -105,10 +124,9 @@ func TestConcurrentMixedWorkloads(t *testing.T) {
 					wg.Add(1)
 					go func(id int) {
 						defer wg.Done()
-						th := b.E.NewThread(id + 1)
-						rng := util.NewRand(uint64(id)*77 + 1)
+						o := b.NewOps(b.E.NewThread(id+1), util.NewRand(uint64(id)*77+1))
 						for n := 0; n < 120; n++ {
-							b.Op(th, rng)
+							o.Op()
 						}
 					}(i)
 				}

@@ -27,7 +27,9 @@ func TestRSTMLazySnapshotRegression(t *testing.T) {
 			var b *Bench
 			w := harness.Workload{
 				Setup: func(e stm.STM) error { b = Setup(e, cfg); return nil },
-				Op:    func(th stm.Thread, worker int, rng *util.Rand) { b.Op(th, rng) },
+				BindOp: func(th stm.Thread, worker int, rng *util.Rand) func() {
+					return b.NewOps(th, rng).Op
+				},
 				Check: func(e stm.STM) error { return b.Check() },
 			}
 			if _, err := harness.MeasureThroughput(spec, w, 8, 250*time.Millisecond); err != nil {

@@ -114,8 +114,8 @@ func (o Options) bench7Workload(mix int) harness.Workload {
 			b = bench7.Setup(e, cfg)
 			return nil
 		},
-		Op: func(th stm.Thread, worker int, rng *util.Rand) {
-			b.Op(th, rng)
+		BindOp: func(th stm.Thread, worker int, rng *util.Rand) func() {
+			return b.NewOps(th, rng).Op
 		},
 		Check: func(e stm.STM) error { return b.Check() },
 	}

@@ -40,6 +40,10 @@ type EngineSpec struct {
 	Policy string
 	// NoBackoff disables SwissTM's post-abort back-off.
 	NoBackoff bool
+	// BackoffUnit overrides the engines' post-abort back-off spin unit
+	// (0 keeps each engine's default). The abort-path microbenchmark
+	// pins it to 1 so the measured cost is abort delivery, not back-off.
+	BackoffUnit int
 	// Acquire is RSTM's mode: "eager" (default) or "lazy".
 	Acquire string
 	// Reads is RSTM's read mode: "invisible" (default) or "visible".
@@ -47,6 +51,9 @@ type EngineSpec struct {
 	// Manager is RSTM's CM: "polka" (default), "greedy", "serializer",
 	// "timid".
 	Manager string
+	// UnwindAborts selects the engines' panic-delivery ablation for
+	// commit-time aborts (measurement only; see swisstm.Config).
+	UnwindAborts bool
 }
 
 // DisplayName returns the label used in tables.
@@ -103,23 +110,29 @@ func (s EngineSpec) New() stm.STM {
 			pol = swisstm.Timid
 		}
 		return swisstm.New(swisstm.Config{
-			ArenaWords:  arena,
-			StripeWords: s.StripeWords,
-			TableBits:   table,
-			Policy:      pol,
-			NoBackoff:   s.NoBackoff,
+			ArenaWords:   arena,
+			StripeWords:  s.StripeWords,
+			TableBits:    table,
+			Policy:       pol,
+			NoBackoff:    s.NoBackoff,
+			BackoffUnit:  s.BackoffUnit,
+			UnwindAborts: s.UnwindAborts,
 		})
 	case "tl2":
 		return tl2.New(tl2.Config{
-			ArenaWords:  arena,
-			StripeWords: s.StripeWords,
-			TableBits:   table,
+			ArenaWords:   arena,
+			StripeWords:  s.StripeWords,
+			TableBits:    table,
+			BackoffUnit:  s.BackoffUnit,
+			UnwindAborts: s.UnwindAborts,
 		})
 	case "tinystm":
 		return tinystm.New(tinystm.Config{
-			ArenaWords:  arena,
-			StripeWords: s.StripeWords,
-			TableBits:   table,
+			ArenaWords:   arena,
+			StripeWords:  s.StripeWords,
+			TableBits:    table,
+			BackoffUnit:  s.BackoffUnit,
+			UnwindAborts: s.UnwindAborts,
 		})
 	case "rstm":
 		acq := rstm.Eager
@@ -134,7 +147,10 @@ func (s EngineSpec) New() stm.STM {
 		if mgr == "" {
 			mgr = "polka"
 		}
-		return rstm.New(rstm.Config{Acquire: acq, Reads: rd, Manager: cm.ByName(mgr)})
+		return rstm.New(rstm.Config{
+			Acquire: acq, Reads: rd, Manager: cm.ByName(mgr),
+			BackoffUnit: s.BackoffUnit, UnwindAborts: s.UnwindAborts,
+		})
 	}
 	panic("harness: unknown engine kind " + s.Kind)
 }
@@ -217,6 +233,12 @@ type Workload struct {
 	// Op runs a single operation; worker is the worker index (≥ 1 because
 	// id 0 belongs to setup), rng is worker-private.
 	Op func(th stm.Thread, worker int, rng *util.Rand)
+	// BindOp, when non-nil, takes precedence over Op: it is called once
+	// per worker at start and returns that worker's operation closure.
+	// Workloads whose operations need per-thread pre-bound state (e.g.
+	// bench7's op tables, which exist so the steady-state loop allocates
+	// nothing) bind it here instead of rebuilding it every call.
+	BindOp func(th stm.Thread, worker int, rng *util.Rand) func()
 	// Check, if non-nil, validates invariants after the run.
 	Check func(e stm.STM) error
 }
@@ -265,6 +287,10 @@ func measureThroughput(spec EngineSpec, w Workload, cfg measureCfg) (Result, err
 			defer wg.Done()
 			th := e.NewThread(worker + 1)
 			rng := util.NewRand(workerSeed(cfg.seed, worker))
+			op := func() { w.Op(th, worker, rng) }
+			if w.BindOp != nil {
+				op = w.BindOp(th, worker, rng)
+			}
 			var n uint64
 			for {
 				if cfg.fixedOps > 0 {
@@ -280,7 +306,7 @@ func measureThroughput(spec EngineSpec, w Workload, cfg measureCfg) (Result, err
 					default:
 					}
 				}
-				w.Op(th, worker, rng)
+				op()
 				n++
 			}
 			counts[worker] = n

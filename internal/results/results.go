@@ -46,6 +46,12 @@ type Record struct {
 	WaitsCM         uint64 `json:"waits_cm"`
 	LockAcquireFail uint64 `json:"lock_acquire_fail"`
 
+	// Abort delivery split (DESIGN.md §8): checked-return commit-path
+	// aborts vs panic/recover unwinds out of the user closure. Together
+	// they partition Aborts.
+	AbortsUnwound  uint64 `json:"aborts_unwound"`
+	AbortsReturned uint64 `json:"aborts_returned"`
+
 	// Hot-path instrumentation (DESIGN.md §7): read-log growth and
 	// validation extent, so read-set dedup wins are quantified in the
 	// results pipeline rather than only in benchstat.
@@ -69,6 +75,8 @@ func (r *Record) SetStats(s stm.Stats) {
 	r.AbortsExplicit = s.AbortsExplicit
 	r.WaitsCM = s.WaitsCM
 	r.LockAcquireFail = s.LockAcquireFail
+	r.AbortsUnwound = s.AbortsUnwound
+	r.AbortsReturned = s.AbortsReturned
 	r.ReadsLogged = s.ReadsLogged
 	r.ReadsDeduped = s.ReadsDeduped
 	r.Validations = s.Validations
@@ -82,6 +90,7 @@ var header = []string{
 	"seed", "duration_sec", "ops", "throughput",
 	"commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
 	"aborts_killed", "aborts_explicit", "waits_cm", "lock_acquire_fail",
+	"aborts_unwound", "aborts_returned",
 	"reads_logged", "reads_deduped", "validations", "validation_reads",
 	"abort_rate", "checked_ok",
 }
@@ -103,6 +112,8 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.AbortsExplicit, 10),
 		strconv.FormatUint(r.WaitsCM, 10),
 		strconv.FormatUint(r.LockAcquireFail, 10),
+		strconv.FormatUint(r.AbortsUnwound, 10),
+		strconv.FormatUint(r.AbortsReturned, 10),
 		strconv.FormatUint(r.ReadsLogged, 10),
 		strconv.FormatUint(r.ReadsDeduped, 10),
 		strconv.FormatUint(r.Validations, 10),
@@ -179,16 +190,17 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.AbortsLocked, rec.AbortsKilled = u64(row[14]), u64(row[15])
 		rec.AbortsExplicit, rec.WaitsCM = u64(row[16]), u64(row[17])
 		rec.LockAcquireFail = u64(row[18])
-		rec.ReadsLogged, rec.ReadsDeduped = u64(row[19]), u64(row[20])
-		rec.Validations, rec.ValidationReads = u64(row[21]), u64(row[22])
-		rec.AbortRate = f64(row[23])
-		switch row[24] {
+		rec.AbortsUnwound, rec.AbortsReturned = u64(row[19]), u64(row[20])
+		rec.ReadsLogged, rec.ReadsDeduped = u64(row[21]), u64(row[22])
+		rec.Validations, rec.ValidationReads = u64(row[23]), u64(row[24])
+		rec.AbortRate = f64(row[25])
+		switch row[26] {
 		case "true":
 			rec.CheckedOK = true
 		case "false":
 			rec.CheckedOK = false
 		default:
-			keep(fmt.Errorf("bad checked_ok value %q", row[24]))
+			keep(fmt.Errorf("bad checked_ok value %q", row[26]))
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
@@ -358,6 +370,15 @@ type BenchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"` // median across repeats
 	BytesPerOp  float64 `json:"bytes_per_op"`  // median across repeats
 	Repeats     int     `json:"repeats"`
+
+	// Abort-path profile (PR 4): how many rollbacks each operation
+	// caused and what one abort costs. NsPerAbort is NsPerOp scaled by
+	// the abort rate; on the forced-conflict workload (exactly one
+	// commit-time abort per op) it is directly the per-abort round trip,
+	// and the (unwind) engine variants price the old panic delivery
+	// against the checked return. Zero when the workload never aborts.
+	AbortsPerOp float64 `json:"aborts_per_op,omitempty"`
+	NsPerAbort  float64 `json:"ns_per_abort,omitempty"`
 }
 
 // WriteBenchJSON writes recs as one JSON document (an array), the

@@ -25,6 +25,7 @@ package rstm
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -69,11 +70,6 @@ func (m ReadMode) String() string {
 	return "visible"
 }
 
-// visSlots is the size of each object's visible-reader table. It bounds
-// the number of threads that may concurrently hold visible reads of one
-// object; the paper's experiments use at most 8 threads.
-const visSlots = 16
-
 // Config parameterizes an RSTM engine.
 type Config struct {
 	Acquire AcquireMode
@@ -83,6 +79,9 @@ type Config struct {
 	Manager cm.Manager
 	// BackoffUnit scales the post-abort randomized back-off.
 	BackoffUnit int
+	// UnwindAborts restores panic-delivered commit-time aborts; a
+	// measurement ablation only (see the field in package swisstm).
+	UnwindAborts bool
 }
 
 func (c *Config) fill() {
@@ -117,8 +116,14 @@ type locator struct {
 
 // object is one transactional object.
 type object struct {
-	loc     atomic.Pointer[locator]
-	readers *[visSlots]atomic.Pointer[attempt] // non-nil in visible-read mode
+	loc atomic.Pointer[locator]
+	// readers is the visible-reader bitmap: bit i set means thread i
+	// currently holds a visible read of this object. stm.MaxThreads (64)
+	// fits a word exactly, so writer-vs-reader arbitration is O(popcount)
+	// over the set bits — each resolved to an attempt through the
+	// engine's visible table — instead of the O(visSlots) pointer-slot
+	// scan this replaced, and reader registration is one atomic RMW.
+	readers atomic.Uint64
 }
 
 // chunking of the object table: chunkBits of index inside a chunk.
@@ -149,6 +154,44 @@ type Engine struct {
 	// engine.
 	_       mem.CacheLinePad
 	commits mem.PaddedUint64
+
+	// visible publishes each thread's in-flight attempt for the
+	// visible-read protocol: an object's reader bitmap names the thread,
+	// this table resolves it to the attempt a writer must arbitrate
+	// against. A writer that loads a bit may race a completing reader and
+	// find the thread's *next* attempt here; killing it causes a spurious
+	// retry of that transaction, never a safety violation (the same
+	// caveat as SwissTM's kill CAS under descriptor reuse). Slots are
+	// padded: each is stored by its own thread but polled by every
+	// acquiring writer.
+	visible [stm.MaxThreads]paddedAttemptPtr
+}
+
+// paddedAttemptPtr keeps per-thread visible-attempt slots on private
+// cache lines.
+type paddedAttemptPtr struct {
+	p atomic.Pointer[attempt]
+	_ [mem.CacheLine - 8]byte
+}
+
+// orBits sets mask bits in u; clearBits clears them. CAS loops because
+// the Go 1.22 toolchain predates atomic.Uint64.Or/And.
+func orBits(u *atomic.Uint64, mask uint64) {
+	for {
+		v := u.Load()
+		if v&mask == mask || u.CompareAndSwap(v, v|mask) {
+			return
+		}
+	}
+}
+
+func clearBits(u *atomic.Uint64, mask uint64) {
+	for {
+		v := u.Load()
+		if v&mask == 0 || u.CompareAndSwap(v, v&^mask) {
+			return
+		}
+	}
 }
 
 // New creates an RSTM engine.
@@ -194,9 +237,6 @@ func (e *Engine) newObject(nFields uint32) stm.Handle {
 	}
 	o := e.object(h)
 	o.loc.Store(&locator{new: make([]stm.Word, nFields)})
-	if e.cfg.Reads == Visible {
-		o.readers = new([visSlots]atomic.Pointer[attempt])
-	}
 	return h
 }
 
@@ -270,13 +310,14 @@ func (t *txn) Atomic(body func(stm.Tx)) {
 
 func (t *txn) begin(restart bool) {
 	// Reuse the attempt descriptor whenever the previous attempt never
-	// published it: locators and visible-reader slots are the only places
-	// other threads can obtain the pointer, so an unpublished descriptor
-	// is thread-private and resetting its status is invisible to everyone
-	// else. Invisible-read transactions that never wrote — the dominant
-	// case in read-heavy workloads — therefore run allocation-free in
-	// steady state. A published descriptor must stay frozen forever:
-	// stale locators keep resolving current data through its final status.
+	// published it: locators and the engine's visible table are the only
+	// places other threads can obtain the pointer, so an unpublished
+	// descriptor is thread-private and resetting its status is invisible
+	// to everyone else. Invisible-read transactions that never wrote —
+	// the dominant case in read-heavy workloads — therefore run
+	// allocation-free in steady state. A published descriptor must stay
+	// frozen forever: stale locators keep resolving current data through
+	// its final status.
 	if t.cur == nil || t.pub {
 		t.cur = &attempt{state: &t.state}
 		t.pub = false
@@ -291,10 +332,16 @@ func (t *txn) begin(restart bool) {
 	t.e.cfg.Manager.OnStart(&t.state, restart)
 }
 
+// attemptRun runs the body once and commits. Commit-path aborts arrive
+// as a checked false from commit(); only conflicts raised inside the
+// user closure (a ReadField/WriteField that cannot proceed, Restart)
+// unwind via the pre-allocated signal, recovered here in this single
+// frame.
 func (t *txn) attemptRun(body func(stm.Tx)) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, rb := r.(stm.RollbackSignal); rb {
+				t.stats.AbortsUnwound++
 				ok = false
 				return
 			}
@@ -304,50 +351,63 @@ func (t *txn) attemptRun(body func(stm.Tx)) (ok bool) {
 		}
 	}()
 	body(t)
-	t.commit()
-	return true
+	return t.commit()
 }
 
-func (t *txn) rollback(explicit bool) {
+// abort performs the rollback bookkeeping — freeze the attempt, drop
+// visible registrations, count the abort — without deciding the delivery
+// mechanism: callers either return a checked false up to the retry loop
+// or panic with the pre-allocated signal when user code must be
+// interrupted.
+func (t *txn) abort(explicit bool) {
 	t.cur.status.CompareAndSwap(statusActive, statusAborted)
 	t.dropVisible()
 	t.stats.Aborts++
 	if explicit {
 		t.stats.AbortsExplicit++
 	}
-	panic(stm.RollbackSignal{Explicit: explicit})
 }
 
-// Restart implements stm.Tx.
-func (t *txn) Restart() { t.rollback(true) }
+// Restart implements stm.Tx: a user-requested retry always unwinds.
+func (t *txn) Restart() {
+	t.abort(true)
+	panic(stm.SignalRestart)
+}
 
-func (t *txn) killedCheck() {
+// killedAbort reports (and records) a CM kill: true means the
+// transaction aborted and the caller must back out.
+func (t *txn) killedAbort() bool {
 	if t.cur.status.Load() == statusAborted {
 		t.stats.AbortsKilled++
-		t.rollback(false)
+		t.abort(false)
+		return true
 	}
+	return false
 }
 
 // resolveConflict runs the contention manager until the conflict with the
-// owner of loc clears. It returns when the attacker may retry the open
-// (the victim is gone or was aborted); it panics (rollback) when the
-// manager says the attacker dies.
-func (t *txn) resolveConflict(owner *attempt) {
+// owner of loc clears. It returns true when the attacker may retry the
+// open (the victim is gone or was aborted) and false when the manager
+// decided the attacker dies (the abort is already recorded).
+func (t *txn) resolveConflict(owner *attempt) bool {
 	for attemptNo := 0; ; attemptNo++ {
 		if owner.status.Load() != statusActive {
-			return // victim finished on its own
+			return true // victim finished on its own
 		}
 		switch t.e.cfg.Manager.Resolve(&t.state, owner.state, attemptNo) {
 		case cm.AbortSelf:
 			t.stats.AbortsWW++
-			t.rollback(false)
+			t.abort(false)
+			return false
 		case cm.AbortOther:
 			owner.status.CompareAndSwap(statusActive, statusAborted)
-			return
+			return true
 		case cm.Wait:
 			t.stats.WaitsCM++
 			t.e.cfg.Manager.WaitBackoff(t.rng, attemptNo)
-			t.killedCheck()
+			if t.killedAbort() {
+				return false
+			}
 		}
 	}
 }
@@ -365,12 +425,13 @@ func (e *Engine) stableEpoch() uint64 {
 }
 
 // maybeValidate brings the transaction's epoch up to date, revalidating
-// the read set whenever the epoch moved. It aborts on validation failure.
-func (t *txn) maybeValidate() {
+// the read set whenever the epoch moved. It reports false (abort
+// recorded) on validation failure.
+func (t *txn) maybeValidate() bool {
 	for {
 		cc := t.e.commits.Load()
 		if cc == t.lastCC {
-			return
+			return true
 		}
 		if cc&1 == 1 {
 			runtime.Gosched()
@@ -378,28 +439,32 @@ func (t *txn) maybeValidate() {
 		}
 		if !t.validate() {
 			t.stats.AbortsValid++
-			t.rollback(false)
+			t.abort(false)
+			return false
 		}
 		if t.e.commits.Load() != cc {
 			continue // a commit landed mid-validation; redo
 		}
 		t.lastCC = cc
-		return
+		return true
 	}
 }
 
-// openRead returns a consistent snapshot of the object's data for reading.
-func (t *txn) openRead(o *object) []stm.Word {
-	t.killedCheck()
+// openRead returns a consistent snapshot of the object's data for
+// reading; ok=false means the transaction aborted.
+func (t *txn) openRead(o *object) ([]stm.Word, bool) {
+	if t.killedAbort() {
+		return nil, false
+	}
 	// Read-after-write through the lazy buffer.
 	for i := range t.lazySet {
 		if t.lazySet[i].obj == o {
-			return t.lazySet[i].clone
+			return t.lazySet[i].clone, true
 		}
 	}
 	loc := o.loc.Load()
 	if loc.owner == t.cur {
-		return loc.new // our own acquired object
+		return loc.new, true // our own acquired object
 	}
 	if t.e.cfg.Reads == Visible {
 		return t.openReadVisible(o, loc)
@@ -408,7 +473,9 @@ func (t *txn) openRead(o *object) []stm.Word {
 	// active foreign owner does not conflict yet (its redo clone stays
 	// private until it commits).
 	for {
-		t.maybeValidate()
+		if !t.maybeValidate() {
+			return nil, false
+		}
 		cc := t.lastCC
 		loc = o.loc.Load()
 		data := current(loc)
@@ -416,55 +483,61 @@ func (t *txn) openRead(o *object) []stm.Word {
 			continue // a commit raced with the read; resample
 		}
 		t.readSet = append(t.readSet, readEntry{obj: o, data: data})
-		return data
+		return data, true
 	}
 }
 
-func (t *txn) openReadVisible(o *object, loc *locator) []stm.Word {
-	// Register in a reader slot first so a racing writer sees us.
-	if !t.registered(o) {
-		slot := -1
-		for i := 0; i < visSlots; i++ {
-			if o.readers[i].Load() == nil && o.readers[i].CompareAndSwap(nil, t.cur) {
-				t.pub = true
-				slot = i
-				break
-			}
+func (t *txn) openReadVisible(o *object, loc *locator) ([]stm.Word, bool) {
+	// Register in the object's reader bitmap first so a racing writer
+	// sees us. Publication order matters: the attempt pointer must be in
+	// the engine's visible table before our bit can appear, or a writer
+	// could resolve the bit to a stale attempt. The first registration of
+	// an attempt (empty visSet — bits are only set while in visSet)
+	// publishes; later ones reuse the slot.
+	bit := uint64(1) << uint(t.id)
+	if o.readers.Load()&bit == 0 {
+		if len(t.visSet) == 0 {
+			t.e.visible[t.id].p.Store(t.cur)
+			t.pub = true
 		}
-		if slot < 0 {
-			// No slot free: fall back to aborting ourselves; with the
-			// paper's thread counts (≤8) this cannot happen.
-			t.stats.AbortsLocked++
-			t.rollback(false)
-		}
+		orBits(&o.readers, bit)
 		t.visSet = append(t.visSet, o)
 	}
 	for {
 		loc = o.loc.Load()
 		if loc.owner == nil || loc.owner == t.cur ||
 			loc.owner.status.Load() != statusActive {
-			t.killedCheck() // a writer may have aborted us while registering
-			return current(loc)
+			if t.killedAbort() { // a writer may have aborted us while registering
+				return nil, false
+			}
+			return current(loc), true
 		}
 		// Read/write conflict with an active writer, detected eagerly
 		// because we are visible.
-		t.resolveConflict(loc.owner)
+		if !t.resolveConflict(loc.owner) {
+			return nil, false
+		}
 	}
 }
 
-// openWrite returns a writable clone of the object's data.
-func (t *txn) openWrite(o *object) []stm.Word {
-	t.killedCheck()
+// openWrite returns a writable clone of the object's data; ok=false
+// means the transaction aborted.
+func (t *txn) openWrite(o *object) ([]stm.Word, bool) {
+	if t.killedAbort() {
+		return nil, false
+	}
 	if t.e.cfg.Acquire == Lazy {
 		return t.openWriteLazy(o)
 	}
 	for {
 		loc := o.loc.Load()
 		if loc.owner == t.cur {
-			return loc.new
+			return loc.new, true
 		}
 		if loc.owner != nil && loc.owner.status.Load() == statusActive {
-			t.resolveConflict(loc.owner)
+			if !t.resolveConflict(loc.owner) {
+				return nil, false
+			}
 			continue
 		}
 		data := current(loc)
@@ -472,20 +545,29 @@ func (t *txn) openWrite(o *object) []stm.Word {
 		copy(clone, data)
 		if o.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: data, new: clone}) {
 			t.pub = true
-			t.afterAcquire(o)
+			if !t.afterAcquire(o) {
+				return nil, false
+			}
 			t.writeSet = append(t.writeSet, o)
-			return clone
+			return clone, true
 		}
 	}
 }
 
 // afterAcquire implements post-acquire duties shared by both modes:
-// aborting visible readers and CM/validation bookkeeping.
-func (t *txn) afterAcquire(o *object) {
+// aborting visible readers and CM/validation bookkeeping. It reports
+// false (abort recorded) when the manager decided the writer dies.
+func (t *txn) afterAcquire(o *object) bool {
 	t.e.cfg.Manager.OnOpen(&t.state)
-	if t.e.cfg.Reads == Visible && o.readers != nil {
-		for i := 0; i < visSlots; i++ {
-			r := o.readers[i].Load()
+	if t.e.cfg.Reads == Visible {
+		// Writer vs visible readers: walk the set bits of the reader
+		// bitmap (skipping our own) and resolve each through the visible
+		// table — O(popcount), not O(slots).
+		bm := o.readers.Load() &^ (uint64(1) << uint(t.id))
+		for bm != 0 {
+			i := bits.TrailingZeros64(bm)
+			bm &= bm - 1
+			r := t.e.visible[i].p.Load()
 			if r == nil || r == t.cur || r.status.Load() != statusActive {
 				continue
 			}
@@ -493,7 +575,8 @@ func (t *txn) afterAcquire(o *object) {
 			switch t.e.cfg.Manager.Resolve(&t.state, r.state, 0) {
 			case cm.AbortSelf:
 				t.stats.AbortsWW++
-				t.rollback(false)
+				t.abort(false)
+				return false
 			default:
 				// Both AbortOther and Wait kill the reader here: a waiting
 				// writer could deadlock against a reader waiting for us,
@@ -503,14 +586,15 @@ func (t *txn) afterAcquire(o *object) {
 		}
 	}
 	if t.e.cfg.Reads == Invisible {
-		t.maybeValidate()
+		return t.maybeValidate()
 	}
+	return true
 }
 
-func (t *txn) openWriteLazy(o *object) []stm.Word {
+func (t *txn) openWriteLazy(o *object) ([]stm.Word, bool) {
 	for i := range t.lazySet {
 		if t.lazySet[i].obj == o {
-			return t.lazySet[i].clone
+			return t.lazySet[i].clone, true
 		}
 	}
 	// Truly lazy: clone the current committed data without acquiring the
@@ -521,12 +605,15 @@ func (t *txn) openWriteLazy(o *object) []stm.Word {
 	// same snapshot discipline (stable epoch + read-set entry), or a
 	// transaction could buffer a clone from a newer snapshot than its
 	// earlier reads and act on the torn mix before any validation runs.
-	data := t.openRead(o)
+	data, ok := t.openRead(o)
+	if !ok {
+		return nil, false
+	}
 	clone := make([]stm.Word, len(data))
 	copy(clone, data)
 	t.lazySet = append(t.lazySet, lazyWrite{obj: o, base: data, clone: clone})
 	t.e.cfg.Manager.OnOpen(&t.state)
-	return clone
+	return clone, true
 }
 
 // validate re-checks every invisible read: the object's current data must
@@ -555,9 +642,26 @@ func (t *txn) validate() bool {
 	return true
 }
 
-// commit finishes the transaction.
-func (t *txn) commit() {
-	t.killedCheck()
+// commit finishes the transaction, reporting false when it aborted. All
+// aborts detected here — commit-time acquisition conflicts of the lazy
+// mode, read-set validation, CM kills landing at commit — take the
+// checked return path; the UnwindAborts ablation restores the old panic
+// delivery for A/B measurement.
+func (t *txn) commit() bool {
+	if t.commitInner() {
+		return true
+	}
+	if t.e.cfg.UnwindAborts {
+		panic(stm.SignalRollback)
+	}
+	t.stats.AbortsReturned++
+	return false
+}
+
+func (t *txn) commitInner() bool {
+	if t.killedAbort() {
+		return false
+	}
 	// Lazy mode: acquire everything now (commit-time W/W detection).
 	for i := range t.lazySet {
 		lw := &t.lazySet[i]
@@ -568,7 +672,9 @@ func (t *txn) commit() {
 			}
 			if loc.owner != nil && loc.owner.status.Load() == statusActive {
 				// Never steal from an active owner: arbitrate first.
-				t.resolveConflict(loc.owner)
+				if !t.resolveConflict(loc.owner) {
+					return false
+				}
 				continue
 			}
 			cur := current(loc)
@@ -576,11 +682,14 @@ func (t *txn) commit() {
 				// Someone committed a new version since we cloned:
 				// our buffered update is stale.
 				t.stats.LockAcquireFail++
-				t.rollback(false)
+				t.abort(false)
+				return false
 			}
 			if lw.obj.loc.CompareAndSwap(loc, &locator{owner: t.cur, old: cur, new: lw.clone}) {
 				t.pub = true
-				t.afterAcquire(lw.obj)
+				if !t.afterAcquire(lw.obj) {
+					return false
+				}
 				break
 			}
 		}
@@ -589,15 +698,18 @@ func (t *txn) commit() {
 	if !writer {
 		// Read-only: validate under a stable epoch and finish.
 		if t.e.cfg.Reads == Invisible && len(t.readSet) > 0 {
-			t.maybeValidate()
+			if !t.maybeValidate() {
+				return false
+			}
 		}
 		if !t.cur.status.CompareAndSwap(statusActive, statusCommitted) {
 			t.stats.AbortsKilled++
-			t.rollback(false)
+			t.abort(false)
+			return false
 		}
 		t.dropVisible()
 		t.stats.Commits++
-		return
+		return true
 	}
 	// Writer: enter the flip section (counter even→odd), validate, flip,
 	// leave (odd→even). The section makes the visibility change atomic
@@ -617,45 +729,50 @@ func (t *txn) commit() {
 	t.e.commits.Add(1) // leave the flip section (back to even)
 	if !ok {
 		t.stats.AbortsValid++
-		t.rollback(false)
+		t.abort(false)
+		return false
 	}
 	if !flipped {
 		t.stats.AbortsKilled++
-		t.rollback(false)
+		t.abort(false)
+		return false
 	}
 	t.dropVisible()
 	t.stats.Commits++
+	return true
 }
 
-// dropVisible clears our visible-reader registrations.
+// dropVisible clears our visible-reader registrations: one bit per
+// registered object.
 func (t *txn) dropVisible() {
+	if len(t.visSet) == 0 {
+		return
+	}
+	bit := uint64(1) << uint(t.id)
 	for _, o := range t.visSet {
-		for i := 0; i < visSlots; i++ {
-			if o.readers[i].Load() == t.cur {
-				o.readers[i].Store(nil)
-			}
-		}
+		clearBits(&o.readers, bit)
 	}
 	t.visSet = t.visSet[:0]
 }
 
-func (t *txn) registered(o *object) bool {
-	for _, v := range t.visSet {
-		if v == o {
-			return true
-		}
-	}
-	return false
-}
-
-// ReadField implements stm.Tx.
+// ReadField implements stm.Tx. A read that cannot proceed must interrupt
+// the user closure, so this thin wrapper converts openRead's checked
+// abort into the single unwinding panic.
 func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
-	return t.openRead(t.e.object(h))[field]
+	data, ok := t.openRead(t.e.object(h))
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return data[field]
 }
 
 // WriteField implements stm.Tx.
 func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
-	t.openWrite(t.e.object(h))[field] = v
+	data, ok := t.openWrite(t.e.object(h))
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	data[field] = v
 }
 
 // NewObject implements stm.Tx.

@@ -91,6 +91,14 @@ type Stats struct {
 	WaitsCM         uint64 // times the CM told the attacker to wait
 	LockAcquireFail uint64 // commit-time lock acquisition failures (lazy engines)
 
+	// Abort delivery split (DESIGN.md §8): every abort reaches the Atomic
+	// retry loop either as a checked return from the commit path (cheap)
+	// or by unwinding the user closure via panic/recover (~µs). The two
+	// counters partition Aborts exactly: Aborts == AbortsUnwound +
+	// AbortsReturned, which the abort-path tests assert per engine.
+	AbortsUnwound  uint64 // aborts delivered by panic/recover (mid-body conflicts, Restart)
+	AbortsReturned uint64 // aborts delivered as checked returns (commit-path conflicts)
+
 	// Hot-path instrumentation (DESIGN.md §7): how long read logs get and
 	// how much work validation does, so the read-set dedup win is visible
 	// in the structured results, not only in benchstat.
@@ -111,6 +119,8 @@ func (s *Stats) Add(other Stats) {
 	s.AbortsExplicit += other.AbortsExplicit
 	s.WaitsCM += other.WaitsCM
 	s.LockAcquireFail += other.LockAcquireFail
+	s.AbortsUnwound += other.AbortsUnwound
+	s.AbortsReturned += other.AbortsReturned
 	s.ReadsLogged += other.ReadsLogged
 	s.ReadsDeduped += other.ReadsDeduped
 	s.Validations += other.Validations
@@ -130,10 +140,27 @@ func (s *Stats) AbortRate() float64 {
 // RollbackSignal is the panic payload engines use to unwind an aborted
 // transaction to its Atomic retry loop. It is exported so that engine
 // packages share one signal type; user code should never see it.
+//
+// Since the panic-free abort refactor (DESIGN.md §8) the unwind is
+// reserved for the single case that must interrupt user code mid-body: a
+// conflict detected inside the user closure (a read or eager write that
+// cannot proceed) and user-requested Restart. Conflicts detected on the
+// commit path — after the closure has returned — are delivered to the
+// retry loop as checked returns and never cross a recover.
 type RollbackSignal struct {
 	// Explicit marks a user-requested restart (Tx.Restart).
 	Explicit bool
 }
+
+// SignalRollback and SignalRestart are the pre-allocated, pre-boxed panic
+// payloads for the two unwind cases. Engines panic with these shared
+// values rather than a fresh RollbackSignal{} so the abort path performs
+// no interface boxing; the recover site type-asserts RollbackSignal as
+// before.
+var (
+	SignalRollback any = RollbackSignal{}
+	SignalRestart  any = RollbackSignal{Explicit: true}
+)
 
 // ErrWordAPI is the panic message RSTM raises when the word API is used.
 const ErrWordAPI = "stm: engine is object-based; word API not supported (see DESIGN.md §3.1)"

@@ -78,3 +78,18 @@ func ZeroAllocSteadyState(t *testing.T, e stm.STM, wordAPI, updates bool) {
 		}
 	}
 }
+
+// ZeroAllocLoop extends the steady-state gate to whole benchmark
+// operation loops (bench7's pre-bound op tables, for instance): after
+// `warm` warm-up calls, `op` must allocate nothing per call. It shares
+// ZeroAllocSteadyState's philosophy — warm the per-thread structures
+// first, then hold the hot loop to exactly zero.
+func ZeroAllocLoop(t *testing.T, name string, warm int, op func()) {
+	t.Helper()
+	for i := 0; i < warm; i++ {
+		op()
+	}
+	if n := testing.AllocsPerRun(200, op); n != 0 {
+		t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, n)
+	}
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// BackoffUnit is the spin budget multiplied by the successive-abort
 	// count when backing off.
 	BackoffUnit int
+	// UnwindAborts restores the pre-refactor abort delivery: commit-time
+	// conflicts unwind via panic/recover instead of returning through the
+	// checked path (DESIGN.md §8). It exists purely as a measurement
+	// ablation — the abort-path microbenchmark runs each engine with and
+	// without it to price the panic — and must stay off otherwise.
+	UnwindAborts bool
 	// PrivatizationSafe enables the quiescence scheme sketched in the
 	// paper's §6: every committing update transaction waits until all
 	// transactions that started before its commit have validated,
@@ -310,12 +316,16 @@ func (e *Engine) quiesce(self int, ts uint64) {
 	}
 }
 
-// attempt runs the body once, committing at the end. It reports false when
-// the transaction rolled back (signalled by a RollbackSignal panic).
+// attempt runs the body once, committing at the end. It reports false
+// when the transaction rolled back. Commit-path aborts arrive as a
+// checked false from commit(); only conflicts raised inside the user
+// closure (and Restart) unwind via the pre-allocated signal, recovered
+// here in this single frame.
 func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, rb := r.(stm.RollbackSignal); rb {
+				t.stats.AbortsUnwound++
 				ok = false
 				return
 			}
@@ -327,8 +337,7 @@ func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 		}
 	}()
 	body(t)
-	t.commit()
-	return true
+	return t.commit()
 }
 
 // begin is Algorithm 1's start: snapshot the commit counter, then
@@ -357,11 +366,24 @@ func (t *txn) begin(restart bool) {
 
 func (t *txn) killed() bool { return t.status.Load() != 0 }
 
-// Load implements Algorithm 1's read-word.
+// Load implements stm.Tx. A read that cannot proceed must interrupt the
+// user closure, so this thin wrapper converts load's checked abort into
+// the single unwinding panic (the pre-allocated signal).
 func (t *txn) Load(a stm.Addr) stm.Word {
+	v, ok := t.load(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// load implements Algorithm 1's read-word. ok=false means the
+// transaction aborted (bookkeeping already done by abort()).
+func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	if t.killed() {
 		t.stats.AbortsKilled++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
 	// Index the lock table through a local slice header masked by its own
 	// length: the compiler proves the access in bounds (no check) and the
@@ -378,9 +400,9 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 			// (line 6). Unwritten words of an owned stripe are stable in
 			// memory because we hold the w-lock.
 			if v, ok := we.get(a); ok {
-				return v
+				return v, true
 			}
-			return t.e.heap[a].Load()
+			return t.e.heap[a].Load(), true
 		}
 	}
 	// Consistent double-read of r-lock around the data word (lines 8-15).
@@ -395,7 +417,8 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 			if spin&0x3f == 0x3f {
 				if t.killed() {
 					t.stats.AbortsKilled++
-					t.rollback()
+					t.abort()
+					return 0, false
 				}
 				runtime.Gosched()
 			}
@@ -419,58 +442,74 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 	if n := len(t.readLog); n != 0 && t.readLog[n-1].lockIdx == idx {
 		if t.readLog[n-1].rlock == v1 {
 			t.stats.ReadsDeduped++
-			return val
+			return val, true
 		}
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
 	if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
 		if t.readLog[pos].rlock == v1 {
 			t.stats.ReadsDeduped++
-			return val
+			return val, true
 		}
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
 	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
 	if v1>>1 > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
-	return val
+	return val, true
 }
 
-// Store implements Algorithm 1's write-word: eager w-lock acquisition
-// (write/write conflicts surface immediately), redo-log buffering
-// (read/write conflicts stay invisible until commit).
+// Store implements stm.Tx; like Load it converts store's checked abort
+// into the unwinding signal, since an eager write conflict interrupts
+// the user closure.
 func (t *txn) Store(a stm.Addr, v stm.Word) {
+	if !t.store(a, v) {
+		panic(stm.SignalRollback)
+	}
+}
+
+// store implements Algorithm 1's write-word: eager w-lock acquisition
+// (write/write conflicts surface immediately), redo-log buffering
+// (read/write conflicts stay invisible until commit). ok=false means the
+// transaction aborted.
+func (t *txn) store(a stm.Addr, v stm.Word) bool {
 	if t.killed() {
 		t.stats.AbortsKilled++
-		t.rollback()
+		t.abort()
+		return false
 	}
 	idx := t.e.stripe(a)
 	wl := &t.e.wlocks[idx]
 	if we := wl.Load(); we != nil && we.owner.Load() == t {
 		we.set(a, v)
-		return
+		return true
 	}
 	for spin := 0; ; spin++ {
 		we := wl.Load()
 		if we != nil {
 			if we.owner.Load() == t {
 				we.set(a, v)
-				return
+				return true
 			}
 			// Write/write conflict: ask the contention manager
 			// (Algorithm 1 line 26).
 			if t.cmShouldAbort(we.owner.Load()) {
 				t.stats.AbortsWW++
-				t.rollback()
+				t.abort()
+				return false
 			}
 			// CM said wait for the owner to finish.
 			if t.killed() {
 				t.stats.AbortsKilled++
-				t.rollback()
+				t.abort()
+				return false
 			}
 			if spin&0x3f == 0x3f {
 				runtime.Gosched()
@@ -489,21 +528,25 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 	// we must revalidate before continuing.
 	if rv := t.e.rlocks[idx].Load(); rv != rLocked && rv>>1 > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return false
 	}
 	t.cmOnWrite()
+	return true
 }
 
-// commit implements Algorithm 1's commit.
-func (t *txn) commit() {
+// commit implements Algorithm 1's commit. It reports false when the
+// transaction aborted; commit-time conflicts take the checked return
+// path and never unwind (DESIGN.md §8).
+func (t *txn) commit() bool {
 	if t.killed() {
 		t.stats.AbortsKilled++
-		t.rollback()
+		return t.commitAbort()
 	}
 	if len(t.writeLog) == 0 { // read-only fast path (line 35)
 		t.stats.Commits++
 		t.stats.ReadsLogged += uint64(len(t.readLog))
-		return
+		return true
 	}
 	// Lock the r-locks of all written stripes so readers cannot observe a
 	// partially written state.
@@ -518,7 +561,7 @@ func (t *txn) commit() {
 			t.e.rlocks[we.lockIdx].Store(we.savedRLock)
 		}
 		t.stats.AbortsValid++
-		t.rollback()
+		return t.commitAbort()
 	}
 	newRLock := ts << 1
 	for _, we := range t.writeLog {
@@ -539,6 +582,7 @@ func (t *txn) commit() {
 	}
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	return true
 }
 
 // validate re-checks every read-log entry (Algorithm 1 lines 50-53).
@@ -578,12 +622,26 @@ func (t *txn) extend() bool {
 	return false
 }
 
-// rollback releases write locks and unwinds to the Atomic retry loop.
-func (t *txn) rollback() {
+// abort performs the rollback bookkeeping — release write locks, count
+// the abort — without deciding the delivery mechanism: callers either
+// return a checked false up to the retry loop or panic with the
+// pre-allocated signal when user code must be interrupted.
+func (t *txn) abort() {
 	t.releaseWLocks()
 	t.stats.Aborts++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{})
+}
+
+// commitAbort delivers a commit-time abort as a checked return. The
+// UnwindAborts ablation restores the old panic delivery so the abort-path
+// microbenchmark can price the difference.
+func (t *txn) commitAbort() bool {
+	t.abort()
+	if t.e.cfg.UnwindAborts {
+		panic(stm.SignalRollback)
+	}
+	t.stats.AbortsReturned++
+	return false
 }
 
 func (t *txn) releaseWLocks() {
@@ -593,13 +651,12 @@ func (t *txn) releaseWLocks() {
 	t.writeLog = t.writeLog[:0]
 }
 
-// Restart implements stm.Tx.
+// Restart implements stm.Tx: a user-requested retry always unwinds (it
+// must escape the user closure).
 func (t *txn) Restart() {
-	t.releaseWLocks()
-	t.stats.Aborts++
+	t.abort()
 	t.stats.AbortsExplicit++
-	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{Explicit: true})
+	panic(stm.SignalRestart)
 }
 
 // cmShouldAbort is Algorithm 2's cm-should-abort: true means the attacker

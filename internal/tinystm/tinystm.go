@@ -38,6 +38,9 @@ type Config struct {
 	StripeWords int
 	TableBits   uint
 	BackoffUnit int
+	// UnwindAborts restores panic-delivered commit-time aborts; a
+	// measurement ablation only (see the field in package swisstm).
+	UnwindAborts bool
 }
 
 func (c *Config) fill() {
@@ -185,10 +188,15 @@ func (t *txn) begin() {
 	t.rc.Reset()
 }
 
+// attempt runs the body once and commits. Commit-path aborts arrive as
+// a checked false from commit(); only conflicts raised inside the user
+// closure (and Restart) unwind via the pre-allocated signal, recovered
+// here in this single frame.
 func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, rb := r.(stm.RollbackSignal); rb {
+				t.stats.AbortsUnwound++
 				ok = false
 				return
 			}
@@ -197,24 +205,33 @@ func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 		}
 	}()
 	body(t)
-	t.commit()
-	return true
+	return t.commit()
 }
 
-func (t *txn) rollback() {
+// abort performs the rollback bookkeeping without deciding the delivery
+// mechanism (checked return vs unwinding panic); see package swisstm.
+func (t *txn) abort() {
 	t.releaseOwned()
 	t.stats.Aborts++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{})
 }
 
-// Restart implements stm.Tx.
+// commitAbort delivers a commit-time abort as a checked return (or the
+// old panic under the UnwindAborts ablation).
+func (t *txn) commitAbort() bool {
+	t.abort()
+	if t.e.cfg.UnwindAborts {
+		panic(stm.SignalRollback)
+	}
+	t.stats.AbortsReturned++
+	return false
+}
+
+// Restart implements stm.Tx: a user-requested retry always unwinds.
 func (t *txn) Restart() {
-	t.releaseOwned()
-	t.stats.Aborts++
+	t.abort()
 	t.stats.AbortsExplicit++
-	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{Explicit: true})
+	panic(stm.SignalRestart)
 }
 
 func (t *txn) releaseOwned() {
@@ -224,10 +241,22 @@ func (t *txn) releaseOwned() {
 	t.writeLog = t.writeLog[:0]
 }
 
-// Load implements the TinySTM read protocol: encounter-time lock check
-// (abort if locked by another), consistent version/value sample, timestamp
-// extension when the version is newer than the snapshot.
+// Load implements stm.Tx: the thin wrapper that converts load's checked
+// abort into the single unwinding panic (a read conflict must interrupt
+// the user closure).
 func (t *txn) Load(a stm.Addr) stm.Word {
+	v, ok := t.load(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// load implements the TinySTM read protocol: encounter-time lock check
+// (abort if locked by another), consistent version/value sample, timestamp
+// extension when the version is newer than the snapshot. ok=false means
+// the transaction aborted.
+func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	// Local slice header + length mask: provably in-bounds (no check),
 	// one engine dereference.
 	vers := t.e.vers
@@ -239,14 +268,15 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 		if we := own.Load(); we != nil {
 			if we.owner.Load() == t {
 				if v, ok := we.get(a); ok {
-					return v
+					return v, true
 				}
-				return t.e.heap[a].Load()
+				return t.e.heap[a].Load(), true
 			}
 			// Encounter-time locking: a reader hitting a foreign lock
 			// aborts at once (timid CM).
 			t.stats.AbortsLocked++
-			t.rollback()
+			t.abort()
+			return 0, false
 		}
 		v1 := ver.Load()
 		val := t.e.heap[a].Load()
@@ -266,30 +296,42 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 		if n := len(t.readLog); n != 0 && t.readLog[n-1].idx == idx {
 			if t.readLog[n-1].ver == v1 {
 				t.stats.ReadsDeduped++
-				return val
+				return val, true
 			}
 			t.stats.AbortsValid++
-			t.rollback()
+			t.abort()
+			return 0, false
 		}
 		if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
 			if t.readLog[pos].ver == v1 {
 				t.stats.ReadsDeduped++
-				return val
+				return val, true
 			}
 			t.stats.AbortsValid++
-			t.rollback()
+			t.abort()
+			return 0, false
 		}
 		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
 		if v1 > t.validTS && !t.extend() {
 			t.stats.AbortsValid++
-			t.rollback()
+			t.abort()
+			return 0, false
 		}
-		return val
+		return val, true
 	}
 }
 
-// Store implements encounter-time lock acquisition with redo logging.
+// Store implements stm.Tx; an eager write conflict interrupts the user
+// closure via the unwinding signal.
 func (t *txn) Store(a stm.Addr, v stm.Word) {
+	if !t.store(a, v) {
+		panic(stm.SignalRollback)
+	}
+}
+
+// store implements encounter-time lock acquisition with redo logging.
+// ok=false means the transaction aborted.
+func (t *txn) store(a stm.Addr, v stm.Word) bool {
 	idx := t.e.stripeIdx(a)
 	own := &t.e.owners[idx]
 	for {
@@ -297,11 +339,12 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 		if we != nil {
 			if we.owner.Load() == t {
 				we.set(a, v)
-				return
+				return true
 			}
 			// Write/write conflict: timid — abort self.
 			t.stats.AbortsWW++
-			t.rollback()
+			t.abort()
+			return false
 		}
 		entry := t.newEntry(idx, t.e.stripeBase(a))
 		entry.set(a, v)
@@ -313,21 +356,25 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 	}
 	if ver := t.e.vers[idx].Load(); ver > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return false
 	}
+	return true
 }
 
-// commit writes back the redo log under the encounter-time locks.
-func (t *txn) commit() {
+// commit writes back the redo log under the encounter-time locks. It
+// reports false when the transaction aborted; commit-time validation
+// failures take the checked return path and never unwind.
+func (t *txn) commit() bool {
 	if len(t.writeLog) == 0 {
 		t.stats.Commits++
 		t.stats.ReadsLogged += uint64(len(t.readLog))
-		return
+		return true
 	}
 	ts := t.e.clock.Add(1)
 	if ts > t.validTS+1 && !t.validate() {
 		t.stats.AbortsValid++
-		t.rollback()
+		return t.commitAbort()
 	}
 	for _, we := range t.writeLog {
 		m := we.mask
@@ -345,6 +392,7 @@ func (t *txn) commit() {
 	t.writeLog = t.writeLog[:0] // ownership transferred; nothing to release
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	return true
 }
 
 func (t *txn) validate() bool {

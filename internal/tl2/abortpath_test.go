@@ -1,0 +1,23 @@
+package tl2
+
+import (
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/stm/stmtest"
+)
+
+// TestAbortPath runs the two-tier abort-delivery conformance suite
+// (DESIGN.md §8). TL2 is the engine where the checked tier covers the
+// most ground: lazy acquisition defers every write/write conflict to
+// commit, so both lock-acquire failures and commit validation return
+// without unwinding; only read aborts (no extension mechanism) and
+// Restart panic.
+func TestAbortPath(t *testing.T) {
+	mk := func(unwind bool) func() stm.STM {
+		return func() stm.STM {
+			return New(Config{ArenaWords: 1 << 16, TableBits: 10, BackoffUnit: 1, UnwindAborts: unwind})
+		}
+	}
+	stmtest.AbortPathSuite(t, mk(false), mk(true), stmtest.ShapeLockAcquire)
+}

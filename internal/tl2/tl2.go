@@ -45,6 +45,9 @@ type Config struct {
 	// before giving up and aborting (the original aborts immediately; a
 	// tiny bounded spin reduces convoying on oversubscribed hosts).
 	CommitSpin int
+	// UnwindAborts restores panic-delivered commit-time aborts; a
+	// measurement ablation only (see the field in package swisstm).
+	UnwindAborts bool
 }
 
 func (c *Config) fill() {
@@ -176,10 +179,16 @@ func (t *txn) begin() {
 	t.bloom = 0
 }
 
+// attempt runs the body once and commits. TL2's lazy design makes this
+// split especially clean: writes never conflict mid-body, so the entire
+// write/write arbitration happens in commit() and is delivered as a
+// checked return. Only read conflicts (TL2 has no extension mechanism)
+// and Restart unwind, recovered here in this single frame.
 func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, rb := r.(stm.RollbackSignal); rb {
+				t.stats.AbortsUnwound++
 				ok = false
 				return
 			}
@@ -187,34 +196,56 @@ func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
 		}
 	}()
 	body(t)
-	t.commit()
-	return true
+	return t.commit()
 }
 
-func (t *txn) rollback() {
+// abort performs the rollback bookkeeping without deciding the delivery
+// mechanism (checked return vs unwinding panic); see package swisstm.
+func (t *txn) abort() {
 	t.stats.Aborts++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{})
 }
 
-// Restart implements stm.Tx.
+// commitAbort delivers a commit-time abort as a checked return (or the
+// old panic under the UnwindAborts ablation).
+func (t *txn) commitAbort() bool {
+	t.abort()
+	if t.e.cfg.UnwindAborts {
+		panic(stm.SignalRollback)
+	}
+	t.stats.AbortsReturned++
+	return false
+}
+
+// Restart implements stm.Tx: a user-requested retry always unwinds.
 func (t *txn) Restart() {
-	t.stats.Aborts++
+	t.abort()
 	t.stats.AbortsExplicit++
-	t.stats.ReadsLogged += uint64(len(t.readLog))
-	panic(stm.RollbackSignal{Explicit: true})
+	panic(stm.SignalRestart)
 }
 
 func bloomBit(a stm.Addr) uint64 { return 1 << ((uint64(a) * 0x9e3779b97f4a7c15) >> 58) }
 
-// Load implements the TL2 read protocol: write-set lookup for
-// read-after-write, then a consistent (lock, value, lock) sample that must
-// be unlocked and no newer than rv.
+// Load implements stm.Tx: the thin wrapper that converts load's checked
+// abort into the single unwinding panic (a read conflict must interrupt
+// the user closure).
 func (t *txn) Load(a stm.Addr) stm.Word {
+	v, ok := t.load(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// load implements the TL2 read protocol: write-set lookup for
+// read-after-write, then a consistent (lock, value, lock) sample that must
+// be unlocked and no newer than rv. ok=false means the transaction
+// aborted.
+func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	if t.bloom&bloomBit(a) != 0 {
 		for i := len(t.writes) - 1; i >= 0; i-- {
 			if t.writes[i].addr == a {
-				return t.writes[i].val
+				return t.writes[i].val, true
 			}
 		}
 	}
@@ -230,16 +261,18 @@ func (t *txn) Load(a stm.Addr) stm.Word {
 	if v1 != v2 || v1&1 == 1 {
 		// Locked or changed under us: the timid policy aborts the reader.
 		t.stats.AbortsLocked++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
 	if v1>>1 > t.rv {
 		// Newer than our snapshot; TL2 has no extension mechanism.
 		t.stats.AbortsValid++
-		t.rollback()
+		t.abort()
+		return 0, false
 	}
 	t.readLog = append(t.readLog, idx)
 	t.readVer = append(t.readVer, v1)
-	return val
+	return val, true
 }
 
 // Store implements stm.Tx: lazy buffering, no locks taken.
@@ -257,12 +290,15 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 	t.writes = append(t.writes, wsEntry{addr: a, val: v})
 }
 
-// commit implements the TL2 commit protocol.
-func (t *txn) commit() {
+// commit implements the TL2 commit protocol. It reports false when the
+// transaction aborted; every conflict TL2 detects here — lock-acquire
+// failures and read-set validation — takes the checked return path and
+// never unwinds.
+func (t *txn) commit() bool {
 	if len(t.writes) == 0 {
 		t.stats.Commits++ // read-only: already validated incrementally
 		t.stats.ReadsLogged += uint64(len(t.readLog))
-		return
+		return true
 	}
 	// Collect the distinct stripes of the write set, in a canonical order
 	// so concurrent committers cannot deadlock. sortLockSet is
@@ -313,7 +349,7 @@ func (t *txn) commit() {
 		if !ok {
 			t.releaseLocks(acquired)
 			t.stats.LockAcquireFail++
-			t.rollback()
+			return t.commitAbort()
 		}
 		acquired++
 	}
@@ -331,12 +367,12 @@ func (t *txn) commit() {
 				}
 				t.releaseLocks(acquired)
 				t.stats.AbortsValid++
-				t.rollback()
+				return t.commitAbort()
 			}
 			if v != t.readVer[i] {
 				t.releaseLocks(acquired)
 				t.stats.AbortsValid++
-				t.rollback()
+				return t.commitAbort()
 			}
 		}
 	}
@@ -350,6 +386,7 @@ func (t *txn) commit() {
 	}
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	return true
 }
 
 // savedLock records a stripe's pre-lock version for restoration if the
