@@ -10,7 +10,7 @@ RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rst
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-examples fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -37,14 +37,14 @@ bench:
 # aborts/op, including the forced-conflict abort tier) of the core
 # engine micro-benchmarks and writes the machine-readable perf artifact
 # CI accumulates (non-gating; see DESIGN.md §7–§8).
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # bench-compare diffs two bench-json artifacts per engine/workload:
-#   make bench-compare BENCH_OLD=BENCH_PR3.json BENCH_NEW=BENCH_PR4.json
-BENCH_OLD ?= BENCH_PR3.json
-BENCH_NEW ?= BENCH_PR4.json
+#   make bench-compare BENCH_OLD=BENCH_PR4.json BENCH_NEW=BENCH_PR5.json
+BENCH_OLD ?= BENCH_PR4.json
+BENCH_NEW ?= BENCH_PR5.json
 bench-compare:
 	$(GO) run ./cmd/benchcompare $(BENCH_OLD) $(BENCH_NEW)
 
@@ -77,4 +77,17 @@ smoke-txkv:
 	fi
 	@echo "smoke-txkv OK: all engines, all mixes, oracles green"
 
-ci: fmt vet build test race smoke smoke-txkv
+# smoke-examples builds and runs every examples/ program to completion.
+# The examples are the public face of the transaction API; running them
+# in CI means the API surface they exercise (value-returning Atomic,
+# AtomicErr, AtomicRO, typed handles) cannot silently rot. Each example
+# self-checks its invariant and panics on violation, so a non-zero exit
+# fails the gate.
+smoke-examples:
+	@for d in examples/*/; do \
+		echo "running $$d"; \
+		$(GO) run ./$$d || exit 1; \
+	done
+	@echo "smoke-examples OK: all examples ran and self-checked"
+
+ci: fmt vet build test race smoke smoke-txkv smoke-examples

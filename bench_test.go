@@ -130,18 +130,18 @@ func rbOp(b *testing.B, spec harness.EngineSpec, keyRange, updPct int) {
 	rng := util.NewRand(3)
 	for i := 0; i < keyRange/2; i++ {
 		k := stm.Word(rng.Intn(keyRange) + 1)
-		th0.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+		stm.AtomicVoid(th0, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 	}
 	benchParallelOp(b, e, func(th stm.Thread, r *util.Rand) {
 		k := stm.Word(r.Intn(keyRange) + 1)
 		c := r.Intn(100)
 		switch {
 		case c < updPct/2:
-			th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+			stm.Atomic(th, func(tx stm.Tx) bool { return tree.Insert(tx, k, k) })
 		case c < updPct:
-			th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+			stm.Atomic(th, func(tx stm.Tx) bool { return tree.Delete(tx, k) })
 		default:
-			th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+			stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { v, _ := tree.Lookup(tx, k); return v })
 		}
 	})
 }
@@ -317,14 +317,14 @@ func BenchmarkPrivatizationAblation(b *testing.B) {
 			rng := util.NewRand(3)
 			for i := 0; i < 2048; i++ {
 				k := stm.Word(rng.Intn(4096) + 1)
-				th0.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				stm.AtomicVoid(th0, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 			}
 			benchParallelOp(b, e, func(th stm.Thread, r *util.Rand) {
 				k := stm.Word(r.Intn(4096) + 1)
 				if r.Intn(100) < 20 {
-					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 				} else {
-					th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { tree.Lookup(tx, k) })
 				}
 			})
 		})

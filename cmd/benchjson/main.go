@@ -1,8 +1,8 @@
 // Command benchjson measures the per-operation hot-path cost (ns/op,
 // allocs/op) of the core engine micro-benchmarks — rbtree lookup-heavy,
-// STMBench7 read-dominated, txkv read-heavy, plus the PR 4 abort tier —
-// on every engine, and emits a machine-readable JSON artifact through
-// internal/results. CI runs it non-gating (`make bench-json`) so the
+// STMBench7 read-dominated, txkv read-heavy, the PR 4 abort tier, plus
+// the PR 5 ro-fastpath tier — on every engine, and emits a
+// machine-readable JSON artifact through internal/results. CI runs it non-gating (`make bench-json`) so the
 // perf trajectory accumulates one BENCH_PR<n>.json per change; compare
 // two artifacts with `make bench-compare` (or benchstat two
 // `go test -bench` runs, README § Performance) to price a PR.
@@ -20,6 +20,12 @@
 //     lands mid-body), reporting the realistic aborts_per_op blend of
 //     unwound and returned deliveries.
 //
+// The ro-fastpath tier prices the declared read-only mode of the v2 API
+// (DESIGN.md §9): each engine runs the 100%-read txkv stream and the
+// 100%-read-only STMBench7 mix twice — once through stm.AtomicRO (the
+// declared fast path) and once through plain stm.Atomic (the "(plain)"
+// twin) — so the artifact holds the ablation pair side by side.
+//
 // Measurements run single-goroutine via testing.Benchmark: the point is
 // per-access overhead — the quantity the paper's §3 design choices
 // minimize — not parallel scalability, which the figure experiments and
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
 	"swisstm/internal/bench7"
@@ -46,7 +53,7 @@ import (
 )
 
 var (
-	out     = flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out     = flag.String("out", "BENCH_PR5.json", "output JSON path")
 	repeats = flag.Int("repeats", 5, "repeats per benchmark (median reported)")
 	benchMs = flag.Int("benchms", 300, "target measurement time per repeat, milliseconds")
 )
@@ -80,6 +87,26 @@ func abortEngines() []harness.EngineSpec {
 	return specs
 }
 
+// roEngines pairs each engine with a plain-Atomic twin: the "(plain)"
+// label routes the same read-only operation stream through the
+// read-write machinery, so one artifact prices the declared read-only
+// mode (DESIGN.md §9.3) per engine.
+func roEngines() []harness.EngineSpec {
+	specs := make([]harness.EngineSpec, 0, 8)
+	for _, s := range defaultEngines {
+		specs = append(specs, s)
+		plain := s
+		plain.Label = s.DisplayName() + "(plain)"
+		specs = append(specs, plain)
+	}
+	return specs
+}
+
+// plainTwin reports whether spec is a ro-fastpath plain-Atomic twin.
+func plainTwin(spec harness.EngineSpec) bool {
+	return strings.HasSuffix(spec.DisplayName(), "(plain)")
+}
+
 // abortShape maps an engine kind to the commit-time conflict class its
 // design detects (see stmtest.AbortShape).
 func abortShape(kind string) stmtest.AbortShape {
@@ -111,21 +138,21 @@ func workloads() []workload {
 			rng := util.NewRand(3)
 			for i := 0; i < 2048; i++ {
 				k := stm.Word(rng.Intn(4096) + 1)
-				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 			}
 			var k stm.Word
-			lookup := func(tx stm.Tx) { tree.Lookup(tx, k) }
-			insert := func(tx stm.Tx) { tree.Insert(tx, k, k) }
-			del := func(tx stm.Tx) { tree.Delete(tx, k) }
+			lookup := func(tx stm.TxRO) stm.Word { v, _ := tree.Lookup(tx, k); return v }
+			insert := func(tx stm.Tx) bool { return tree.Insert(tx, k, k) }
+			del := func(tx stm.Tx) bool { return tree.Delete(tx, k) }
 			return func() {
 				k = stm.Word(rng.Intn(4096) + 1)
 				switch c := rng.Intn(100); {
 				case c < 5:
-					th.Atomic(insert)
+					stm.Atomic(th, insert)
 				case c < 10:
-					th.Atomic(del)
+					stm.Atomic(th, del)
 				default:
-					th.Atomic(lookup)
+					stm.AtomicRO(th, lookup)
 				}
 			}, th.Stats
 		}},
@@ -146,17 +173,55 @@ func workloads() []workload {
 			s := txkv.New(th, txkv.ConfigForKeys(4096))
 			for k := 1; k <= 4096; k++ {
 				kk := stm.Word(k)
-				th.Atomic(func(tx stm.Tx) { s.Put(tx, kk, kk) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { s.Put(tx, kk, kk) })
 			}
 			zipf := util.NewZipf(4096, 0.99)
 			rng := util.NewRand(977)
 			var k stm.Word
-			get := func(tx stm.Tx) { s.Get(tx, k) }
+			get := func(tx stm.TxRO) stm.Word { v, _ := s.Get(tx, k); return v }
 			return func() {
 				k = stm.Word(zipf.Next(rng) + 1)
-				th.Atomic(get)
+				stm.AtomicRO(th, get)
 			}, th.Stats
 		}},
+		{name: "ro-fastpath-txkv", engines: roEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				e := spec.New()
+				th := e.NewThread(0)
+				s := txkv.New(th, txkv.ConfigForKeys(4096))
+				for k := 1; k <= 4096; k++ {
+					kk := stm.Word(k)
+					stm.AtomicVoid(th, func(tx stm.Tx) { s.Put(tx, kk, kk) })
+				}
+				zipf := util.NewZipf(4096, 0.99)
+				rng := util.NewRand(977)
+				var k stm.Word
+				getRO := func(tx stm.TxRO) stm.Word { v, _ := s.Get(tx, k); return v }
+				getRW := func(tx stm.Tx) stm.Word { v, _ := s.Get(tx, k); return v }
+				if plainTwin(spec) {
+					return func() {
+						k = stm.Word(zipf.Next(rng) + 1)
+						stm.Atomic(th, getRW)
+					}, th.Stats
+				}
+				return func() {
+					k = stm.Word(zipf.Next(rng) + 1)
+					stm.AtomicRO(th, getRO)
+				}, th.Stats
+			}},
+		{name: "ro-fastpath-bench7", engines: roEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				cfg := bench7.Config{
+					Levels: 3, Fanout: 3, CompPool: 32,
+					AtomicPerComp: 10, ReadOnlyPct: 100,
+					PlainReads: plainTwin(spec),
+				}
+				e := spec.New()
+				b := bench7.Setup(e, cfg)
+				th := e.NewThread(1)
+				ops := b.NewOps(th, util.NewRand(420))
+				return ops.Op, th.Stats
+			}},
 		{name: "abort-forced", engines: abortEngines(),
 			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
 				spec.ArenaWords = 1 << 12
@@ -187,7 +252,7 @@ func setupAbortHeavy(e stm.STM) (func(), func() stm.Stats) {
 	thB := e.NewThread(stm.MaxThreads - 2)
 	const pool = 8
 	var objs [pool]stm.Handle
-	thA.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(thA, func(tx stm.Tx) {
 		for i := range objs {
 			objs[i] = tx.NewObject(1)
 		}
@@ -203,7 +268,7 @@ func setupAbortHeavy(e stm.STM) (func(), func() stm.Stats) {
 		v := tx.ReadField(objs[r[0]], 0)
 		if inject {
 			inject = false
-			thB.Atomic(bump)
+			stm.AtomicVoid(thB, bump)
 		}
 		v += tx.ReadField(objs[r[1]], 0)
 		tx.WriteField(objs[r[2]], 0, v)
@@ -219,7 +284,7 @@ func setupAbortHeavy(e stm.STM) (func(), func() stm.Stats) {
 			r[i] = rng.Intn(pool)
 		}
 		inject = true
-		thA.Atomic(body)
+		stm.AtomicVoid(thA, body)
 	}, stats
 }
 
@@ -247,13 +312,13 @@ func main() {
 		}
 		for _, spec := range engines {
 			op, stats := wl.setup(spec)
-			var ns, allocs, bytes, aborts []float64
+			var ns, allocs, bytes, aborts, roCommits, valReads []float64
 			ops := 0
 			for r := 0; r < *repeats; r++ {
-				before := stats().Aborts
+				before := stats()
 				// testing.Benchmark calls the function several times while
-				// calibrating b.N; count every iteration so the abort
-				// delta divides by what actually ran, not just the final N.
+				// calibrating b.N; count every iteration so the stat
+				// deltas divide by what actually ran, not just the final N.
 				var iters uint64
 				res := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
@@ -262,23 +327,28 @@ func main() {
 					}
 					iters += uint64(b.N)
 				})
+				after := stats()
 				ns = append(ns, float64(res.NsPerOp()))
 				allocs = append(allocs, float64(res.AllocsPerOp()))
 				bytes = append(bytes, float64(res.AllocedBytesPerOp()))
-				aborts = append(aborts, float64(stats().Aborts-before)/float64(iters))
+				aborts = append(aborts, float64(after.Aborts-before.Aborts)/float64(iters))
+				roCommits = append(roCommits, float64(after.ROCommits-before.ROCommits)/float64(iters))
+				valReads = append(valReads, float64(after.ValidationReads-before.ValidationReads)/float64(iters))
 				ops = res.N
 			}
 			rec := results.BenchRecord{
-				Name:        wl.name + "/" + spec.DisplayName(),
-				Workload:    wl.name,
-				Engine:      spec.DisplayName(),
-				EngineKind:  spec.Kind,
-				Ops:         ops,
-				NsPerOp:     median(ns),
-				AllocsPerOp: median(allocs),
-				BytesPerOp:  median(bytes),
-				AbortsPerOp: median(aborts),
-				Repeats:     *repeats,
+				Name:                 wl.name + "/" + spec.DisplayName(),
+				Workload:             wl.name,
+				Engine:               spec.DisplayName(),
+				EngineKind:           spec.Kind,
+				Ops:                  ops,
+				NsPerOp:              median(ns),
+				AllocsPerOp:          median(allocs),
+				BytesPerOp:           median(bytes),
+				AbortsPerOp:          median(aborts),
+				ROCommitsPerOp:       median(roCommits),
+				ValidationReadsPerOp: median(valReads),
+				Repeats:              *repeats,
 			}
 			if rec.AbortsPerOp > 0 {
 				rec.NsPerAbort = rec.NsPerOp / rec.AbortsPerOp

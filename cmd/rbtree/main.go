@@ -51,7 +51,7 @@ func main() {
 				rng := util.NewRand(seed ^ 1)
 				for i := 0; i < *keyRange/2; i++ {
 					k := stm.Word(rng.Intn(*keyRange) + 1)
-					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 				}
 				return nil
 			},
@@ -60,11 +60,11 @@ func main() {
 				r := rng.Intn(100)
 				switch {
 				case r < *updates/2:
-					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+					stm.Atomic(th, func(tx stm.Tx) bool { return tree.Insert(tx, k, k) })
 				case r < *updates:
-					th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+					stm.Atomic(th, func(tx stm.Tx) bool { return tree.Delete(tx, k) })
 				default:
-					th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+					stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { v, _ := tree.Lookup(tx, k); return v })
 				}
 			},
 		}

@@ -52,6 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 	spec := harness.EngineSpec{Kind: *engine, NoBackoff: !*backoff}
+	// STAMP is written against the word API. Fail fast on engines that
+	// lack it (object-based RSTM) instead of panicking mid-run — the
+	// typed capability check replaces the old stm.ErrWordAPI surprise.
+	if !stm.SupportsWordAPI(spec.New()) {
+		fmt.Fprintf(os.Stderr, "stamp: engine %q does not support the word API STAMP requires; use swisstm, tl2 or tinystm\n", *engine)
+		os.Exit(2)
+	}
 	mk := func(seed uint64) harness.WorkSpec {
 		var app stamp.App
 		return harness.WorkSpec{

@@ -46,15 +46,16 @@ func main() {
 
 	objs := make([]stm.Handle, objects)
 	for i := range objs {
-		i := i
-		setup.Atomic(func(tx stm.Tx) {
+		x, y := stm.Word(rng.Intn(worldSize)), stm.Word(rng.Intn(worldSize))
+		vx, vy := stm.Word(rng.Intn(9)), stm.Word(rng.Intn(9))
+		objs[i] = stm.Atomic(setup, func(tx stm.Tx) stm.Handle {
 			o := tx.NewObject(gFields)
-			tx.WriteField(o, gX, stm.Word(rng.Intn(worldSize)))
-			tx.WriteField(o, gY, stm.Word(rng.Intn(worldSize)))
-			tx.WriteField(o, gVX, stm.Word(rng.Intn(9)))
-			tx.WriteField(o, gVY, stm.Word(rng.Intn(9)))
+			tx.WriteField(o, gX, x)
+			tx.WriteField(o, gY, y)
+			tx.WriteField(o, gVX, vx)
+			tx.WriteField(o, gVY, vy)
 			tx.WriteField(o, gEnergy, 1000)
-			objs[i] = o
+			return o
 		})
 	}
 
@@ -74,7 +75,7 @@ func main() {
 				// Each worker updates its slice of the world each frame.
 				for i := id; i < objects; i += workers {
 					self := objs[i]
-					th.Atomic(func(tx stm.Tx) {
+					stm.AtomicVoid(th, func(tx stm.Tx) {
 						x := tx.ReadField(self, gX)
 						y := tx.ReadField(self, gY)
 						// Interact with a handful of other objects:
@@ -111,15 +112,16 @@ func main() {
 	elapsed := time.Since(start)
 
 	// Every object must have burned exactly `frames` energy units:
-	// updates are atomic, so none can be lost.
-	bad := 0
-	setup.Atomic(func(tx stm.Tx) {
-		bad = 0
+	// updates are atomic, so none can be lost. The audit is a declared
+	// read-only transaction.
+	bad := stm.AtomicRO(setup, func(tx stm.TxRO) int {
+		n := 0
 		for _, o := range objs {
 			if tx.ReadField(o, gEnergy) != 1000-frames {
-				bad++
+				n++
 			}
 		}
+		return n
 	})
 	fmt.Printf("%d object updates over %d frames in %v (%.0f updates/s), %d inconsistent objects\n",
 		updates, frames, elapsed.Round(time.Millisecond),

@@ -1,38 +1,62 @@
-// The quickstart example: concurrent bank transfers under SwissTM.
+// The quickstart example: concurrent bank transfers under SwissTM,
+// written against the v2 transaction API (DESIGN.md §9).
 //
-// It shows the three steps every program takes: create an engine, give
-// each goroutine its own Thread, and wrap shared-memory accesses in
-// Atomic blocks. The invariant — money is neither created nor destroyed —
-// holds at every point in time, and a concurrent auditor verifies it
-// while the transfers run.
+// It shows the four steps every program takes: create an engine, give
+// each goroutine its own Thread, wrap shared-memory accesses in atomic
+// blocks that *return values* (stm.Atomic / stm.AtomicErr), and declare
+// read-only transactions (stm.AtomicRO) so the engine runs its
+// read-only fast path. The invariant — money is neither created nor
+// destroyed — holds at every point in time, and a concurrent auditor
+// verifies it while the transfers run.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"swisstm/internal/stm"
 	"swisstm/internal/swisstm"
 )
 
+var errInsufficient = errors.New("insufficient funds")
+
 func main() {
 	// 1. One engine, shared by everybody.
 	engine := swisstm.New(swisstm.Config{ArenaWords: 1 << 16})
 
-	// 2. Build the accounts (thread 0 is the setup thread).
+	// 2. Build the accounts (thread 0 is the setup thread). The
+	// allocation transaction returns the handle as a value.
 	const accounts = 64
 	const initial = 1000
 	setup := engine.NewThread(0)
-	var acct stm.Handle
-	setup.Atomic(func(tx stm.Tx) {
-		acct = tx.NewObject(accounts)
+	acct := stm.Atomic(setup, func(tx stm.Tx) stm.Handle {
+		h := tx.NewObject(accounts)
 		for i := uint32(0); i < accounts; i++ {
-			tx.WriteField(acct, i, initial)
+			tx.WriteField(h, i, initial)
 		}
+		return h
 	})
 
+	// sumAll is a declared read-only transaction: the body receives a
+	// TxRO (writing would not compile) and the engine commits it on the
+	// read-only fast path.
+	sumAll := func(th stm.Thread) stm.Word {
+		return stm.AtomicRO(th, func(tx stm.TxRO) stm.Word {
+			var sum stm.Word
+			for i := uint32(0); i < accounts; i++ {
+				sum += tx.ReadField(acct, i)
+			}
+			return sum
+		})
+	}
+
 	// 3. Hammer it with transfers from four goroutines while an auditor
-	// keeps checking the total.
+	// keeps checking the total. A transfer that would overdraw returns
+	// an error: the transaction rolls back (nothing is written) and the
+	// error surfaces to the caller — no panic, no manual undo.
+	var overdrafts atomic.Uint64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for w := 0; w < 4; w++ {
@@ -45,14 +69,19 @@ func main() {
 				seed = seed*6364136223846793005 + 1
 				from := uint32(seed>>33) % accounts
 				to := uint32(seed>>13) % accounts
-				th.Atomic(func(tx stm.Tx) {
+				amount := stm.Word(seed>>55)%8 + 1
+				_, err := stm.AtomicErr(th, func(tx stm.Tx) (stm.Word, error) {
 					bal := tx.ReadField(acct, from)
-					if bal == 0 {
-						return
+					if bal < amount {
+						return 0, errInsufficient
 					}
-					tx.WriteField(acct, from, bal-1)
-					tx.WriteField(acct, to, tx.ReadField(acct, to)+1)
+					tx.WriteField(acct, from, bal-amount)
+					tx.WriteField(acct, to, tx.ReadField(acct, to)+amount)
+					return bal - amount, nil
 				})
+				if err != nil {
+					overdrafts.Add(1)
+				}
 			}
 		}(w)
 	}
@@ -65,14 +94,7 @@ func main() {
 				return
 			default:
 			}
-			var sum stm.Word
-			auditor.Atomic(func(tx stm.Tx) {
-				sum = 0
-				for i := uint32(0); i < accounts; i++ {
-					sum += tx.ReadField(acct, i)
-				}
-			})
-			if sum != accounts*initial {
+			if sum := sumAll(auditor); sum != accounts*initial {
 				panic(fmt.Sprintf("conservation violated: %d", sum))
 			}
 			audits++
@@ -81,14 +103,11 @@ func main() {
 	wg.Wait()
 	close(stop)
 
-	var sum stm.Word
-	setup.Atomic(func(tx stm.Tx) {
-		for i := uint32(0); i < accounts; i++ {
-			sum += tx.ReadField(acct, i)
-		}
-	})
-	stats := setup.Stats()
-	_ = stats
-	fmt.Printf("200000 transfers done; total = %d (expected %d); %d consistent audits\n",
-		sum, accounts*initial, audits)
+	sum := sumAll(setup)
+	stats := auditor.Stats()
+	fmt.Printf("200000 transfers done; total = %d (expected %d); %d rejected overdrafts; %d consistent audits (%d read-only commits)\n",
+		sum, accounts*initial, overdrafts.Load(), audits, stats.ROCommits)
+	if sum != accounts*initial {
+		panic("conservation violated at exit")
+	}
 }

@@ -31,7 +31,7 @@ func main() {
 	const stockPer = 5
 	for id := 1; id <= items; id++ {
 		id := id
-		setup.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(setup, func(tx stm.Tx) {
 			it := tx.NewObject(itFields)
 			tx.WriteField(it, itTotal, stockPer)
 			tx.WriteField(it, itAvail, stockPer)
@@ -53,26 +53,27 @@ func main() {
 			for n := 0; n < 20_000; n++ {
 				if holding == 0 {
 					key := stm.Word(rng.Intn(items) + 1)
-					th.Atomic(func(tx stm.Tx) {
-						holding = 0
+					// The reservation returns the reserved item's handle
+					// (0 when out of stock) as the transaction's value.
+					holding = stm.Atomic(th, func(tx stm.Tx) stm.Handle {
 						v, ok := inventory.Lookup(tx, key)
 						if !ok {
-							return
+							return 0
 						}
 						it := stm.Handle(v)
 						avail := tx.ReadField(it, itAvail)
 						if avail == 0 {
-							return
+							return 0
 						}
 						tx.WriteField(it, itAvail, avail-1)
-						holding = it
+						return it
 					})
 					if holding != 0 {
 						reservedTotal[id]++
 					}
 				} else {
 					it := holding
-					th.Atomic(func(tx stm.Tx) {
+					stm.AtomicVoid(th, func(tx stm.Tx) {
 						tx.WriteField(it, itAvail, tx.ReadField(it, itAvail)+1)
 					})
 					holding = 0
@@ -81,7 +82,7 @@ func main() {
 			// Return anything still held so the final audit balances.
 			if holding != 0 {
 				it := holding
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					tx.WriteField(it, itAvail, tx.ReadField(it, itAvail)+1)
 				})
 			}
@@ -89,11 +90,11 @@ func main() {
 	}
 	wg.Wait()
 
-	// Audit: every item's stock must be back to its total.
-	bad := 0
-	total := 0
-	setup.Atomic(func(tx stm.Tx) {
-		bad, total = 0, 0
+	// Audit: every item's stock must be back to its total. The audit is
+	// a declared read-only transaction returning both counts as one
+	// value.
+	audit := stm.AtomicRO(setup, func(tx stm.TxRO) [2]int {
+		var bad, total int
 		inventory.Visit(tx, func(_, v stm.Word) {
 			it := stm.Handle(v)
 			total++
@@ -101,7 +102,9 @@ func main() {
 				bad++
 			}
 		})
+		return [2]int{bad, total}
 	})
+	bad, total := audit[0], audit[1]
 	reservations := 0
 	for _, r := range reservedTotal {
 		reservations += r

@@ -39,6 +39,11 @@ type Config struct {
 	ConnPerPart   int // outgoing connections per atomic part (≤ 3)
 	DocWords      int // document payload words
 	ReadOnlyPct   int // percentage of read-only operations (90/60/10)
+	// PlainReads routes the read-only operation classes through plain
+	// stm.Atomic instead of the declared read-only stm.AtomicRO fast
+	// path. It exists for the ro-fastpath ablation pair
+	// (cmd/benchjson); leave it false.
+	PlainReads bool
 }
 
 func (c *Config) fill() {
@@ -163,13 +168,13 @@ func Setup(e stm.STM, cfg Config) *Bench {
 	b.PartIdx = rbtree.New(th)
 	b.CompIdx = rbtree.New(th)
 	b.DateIdx = rbtree.New(th)
-	th.Atomic(func(tx stm.Tx) { b.counters = tx.NewObject(cntFields) })
+	b.counters = stm.Atomic(th, func(tx stm.Tx) stm.Handle { return tx.NewObject(cntFields) })
 
 	// Composite-part pool. Each composite gets its own transaction to
 	// keep setup transactions bounded.
 	comps := make([]stm.Handle, cfg.CompPool)
 	for i := range comps {
-		th.Atomic(func(tx stm.Tx) { comps[i] = b.newCompositePart(tx) })
+		comps[i] = stm.Atomic(th, b.newCompositePart)
 	}
 	b.initialComp = cfg.CompPool
 	b.initialPart = cfg.CompPool * cfg.AtomicPerComp
@@ -186,7 +191,7 @@ func Setup(e stm.STM, cfg Config) *Bench {
 			tx.WriteField(ba, baLevel, 1)
 			for k := 0; k < compPerBase; k++ {
 				c := comps[rng.Intn(len(comps))]
-				tx.WriteField(ba, baComp0+uint32(k), c)
+				tx.WriteRef(ba, baComp0+uint32(k), c)
 				tx.WriteField(c, cpUsed, tx.ReadField(c, cpUsed)+1)
 			}
 			b.Bases = append(b.Bases, ba)
@@ -196,15 +201,15 @@ func Setup(e stm.STM, cfg Config) *Bench {
 		tx.WriteField(ca, caID, stm.Word(id))
 		tx.WriteField(ca, caLevel, stm.Word(level))
 		for k := 0; k < cfg.Fanout; k++ {
-			tx.WriteField(ca, caSub0+uint32(k), build(tx, level-1))
+			tx.WriteRef(ca, caSub0+uint32(k), build(tx, level-1))
 		}
 		return ca
 	}
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		root := build(tx, cfg.Levels)
 		b.Module = tx.NewObject(2)
 		tx.WriteField(b.Module, 0, 1) // module id
-		tx.WriteField(b.Module, 1, root)
+		tx.WriteRef(b.Module, 1, root)
 	})
 	return b
 }
@@ -235,7 +240,7 @@ func (b *Bench) newCompositePart(tx stm.Tx) stm.Handle {
 		tx.WriteField(p, apY, partID*17)
 		tx.WriteField(p, apDate, date)
 		parts[i] = p
-		tx.WriteField(partsArr, uint32(i), p)
+		tx.WriteRef(partsArr, uint32(i), p)
 		b.PartIdx.Insert(tx, partID, stm.Word(p))
 	}
 	// Ring + chords connection graph: part i connects to i+1, i+2, i+3
@@ -243,16 +248,16 @@ func (b *Bench) newCompositePart(tx stm.Tx) stm.Handle {
 	n := cfg.AtomicPerComp
 	for i := 0; i < n; i++ {
 		for k := 0; k < cfg.ConnPerPart; k++ {
-			tx.WriteField(parts[i], apConn0+uint32(k), stm.Word(parts[(i+k+1)%n]))
+			tx.WriteRef(parts[i], apConn0+uint32(k), parts[(i+k+1)%n])
 		}
 	}
 
 	comp := tx.NewObject(cpFields)
 	tx.WriteField(comp, cpID, compID)
 	tx.WriteField(comp, cpDate, date)
-	tx.WriteField(comp, cpDoc, doc)
-	tx.WriteField(comp, cpParts, partsArr)
-	tx.WriteField(comp, cpRoot, parts[0])
+	tx.WriteRef(comp, cpDoc, doc)
+	tx.WriteRef(comp, cpParts, partsArr)
+	tx.WriteRef(comp, cpRoot, parts[0])
 	b.CompIdx.Insert(tx, compID, stm.Word(comp))
 	b.DateIdx.Insert(tx, date, stm.Word(comp))
 	return comp
@@ -275,21 +280,21 @@ func (b *Bench) newCompositePart(tx stm.Tx) stm.Handle {
 // graphWalk visits every atomic part of a composite reachable from its
 // root part (bounded DFS over the connection graph, using the caller's
 // scratch), calling visit for each distinct part.
-func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, ws *walkScratch, visit func(part stm.Handle)) int {
-	root := stm.Handle(tx.ReadField(comp, cpRoot))
+func (b *Bench) graphWalk(tx stm.TxRO, comp stm.Handle, ws *walkScratch, visit func(part stm.Handle)) int {
+	root := tx.ReadRef(comp, cpRoot)
 	if root == 0 {
 		return 0
 	}
 	ws.seen.Reset()
-	ws.seen.Add(root)
+	ws.seen.Add(uint64(root))
 	stack := append(ws.stack[:0], root)
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		visit(p)
 		for k := 0; k < b.Cfg.ConnPerPart; k++ {
-			q := stm.Handle(tx.ReadField(p, apConn0+uint32(k)))
-			if q != 0 && ws.seen.Add(q) {
+			q := tx.ReadRef(p, apConn0+uint32(k))
+			if q != 0 && ws.seen.Add(uint64(q)) {
 				stack = append(stack, q)
 			}
 		}
@@ -299,7 +304,7 @@ func (b *Bench) graphWalk(tx stm.Tx, comp stm.Handle, ws *walkScratch, visit fun
 }
 
 // randomComposite picks a random live composite part via the id index.
-func (b *Bench) randomComposite(tx stm.Tx, rng *util.Rand) (stm.Handle, bool) {
+func (b *Bench) randomComposite(tx stm.TxRO, rng *util.Rand) (stm.Handle, bool) {
 	for try := 0; try < 4; try++ {
 		key := stm.Word(rng.Intn(b.initialComp) + 1)
 		if h, ok := b.CompIdx.Lookup(tx, key); ok {
@@ -313,15 +318,15 @@ func (b *Bench) randomComposite(tx stm.Tx, rng *util.Rand) (stm.Handle, bool) {
 // calling visit for every composite referenced by every base assembly.
 // Plain method recursion: the self-referential `var walk func(...)`
 // closure it replaced allocated on every traversal.
-func (b *Bench) assemblyWalk(tx stm.Tx, visit func(comp stm.Handle)) {
-	b.walkAssembly(tx, stm.Handle(tx.ReadField(b.Module, 1)), visit)
+func (b *Bench) assemblyWalk(tx stm.TxRO, visit func(comp stm.Handle)) {
+	b.walkAssembly(tx, tx.ReadRef(b.Module, 1), visit)
 }
 
-func (b *Bench) walkAssembly(tx stm.Tx, h stm.Handle, visit func(comp stm.Handle)) {
+func (b *Bench) walkAssembly(tx stm.TxRO, h stm.Handle, visit func(comp stm.Handle)) {
 	level := tx.ReadField(h, caLevel)
 	if level <= 1 { // base assembly (field layout: baID, comps...)
 		for k := 0; k < compPerBase; k++ {
-			comp := stm.Handle(tx.ReadField(h, baComp0+uint32(k)))
+			comp := tx.ReadRef(h, baComp0+uint32(k))
 			if comp != 0 {
 				visit(comp)
 			}
@@ -329,7 +334,7 @@ func (b *Bench) walkAssembly(tx stm.Tx, h stm.Handle, visit func(comp stm.Handle
 		return
 	}
 	for k := 0; k < b.Cfg.Fanout; k++ {
-		sub := stm.Handle(tx.ReadField(h, caSub0+uint32(k)))
+		sub := tx.ReadRef(h, caSub0+uint32(k))
 		if sub != 0 {
 			b.walkAssembly(tx, sub, visit)
 		}
@@ -340,15 +345,24 @@ func (b *Bench) walkAssembly(tx stm.Tx, h stm.Handle, visit func(comp stm.Handle
 // over its engine thread and private RNG and drives Op (or the
 // individual operations); Ops is not safe for concurrent use, exactly
 // like the Thread it wraps.
+//
+// Every transaction body and graph visitor is a closure built once at
+// NewOps, and each read-only operation class has two pre-bound bodies:
+// the stm.TxRO one AtomicRO runs (the default) and a plain stm.Tx twin
+// for the PlainReads ablation. Results return as values through the v2
+// API; parameters still pass through fields so the steady-state op loop
+// allocates nothing (bench7_test.TestZeroAllocOps holds the read-only
+// mixes to exactly zero).
 type Ops struct {
 	b   *Bench
 	th  stm.Thread
 	rng *util.Rand
 	ws  walkScratch
 
-	// Parameter and result slots written by the dispatch methods and the
-	// current-transaction rebind; the pre-bound closures read them.
-	tx    stm.Tx   // current transaction (for visitors)
+	// Parameter slots written by the dispatch methods and the
+	// current-transaction rebinds; the pre-bound closures read them.
+	tx    stm.Tx   // current update transaction (for update visitors)
+	rtx   stm.TxRO // current read transaction (for read visitors)
 	key   stm.Word // part/composite id of the short ops
 	lo    stm.Word // date-window start
 	sum   stm.Word
@@ -356,37 +370,38 @@ type Ops struct {
 	base  stm.Handle // structure-mod target slot
 	slot  uint32
 
-	shortRead, shortUpdate, readComponent, updateComponent func(stm.Tx)
-	queryDates, longTraversal, longTravUpdate, structMod   func(stm.Tx)
-	visitSum, visitSwap, visitDate                         func(p stm.Handle)
-	visitCompCount, visitCompBump                          func(comp stm.Handle)
+	shortRead, readComponent, queryDates, longTraversal         func(stm.TxRO) stm.Word
+	shortReadRW, readComponentRW, queryDatesRW, longTraversalRW func(stm.Tx) stm.Word
+	shortUpdate, updateComponent, longTravUpdate, structMod     func(stm.Tx)
+	visitSum, visitSwap, visitDate                              func(p stm.Handle)
+	visitCompCount, visitCompBump                               func(comp stm.Handle)
 }
 
 // NewOps builds the pre-bound operation table for one worker thread.
 func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
 	o := &Ops{b: b, th: th, rng: rng, ws: newWalkScratch(&b.Cfg)}
 
-	o.visitSum = func(p stm.Handle) { o.sum += o.tx.ReadField(p, apX) }
+	o.visitSum = func(p stm.Handle) { o.sum += o.rtx.ReadField(p, apX) }
 	o.visitSwap = func(p stm.Handle) {
 		x := o.tx.ReadField(p, apX)
 		y := o.tx.ReadField(p, apY)
 		o.tx.WriteField(p, apX, y)
 		o.tx.WriteField(p, apY, x)
 	}
-	o.visitDate = func(p stm.Handle) { _ = o.tx.ReadField(p, apDate) }
+	o.visitDate = func(p stm.Handle) { _ = o.rtx.ReadField(p, apDate) }
 	o.visitCompCount = func(comp stm.Handle) {
-		o.total += b.graphWalk(o.tx, comp, &o.ws, o.visitDate)
+		o.total += b.graphWalk(o.rtx, comp, &o.ws, o.visitDate)
 	}
 	o.visitCompBump = func(comp stm.Handle) {
 		o.tx.WriteField(comp, cpDate, o.tx.ReadField(comp, cpDate)+1)
 	}
 
-	o.shortRead = func(tx stm.Tx) {
+	o.shortRead = func(tx stm.TxRO) stm.Word {
 		if h, ok := b.PartIdx.Lookup(tx, o.key); ok {
 			p := stm.Handle(h)
-			_ = tx.ReadField(p, apX)
-			_ = tx.ReadField(p, apY)
+			return tx.ReadField(p, apX) + tx.ReadField(p, apY)
 		}
+		return 0
 	}
 	o.shortUpdate = func(tx stm.Tx) {
 		if h, ok := b.PartIdx.Lookup(tx, o.key); ok {
@@ -397,12 +412,13 @@ func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
 			tx.WriteField(p, apY, x)
 		}
 	}
-	o.readComponent = func(tx stm.Tx) {
-		o.tx = tx
+	o.readComponent = func(tx stm.TxRO) stm.Word {
+		o.rtx = tx
+		o.sum = 0
 		if comp, ok := b.randomComposite(tx, o.rng); ok {
-			o.sum = 0
 			b.graphWalk(tx, comp, &o.ws, o.visitSum)
 		}
+		return o.sum
 	}
 	o.updateComponent = func(tx stm.Tx) {
 		o.tx = tx
@@ -410,20 +426,21 @@ func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
 			b.graphWalk(tx, comp, &o.ws, o.visitSwap)
 		}
 	}
-	o.queryDates = func(tx stm.Tx) {
-		_ = b.DateIdx.RangeCount(tx, o.lo, o.lo+16)
+	o.queryDates = func(tx stm.TxRO) stm.Word {
+		return stm.Word(b.DateIdx.RangeCount(tx, o.lo, o.lo+16))
 	}
-	o.longTraversal = func(tx stm.Tx) {
-		o.tx = tx
+	o.longTraversal = func(tx stm.TxRO) stm.Word {
+		o.rtx = tx
 		o.total = 0
 		b.assemblyWalk(tx, o.visitCompCount)
+		return stm.Word(o.total)
 	}
 	o.longTravUpdate = func(tx stm.Tx) {
 		o.tx = tx
 		b.assemblyWalk(tx, o.visitCompBump)
 	}
 	o.structMod = func(tx stm.Tx) {
-		old := stm.Handle(tx.ReadField(o.base, o.slot))
+		old := tx.ReadRef(o.base, o.slot)
 		if old != 0 {
 			// Drop one reference; unregister the composite only when the
 			// last base assembly stops using it (shared composites stay).
@@ -434,9 +451,9 @@ func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
 				oldDate := tx.ReadField(old, cpDate)
 				b.CompIdx.Delete(tx, oldID)
 				b.DateIdx.Delete(tx, oldDate)
-				partsArr := stm.Handle(tx.ReadField(old, cpParts))
+				partsArr := tx.ReadRef(old, cpParts)
 				for i := 0; i < b.Cfg.AtomicPerComp; i++ {
-					p := stm.Handle(tx.ReadField(partsArr, uint32(i)))
+					p := tx.ReadRef(partsArr, uint32(i))
 					if p != 0 {
 						b.PartIdx.Delete(tx, tx.ReadField(p, apID))
 					}
@@ -445,47 +462,66 @@ func (b *Bench) NewOps(th stm.Thread, rng *util.Rand) *Ops {
 		}
 		comp := b.newCompositePart(tx)
 		tx.WriteField(comp, cpUsed, 1)
-		tx.WriteField(o.base, o.slot, stm.Word(comp))
+		tx.WriteRef(o.base, o.slot, comp)
 	}
+
+	// Plain-Atomic twins of the read-only bodies (PlainReads ablation):
+	// identical work through the read-write machinery. stm.Tx satisfies
+	// stm.TxRO, so each twin is a one-line pre-bound adapter.
+	o.shortReadRW = func(tx stm.Tx) stm.Word { return o.shortRead(tx) }
+	o.readComponentRW = func(tx stm.Tx) stm.Word { return o.readComponent(tx) }
+	o.queryDatesRW = func(tx stm.Tx) stm.Word { return o.queryDates(tx) }
+	o.longTraversalRW = func(tx stm.Tx) stm.Word { return o.longTraversal(tx) }
 	return o
 }
 
-// ShortRead looks up a random atomic part by id and reads its
-// coordinates (STMBench7 "short operation" class).
-func (o *Ops) ShortRead() {
+// readOnly dispatches one pre-bound read-only body through AtomicRO (or
+// plain Atomic under the PlainReads ablation) and returns its value.
+func (o *Ops) readOnly(ro func(stm.TxRO) stm.Word, rw func(stm.Tx) stm.Word) stm.Word {
+	if o.b.Cfg.PlainReads {
+		return stm.Atomic(o.th, rw)
+	}
+	return stm.AtomicRO(o.th, ro)
+}
+
+// ShortRead looks up a random atomic part by id and returns the sum of
+// its coordinates (STMBench7 "short operation" class).
+func (o *Ops) ShortRead() stm.Word {
 	o.key = stm.Word(o.rng.Intn(o.b.initialPart) + 1)
-	o.th.Atomic(o.shortRead)
+	return o.readOnly(o.shortRead, o.shortReadRW)
 }
 
 // ShortUpdate swaps the coordinates of a random atomic part
 // (STMBench7 "short update" class).
 func (o *Ops) ShortUpdate() {
 	o.key = stm.Word(o.rng.Intn(o.b.initialPart) + 1)
-	o.th.Atomic(o.shortUpdate)
+	stm.AtomicVoid(o.th, o.shortUpdate)
 }
 
 // ReadComponent walks one composite part's whole atomic-part graph
-// read-only (STMBench7 traversal T1 restricted to one component).
-func (o *Ops) ReadComponent() { o.th.Atomic(o.readComponent) }
+// read-only and returns the coordinate sum (STMBench7 traversal T1
+// restricted to one component).
+func (o *Ops) ReadComponent() stm.Word { return o.readOnly(o.readComponent, o.readComponentRW) }
 
 // UpdateComponent walks one composite part's graph swapping coordinates
 // (STMBench7 T2b: long-ish update transaction).
-func (o *Ops) UpdateComponent() { o.th.Atomic(o.updateComponent) }
+func (o *Ops) UpdateComponent() { stm.AtomicVoid(o.th, o.updateComponent) }
 
-// QueryDates scans the build-date index for a random window
-// (STMBench7 query class).
-func (o *Ops) QueryDates() {
+// QueryDates scans the build-date index for a random window and returns
+// the match count (STMBench7 query class).
+func (o *Ops) QueryDates() stm.Word {
 	o.lo = stm.Word(o.rng.Intn(o.b.initialComp) + 1)
-	o.th.Atomic(o.queryDates)
+	return o.readOnly(o.queryDates, o.queryDatesRW)
 }
 
 // LongTraversal is STMBench7's long read-only traversal: the whole
-// assembly tree, every composite, every atomic part.
-func (o *Ops) LongTraversal() { o.th.Atomic(o.longTraversal) }
+// assembly tree, every composite, every atomic part. It returns the
+// number of parts visited.
+func (o *Ops) LongTraversal() stm.Word { return o.readOnly(o.longTraversal, o.longTraversalRW) }
 
 // LongTraversalUpdate is the long update traversal: it touches every
 // composite part's build date through the whole tree.
-func (o *Ops) LongTraversalUpdate() { o.th.Atomic(o.longTravUpdate) }
+func (o *Ops) LongTraversalUpdate() { stm.AtomicVoid(o.th, o.longTravUpdate) }
 
 // StructureMod is STMBench7's structural modification: build a fresh
 // composite part (graph, document, index entries), unlink a random
@@ -495,7 +531,7 @@ func (o *Ops) LongTraversalUpdate() { o.th.Atomic(o.longTravUpdate) }
 func (o *Ops) StructureMod() {
 	o.base = o.b.Bases[o.rng.Intn(len(o.b.Bases))]
 	o.slot = baComp0 + uint32(o.rng.Intn(compPerBase))
-	o.th.Atomic(o.structMod)
+	stm.AtomicVoid(o.th, o.structMod)
 }
 
 // Op dispatches one operation according to the workload mix; this is the
@@ -535,21 +571,18 @@ func (o *Ops) Op() {
 func (b *Bench) Check() error {
 	th := b.E.NewThread(stm.MaxThreads - 1)
 	ws := newWalkScratch(&b.Cfg)
-	var err error
-	th.Atomic(func(tx stm.Tx) {
-		err = nil
+	return stm.AtomicRO(th, func(tx stm.TxRO) error {
 		for _, base := range b.Bases {
 			for k := 0; k < compPerBase; k++ {
-				comp := stm.Handle(tx.ReadField(base, baComp0+uint32(k)))
+				comp := tx.ReadRef(base, baComp0+uint32(k))
 				if comp == 0 {
-					err = fmt.Errorf("bench7: empty base-assembly slot")
-					return
+					return fmt.Errorf("bench7: empty base-assembly slot")
 				}
 				id := tx.ReadField(comp, cpID)
 				if got, ok := b.CompIdx.Lookup(tx, id); !ok || stm.Handle(got) != comp {
-					err = fmt.Errorf("bench7: composite %d missing from index", id)
-					return
+					return fmt.Errorf("bench7: composite %d missing from index", id)
 				}
+				var err error
 				n := b.graphWalk(tx, comp, &ws, func(p stm.Handle) {
 					pid := tx.ReadField(p, apID)
 					if got, ok := b.PartIdx.Lookup(tx, pid); !ok || stm.Handle(got) != p {
@@ -557,15 +590,14 @@ func (b *Bench) Check() error {
 					}
 				})
 				if err != nil {
-					return
+					return err
 				}
 				if n != b.Cfg.AtomicPerComp {
-					err = fmt.Errorf("bench7: composite %d graph has %d parts, want %d",
+					return fmt.Errorf("bench7: composite %d graph has %d parts, want %d",
 						id, n, b.Cfg.AtomicPerComp)
-					return
 				}
 			}
 		}
+		return nil
 	})
-	return err
 }

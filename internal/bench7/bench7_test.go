@@ -65,12 +65,12 @@ func TestEachOperation(t *testing.T) {
 	b := Setup(engines()["swisstm"](), testConfig(90))
 	o := b.NewOps(b.E.NewThread(1), util.NewRand(5))
 	ops := map[string]func(){
-		"shortRead":      o.ShortRead,
+		"shortRead":      func() { o.ShortRead() },
 		"shortUpdate":    o.ShortUpdate,
-		"readComponent":  o.ReadComponent,
+		"readComponent":  func() { o.ReadComponent() },
 		"updateComp":     o.UpdateComponent,
-		"queryDates":     o.QueryDates,
-		"longTraversal":  o.LongTraversal,
+		"queryDates":     func() { o.QueryDates() },
+		"longTraversal":  func() { o.LongTraversal() },
 		"longTravUpdate": o.LongTraversalUpdate,
 		"structureMod":   o.StructureMod,
 	}
@@ -91,11 +91,9 @@ func TestStructureModReplacesComposite(t *testing.T) {
 	// Count live composites before and after: SM removes one and adds one
 	// when the slot was occupied, so the total in the index stays equal.
 	count := func() int {
-		var n int
-		th.Atomic(func(tx stm.Tx) {
-			n = b.CompIdx.RangeCount(tx, 0, ^stm.Word(0)>>1)
+		return stm.AtomicRO(th, func(tx stm.TxRO) int {
+			return b.CompIdx.RangeCount(tx, 0, ^stm.Word(0)>>1)
 		})
-		return n
 	}
 	// Note: multiple base-assembly slots may share one composite, in which
 	// case replacing one slot removes a composite still referenced

@@ -136,7 +136,7 @@ func (o Options) rbWorkload(seed uint64) harness.Workload {
 			// Pre-fill to half occupancy, as customary for this bench.
 			for i := 0; i < keyRange/2; i++ {
 				k := stm.Word(rng.Intn(keyRange) + 1)
-				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, k, k) })
 			}
 			return nil
 		},
@@ -145,25 +145,29 @@ func (o Options) rbWorkload(seed uint64) harness.Workload {
 			r := rng.Intn(100)
 			switch {
 			case r < updPct/2:
-				th.Atomic(func(tx stm.Tx) { tree.Insert(tx, k, k) })
+				stm.Atomic(th, func(tx stm.Tx) bool { return tree.Insert(tx, k, k) })
 			case r < updPct:
-				th.Atomic(func(tx stm.Tx) { tree.Delete(tx, k) })
+				stm.Atomic(th, func(tx stm.Tx) bool { return tree.Delete(tx, k) })
 			default:
-				th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+				// Lookups are declared read-only: the microbenchmark's 80%
+				// read share rides each engine's RO fast path.
+				stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { v, _ := tree.Lookup(tx, k); return v })
 			}
 		},
 		Check: func(e stm.STM) error {
 			th := e.NewThread(0)
-			var err error
-			th.Atomic(func(tx stm.Tx) {
+			return stm.AtomicRO(th, func(tx stm.TxRO) (err error) {
 				defer func() {
 					if r := recover(); r != nil {
+						if _, rb := r.(stm.RollbackSignal); rb {
+							panic(r) // engine retry signal, not an invariant failure
+						}
 						err = fmt.Errorf("rbtree invariant: %v", r)
 					}
 				}()
 				tree.CheckInvariants(tx)
+				return nil
 			})
-			return err
 		},
 	}
 }

@@ -33,11 +33,11 @@ func TestEngineSpecFactory(t *testing.T) {
 		// Every engine must run a trivial transaction.
 		th := e.NewThread(0)
 		var h stm.Handle
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			h = tx.NewObject(1)
 			tx.WriteField(h, 0, 5)
 		})
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			if tx.ReadField(h, 0) != 5 {
 				t.Errorf("%s: lost write", c.spec.DisplayName())
 			}
@@ -59,11 +59,11 @@ func TestMeasureThroughputCountsOps(t *testing.T) {
 	w := Workload{
 		Setup: func(e stm.STM) error {
 			th := e.NewThread(0)
-			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 			return nil
 		},
 		Op: func(th stm.Thread, worker int, rng *util.Rand) {
-			th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
 		},
 	}
 	res, err := MeasureThroughput(EngineSpec{Kind: "swisstm"}, w, 2, 50*time.Millisecond)
@@ -90,18 +90,18 @@ func TestMeasureWorkConservation(t *testing.T) {
 	res, err := MeasureWork(EngineSpec{Kind: "tinystm"},
 		func(e stm.STM) error {
 			th := e.NewThread(0)
-			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 			return nil
 		},
 		func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
 			for range cursor {
-				th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
 			}
 		},
 		func(e stm.STM) error {
 			th := e.NewThread(10)
 			var got stm.Word
-			th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { got = tx.ReadField(h, 0) })
 			if got != tasks {
 				t.Errorf("processed %d tasks, want %d", got, tasks)
 			}
@@ -156,11 +156,11 @@ func counterWorkload() Workload {
 	return Workload{
 		Setup: func(e stm.STM) error {
 			th := e.NewThread(0)
-			th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 			return nil
 		},
 		Op: func(th stm.Thread, worker int, rng *util.Rand) {
-			th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
 		},
 	}
 }
@@ -241,12 +241,12 @@ func TestRepeatWorkRecords(t *testing.T) {
 		return WorkSpec{
 			Setup: func(e stm.STM) error {
 				th := e.NewThread(0)
-				th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 				return nil
 			},
 			Work: func(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
 				for range cursor {
-					th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, 0, tx.ReadField(h, 0)+1) })
 				}
 			},
 		}

@@ -112,17 +112,17 @@ func Setup(e stm.STM, b Board) *Router {
 	for z := 0; z < Layers; z++ {
 		for y := 0; y < b.H; y++ {
 			base := (z*b.H + y) * b.W
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				for x := 0; x < b.W; x++ {
 					r.Cells[base+x] = tx.NewObject(1)
 				}
 			})
 		}
 	}
-	th.Atomic(func(tx stm.Tx) { r.Oc = tx.NewObject(1) })
+	r.Oc = stm.Atomic(th, func(tx stm.Tx) stm.Handle { return tx.NewObject(1) })
 	// Pre-mark every pin with its net id on both layers: pins are
 	// through-holes, obstacles to every other net.
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for _, net := range b.Nets {
 			for z := 0; z < Layers; z++ {
 				off := z * b.W * b.H
@@ -265,8 +265,7 @@ func (r *Router) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.R
 			return
 		}
 		net := r.Board.Nets[i]
-		ok := false
-		th.Atomic(func(tx stm.Tx) { ok = r.routeOne(tx, net, sc, rng) })
+		ok := stm.Atomic(th, func(tx stm.Tx) bool { return r.routeOne(tx, net, sc, rng) })
 		if ok {
 			r.Routed.Add(1)
 			r.flags[net.ID].Store(true)
@@ -281,13 +280,13 @@ func (r *Router) Reset() {
 	th := r.E.NewThread(0)
 	for i := 0; i < len(r.Cells); i += r.Board.W {
 		i := i
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := i; k < i+r.Board.W && k < len(r.Cells); k++ {
 				tx.WriteField(r.Cells[k], 0, 0)
 			}
 		})
 	}
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for _, net := range r.Board.Nets {
 			for z := 0; z < Layers; z++ {
 				off := z * r.Board.W * r.Board.H
@@ -311,14 +310,17 @@ func (r *Router) Check() error {
 	th := r.E.NewThread(stm.MaxThreads - 1)
 	b := r.Board
 	grid := make([]stm.Word, b.W*b.H*Layers)
-	// Snapshot in chunks to keep read sets moderate.
+	// Snapshot in chunks (declared read-only) to keep read sets moderate.
 	for i := 0; i < len(grid); i += b.W {
 		i := i
-		th.Atomic(func(tx stm.Tx) {
+		chunk := stm.AtomicRO(th, func(tx stm.TxRO) []stm.Word {
+			buf := make([]stm.Word, 0, b.W)
 			for k := i; k < i+b.W && k < len(grid); k++ {
-				grid[k] = tx.ReadField(r.Cells[k], 0)
+				buf = append(buf, tx.ReadField(r.Cells[k], 0))
 			}
+			return buf
 		})
+		copy(grid[i:], chunk)
 	}
 	routed := 0
 	for _, net := range b.Nets {

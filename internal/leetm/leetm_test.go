@@ -116,8 +116,7 @@ func TestIrregularVariant(t *testing.T) {
 	// routing transactions (exact count varies with retries; just require
 	// that updates happened).
 	th := r.E.NewThread(0)
-	var oc stm.Word
-	th.Atomic(func(tx stm.Tx) { oc = tx.ReadField(r.Oc, 0) })
+	oc := stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { return tx.ReadField(r.Oc, 0) })
 	if oc == 0 {
 		t.Fatal("irregular variant never updated Oc")
 	}

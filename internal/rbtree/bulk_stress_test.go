@@ -23,12 +23,12 @@ func TestBulkTxStress(t *testing.T) {
 		setup := e.NewThread(0)
 		tree := New(setup)
 		var counter stm.Handle
-		setup.Atomic(func(tx stm.Tx) { counter = tx.NewObject(2) })
+		stm.AtomicVoid(setup, func(tx stm.Tx) { counter = tx.NewObject(2) })
 		const groups = 24
 		const perGroup = 10
 		for g := 0; g < groups; g++ {
 			g := g
-			setup.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(setup, func(tx stm.Tx) {
 				for i := 0; i < perGroup; i++ {
 					tree.Insert(tx, stm.Word(g*1000+i+1), 1)
 				}
@@ -54,7 +54,7 @@ func TestBulkTxStress(t *testing.T) {
 						g := rng.Intn(groups)
 						fresh := next
 						next += perGroup
-						th.Atomic(func(tx stm.Tx) {
+						stm.AtomicVoid(th, func(tx stm.Tx) {
 							// Hot-spot counter: every SM transaction
 							// conflicts with every other (bench7's id
 							// counters do the same).
@@ -69,10 +69,10 @@ func TestBulkTxStress(t *testing.T) {
 						})
 					} else {
 						k := stm.Word(rng.Intn(groups*1000) + 1)
-						th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, k) })
+						stm.AtomicVoid(th, func(tx stm.Tx) { tree.Lookup(tx, k) })
 					}
 					if n%500 == 499 {
-						th.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+						stm.AtomicVoid(th, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 					}
 				}
 			}(w)
@@ -83,6 +83,6 @@ func TestBulkTxStress(t *testing.T) {
 			t.Fatalf("round %d: %s", round, msg)
 		default:
 		}
-		setup.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+		stm.AtomicVoid(setup, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 	}
 }

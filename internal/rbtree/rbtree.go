@@ -39,16 +39,14 @@ type Tree struct {
 
 // New creates an empty tree using th for the allocation transaction.
 func New(th stm.Thread) *Tree {
-	t := &Tree{}
-	th.Atomic(func(tx stm.Tx) { t.holder = tx.NewObject(1) })
-	return t
+	return &Tree{holder: stm.Atomic(th, func(tx stm.Tx) stm.Handle { return tx.NewObject(1) })}
 }
 
-func (t *Tree) root(tx stm.Tx) stm.Handle       { return tx.ReadField(t.holder, 0) }
-func (t *Tree) setRoot(tx stm.Tx, h stm.Handle) { tx.WriteField(t.holder, 0, h) }
+func (t *Tree) root(tx stm.TxRO) stm.Handle     { return tx.ReadRef(t.holder, 0) }
+func (t *Tree) setRoot(tx stm.Tx, h stm.Handle) { tx.WriteRef(t.holder, 0, h) }
 
 // Lookup returns the value stored under key.
-func (t *Tree) Lookup(tx stm.Tx, key stm.Word) (stm.Word, bool) {
+func (t *Tree) Lookup(tx stm.TxRO, key stm.Word) (stm.Word, bool) {
 	n := t.root(tx)
 	for n != nilH {
 		k := tx.ReadField(n, fKey)
@@ -56,22 +54,22 @@ func (t *Tree) Lookup(tx stm.Tx, key stm.Word) (stm.Word, bool) {
 		case key == k:
 			return tx.ReadField(n, fVal), true
 		case key < k:
-			n = tx.ReadField(n, fLeft)
+			n = tx.ReadRef(n, fLeft)
 		default:
-			n = tx.ReadField(n, fRight)
+			n = tx.ReadRef(n, fRight)
 		}
 	}
 	return 0, false
 }
 
 // Min returns the smallest key in the tree (ok=false when empty).
-func (t *Tree) Min(tx stm.Tx) (stm.Word, bool) {
+func (t *Tree) Min(tx stm.TxRO) (stm.Word, bool) {
 	n := t.root(tx)
 	if n == nilH {
 		return 0, false
 	}
 	for {
-		l := tx.ReadField(n, fLeft)
+		l := tx.ReadRef(n, fLeft)
 		if l == nilH {
 			return tx.ReadField(n, fKey), true
 		}
@@ -81,40 +79,40 @@ func (t *Tree) Min(tx stm.Tx) (stm.Word, bool) {
 
 // RangeCount counts keys in [lo, hi] by in-order traversal — used by the
 // STMBench7-style index scans and by tests.
-func (t *Tree) RangeCount(tx stm.Tx, lo, hi stm.Word) int {
+func (t *Tree) RangeCount(tx stm.TxRO, lo, hi stm.Word) int {
 	return t.rangeCount(tx, t.root(tx), lo, hi)
 }
 
-func (t *Tree) rangeCount(tx stm.Tx, n stm.Handle, lo, hi stm.Word) int {
+func (t *Tree) rangeCount(tx stm.TxRO, n stm.Handle, lo, hi stm.Word) int {
 	if n == nilH {
 		return 0
 	}
 	k := tx.ReadField(n, fKey)
 	cnt := 0
 	if lo < k {
-		cnt += t.rangeCount(tx, tx.ReadField(n, fLeft), lo, hi)
+		cnt += t.rangeCount(tx, tx.ReadRef(n, fLeft), lo, hi)
 	}
 	if lo <= k && k <= hi {
 		cnt++
 	}
 	if k < hi {
-		cnt += t.rangeCount(tx, tx.ReadField(n, fRight), lo, hi)
+		cnt += t.rangeCount(tx, tx.ReadRef(n, fRight), lo, hi)
 	}
 	return cnt
 }
 
 // Visit calls fn for every (key, value) pair in ascending key order.
-func (t *Tree) Visit(tx stm.Tx, fn func(k, v stm.Word)) {
+func (t *Tree) Visit(tx stm.TxRO, fn func(k, v stm.Word)) {
 	t.visit(tx, t.root(tx), fn)
 }
 
-func (t *Tree) visit(tx stm.Tx, n stm.Handle, fn func(k, v stm.Word)) {
+func (t *Tree) visit(tx stm.TxRO, n stm.Handle, fn func(k, v stm.Word)) {
 	if n == nilH {
 		return
 	}
-	t.visit(tx, tx.ReadField(n, fLeft), fn)
+	t.visit(tx, tx.ReadRef(n, fLeft), fn)
 	fn(tx.ReadField(n, fKey), tx.ReadField(n, fVal))
-	t.visit(tx, tx.ReadField(n, fRight), fn)
+	t.visit(tx, tx.ReadRef(n, fRight), fn)
 }
 
 // Insert adds key→val, returning false (and updating the value) when the
@@ -130,68 +128,68 @@ func (t *Tree) Insert(tx stm.Tx, key, val stm.Word) bool {
 		}
 		parent = n
 		if key < k {
-			n = tx.ReadField(n, fLeft)
+			n = tx.ReadRef(n, fLeft)
 		} else {
-			n = tx.ReadField(n, fRight)
+			n = tx.ReadRef(n, fRight)
 		}
 	}
 	node := tx.NewObject(nodeFields)
 	tx.WriteField(node, fKey, key)
 	tx.WriteField(node, fVal, val)
-	tx.WriteField(node, fParent, parent)
+	tx.WriteRef(node, fParent, parent)
 	tx.WriteField(node, fColor, red)
 	if parent == nilH {
 		t.setRoot(tx, node)
 	} else if key < tx.ReadField(parent, fKey) {
-		tx.WriteField(parent, fLeft, node)
+		tx.WriteRef(parent, fLeft, node)
 	} else {
-		tx.WriteField(parent, fRight, node)
+		tx.WriteRef(parent, fRight, node)
 	}
 	t.insertFixup(tx, node)
 	return true
 }
 
 func (t *Tree) rotateLeft(tx stm.Tx, x stm.Handle) {
-	y := tx.ReadField(x, fRight)
-	yl := tx.ReadField(y, fLeft)
-	tx.WriteField(x, fRight, yl)
+	y := tx.ReadRef(x, fRight)
+	yl := tx.ReadRef(y, fLeft)
+	tx.WriteRef(x, fRight, yl)
 	if yl != nilH {
-		tx.WriteField(yl, fParent, x)
+		tx.WriteRef(yl, fParent, x)
 	}
-	xp := tx.ReadField(x, fParent)
-	tx.WriteField(y, fParent, xp)
+	xp := tx.ReadRef(x, fParent)
+	tx.WriteRef(y, fParent, xp)
 	if xp == nilH {
 		t.setRoot(tx, y)
-	} else if tx.ReadField(xp, fLeft) == x {
-		tx.WriteField(xp, fLeft, y)
+	} else if tx.ReadRef(xp, fLeft) == x {
+		tx.WriteRef(xp, fLeft, y)
 	} else {
-		tx.WriteField(xp, fRight, y)
+		tx.WriteRef(xp, fRight, y)
 	}
-	tx.WriteField(y, fLeft, x)
-	tx.WriteField(x, fParent, y)
+	tx.WriteRef(y, fLeft, x)
+	tx.WriteRef(x, fParent, y)
 }
 
 func (t *Tree) rotateRight(tx stm.Tx, x stm.Handle) {
-	y := tx.ReadField(x, fLeft)
-	yr := tx.ReadField(y, fRight)
-	tx.WriteField(x, fLeft, yr)
+	y := tx.ReadRef(x, fLeft)
+	yr := tx.ReadRef(y, fRight)
+	tx.WriteRef(x, fLeft, yr)
 	if yr != nilH {
-		tx.WriteField(yr, fParent, x)
+		tx.WriteRef(yr, fParent, x)
 	}
-	xp := tx.ReadField(x, fParent)
-	tx.WriteField(y, fParent, xp)
+	xp := tx.ReadRef(x, fParent)
+	tx.WriteRef(y, fParent, xp)
 	if xp == nilH {
 		t.setRoot(tx, y)
-	} else if tx.ReadField(xp, fRight) == x {
-		tx.WriteField(xp, fRight, y)
+	} else if tx.ReadRef(xp, fRight) == x {
+		tx.WriteRef(xp, fRight, y)
 	} else {
-		tx.WriteField(xp, fLeft, y)
+		tx.WriteRef(xp, fLeft, y)
 	}
-	tx.WriteField(y, fRight, x)
-	tx.WriteField(x, fParent, y)
+	tx.WriteRef(y, fRight, x)
+	tx.WriteRef(x, fParent, y)
 }
 
-func colorOf(tx stm.Tx, n stm.Handle) stm.Word {
+func colorOf(tx stm.TxRO, n stm.Handle) stm.Word {
 	if n == nilH {
 		return black
 	}
@@ -206,16 +204,16 @@ func setColor(tx stm.Tx, n stm.Handle, c stm.Word) {
 
 func (t *Tree) insertFixup(tx stm.Tx, z stm.Handle) {
 	for {
-		zp := tx.ReadField(z, fParent)
+		zp := tx.ReadRef(z, fParent)
 		if zp == nilH || colorOf(tx, zp) == black {
 			break
 		}
-		zpp := tx.ReadField(zp, fParent)
+		zpp := tx.ReadRef(zp, fParent)
 		if zpp == nilH {
 			break
 		}
-		if tx.ReadField(zpp, fLeft) == zp {
-			u := tx.ReadField(zpp, fRight) // uncle
+		if tx.ReadRef(zpp, fLeft) == zp {
+			u := tx.ReadRef(zpp, fRight) // uncle
 			if colorOf(tx, u) == red {
 				setColor(tx, zp, black)
 				setColor(tx, u, black)
@@ -223,17 +221,17 @@ func (t *Tree) insertFixup(tx stm.Tx, z stm.Handle) {
 				z = zpp
 				continue
 			}
-			if tx.ReadField(zp, fRight) == z {
+			if tx.ReadRef(zp, fRight) == z {
 				z = zp
 				t.rotateLeft(tx, z)
-				zp = tx.ReadField(z, fParent)
-				zpp = tx.ReadField(zp, fParent)
+				zp = tx.ReadRef(z, fParent)
+				zpp = tx.ReadRef(zp, fParent)
 			}
 			setColor(tx, zp, black)
 			setColor(tx, zpp, red)
 			t.rotateRight(tx, zpp)
 		} else {
-			u := tx.ReadField(zpp, fLeft)
+			u := tx.ReadRef(zpp, fLeft)
 			if colorOf(tx, u) == red {
 				setColor(tx, zp, black)
 				setColor(tx, u, black)
@@ -241,11 +239,11 @@ func (t *Tree) insertFixup(tx stm.Tx, z stm.Handle) {
 				z = zpp
 				continue
 			}
-			if tx.ReadField(zp, fLeft) == z {
+			if tx.ReadRef(zp, fLeft) == z {
 				z = zp
 				t.rotateRight(tx, z)
-				zp = tx.ReadField(z, fParent)
-				zpp = tx.ReadField(zp, fParent)
+				zp = tx.ReadRef(z, fParent)
+				zpp = tx.ReadRef(zp, fParent)
 			}
 			setColor(tx, zp, black)
 			setColor(tx, zpp, red)
@@ -264,9 +262,9 @@ func (t *Tree) Delete(tx stm.Tx, key stm.Word) bool {
 			break
 		}
 		if key < k {
-			z = tx.ReadField(z, fLeft)
+			z = tx.ReadRef(z, fLeft)
 		} else {
-			z = tx.ReadField(z, fRight)
+			z = tx.ReadRef(z, fRight)
 		}
 	}
 	if z == nilH {
@@ -276,11 +274,11 @@ func (t *Tree) Delete(tx stm.Tx, key stm.Word) bool {
 	// y is the node physically removed; x its (possibly nil) child that
 	// moves up; xParent tracks x's parent since x may be nil.
 	y := z
-	if tx.ReadField(z, fLeft) != nilH && tx.ReadField(z, fRight) != nilH {
+	if tx.ReadRef(z, fLeft) != nilH && tx.ReadRef(z, fRight) != nilH {
 		// Two children: splice out the in-order successor instead.
-		y = tx.ReadField(z, fRight)
+		y = tx.ReadRef(z, fRight)
 		for {
-			l := tx.ReadField(y, fLeft)
+			l := tx.ReadRef(y, fLeft)
 			if l == nilH {
 				break
 			}
@@ -288,21 +286,21 @@ func (t *Tree) Delete(tx stm.Tx, key stm.Word) bool {
 		}
 	}
 	var x stm.Handle
-	if tx.ReadField(y, fLeft) != nilH {
-		x = tx.ReadField(y, fLeft)
+	if tx.ReadRef(y, fLeft) != nilH {
+		x = tx.ReadRef(y, fLeft)
 	} else {
-		x = tx.ReadField(y, fRight)
+		x = tx.ReadRef(y, fRight)
 	}
-	xParent := tx.ReadField(y, fParent)
+	xParent := tx.ReadRef(y, fParent)
 	if x != nilH {
-		tx.WriteField(x, fParent, xParent)
+		tx.WriteRef(x, fParent, xParent)
 	}
 	if xParent == nilH {
 		t.setRoot(tx, x)
-	} else if tx.ReadField(xParent, fLeft) == y {
-		tx.WriteField(xParent, fLeft, x)
+	} else if tx.ReadRef(xParent, fLeft) == y {
+		tx.WriteRef(xParent, fLeft, x)
 	} else {
-		tx.WriteField(xParent, fRight, x)
+		tx.WriteRef(xParent, fRight, x)
 	}
 	if y != z {
 		// Move successor's payload into z (keys move, nodes stay).
@@ -320,69 +318,69 @@ func (t *Tree) deleteFixup(tx stm.Tx, x, xParent stm.Handle) {
 		if xParent == nilH {
 			break
 		}
-		if tx.ReadField(xParent, fLeft) == x {
-			w := tx.ReadField(xParent, fRight) // sibling
+		if tx.ReadRef(xParent, fLeft) == x {
+			w := tx.ReadRef(xParent, fRight) // sibling
 			if colorOf(tx, w) == red {
 				setColor(tx, w, black)
 				setColor(tx, xParent, red)
 				t.rotateLeft(tx, xParent)
-				w = tx.ReadField(xParent, fRight)
+				w = tx.ReadRef(xParent, fRight)
 			}
 			if w == nilH {
 				x = xParent
-				xParent = tx.ReadField(x, fParent)
+				xParent = tx.ReadRef(x, fParent)
 				continue
 			}
-			wl := tx.ReadField(w, fLeft)
-			wr := tx.ReadField(w, fRight)
+			wl := tx.ReadRef(w, fLeft)
+			wr := tx.ReadRef(w, fRight)
 			if colorOf(tx, wl) == black && colorOf(tx, wr) == black {
 				setColor(tx, w, red)
 				x = xParent
-				xParent = tx.ReadField(x, fParent)
+				xParent = tx.ReadRef(x, fParent)
 				continue
 			}
 			if colorOf(tx, wr) == black {
 				setColor(tx, wl, black)
 				setColor(tx, w, red)
 				t.rotateRight(tx, w)
-				w = tx.ReadField(xParent, fRight)
+				w = tx.ReadRef(xParent, fRight)
 			}
 			setColor(tx, w, colorOf(tx, xParent))
 			setColor(tx, xParent, black)
-			setColor(tx, tx.ReadField(w, fRight), black)
+			setColor(tx, tx.ReadRef(w, fRight), black)
 			t.rotateLeft(tx, xParent)
 			x = t.root(tx)
 			break
 		} else {
-			w := tx.ReadField(xParent, fLeft)
+			w := tx.ReadRef(xParent, fLeft)
 			if colorOf(tx, w) == red {
 				setColor(tx, w, black)
 				setColor(tx, xParent, red)
 				t.rotateRight(tx, xParent)
-				w = tx.ReadField(xParent, fLeft)
+				w = tx.ReadRef(xParent, fLeft)
 			}
 			if w == nilH {
 				x = xParent
-				xParent = tx.ReadField(x, fParent)
+				xParent = tx.ReadRef(x, fParent)
 				continue
 			}
-			wl := tx.ReadField(w, fLeft)
-			wr := tx.ReadField(w, fRight)
+			wl := tx.ReadRef(w, fLeft)
+			wr := tx.ReadRef(w, fRight)
 			if colorOf(tx, wr) == black && colorOf(tx, wl) == black {
 				setColor(tx, w, red)
 				x = xParent
-				xParent = tx.ReadField(x, fParent)
+				xParent = tx.ReadRef(x, fParent)
 				continue
 			}
 			if colorOf(tx, wl) == black {
 				setColor(tx, wr, black)
 				setColor(tx, w, red)
 				t.rotateLeft(tx, w)
-				w = tx.ReadField(xParent, fLeft)
+				w = tx.ReadRef(xParent, fLeft)
 			}
 			setColor(tx, w, colorOf(tx, xParent))
 			setColor(tx, xParent, black)
-			setColor(tx, tx.ReadField(w, fLeft), black)
+			setColor(tx, tx.ReadRef(w, fLeft), black)
 			t.rotateRight(tx, xParent)
 			x = t.root(tx)
 			break
@@ -394,7 +392,7 @@ func (t *Tree) deleteFixup(tx stm.Tx, x, xParent stm.Handle) {
 // CheckInvariants walks the whole tree inside tx and reports the node
 // count. It panics with a descriptive message when a red-black or BST
 // invariant is violated (tests only).
-func (t *Tree) CheckInvariants(tx stm.Tx) int {
+func (t *Tree) CheckInvariants(tx stm.TxRO) int {
 	root := t.root(tx)
 	if root == nilH {
 		return 0
@@ -406,11 +404,11 @@ func (t *Tree) CheckInvariants(tx stm.Tx) int {
 	return count
 }
 
-func (t *Tree) check(tx stm.Tx, n, parent stm.Handle, lo, hi stm.Word) (count, blackHeight int) {
+func (t *Tree) check(tx stm.TxRO, n, parent stm.Handle, lo, hi stm.Word) (count, blackHeight int) {
 	if n == nilH {
 		return 0, 1
 	}
-	if tx.ReadField(n, fParent) != parent {
+	if tx.ReadRef(n, fParent) != parent {
 		panic("rbtree: bad parent pointer")
 	}
 	k := tx.ReadField(n, fKey)
@@ -418,8 +416,8 @@ func (t *Tree) check(tx stm.Tx, n, parent stm.Handle, lo, hi stm.Word) (count, b
 		panic("rbtree: BST order violated")
 	}
 	c := colorOf(tx, n)
-	l := tx.ReadField(n, fLeft)
-	r := tx.ReadField(n, fRight)
+	l := tx.ReadRef(n, fLeft)
+	r := tx.ReadRef(n, fRight)
 	if c == red && (colorOf(tx, l) == red || colorOf(tx, r) == red) {
 		panic("rbtree: red node with red child")
 	}

@@ -29,7 +29,7 @@ func TestBasicOps(t *testing.T) {
 			e := factory()
 			th := e.NewThread(0)
 			tree := New(th)
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				if !tree.Insert(tx, 5, 50) {
 					t.Error("insert 5 reported existing")
 				}
@@ -77,11 +77,11 @@ func TestModelSequential(t *testing.T) {
 				val := stm.Word(rng.Intn(1000))
 				switch rng.Intn(3) {
 				case 0:
-					th.Atomic(func(tx stm.Tx) { tree.Insert(tx, key, val) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, key, val) })
 					model[key] = val
 				case 1:
 					var got bool
-					th.Atomic(func(tx stm.Tx) { got = tree.Delete(tx, key) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { got = tree.Delete(tx, key) })
 					_, want := model[key]
 					if got != want {
 						t.Fatalf("op %d: delete(%d) = %v, model %v", i, key, got, want)
@@ -90,21 +90,21 @@ func TestModelSequential(t *testing.T) {
 				case 2:
 					var gv stm.Word
 					var gok bool
-					th.Atomic(func(tx stm.Tx) { gv, gok = tree.Lookup(tx, key) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { gv, gok = tree.Lookup(tx, key) })
 					wv, wok := model[key]
 					if gok != wok || (gok && gv != wv) {
 						t.Fatalf("op %d: lookup(%d) = (%d,%v), model (%d,%v)", i, key, gv, gok, wv, wok)
 					}
 				}
 				if i%500 == 0 {
-					th.Atomic(func(tx stm.Tx) {
+					stm.AtomicVoid(th, func(tx stm.Tx) {
 						if n := tree.CheckInvariants(tx); n != len(model) {
 							t.Fatalf("op %d: size %d, model %d", i, n, len(model))
 						}
 					})
 				}
 			}
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				if n := tree.CheckInvariants(tx); n != len(model) {
 					t.Fatalf("final size %d, model %d", n, len(model))
 				}
@@ -131,14 +131,14 @@ func TestQuickInsertDelete(t *testing.T) {
 		for _, k := range keys {
 			key := stm.Word(k) + 1
 			var fresh bool
-			th.Atomic(func(tx stm.Tx) { fresh = tree.Insert(tx, key, key*2) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { fresh = tree.Insert(tx, key, key*2) })
 			if fresh == seen[key] {
 				return false
 			}
 			seen[key] = true
 		}
 		ok := true
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			if tree.CheckInvariants(tx) != len(seen) {
 				ok = false
 			}
@@ -148,14 +148,14 @@ func TestQuickInsertDelete(t *testing.T) {
 		}
 		for k := range seen {
 			var deleted bool
-			th.Atomic(func(tx stm.Tx) { deleted = tree.Delete(tx, k) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { deleted = tree.Delete(tx, k) })
 			if !deleted {
 				return false
 			}
-			th.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 		}
 		final := -1
-		th.Atomic(func(tx stm.Tx) { final = tree.CheckInvariants(tx) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { final = tree.CheckInvariants(tx) })
 		return final == 0
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
@@ -173,7 +173,7 @@ func TestConcurrentMixed(t *testing.T) {
 			setup := e.NewThread(0)
 			tree := New(setup)
 			const keyRange = 512
-			setup.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(setup, func(tx stm.Tx) {
 				for k := stm.Word(1); k <= keyRange; k += 2 {
 					tree.Insert(tx, k, k)
 				}
@@ -190,17 +190,17 @@ func TestConcurrentMixed(t *testing.T) {
 						key := stm.Word(rng.Intn(keyRange) + 1)
 						switch rng.Intn(10) {
 						case 0:
-							th.Atomic(func(tx stm.Tx) { tree.Insert(tx, key, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, key, key) })
 						case 1:
-							th.Atomic(func(tx stm.Tx) { tree.Delete(tx, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Delete(tx, key) })
 						default:
-							th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Lookup(tx, key) })
 						}
 					}
 				}(i)
 			}
 			wg.Wait()
-			setup.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+			stm.AtomicVoid(setup, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 		})
 	}
 }

@@ -33,20 +33,20 @@ func TestRSTMHighContention(t *testing.T) {
 						key := stm.Word(seed>>33)%keyRange + 1
 						switch (seed >> 13) % 4 {
 						case 0:
-							th.Atomic(func(tx stm.Tx) { tree.Insert(tx, key, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Insert(tx, key, key) })
 						case 1:
-							th.Atomic(func(tx stm.Tx) { tree.Delete(tx, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Delete(tx, key) })
 						default:
-							th.Atomic(func(tx stm.Tx) { tree.Lookup(tx, key) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.Lookup(tx, key) })
 						}
 						if n%1000 == 999 {
-							th.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+							stm.AtomicVoid(th, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 						}
 					}
 				}(w)
 			}
 			wg.Wait()
-			setup.Atomic(func(tx stm.Tx) { tree.CheckInvariants(tx) })
+			stm.AtomicVoid(setup, func(tx stm.Tx) { tree.CheckInvariants(tx) })
 		})
 	}
 }

@@ -37,12 +37,14 @@ type Record struct {
 
 	// Full stm.Stats breakdown, aggregated across worker threads.
 	Commits         uint64 `json:"commits"`
+	ROCommits       uint64 `json:"ro_commits"` // commits of declared read-only transactions (DESIGN.md §9)
 	Aborts          uint64 `json:"aborts"`
 	AbortsWW        uint64 `json:"aborts_ww"`
 	AbortsValid     uint64 `json:"aborts_valid"`
 	AbortsLocked    uint64 `json:"aborts_locked"`
 	AbortsKilled    uint64 `json:"aborts_killed"`
 	AbortsExplicit  uint64 `json:"aborts_explicit"`
+	AbortsUser      uint64 `json:"aborts_user"` // AtomicErr bodies returning errors (DESIGN.md §9)
 	WaitsCM         uint64 `json:"waits_cm"`
 	LockAcquireFail uint64 `json:"lock_acquire_fail"`
 
@@ -67,12 +69,14 @@ type Record struct {
 // SetStats copies the full per-run statistics breakdown into r.
 func (r *Record) SetStats(s stm.Stats) {
 	r.Commits = s.Commits
+	r.ROCommits = s.ROCommits
 	r.Aborts = s.Aborts
 	r.AbortsWW = s.AbortsWW
 	r.AbortsValid = s.AbortsValid
 	r.AbortsLocked = s.AbortsLocked
 	r.AbortsKilled = s.AbortsKilled
 	r.AbortsExplicit = s.AbortsExplicit
+	r.AbortsUser = s.AbortsUser
 	r.WaitsCM = s.WaitsCM
 	r.LockAcquireFail = s.LockAcquireFail
 	r.AbortsUnwound = s.AbortsUnwound
@@ -88,8 +92,8 @@ func (r *Record) SetStats(s stm.Stats) {
 var header = []string{
 	"experiment", "workload", "engine", "engine_kind", "threads", "repeat",
 	"seed", "duration_sec", "ops", "throughput",
-	"commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
-	"aborts_killed", "aborts_explicit", "waits_cm", "lock_acquire_fail",
+	"commits", "ro_commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
+	"aborts_killed", "aborts_explicit", "aborts_user", "waits_cm", "lock_acquire_fail",
 	"aborts_unwound", "aborts_returned",
 	"reads_logged", "reads_deduped", "validations", "validation_reads",
 	"abort_rate", "checked_ok",
@@ -104,12 +108,14 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.Ops, 10),
 		strconv.FormatFloat(r.Throughput, 'g', -1, 64),
 		strconv.FormatUint(r.Commits, 10),
+		strconv.FormatUint(r.ROCommits, 10),
 		strconv.FormatUint(r.Aborts, 10),
 		strconv.FormatUint(r.AbortsWW, 10),
 		strconv.FormatUint(r.AbortsValid, 10),
 		strconv.FormatUint(r.AbortsLocked, 10),
 		strconv.FormatUint(r.AbortsKilled, 10),
 		strconv.FormatUint(r.AbortsExplicit, 10),
+		strconv.FormatUint(r.AbortsUser, 10),
 		strconv.FormatUint(r.WaitsCM, 10),
 		strconv.FormatUint(r.LockAcquireFail, 10),
 		strconv.FormatUint(r.AbortsUnwound, 10),
@@ -185,22 +191,24 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.DurationSec = f64(row[7])
 		rec.Ops = u64(row[8])
 		rec.Throughput = f64(row[9])
-		rec.Commits, rec.Aborts = u64(row[10]), u64(row[11])
-		rec.AbortsWW, rec.AbortsValid = u64(row[12]), u64(row[13])
-		rec.AbortsLocked, rec.AbortsKilled = u64(row[14]), u64(row[15])
-		rec.AbortsExplicit, rec.WaitsCM = u64(row[16]), u64(row[17])
-		rec.LockAcquireFail = u64(row[18])
-		rec.AbortsUnwound, rec.AbortsReturned = u64(row[19]), u64(row[20])
-		rec.ReadsLogged, rec.ReadsDeduped = u64(row[21]), u64(row[22])
-		rec.Validations, rec.ValidationReads = u64(row[23]), u64(row[24])
-		rec.AbortRate = f64(row[25])
-		switch row[26] {
+		rec.Commits, rec.ROCommits = u64(row[10]), u64(row[11])
+		rec.Aborts = u64(row[12])
+		rec.AbortsWW, rec.AbortsValid = u64(row[13]), u64(row[14])
+		rec.AbortsLocked, rec.AbortsKilled = u64(row[15]), u64(row[16])
+		rec.AbortsExplicit, rec.AbortsUser = u64(row[17]), u64(row[18])
+		rec.WaitsCM = u64(row[19])
+		rec.LockAcquireFail = u64(row[20])
+		rec.AbortsUnwound, rec.AbortsReturned = u64(row[21]), u64(row[22])
+		rec.ReadsLogged, rec.ReadsDeduped = u64(row[23]), u64(row[24])
+		rec.Validations, rec.ValidationReads = u64(row[25]), u64(row[26])
+		rec.AbortRate = f64(row[27])
+		switch row[28] {
 		case "true":
 			rec.CheckedOK = true
 		case "false":
 			rec.CheckedOK = false
 		default:
-			keep(fmt.Errorf("bad checked_ok value %q", row[26]))
+			keep(fmt.Errorf("bad checked_ok value %q", row[28]))
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
@@ -379,6 +387,13 @@ type BenchRecord struct {
 	// against the checked return. Zero when the workload never aborts.
 	AbortsPerOp float64 `json:"aborts_per_op,omitempty"`
 	NsPerAbort  float64 `json:"ns_per_abort,omitempty"`
+
+	// Read-only fast-path evidence (ro-fastpath tier, DESIGN.md §9.3):
+	// the share of commits that went through the declared read-only
+	// protocol and how many read-log entries validation replayed per op
+	// (0 on the RO rows — TL2's read-only commit replays nothing).
+	ROCommitsPerOp       float64 `json:"ro_commits_per_op,omitempty"`
+	ValidationReadsPerOp float64 `json:"validation_reads_per_op,omitempty"`
 }
 
 // WriteBenchJSON writes recs as one JSON document (an array), the

@@ -39,17 +39,17 @@ func TestLazyAcquireAbortReturns(t *testing.T) {
 	thA := e.NewThread(1)
 	thB := e.NewThread(2)
 	var h stm.Handle
-	thA.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	stm.AtomicVoid(thA, func(tx stm.Tx) { h = tx.NewObject(1) })
 	const forced = 50
 	for i := 0; i < forced; i++ {
 		attempt := 0
-		thA.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(thA, func(tx stm.Tx) {
 			attempt++
 			if attempt > 1 {
 				return
 			}
 			tx.WriteField(h, 0, stm.Word(i)) // buffered lazily, not acquired
-			thB.Atomic(func(txb stm.Tx) { txb.WriteField(h, 0, stm.Word(i)+100) })
+			stm.AtomicVoid(thB, func(txb stm.Tx) { txb.WriteField(h, 0, stm.Word(i)+100) })
 		})
 	}
 	s := thA.Stats()
@@ -70,9 +70,9 @@ func TestReaderBitmapLifecycle(t *testing.T) {
 	e := New(Config{Reads: Visible, Manager: cm.NewSerializer()})
 	th := e.NewThread(5)
 	var h stm.Handle
-	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 	o := e.object(h)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		_ = tx.ReadField(h, 0)
 		if got := o.readers.Load(); got != 1<<5 {
 			t.Errorf("mid-transaction bitmap = %#x, want bit 5 only", got)
@@ -97,16 +97,16 @@ func TestWriterKillsVisibleReader(t *testing.T) {
 	thR := e.NewThread(1)
 	thW := e.NewThread(2)
 	var h stm.Handle
-	thR.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	stm.AtomicVoid(thR, func(tx stm.Tx) { h = tx.NewObject(1) })
 	attempts := 0
 	var got stm.Word
-	thR.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(thR, func(tx stm.Tx) {
 		attempts++
 		_ = tx.ReadField(h, 0)
 		if attempts == 1 {
 			// A full writer transaction lands while we hold a visible
 			// read; its afterAcquire must kill us via the bitmap.
-			thW.Atomic(func(txw stm.Tx) { txw.WriteField(h, 0, 42) })
+			stm.AtomicVoid(thW, func(txw stm.Tx) { txw.WriteField(h, 0, 42) })
 		}
 		got = tx.ReadField(h, 0)
 	})
@@ -133,7 +133,7 @@ func TestVisibleReadersAllThreads(t *testing.T) {
 	e := New(Config{Reads: Visible, Manager: cm.NewSerializer()})
 	th0 := e.NewThread(0)
 	var h stm.Handle
-	th0.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	stm.AtomicVoid(th0, func(tx stm.Tx) { h = tx.NewObject(1) })
 	const readers = 32 // > the old visSlots=16 hard cap
 	var wg sync.WaitGroup
 	for i := 0; i < readers; i++ {
@@ -142,7 +142,7 @@ func TestVisibleReadersAllThreads(t *testing.T) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for n := 0; n < 200; n++ {
-				th.Atomic(func(tx stm.Tx) { _ = tx.ReadField(h, 0) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { _ = tx.ReadField(h, 0) })
 			}
 		}(i)
 	}

@@ -211,19 +211,19 @@ func (e *Engine) Name() string {
 func (e *Engine) Arena() *mem.Arena { return nil }
 
 func (e *Engine) object(h stm.Handle) *object {
-	if h == 0 || h >= e.next.Load() {
-		panic(fmt.Sprintf("rstm: invalid object handle %#x (next %#x)", h, e.next.Load()))
+	if h == 0 || uint64(h) >= e.next.Load() {
+		panic(fmt.Sprintf("rstm: invalid object handle %#x (next %#x)", uint64(h), e.next.Load()))
 	}
 	c := e.chunks[h>>chunkBits].Load()
 	if c == nil {
-		panic(fmt.Sprintf("rstm: handle %#x points into an unallocated chunk", h))
+		panic(fmt.Sprintf("rstm: handle %#x points into an unallocated chunk", uint64(h)))
 	}
 	return &c[h&(chunkSize-1)]
 }
 
 // newObject allocates an object with nFields zeroed fields.
 func (e *Engine) newObject(nFields uint32) stm.Handle {
-	h := e.next.Add(1) - 1
+	h := stm.Handle(e.next.Add(1) - 1)
 	ci := h >> chunkBits
 	if ci >= maxChunks {
 		panic("rstm: object table exhausted")
@@ -265,6 +265,7 @@ type lazyWrite struct {
 type txn struct {
 	e        *Engine
 	id       int
+	ro       bool // current transaction declared read-only (stm.ReadOnly)
 	cur      *attempt
 	pub      bool // cur escaped into shared state (locator / reader slot)
 	state    cm.TxState
@@ -275,6 +276,7 @@ type txn struct {
 	lastCC   uint64      // commit counter at last validation
 	rng      *util.Rand
 	succ     int
+	roV      roTx // pre-allocated read-only view returned by Begin(ReadOnly)
 	stats    stm.Stats
 }
 
@@ -283,29 +285,86 @@ func (e *Engine) NewThread(id int) stm.Thread {
 	if id < 0 || id >= stm.MaxThreads {
 		panic("rstm: thread id out of range")
 	}
-	return &txn{
+	t := &txn{
 		e:   e,
 		id:  id,
 		rng: util.NewRand(uint64(id)*0x2545f491 + 11),
 	}
+	t.roV.t = t
+	return t
 }
 
 // Stats implements stm.Thread.
 func (t *txn) Stats() stm.Stats { return t.stats }
 
-// Atomic implements stm.Thread.
-func (t *txn) Atomic(body func(stm.Tx)) {
-	restart := false
-	for {
-		t.begin(restart)
-		if t.attemptRun(body) {
-			t.succ = 0
-			return
-		}
-		restart = true
-		t.succ++
-		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+// Run implements stm.Thread: the engine-facing v2 primitive.
+func (t *txn) Run(body func(stm.Tx) error, mode stm.Mode) error {
+	return stm.RunLoop(t, body, mode)
+}
+
+// Begin implements stm.Thread. A declared read-only transaction skips
+// the acquire/arbitration state wholesale: no write or lazy sets, and —
+// with invisible reads — no contention-manager bookkeeping either, since
+// an invisible read-only attempt is never published and so never
+// arbitrates against anyone (DESIGN.md §9.3).
+func (t *txn) Begin(mode stm.Mode, restart bool) stm.Tx {
+	if mode == stm.ReadOnly {
+		t.ro = true
+		t.beginRO(restart)
+		return &t.roV
 	}
+	t.ro = false
+	t.begin(restart)
+	return t
+}
+
+// Commit implements stm.Thread: try to commit; a failure is delivered as
+// a checked return (or by the UnwindAborts measurement ablation's panic).
+func (t *txn) Commit() bool {
+	var ok bool
+	if t.ro {
+		ok = t.commitRO()
+	} else {
+		ok = t.commitInner()
+	}
+	if ok {
+		t.succ = 0
+		return true
+	}
+	if t.e.cfg.UnwindAborts {
+		panic(stm.SignalRollback)
+	}
+	t.stats.AbortsReturned++
+	return false
+}
+
+// Unwind implements stm.Thread: triage a panic recovered mid-body; a
+// foreign panic freezes the attempt and drops visible-reader slots
+// before the caller propagates it.
+func (t *txn) Unwind(r any) bool {
+	if _, rb := r.(stm.RollbackSignal); rb {
+		t.stats.AbortsUnwound++
+		return true
+	}
+	t.cur.status.CompareAndSwap(statusActive, statusAborted)
+	t.dropVisible()
+	return false
+}
+
+// AbortUser implements stm.Thread: roll back because the body returned
+// an error. Acquired objects revert through the frozen attempt's status
+// (stale locators resolve to old data); no retry.
+func (t *txn) AbortUser() {
+	t.abort(false)
+	t.stats.AbortsUser++
+	t.stats.AbortsReturned++
+	t.succ = 0 // the logical transaction ends here, like a commit
+}
+
+// Backoff implements stm.Thread.
+func (t *txn) Backoff() {
+	t.succ++
+	util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
 }
 
 func (t *txn) begin(restart bool) {
@@ -332,26 +391,24 @@ func (t *txn) begin(restart bool) {
 	t.e.cfg.Manager.OnStart(&t.state, restart)
 }
 
-// attemptRun runs the body once and commits. Commit-path aborts arrive
-// as a checked false from commit(); only conflicts raised inside the
-// user closure (a ReadField/WriteField that cannot proceed, Restart)
-// unwind via the pre-allocated signal, recovered here in this single
-// frame.
-func (t *txn) attemptRun(body func(stm.Tx)) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, rb := r.(stm.RollbackSignal); rb {
-				t.stats.AbortsUnwound++
-				ok = false
-				return
-			}
-			t.cur.status.CompareAndSwap(statusActive, statusAborted)
-			t.dropVisible()
-			panic(r)
-		}
-	}()
-	body(t)
-	return t.commit()
+// beginRO starts a declared read-only attempt: descriptor reuse/reset and
+// a fresh read set. The write and lazy sets stay untouched (nothing reads
+// them in read-only mode), the visible set is invariantly empty between
+// transactions (dropVisible truncates it on every outcome), and the
+// contention manager is only consulted when reads are visible — an
+// invisible read-only attempt never arbitrates.
+func (t *txn) beginRO(restart bool) {
+	if t.cur == nil || t.pub {
+		t.cur = &attempt{state: &t.state}
+		t.pub = false
+	} else {
+		t.cur.status.Store(statusActive)
+	}
+	t.readSet = t.readSet[:0]
+	t.lastCC = t.e.stableEpoch()
+	if t.e.cfg.Reads == Visible {
+		t.e.cfg.Manager.OnStart(&t.state, restart)
+	}
 }
 
 // abort performs the rollback bookkeeping — freeze the attempt, drop
@@ -642,22 +699,32 @@ func (t *txn) validate() bool {
 	return true
 }
 
-// commit finishes the transaction, reporting false when it aborted. All
-// aborts detected here — commit-time acquisition conflicts of the lazy
-// mode, read-set validation, CM kills landing at commit — take the
-// checked return path; the UnwindAborts ablation restores the old panic
-// delivery for A/B measurement.
-func (t *txn) commit() bool {
-	if t.commitInner() {
-		return true
+// commitRO commits a declared read-only transaction: no lazy acquisition,
+// no writer detection, no flip section. Invisible reads validate under a
+// stable epoch; visible readers may have been killed by a writer, which
+// the status CAS detects.
+func (t *txn) commitRO() bool {
+	if t.e.cfg.Reads == Invisible && len(t.readSet) > 0 {
+		if !t.maybeValidate() {
+			return false
+		}
 	}
-	if t.e.cfg.UnwindAborts {
-		panic(stm.SignalRollback)
+	if !t.cur.status.CompareAndSwap(statusActive, statusCommitted) {
+		t.stats.AbortsKilled++
+		t.abort(false)
+		return false
 	}
-	t.stats.AbortsReturned++
-	return false
+	t.dropVisible()
+	t.stats.Commits++
+	t.stats.ROCommits++
+	return true
 }
 
+// commitInner finishes the transaction, reporting false when it aborted.
+// All aborts detected here — commit-time acquisition conflicts of the
+// lazy mode, read-set validation, CM kills landing at commit — take the
+// checked return path through Commit; the UnwindAborts ablation restores
+// the old panic delivery for A/B measurement.
 func (t *txn) commitInner() bool {
 	if t.killedAbort() {
 		return false
@@ -755,6 +822,29 @@ func (t *txn) dropVisible() {
 	t.visSet = t.visSet[:0]
 }
 
+// openReadRO is openRead for declared read-only transactions: no lazy
+// write-set probe (writes are impossible) and, with invisible reads, no
+// kill checks — an unpublished read-only attempt is unreachable by any
+// contention manager.
+func (t *txn) openReadRO(o *object) ([]stm.Word, bool) {
+	if t.e.cfg.Reads == Visible {
+		return t.openReadVisible(o, o.loc.Load())
+	}
+	for {
+		if !t.maybeValidate() {
+			return nil, false
+		}
+		cc := t.lastCC
+		loc := o.loc.Load()
+		data := current(loc)
+		if t.e.commits.Load() != cc {
+			continue // a commit raced with the read; resample
+		}
+		t.readSet = append(t.readSet, readEntry{obj: o, data: data})
+		return data, true
+	}
+}
+
 // ReadField implements stm.Tx. A read that cannot proceed must interrupt
 // the user closure, so this thin wrapper converts openRead's checked
 // abort into the single unwinding panic.
@@ -766,6 +856,11 @@ func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
 	return data[field]
 }
 
+// ReadRef implements stm.Tx.
+func (t *txn) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(t.ReadField(h, field))
+}
+
 // WriteField implements stm.Tx.
 func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
 	data, ok := t.openWrite(t.e.object(h))
@@ -775,11 +870,17 @@ func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
 	data[field] = v
 }
 
+// WriteRef implements stm.Tx.
+func (t *txn) WriteRef(h stm.Handle, field uint32, ref stm.Handle) {
+	t.WriteField(h, field, stm.Word(ref))
+}
+
 // NewObject implements stm.Tx.
 func (t *txn) NewObject(fields uint32) stm.Handle { return t.e.newObject(fields) }
 
 // Load implements stm.Tx. RSTM has no word API (the paper cannot run
-// STAMP on RSTM for the same reason, §4 footnote 4).
+// STAMP on RSTM for the same reason, §4 footnote 4); drivers gate on
+// stm.SupportsWordAPI, so reaching this panic is a driver bug.
 func (t *txn) Load(a stm.Addr) stm.Word { panic(stm.ErrWordAPI) }
 
 // Store implements stm.Tx.
@@ -788,6 +889,43 @@ func (t *txn) Store(a stm.Addr, v stm.Word) { panic(stm.ErrWordAPI) }
 // AllocWords implements stm.Tx.
 func (t *txn) AllocWords(n uint32) stm.Addr { panic(stm.ErrWordAPI) }
 
+// SupportsWordAPI reports the word-API capability (stm.SupportsWordAPI):
+// RSTM is object-based and has none.
+func (e *Engine) SupportsWordAPI() bool { return false }
+
+// roTx is the transaction view Begin returns for declared read-only
+// mode; see the swisstm counterpart for the rationale. Object-API write
+// methods are unreachable through TxRO and panic as defense in depth;
+// word-API methods panic ErrWordAPI like the read-write view.
+type roTx struct{ t *txn }
+
+const errROWrite = "rstm: write inside a declared read-only transaction"
+
+// ReadField implements stm.Tx on the read-only view.
+func (r *roTx) ReadField(h stm.Handle, field uint32) stm.Word {
+	data, ok := r.t.openReadRO(r.t.e.object(h))
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return data[field]
+}
+
+// ReadRef implements stm.Tx on the read-only view.
+func (r *roTx) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(r.ReadField(h, field))
+}
+
+// Restart implements stm.Tx on the read-only view.
+func (r *roTx) Restart() { r.t.Restart() }
+
+func (r *roTx) Load(stm.Addr) stm.Word                  { panic(stm.ErrWordAPI) }
+func (r *roTx) Store(stm.Addr, stm.Word)                { panic(stm.ErrWordAPI) }
+func (r *roTx) AllocWords(uint32) stm.Addr              { panic(stm.ErrWordAPI) }
+func (r *roTx) WriteField(stm.Handle, uint32, stm.Word) { panic(errROWrite) }
+func (r *roTx) WriteRef(stm.Handle, uint32, stm.Handle) { panic(errROWrite) }
+func (r *roTx) NewObject(uint32) stm.Handle             { panic(errROWrite) }
+
 var _ stm.STM = (*Engine)(nil)
 var _ stm.Thread = (*txn)(nil)
 var _ stm.Tx = (*txn)(nil)
+var _ stm.Tx = (*roTx)(nil)

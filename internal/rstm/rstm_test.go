@@ -43,7 +43,7 @@ func TestWordAPIRejected(t *testing.T) {
 			t.Fatal("word API should panic on RSTM")
 		}
 	}()
-	th.Atomic(func(tx stm.Tx) { tx.Load(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { tx.Load(1) })
 }
 
 func TestCloneIsolation(t *testing.T) {
@@ -52,8 +52,8 @@ func TestCloneIsolation(t *testing.T) {
 	e := New(Config{Acquire: Eager, Reads: Invisible, Manager: cm.NewTimid()})
 	th := e.NewThread(0)
 	var h stm.Handle
-	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(2) })
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(2) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.WriteField(h, 0, 10)
 		tx.WriteField(h, 1, 20)
 	})
@@ -61,7 +61,7 @@ func TestCloneIsolation(t *testing.T) {
 	// Abort a transaction mid-flight via Restart after writing; the writes
 	// must not be visible afterwards.
 	tries := 0
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tries++
 		if tries == 1 {
 			tx.WriteField(h, 0, 999)
@@ -69,7 +69,7 @@ func TestCloneIsolation(t *testing.T) {
 		}
 	})
 	var a, b stm.Word
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		a = tx.ReadField(h, 0)
 		b = tx.ReadField(h, 1)
 	})
@@ -87,16 +87,16 @@ func TestObjectTableGrowth(t *testing.T) {
 	// Allocate across multiple chunks.
 	n := chunkSize + 100
 	hs := make([]stm.Handle, 0, n)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := 0; i < n; i++ {
 			hs = append(hs, tx.NewObject(1))
 		}
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.WriteField(hs[0], 0, 1)
 		tx.WriteField(hs[n-1], 0, 2)
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		if tx.ReadField(hs[0], 0) != 1 || tx.ReadField(hs[n-1], 0) != 2 {
 			t.Error("cross-chunk object state lost")
 		}

@@ -23,7 +23,7 @@ func TestLinkedStructureStress(t *testing.T) {
 				// head object: field 0 = first node handle.
 				// node: field 0 = key, field 1 = next.
 				var head stm.Handle
-				setup.Atomic(func(tx stm.Tx) { head = tx.NewObject(1) })
+				stm.AtomicVoid(setup, func(tx stm.Tx) { head = tx.NewObject(1) })
 				const keyRange = 64
 				var wg sync.WaitGroup
 				stop := false
@@ -38,7 +38,7 @@ func TestLinkedStructureStress(t *testing.T) {
 							key := stm.Word(seed>>33)%keyRange + 1
 							switch (seed >> 20) % 3 {
 							case 0: // insert sorted (no duplicates)
-								th.Atomic(func(tx stm.Tx) {
+								stm.AtomicVoid(th, func(tx stm.Tx) {
 									prev := head
 									prevField := uint32(0)
 									cur := stm.Handle(tx.ReadField(head, 0))
@@ -59,7 +59,7 @@ func TestLinkedStructureStress(t *testing.T) {
 									tx.WriteField(prev, prevField, stm.Word(n))
 								})
 							case 1: // delete
-								th.Atomic(func(tx stm.Tx) {
+								stm.AtomicVoid(th, func(tx stm.Tx) {
 									prev := head
 									prevField := uint32(0)
 									cur := stm.Handle(tx.ReadField(head, 0))
@@ -77,7 +77,7 @@ func TestLinkedStructureStress(t *testing.T) {
 									}
 								})
 							case 2: // scan: keys must be strictly ascending
-								th.Atomic(func(tx stm.Tx) {
+								stm.AtomicVoid(th, func(tx stm.Tx) {
 									last := stm.Word(0)
 									cur := stm.Handle(tx.ReadField(head, 0))
 									hops := 0
@@ -101,7 +101,7 @@ func TestLinkedStructureStress(t *testing.T) {
 				wg.Wait()
 				stop = true
 				// Final scan must be sorted and acyclic.
-				setup.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(setup, func(tx stm.Tx) {
 					last := stm.Word(0)
 					cur := stm.Handle(tx.ReadField(head, 0))
 					for cur != 0 {

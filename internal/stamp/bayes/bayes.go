@@ -81,7 +81,7 @@ func (a *App) Setup(e stm.STM) error {
 	}
 	th := e.NewThread(0)
 	a.rows = make([]stm.Handle, a.v)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for r := range a.rows {
 			a.rows[r] = tx.NewObject(uint32(1 + a.v))
 		}
@@ -126,7 +126,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 		if from == to {
 			continue
 		}
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			row := a.rows[from]
 			if tx.ReadField(row, rowAdj0+uint32(to)) != 0 {
 				return // edge already present
@@ -153,20 +153,24 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 // must equal a recomputation from the final structure.
 func (a *App) Check(e stm.STM) error {
 	th := e.NewThread(stm.MaxThreads - 1)
-	adj := make([][]bool, a.v)
-	var parents []int64
-	var score int64
-	th.Atomic(func(tx stm.Tx) {
-		parents = make([]int64, a.v)
+	type snapshot struct {
+		adj     [][]bool
+		parents []int64
+		score   int64
+	}
+	snap := stm.AtomicRO(th, func(tx stm.TxRO) snapshot {
+		sn := snapshot{adj: make([][]bool, a.v), parents: make([]int64, a.v)}
 		for r := 0; r < a.v; r++ {
-			adj[r] = make([]bool, a.v)
+			sn.adj[r] = make([]bool, a.v)
 			for c := 0; c < a.v; c++ {
-				adj[r][c] = tx.ReadField(a.rows[r], rowAdj0+uint32(c)) != 0
+				sn.adj[r][c] = tx.ReadField(a.rows[r], rowAdj0+uint32(c)) != 0
 			}
-			parents[r] = int64(tx.ReadField(a.rows[r], rowParents))
+			sn.parents[r] = int64(tx.ReadField(a.rows[r], rowParents))
 		}
-		score = int64(tx.ReadField(a.score, 0))
+		sn.score = int64(tx.ReadField(a.score, 0))
+		return sn
 	})
+	adj, parents, score := snap.adj, snap.parents, snap.score
 	// Parent counts must match the adjacency matrix.
 	for c := 0; c < a.v; c++ {
 		n := int64(0)

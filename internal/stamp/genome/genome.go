@@ -106,7 +106,7 @@ func (a *App) Setup(e stm.STM) error {
 		a.segCodes[i], a.segCodes[j] = a.segCodes[j], a.segCodes[i]
 	}
 	th := e.NewThread(0)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		a.segSet = tmds.NewMap(tx, 1024)
 		a.prefixMap = tmds.NewMap(tx, 1024)
 		a.segList = tmds.NewList(tx)
@@ -137,7 +137,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 			break
 		}
 		code := a.segCodes[i]
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			if _, dup := a.segSet.Get(tx, code); dup {
 				return
 			}
@@ -162,7 +162,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 			break
 		}
 		code := a.segCodes[i]
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			segW, ok := a.segSet.Get(tx, code)
 			if !ok {
 				return
@@ -192,10 +192,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 // reproduce the original gene exactly.
 func (a *App) Check(e stm.STM) error {
 	th := e.NewThread(stm.MaxThreads - 1)
-	var rebuilt []byte
-	var err error
-	th.Atomic(func(tx stm.Tx) {
-		err = nil
+	rebuilt, err := stm.AtomicErr(th, func(tx stm.Tx) ([]byte, error) {
 		// The start segment is the unique unclaimed one.
 		start := stm.Handle(0)
 		starts := 0
@@ -206,24 +203,24 @@ func (a *App) Check(e stm.STM) error {
 			}
 		})
 		if starts != 1 {
-			err = fmt.Errorf("genome: %d chain heads, want 1", starts)
-			return
+			return nil, fmt.Errorf("genome: %d chain heads, want 1", starts)
 		}
 		// Decode the first segment fully, then one nucleotide per link.
-		rebuilt = rebuilt[:0]
+		out := make([]byte, 0, len(a.gene))
 		code := tx.ReadField(start, sgCode)
 		for k := a.segLen - 1; k >= 0; k-- {
-			rebuilt = append(rebuilt, byte(code>>(2*uint(k))&3))
+			out = append(out, byte(code>>(2*uint(k))&3))
 		}
 		n := start
 		for {
-			nx := stm.Handle(tx.ReadField(n, sgNext))
+			nx := tx.ReadRef(n, sgNext)
 			if nx == 0 {
 				break
 			}
-			rebuilt = append(rebuilt, byte(tx.ReadField(nx, sgCode)&3))
+			out = append(out, byte(tx.ReadField(nx, sgCode)&3))
 			n = nx
 		}
+		return out, nil
 	})
 	if err != nil {
 		return err

@@ -87,7 +87,7 @@ func (a *App) Setup(e stm.STM) error {
 		a.fragments[i], a.fragments[j] = a.fragments[j], a.fragments[i]
 	}
 	th := e.NewThread(0)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		a.queue = tmds.NewQueue(tx)
 		a.flows = tmds.NewMap(tx, 512)
 		a.attacks = tmds.NewList(tx)
@@ -100,7 +100,7 @@ func (a *App) Setup(e stm.STM) error {
 			end = len(a.fragments)
 		}
 		i := i
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := i; k < end; k++ {
 				// The queue carries indexes into a.fragments, which is
 				// immutable once setup completes.
@@ -113,25 +113,27 @@ func (a *App) Setup(e stm.STM) error {
 
 // Work implements stamp.App.
 func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
+	type dequeued struct {
+		idx stm.Word
+		ok  bool
+	}
+	type flowDone struct {
+		sum       uint64
+		completed bool
+	}
 	for {
-		var fragIdx stm.Word
-		empty := false
 		// Capture phase: one transaction per dequeue (the hot spot).
-		th.Atomic(func(tx stm.Tx) {
+		dq := stm.Atomic(th, func(tx stm.Tx) dequeued {
 			v, ok := a.queue.Dequeue(tx)
-			empty = !ok
-			fragIdx = v
+			return dequeued{idx: v, ok: ok}
 		})
-		if empty {
+		if !dq.ok {
 			return
 		}
-		fr := a.fragments[fragIdx]
+		fr := a.fragments[dq.idx]
 		// Reassembly phase: merge the fragment into its flow object;
 		// detection runs when the last fragment lands.
-		var completedSum uint64
-		completed := false
-		th.Atomic(func(tx stm.Tx) {
-			completed = false
+		done := stm.Atomic(th, func(tx stm.Tx) flowDone {
 			var fa stm.Handle
 			if v, ok := a.flows.Get(tx, stm.Word(fr.flow)); ok {
 				fa = stm.Handle(v)
@@ -145,14 +147,14 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 			tx.WriteField(fa, faGot, got)
 			tx.WriteField(fa, faSum, sum)
 			if got == tx.ReadField(fa, faWant) {
-				completed = true
-				completedSum = uint64(sum)
+				return flowDone{sum: uint64(sum), completed: true}
 			}
+			return flowDone{}
 		})
 		a.processed.Add(1)
-		if completed && attack(completedSum) {
+		if done.completed && attack(done.sum) {
 			// Detection phase: log the attack.
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				a.attacks.Push(tx, stm.Word(fr.flow))
 			})
 		}
@@ -166,12 +168,10 @@ func (a *App) Check(e stm.STM) error {
 		return fmt.Errorf("intruder: processed %d fragments, want %d", got, len(a.fragments))
 	}
 	th := e.NewThread(stm.MaxThreads - 1)
-	var err error
-	th.Atomic(func(tx stm.Tx) {
-		err = nil
+	_, err := stm.AtomicErr(th, func(tx stm.Tx) (struct{}, error) {
+		var zero struct{}
 		if n := a.queue.Len(tx); n != 0 {
-			err = fmt.Errorf("intruder: %d fragments left in queue", n)
-			return
+			return zero, fmt.Errorf("intruder: %d fragments left in queue", n)
 		}
 		found := map[stm.Word]bool{}
 		a.attacks.Visit(tx, func(v stm.Word) { found[v] = true })
@@ -180,15 +180,16 @@ func (a *App) Check(e stm.STM) error {
 			if isAtk {
 				want++
 				if !found[stm.Word(f)] {
-					err = fmt.Errorf("intruder: attack flow %d not detected", f)
+					return zero, fmt.Errorf("intruder: attack flow %d not detected", f)
 				}
 			} else if found[stm.Word(f)] {
-				err = fmt.Errorf("intruder: false positive on flow %d", f)
+				return zero, fmt.Errorf("intruder: false positive on flow %d", f)
 			}
 		}
-		if err == nil && len(found) != want {
-			err = fmt.Errorf("intruder: %d attacks logged, want %d", len(found), want)
+		if len(found) != want {
+			return zero, fmt.Errorf("intruder: %d attacks logged, want %d", len(found), want)
 		}
+		return zero, nil
 	})
 	return err
 }

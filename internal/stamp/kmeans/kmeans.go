@@ -88,7 +88,7 @@ func (a *App) Setup(e stm.STM) error {
 	}
 	th := e.NewThread(0)
 	a.acc = make([]stm.Handle, a.k)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for c := range a.acc {
 			a.acc[c] = tx.NewObject(uint32(1 + a.dims))
 		}
@@ -135,9 +135,8 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 			if end > uint64(a.nPoints) {
 				end = uint64(a.nPoints)
 			}
-			moved := 0
-			th.Atomic(func(tx stm.Tx) {
-				moved = 0
+			moved := stm.Atomic(th, func(tx stm.Tx) int {
+				moved := 0
 				for i := start; i < end; i++ {
 					p := a.points[i]
 					c := a.nearest(p)
@@ -151,6 +150,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 						tx.WriteField(h, f, tx.ReadField(h, f)+stm.Word(uint64(p[d])))
 					}
 				}
+				return moved
 			})
 			// Assignment bookkeeping outside the transaction (plain
 			// memory, single writer per point since chunks are disjoint).
@@ -165,7 +165,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 		a.barrier.Await()
 		// Phase 2: worker 0 folds the accumulators into new centers.
 		if worker == 0 {
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				for c := 0; c < a.k; c++ {
 					h := a.acc[c]
 					n := int64(tx.ReadField(h, 0))

@@ -72,7 +72,7 @@ func (a *App) Setup(e stm.STM) error {
 	const batch = 128
 	for i := 0; i < a.nNodes; i += batch {
 		i := i
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := i; k < i+batch && k < a.nNodes; k++ {
 				a.nodes[k] = tx.NewObject(uint32(1 + a.maxDeg))
 			}
@@ -90,7 +90,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 		}
 		u, v := a.edges[i][0], a.edges[i][1]
 		h := a.nodes[u]
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			d := tx.ReadField(h, ndDegree)
 			tx.WriteField(h, ndSlot0+uint32(d), stm.Word(v))
 			tx.WriteField(h, ndDegree, d+1)
@@ -109,27 +109,24 @@ func (a *App) Check(e stm.STM) error {
 		want[ed[0]][ed[1]]++
 	}
 	th := e.NewThread(stm.MaxThreads - 1)
-	var err error
 	total := 0
 	for u := 0; u < a.nNodes; u++ {
 		u := u
-		deg := 0
-		th.Atomic(func(tx stm.Tx) {
-			err = nil
+		deg, err := stm.AtomicROErr(th, func(tx stm.TxRO) (int, error) {
 			d := int(tx.ReadField(a.nodes[u], ndDegree))
-			deg = d
 			got := map[int]int{}
 			for s := 0; s < d; s++ {
 				got[int(tx.ReadField(a.nodes[u], ndSlot0+uint32(s)))]++
 			}
 			for v, n := range want[u] {
 				if got[v] != n {
-					err = fmt.Errorf("ssca2: node %d neighbor %d count %d, want %d", u, v, got[v], n)
+					return 0, fmt.Errorf("ssca2: node %d neighbor %d count %d, want %d", u, v, got[v], n)
 				}
 			}
 			if len(got) != len(want[u]) {
-				err = fmt.Errorf("ssca2: node %d has %d distinct neighbors, want %d", u, len(got), len(want[u]))
+				return 0, fmt.Errorf("ssca2: node %d has %d distinct neighbors, want %d", u, len(got), len(want[u]))
 			}
+			return d, nil
 		})
 		if err != nil {
 			return err

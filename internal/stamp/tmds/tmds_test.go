@@ -26,8 +26,7 @@ func TestMapModel(t *testing.T) {
 			th := e.NewThread(0)
 			check := func(ops []uint16) bool {
 				// Fresh map and model per property invocation.
-				var m *Map
-				th.Atomic(func(tx stm.Tx) { m = NewMap(tx, 16) })
+				m := stm.Atomic(th, func(tx stm.Tx) *Map { return NewMap(tx, 16) })
 				model := map[stm.Word]stm.Word{}
 				for _, op := range ops {
 					k := stm.Word(op % 61)
@@ -35,20 +34,24 @@ func TestMapModel(t *testing.T) {
 					ok := true
 					switch op % 3 {
 					case 0:
-						var fresh bool
-						th.Atomic(func(tx stm.Tx) { fresh = m.Put(tx, k, v) })
+						fresh := stm.Atomic(th, func(tx stm.Tx) bool { return m.Put(tx, k, v) })
 						_, had := model[k]
 						ok = fresh == !had
 						model[k] = v
 					case 1:
-						var got stm.Word
-						var found bool
-						th.Atomic(func(tx stm.Tx) { got, found = m.Get(tx, k) })
+						res := stm.Atomic(th, func(tx stm.Tx) [2]stm.Word {
+							got, found := m.Get(tx, k)
+							f := stm.Word(0)
+							if found {
+								f = 1
+							}
+							return [2]stm.Word{got, f}
+						})
+						got, found := res[0], res[1] == 1
 						want, had := model[k]
 						ok = found == had && (!found || got == want)
 					case 2:
-						var deleted bool
-						th.Atomic(func(tx stm.Tx) { deleted = m.Delete(tx, k) })
+						deleted := stm.Atomic(th, func(tx stm.Tx) bool { return m.Delete(tx, k) })
 						_, had := model[k]
 						ok = deleted == had
 						delete(model, k)
@@ -58,7 +61,7 @@ func TestMapModel(t *testing.T) {
 					}
 				}
 				count := 0
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					count = 0
 					m.Visit(tx, func(k, v stm.Word) { count++ })
 				})
@@ -74,9 +77,8 @@ func TestMapModel(t *testing.T) {
 func TestMapPutIfAbsent(t *testing.T) {
 	e := engines()["swisstm"]()
 	th := e.NewThread(0)
-	var m *Map
-	th.Atomic(func(tx stm.Tx) { m = NewMap(tx, 4) })
-	th.Atomic(func(tx stm.Tx) {
+	m := stm.Atomic(th, func(tx stm.Tx) *Map { return NewMap(tx, 4) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		if !m.PutIfAbsent(tx, 1, 10) {
 			t.Error("first PutIfAbsent should succeed")
 		}
@@ -92,14 +94,13 @@ func TestMapPutIfAbsent(t *testing.T) {
 func TestQueueFIFO(t *testing.T) {
 	e := engines()["tinystm"]()
 	th := e.NewThread(0)
-	var q *Queue
-	th.Atomic(func(tx stm.Tx) { q = NewQueue(tx) })
-	th.Atomic(func(tx stm.Tx) {
+	q := stm.Atomic(th, func(tx stm.Tx) *Queue { return NewQueue(tx) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := stm.Word(1); i <= 10; i++ {
 			q.Enqueue(tx, i)
 		}
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		if q.Len(tx) != 10 {
 			t.Fatalf("len = %d", q.Len(tx))
 		}
@@ -122,10 +123,9 @@ func TestQueueConcurrentDrain(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			e := factory()
 			setup := e.NewThread(0)
-			var q *Queue
-			setup.Atomic(func(tx stm.Tx) { q = NewQueue(tx) })
+			q := stm.Atomic(setup, func(tx stm.Tx) *Queue { return NewQueue(tx) })
 			const items = 500
-			setup.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(setup, func(tx stm.Tx) {
 				for i := 1; i <= items; i++ {
 					q.Enqueue(tx, stm.Word(i))
 				}
@@ -139,12 +139,17 @@ func TestQueueConcurrentDrain(t *testing.T) {
 					defer wg.Done()
 					th := e.NewThread(id + 1)
 					for {
-						var v stm.Word
-						var ok bool
-						th.Atomic(func(tx stm.Tx) { v, ok = q.Dequeue(tx) })
-						if !ok {
+						r := stm.Atomic(th, func(tx stm.Tx) [2]stm.Word {
+							v, ok := q.Dequeue(tx)
+							if !ok {
+								return [2]stm.Word{0, 0}
+							}
+							return [2]stm.Word{v, 1}
+						})
+						if r[1] == 0 {
 							return
 						}
+						v := r[0]
 						mu.Lock()
 						got[v]++
 						mu.Unlock()
@@ -167,14 +172,13 @@ func TestQueueConcurrentDrain(t *testing.T) {
 func TestListPushVisit(t *testing.T) {
 	e := engines()["tl2"]()
 	th := e.NewThread(0)
-	var l *List
-	th.Atomic(func(tx stm.Tx) { l = NewList(tx) })
-	th.Atomic(func(tx stm.Tx) {
+	l := stm.Atomic(th, func(tx stm.Tx) *List { return NewList(tx) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		l.Push(tx, 1)
 		l.Push(tx, 2)
 		l.Push(tx, 3)
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		if l.Len(tx) != 3 {
 			t.Fatalf("len = %d", l.Len(tx))
 		}

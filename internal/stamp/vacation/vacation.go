@@ -92,7 +92,7 @@ func (a *App) Setup(e stm.STM) error {
 		a.tables[t] = rbtree.New(th)
 		for id := 1; id <= a.nResources; id++ {
 			id := id
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				r := tx.NewObject(rsFields)
 				total := stm.Word(2 + rng.Intn(6))
 				tx.WriteField(r, rsTotal, total)
@@ -105,7 +105,7 @@ func (a *App) Setup(e stm.STM) error {
 	a.customers = rbtree.New(th)
 	for c := 1; c <= a.nCustomers; c++ {
 		c := c
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			cu := tx.NewObject(cuSlot0 + maxResPerCustomer)
 			a.customers.Insert(tx, stm.Word(c), stm.Word(cu))
 		})
@@ -138,7 +138,7 @@ func (a *App) makeReservation(th stm.Thread, rng *util.Rand) {
 	for i := range ids {
 		ids[i] = stm.Word(rng.Intn(a.queryRange) + 1)
 	}
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		bestID := stm.Word(0)
 		var best stm.Handle
 		bestPrice := ^stm.Word(0)
@@ -183,7 +183,7 @@ func (a *App) makeReservation(th stm.Thread, rng *util.Rand) {
 // cancelReservation drops a random reservation of a random customer.
 func (a *App) cancelReservation(th stm.Thread, rng *util.Rand) {
 	custID := stm.Word(rng.Intn(a.nCustomers) + 1)
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		cuV, ok := a.customers.Lookup(tx, custID)
 		if !ok {
 			return
@@ -218,7 +218,7 @@ func (a *App) updatePrices(th stm.Thread, rng *util.Rand) {
 		ids[i] = stm.Word(rng.Intn(a.queryRange) + 1)
 	}
 	delta := stm.Word(rng.Intn(50))
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for _, id := range ids {
 			if v, ok := a.tables[table].Lookup(tx, id); ok {
 				r := stm.Handle(v)
@@ -232,9 +232,8 @@ func (a *App) updatePrices(th stm.Thread, rng *util.Rand) {
 // available + outstanding-reservations == total.
 func (a *App) Check(e stm.STM) error {
 	th := e.NewThread(stm.MaxThreads - 1)
-	var err error
-	th.Atomic(func(tx stm.Tx) {
-		err = nil
+	_, err := stm.AtomicErr(th, func(tx stm.Tx) (struct{}, error) {
+		var failure error
 		reserved := map[[2]stm.Word]stm.Word{} // (table,id) → count
 		a.customers.Visit(tx, func(_, cuV stm.Word) {
 			cu := stm.Handle(cuV)
@@ -252,11 +251,12 @@ func (a *App) Check(e stm.STM) error {
 				avail := tx.ReadField(r, rsAvail)
 				out := reserved[[2]stm.Word{stm.Word(t), id}]
 				if avail+out != total {
-					err = fmt.Errorf("vacation: table %d id %d: avail %d + reserved %d != total %d",
+					failure = fmt.Errorf("vacation: table %d id %d: avail %d + reserved %d != total %d",
 						t, id, avail, out, total)
 				}
 			})
 		}
+		return struct{}{}, failure
 	})
 	return err
 }

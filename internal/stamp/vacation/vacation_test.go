@@ -40,17 +40,17 @@ func TestReservationConservation(t *testing.T) {
 	}
 	// Some reservations must actually have happened.
 	th := e.NewThread(10)
-	reserved := 0
-	th.Atomic(func(tx stm.Tx) {
-		reserved = 0
+	reserved := stm.Atomic(th, func(tx stm.Tx) int {
+		n := 0
 		app.customers.Visit(tx, func(_, cuV stm.Word) {
 			cu := stm.Handle(cuV)
 			for s := uint32(0); s < maxResPerCustomer; s++ {
 				if tx.ReadField(cu, cuSlot0+s) != 0 {
-					reserved++
+					n++
 				}
 			}
 		})
+		return n
 	})
 	if reserved == 0 {
 		t.Fatal("no reservations made; workload inert")

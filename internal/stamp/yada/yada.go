@@ -63,16 +63,16 @@ func (a *App) Setup(e stm.STM) error {
 	const batch = 128
 	for i := 0; i < len(a.cells); i += batch {
 		i := i
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := i; k < i+batch && k < len(a.cells); k++ {
 				a.cells[k] = tx.NewObject(elFields)
 			}
 		})
 	}
 	rng := util.NewRand(0x9ada)
-	th.Atomic(func(tx stm.Tx) { a.queue = tmds.NewQueue(tx) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { a.queue = tmds.NewQueue(tx) })
 	seeded := map[int]bool{}
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for s := 0; s < a.seeds; s++ {
 			c := rng.Intn(len(a.cells))
 			if seeded[c] {
@@ -109,20 +109,17 @@ func (a *App) neighbors(c int) []int {
 // integer division strictly reduces the total badness.
 func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand) {
 	for {
-		empty := false
-		th.Atomic(func(tx stm.Tx) {
-			empty = false
+		empty := stm.Atomic(th, func(tx stm.Tx) bool {
 			v, ok := a.queue.Dequeue(tx)
 			if !ok {
-				empty = true
-				return
+				return true
 			}
 			c := int(v)
 			cell := a.cells[c]
 			tx.WriteField(cell, elQueued, 0)
 			bad := tx.ReadField(cell, elBad)
 			if bad < a.threshold {
-				return // stale queue entry; already refined
+				return false // stale queue entry; already refined
 			}
 			// Retriangulate the cavity: the element keeps a fraction,
 			// the rest spills into the neighborhood (reads + writes of
@@ -146,6 +143,7 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 					a.queue.Enqueue(tx, stm.Word(nb))
 				}
 			}
+			return false
 		})
 		if empty {
 			return
@@ -156,20 +154,13 @@ func (a *App) Work(e stm.STM, th stm.Thread, worker, threads int, rng *util.Rand
 // Check implements stamp.App: the queue is empty and no element is bad.
 func (a *App) Check(e stm.STM) error {
 	th := e.NewThread(stm.MaxThreads - 1)
-	var err error
-	th.Atomic(func(tx stm.Tx) {
-		err = nil
-		if n := a.queue.Len(tx); n != 0 {
-			err = fmt.Errorf("yada: queue still holds %d elements", n)
-			return
-		}
-	})
-	if err != nil {
-		return err
+	if n := stm.Atomic(th, func(tx stm.Tx) int { return a.queue.Len(tx) }); n != 0 {
+		return fmt.Errorf("yada: queue still holds %d elements", n)
 	}
+	var err error
 	for i, cell := range a.cells {
 		i, cell := i, cell
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			if b := tx.ReadField(cell, elBad); b >= a.threshold {
 				err = fmt.Errorf("yada: element %d still bad (%d ≥ %d)", i, b, a.threshold)
 			}

@@ -7,6 +7,8 @@
 //
 //   - The word API (Load/Store on arena addresses) is the native interface
 //     of the word-based engines — SwissTM, TL2, TinySTM. STAMP uses it.
+//     Object-based RSTM does not implement it; consult SupportsWordAPI
+//     before running a word-API workload on an arbitrary engine.
 //   - The object API (ReadField/WriteField on opaque handles) is the native
 //     interface of object-based RSTM; the word-based engines implement it
 //     with a thin wrapper that lays an object out as a contiguous block of
@@ -15,6 +17,33 @@
 //
 // STMBench7, Lee-TM and the red-black tree are written against the object
 // API so they run on all four engines, exactly as in the paper.
+//
+// # Transaction API v2 (DESIGN.md §9)
+//
+// Application code enters transactions through the package-level generic
+// entry points, which return the body's result as a value instead of
+// forcing callers to smuggle results out through closure captures:
+//
+//	sum := stm.Atomic(th, func(tx stm.Tx) stm.Word { ... return sum })
+//	v, err := stm.AtomicErr(th, func(tx stm.Tx) (stm.Word, error) { ... })
+//	n := stm.AtomicRO(th, func(tx stm.TxRO) int { ... })
+//	stm.AtomicVoid(th, func(tx stm.Tx) { ... })
+//
+// Atomic bodies may run many times (conflicts retry); they must be
+// idempotent apart from their transactional effects. An error returned by
+// an AtomicErr/AtomicROErr body rolls the transaction back — every lock
+// released, no write published — and surfaces to the caller without
+// retrying. AtomicRO declares the transaction read-only: the body receives
+// a TxRO, so writing is a compile error rather than a runtime panic, and
+// every engine exploits the declaration with a cheaper read and commit
+// protocol (see DESIGN.md §9.3).
+//
+// The entry points drive the engine-facing attempt primitives of the
+// Thread interface (Begin/Commit/Unwind/AbortUser/Backoff). Keeping the
+// retry loop in non-capturing package functions is what makes the v2 API
+// allocation-free in steady state: a closure-adapting wrapper would heap-
+// allocate per call (stmtest.ZeroAllocSteadyState holds every engine to
+// exactly zero).
 package stm
 
 import "swisstm/internal/mem"
@@ -28,15 +57,54 @@ type Addr = mem.Addr
 // Handle is an opaque object reference (object API). For word-based engines
 // a handle is the arena address of the object's first field; for RSTM it
 // indexes an object table. Handle 0 is the nil reference.
-type Handle = uint64
+//
+// Handle is a defined type (not an alias for uint64) so that handles and
+// raw Word values can no longer be mixed silently: storing a reference in
+// an object field goes through Tx.WriteRef (or an explicit Word(h)
+// conversion), and reading one back through TxRO.ReadRef.
+type Handle uint64
 
-// Tx is the per-transaction access handle passed to atomic blocks. All
-// methods abort the transaction (by panicking with an internal signal that
-// the enclosing Atomic call recovers) when a conflict requires it; user
-// code never observes an inconsistent snapshot (opacity).
-type Tx interface {
-	// Word API. RSTM does not support it and panics with ErrWordAPI.
+// Mode declares, at transaction start, whether the body may write.
+type Mode uint8
+
+const (
+	// ReadWrite is the general mode: the body gets the full Tx.
+	ReadWrite Mode = iota
+	// ReadOnly declares that the body performs no writes. Engines use the
+	// declaration to skip their write machinery entirely: TL2 commits on
+	// its clock sample with no read logging at all, SwissTM and TinySTM
+	// skip write-set init, lock acquisition and the write side of commit,
+	// RSTM skips acquire/arbitration state (DESIGN.md §9.3).
+	ReadOnly
+)
+
+// TxRO is the read-only transaction handle: the view an AtomicRO body
+// receives. It has no write methods, so writing inside a declared
+// read-only transaction is a compile error, not a runtime panic.
+// All methods abort the transaction (by panicking with an internal signal
+// that the retry loop recovers) when a conflict requires it; user code
+// never observes an inconsistent snapshot (opacity).
+type TxRO interface {
+	// Load reads one arena word (word API). RSTM does not support the
+	// word API and panics with ErrWordAPI; gate with SupportsWordAPI.
 	Load(a Addr) Word
+
+	// ReadField reads one field of an object (object API, all engines).
+	ReadField(h Handle, field uint32) Word
+	// ReadRef reads a field that holds an object reference, typed.
+	ReadRef(h Handle, field uint32) Handle
+
+	// Restart aborts and retries the transaction immediately (user-level
+	// retry, e.g. bounded wait loops in benchmark code).
+	Restart()
+}
+
+// Tx is the read-write transaction handle passed to Atomic/AtomicErr
+// bodies. It extends TxRO with the write and allocation methods.
+type Tx interface {
+	TxRO
+
+	// Store writes one arena word (word API; see TxRO.Load for RSTM).
 	Store(a Addr, v Word)
 	// AllocWords reserves n fresh arena words inside the transaction.
 	// Allocation is not undone on abort (the arena is a bump allocator);
@@ -45,23 +113,58 @@ type Tx interface {
 	// transactional allocators also leak on abort in the common case.
 	AllocWords(n uint32) Addr
 
-	// Object API, supported by every engine.
-	ReadField(h Handle, field uint32) Word
+	// WriteField writes one field of an object (object API, all engines).
 	WriteField(h Handle, field uint32, v Word)
+	// WriteRef writes a field that holds an object reference, typed.
+	WriteRef(h Handle, field uint32, ref Handle)
+	// NewObject allocates a fresh object with the given field count.
 	NewObject(fields uint32) Handle
-
-	// Restart aborts and retries the transaction immediately (user-level
-	// retry, e.g. bounded wait loops in benchmark code).
-	Restart()
 }
 
 // Thread is a per-worker execution context. Each OS-level worker goroutine
 // must create its own Thread; Threads are not safe for concurrent use.
+//
+// Beyond Stats, the interface is the engine-facing attempt machinery the
+// package-level entry points (Atomic, AtomicErr, AtomicRO, AtomicVoid,
+// RunLoop) drive; application code should not call the primitives
+// directly. One transaction is one
+//
+//	Begin → body → Commit
+//
+// cycle per attempt, with Unwind triaging panics that interrupt the body,
+// Backoff pacing retries and AbortUser rolling back an attempt whose body
+// returned an error.
 type Thread interface {
-	// Atomic runs body as a transaction, retrying on conflicts until it
-	// commits. The body may run many times; it must be idempotent apart
-	// from its transactional effects.
-	Atomic(body func(tx Tx))
+	// Run executes body as one transaction in the given mode, retrying on
+	// conflicts until it commits or the body returns a non-nil error (the
+	// transaction is then rolled back and the error returned). It is the
+	// non-generic engine-facing primitive; engines implement it by
+	// delegating to RunLoop, and the generic entry points replicate its
+	// loop so results flow back without a heap-allocated adapter.
+	Run(body func(Tx) error, mode Mode) error
+
+	// Begin starts one attempt in the given mode and returns the
+	// transaction handle to run the body against. restart is true when
+	// retrying the same logical transaction (contention managers keep
+	// their priority state across retries).
+	Begin(mode Mode, restart bool) Tx
+	// Commit attempts to commit the current attempt. It reports false
+	// when the attempt aborted (checked delivery; the caller retries).
+	// On success it also performs the engine's post-commit duties.
+	Commit() bool
+	// Unwind triages a panic value recovered while the body was running.
+	// It reports true for the engine's internal rollback signal (the
+	// attempt aborted mid-body; the caller retries) after recording the
+	// unwound delivery; for a foreign panic it releases any locks the
+	// attempt holds and reports false, and the caller must re-panic.
+	Unwind(r any) bool
+	// AbortUser rolls back the current attempt because the body returned
+	// an error: locks released, buffered writes dropped, no retry.
+	AbortUser()
+	// Backoff performs the engine's post-abort contention back-off
+	// between attempts.
+	Backoff()
+
 	// Stats returns a snapshot of this thread's commit/abort counters.
 	Stats() Stats
 }
@@ -75,33 +178,249 @@ type STM interface {
 	NewThread(id int) Thread
 }
 
+// wordAPICapable is implemented by engines that can answer the word-API
+// capability question (all four in this repository do).
+type wordAPICapable interface {
+	SupportsWordAPI() bool
+}
+
+// SupportsWordAPI reports whether e implements the word API (Load/Store/
+// AllocWords). Word-based engines (SwissTM, TL2, TinySTM) do; object-based
+// RSTM does not — the paper cannot run STAMP on RSTM for the same reason
+// (§4 footnote 4). Drivers consult this before starting a word-API
+// workload so an unsupported engine fails fast with a clear error instead
+// of panicking with ErrWordAPI mid-run.
+func SupportsWordAPI(e STM) bool {
+	if c, ok := e.(wordAPICapable); ok {
+		return c.SupportsWordAPI()
+	}
+	return false
+}
+
 // MaxThreads bounds the number of concurrently registered threads. The
 // paper's testbed has 8 hardware threads; we leave headroom.
 const MaxThreads = 64
 
+// ---------------------------------------------------------------------------
+// Entry points. Each replicates the same begin/attempt/commit loop rather
+// than adapting the body through a shared closure: an adapter closure (and
+// the result variable it captures) would escape through the Thread
+// interface and heap-allocate on every call, breaking the zero-allocation
+// steady state the engines guarantee.
+
+// Atomic runs body as a read-write transaction, retrying on conflicts
+// until it commits, and returns the body's result.
+func Atomic[T any](th Thread, body func(Tx) T) T {
+	for restart := false; ; restart = true {
+		tx := th.Begin(ReadWrite, restart)
+		if v, ok := attempt(th, tx, body); ok {
+			return v
+		}
+		th.Backoff()
+	}
+}
+
+// attempt runs body once inside an already-begun transaction and tries to
+// commit. ok=false means the attempt aborted and the caller must retry.
+func attempt[T any](th Thread, tx Tx, body func(Tx) T) (v T, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r) // foreign panic; engine released its locks
+			}
+			ok = false
+		}
+	}()
+	v = body(tx)
+	return v, th.Commit()
+}
+
+// AtomicErr runs body as a read-write transaction. Conflicts retry as in
+// Atomic; a non-nil error from the body rolls the transaction back (locks
+// released, writes dropped) and is returned without retrying, alongside
+// the zero value.
+func AtomicErr[T any](th Thread, body func(Tx) (T, error)) (T, error) {
+	for restart := false; ; restart = true {
+		tx := th.Begin(ReadWrite, restart)
+		v, err, ok := attemptErr(th, tx, body)
+		if err != nil {
+			th.AbortUser()
+			var zero T
+			return zero, err
+		}
+		if ok {
+			return v, nil
+		}
+		th.Backoff()
+	}
+}
+
+func attemptErr[T any](th Thread, tx Tx, body func(Tx) (T, error)) (v T, err error, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r)
+			}
+			ok = false
+			err = nil // an unwound attempt retries; drop any partial error
+		}
+	}()
+	v, err = body(tx)
+	if err != nil {
+		return v, err, false
+	}
+	return v, nil, th.Commit()
+}
+
+// AtomicRO runs body as a declared read-only transaction and returns its
+// result. The body receives a TxRO — no write methods — and the engine
+// runs its read-only fast path (DESIGN.md §9.3).
+func AtomicRO[T any](th Thread, body func(TxRO) T) T {
+	for restart := false; ; restart = true {
+		tx := th.Begin(ReadOnly, restart)
+		if v, ok := attemptRO(th, tx, body); ok {
+			return v
+		}
+		th.Backoff()
+	}
+}
+
+func attemptRO[T any](th Thread, tx TxRO, body func(TxRO) T) (v T, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	v = body(tx)
+	return v, th.Commit()
+}
+
+// AtomicROErr is AtomicErr for declared read-only transactions.
+func AtomicROErr[T any](th Thread, body func(TxRO) (T, error)) (T, error) {
+	for restart := false; ; restart = true {
+		tx := th.Begin(ReadOnly, restart)
+		v, err, ok := attemptROErr(th, tx, body)
+		if err != nil {
+			th.AbortUser()
+			var zero T
+			return zero, err
+		}
+		if ok {
+			return v, nil
+		}
+		th.Backoff()
+	}
+}
+
+func attemptROErr[T any](th Thread, tx TxRO, body func(TxRO) (T, error)) (v T, err error, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r)
+			}
+			ok = false
+			err = nil
+		}
+	}()
+	v, err = body(tx)
+	if err != nil {
+		return v, err, false
+	}
+	return v, nil, th.Commit()
+}
+
+// AtomicVoid runs a body with no result as a read-write transaction,
+// retrying on conflicts until it commits — the shape of the paper's
+// classic `atomic { ... }` block.
+func AtomicVoid(th Thread, body func(Tx)) {
+	for restart := false; ; restart = true {
+		tx := th.Begin(ReadWrite, restart)
+		if attemptVoid(th, tx, body) {
+			return
+		}
+		th.Backoff()
+	}
+}
+
+func attemptVoid(th Thread, tx Tx, body func(Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	body(tx)
+	return th.Commit()
+}
+
+// RunLoop is the shared implementation of Thread.Run: engines delegate
+// their Run method here so the retry protocol lives in exactly one place.
+func RunLoop(th Thread, body func(Tx) error, mode Mode) error {
+	for restart := false; ; restart = true {
+		tx := th.Begin(mode, restart)
+		err, ok := attemptRun(th, tx, body)
+		if err != nil {
+			th.AbortUser()
+			return err
+		}
+		if ok {
+			return nil
+		}
+		th.Backoff()
+	}
+}
+
+func attemptRun(th Thread, tx Tx, body func(Tx) error) (err error, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !th.Unwind(r) {
+				panic(r)
+			}
+			ok = false
+			err = nil
+		}
+	}()
+	if err = body(tx); err != nil {
+		return err, false
+	}
+	return nil, th.Commit()
+}
+
+// ---------------------------------------------------------------------------
+
 // Stats counts transaction outcomes for one thread.
 type Stats struct {
 	Commits         uint64 // successfully committed transactions
+	ROCommits       uint64 // committed transactions declared read-only (AtomicRO)
 	Aborts          uint64 // total rollbacks (all causes)
 	AbortsWW        uint64 // write/write conflicts (encounter-time)
 	AbortsValid     uint64 // read-set validation / extension failures
 	AbortsLocked    uint64 // read or commit hit a locked location
 	AbortsKilled    uint64 // aborted by another transaction's CM decision
-	AbortsExplicit  uint64 // user-requested restarts
+	AbortsExplicit  uint64 // user-requested restarts (Tx.Restart)
+	AbortsUser      uint64 // rollbacks because an AtomicErr body returned an error
 	WaitsCM         uint64 // times the CM told the attacker to wait
 	LockAcquireFail uint64 // commit-time lock acquisition failures (lazy engines)
 
-	// Abort delivery split (DESIGN.md §8): every abort reaches the Atomic
-	// retry loop either as a checked return from the commit path (cheap)
-	// or by unwinding the user closure via panic/recover (~µs). The two
-	// counters partition Aborts exactly: Aborts == AbortsUnwound +
-	// AbortsReturned, which the abort-path tests assert per engine.
+	// Abort delivery split (DESIGN.md §8): every abort reaches the retry
+	// loop either as a checked return (commit-path conflicts and user
+	// errors; cheap) or by unwinding the user closure via panic/recover
+	// (~µs). The two counters partition Aborts exactly: Aborts ==
+	// AbortsUnwound + AbortsReturned, which the abort-path tests assert
+	// per engine.
 	AbortsUnwound  uint64 // aborts delivered by panic/recover (mid-body conflicts, Restart)
-	AbortsReturned uint64 // aborts delivered as checked returns (commit-path conflicts)
+	AbortsReturned uint64 // aborts delivered as checked returns (commit-path conflicts, user errors)
 
 	// Hot-path instrumentation (DESIGN.md §7): how long read logs get and
 	// how much work validation does, so the read-set dedup win is visible
-	// in the structured results, not only in benchstat.
+	// in the structured results, not only in benchstat. Declared read-only
+	// transactions on TL2 log no reads at all (DESIGN.md §9.3), so their
+	// reads do not appear in ReadsLogged.
 	ReadsLogged     uint64 // read-log entries appended (distinct stripes when dedup is on)
 	ReadsDeduped    uint64 // transactional reads absorbed by the read-set dedup cache
 	Validations     uint64 // read-set validation passes (commit-time + extensions)
@@ -111,12 +430,14 @@ type Stats struct {
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Commits += other.Commits
+	s.ROCommits += other.ROCommits
 	s.Aborts += other.Aborts
 	s.AbortsWW += other.AbortsWW
 	s.AbortsValid += other.AbortsValid
 	s.AbortsLocked += other.AbortsLocked
 	s.AbortsKilled += other.AbortsKilled
 	s.AbortsExplicit += other.AbortsExplicit
+	s.AbortsUser += other.AbortsUser
 	s.WaitsCM += other.WaitsCM
 	s.LockAcquireFail += other.LockAcquireFail
 	s.AbortsUnwound += other.AbortsUnwound
@@ -138,8 +459,8 @@ func (s *Stats) AbortRate() float64 {
 }
 
 // RollbackSignal is the panic payload engines use to unwind an aborted
-// transaction to its Atomic retry loop. It is exported so that engine
-// packages share one signal type; user code should never see it.
+// transaction to its retry loop. It is exported so that engine packages
+// share one signal type; user code should never see it.
 //
 // Since the panic-free abort refactor (DESIGN.md §8) the unwind is
 // reserved for the single case that must interrupt user code mid-body: a
@@ -162,5 +483,7 @@ var (
 	SignalRestart  any = RollbackSignal{Explicit: true}
 )
 
-// ErrWordAPI is the panic message RSTM raises when the word API is used.
+// ErrWordAPI is the panic message RSTM raises when the word API is used
+// despite SupportsWordAPI reporting false (a driver bug; drivers must
+// gate word-API workloads on the capability check).
 const ErrWordAPI = "stm: engine is object-based; word API not supported (see DESIGN.md §3.1)"

@@ -66,7 +66,7 @@ func NewForcedAbort(e stm.STM, shape AbortShape) *ForcedAbort {
 	}
 	switch shape {
 	case ShapeReadValidation:
-		fa.thA.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(fa.thA, func(tx stm.Tx) {
 			fa.s = tx.AllocWords(1)
 			_ = tx.AllocWords(64) // keep s and p on distinct stripes at any granularity ≤ 64
 			fa.p = tx.AllocWords(1)
@@ -80,11 +80,11 @@ func NewForcedAbort(e stm.STM, shape AbortShape) *ForcedAbort {
 				return // clean retry: empty read-only commit
 			}
 			_ = tx.Load(fa.s)
-			fa.thB.Atomic(fa.bump) // S moves past the victim's snapshot
-			tx.Store(fa.p, fa.v)   // make the victim an updater so commit validates
+			stm.AtomicVoid(fa.thB, fa.bump) // S moves past the victim's snapshot
+			tx.Store(fa.p, fa.v)            // make the victim an updater so commit validates
 		}
 	case ShapeLockAcquire:
-		fa.thA.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(fa.thA, func(tx stm.Tx) {
 			fa.s = tx.AllocWords(1)
 			tx.Store(fa.s, 1)
 		})
@@ -94,11 +94,11 @@ func NewForcedAbort(e stm.STM, shape AbortShape) *ForcedAbort {
 			if fa.attempt > 1 {
 				return
 			}
-			tx.Store(fa.s, 0)      // buffered lazily; no lock taken
-			fa.thB.Atomic(fa.bump) // S's versioned lock moves past the snapshot
+			tx.Store(fa.s, 0)               // buffered lazily; no lock taken
+			stm.AtomicVoid(fa.thB, fa.bump) // S's versioned lock moves past the snapshot
 		}
 	case ShapeObjectValidation:
-		fa.thA.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(fa.thA, func(tx stm.Tx) {
 			fa.obj = tx.NewObject(2)
 			tx.WriteField(fa.obj, 0, 1)
 		})
@@ -109,7 +109,7 @@ func NewForcedAbort(e stm.STM, shape AbortShape) *ForcedAbort {
 				return
 			}
 			_ = tx.ReadField(fa.obj, 0)
-			fa.thB.Atomic(fa.bump) // O's committed version moves
+			stm.AtomicVoid(fa.thB, fa.bump) // O's committed version moves
 		}
 	default:
 		panic("stmtest: unknown AbortShape")
@@ -120,7 +120,7 @@ func NewForcedAbort(e stm.STM, shape AbortShape) *ForcedAbort {
 // Op runs one forced-abort cycle.
 func (fa *ForcedAbort) Op() {
 	fa.attempt = 0
-	fa.thA.Atomic(fa.body)
+	stm.AtomicVoid(fa.thA, fa.body)
 }
 
 // Stats returns the victim thread's counters.
@@ -182,8 +182,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 	t.Run("UserPanicPropagates", func(t *testing.T) {
 		e := factory()
 		th := e.NewThread(0)
-		var h stm.Handle
-		th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+		h := alloc(th, 1)
 		boom := errors.New("user bug")
 		func() {
 			defer func() {
@@ -191,7 +190,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 					t.Fatalf("recovered %v, want the user panic value", r)
 				}
 			}()
-			th.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(th, func(tx stm.Tx) {
 				tx.WriteField(h, 0, 7) // take the write lock, then blow up
 				panic(boom)
 			})
@@ -202,7 +201,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 		done := make(chan struct{})
 		go func() {
 			th2 := e.NewThread(1)
-			th2.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, 8) })
+			stm.AtomicVoid(th2, func(tx stm.Tx) { tx.WriteField(h, 0, 8) })
 			close(done)
 		}()
 		select {
@@ -210,8 +209,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 		case <-time.After(5 * time.Second):
 			t.Fatal("write after user panic wedged: engine leaked its lock")
 		}
-		var got stm.Word
-		th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+		got := readField(th, h, 0)
 		if got != 8 {
 			t.Fatalf("object holds %d, want 8 (panicked write must not commit)", got)
 		}
@@ -220,10 +218,9 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 	t.Run("RestartRetries", func(t *testing.T) {
 		e := factory()
 		th := e.NewThread(0)
-		var h stm.Handle
-		th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+		h := alloc(th, 1)
 		tries := 0
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			tries++
 			tx.WriteField(h, 0, stm.Word(tries))
 			if tries < 3 {
@@ -233,8 +230,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 		if tries != 3 {
 			t.Fatalf("body ran %d times, want 3", tries)
 		}
-		var got stm.Word
-		th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
+		got := readField(th, h, 0)
 		if got != 3 {
 			t.Fatalf("committed %d, want 3 (only the non-restarted attempt)", got)
 		}
@@ -250,8 +246,7 @@ func AbortPathSuite(t *testing.T, factory, mkUnwind func() stm.STM, shape AbortS
 	t.Run("StatsPartition", func(t *testing.T) {
 		e := factory()
 		th0 := e.NewThread(0)
-		var h stm.Handle
-		th0.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+		h := alloc(th0, 1)
 		// Hammer one counter from several goroutines so both mid-body and
 		// commit-time conflicts occur, then check the partition invariant
 		// on every thread.
@@ -275,7 +270,7 @@ func runCounterHammer(e stm.STM, h stm.Handle, workers, perWorker int) []stm.Sta
 			defer func() { done <- struct{}{} }()
 			th := e.NewThread(id + 1)
 			for n := 0; n < perWorker; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					tx.WriteField(h, 0, tx.ReadField(h, 0)+1)
 				})
 			}

@@ -7,32 +7,43 @@ import (
 )
 
 // ZeroAllocSteadyState asserts the allocation-free transaction lifecycle
-// invariant of DESIGN.md §7: once a thread's logs, pools and caches are
-// warm, committed transactions allocate nothing. It checks a read-only
-// transaction (with re-reads, so the dedup path is exercised) and — when
-// updates is true — a small update transaction. Engines whose design
-// inherently allocates on writes (RSTM clones objects per acquisition)
-// pass updates=false and are only held to the read-only bound.
+// invariant of DESIGN.md §7, now through the v2 value-returning API
+// (DESIGN.md §9): once a thread's logs, pools and caches are warm,
+// committed transactions allocate nothing. It checks a value-returning
+// read-only transaction via both Atomic and the declared-read-only
+// AtomicRO fast path (with re-reads, so the dedup path is exercised) and
+// — when updates is true — a small update transaction. Engines whose
+// design inherently allocates on writes (RSTM clones objects per
+// acquisition) pass updates=false and are only held to the read-only
+// bound.
 func ZeroAllocSteadyState(t *testing.T, e stm.STM, wordAPI, updates bool) {
 	t.Helper()
 	th := e.NewThread(0)
 
-	var roBody, upBody func(stm.Tx)
+	var roBody func(stm.Tx) stm.Word
+	var roBodyRO func(stm.TxRO) stm.Word
+	var upBody func(stm.Tx)
 	if wordAPI {
-		var base stm.Addr
-		th.Atomic(func(tx stm.Tx) {
-			base = tx.AllocWords(16)
+		base := stm.Atomic(th, func(tx stm.Tx) stm.Addr {
+			b := tx.AllocWords(16)
 			for i := stm.Addr(0); i < 16; i++ {
-				tx.Store(base+i, stm.Word(i))
+				tx.Store(b+i, stm.Word(i))
 			}
+			return b
 		})
-		roBody = func(tx stm.Tx) {
+		roBody = func(tx stm.Tx) stm.Word {
 			var sum stm.Word
 			for i := stm.Addr(0); i < 8; i++ {
 				sum += tx.Load(base + i)
 			}
-			sum += tx.Load(base) // re-read: dedup cache hit
-			_ = sum
+			return sum + tx.Load(base) // re-read: dedup cache hit
+		}
+		roBodyRO = func(tx stm.TxRO) stm.Word {
+			var sum stm.Word
+			for i := stm.Addr(0); i < 8; i++ {
+				sum += tx.Load(base + i)
+			}
+			return sum + tx.Load(base)
 		}
 		upBody = func(tx stm.Tx) {
 			v := tx.Load(base)
@@ -40,20 +51,26 @@ func ZeroAllocSteadyState(t *testing.T, e stm.STM, wordAPI, updates bool) {
 			tx.Store(base+9, v+2)
 		}
 	} else {
-		var obj stm.Handle
-		th.Atomic(func(tx stm.Tx) {
-			obj = tx.NewObject(8)
+		obj := stm.Atomic(th, func(tx stm.Tx) stm.Handle {
+			o := tx.NewObject(8)
 			for i := uint32(0); i < 8; i++ {
-				tx.WriteField(obj, i, stm.Word(i))
+				tx.WriteField(o, i, stm.Word(i))
 			}
+			return o
 		})
-		roBody = func(tx stm.Tx) {
+		roBody = func(tx stm.Tx) stm.Word {
 			var sum stm.Word
 			for i := uint32(0); i < 8; i++ {
 				sum += tx.ReadField(obj, i)
 			}
-			sum += tx.ReadField(obj, 0)
-			_ = sum
+			return sum + tx.ReadField(obj, 0)
+		}
+		roBodyRO = func(tx stm.TxRO) stm.Word {
+			var sum stm.Word
+			for i := uint32(0); i < 8; i++ {
+				sum += tx.ReadField(obj, i)
+			}
+			return sum + tx.ReadField(obj, 0)
 		}
 		upBody = func(tx stm.Tx) {
 			v := tx.ReadField(obj, 0)
@@ -62,18 +79,24 @@ func ZeroAllocSteadyState(t *testing.T, e stm.STM, wordAPI, updates bool) {
 	}
 
 	// Warm the per-thread logs, write-entry pools and dedup cache.
+	var sink stm.Word
 	for i := 0; i < 100; i++ {
-		th.Atomic(roBody)
+		sink += stm.Atomic(th, roBody)
+		sink += stm.AtomicRO(th, roBodyRO)
 		if updates {
-			th.Atomic(upBody)
+			stm.AtomicVoid(th, upBody)
 		}
 	}
+	_ = sink
 
-	if n := testing.AllocsPerRun(200, func() { th.Atomic(roBody) }); n != 0 {
-		t.Errorf("%s: read-only transaction allocates %.1f objects/commit, want 0", e.Name(), n)
+	if n := testing.AllocsPerRun(200, func() { sink = stm.Atomic(th, roBody) }); n != 0 {
+		t.Errorf("%s: read-only Atomic allocates %.1f objects/commit, want 0", e.Name(), n)
+	}
+	if n := testing.AllocsPerRun(200, func() { sink = stm.AtomicRO(th, roBodyRO) }); n != 0 {
+		t.Errorf("%s: declared read-only AtomicRO allocates %.1f objects/commit, want 0", e.Name(), n)
 	}
 	if updates {
-		if n := testing.AllocsPerRun(200, func() { th.Atomic(upBody) }); n != 0 {
+		if n := testing.AllocsPerRun(200, func() { stm.AtomicVoid(th, upBody) }); n != 0 {
 			t.Errorf("%s: small update transaction allocates %.1f objects/commit, want 0", e.Name(), n)
 		}
 	}

@@ -2,7 +2,9 @@
 // engine in the repository. It checks the semantic guarantees the paper
 // assumes of all four systems (§3.1): atomicity, isolation, opacity
 // (transactions never observe inconsistent snapshots), and
-// read-your-writes, plus engine liveness under contention.
+// read-your-writes, plus engine liveness under contention. The suite is
+// written against the v2 value-returning API (DESIGN.md §9), so it also
+// exercises the typed entry points on every engine.
 package stmtest
 
 import (
@@ -39,23 +41,31 @@ func Run(t *testing.T, factory func() stm.STM, opts Options) {
 	t.Run("WriteSkewPrevented", func(t *testing.T) { testNoWriteSkew(t, factory(), opts.Threads) })
 	t.Run("QuickModelCheck", func(t *testing.T) { testQuickModel(t, factory) })
 	if opts.WordAPI {
+		if !stm.SupportsWordAPI(factory()) {
+			t.Fatal("options claim word-API support but the engine denies it")
+		}
 		t.Run("WordAPI", func(t *testing.T) { testWordAPI(t, factory()) })
+	} else if stm.SupportsWordAPI(factory()) {
+		t.Fatal("options claim no word-API support but the engine reports it")
 	}
+	t.Run("APIV2", func(t *testing.T) { APIV2Suite(t, factory, opts) })
 }
 
 // alloc creates an n-field object outside any transaction by running a
 // tiny allocation-only transaction.
-func alloc(e stm.STM, th stm.Thread, n uint32) stm.Handle {
-	var h stm.Handle
-	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(n) })
-	_ = e
-	return h
+func alloc(th stm.Thread, n uint32) stm.Handle {
+	return stm.Atomic(th, func(tx stm.Tx) stm.Handle { return tx.NewObject(n) })
+}
+
+// readField reads one field in its own read-only transaction.
+func readField(th stm.Thread, h stm.Handle, f uint32) stm.Word {
+	return stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { return tx.ReadField(h, f) })
 }
 
 func testReadYourWrites(t *testing.T, e stm.STM) {
 	th := e.NewThread(0)
-	h := alloc(e, th, 4)
-	th.Atomic(func(tx stm.Tx) {
+	h := alloc(th, 4)
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.WriteField(h, 0, 41)
 		tx.WriteField(h, 1, 17)
 		if got := tx.ReadField(h, 0); got != 41 {
@@ -75,23 +85,21 @@ func testReadYourWrites(t *testing.T, e stm.STM) {
 			t.Fatalf("unwritten field: got %d, want 0", got)
 		}
 	})
-	th.Atomic(func(tx stm.Tx) {
-		if got := tx.ReadField(h, 0); got != 42 {
-			t.Fatalf("after commit: got %d, want 42", got)
-		}
-	})
+	if got := readField(th, h, 0); got != 42 {
+		t.Fatalf("after commit: got %d, want 42", got)
+	}
 }
 
 func testObjectRoundTrip(t *testing.T, e stm.STM) {
 	th := e.NewThread(0)
 	const fields = 16
-	h := alloc(e, th, fields)
-	th.Atomic(func(tx stm.Tx) {
+	h := alloc(th, fields)
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < fields; i++ {
 			tx.WriteField(h, i, stm.Word(i*i+1))
 		}
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < fields; i++ {
 			if got := tx.ReadField(h, i); got != stm.Word(i*i+1) {
 				t.Fatalf("field %d: got %d, want %d", i, got, i*i+1)
@@ -103,11 +111,9 @@ func testObjectRoundTrip(t *testing.T, e stm.STM) {
 func testCommitPublishes(t *testing.T, e stm.STM) {
 	th0 := e.NewThread(0)
 	th1 := e.NewThread(1)
-	h := alloc(e, th0, 1)
-	th0.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, 7) })
-	var got stm.Word
-	th1.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
-	if got != 7 {
+	h := alloc(th0, 1)
+	stm.AtomicVoid(th0, func(tx stm.Tx) { tx.WriteField(h, 0, 7) })
+	if got := readField(th1, h, 0); got != 7 {
 		t.Fatalf("thread 1 read %d, want 7", got)
 	}
 }
@@ -116,7 +122,7 @@ func testCommitPublishes(t *testing.T, e stm.STM) {
 // value must equal the total number of increments (atomicity + isolation).
 func testCounters(t *testing.T, e stm.STM, threads int) {
 	th0 := e.NewThread(0)
-	h := alloc(e, th0, 1)
+	h := alloc(th0, 1)
 	const perThread = 2000
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
@@ -125,16 +131,14 @@ func testCounters(t *testing.T, e stm.STM, threads int) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for n := 0; n < perThread; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					tx.WriteField(h, 0, tx.ReadField(h, 0)+1)
 				})
 			}
 		}(i)
 	}
 	wg.Wait()
-	var got stm.Word
-	th0.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, 0) })
-	if got != stm.Word(threads*perThread) {
+	if got := readField(th0, h, 0); got != stm.Word(threads*perThread) {
 		t.Fatalf("counter = %d, want %d", got, threads*perThread)
 	}
 }
@@ -145,12 +149,23 @@ func testBank(t *testing.T, e stm.STM, threads int) {
 	const accounts = 32
 	const initial = 1000
 	th0 := e.NewThread(0)
-	h := alloc(e, th0, accounts)
-	th0.Atomic(func(tx stm.Tx) {
+	h := alloc(th0, accounts)
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		for i := uint32(0); i < accounts; i++ {
 			tx.WriteField(h, i, initial)
 		}
 	})
+	sumAll := func(th stm.Thread) stm.Word {
+		// The audit scan is a declared read-only transaction, so the
+		// conservation oracle also exercises the RO fast paths.
+		return stm.AtomicRO(th, func(tx stm.TxRO) stm.Word {
+			var sum stm.Word
+			for i := uint32(0); i < accounts; i++ {
+				sum += tx.ReadField(h, i)
+			}
+			return sum
+		})
+	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for i := 0; i < threads; i++ {
@@ -163,7 +178,7 @@ func testBank(t *testing.T, e stm.STM, threads int) {
 				seed = seed*6364136223846793005 + 1
 				from := uint32(seed>>33) % accounts
 				to := uint32(seed>>13) % accounts
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					bal := tx.ReadField(h, from)
 					if bal == 0 {
 						return
@@ -184,14 +199,7 @@ func testBank(t *testing.T, e stm.STM, threads int) {
 				return
 			default:
 			}
-			var sum stm.Word
-			auditor.Atomic(func(tx stm.Tx) {
-				sum = 0
-				for i := uint32(0); i < accounts; i++ {
-					sum += tx.ReadField(h, i)
-				}
-			})
-			if sum != accounts*initial {
+			if sum := sumAll(auditor); sum != accounts*initial {
 				t.Errorf("mid-run audit: sum = %d, want %d", sum, accounts*initial)
 				return
 			}
@@ -199,14 +207,7 @@ func testBank(t *testing.T, e stm.STM, threads int) {
 	}()
 	wg.Wait()
 	close(stop)
-	var sum stm.Word
-	th0.Atomic(func(tx stm.Tx) {
-		sum = 0
-		for i := uint32(0); i < accounts; i++ {
-			sum += tx.ReadField(h, i)
-		}
-	})
-	if sum != accounts*initial {
+	if sum := sumAll(th0); sum != accounts*initial {
 		t.Fatalf("final sum = %d, want %d", sum, accounts*initial)
 	}
 }
@@ -219,7 +220,7 @@ func testOpacity(t *testing.T, e stm.STM, threads int) {
 	th0 := e.NewThread(0)
 	hs := make([]stm.Handle, pairs)
 	for i := range hs {
-		hs[i] = alloc(e, th0, 2)
+		hs[i] = alloc(th0, 2)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
@@ -232,24 +233,29 @@ func testOpacity(t *testing.T, e stm.STM, threads int) {
 				seed = seed*6364136223846793005 + 1
 				p := hs[seed%pairs]
 				if seed&1 == 0 {
-					th.Atomic(func(tx stm.Tx) {
+					stm.AtomicVoid(th, func(tx stm.Tx) {
 						v := tx.ReadField(p, 0) + 1
 						tx.WriteField(p, 0, v)
 						tx.WriteField(p, 1, v)
 					})
 				} else {
-					th.Atomic(func(tx stm.Tx) {
-						a := tx.ReadField(p, 0)
-						b := tx.ReadField(p, 1)
-						if a != b {
-							t.Errorf("opacity violation: pair halves %d != %d", a, b)
-						}
-					})
+					a, b := pairRead(th, p)
+					if a != b {
+						t.Errorf("opacity violation: pair halves %d != %d", a, b)
+					}
 				}
 			}
 		}(i)
 	}
 	wg.Wait()
+}
+
+// pairRead reads both halves of a pair in one read-only transaction.
+func pairRead(th stm.Thread, p stm.Handle) (stm.Word, stm.Word) {
+	v := stm.AtomicRO(th, func(tx stm.TxRO) [2]stm.Word {
+		return [2]stm.Word{tx.ReadField(p, 0), tx.ReadField(p, 1)}
+	})
+	return v[0], v[1]
 }
 
 // testDisjoint runs threads on disjoint objects; nothing conflicts, so all
@@ -258,7 +264,7 @@ func testDisjoint(t *testing.T, e stm.STM, threads int) {
 	th0 := e.NewThread(0)
 	hs := make([]stm.Handle, threads)
 	for i := range hs {
-		hs[i] = alloc(e, th0, 1)
+		hs[i] = alloc(th0, 1)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
@@ -267,7 +273,7 @@ func testDisjoint(t *testing.T, e stm.STM, threads int) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for n := 0; n < 5000; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					tx.WriteField(hs[id], 0, tx.ReadField(hs[id], 0)+1)
 				})
 			}
@@ -275,9 +281,7 @@ func testDisjoint(t *testing.T, e stm.STM, threads int) {
 	}
 	wg.Wait()
 	for i := 0; i < threads; i++ {
-		var got stm.Word
-		th0.Atomic(func(tx stm.Tx) { got = tx.ReadField(hs[i], 0) })
-		if got != 5000 {
+		if got := readField(th0, hs[i], 0); got != 5000 {
 			t.Fatalf("disjoint counter %d = %d, want 5000", i, got)
 		}
 	}
@@ -289,8 +293,8 @@ func testDisjoint(t *testing.T, e stm.STM, threads int) {
 // under the serializability/opacity all four engines provide, it must hold.
 func testNoWriteSkew(t *testing.T, e stm.STM, threads int) {
 	th0 := e.NewThread(0)
-	h := alloc(e, th0, 2)
-	th0.Atomic(func(tx stm.Tx) {
+	h := alloc(th0, 2)
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		tx.WriteField(h, 0, 100)
 		tx.WriteField(h, 1, 100)
 	})
@@ -302,7 +306,7 @@ func testNoWriteSkew(t *testing.T, e stm.STM, threads int) {
 			th := e.NewThread(id + 1)
 			side := uint32(id % 2)
 			for n := 0; n < 1000; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					a := int64(tx.ReadField(h, 0))
 					b := int64(tx.ReadField(h, 1))
 					if a+b >= 10 {
@@ -313,13 +317,9 @@ func testNoWriteSkew(t *testing.T, e stm.STM, threads int) {
 		}(i)
 	}
 	wg.Wait()
-	var a, b int64
-	th0.Atomic(func(tx stm.Tx) {
-		a = int64(tx.ReadField(h, 0))
-		b = int64(tx.ReadField(h, 1))
-	})
-	if a+b < 0 {
-		t.Fatalf("write skew: a+b = %d < 0 (a=%d b=%d)", a+b, a, b)
+	a, b := pairRead(th0, h)
+	if int64(a)+int64(b) < 0 {
+		t.Fatalf("write skew: a+b = %d < 0 (a=%d b=%d)", int64(a)+int64(b), int64(a), int64(b))
 	}
 }
 
@@ -330,33 +330,27 @@ func testQuickModel(t *testing.T, factory func() stm.STM) {
 		e := factory()
 		th := e.NewThread(0)
 		const slots = 16
-		h := alloc(e, th, slots)
+		h := alloc(th, slots)
 		model := make(map[uint32]stm.Word, slots)
 		for _, op := range ops {
 			slot := uint32(op) % slots
 			val := stm.Word(op >> 4)
 			if op&1 == 0 {
-				th.Atomic(func(tx stm.Tx) { tx.WriteField(h, slot, val) })
+				stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, slot, val) })
 				model[slot] = val
-			} else {
-				var got stm.Word
-				th.Atomic(func(tx stm.Tx) { got = tx.ReadField(h, slot) })
-				if got != model[slot] {
+			} else if got := readField(th, h, slot); got != model[slot] {
+				return false
+			}
+		}
+		// Final full scan in one read-only transaction.
+		return stm.AtomicRO(th, func(tx stm.TxRO) bool {
+			for s := uint32(0); s < slots; s++ {
+				if tx.ReadField(h, s) != model[s] {
 					return false
 				}
 			}
-		}
-		// Final full scan in one transaction.
-		ok := true
-		th.Atomic(func(tx stm.Tx) {
-			ok = true
-			for s := uint32(0); s < slots; s++ {
-				if tx.ReadField(h, s) != model[s] {
-					ok = false
-				}
-			}
+			return true
 		})
-		return ok
 	}
 	cfg := &quick.Config{MaxCount: 40}
 	if err := quick.Check(check, cfg); err != nil {
@@ -366,14 +360,14 @@ func testQuickModel(t *testing.T, factory func() stm.STM) {
 
 func testWordAPI(t *testing.T, e stm.STM) {
 	th := e.NewThread(0)
-	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) {
-		base = tx.AllocWords(8)
+	base := stm.Atomic(th, func(tx stm.Tx) stm.Addr {
+		b := tx.AllocWords(8)
 		for i := uint32(0); i < 8; i++ {
-			tx.Store(base+i, stm.Word(100+i))
+			tx.Store(b+i, stm.Word(100+i))
 		}
+		return b
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < 8; i++ {
 			if got := tx.Load(base + i); got != stm.Word(100+i) {
 				t.Fatalf("word %d: got %d, want %d", i, got, 100+i)

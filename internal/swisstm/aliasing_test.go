@@ -14,8 +14,8 @@ func TestAliasedStripes(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWords: 4})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(4096) })
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(4096) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		// All of these hit the same lock entry (stride = table*stripe).
 		for i := stm.Addr(0); i < 20; i++ {
 			tx.Store(base+i*64, stm.Word(i)+100)
@@ -50,11 +50,11 @@ func TestAliasedUnwrittenRead(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 14, TableBits: 4, StripeWords: 4})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		base = tx.AllocWords(4096)
 		tx.Store(base+128, 7) // pre-existing committed value below
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.Store(base, 1) // acquires the lock entry that also covers base+128
 		if got := tx.Load(base + 128); got != 7 {
 			t.Fatalf("unwritten aliased word: got %d, want 7", got)

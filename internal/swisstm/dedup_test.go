@@ -20,7 +20,7 @@ func TestDedupLogsStripeOnce(t *testing.T) {
 	th := e.NewThread(0)
 	tx0 := th.(*txn)
 	base := e.arena.Alloc(8) // spans two 4-word stripes
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for rep := 0; rep < 10; rep++ {
 			tx.Load(base)     // stripe A
 			tx.Load(base + 1) // stripe A again (sibling word)
@@ -54,13 +54,13 @@ func TestDedupDoesNotMaskConflict(t *testing.T) {
 
 	attempts := 0
 	var first, second stm.Word
-	thA.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(thA, func(tx stm.Tx) {
 		attempts++
 		first = tx.Load(addr)
 		if attempts == 1 {
 			// Inject a conflicting commit from another thread while the
 			// stripe is already in A's read log.
-			thB.Atomic(func(txB stm.Tx) { txB.Store(addr, 2) })
+			stm.AtomicVoid(thB, func(txB stm.Tx) { txB.Store(addr, 2) })
 		}
 		second = tx.Load(addr)
 	})
@@ -85,7 +85,7 @@ func TestDedupOpacityUnderContention(t *testing.T) {
 	setup := e.NewThread(0)
 	x := e.arena.Alloc(1)
 	y := e.arena.Alloc(5) // a different stripe than x
-	setup.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(setup, func(tx stm.Tx) {
 		tx.Store(x, 0)
 		tx.Store(y, 0)
 	})
@@ -101,7 +101,7 @@ func TestDedupOpacityUnderContention(t *testing.T) {
 			th := e.NewThread(id + 1)
 			for i := 0; i < txns; i++ {
 				if id%2 == 0 {
-					th.Atomic(func(tx stm.Tx) {
+					stm.AtomicVoid(th, func(tx stm.Tx) {
 						v := tx.Load(x)
 						tx.Store(x, v+1)
 						tx.Store(y, v+1)
@@ -109,7 +109,7 @@ func TestDedupOpacityUnderContention(t *testing.T) {
 					continue
 				}
 				var bad string
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					bad = ""
 					a1, b1 := tx.Load(x), tx.Load(y)
 					a2, b2 := tx.Load(x), tx.Load(y) // dedup hits

@@ -62,7 +62,7 @@ func BenchmarkPrivatizationSafeReadHeavy(b *testing.B) {
 			e := New(Config{ArenaWords: 1 << 16, TableBits: 12, PrivatizationSafe: safe})
 			setup := e.NewThread(0)
 			var words [64]stm.Addr
-			setup.Atomic(func(tx stm.Tx) {
+			stm.AtomicVoid(setup, func(tx stm.Tx) {
 				for i := range words {
 					words[i] = tx.AllocWords(1)
 					tx.Store(words[i], 1)
@@ -77,9 +77,9 @@ func BenchmarkPrivatizationSafeReadHeavy(b *testing.B) {
 				for pb.Next() {
 					if rng.Intn(100) < 5 {
 						w := words[rng.Intn(len(words))]
-						th.Atomic(func(tx stm.Tx) { tx.Store(w, tx.Load(w)+1) })
+						stm.AtomicVoid(th, func(tx stm.Tx) { tx.Store(w, tx.Load(w)+1) })
 					} else {
-						th.Atomic(func(tx stm.Tx) {
+						stm.AtomicVoid(th, func(tx stm.Tx) {
 							var sum stm.Word
 							for _, w := range words[:16] {
 								sum += tx.Load(w)

@@ -27,7 +27,7 @@ func TestPrivatizationSafety(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 14, TableBits: 10, PrivatizationSafe: true})
 	setup := e.NewThread(0)
 	var head stm.Addr // holds the address of the current node (0 = none)
-	setup.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(setup, func(tx stm.Tx) {
 		head = tx.AllocWords(1)
 	})
 
@@ -40,7 +40,7 @@ func TestPrivatizationSafety(t *testing.T) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for !stop.Load() {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					n := stm.Addr(tx.Load(head))
 					if n != 0 {
 						tx.Store(n, tx.Load(n)+1)
@@ -57,7 +57,7 @@ func TestPrivatizationSafety(t *testing.T) {
 	clobbered := 0
 	for r := 0; r < rounds; r++ {
 		var node stm.Addr
-		priv.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(priv, func(tx stm.Tx) {
 			node = tx.AllocWords(1)
 			tx.Store(head, stm.Word(node))
 		})
@@ -65,7 +65,7 @@ func TestPrivatizationSafety(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			_ = e.Arena().Load(head)
 		}
-		priv.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(priv, func(tx stm.Tx) {
 			tx.Store(head, 0) // unlink: node is now private
 		})
 		// After the privatizing commit (plus quiescence), raw access to
@@ -92,13 +92,13 @@ func TestQuiesceWaitsForSnapshot(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, PrivatizationSafe: true})
 	setup := e.NewThread(0)
 	var a stm.Addr
-	setup.Atomic(func(tx stm.Tx) { a = tx.AllocWords(1) })
+	stm.AtomicVoid(setup, func(tx stm.Tx) { a = tx.AllocWords(1) })
 
 	inTx := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
 		th := e.NewThread(1)
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			_ = tx.Load(a) // open a snapshot, then linger
 			select {
 			case <-inTx:
@@ -112,7 +112,7 @@ func TestQuiesceWaitsForSnapshot(t *testing.T) {
 	committed := make(chan struct{})
 	go func() {
 		th := e.NewThread(2)
-		th.Atomic(func(tx stm.Tx) { tx.Store(a, 7) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { tx.Store(a, 7) })
 		close(committed)
 	}()
 	time.Sleep(100 * time.Millisecond) // let the writer reach its quiescence wait

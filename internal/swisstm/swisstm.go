@@ -234,6 +234,7 @@ func (e *Engine) stripeBase(a stm.Addr) stm.Addr { return a &^ (e.stripeW - 1) }
 type txn struct {
 	e         *Engine
 	id        int
+	ro        bool // current transaction declared read-only (stm.ReadOnly)
 	validTS   uint64
 	cmTS      atomic.Uint64 // ∞ in phase one; Greedy timestamp in phase two
 	status    atomic.Uint32 // 0 active, 1 killed by another transaction's CM
@@ -245,6 +246,7 @@ type txn struct {
 	rng       *util.Rand
 	succ      int    // successive aborts of the current logical transaction
 	quiesceTS uint64 // commit timestamp to quiesce on (privatization safety)
+	roV       roTx   // pre-allocated read-only view returned by Begin(ReadOnly)
 	stats     stm.Stats
 }
 
@@ -260,6 +262,7 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		writeLog: make([]*wEntry, 0, 256),
 		rng:      util.NewRand(uint64(id)*0x9e3779b9 + 1),
 	}
+	t.roV.t = t
 	t.rc.Init(1024)
 	t.cmTS.Store(infinity)
 	return t
@@ -268,32 +271,87 @@ func (e *Engine) NewThread(id int) stm.Thread {
 // Stats implements stm.Thread.
 func (t *txn) Stats() stm.Stats { return t.stats }
 
-// Atomic implements stm.Thread: run body with automatic retry.
-func (t *txn) Atomic(body func(stm.Tx)) {
-	restart := false
-	for {
-		t.begin(restart)
-		if t.attempt(body) {
-			t.succ = 0
-			if t.e.cfg.PrivatizationSafe {
-				t.e.activity[t.id].Store(0)
-				if t.quiesceTS != 0 {
-					t.e.quiesce(t.id, t.quiesceTS)
-					t.quiesceTS = 0
-				}
-			}
-			return
-		}
+// Run implements stm.Thread: the engine-facing v2 primitive.
+func (t *txn) Run(body func(stm.Tx) error, mode stm.Mode) error {
+	return stm.RunLoop(t, body, mode)
+}
+
+// Begin implements stm.Thread: start one attempt in the given mode. A
+// declared read-only transaction gets the pre-allocated roTx view, whose
+// method set runs the read-only protocol with no mode branches on the
+// read-write fast path.
+func (t *txn) Begin(mode stm.Mode, restart bool) stm.Tx {
+	if mode == stm.ReadOnly {
+		t.ro = true
+		t.beginRO()
+		return &t.roV
+	}
+	t.ro = false
+	t.begin(restart)
+	return t
+}
+
+// Commit implements stm.Thread: try to commit the current attempt, and on
+// success perform the post-commit duties (retry-counter reset and, under
+// PrivatizationSafe, deactivation + quiescence).
+func (t *txn) Commit() bool {
+	var ok bool
+	if t.ro {
+		ok = t.commitRO()
+	} else {
+		ok = t.commit()
+	}
+	if ok {
+		t.succ = 0
 		if t.e.cfg.PrivatizationSafe {
 			t.e.activity[t.id].Store(0)
+			if t.quiesceTS != 0 {
+				t.e.quiesce(t.id, t.quiesceTS)
+				t.quiesceTS = 0
+			}
 		}
-		restart = true
-		t.succ++
-		// cm-on-rollback (Algorithm 2 line 11): randomized linear back-off
-		// proportional to the number of successive aborts.
-		if !t.e.cfg.NoBackoff {
-			util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
-		}
+	}
+	return ok
+}
+
+// Unwind implements stm.Thread: triage a panic recovered mid-body. The
+// rollback signal marks an already-bookkept abort; anything else is a
+// foreign panic (bug in user code, arena exhaustion) — release write
+// locks so other threads are not wedged and let the caller propagate it.
+func (t *txn) Unwind(r any) bool {
+	if _, rb := r.(stm.RollbackSignal); rb {
+		t.stats.AbortsUnwound++
+		return true
+	}
+	t.releaseWLocks()
+	if t.e.cfg.PrivatizationSafe {
+		t.e.activity[t.id].Store(0)
+	}
+	return false
+}
+
+// AbortUser implements stm.Thread: roll back because the body returned an
+// error. Locks released, buffered writes dropped, no retry; the checked
+// delivery keeps the AbortsUnwound/AbortsReturned partition exact.
+func (t *txn) AbortUser() {
+	t.abort()
+	t.stats.AbortsUser++
+	t.stats.AbortsReturned++
+	t.succ = 0 // the logical transaction ends here, like a commit
+	if t.e.cfg.PrivatizationSafe {
+		t.e.activity[t.id].Store(0)
+	}
+}
+
+// Backoff implements stm.Thread: cm-on-rollback (Algorithm 2 line 11) —
+// randomized linear back-off proportional to the successive-abort count.
+func (t *txn) Backoff() {
+	if t.e.cfg.PrivatizationSafe {
+		t.e.activity[t.id].Store(0)
+	}
+	t.succ++
+	if !t.e.cfg.NoBackoff {
+		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
 	}
 }
 
@@ -314,30 +372,6 @@ func (e *Engine) quiesce(self int, ts uint64) {
 			}
 		}
 	}
-}
-
-// attempt runs the body once, committing at the end. It reports false
-// when the transaction rolled back. Commit-path aborts arrive as a
-// checked false from commit(); only conflicts raised inside the user
-// closure (and Restart) unwind via the pre-allocated signal, recovered
-// here in this single frame.
-func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, rb := r.(stm.RollbackSignal); rb {
-				t.stats.AbortsUnwound++
-				ok = false
-				return
-			}
-			// A foreign panic (bug in benchmark code, arena exhaustion):
-			// release write locks so other threads are not wedged, then
-			// propagate.
-			t.releaseWLocks()
-			panic(r)
-		}
-	}()
-	body(t)
-	return t.commit()
 }
 
 // begin is Algorithm 1's start: snapshot the commit counter, then
@@ -362,6 +396,21 @@ func (t *txn) begin(restart bool) {
 			t.cmTS.Store(infinity)
 		}
 	}
+}
+
+// beginRO starts a declared read-only attempt (DESIGN.md §9.3): snapshot
+// the commit counter, reset the read log and dedup cache — and nothing
+// else. The write log is invariantly empty between transactions (commit
+// and abort both truncate it), a read-only transaction never installs a
+// w-lock so no CM can kill it (status and cmTS stay untouched), and the
+// write-entry pool cursor only matters to writers.
+func (t *txn) beginRO() {
+	t.validTS = t.e.commitTS.Load()
+	if t.e.cfg.PrivatizationSafe {
+		t.e.activity[t.id].Store(t.validTS + 1)
+	}
+	t.readLog = t.readLog[:0]
+	t.rc.Reset()
 }
 
 func (t *txn) killed() bool { return t.status.Load() != 0 }
@@ -439,6 +488,59 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	// stripes, not total reads. Consecutive reads of one stripe — field
 	// walks over one object — are caught by comparing against the newest
 	// log entry before touching the hash cache.
+	if n := len(t.readLog); n != 0 && t.readLog[n-1].lockIdx == idx {
+		if t.readLog[n-1].rlock == v1 {
+			t.stats.ReadsDeduped++
+			return val, true
+		}
+		t.stats.AbortsValid++
+		t.abort()
+		return 0, false
+	}
+	if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
+		if t.readLog[pos].rlock == v1 {
+			t.stats.ReadsDeduped++
+			return val, true
+		}
+		t.stats.AbortsValid++
+		t.abort()
+		return 0, false
+	}
+	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
+	if v1>>1 > t.validTS && !t.extend() {
+		t.stats.AbortsValid++
+		t.abort()
+		return 0, false
+	}
+	return val, true
+}
+
+// loadRO is the declared-read-only read protocol: the consistent
+// double-read plus dedup/extension of load, minus the write-log probe (a
+// read-only transaction owns no w-lock) and minus the kill checks (no
+// w-lock means no CM ever targets us). ok=false means the transaction
+// aborted.
+func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
+	rlocks := t.e.rlocks
+	i := int(a>>t.e.shift) & (len(rlocks) - 1)
+	idx := uint32(i)
+	rl := &rlocks[i]
+	var v1 uint64
+	var val stm.Word
+	for spin := 0; ; spin++ {
+		v1 = rl.Load()
+		if v1 == rLocked {
+			if spin&0x3f == 0x3f {
+				runtime.Gosched()
+			}
+			continue
+		}
+		val = t.e.heap[a].Load()
+		if rl.Load() == v1 {
+			break
+		}
+	}
+	// Same read-set dedup discipline as load (DESIGN.md §7).
 	if n := len(t.readLog); n != 0 && t.readLog[n-1].lockIdx == idx {
 		if t.readLog[n-1].rlock == v1 {
 			t.stats.ReadsDeduped++
@@ -577,10 +679,25 @@ func (t *txn) commit() bool {
 		t.e.rlocks[we.lockIdx].Store(newRLock)
 		t.e.wlocks[we.lockIdx].Store(nil)
 	}
+	// Truncate the write log here rather than at the next begin: the log
+	// is then invariantly empty between transactions, which is what lets
+	// beginRO skip write-set init entirely (a stale log would make a later
+	// read-only abort release stripes it does not own).
+	t.writeLog = t.writeLog[:0]
 	if t.e.cfg.PrivatizationSafe {
 		t.quiesceTS = ts // quiesce after the descriptor is deactivated
 	}
 	t.stats.Commits++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
+	return true
+}
+
+// commitRO commits a declared read-only transaction: every read was
+// validated (and extended) incrementally, no lock is held and no CM can
+// have killed us, so there is nothing left to check or publish.
+func (t *txn) commitRO() bool {
+	t.stats.Commits++
+	t.stats.ROCommits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
 	return true
 }
@@ -755,9 +872,19 @@ func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
 	return t.Load(stm.Addr(h) + field)
 }
 
+// ReadRef implements stm.Tx.
+func (t *txn) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(t.Load(stm.Addr(h) + field))
+}
+
 // WriteField implements stm.Tx.
 func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
 	t.Store(stm.Addr(h)+field, v)
+}
+
+// WriteRef implements stm.Tx.
+func (t *txn) WriteRef(h stm.Handle, field uint32, ref stm.Handle) {
+	t.Store(stm.Addr(h)+field, stm.Word(ref))
 }
 
 // NewObject implements stm.Tx.
@@ -765,6 +892,47 @@ func (t *txn) NewObject(fields uint32) stm.Handle {
 	return stm.Handle(t.e.arena.Alloc(fields))
 }
 
+// SupportsWordAPI reports the word-API capability (stm.SupportsWordAPI).
+func (e *Engine) SupportsWordAPI() bool { return true }
+
+// roTx is the transaction view Begin returns for declared read-only mode:
+// its read methods run the loadRO fast path (no write-log probe, no kill
+// checks) with zero mode branches on either path. The write methods exist
+// only to satisfy stm.Tx — they are unreachable through the TxRO the
+// AtomicRO entry points expose, and panic as defense in depth.
+type roTx struct{ t *txn }
+
+const errROWrite = "swisstm: write inside a declared read-only transaction"
+
+// Load implements stm.Tx on the read-only view.
+func (r *roTx) Load(a stm.Addr) stm.Word {
+	v, ok := r.t.loadRO(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// ReadField implements stm.Tx on the read-only view.
+func (r *roTx) ReadField(h stm.Handle, field uint32) stm.Word {
+	return r.Load(stm.Addr(h) + field)
+}
+
+// ReadRef implements stm.Tx on the read-only view.
+func (r *roTx) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(r.Load(stm.Addr(h) + field))
+}
+
+// Restart implements stm.Tx on the read-only view.
+func (r *roTx) Restart() { r.t.Restart() }
+
+func (r *roTx) Store(stm.Addr, stm.Word)                { panic(errROWrite) }
+func (r *roTx) AllocWords(uint32) stm.Addr              { panic(errROWrite) }
+func (r *roTx) WriteField(stm.Handle, uint32, stm.Word) { panic(errROWrite) }
+func (r *roTx) WriteRef(stm.Handle, uint32, stm.Handle) { panic(errROWrite) }
+func (r *roTx) NewObject(uint32) stm.Handle             { panic(errROWrite) }
+
 var _ stm.STM = (*Engine)(nil)
 var _ stm.Thread = (*txn)(nil)
 var _ stm.Tx = (*txn)(nil)
+var _ stm.Tx = (*roTx)(nil)

@@ -70,7 +70,7 @@ func TestFalseConflictSameStripe(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, StripeWords: 4})
 	th0 := e.NewThread(0)
 	var base stm.Addr
-	th0.Atomic(func(tx stm.Tx) { base = tx.AllocWords(4) })
+	stm.AtomicVoid(th0, func(tx stm.Tx) { base = tx.AllocWords(4) })
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
@@ -78,7 +78,7 @@ func TestFalseConflictSameStripe(t *testing.T) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for n := 0; n < 2000; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					a := stm.Addr(uint32(base) + uint32(id)) // distinct words, same stripe
 					tx.Store(a, tx.Load(a)+1)
 				})
@@ -86,7 +86,7 @@ func TestFalseConflictSameStripe(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	th0.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		if got := tx.Load(base); got != 2000 {
 			t.Errorf("word 0: got %d, want 2000", got)
 		}
@@ -102,9 +102,9 @@ func TestTwoPhasePromotion(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8, Wn: 4})
 	th := e.NewThread(0).(*txn)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(64) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(64) })
 
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < 3; i++ {
 			tx.Store(base+i*8, 1) // distinct stripes at default granularity
 		}
@@ -112,7 +112,7 @@ func TestTwoPhasePromotion(t *testing.T) {
 			t.Errorf("phase-two entered after 3 writes with Wn=4")
 		}
 	})
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < 4; i++ {
 			tx.Store(base+i*8, 1)
 		}
@@ -121,7 +121,7 @@ func TestTwoPhasePromotion(t *testing.T) {
 		}
 	})
 	// A fresh (non-restart) transaction resets to phase one.
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		if th.cmTS.Load() != infinity {
 			t.Errorf("cm-ts not reset at fresh start")
 		}
@@ -134,7 +134,7 @@ func TestKilledVictimRetries(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 14, TableBits: 10, Wn: 1})
 	th0 := e.NewThread(0)
 	var base stm.Addr
-	th0.Atomic(func(tx stm.Tx) { base = tx.AllocWords(256) })
+	stm.AtomicVoid(th0, func(tx stm.Tx) { base = tx.AllocWords(256) })
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
@@ -142,7 +142,7 @@ func TestKilledVictimRetries(t *testing.T) {
 			defer wg.Done()
 			th := e.NewThread(id + 1)
 			for n := 0; n < 300; n++ {
-				th.Atomic(func(tx stm.Tx) {
+				stm.AtomicVoid(th, func(tx stm.Tx) {
 					// Touch a window of stripes so transactions overlap.
 					for k := uint32(0); k < 16; k++ {
 						a := base + stm.Addr((uint32(n)+k*4)%256)
@@ -154,7 +154,7 @@ func TestKilledVictimRetries(t *testing.T) {
 	}
 	wg.Wait()
 	var sum stm.Word
-	th0.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		for i := uint32(0); i < 256; i++ {
 			sum += tx.Load(base + i)
 		}
@@ -168,9 +168,9 @@ func TestStatsCounting(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
 	th := e.NewThread(0)
 	var h stm.Handle
-	th.Atomic(func(tx stm.Tx) { h = tx.NewObject(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { h = tx.NewObject(1) })
 	for i := 0; i < 10; i++ {
-		th.Atomic(func(tx stm.Tx) { tx.WriteField(h, 0, stm.Word(i)) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { tx.WriteField(h, 0, stm.Word(i)) })
 	}
 	s := th.Stats()
 	if s.Commits != 11 {
@@ -185,14 +185,14 @@ func TestForeignPanicReleasesLocks(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(1) })
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			tx.Store(base, 1)
 			panic("user bug")
 		})
@@ -201,7 +201,7 @@ func TestForeignPanicReleasesLocks(t *testing.T) {
 	th2 := e.NewThread(1)
 	done := make(chan struct{})
 	go func() {
-		th2.Atomic(func(tx stm.Tx) { tx.Store(base, 2) })
+		stm.AtomicVoid(th2, func(tx stm.Tx) { tx.Store(base, 2) })
 		close(done)
 	}()
 	<-done

@@ -137,6 +137,7 @@ func (e *Engine) stripeBase(a stm.Addr) stm.Addr { return a &^ (e.stripe - 1) }
 type txn struct {
 	e        *Engine
 	id       int
+	ro       bool // current transaction declared read-only (stm.ReadOnly)
 	validTS  uint64
 	readLog  []rEntry
 	writeLog []*wEntry
@@ -145,6 +146,7 @@ type txn struct {
 	rc       util.StripeCache // read-set dedup cache (DESIGN.md §7)
 	rng      *util.Rand
 	succ     int
+	roV      roTx // pre-allocated read-only view returned by Begin(ReadOnly)
 	stats    stm.Stats
 }
 
@@ -160,6 +162,7 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		writeLog: make([]*wEntry, 0, 256),
 		rng:      util.NewRand(uint64(id)*0xabcd1234 + 3),
 	}
+	t.roV.t = t
 	t.rc.Init(1024)
 	return t
 }
@@ -167,17 +170,66 @@ func (e *Engine) NewThread(id int) stm.Thread {
 // Stats implements stm.Thread.
 func (t *txn) Stats() stm.Stats { return t.stats }
 
-// Atomic implements stm.Thread.
-func (t *txn) Atomic(body func(stm.Tx)) {
-	for {
-		t.begin()
-		if t.attempt(body) {
-			t.succ = 0
-			return
-		}
-		t.succ++
-		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+// Run implements stm.Thread: the engine-facing v2 primitive.
+func (t *txn) Run(body func(stm.Tx) error, mode stm.Mode) error {
+	return stm.RunLoop(t, body, mode)
+}
+
+// Begin implements stm.Thread. A declared read-only transaction skips the
+// write-set init entirely: the write log is invariantly empty between
+// transactions (commit and abort both truncate it) and the write-entry
+// pool cursor only matters to writers (DESIGN.md §9.3).
+func (t *txn) Begin(mode stm.Mode, restart bool) stm.Tx {
+	if mode == stm.ReadOnly {
+		t.ro = true
+		t.validTS = t.e.clock.Load()
+		t.readLog = t.readLog[:0]
+		t.rc.Reset()
+		return &t.roV
 	}
+	t.ro = false
+	t.begin()
+	return t
+}
+
+// Commit implements stm.Thread.
+func (t *txn) Commit() bool {
+	var ok bool
+	if t.ro {
+		ok = t.commitRO()
+	} else {
+		ok = t.commit()
+	}
+	if ok {
+		t.succ = 0
+	}
+	return ok
+}
+
+// Unwind implements stm.Thread: triage a panic recovered mid-body; a
+// foreign panic releases the encounter-time locks before propagating.
+func (t *txn) Unwind(r any) bool {
+	if _, rb := r.(stm.RollbackSignal); rb {
+		t.stats.AbortsUnwound++
+		return true
+	}
+	t.releaseOwned()
+	return false
+}
+
+// AbortUser implements stm.Thread: roll back because the body returned an
+// error — encounter-time locks released, redo log dropped, no retry.
+func (t *txn) AbortUser() {
+	t.abort()
+	t.stats.AbortsUser++
+	t.stats.AbortsReturned++
+	t.succ = 0 // the logical transaction ends here, like a commit
+}
+
+// Backoff implements stm.Thread.
+func (t *txn) Backoff() {
+	t.succ++
+	util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
 }
 
 func (t *txn) begin() {
@@ -186,26 +238,6 @@ func (t *txn) begin() {
 	t.writeLog = t.writeLog[:0]
 	t.poolIdx = 0
 	t.rc.Reset()
-}
-
-// attempt runs the body once and commits. Commit-path aborts arrive as
-// a checked false from commit(); only conflicts raised inside the user
-// closure (and Restart) unwind via the pre-allocated signal, recovered
-// here in this single frame.
-func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, rb := r.(stm.RollbackSignal); rb {
-				t.stats.AbortsUnwound++
-				ok = false
-				return
-			}
-			t.releaseOwned()
-			panic(r)
-		}
-	}()
-	body(t)
-	return t.commit()
 }
 
 // abort performs the rollback bookkeeping without deciding the delivery
@@ -321,6 +353,59 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	}
 }
 
+// loadRO is the declared-read-only read protocol: the consistent
+// version/value sample plus dedup/extension of load, minus the own-lock
+// branch — a read-only transaction owns no encounter-time lock, so any
+// non-nil owner is foreign and aborts us at once. ok=false means the
+// transaction aborted.
+func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
+	vers := t.e.vers
+	i := int(a>>t.e.shift) & (len(vers) - 1)
+	idx := uint32(i)
+	own := &t.e.owners[i]
+	ver := &vers[i]
+	for {
+		if own.Load() != nil {
+			t.stats.AbortsLocked++
+			t.abort()
+			return 0, false
+		}
+		v1 := ver.Load()
+		val := t.e.heap[a].Load()
+		v2 := ver.Load()
+		if v1 != v2 || own.Load() != nil {
+			runtime.Gosched()
+			continue
+		}
+		// Same read-set dedup discipline as load (DESIGN.md §7).
+		if n := len(t.readLog); n != 0 && t.readLog[n-1].idx == idx {
+			if t.readLog[n-1].ver == v1 {
+				t.stats.ReadsDeduped++
+				return val, true
+			}
+			t.stats.AbortsValid++
+			t.abort()
+			return 0, false
+		}
+		if pos, found := t.rc.LookupOrInsert(idx, uint32(len(t.readLog))); found {
+			if t.readLog[pos].ver == v1 {
+				t.stats.ReadsDeduped++
+				return val, true
+			}
+			t.stats.AbortsValid++
+			t.abort()
+			return 0, false
+		}
+		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
+		if v1 > t.validTS && !t.extend() {
+			t.stats.AbortsValid++
+			t.abort()
+			return 0, false
+		}
+		return val, true
+	}
+}
+
 // Store implements stm.Tx; an eager write conflict interrupts the user
 // closure via the unwinding signal.
 func (t *txn) Store(a stm.Addr, v stm.Word) {
@@ -359,6 +444,17 @@ func (t *txn) store(a stm.Addr, v stm.Word) bool {
 		t.abort()
 		return false
 	}
+	return true
+}
+
+// commitRO commits a declared read-only transaction: reads were
+// validated (and extended) incrementally and no lock is held, so there is
+// nothing left to check — the write side of commit (clock bump, redo
+// write-back, lock release) is skipped wholesale.
+func (t *txn) commitRO() bool {
+	t.stats.Commits++
+	t.stats.ROCommits++
+	t.stats.ReadsLogged += uint64(len(t.readLog))
 	return true
 }
 
@@ -473,9 +569,19 @@ func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
 	return t.Load(stm.Addr(h) + field)
 }
 
+// ReadRef implements stm.Tx.
+func (t *txn) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(t.Load(stm.Addr(h) + field))
+}
+
 // WriteField implements stm.Tx.
 func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
 	t.Store(stm.Addr(h)+field, v)
+}
+
+// WriteRef implements stm.Tx.
+func (t *txn) WriteRef(h stm.Handle, field uint32, ref stm.Handle) {
+	t.Store(stm.Addr(h)+field, stm.Word(ref))
 }
 
 // NewObject implements stm.Tx.
@@ -483,6 +589,45 @@ func (t *txn) NewObject(fields uint32) stm.Handle {
 	return stm.Handle(t.e.arena.Alloc(fields))
 }
 
+// SupportsWordAPI reports the word-API capability (stm.SupportsWordAPI).
+func (e *Engine) SupportsWordAPI() bool { return true }
+
+// roTx is the transaction view Begin returns for declared read-only
+// mode; see the swisstm counterpart for the rationale. Write methods are
+// unreachable through TxRO and panic as defense in depth.
+type roTx struct{ t *txn }
+
+const errROWrite = "tinystm: write inside a declared read-only transaction"
+
+// Load implements stm.Tx on the read-only view.
+func (r *roTx) Load(a stm.Addr) stm.Word {
+	v, ok := r.t.loadRO(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// ReadField implements stm.Tx on the read-only view.
+func (r *roTx) ReadField(h stm.Handle, field uint32) stm.Word {
+	return r.Load(stm.Addr(h) + field)
+}
+
+// ReadRef implements stm.Tx on the read-only view.
+func (r *roTx) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(r.Load(stm.Addr(h) + field))
+}
+
+// Restart implements stm.Tx on the read-only view.
+func (r *roTx) Restart() { r.t.Restart() }
+
+func (r *roTx) Store(stm.Addr, stm.Word)                { panic(errROWrite) }
+func (r *roTx) AllocWords(uint32) stm.Addr              { panic(errROWrite) }
+func (r *roTx) WriteField(stm.Handle, uint32, stm.Word) { panic(errROWrite) }
+func (r *roTx) WriteRef(stm.Handle, uint32, stm.Handle) { panic(errROWrite) }
+func (r *roTx) NewObject(uint32) stm.Handle             { panic(errROWrite) }
+
 var _ stm.STM = (*Engine)(nil)
 var _ stm.Thread = (*txn)(nil)
 var _ stm.Tx = (*txn)(nil)
+var _ stm.Tx = (*roTx)(nil)

@@ -32,8 +32,8 @@ func TestEagerAcquireLocksAtEncounter(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(1) })
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.Store(base, 5)
 		if e.owners[e.stripeIdx(base)].Load() == nil {
 			t.Fatal("eager engine did not lock the stripe at encounter time")
@@ -52,16 +52,16 @@ func TestTimestampExtension(t *testing.T) {
 	th0 := e.NewThread(0)
 	th1 := e.NewThread(1)
 	var a, b stm.Addr
-	th0.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		a = tx.AllocWords(1)
 		b = tx.AllocWords(64) // separate stripe region
 	})
 	aborted := false
-	th0.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th0, func(tx stm.Tx) {
 		_ = tx.Load(a)
 		// Another thread commits to an unrelated stripe, advancing the
 		// clock past our snapshot.
-		th1.Atomic(func(tx2 stm.Tx) { tx2.Store(b+32, 1) })
+		stm.AtomicVoid(th1, func(tx2 stm.Tx) { tx2.Store(b+32, 1) })
 		// Reading the updated location forces an extension, which must
 		// succeed since our read set (only a) is untouched.
 		_ = tx.Load(b + 32)

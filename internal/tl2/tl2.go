@@ -124,6 +124,7 @@ type wsEntry struct {
 type txn struct {
 	e         *Engine
 	id        int
+	ro        bool   // current transaction declared read-only (stm.ReadOnly)
 	rv        uint64 // read version (clock snapshot at start)
 	readLog   []uint32
 	readVer   []uint64
@@ -134,6 +135,7 @@ type txn struct {
 	saved     []savedLock // pre-lock versions, for release on commit abort
 	rng       *util.Rand
 	succ      int
+	roV       roTx // pre-allocated read-only view returned by Begin(ReadOnly)
 	stats     stm.Stats
 }
 
@@ -142,7 +144,7 @@ func (e *Engine) NewThread(id int) stm.Thread {
 	if id < 0 || id >= stm.MaxThreads {
 		panic("tl2: thread id out of range")
 	}
-	return &txn{
+	t := &txn{
 		e:       e,
 		id:      id,
 		readLog: make([]uint32, 0, 1024),
@@ -152,22 +154,76 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		saved:   make([]savedLock, 0, 256),
 		rng:     util.NewRand(uint64(id)*0x51f15ee1 + 7),
 	}
+	t.roV.t = t
+	return t
 }
 
 // Stats implements stm.Thread.
 func (t *txn) Stats() stm.Stats { return t.stats }
 
-// Atomic implements stm.Thread.
-func (t *txn) Atomic(body func(stm.Tx)) {
-	for {
-		t.begin()
-		if t.attempt(body) {
-			t.succ = 0
-			return
-		}
-		t.succ++
-		util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
+// Run implements stm.Thread: the engine-facing v2 primitive.
+func (t *txn) Run(body func(stm.Tx) error, mode stm.Mode) error {
+	return stm.RunLoop(t, body, mode)
+}
+
+// Begin implements stm.Thread. TL2's declared read-only mode is the
+// classic one from the TL2 paper: sample the clock and nothing else. No
+// read log is kept at all — each read validates against rv on the spot,
+// so the whole transaction is consistent at rv by construction and the
+// commit needs no validation (DESIGN.md §9.3). The logs are truncated so
+// a read-only abort never charges a previous transaction's entries to
+// the ReadsLogged counter.
+func (t *txn) Begin(mode stm.Mode, restart bool) stm.Tx {
+	if mode == stm.ReadOnly {
+		t.ro = true
+		t.rv = t.e.clock.Load()
+		t.readLog = t.readLog[:0]
+		t.readVer = t.readVer[:0]
+		return &t.roV
 	}
+	t.ro = false
+	t.begin()
+	return t
+}
+
+// Commit implements stm.Thread.
+func (t *txn) Commit() bool {
+	var ok bool
+	if t.ro {
+		ok = t.commitRO()
+	} else {
+		ok = t.commit()
+	}
+	if ok {
+		t.succ = 0
+	}
+	return ok
+}
+
+// Unwind implements stm.Thread. TL2 holds no locks outside commit, so a
+// foreign panic needs no cleanup before the caller propagates it.
+func (t *txn) Unwind(r any) bool {
+	if _, rb := r.(stm.RollbackSignal); rb {
+		t.stats.AbortsUnwound++
+		return true
+	}
+	return false
+}
+
+// AbortUser implements stm.Thread: the body returned an error. Writes
+// were only buffered (lazy design), so dropping the transaction is pure
+// bookkeeping.
+func (t *txn) AbortUser() {
+	t.abort()
+	t.stats.AbortsUser++
+	t.stats.AbortsReturned++
+	t.succ = 0 // the logical transaction ends here, like a commit
+}
+
+// Backoff implements stm.Thread.
+func (t *txn) Backoff() {
+	t.succ++
+	util.BackoffLinear(t.rng, t.succ, t.e.cfg.BackoffUnit)
 }
 
 func (t *txn) begin() {
@@ -177,26 +233,6 @@ func (t *txn) begin() {
 	t.writes = t.writes[:0]
 	t.saved = t.saved[:0]
 	t.bloom = 0
-}
-
-// attempt runs the body once and commits. TL2's lazy design makes this
-// split especially clean: writes never conflict mid-body, so the entire
-// write/write arbitration happens in commit() and is delivered as a
-// checked return. Only read conflicts (TL2 has no extension mechanism)
-// and Restart unwind, recovered here in this single frame.
-func (t *txn) attempt(body func(stm.Tx)) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, rb := r.(stm.RollbackSignal); rb {
-				t.stats.AbortsUnwound++
-				ok = false
-				return
-			}
-			panic(r) // no locks are held outside commit; just propagate
-		}
-	}()
-	body(t)
-	return t.commit()
 }
 
 // abort performs the rollback bookkeeping without deciding the delivery
@@ -275,6 +311,31 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	return val, true
 }
 
+// loadRO is the declared-read-only read protocol: a consistent
+// (lock, value, lock) sample that must be unlocked and no newer than rv —
+// and nothing else. No write-set bloom probe (writes are impossible), no
+// read logging (commit never validates; every read is already proven
+// consistent at rv). ok=false means the transaction aborted.
+func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
+	locks := t.e.locks
+	i := int(a>>t.e.shift) & (len(locks) - 1)
+	l := &locks[i]
+	v1 := l.Load()
+	val := t.e.heap[a].Load()
+	v2 := l.Load()
+	if v1 != v2 || v1&1 == 1 {
+		t.stats.AbortsLocked++
+		t.abort()
+		return 0, false
+	}
+	if v1>>1 > t.rv {
+		t.stats.AbortsValid++
+		t.abort()
+		return 0, false
+	}
+	return val, true
+}
+
 // Store implements stm.Tx: lazy buffering, no locks taken.
 func (t *txn) Store(a stm.Addr, v stm.Word) {
 	b := bloomBit(a)
@@ -288,6 +349,17 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 	}
 	t.bloom |= b
 	t.writes = append(t.writes, wsEntry{addr: a, val: v})
+}
+
+// commitRO commits a declared read-only transaction on nothing but the
+// clock sample taken at Begin: every read already proved itself ≤ rv and
+// unlocked, so there is no read log to replay and no lock to take. This
+// is the fast path the v2 API exists to expose — Stats.ValidationReads
+// stays untouched, which the API-v2 suite asserts.
+func (t *txn) commitRO() bool {
+	t.stats.Commits++
+	t.stats.ROCommits++
+	return true
 }
 
 // commit implements the TL2 commit protocol. It reports false when the
@@ -457,9 +529,19 @@ func (t *txn) ReadField(h stm.Handle, field uint32) stm.Word {
 	return t.Load(stm.Addr(h) + field)
 }
 
+// ReadRef implements stm.Tx.
+func (t *txn) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(t.Load(stm.Addr(h) + field))
+}
+
 // WriteField implements stm.Tx.
 func (t *txn) WriteField(h stm.Handle, field uint32, v stm.Word) {
 	t.Store(stm.Addr(h)+field, v)
+}
+
+// WriteRef implements stm.Tx.
+func (t *txn) WriteRef(h stm.Handle, field uint32, ref stm.Handle) {
+	t.Store(stm.Addr(h)+field, stm.Word(ref))
 }
 
 // NewObject implements stm.Tx.
@@ -467,6 +549,45 @@ func (t *txn) NewObject(fields uint32) stm.Handle {
 	return stm.Handle(t.e.arena.Alloc(fields))
 }
 
+// SupportsWordAPI reports the word-API capability (stm.SupportsWordAPI).
+func (e *Engine) SupportsWordAPI() bool { return true }
+
+// roTx is the transaction view Begin returns for declared read-only
+// mode; see the swisstm counterpart for the rationale. Write methods are
+// unreachable through TxRO and panic as defense in depth.
+type roTx struct{ t *txn }
+
+const errROWrite = "tl2: write inside a declared read-only transaction"
+
+// Load implements stm.Tx on the read-only view.
+func (r *roTx) Load(a stm.Addr) stm.Word {
+	v, ok := r.t.loadRO(a)
+	if !ok {
+		panic(stm.SignalRollback)
+	}
+	return v
+}
+
+// ReadField implements stm.Tx on the read-only view.
+func (r *roTx) ReadField(h stm.Handle, field uint32) stm.Word {
+	return r.Load(stm.Addr(h) + field)
+}
+
+// ReadRef implements stm.Tx on the read-only view.
+func (r *roTx) ReadRef(h stm.Handle, field uint32) stm.Handle {
+	return stm.Handle(r.Load(stm.Addr(h) + field))
+}
+
+// Restart implements stm.Tx on the read-only view.
+func (r *roTx) Restart() { r.t.Restart() }
+
+func (r *roTx) Store(stm.Addr, stm.Word)                { panic(errROWrite) }
+func (r *roTx) AllocWords(uint32) stm.Addr              { panic(errROWrite) }
+func (r *roTx) WriteField(stm.Handle, uint32, stm.Word) { panic(errROWrite) }
+func (r *roTx) WriteRef(stm.Handle, uint32, stm.Handle) { panic(errROWrite) }
+func (r *roTx) NewObject(uint32) stm.Handle             { panic(errROWrite) }
+
 var _ stm.STM = (*Engine)(nil)
 var _ stm.Thread = (*txn)(nil)
 var _ stm.Tx = (*txn)(nil)
+var _ stm.Tx = (*roTx)(nil)

@@ -32,8 +32,8 @@ func TestWriteSetLookup(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 14, TableBits: 10})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(512) })
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(512) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		for i := uint32(0); i < 512; i++ {
 			tx.Store(base+i, stm.Word(i)*3)
 		}
@@ -56,9 +56,9 @@ func TestGV4SkipsValidation(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(64) })
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(64) })
 	for n := 0; n < 100; n++ {
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for i := uint32(0); i < 16; i++ {
 				tx.Store(base+i, tx.Load(base+i)+1)
 			}
@@ -79,12 +79,71 @@ func TestLazyAcquireDefersConflict(t *testing.T) {
 	e := New(Config{ArenaWords: 1 << 12, TableBits: 8})
 	th := e.NewThread(0)
 	var base stm.Addr
-	th.Atomic(func(tx stm.Tx) { base = tx.AllocWords(1) })
-	th.Atomic(func(tx stm.Tx) {
+	stm.AtomicVoid(th, func(tx stm.Tx) { base = tx.AllocWords(1) })
+	stm.AtomicVoid(th, func(tx stm.Tx) {
 		tx.Store(base, 5)
 		// The stripe's versioned lock must still be free mid-transaction.
 		if v := e.locks[e.stripe(base)].Load(); v&1 == 1 {
 			t.Fatal("lazy engine locked a stripe before commit")
 		}
 	})
+}
+
+// TestReadOnlyNoReadLogReplay pins the declared read-only commit
+// protocol under write traffic (DESIGN.md §9.3): TL2 keeps no read log
+// in ReadOnly mode, so even when a concurrent writer moves stripes past
+// the reader's snapshot — forcing read-time aborts — no validation pass
+// ever runs and no read-log entry is ever replayed. The conflict is
+// injected deterministically from a second engine thread on the same
+// goroutine, stmtest.ForcedAbort style.
+func TestReadOnlyNoReadLogReplay(t *testing.T) {
+	e := newEngine()
+	thR := e.NewThread(0)
+	thW := e.NewThread(1)
+	addrs := stm.Atomic(thR, func(tx stm.Tx) [2]stm.Addr {
+		a := tx.AllocWords(1)
+		_ = tx.AllocWords(64) // distinct stripes at any granularity ≤ 64
+		b := tx.AllocWords(1)
+		tx.Store(a, 1)
+		tx.Store(b, 1)
+		return [2]stm.Addr{a, b}
+	})
+	a, b := addrs[0], addrs[1]
+	bump := func(tx stm.Tx) { tx.Store(b, tx.Load(b)+1) }
+	const cycles = 50
+	attempt := 0
+	for i := 0; i < cycles; i++ {
+		attempt = 0
+		got := stm.AtomicRO(thR, func(tx stm.TxRO) stm.Word {
+			attempt++
+			v := tx.Load(a)
+			if attempt == 1 {
+				// The injected commit moves b past the reader's snapshot:
+				// the next Load must abort the attempt (TL2 has no
+				// extension), and the retry sees the new value.
+				stm.AtomicVoid(thW, bump)
+			}
+			return v + tx.Load(b)
+		})
+		if got == 0 {
+			t.Fatal("read-only transaction returned nothing")
+		}
+		if attempt != 2 {
+			t.Fatalf("cycle %d: %d attempts, want 2 (inject must abort the first)", i, attempt)
+		}
+	}
+	s := thR.Stats()
+	if s.ROCommits != cycles+0 {
+		t.Errorf("ROCommits = %d, want %d", s.ROCommits, cycles)
+	}
+	if s.AbortsValid != cycles {
+		t.Errorf("AbortsValid = %d, want %d (one injected conflict per cycle)", s.AbortsValid, cycles)
+	}
+	if s.Validations != 0 || s.ValidationReads != 0 {
+		t.Errorf("read-only mode ran %d validations replaying %d entries, want 0/0 — TL2 RO keeps no read log",
+			s.Validations, s.ValidationReads)
+	}
+	if s.ReadsLogged != 0 {
+		t.Errorf("read-only mode logged %d reads, want 0", s.ReadsLogged)
+	}
 }

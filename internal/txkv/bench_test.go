@@ -27,7 +27,7 @@ func benchStore(b *testing.B) (stm.STM, *txkv.Store) {
 		if end > benchKeys+1 {
 			end = benchKeys + 1
 		}
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := base; k < end; k++ {
 				s.Put(tx, stm.Word(k), stm.Word(k))
 			}
@@ -56,7 +56,7 @@ func BenchmarkTxKVGetSwissTM(b *testing.B) {
 	zipf := util.NewZipf(benchKeys, 0.99)
 	benchParallel(b, e, func(th stm.Thread, rng *util.Rand) {
 		k := stm.Word(zipf.Next(rng) + 1)
-		th.Atomic(func(tx stm.Tx) { s.Get(tx, k) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { s.Get(tx, k) })
 	})
 }
 
@@ -65,7 +65,7 @@ func BenchmarkTxKVPutSwissTM(b *testing.B) {
 	zipf := util.NewZipf(benchKeys, 0.99)
 	benchParallel(b, e, func(th stm.Thread, rng *util.Rand) {
 		k := stm.Word(zipf.Next(rng) + 1)
-		th.Atomic(func(tx stm.Tx) { s.Put(tx, k, k) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { s.Put(tx, k, k) })
 	})
 }
 
@@ -76,9 +76,9 @@ func BenchmarkTxKVCASSwissTM(b *testing.B) {
 		k := stm.Word(zipf.Next(rng) + 1)
 		var cur stm.Word
 		var ok bool
-		th.Atomic(func(tx stm.Tx) { cur, ok = s.Get(tx, k) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { cur, ok = s.Get(tx, k) })
 		if ok {
-			th.Atomic(func(tx stm.Tx) { s.CAS(tx, k, cur, cur+1) })
+			stm.AtomicVoid(th, func(tx stm.Tx) { s.CAS(tx, k, cur, cur+1) })
 		}
 	})
 }
@@ -103,7 +103,7 @@ func BenchmarkTxKVTransferSwissTM(b *testing.B) {
 				n++
 			}
 		}
-		th.Atomic(func(tx stm.Tx) { s.Transfer(tx, buf[:], 1) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { s.Transfer(tx, buf[:], 1) })
 	})
 }
 
@@ -111,6 +111,6 @@ func BenchmarkTxKVScanShardSwissTM(b *testing.B) {
 	e, s := benchStore(b)
 	benchParallel(b, e, func(th stm.Thread, rng *util.Rand) {
 		sh := rng.Intn(s.Shards())
-		th.Atomic(func(tx stm.Tx) { s.SumShard(tx, sh) })
+		stm.AtomicVoid(th, func(tx stm.Tx) { s.SumShard(tx, sh) })
 	})
 }

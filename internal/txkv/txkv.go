@@ -7,95 +7,115 @@
 // manager is built for.
 //
 // The store is written entirely against the engine-agnostic object API
-// (DESIGN.md §3.1), so it runs unmodified on SwissTM, TL2, TinySTM and
-// object-based RSTM. Layout (DESIGN.md §6):
+// (DESIGN.md §3.1) in its v2 typed form — read paths take stm.TxRO, so
+// they compose into declared read-only transactions (stm.AtomicRO) and
+// run on every engine's read-only fast path. Layout (DESIGN.md §6):
 //
-//   - The key space is hashed (splitmix64 finalizer) onto Shards ×
-//     Buckets chains. The shard/bucket directory is built once at
+//   - The key space is hashed (splitmix64 finalizer) onto Shards open-
+//     addressed slot tables. The shard/slot directory is built once at
 //     setup and immutable afterwards, so it lives in plain Go memory
 //     and costs no read-set entries.
-//   - Each bucket is one 1-field holder object containing the chain
-//     head, so two transactions conflict only when they touch the same
-//     bucket (object-granularity engines) or the same lock stripe
-//     (word-based engines).
-//   - Each entry is one 3-field object {key, value, next}. Updates
-//     write only the entry's value field; inserts link a fresh entry
-//     at the chain head; deletes unlink (the bump-allocator arena
-//     leaks the node, as all engines here leak on abort — see
-//     stm.Tx.AllocWords).
+//   - Each slot is one 2-field object {key, value}. A Get probes the
+//     linear-probe sequence reading one key field per hop — replacing
+//     the earlier one-entry-object-per-hop bucket chains, whose Get
+//     cost head + 2 dependent transactional reads per chain hop
+//     (ROADMAP open item). At the ≤ 50% load factor ConfigForKeys
+//     provisions, a hit costs ~1-2 key probes plus the value read.
+//   - Updates write only the slot's value field; inserts claim an
+//     empty or tombstoned slot; deletes write the tombstone key. Slot
+//     objects are never unlinked, so the directory never changes shape
+//     and two transactions conflict only when their probe paths cross
+//     the same slot objects (or lock stripes, on word-based engines).
 package txkv
 
 import "swisstm/internal/stm"
 
-// Entry object field indices.
+// Slot object field indices.
 const (
-	eKey uint32 = iota
-	eVal
-	eNext
-	entryFields
+	sKey uint32 = iota
+	sVal
+	slotFields
 )
 
-// nilH is the nil entry handle.
-const nilH stm.Handle = 0
+const (
+	// emptyKey marks a never-used slot: a probe may stop here.
+	emptyKey stm.Word = 0
+	// tombKey marks a deleted slot: a probe must continue past it, and
+	// an insert may reuse it. Keys are application data, so the two
+	// sentinels are reserved values (documented on Put).
+	tombKey stm.Word = ^stm.Word(0)
+)
 
 // Config sizes the store. Both dimensions must be powers of two.
 type Config struct {
 	// Shards is the number of shards (aggregate/scan unit). Default 16.
 	Shards int
-	// Buckets is the number of hash buckets per shard. Default 64.
-	Buckets int
+	// Slots is the number of open-addressed slots per shard. Default 64.
+	// The shard is full when every slot is claimed; Put panics on
+	// overflow, so provision with ConfigForKeys (≤ 50% load) for the
+	// expected population.
+	Slots int
 }
 
 func (c *Config) fill() {
 	if c.Shards == 0 {
 		c.Shards = 16
 	}
-	if c.Buckets == 0 {
-		c.Buckets = 64
+	if c.Slots == 0 {
+		c.Slots = 64
 	}
-	if c.Shards&(c.Shards-1) != 0 || c.Buckets&(c.Buckets-1) != 0 {
-		panic("txkv: Shards and Buckets must be powers of two")
+	if c.Shards&(c.Shards-1) != 0 || c.Slots&(c.Slots-1) != 0 {
+		panic("txkv: Shards and Slots must be powers of two")
 	}
 }
 
-// ConfigForKeys sizes a store for an expected population of keys at
-// roughly four keys per bucket across 16 shards.
+// ConfigForKeys sizes a store for an expected population of keys at no
+// more than quarter-full shards on average across 16 shards (and at
+// least 16 slots per shard), which keeps linear-probe sequences short
+// (~1 key read per Get) and makes per-shard overflow — keys hash to
+// shards, so an unlucky shard can receive more than its share —
+// vanishingly unlikely. Overflow is still possible in principle for an
+// adversarial key population; Put then panics rather than degrading
+// silently, so size generously for untrusted key sets.
 func ConfigForKeys(keys int) Config {
-	c := Config{Shards: 16, Buckets: 1}
-	for c.Shards*c.Buckets*4 < keys {
-		c.Buckets <<= 1
+	c := Config{Shards: 16, Slots: 16}
+	for c.Shards*c.Slots < 4*keys {
+		c.Slots <<= 1
 	}
 	return c
 }
 
 // Store is a transactional hash map from uint64 keys to uint64 values.
 // All operations run inside the caller's transaction, so any sequence
-// of them composes into one atomic multi-key transaction. The Store
-// struct itself is immutable after New and safe to share across worker
-// threads.
+// of them composes into one atomic multi-key transaction; the read-only
+// operations accept stm.TxRO and therefore also compose into declared
+// read-only transactions. The Store struct itself is immutable after
+// New and safe to share across worker threads.
+//
+// Keys must avoid the two reserved sentinel values 0 and ^uint64(0).
 type Store struct {
-	shards  int
-	buckets int
-	// heads[shard][bucket] is the handle of that bucket's 1-field chain
-	// head holder. Written once during New, read-only afterwards.
-	heads [][]stm.Handle
+	shards int
+	slots  int
+	// table[shard][slot] is the handle of that slot's 2-field object.
+	// Written once during New, read-only afterwards.
+	table [][]stm.Handle
 }
 
 // New builds an empty store using th for the allocation transactions.
 func New(th stm.Thread, cfg Config) *Store {
 	cfg.fill()
-	s := &Store{shards: cfg.Shards, buckets: cfg.Buckets}
-	s.heads = make([][]stm.Handle, cfg.Shards)
-	for si := range s.heads {
-		row := make([]stm.Handle, cfg.Buckets)
+	s := &Store{shards: cfg.Shards, slots: cfg.Slots}
+	s.table = make([][]stm.Handle, cfg.Shards)
+	for si := range s.table {
+		row := make([]stm.Handle, cfg.Slots)
 		// One allocation-only transaction per shard keeps transactions
 		// bounded; fresh objects cannot conflict with anything.
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for bi := range row {
-				row[bi] = tx.NewObject(1)
+				row[bi] = tx.NewObject(slotFields)
 			}
 		})
-		s.heads[si] = row
+		s.table[si] = row
 	}
 	return s
 }
@@ -105,7 +125,7 @@ func (s *Store) Shards() int { return s.shards }
 
 // mix is the splitmix64 finalizer: avalanches key bits so that hot
 // zipfian ranks and sequential key populations scatter across shards
-// and buckets.
+// and probe start points.
 func mix(k stm.Word) uint64 {
 	x := uint64(k) + 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -113,65 +133,89 @@ func mix(k stm.Word) uint64 {
 	return x ^ (x >> 31)
 }
 
-// head returns the bucket holder handle for key.
-func (s *Store) head(key stm.Word) stm.Handle {
+// row returns key's shard row and probe start slot.
+func (s *Store) row(key stm.Word) ([]stm.Handle, int) {
 	h := mix(key)
-	return s.heads[int(h)&(s.shards-1)][int(h>>32)&(s.buckets-1)]
+	return s.table[int(h)&(s.shards-1)], int(h>>32) & (s.slots - 1)
 }
 
-// find walks key's bucket chain, returning the entry holding key and
-// its predecessor (both nilH when absent / first in chain).
-func (s *Store) find(tx stm.Tx, holder stm.Handle, key stm.Word) (entry, prev stm.Handle) {
-	e := tx.ReadField(holder, 0)
-	for e != nilH {
-		if tx.ReadField(e, eKey) == key {
-			return e, prev
-		}
-		prev = e
-		e = tx.ReadField(e, eNext)
+// find walks key's linear-probe sequence, returning the slot holding
+// key (0 when absent). Each hop costs exactly one transactional read of
+// the slot's key field — the dependent-read chain the bucket-chain
+// layout paid twice over.
+func (s *Store) find(tx stm.TxRO, row []stm.Handle, start int, key stm.Word) stm.Handle {
+	if key == emptyKey || key == tombKey {
+		return 0 // sentinel keys are never stored
 	}
-	return nilH, nilH
+	mask := s.slots - 1
+	for i := 0; i < s.slots; i++ {
+		slot := row[(start+i)&mask]
+		switch tx.ReadField(slot, sKey) {
+		case key:
+			return slot
+		case emptyKey:
+			return 0 // never-used slot terminates the probe sequence
+		}
+	}
+	return 0 // every slot claimed or tombstoned
 }
 
 // Get returns the value stored under key.
-func (s *Store) Get(tx stm.Tx, key stm.Word) (stm.Word, bool) {
-	e, _ := s.find(tx, s.head(key), key)
-	if e == nilH {
+func (s *Store) Get(tx stm.TxRO, key stm.Word) (stm.Word, bool) {
+	row, start := s.row(key)
+	slot := s.find(tx, row, start, key)
+	if slot == 0 {
 		return 0, false
 	}
-	return tx.ReadField(e, eVal), true
+	return tx.ReadField(slot, sVal), true
 }
 
 // Put sets key → val, returning true when the key was newly inserted
-// (false when an existing value was overwritten).
+// (false when an existing value was overwritten). It panics when key is
+// a reserved sentinel (0 or ^uint64(0)) or the shard is full — both are
+// configuration errors, not runtime conditions (size with
+// ConfigForKeys).
 func (s *Store) Put(tx stm.Tx, key, val stm.Word) bool {
-	holder := s.head(key)
-	e, _ := s.find(tx, holder, key)
-	if e != nilH {
-		tx.WriteField(e, eVal, val)
-		return false
+	if key == emptyKey || key == tombKey {
+		panic("txkv: key collides with a reserved sentinel value")
 	}
-	n := tx.NewObject(entryFields)
-	tx.WriteField(n, eKey, key)
-	tx.WriteField(n, eVal, val)
-	tx.WriteField(n, eNext, tx.ReadField(holder, 0))
-	tx.WriteField(holder, 0, n)
+	row, start := s.row(key)
+	mask := s.slots - 1
+	free := stm.Handle(0) // first reusable slot seen (tombstone or empty)
+	for i := 0; i < s.slots; i++ {
+		slot := row[(start+i)&mask]
+		switch tx.ReadField(slot, sKey) {
+		case key:
+			tx.WriteField(slot, sVal, val)
+			return false
+		case tombKey:
+			if free == 0 {
+				free = slot
+			}
+		case emptyKey:
+			if free == 0 {
+				free = slot
+			}
+			i = s.slots // probe sequence ends at a never-used slot
+		}
+	}
+	if free == 0 {
+		panic("txkv: shard full (size the store with ConfigForKeys)")
+	}
+	tx.WriteField(free, sKey, key)
+	tx.WriteField(free, sVal, val)
 	return true
 }
 
-// Delete removes key, returning whether it was present.
+// Delete removes key, returning whether it was present. The slot is
+// tombstoned: probe sequences continue past it, inserts may reuse it.
 func (s *Store) Delete(tx stm.Tx, key stm.Word) bool {
-	holder := s.head(key)
-	e, prev := s.find(tx, holder, key)
-	if e == nilH {
+	row, start := s.row(key)
+	slot := s.find(tx, row, start, key)
+	if slot == 0 {
 		return false
 	}
-	next := tx.ReadField(e, eNext)
-	if prev == nilH {
-		tx.WriteField(holder, 0, next)
-	} else {
-		tx.WriteField(prev, eNext, next)
-	}
+	tx.WriteField(slot, sKey, tombKey)
 	return true
 }
 
@@ -179,11 +223,12 @@ func (s *Store) Delete(tx stm.Tx, key stm.Word) bool {
 // oldv. It returns false — writing nothing — when the key is absent or
 // holds a different value.
 func (s *Store) CAS(tx stm.Tx, key, oldv, newv stm.Word) bool {
-	e, _ := s.find(tx, s.head(key), key)
-	if e == nilH || tx.ReadField(e, eVal) != oldv {
+	row, start := s.row(key)
+	slot := s.find(tx, row, start, key)
+	if slot == 0 || tx.ReadField(slot, sVal) != oldv {
 		return false
 	}
-	tx.WriteField(e, eVal, newv)
+	tx.WriteField(slot, sVal, newv)
 	return true
 }
 
@@ -206,38 +251,40 @@ func (s *Store) Transfer(tx stm.Tx, keys []stm.Word, amount stm.Word) bool {
 		}
 	}
 	debit := amount * stm.Word(len(keys)-1)
-	// Locate every entry once; the write pass reuses the handles, so a
-	// transfer over k keys walks each chain a single time.
-	entries := make([]stm.Handle, len(keys))
+	// Locate every slot once; the write pass reuses the handles, so a
+	// transfer over k keys probes each shard a single time.
+	slots := make([]stm.Handle, len(keys))
 	vals := make([]stm.Word, len(keys))
 	for i, k := range keys {
-		e, _ := s.find(tx, s.head(k), k)
-		if e == nilH {
+		row, start := s.row(k)
+		slot := s.find(tx, row, start, k)
+		if slot == 0 {
 			return false
 		}
-		entries[i] = e
-		vals[i] = tx.ReadField(e, eVal)
+		slots[i] = slot
+		vals[i] = tx.ReadField(slot, sVal)
 	}
 	if vals[0] < debit {
 		return false
 	}
-	tx.WriteField(entries[0], eVal, vals[0]-debit)
-	for i := 1; i < len(entries); i++ {
-		tx.WriteField(entries[i], eVal, vals[i]+amount)
+	tx.WriteField(slots[0], sVal, vals[0]-debit)
+	for i := 1; i < len(slots); i++ {
+		tx.WriteField(slots[i], sVal, vals[i]+amount)
 	}
 	return true
 }
 
 // ForEachShard calls fn for every (key, value) pair in one shard,
-// stopping early when fn returns false.
-func (s *Store) ForEachShard(tx stm.Tx, shard int, fn func(k, v stm.Word) bool) bool {
-	for _, holder := range s.heads[shard] {
-		e := tx.ReadField(holder, 0)
-		for e != nilH {
-			if !fn(tx.ReadField(e, eKey), tx.ReadField(e, eVal)) {
-				return false
-			}
-			e = tx.ReadField(e, eNext)
+// stopping early when fn returns false. One key read per slot; the
+// value is read only for live slots.
+func (s *Store) ForEachShard(tx stm.TxRO, shard int, fn func(k, v stm.Word) bool) bool {
+	for _, slot := range s.table[shard] {
+		k := tx.ReadField(slot, sKey)
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		if !fn(k, tx.ReadField(slot, sVal)) {
+			return false
 		}
 	}
 	return true
@@ -246,7 +293,7 @@ func (s *Store) ForEachShard(tx stm.Tx, shard int, fn func(k, v stm.Word) bool) 
 // ForEach calls fn for every (key, value) pair in the store, stopping
 // early when fn returns false. Iteration order is the hash layout, not
 // key order.
-func (s *Store) ForEach(tx stm.Tx, fn func(k, v stm.Word) bool) {
+func (s *Store) ForEach(tx stm.TxRO, fn func(k, v stm.Word) bool) {
 	for si := 0; si < s.shards; si++ {
 		if !s.ForEachShard(tx, si, fn) {
 			return
@@ -257,7 +304,7 @@ func (s *Store) ForEach(tx stm.Tx, fn func(k, v stm.Word) bool) {
 // SumShard returns the sum of all values in one shard — the bounded
 // iteration aggregate the scan ops issue (a long read-only
 // transaction over ~1/Shards of the store).
-func (s *Store) SumShard(tx stm.Tx, shard int) stm.Word {
+func (s *Store) SumShard(tx stm.TxRO, shard int) stm.Word {
 	var sum stm.Word
 	s.ForEachShard(tx, shard, func(_, v stm.Word) bool { sum += v; return true })
 	return sum
@@ -265,14 +312,14 @@ func (s *Store) SumShard(tx stm.Tx, shard int) stm.Word {
 
 // SumAll returns the sum of every value — the whole-store aggregate
 // used by the balance-invariant checks.
-func (s *Store) SumAll(tx stm.Tx) stm.Word {
+func (s *Store) SumAll(tx stm.TxRO) stm.Word {
 	var sum stm.Word
 	s.ForEach(tx, func(_, v stm.Word) bool { sum += v; return true })
 	return sum
 }
 
 // Len counts the stored keys.
-func (s *Store) Len(tx stm.Tx) int {
+func (s *Store) Len(tx stm.TxRO) int {
 	n := 0
 	s.ForEach(tx, func(_, _ stm.Word) bool { n++; return true })
 	return n

@@ -26,22 +26,24 @@ func forEachEngine(t *testing.T, fn func(t *testing.T, e stm.STM)) {
 	}
 }
 
-// smallCfg forces chaining: 2 shards × 2 buckets hold every test key.
-var smallCfg = txkv.Config{Shards: 2, Buckets: 2}
+// smallCfg forces long probe sequences: 2 shards × 64 slots run at
+// ~80% load with the 100-key tests, so probes regularly cross claimed
+// and tombstoned slots.
+var smallCfg = txkv.Config{Shards: 2, Slots: 64}
 
 func TestBasicOps(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, e stm.STM) {
 		th := e.NewThread(0)
 		s := txkv.New(th, smallCfg)
 		const n = 100
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := stm.Word(1); k <= n; k++ {
 				if !s.Put(tx, k, k*10) {
 					t.Fatalf("Put(%d) reported existing key on first insert", k)
 				}
 			}
 		})
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := stm.Word(1); k <= n; k++ {
 				v, ok := s.Get(tx, k)
 				if !ok || v != k*10 {
@@ -56,7 +58,7 @@ func TestBasicOps(t *testing.T) {
 			}
 		})
 		// Overwrite.
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			if s.Put(tx, 7, 777) {
 				t.Fatal("Put of existing key reported a fresh insert")
 			}
@@ -66,7 +68,7 @@ func TestBasicOps(t *testing.T) {
 		})
 		// Delete every even key (head, middle and tail positions in the
 		// 4 chains), then verify membership.
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := stm.Word(2); k <= n; k += 2 {
 				if !s.Delete(tx, k) {
 					t.Fatalf("Delete(%d) missed a present key", k)
@@ -76,7 +78,7 @@ func TestBasicOps(t *testing.T) {
 				t.Fatal("Delete of absent key reported success")
 			}
 		})
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := stm.Word(1); k <= n; k++ {
 				_, ok := s.Get(tx, k)
 				if want := k%2 == 1; ok != want {
@@ -94,7 +96,7 @@ func TestCAS(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, e stm.STM) {
 		th := e.NewThread(0)
 		s := txkv.New(th, smallCfg)
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			s.Put(tx, 1, 10)
 			if s.CAS(tx, 1, 11, 20) {
 				t.Fatal("CAS with wrong expectation succeeded")
@@ -119,7 +121,7 @@ func TestTransferSemantics(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, e stm.STM) {
 		th := e.NewThread(0)
 		s := txkv.New(th, smallCfg)
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			s.Put(tx, 1, 10)
 			s.Put(tx, 2, 0)
 			s.Put(tx, 3, 0)
@@ -153,13 +155,13 @@ func TestTransferSemantics(t *testing.T) {
 func TestSumShardPartitionsSumAll(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, e stm.STM) {
 		th := e.NewThread(0)
-		s := txkv.New(th, txkv.Config{Shards: 4, Buckets: 4})
-		th.Atomic(func(tx stm.Tx) {
+		s := txkv.New(th, txkv.Config{Shards: 4, Slots: 128})
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := stm.Word(1); k <= 200; k++ {
 				s.Put(tx, k, k)
 			}
 		})
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			var byShard stm.Word
 			for si := 0; si < s.Shards(); si++ {
 				byShard += s.SumShard(tx, si)
@@ -187,8 +189,8 @@ func TestTransferInvariantConcurrent(t *testing.T) {
 	)
 	forEachEngine(t, func(t *testing.T, e stm.STM) {
 		th0 := e.NewThread(0)
-		s := txkv.New(th0, txkv.Config{Shards: 4, Buckets: 4})
-		th0.Atomic(func(tx stm.Tx) {
+		s := txkv.New(th0, txkv.Config{Shards: 4, Slots: 32})
+		stm.AtomicVoid(th0, func(tx stm.Tx) {
 			for k := stm.Word(1); k <= keys; k++ {
 				s.Put(tx, k, 100)
 			}
@@ -204,7 +206,7 @@ func TestTransferInvariantConcurrent(t *testing.T) {
 				buf := make([]stm.Word, 0, 3)
 				for i := 0; i < opsEach; i++ {
 					if i%64 == 63 { // interleave long aggregate readers
-						th.Atomic(func(tx stm.Tx) { s.SumShard(tx, rng.Intn(s.Shards())) })
+						stm.AtomicVoid(th, func(tx stm.Tx) { s.SumShard(tx, rng.Intn(s.Shards())) })
 						continue
 					}
 					buf = buf[:0]
@@ -221,12 +223,12 @@ func TestTransferInvariantConcurrent(t *testing.T) {
 							buf = append(buf, c)
 						}
 					}
-					th.Atomic(func(tx stm.Tx) { s.Transfer(tx, buf, 1) })
+					stm.AtomicVoid(th, func(tx stm.Tx) { s.Transfer(tx, buf, 1) })
 				}
 			}(w)
 		}
 		wg.Wait()
-		th0.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th0, func(tx stm.Tx) {
 			if got, want := s.SumAll(tx), stm.Word(keys*100); got != want {
 				t.Fatalf("balance invariant broken: total %d, want %d", got, want)
 			}
@@ -290,9 +292,10 @@ func TestGenSeededDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		final := map[stm.Word]stm.Word{}
-		eng.NewThread(0).Atomic(func(tx stm.Tx) {
-			g.Store().ForEach(tx, func(k, v stm.Word) bool { final[k] = v; return true })
+		final := stm.AtomicRO(eng.NewThread(0), func(tx stm.TxRO) map[stm.Word]stm.Word {
+			m := map[stm.Word]stm.Word{}
+			g.Store().ForEach(tx, func(k, v stm.Word) bool { m[k] = v; return true })
+			return m
 		})
 		return final, recs[0].Ops
 	}

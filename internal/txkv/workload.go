@@ -78,6 +78,11 @@ type GenConfig struct {
 	// Zipf is the zipfian skew θ in (0, 1); 0 selects uniform key
 	// choice.
 	Zipf float64
+	// PlainReads routes the read-only operation classes (point Get,
+	// scan, the CAS read) through plain stm.Atomic instead of the
+	// declared read-only stm.AtomicRO fast path. It exists for the
+	// ro-fastpath ablation pair (cmd/benchjson); leave it false.
+	PlainReads bool
 	// Balance is the per-key starting value (default DefaultBalance).
 	Balance stm.Word
 	// Store overrides the store dimensions (default ConfigForKeys(Keys)).
@@ -167,7 +172,7 @@ func (g *Gen) Setup(e stm.STM) error {
 		if end > g.cfg.Keys+1 {
 			end = g.cfg.Keys + 1
 		}
-		th.Atomic(func(tx stm.Tx) {
+		stm.AtomicVoid(th, func(tx stm.Tx) {
 			for k := base; k < end; k++ {
 				g.store.Put(tx, stm.Word(k), g.cfg.Balance)
 			}
@@ -198,38 +203,67 @@ func (g *Gen) Op(th stm.Thread, worker int, rng *util.Rand) {
 	switch {
 	case r < m.ReadPct:
 		key := g.key(rng)
-		th.Atomic(func(tx stm.Tx) { g.store.Get(tx, key) })
+		g.get(th, key)
 	case r < m.ReadPct+m.UpdatePct:
 		key := g.key(rng)
 		val := g.nextVal(worker)
-		th.Atomic(func(tx stm.Tx) { g.store.Put(tx, key, val) })
+		stm.Atomic(th, func(tx stm.Tx) bool { return g.store.Put(tx, key, val) })
 		g.lastWrite[worker][key] = val
 	case r < m.ReadPct+m.UpdatePct+m.CASPct:
 		// Optimistic client pattern: read in one transaction, then
 		// conditionally swap in a second. The CAS observes failures
 		// when another worker slipped a write in between.
 		key := g.key(rng)
-		var (
-			cur stm.Word
-			ok  bool
-		)
-		th.Atomic(func(tx stm.Tx) { cur, ok = g.store.Get(tx, key) })
+		cur, ok := g.get(th, key)
 		if !ok {
 			return
 		}
 		val := g.nextVal(worker)
-		var swapped bool
-		th.Atomic(func(tx stm.Tx) { swapped = g.store.CAS(tx, key, cur, val) })
+		swapped := stm.Atomic(th, func(tx stm.Tx) bool { return g.store.CAS(tx, key, cur, val) })
 		if swapped {
 			g.lastWrite[worker][key] = val
 		}
 	case r < m.ReadPct+m.UpdatePct+m.CASPct+m.TransferPct:
 		keys := g.transferKeys(worker, rng)
-		th.Atomic(func(tx stm.Tx) { g.store.Transfer(tx, keys, 1) })
+		stm.Atomic(th, func(tx stm.Tx) bool { return g.store.Transfer(tx, keys, 1) })
 	default: // scan
 		shard := rng.Intn(g.store.Shards())
-		th.Atomic(func(tx stm.Tx) { g.store.SumShard(tx, shard) })
+		g.scan(th, shard)
 	}
+}
+
+// getResult carries a point read's outcome out of its transaction as one
+// value (the v2 API returns results instead of closure captures).
+type getResult struct {
+	val stm.Word
+	ok  bool
+}
+
+// get issues one point read, declared read-only unless the PlainReads
+// ablation is on.
+func (g *Gen) get(th stm.Thread, key stm.Word) (stm.Word, bool) {
+	var r getResult
+	if g.cfg.PlainReads {
+		r = stm.Atomic(th, func(tx stm.Tx) getResult {
+			v, ok := g.store.Get(tx, key)
+			return getResult{v, ok}
+		})
+	} else {
+		r = stm.AtomicRO(th, func(tx stm.TxRO) getResult {
+			v, ok := g.store.Get(tx, key)
+			return getResult{v, ok}
+		})
+	}
+	return r.val, r.ok
+}
+
+// scan issues one shard-aggregate read, declared read-only unless the
+// PlainReads ablation is on.
+func (g *Gen) scan(th stm.Thread, shard int) stm.Word {
+	if g.cfg.PlainReads {
+		return stm.Atomic(th, func(tx stm.Tx) stm.Word { return g.store.SumShard(tx, shard) })
+	}
+	return stm.AtomicRO(th, func(tx stm.TxRO) stm.Word { return g.store.SumShard(tx, shard) })
 }
 
 // transferKeys draws TransferKeys distinct keys into the worker's
@@ -266,10 +300,10 @@ func (g *Gen) transferKeys(worker int, rng *util.Rand) []stm.Word {
 //     the per-worker last-write sets form a sound candidate set.
 func (g *Gen) Check(e stm.STM) error {
 	th := e.NewThread(0)
-	var final map[stm.Word]stm.Word
-	th.Atomic(func(tx stm.Tx) {
-		final = make(map[stm.Word]stm.Word, g.cfg.Keys)
-		g.store.ForEach(tx, func(k, v stm.Word) bool { final[k] = v; return true })
+	final := stm.AtomicRO(th, func(tx stm.TxRO) map[stm.Word]stm.Word {
+		m := make(map[stm.Word]stm.Word, g.cfg.Keys)
+		g.store.ForEach(tx, func(k, v stm.Word) bool { m[k] = v; return true })
+		return m
 	})
 	if len(final) != g.cfg.Keys {
 		return fmt.Errorf("txkv: %d keys after run, want %d", len(final), g.cfg.Keys)
