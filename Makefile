@@ -5,12 +5,14 @@ GO ?= go
 
 # Engine packages get a dedicated -race pass: they are the lock-level
 # concurrent code, and the data-structure stress tests hammer them.
-# txkv rides along for its concurrent transfer-invariant test.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7
+# txkv rides along for its concurrent transfer-invariant test; the
+# server stack (wire/server/client) because its tests run many TCP
+# connections against one shared engine.
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv smoke-examples fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-server smoke-examples grid fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +79,43 @@ smoke-txkv:
 	fi
 	@echo "smoke-txkv OK: all engines, all mixes, oracles green"
 
+# smoke-server exercises the txkv network service end to end: an
+# in-process server per engine on an ephemeral loopback port (real TCP),
+# driven by the load generator in both closed-loop and open-loop mode
+# with the over-the-wire oracles armed (transfer mix → balance
+# conservation). Fails on empty result files, missing percentile
+# columns, zero percentile values, or a failed oracle.
+smoke-server:
+	rm -rf $(SMOKE_DIR)/server
+	$(GO) run ./cmd/txkvload -launch -engines swisstm,tl2,tinystm,rstm \
+		-mixes transfer -conns 2 -ops 400 -keys 512 -seed 1 \
+		-format csv -out $(SMOKE_DIR)/server -name closed
+	$(GO) run ./cmd/txkvload -launch -engines swisstm,tl2,tinystm,rstm \
+		-mixes read-heavy -conns 2 -ops 400 -keys 512 -seed 2 -rate 4000 \
+		-format csv -out $(SMOKE_DIR)/server -name open
+	@for f in $(SMOKE_DIR)/server/closed.csv $(SMOKE_DIR)/server/open.csv; do \
+		lines=$$(wc -l < "$$f"); \
+		if [ "$$lines" -le 1 ]; then echo "empty result file: $$f"; exit 1; fi; \
+		for col in lat_p50_ns lat_p99_ns lat_p999_ns phase_txn_ns; do \
+			idx=$$(head -1 "$$f" | tr ',' '\n' | grep -nx "$$col" | cut -d: -f1); \
+			if [ -z "$$idx" ]; then echo "$$f: missing column $$col"; exit 1; fi; \
+			if tail -n +2 "$$f" | awk -F, -v i="$$idx" '$$i + 0 <= 0 {exit 1}'; then :; else \
+				echo "$$f: zero $$col in a data row"; exit 1; fi; \
+		done; \
+	done
+	@if grep -l 'false$$' $(SMOKE_DIR)/server/*.summary.csv; then \
+		echo "a server oracle failed (all_checked=false above)"; exit 1; \
+	fi
+	@echo "smoke-server OK: all four engines over TCP, closed+open loop, oracles green"
+
+# grid runs the full experiment grid from scripts/experiments.json into
+# one merged CSV artifact (override cell size with GRID_OPS, e.g.
+# `make grid GRID_OPS=300` for a quick pass).
+GRID_DIR ?= grid_runs
+GRID_OPS ?= 0
+grid:
+	$(GO) run ./cmd/grid -config scripts/experiments.json -out $(GRID_DIR) -ops $(GRID_OPS)
+
 # smoke-examples builds and runs every examples/ program to completion.
 # The examples are the public face of the transaction API; running them
 # in CI means the API surface they exercise (value-returning Atomic,
@@ -90,4 +129,4 @@ smoke-examples:
 	done
 	@echo "smoke-examples OK: all examples ran and self-checked"
 
-ci: fmt vet build test race smoke smoke-txkv smoke-examples
+ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-examples

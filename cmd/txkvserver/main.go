@@ -1,0 +1,64 @@
+// Command txkvserver serves the transactional key-value store over TCP
+// (DESIGN.md §10): length-prefixed binary frames, one goroutine per
+// connection, every request one v2 transaction against the selected
+// engine. It pre-fills keys 1..keys with the starting balance so the
+// load harness's balance-conservation oracle has a known baseline, and
+// serves until interrupted.
+//
+// Usage:
+//
+//	txkvserver -addr 127.0.0.1:7070 -engine swisstm -keys 4096
+//	txkvserver -addr :0 -engine rstm -cm polka -threads 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvserver"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "TCP listen address (use :0 for an ephemeral port)")
+		engine  = flag.String("engine", "swisstm", "engine kind: swisstm | tl2 | tinystm | rstm")
+		manager = flag.String("cm", "polka", "RSTM contention manager")
+		keys    = flag.Int("keys", 4096, "pre-filled key population (keys 1..n)")
+		balance = flag.Uint64("balance", uint64(txkv.DefaultBalance), "starting value per pre-filled key")
+		threads = flag.Int("threads", 8, "engine thread pool size")
+	)
+	flag.Parse()
+	switch *engine {
+	case "swisstm", "tl2", "tinystm", "rstm":
+	default:
+		fmt.Fprintf(os.Stderr, "txkvserver: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	srv, err := txkvserver.Start(*addr, txkvserver.Config{
+		Engine:  harness.EngineSpec{Kind: *engine, Manager: *manager},
+		Keys:    *keys,
+		Balance: stm.Word(*balance),
+		Threads: *threads,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("txkvserver: engine=%s keys=%d listening on %s\n", srv.Engine(), *keys, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("txkvserver: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "txkvserver:", err)
+		os.Exit(1)
+	}
+}

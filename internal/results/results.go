@@ -62,6 +62,28 @@ type Record struct {
 	Validations     uint64 `json:"validations"`
 	ValidationReads uint64 `json:"validation_reads"`
 
+	// Network-service latency/load profile (DESIGN.md §10), populated
+	// by the txkv load harness; zero for in-process experiment runs.
+	// Latency percentiles are client-observed nanoseconds (closed loop:
+	// from request send; open loop: from scheduled arrival, queueing
+	// delay included). Phase columns are the server's mean per-request
+	// nanoseconds in each service phase.
+	LatP50Ns      float64 `json:"lat_p50_ns"`
+	LatP99Ns      float64 `json:"lat_p99_ns"`
+	LatP999Ns     float64 `json:"lat_p999_ns"`
+	PhaseParseNs  float64 `json:"phase_parse_ns"`
+	PhaseQueueNs  float64 `json:"phase_queue_ns"`
+	PhaseTxnNs    float64 `json:"phase_txn_ns"`
+	PhaseCommitNs float64 `json:"phase_commit_ns"`
+	PhaseReplyNs  float64 `json:"phase_reply_ns"`
+	// OfferedRate is the open-loop arrival rate in ops/sec (0 = closed
+	// loop); AchievedRate is completed ops over the run duration. A gap
+	// between them, or a non-zero LateOps count, is saturation made
+	// visible rather than absorbed by closed-loop backpressure.
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	LateOps      uint64  `json:"late_ops"`
+
 	AbortRate float64 `json:"abort_rate"` // aborts / (commits + aborts)
 	CheckedOK bool    `json:"checked_ok"` // post-run validation outcome
 }
@@ -96,6 +118,9 @@ var header = []string{
 	"aborts_killed", "aborts_explicit", "aborts_user", "waits_cm", "lock_acquire_fail",
 	"aborts_unwound", "aborts_returned",
 	"reads_logged", "reads_deduped", "validations", "validation_reads",
+	"lat_p50_ns", "lat_p99_ns", "lat_p999_ns",
+	"phase_parse_ns", "phase_queue_ns", "phase_txn_ns", "phase_commit_ns", "phase_reply_ns",
+	"offered_rate", "achieved_rate", "late_ops",
 	"abort_rate", "checked_ok",
 }
 
@@ -124,6 +149,17 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.ReadsDeduped, 10),
 		strconv.FormatUint(r.Validations, 10),
 		strconv.FormatUint(r.ValidationReads, 10),
+		strconv.FormatFloat(r.LatP50Ns, 'g', -1, 64),
+		strconv.FormatFloat(r.LatP99Ns, 'g', -1, 64),
+		strconv.FormatFloat(r.LatP999Ns, 'g', -1, 64),
+		strconv.FormatFloat(r.PhaseParseNs, 'g', -1, 64),
+		strconv.FormatFloat(r.PhaseQueueNs, 'g', -1, 64),
+		strconv.FormatFloat(r.PhaseTxnNs, 'g', -1, 64),
+		strconv.FormatFloat(r.PhaseCommitNs, 'g', -1, 64),
+		strconv.FormatFloat(r.PhaseReplyNs, 'g', -1, 64),
+		strconv.FormatFloat(r.OfferedRate, 'g', -1, 64),
+		strconv.FormatFloat(r.AchievedRate, 'g', -1, 64),
+		strconv.FormatUint(r.LateOps, 10),
 		strconv.FormatFloat(r.AbortRate, 'g', -1, 64),
 		strconv.FormatBool(r.CheckedOK),
 	}
@@ -201,14 +237,19 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.AbortsUnwound, rec.AbortsReturned = u64(row[21]), u64(row[22])
 		rec.ReadsLogged, rec.ReadsDeduped = u64(row[23]), u64(row[24])
 		rec.Validations, rec.ValidationReads = u64(row[25]), u64(row[26])
-		rec.AbortRate = f64(row[27])
-		switch row[28] {
+		rec.LatP50Ns, rec.LatP99Ns, rec.LatP999Ns = f64(row[27]), f64(row[28]), f64(row[29])
+		rec.PhaseParseNs, rec.PhaseQueueNs = f64(row[30]), f64(row[31])
+		rec.PhaseTxnNs, rec.PhaseCommitNs, rec.PhaseReplyNs = f64(row[32]), f64(row[33]), f64(row[34])
+		rec.OfferedRate, rec.AchievedRate = f64(row[35]), f64(row[36])
+		rec.LateOps = u64(row[37])
+		rec.AbortRate = f64(row[38])
+		switch row[39] {
 		case "true":
 			rec.CheckedOK = true
 		case "false":
 			rec.CheckedOK = false
 		default:
-			keep(fmt.Errorf("bad checked_ok value %q", row[28]))
+			keep(fmt.Errorf("bad checked_ok value %q", row[39]))
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)

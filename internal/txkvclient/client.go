@@ -1,0 +1,153 @@
+// Package txkvclient is the client side of the txkv network service:
+// a thin synchronous connection type speaking the txkvwire protocol,
+// plus the load generator (loadgen.go) that drives the YCSB-style
+// workload mixes over real TCP connections in closed-loop and
+// open-loop modes and folds the measurements into the results schema.
+package txkvclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"swisstm/internal/txkvwire"
+)
+
+// Client is one synchronous connection to a txkv server. It is not safe
+// for concurrent use; the load generator opens one Client per worker.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	rbuf []byte
+	wbuf []byte
+}
+
+// Dial connects to a txkv server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// DialRetry dials with retries until timeout elapses — the readiness
+// probe load drivers use right after launching a server.
+func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("txkvclient: server at %s not ready after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its reply. An error reply from the
+// server is returned as the reply with Err set, not as a Go error — the
+// Go error path is reserved for transport and protocol failures.
+func (c *Client) Do(req txkvwire.Req) (txkvwire.Reply, error) {
+	var err error
+	c.wbuf, err = txkvwire.AppendReq(c.wbuf[:0], req)
+	if err != nil {
+		return txkvwire.Reply{}, err
+	}
+	if err := txkvwire.WriteFrame(c.conn, c.wbuf); err != nil {
+		return txkvwire.Reply{}, err
+	}
+	c.rbuf, err = txkvwire.ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return txkvwire.Reply{}, err
+	}
+	return txkvwire.DecodeReply(c.rbuf)
+}
+
+// do is Do plus promotion of server-side error replies to Go errors,
+// for the typed convenience methods where an error reply is unexpected.
+func (c *Client) do(req txkvwire.Req) (txkvwire.Reply, error) {
+	reply, err := c.Do(req)
+	if err != nil {
+		return reply, err
+	}
+	if reply.Err != "" {
+		return reply, fmt.Errorf("txkvclient: server error: %s", reply.Err)
+	}
+	return reply, nil
+}
+
+// Get reads one key.
+func (c *Client) Get(key uint64) (val uint64, found bool, err error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpGet, Key: key})
+	return reply.Val, reply.Found, err
+}
+
+// Put writes key → val, reporting whether the key was newly inserted.
+func (c *Client) Put(key, val uint64) (inserted bool, err error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpPut, Key: key, Val: val})
+	return reply.OK, err
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(key uint64) (existed bool, err error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpDelete, Key: key})
+	return reply.OK, err
+}
+
+// CAS swaps key's value old → new when it currently equals old.
+func (c *Client) CAS(key, old, new uint64) (swapped bool, err error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpCAS, Key: key, Old: old, Val: new})
+	return reply.OK, err
+}
+
+// Transfer atomically moves amount from keys[0] to each of keys[1:].
+func (c *Client) Transfer(keys []uint64, amount uint64) (ok bool, err error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpTransfer, Keys: keys, Amount: amount})
+	return reply.OK, err
+}
+
+// Sum sums one shard's values, or the whole store for shard == -1.
+func (c *Client) Sum(shard int) (uint64, error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpSum, Shard: int32(shard)})
+	return reply.Val, err
+}
+
+// Len counts the stored keys.
+func (c *Client) Len() (uint64, error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpLen})
+	return reply.Val, err
+}
+
+// Batch runs subs as one all-or-nothing server-side transaction. When
+// the batch aborted (a conditional sub-op failed), the abort reason is
+// returned as abortErr with the store untouched; transport failures come
+// back as err.
+func (c *Client) Batch(subs []txkvwire.Req) (replies []txkvwire.Reply, abortErr error, err error) {
+	reply, err := c.Do(txkvwire.Req{Op: txkvwire.OpBatch, Sub: subs})
+	if err != nil {
+		return nil, nil, err
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("txkvclient: %s", reply.Err), nil
+	}
+	return reply.Sub, nil, nil
+}
+
+// Stats fetches the server's cumulative request/phase counters.
+func (c *Client) Stats() (txkvwire.Stats, error) {
+	reply, err := c.do(txkvwire.Req{Op: txkvwire.OpStats})
+	if err != nil {
+		return txkvwire.Stats{}, err
+	}
+	if reply.Stats == nil {
+		return txkvwire.Stats{}, fmt.Errorf("txkvclient: stats reply without stats")
+	}
+	return *reply.Stats, nil
+}

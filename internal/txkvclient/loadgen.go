@@ -1,0 +1,440 @@
+package txkvclient
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/results"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvwire"
+	"swisstm/internal/util"
+)
+
+// LoadConfig parameterizes one load run against a txkv server: one
+// workload mix, one connection count, one loop mode.
+type LoadConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Mix is the YCSB-style operation mix (internal/txkv's named mixes).
+	Mix txkv.Mix
+	// Conns is the number of concurrent client connections (default 1).
+	Conns int
+	// Keys is the key population the server was pre-filled with
+	// (default 1024); keys are drawn from 1..Keys.
+	Keys int
+	// Zipf is the zipfian skew θ in (0,1); 0 selects uniform keys.
+	Zipf float64
+	// Seed derives the per-connection RNG seeds (0 picks a
+	// time-derived seed, i.e. a non-reproducible run).
+	Seed uint64
+	// Ops is the total operation count across all connections (required).
+	Ops uint64
+	// Rate switches to open-loop mode: operations arrive at this fixed
+	// rate (ops/sec) regardless of completions, and latency is measured
+	// from the scheduled arrival — queueing delay included — so
+	// saturation shows up as growing latency and late requests instead
+	// of being absorbed by closed-loop backpressure. 0 = closed loop.
+	Rate float64
+	// LateThreshold classifies an operation as late when its dispatch
+	// lagged its scheduled arrival by more than this (default 1ms;
+	// open-loop mode only).
+	LateThreshold time.Duration
+	// SkipOracles disables the post-run correctness checks.
+	SkipOracles bool
+}
+
+func (c *LoadConfig) fill() error {
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.Keys == 0 {
+		c.Keys = 1024
+	}
+	if c.LateThreshold == 0 {
+		c.LateThreshold = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = uint64(time.Now().UnixNano()) | 1
+	}
+	if err := c.Mix.Valid(); err != nil {
+		return err
+	}
+	if c.Ops == 0 {
+		return fmt.Errorf("txkvclient: load run needs a total op count")
+	}
+	if c.Conns < 1 || c.Keys < 1 {
+		return fmt.Errorf("txkvclient: bad load config (conns %d, keys %d)", c.Conns, c.Keys)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("txkvclient: negative arrival rate %v", c.Rate)
+	}
+	if c.Mix.TransferPct > 0 && c.Keys <= c.Mix.TransferKeys {
+		return fmt.Errorf("txkvclient: mix %s needs more than %d keys, have %d", c.Mix.Name, c.Mix.TransferKeys, c.Keys)
+	}
+	return nil
+}
+
+// Result is one load run's measurement: client-observed latency
+// percentiles, open-loop arrival accounting, and the server's phase
+// timing/engine counters over the run window.
+type Result struct {
+	Mode     string // "closed" or "open"
+	Ops      uint64 // completed operations
+	LateOps  uint64 // open loop: dispatched later than LateThreshold after schedule
+	Duration time.Duration
+
+	// Latency percentiles in nanoseconds. Closed loop measures from
+	// request send; open loop from scheduled arrival.
+	P50Ns, P99Ns, P999Ns float64
+
+	// Offered is the configured arrival rate (0 in closed loop);
+	// Achieved is completed ops over the run duration. A gap between
+	// them is saturation.
+	Offered, Achieved float64
+
+	// Server is the server-side counter delta over the run: phase
+	// nanosecond sums and engine commit/abort totals.
+	Server txkvwire.Stats
+
+	// OracleErr is the armed correctness oracles' verdict (nil = green):
+	// key population intact, and — for conserving mixes — the total
+	// balance unchanged by the run.
+	OracleErr error
+}
+
+// PhaseMeanNs returns the server's mean per-request time of one phase
+// over the run window.
+func phaseMean(sum, requests uint64) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return float64(sum) / float64(requests)
+}
+
+// Record folds the result into the repository's record schema
+// (DESIGN.md §5, §10) under the given identity columns.
+func (r Result) Record(experiment, workload, engine, engineKind string, conns, repeat int, seed uint64) results.Record {
+	rec := results.Record{
+		Experiment: experiment, Workload: workload,
+		Engine: engine, EngineKind: engineKind,
+		Threads: conns, Repeat: repeat, Seed: seed,
+		DurationSec:   r.Duration.Seconds(),
+		Ops:           r.Ops,
+		Throughput:    r.Achieved,
+		Commits:       r.Server.Commits,
+		Aborts:        r.Server.Aborts,
+		LatP50Ns:      r.P50Ns,
+		LatP99Ns:      r.P99Ns,
+		LatP999Ns:     r.P999Ns,
+		PhaseParseNs:  phaseMean(r.Server.ParseNs, r.Server.Requests),
+		PhaseQueueNs:  phaseMean(r.Server.QueueNs, r.Server.Requests),
+		PhaseTxnNs:    phaseMean(r.Server.TxnNs, r.Server.Requests),
+		PhaseCommitNs: phaseMean(r.Server.CommitNs, r.Server.Requests),
+		PhaseReplyNs:  phaseMean(r.Server.ReplyNs, r.Server.Requests),
+		OfferedRate:   r.Offered,
+		AchievedRate:  r.Achieved,
+		LateOps:       r.LateOps,
+		CheckedOK:     r.OracleErr == nil,
+	}
+	if total := r.Server.Commits + r.Server.Aborts; total > 0 {
+		rec.AbortRate = float64(r.Server.Aborts) / float64(total)
+	}
+	return rec
+}
+
+// Run executes one load run. A transport or protocol error aborts the
+// run; a failed oracle is reported in Result.OracleErr (the measurement
+// itself is still returned, so drivers can persist the evidence).
+func Run(cfg LoadConfig) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Mode: "closed", Offered: 0}
+	if cfg.Rate > 0 {
+		res.Mode = "open"
+		res.Offered = cfg.Rate
+	}
+
+	// A control connection brackets the run: oracle baselines and the
+	// server counter snapshots.
+	ctl, err := DialRetry(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return Result{}, err
+	}
+	defer ctl.Close()
+	var sum0 uint64
+	conserving := cfg.Mix.UpdatePct == 0 && cfg.Mix.CASPct == 0
+	if !cfg.SkipOracles && conserving {
+		if sum0, err = ctl.Sum(-1); err != nil {
+			return Result{}, err
+		}
+	}
+	stats0, err := ctl.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+
+	workers := make([]*ldWorker, cfg.Conns)
+	for i := range workers {
+		w, err := newLdWorker(cfg, i)
+		if err != nil {
+			for _, p := range workers[:i] {
+				p.cl.Close()
+			}
+			return Result{}, err
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.cl.Close()
+		}
+	}()
+
+	start := time.Now()
+	var runErr atomic.Value // first worker error
+	fail := func(err error) {
+		if err != nil {
+			runErr.CompareAndSwap(nil, err) // nolint: first error wins
+		}
+	}
+
+	var wg sync.WaitGroup
+	if cfg.Rate == 0 {
+		// Closed loop: each connection issues its quota back to back.
+		quota := cfg.Ops / uint64(cfg.Conns)
+		extra := cfg.Ops % uint64(cfg.Conns)
+		for i, w := range workers {
+			n := quota
+			if uint64(i) < extra {
+				n++
+			}
+			wg.Add(1)
+			go func(w *ldWorker, n uint64) {
+				defer wg.Done()
+				for j := uint64(0); j < n; j++ {
+					t0 := time.Now()
+					if err := w.op(); err != nil {
+						fail(err)
+						return
+					}
+					w.lat = append(w.lat, time.Since(t0).Nanoseconds())
+				}
+			}(w, n)
+		}
+	} else {
+		// Open loop: a generator emits arrival tokens at the fixed rate
+		// (catching up without re-pacing when it oversleeps, so the
+		// arrival schedule is faithful), workers consume them. The
+		// channel holds every token, so a saturated fleet never blocks
+		// the arrival process — it just grows the queue, which is
+		// exactly the latency the scheduled-arrival measurement charges.
+		tokens := make(chan time.Time, cfg.Ops)
+		interval := float64(time.Second) / cfg.Rate
+		go func() {
+			for i := uint64(0); i < cfg.Ops; i++ {
+				sched := start.Add(time.Duration(float64(i) * interval))
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				tokens <- sched
+			}
+			close(tokens)
+		}()
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *ldWorker) {
+				defer wg.Done()
+				for sched := range tokens {
+					if time.Since(sched) > cfg.LateThreshold {
+						w.late++
+					}
+					if err := w.op(); err != nil {
+						fail(err)
+						return
+					}
+					w.lat = append(w.lat, time.Since(sched).Nanoseconds())
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	if err, _ := runErr.Load().(error); err != nil {
+		return Result{}, err
+	}
+
+	// Merge per-worker measurements.
+	var all []int64
+	for _, w := range workers {
+		all = append(all, w.lat...)
+		res.LateOps += w.late
+	}
+	res.Ops = uint64(len(all))
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50Ns = percentile(all, 0.50)
+	res.P99Ns = percentile(all, 0.99)
+	res.P999Ns = percentile(all, 0.999)
+	if res.Duration > 0 {
+		res.Achieved = float64(res.Ops) / res.Duration.Seconds()
+	}
+
+	stats1, err := ctl.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Server = txkvwire.Stats{
+		Requests: stats1.Requests - stats0.Requests,
+		ParseNs:  stats1.ParseNs - stats0.ParseNs,
+		QueueNs:  stats1.QueueNs - stats0.QueueNs,
+		TxnNs:    stats1.TxnNs - stats0.TxnNs,
+		CommitNs: stats1.CommitNs - stats0.CommitNs,
+		ReplyNs:  stats1.ReplyNs - stats0.ReplyNs,
+		Commits:  stats1.Commits - stats0.Commits,
+		Aborts:   stats1.Aborts - stats0.Aborts,
+	}
+
+	if !cfg.SkipOracles {
+		res.OracleErr = checkOracles(ctl, cfg, conserving, sum0)
+	}
+	return res, nil
+}
+
+// checkOracles validates post-run state over the wire: the key
+// population must be intact (no mix deletes), and a mix without blind
+// updates conserves the total balance (transfers move value, never
+// create it).
+func checkOracles(ctl *Client, cfg LoadConfig, conserving bool, sum0 uint64) error {
+	n, err := ctl.Len()
+	if err != nil {
+		return err
+	}
+	if n != uint64(cfg.Keys) {
+		return fmt.Errorf("txkvclient: oracle: %d keys after run, want %d", n, cfg.Keys)
+	}
+	if conserving {
+		sum1, err := ctl.Sum(-1)
+		if err != nil {
+			return err
+		}
+		if sum1 != sum0 {
+			return fmt.Errorf("txkvclient: oracle: balance not conserved: total %d, want %d", sum1, sum0)
+		}
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from ascending-sorted latencies using
+// the nearest-rank definition.
+func percentile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx])
+}
+
+// ldWorker is one load connection: its client, RNG, scratch and
+// measurements.
+type ldWorker struct {
+	cfg    LoadConfig
+	cl     *Client
+	rng    *util.Rand
+	dist   util.Dist
+	shards int
+	id     int
+	seq    uint64
+	tkeys  []uint64
+	lat    []int64
+	late   uint64
+}
+
+func newLdWorker(cfg LoadConfig, id int) (*ldWorker, error) {
+	cl, err := DialRetry(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	w := &ldWorker{
+		cfg:    cfg,
+		cl:     cl,
+		rng:    util.NewRand(harness.DeriveSeed(cfg.Seed, "txkvload/"+cfg.Mix.Name, cfg.Conns, id)),
+		shards: txkv.ConfigForKeys(cfg.Keys).Shards,
+		id:     id,
+		lat:    make([]int64, 0, cfg.Ops/uint64(cfg.Conns)+1),
+	}
+	if cfg.Zipf > 0 {
+		w.dist = util.NewZipf(cfg.Keys, cfg.Zipf)
+	} else {
+		w.dist = util.NewUniform(cfg.Keys)
+	}
+	if cfg.Mix.TransferPct > 0 {
+		w.tkeys = make([]uint64, 0, cfg.Mix.TransferKeys)
+	}
+	return w, nil
+}
+
+func (w *ldWorker) key() uint64 { return uint64(w.dist.Next(w.rng) + 1) }
+
+// nextVal mints this worker's next globally unique write value, the
+// same (worker+1)<<40 | seq encoding the in-process generator uses.
+func (w *ldWorker) nextVal() uint64 {
+	w.seq++
+	return uint64(w.id+1)<<40 | w.seq
+}
+
+// op issues one mix operation over the wire — the same op selection as
+// txkv.Gen.Op, with each transaction a real request round trip.
+func (w *ldWorker) op() error {
+	m := w.cfg.Mix
+	r := w.rng.Intn(100)
+	switch {
+	case r < m.ReadPct:
+		_, _, err := w.cl.Get(w.key())
+		return err
+	case r < m.ReadPct+m.UpdatePct:
+		_, err := w.cl.Put(w.key(), w.nextVal())
+		return err
+	case r < m.ReadPct+m.UpdatePct+m.CASPct:
+		// Optimistic client pattern: read, then conditional swap — two
+		// round trips, two server transactions, one logical operation.
+		key := w.key()
+		cur, ok, err := w.cl.Get(key)
+		if err != nil || !ok {
+			return err
+		}
+		_, err = w.cl.CAS(key, cur, w.nextVal())
+		return err
+	case r < m.ReadPct+m.UpdatePct+m.CASPct+m.TransferPct:
+		keys := w.tkeys[:0]
+		for len(keys) < m.TransferKeys {
+			c := w.key()
+			dup := false
+			for _, e := range keys {
+				if e == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				keys = append(keys, c)
+			}
+		}
+		w.tkeys = keys
+		_, err := w.cl.Transfer(keys, 1)
+		return err
+	default: // scan
+		_, err := w.cl.Sum(w.rng.Intn(w.shards))
+		return err
+	}
+}

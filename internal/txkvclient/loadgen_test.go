@@ -1,0 +1,171 @@
+package txkvclient_test
+
+import (
+	"testing"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/txkvserver"
+)
+
+func startServer(t *testing.T, kind string, keys int) *txkvserver.Server {
+	t.Helper()
+	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{
+		Engine: harness.EngineSpec{Kind: kind, Manager: "polka"},
+		Keys:   keys,
+	})
+	if err != nil {
+		t.Fatalf("start %s server: %v", kind, err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestClosedLoop runs a short seeded closed-loop transfer load and
+// checks the measurement is fully populated and the oracles are green.
+func TestClosedLoop(t *testing.T) {
+	srv := startServer(t, "swisstm", 512)
+	res, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr:  srv.Addr().String(),
+		Mix:   txkv.TransferMix,
+		Conns: 2,
+		Keys:  512,
+		Zipf:  0.9,
+		Seed:  1,
+		Ops:   600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Offered != 0 {
+		t.Fatalf("mode: %+v", res)
+	}
+	if res.Ops != 600 {
+		t.Fatalf("completed %d ops, want 600", res.Ops)
+	}
+	if res.OracleErr != nil {
+		t.Fatalf("oracle: %v", res.OracleErr)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns || res.P999Ns < res.P99Ns {
+		t.Fatalf("latency percentiles not ordered/positive: %+v", res)
+	}
+	if res.Achieved <= 0 {
+		t.Fatalf("achieved rate %v", res.Achieved)
+	}
+	// The server saw at least one request per op (CAS ops issue two) and
+	// measured non-zero txn and reply phases.
+	if res.Server.Requests < res.Ops {
+		t.Fatalf("server saw %d requests for %d ops", res.Server.Requests, res.Ops)
+	}
+	if res.Server.TxnNs == 0 || res.Server.ReplyNs == 0 || res.Server.Commits == 0 {
+		t.Fatalf("server phase counters empty: %+v", res.Server)
+	}
+
+	rec := res.Record("txkvload", "txkvsrv/transfer-zipf-closed", srv.Engine(), "swisstm", 2, 0, 1)
+	if rec.LatP50Ns <= 0 || rec.LatP99Ns <= 0 || rec.LatP999Ns <= 0 {
+		t.Fatalf("record percentiles empty: %+v", rec)
+	}
+	if rec.PhaseTxnNs <= 0 || rec.PhaseReplyNs <= 0 {
+		t.Fatalf("record phase means empty: %+v", rec)
+	}
+	if !rec.CheckedOK || rec.Throughput <= 0 {
+		t.Fatalf("record not green: %+v", rec)
+	}
+}
+
+// TestOpenLoop runs a fixed-arrival-rate load and checks the offered vs
+// achieved accounting.
+func TestOpenLoop(t *testing.T) {
+	srv := startServer(t, "tl2", 256)
+	const rate = 2000.0
+	res, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr:  srv.Addr().String(),
+		Mix:   txkv.ReadHeavy,
+		Conns: 2,
+		Keys:  256,
+		Seed:  7,
+		Ops:   400,
+		Rate:  rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.Offered != rate {
+		t.Fatalf("open-loop accounting: %+v", res)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("completed %d ops, want 400", res.Ops)
+	}
+	if res.OracleErr != nil {
+		t.Fatalf("oracle: %v", res.OracleErr)
+	}
+	// 400 ops at 2000/s is ~200ms of schedule; the run can't finish
+	// faster than the arrival process.
+	if res.Duration < 150*time.Millisecond {
+		t.Fatalf("open-loop run finished before its schedule: %v", res.Duration)
+	}
+	if res.Achieved <= 0 || res.Achieved > 1.5*rate {
+		t.Fatalf("achieved rate %v implausible for offered %v", res.Achieved, rate)
+	}
+	rec := res.Record("txkvload", "txkvsrv/read-heavy-uniform-open", srv.Engine(), "tl2", 2, 0, 7)
+	if rec.OfferedRate != rate || rec.AchievedRate != res.Achieved {
+		t.Fatalf("record rates: %+v", rec)
+	}
+}
+
+// TestOpenLoopSaturation overloads a single connection with an
+// unreachable arrival rate: the achieved rate must fall visibly short
+// of offered and late ops must be counted — the saturation visibility
+// the open-loop mode exists for.
+func TestOpenLoopSaturation(t *testing.T) {
+	srv := startServer(t, "tinystm", 256)
+	res, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr:          srv.Addr().String(),
+		Mix:           txkv.UpdateHeavy,
+		Conns:         1,
+		Keys:          256,
+		Seed:          3,
+		Ops:           300,
+		Rate:          2_000_000, // far beyond one loopback connection
+		LateThreshold: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateOps == 0 {
+		t.Fatalf("no late ops under 2M ops/s on one connection: %+v", res)
+	}
+	if res.Achieved >= res.Offered {
+		t.Fatalf("achieved %v should fall short of offered %v", res.Achieved, res.Offered)
+	}
+}
+
+// TestOracleCatchesTampering arms the oracles against a store whose
+// balance was changed outside the mix: the load run must report it.
+func TestOracleCatchesTampering(t *testing.T) {
+	srv := startServer(t, "swisstm", 128)
+	cl, err := txkvclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Deleting a key breaks the population oracle.
+	if _, err := cl.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr: srv.Addr().String(),
+		Mix:  txkv.ReadOnly,
+		Keys: 128,
+		Seed: 1,
+		Ops:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleErr == nil {
+		t.Fatal("oracle missed a deleted key")
+	}
+}

@@ -1,0 +1,54 @@
+package txkvserver
+
+import (
+	"bufio"
+	"net"
+	"sync/atomic"
+
+	"swisstm/internal/txkvwire"
+)
+
+// metrics holds the server's flat per-request phase counters: plain
+// nanosecond sums plus a request count, the shape the related audit-log
+// service records per request and the results schema averages into
+// phase_*_ns columns (DESIGN.md §10). Atomic adds keep the hot path
+// lock-free; the counters are cumulative for the server's lifetime, so
+// a load run diffs two snapshots.
+type metrics struct {
+	requests atomic.Uint64
+	parseNs  atomic.Uint64
+	queueNs  atomic.Uint64
+	txnNs    atomic.Uint64
+	commitNs atomic.Uint64
+	replyNs  atomic.Uint64
+}
+
+func (m *metrics) record(parse, queue, txn, commit, reply uint64) {
+	m.requests.Add(1)
+	m.parseNs.Add(parse)
+	m.queueNs.Add(queue)
+	m.txnNs.Add(txn)
+	m.commitNs.Add(commit)
+	m.replyNs.Add(reply)
+}
+
+// snapshot reads the counters into the wire Stats shape (the engine
+// commit/abort totals are filled in by the caller).
+func (m *metrics) snapshot() txkvwire.Stats {
+	return txkvwire.Stats{
+		Requests: m.requests.Load(),
+		ParseNs:  m.parseNs.Load(),
+		QueueNs:  m.queueNs.Load(),
+		TxnNs:    m.txnNs.Load(),
+		CommitNs: m.commitNs.Load(),
+		ReplyNs:  m.replyNs.Load(),
+	}
+}
+
+// newConnReader wraps the connection for frame reads. Replies are
+// written unbuffered (one WriteFrame per reply is two small writes on a
+// loopback TCP socket with default NODELAY), but reads are buffered so
+// a frame header and body coalesce into one syscall under pipelining.
+func newConnReader(c net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(c, 16<<10)
+}

@@ -1,0 +1,463 @@
+// Package txkvserver serves the transactional key-value store
+// (internal/txkv) over TCP: length-prefixed binary frames
+// (internal/txkvwire), one goroutine per connection, every request
+// executed as one v2 transaction (stm.Atomic for writes, stm.AtomicRO
+// for the read-only ops) against a shared engine-backed store, on any
+// of the four engines.
+//
+// Engine threads are pooled: stm.Thread is per-worker state and
+// stm.MaxThreads bounds how many can exist, so the server owns a small
+// fixed pool and each request borrows a thread for exactly its
+// transaction. The wait for a free thread is the request's queue phase
+// — under saturation it is where latency accumulates, and the flat
+// per-request phase counters (parse/queue/txn/commit/reply, DESIGN.md
+// §10) make that visible through the Stats op instead of folding it
+// into one opaque service time.
+package txkvserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvwire"
+)
+
+// Config describes one server instance.
+type Config struct {
+	// Engine selects and configures the backing engine.
+	Engine harness.EngineSpec
+	// Keys pre-fills the store with keys 1..Keys (default 1024).
+	Keys int
+	// Balance is the starting value per pre-filled key (default
+	// txkv.DefaultBalance) — the unit of the balance-conservation oracle.
+	Balance stm.Word
+	// Threads sizes the engine thread pool (default 8, capped at
+	// stm.MaxThreads).
+	Threads int
+}
+
+func (c *Config) fill() error {
+	if c.Keys == 0 {
+		c.Keys = 1024
+	}
+	if c.Keys < 1 {
+		return fmt.Errorf("txkvserver: bad key population %d", c.Keys)
+	}
+	if c.Balance == 0 {
+		c.Balance = txkv.DefaultBalance
+	}
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.Threads < 1 || c.Threads > stm.MaxThreads {
+		return fmt.Errorf("txkvserver: thread pool size %d out of range 1..%d", c.Threads, stm.MaxThreads)
+	}
+	return nil
+}
+
+// Server is one listening txkv service instance.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	eng   stm.STM
+	store *txkv.Store
+	pool  chan *worker
+	m     metrics
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// worker is one pooled engine thread.
+type worker struct {
+	th stm.Thread
+}
+
+// Start builds the engine, pre-fills the store and begins serving on
+// addr (e.g. "127.0.0.1:0" for an ephemeral loopback port).
+func Start(addr string, cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine.Kind == "" {
+		return nil, errors.New("txkvserver: no engine kind configured")
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine.New(),
+		pool:  make(chan *worker, cfg.Threads),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		s.pool <- &worker{th: s.eng.NewThread(i)}
+	}
+
+	// Pre-fill keys 1..Keys in bounded transactions on a pool thread, so
+	// the balance-conservation oracle has a known starting sum.
+	w := <-s.pool
+	s.store = txkv.New(w.th, txkv.ConfigForKeys(cfg.Keys))
+	const chunk = 256
+	for base := 1; base <= cfg.Keys; base += chunk {
+		end := base + chunk
+		if end > cfg.Keys+1 {
+			end = cfg.Keys + 1
+		}
+		stm.AtomicVoid(w.th, func(tx stm.Tx) {
+			for k := base; k < end; k++ {
+				s.store.Put(tx, stm.Word(k), cfg.Balance)
+			}
+		})
+	}
+	s.pool <- w
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Engine returns the display name of the backing engine.
+func (s *Server) Engine() string { return s.eng.Name() }
+
+// Close stops accepting, closes every live connection and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// serveConn runs one connection: read frame → decode → borrow thread →
+// transaction → reply, measuring each phase. Requests on one connection
+// are served in order; concurrency comes from concurrent connections.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := newConnReader(conn)
+	var fbuf, obuf []byte
+	for {
+		payload, err := txkvwire.ReadFrame(br, fbuf)
+		if err != nil {
+			return // client went away or framing broke; drop the connection
+		}
+		fbuf = payload
+
+		t0 := time.Now()
+		req, derr := txkvwire.DecodeReq(payload)
+		parseNs := uint64(time.Since(t0).Nanoseconds())
+
+		var reply txkvwire.Reply
+		var queueNs, txnNs, commitNs uint64
+		if derr != nil {
+			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error()}
+		} else {
+			reply, queueNs, txnNs, commitNs = s.dispatch(req)
+		}
+
+		r0 := time.Now()
+		obuf = obuf[:0]
+		obuf, err = txkvwire.AppendReply(obuf, reply)
+		if err != nil {
+			// An unencodable reply is a server bug; degrade to an error
+			// frame rather than silently dropping the connection.
+			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply"})
+		}
+		if err := txkvwire.WriteFrame(conn, obuf); err != nil {
+			return
+		}
+		replyNs := uint64(time.Since(r0).Nanoseconds())
+
+		s.m.record(parseNs, queueNs, txnNs, commitNs, replyNs)
+	}
+}
+
+// dispatch validates the request, borrows a pool thread and executes the
+// transaction, returning the reply and the queue/txn/commit phase times.
+func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnNs, commitNs uint64) {
+	if err := s.validate(req, true); err != nil {
+		return txkvwire.Reply{Op: req.Op, Err: err.Error()}, 0, 0, 0
+	}
+	if req.Op == txkvwire.OpStats {
+		// Stats needs no engine thread: it drains the pool itself to
+		// read the per-thread counters race-free.
+		return s.statsReply(), 0, 0, 0
+	}
+	q0 := time.Now()
+	w := <-s.pool
+	queueNs = uint64(time.Since(q0).Nanoseconds())
+	reply, txnNs, commitNs = s.execute(w, req)
+	s.pool <- w
+	return reply, queueNs, txnNs, commitNs
+}
+
+// validate rejects requests that the store defines as configuration
+// errors (it panics on them) before any transaction starts: reserved
+// sentinel keys and out-of-range shard indices.
+func (s *Server) validate(req txkvwire.Req, batchOK bool) error {
+	badKey := func(k uint64) bool {
+		return k == uint64(0) || k == ^uint64(0)
+	}
+	switch req.Op {
+	case txkvwire.OpGet, txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS:
+		if badKey(req.Key) {
+			return fmt.Errorf("%s: key %d is reserved", req.Op, req.Key)
+		}
+	case txkvwire.OpTransfer:
+		for _, k := range req.Keys {
+			if badKey(k) {
+				return fmt.Errorf("transfer: key %d is reserved", k)
+			}
+		}
+	case txkvwire.OpSum:
+		if req.Shard < -1 || int(req.Shard) >= s.store.Shards() {
+			return fmt.Errorf("sum: shard %d out of range (store has %d)", req.Shard, s.store.Shards())
+		}
+	case txkvwire.OpBatch:
+		if !batchOK {
+			return errors.New("batch: nested batch")
+		}
+		for i, sub := range req.Sub {
+			if err := s.validate(sub, false); err != nil {
+				return fmt.Errorf("batch[%d]: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// execute runs one validated request as one transaction on the borrowed
+// thread. txnNs is the body duration of the final (committing) attempt;
+// commitNs is the rest of the atomic call — begin, commit, and any
+// aborted attempts with their back-off.
+func (s *Server) execute(w *worker, req txkvwire.Req) (reply txkvwire.Reply, txnNs, commitNs uint64) {
+	defer func() {
+		// A foreign panic out of a transaction body (e.g. a shard
+		// overflowing on Put) has already rolled the attempt back and
+		// released its locks (stm.Thread.Unwind); surface it as an error
+		// reply instead of tearing the whole server down.
+		if r := recover(); r != nil {
+			reply = txkvwire.Reply{Op: req.Op, Err: fmt.Sprintf("%s: %v", req.Op, r)}
+		}
+	}()
+
+	var bodyNs int64
+	a0 := time.Now()
+	switch req.Op {
+	case txkvwire.OpGet:
+		type getRes struct {
+			val   stm.Word
+			found bool
+		}
+		res := stm.AtomicRO(w.th, func(tx stm.TxRO) getRes {
+			b0 := time.Now()
+			v, ok := s.store.Get(tx, stm.Word(req.Key))
+			bodyNs = time.Since(b0).Nanoseconds()
+			return getRes{v, ok}
+		})
+		reply = txkvwire.Reply{Op: req.Op, Found: res.found, Val: uint64(res.val)}
+	case txkvwire.OpPut:
+		ins := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			b0 := time.Now()
+			ok := s.store.Put(tx, stm.Word(req.Key), stm.Word(req.Val))
+			bodyNs = time.Since(b0).Nanoseconds()
+			return ok
+		})
+		reply = txkvwire.Reply{Op: req.Op, OK: ins}
+	case txkvwire.OpDelete:
+		ex := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			b0 := time.Now()
+			ok := s.store.Delete(tx, stm.Word(req.Key))
+			bodyNs = time.Since(b0).Nanoseconds()
+			return ok
+		})
+		reply = txkvwire.Reply{Op: req.Op, OK: ex}
+	case txkvwire.OpCAS:
+		sw := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			b0 := time.Now()
+			ok := s.store.CAS(tx, stm.Word(req.Key), stm.Word(req.Old), stm.Word(req.Val))
+			bodyNs = time.Since(b0).Nanoseconds()
+			return ok
+		})
+		reply = txkvwire.Reply{Op: req.Op, OK: sw}
+	case txkvwire.OpTransfer:
+		keys := make([]stm.Word, len(req.Keys))
+		for i, k := range req.Keys {
+			keys[i] = stm.Word(k)
+		}
+		ok := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			b0 := time.Now()
+			ok := s.store.Transfer(tx, keys, stm.Word(req.Amount))
+			bodyNs = time.Since(b0).Nanoseconds()
+			return ok
+		})
+		reply = txkvwire.Reply{Op: req.Op, OK: ok}
+	case txkvwire.OpSum:
+		sum := stm.AtomicRO(w.th, func(tx stm.TxRO) stm.Word {
+			b0 := time.Now()
+			var v stm.Word
+			if req.Shard < 0 {
+				v = s.store.SumAll(tx)
+			} else {
+				v = s.store.SumShard(tx, int(req.Shard))
+			}
+			bodyNs = time.Since(b0).Nanoseconds()
+			return v
+		})
+		reply = txkvwire.Reply{Op: req.Op, Val: uint64(sum)}
+	case txkvwire.OpLen:
+		n := stm.AtomicRO(w.th, func(tx stm.TxRO) int {
+			b0 := time.Now()
+			v := s.store.Len(tx)
+			bodyNs = time.Since(b0).Nanoseconds()
+			return v
+		})
+		reply = txkvwire.Reply{Op: req.Op, Val: uint64(n)}
+	case txkvwire.OpBatch:
+		reply = s.executeBatch(w, req, &bodyNs)
+	default:
+		return txkvwire.Reply{Op: req.Op, Err: "unhandled op"}, 0, 0
+	}
+	totalNs := time.Since(a0).Nanoseconds()
+	txnNs = uint64(bodyNs)
+	if rest := totalNs - bodyNs; rest > 0 {
+		commitNs = uint64(rest)
+	}
+	return reply, txnNs, commitNs
+}
+
+// errBatchAbort distinguishes the all-or-nothing batch rollback from
+// engine errors.
+var errBatchAbort = errors.New("batch aborted")
+
+// executeBatch runs every sub-request inside ONE transaction. A failing
+// conditional sub-op (CAS miss, insufficient/invalid transfer, delete of
+// an absent key) returns an error from the body, which rolls the whole
+// transaction back — no sub-op's write survives — and surfaces as an
+// error reply naming the failing index.
+func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64) txkvwire.Reply {
+	subs, err := stm.AtomicErr(w.th, func(tx stm.Tx) ([]txkvwire.Reply, error) {
+		b0 := time.Now()
+		defer func() { *bodyNs = time.Since(b0).Nanoseconds() }()
+		subs := make([]txkvwire.Reply, len(req.Sub))
+		for i, sub := range req.Sub {
+			switch sub.Op {
+			case txkvwire.OpGet:
+				v, ok := s.store.Get(tx, stm.Word(sub.Key))
+				subs[i] = txkvwire.Reply{Op: sub.Op, Found: ok, Val: uint64(v)}
+			case txkvwire.OpPut:
+				ins := s.store.Put(tx, stm.Word(sub.Key), stm.Word(sub.Val))
+				subs[i] = txkvwire.Reply{Op: sub.Op, OK: ins}
+			case txkvwire.OpDelete:
+				if !s.store.Delete(tx, stm.Word(sub.Key)) {
+					return nil, fmt.Errorf("%w at index %d: delete: key %d absent", errBatchAbort, i, sub.Key)
+				}
+				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
+			case txkvwire.OpCAS:
+				if !s.store.CAS(tx, stm.Word(sub.Key), stm.Word(sub.Old), stm.Word(sub.Val)) {
+					return nil, fmt.Errorf("%w at index %d: cas: key %d not at expected value", errBatchAbort, i, sub.Key)
+				}
+				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
+			case txkvwire.OpTransfer:
+				keys := make([]stm.Word, len(sub.Keys))
+				for j, k := range sub.Keys {
+					keys[j] = stm.Word(k)
+				}
+				if !s.store.Transfer(tx, keys, stm.Word(sub.Amount)) {
+					return nil, fmt.Errorf("%w at index %d: transfer failed", errBatchAbort, i)
+				}
+				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
+			case txkvwire.OpSum:
+				var v stm.Word
+				if sub.Shard < 0 {
+					v = s.store.SumAll(tx)
+				} else {
+					v = s.store.SumShard(tx, int(sub.Shard))
+				}
+				subs[i] = txkvwire.Reply{Op: sub.Op, Val: uint64(v)}
+			case txkvwire.OpLen:
+				subs[i] = txkvwire.Reply{Op: sub.Op, Val: uint64(s.store.Len(tx))}
+			default:
+				return nil, fmt.Errorf("%w at index %d: op %s not allowed in batch", errBatchAbort, i, sub.Op)
+			}
+		}
+		return subs, nil
+	})
+	if err != nil {
+		return txkvwire.Reply{Op: req.Op, Err: err.Error()}
+	}
+	return txkvwire.Reply{Op: req.Op, Sub: subs}
+}
+
+// statsReply snapshots the phase counters and the engine commit/abort
+// totals. It drains the whole thread pool so every thread is idle while
+// its counters are read (stm.Thread.Stats is not safe to call
+// concurrently with the thread's own transactions); requests queued
+// behind the drain simply see one long queue phase.
+func (s *Server) statsReply() txkvwire.Reply {
+	ws := make([]*worker, cap(s.pool))
+	for i := range ws {
+		ws[i] = <-s.pool
+	}
+	st := s.m.snapshot()
+	for _, w := range ws {
+		es := w.th.Stats()
+		st.Commits += es.Commits
+		st.Aborts += es.Aborts
+	}
+	for _, w := range ws {
+		s.pool <- w
+	}
+	return txkvwire.Reply{Op: txkvwire.OpStats, Stats: &st}
+}

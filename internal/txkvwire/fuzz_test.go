@@ -1,0 +1,108 @@
+package txkvwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReq asserts the request decoder is total: arbitrary bytes
+// either decode or error, and whatever decodes must re-encode and
+// decode to the same value (a decoded request is always re-encodable —
+// the decoder enforces the same limits as the encoder).
+func FuzzDecodeReq(f *testing.F) {
+	seed := []Req{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: 1, Val: 2},
+		{Op: OpDelete, Key: 3},
+		{Op: OpCAS, Key: 4, Old: 5, Val: 6},
+		{Op: OpTransfer, Amount: 1, Keys: []uint64{7, 8, 9}},
+		{Op: OpSum, Shard: -1},
+		{Op: OpLen},
+		{Op: OpStats},
+		{Op: OpBatch, Sub: []Req{{Op: OpPut, Key: 1, Val: 2}, {Op: OpGet, Key: 1}}},
+	}
+	for _, r := range seed {
+		enc, err := AppendReq(nil, r)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x41})
+	f.Add(bytes.Repeat([]byte{byte(OpBatch)}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeReq(data) // must never panic
+		if err != nil {
+			return
+		}
+		enc, err := AppendReq(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+		}
+		again, err := DecodeReq(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		_ = again
+	})
+}
+
+// FuzzDecodeReply is the reply-side twin.
+func FuzzDecodeReply(f *testing.F) {
+	seed := []Reply{
+		{Op: OpGet, Found: true, Val: 7},
+		{Op: OpPut, OK: true},
+		{Op: OpTransfer, Err: "insufficient balance"},
+		{Op: OpInvalid, Err: "bad request"},
+		{Op: OpStats, Stats: &Stats{Requests: 1, ParseNs: 2}},
+		{Op: OpBatch, Sub: []Reply{{Op: OpGet, Found: false}}},
+	}
+	for _, r := range seed {
+		enc, err := AppendReply(nil, r)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{byte(OpGet), 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reply, err := DecodeReply(data) // must never panic
+		if err != nil {
+			return
+		}
+		if _, err := AppendReply(nil, reply); err != nil {
+			t.Fatalf("decoded reply does not re-encode: %+v: %v", reply, err)
+		}
+	})
+}
+
+// FuzzReadFrame asserts the framing layer is total over arbitrary byte
+// streams: truncated headers, truncated payloads and oversized length
+// prefixes error without panicking, and an accepted frame's payload
+// round-trips through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Add([]byte{8, 0, 0, 0, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatalf("accepted frame does not re-write: %v", err)
+		}
+		back, err := ReadFrame(&out, nil)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("frame round trip: %v", err)
+		}
+	})
+}

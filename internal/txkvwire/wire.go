@@ -1,0 +1,527 @@
+// Package txkvwire defines the binary wire protocol spoken between the
+// txkv network service (internal/txkvserver) and its clients
+// (internal/txkvclient): length-prefixed frames carrying one request or
+// one reply each, covering the store's full operation surface — point
+// ops (Get/Put/Delete/CAS), the multi-key Transfer transaction, shard
+// aggregates (Sum/Len), an all-or-nothing Batch that runs many sub-ops
+// as one server-side transaction, and a Stats probe exposing the
+// server's per-request phase timing counters (DESIGN.md §10).
+//
+// Framing: every message is a 4-byte little-endian payload length
+// followed by the payload. Payloads are capped at MaxFrame; a frame
+// announcing more is a protocol error and the connection is dropped.
+// The payload starts with a one-byte opcode; all integers are
+// little-endian fixed width. Decoders are total: any truncated,
+// oversized or garbage payload yields an error, never a panic — the
+// fuzz targets in this package pin that down.
+package txkvwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol limits. Encoders refuse to produce frames outside them and
+// decoders refuse to accept them, so both ends agree on what is malformed.
+const (
+	// MaxFrame caps a payload's size in bytes.
+	MaxFrame = 1 << 20
+	// MaxBatch caps the sub-requests in one batch.
+	MaxBatch = 256
+	// MaxTransferKeys caps the keys of one transfer.
+	MaxTransferKeys = 64
+	// MaxErrLen caps an error reply's message in bytes.
+	MaxErrLen = 1024
+)
+
+// Op identifies a request (and echoes in its reply).
+type Op uint8
+
+const (
+	// OpInvalid is never sent as a request; replies use it when the
+	// request's opcode could not even be decoded.
+	OpInvalid Op = iota
+	// OpGet reads one key. Reply: Found + Val.
+	OpGet
+	// OpPut writes Key → Val. Reply: OK (true when newly inserted).
+	OpPut
+	// OpDelete removes Key. Reply: OK (true when it existed).
+	OpDelete
+	// OpCAS swaps Key's value Old → Val when it currently equals Old.
+	// Reply: OK (true when swapped).
+	OpCAS
+	// OpTransfer moves Amount from Keys[0] to each of Keys[1:] in one
+	// transaction. Reply: OK (true when the transfer applied).
+	OpTransfer
+	// OpSum sums the values of one shard (Shard ≥ 0) or the whole store
+	// (Shard == -1). Reply: Val.
+	OpSum
+	// OpLen counts the stored keys. Reply: Val.
+	OpLen
+	// OpBatch runs Sub as one all-or-nothing transaction: a failing
+	// conditional sub-op (CAS miss, insufficient transfer, delete of an
+	// absent key) rolls the whole batch back and the reply is an error
+	// naming the failing index. Reply: Sub.
+	OpBatch
+	// OpStats returns the server's cumulative request/phase counters.
+	// Reply: Stats.
+	OpStats
+
+	opMax
+)
+
+// String names the opcode for error messages and logs.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpCAS:
+		return "cas"
+	case OpTransfer:
+		return "transfer"
+	case OpSum:
+		return "sum"
+	case OpLen:
+		return "len"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Req is one decoded request. Only the fields of its Op are meaningful.
+type Req struct {
+	Op     Op
+	Key    uint64   // Get, Put, Delete, CAS
+	Val    uint64   // Put value, CAS new value
+	Old    uint64   // CAS expected value
+	Amount uint64   // Transfer
+	Keys   []uint64 // Transfer: source + destinations
+	Shard  int32    // Sum: shard index, -1 = whole store
+	Sub    []Req    // Batch sub-requests (no nesting)
+}
+
+// Reply is one decoded reply. Err != "" marks an error reply; all other
+// fields are then zero.
+type Reply struct {
+	Op    Op
+	Err   string
+	Found bool    // Get
+	Val   uint64  // Get value, Sum, Len
+	OK    bool    // Put, Delete, CAS, Transfer
+	Sub   []Reply // Batch
+	Stats *Stats  // Stats
+}
+
+// Stats is the server's cumulative counter snapshot: flat per-request
+// phase nanosecond sums (divide by Requests for means) plus the engine's
+// commit/abort totals across the server's thread pool.
+type Stats struct {
+	Requests uint64 // requests fully served (reply flushed)
+	ParseNs  uint64 // frame decode
+	QueueNs  uint64 // wait for an engine thread
+	TxnNs    uint64 // transaction body (final attempt)
+	CommitNs uint64 // begin/commit/retry remainder of the atomic call
+	ReplyNs  uint64 // reply encode + write + flush
+	Commits  uint64 // engine transactions committed
+	Aborts   uint64 // engine transactions aborted
+}
+
+// ErrFrameTooLarge reports a frame length prefix above MaxFrame.
+var ErrFrameTooLarge = errors.New("txkvwire: frame exceeds MaxFrame")
+
+// ---------------------------------------------------------------------------
+// Framing
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is
+// large enough. A length prefix above MaxFrame returns ErrFrameTooLarge
+// without reading the payload (the caller must drop the connection: the
+// stream is no longer frame-aligned).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Request encoding
+
+// AppendReq appends r's payload encoding to dst. It validates the
+// request against the protocol limits so a conforming encoder can never
+// emit a frame a conforming decoder rejects.
+func AppendReq(dst []byte, r Req) ([]byte, error) {
+	return appendReq(dst, r, true)
+}
+
+func appendReq(dst []byte, r Req, batchOK bool) ([]byte, error) {
+	dst = append(dst, byte(r.Op))
+	switch r.Op {
+	case OpGet, OpDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+	case OpPut:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	case OpCAS:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Old)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	case OpTransfer:
+		if len(r.Keys) < 2 || len(r.Keys) > MaxTransferKeys {
+			return nil, fmt.Errorf("txkvwire: transfer with %d keys (want 2..%d)", len(r.Keys), MaxTransferKeys)
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, r.Amount)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = binary.LittleEndian.AppendUint64(dst, k)
+		}
+	case OpSum:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Shard))
+	case OpLen, OpStats:
+		// opcode only
+	case OpBatch:
+		if !batchOK {
+			return nil, errors.New("txkvwire: nested batch")
+		}
+		if len(r.Sub) == 0 || len(r.Sub) > MaxBatch {
+			return nil, fmt.Errorf("txkvwire: batch with %d sub-requests (want 1..%d)", len(r.Sub), MaxBatch)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Sub)))
+		for _, sub := range r.Sub {
+			if sub.Op == OpStats {
+				return nil, errors.New("txkvwire: stats inside a batch")
+			}
+			var err error
+			if dst, err = appendReq(dst, sub, false); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("txkvwire: unknown request op %d", r.Op)
+	}
+	if len(dst) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return dst, nil
+}
+
+// DecodeReq decodes one request payload. The whole payload must be
+// consumed: trailing bytes are a protocol error.
+func DecodeReq(payload []byte) (Req, error) {
+	c := cursor{b: payload}
+	r := decodeReq(&c, true)
+	if c.err != nil {
+		return Req{}, c.err
+	}
+	if c.off != len(payload) {
+		return Req{}, fmt.Errorf("txkvwire: %d trailing bytes after request", len(payload)-c.off)
+	}
+	return r, nil
+}
+
+func decodeReq(c *cursor, batchOK bool) Req {
+	r := Req{Op: Op(c.u8())}
+	switch r.Op {
+	case OpGet, OpDelete:
+		r.Key = c.u64()
+	case OpPut:
+		r.Key, r.Val = c.u64(), c.u64()
+	case OpCAS:
+		r.Key, r.Old, r.Val = c.u64(), c.u64(), c.u64()
+	case OpTransfer:
+		r.Amount = c.u64()
+		n := int(c.u16())
+		if c.err == nil && (n < 2 || n > MaxTransferKeys) {
+			c.fail(fmt.Errorf("txkvwire: transfer with %d keys (want 2..%d)", n, MaxTransferKeys))
+			return r
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			r.Keys = append(r.Keys, c.u64())
+		}
+	case OpSum:
+		r.Shard = int32(c.u32())
+	case OpLen, OpStats:
+		// opcode only
+	case OpBatch:
+		if !batchOK {
+			c.fail(errors.New("txkvwire: nested batch"))
+			return r
+		}
+		n := int(c.u16())
+		if c.err == nil && (n < 1 || n > MaxBatch) {
+			c.fail(fmt.Errorf("txkvwire: batch with %d sub-requests (want 1..%d)", n, MaxBatch))
+			return r
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			sub := decodeReq(c, false)
+			if sub.Op == OpStats {
+				c.fail(errors.New("txkvwire: stats inside a batch"))
+				return r
+			}
+			r.Sub = append(r.Sub, sub)
+		}
+	default:
+		c.fail(fmt.Errorf("txkvwire: unknown request op %d", r.Op))
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Reply encoding
+
+// AppendReply appends r's payload encoding to dst. Error replies carry
+// only the opcode (OpInvalid allowed there) and the message.
+func AppendReply(dst []byte, r Reply) ([]byte, error) {
+	return appendReply(dst, r, true)
+}
+
+func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
+	dst = append(dst, byte(r.Op))
+	if r.Err != "" {
+		msg := r.Err
+		if len(msg) > MaxErrLen {
+			msg = msg[:MaxErrLen]
+		}
+		dst = append(dst, 1)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+		dst = append(dst, msg...)
+		return dst, nil
+	}
+	dst = append(dst, 0)
+	switch r.Op {
+	case OpGet:
+		dst = appendBool(dst, r.Found)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	case OpPut, OpDelete, OpCAS, OpTransfer:
+		dst = appendBool(dst, r.OK)
+	case OpSum, OpLen:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	case OpBatch:
+		if !batchOK {
+			return nil, errors.New("txkvwire: nested batch reply")
+		}
+		if len(r.Sub) == 0 || len(r.Sub) > MaxBatch {
+			return nil, fmt.Errorf("txkvwire: batch reply with %d sub-replies (want 1..%d)", len(r.Sub), MaxBatch)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Sub)))
+		for _, sub := range r.Sub {
+			var err error
+			if dst, err = appendReply(dst, sub, false); err != nil {
+				return nil, err
+			}
+		}
+	case OpStats:
+		if r.Stats == nil {
+			return nil, errors.New("txkvwire: stats reply without stats")
+		}
+		for _, v := range []uint64{
+			r.Stats.Requests, r.Stats.ParseNs, r.Stats.QueueNs,
+			r.Stats.TxnNs, r.Stats.CommitNs, r.Stats.ReplyNs,
+			r.Stats.Commits, r.Stats.Aborts,
+		} {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	default:
+		return nil, fmt.Errorf("txkvwire: unknown reply op %d", r.Op)
+	}
+	if len(dst) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return dst, nil
+}
+
+// DecodeReply decodes one reply payload; the whole payload must be
+// consumed.
+func DecodeReply(payload []byte) (Reply, error) {
+	c := cursor{b: payload}
+	r := decodeReply(&c, true)
+	if c.err != nil {
+		return Reply{}, c.err
+	}
+	if c.off != len(payload) {
+		return Reply{}, fmt.Errorf("txkvwire: %d trailing bytes after reply", len(payload)-c.off)
+	}
+	return r, nil
+}
+
+func decodeReply(c *cursor, batchOK bool) Reply {
+	r := Reply{Op: Op(c.u8())}
+	status := c.u8()
+	if c.err != nil {
+		return r
+	}
+	switch status {
+	case 1:
+		n := int(c.u16())
+		if c.err == nil && (n < 1 || n > MaxErrLen) {
+			c.fail(fmt.Errorf("txkvwire: error reply with %d-byte message (want 1..%d)", n, MaxErrLen))
+			return r
+		}
+		r.Err = string(c.bytes(n))
+		return r
+	case 0:
+		// fall through to the per-op body
+	default:
+		c.fail(fmt.Errorf("txkvwire: bad reply status %d", status))
+		return r
+	}
+	switch r.Op {
+	case OpGet:
+		r.Found = c.bool()
+		r.Val = c.u64()
+	case OpPut, OpDelete, OpCAS, OpTransfer:
+		r.OK = c.bool()
+	case OpSum, OpLen:
+		r.Val = c.u64()
+	case OpBatch:
+		if !batchOK {
+			c.fail(errors.New("txkvwire: nested batch reply"))
+			return r
+		}
+		n := int(c.u16())
+		if c.err == nil && (n < 1 || n > MaxBatch) {
+			c.fail(fmt.Errorf("txkvwire: batch reply with %d sub-replies (want 1..%d)", n, MaxBatch))
+			return r
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			r.Sub = append(r.Sub, decodeReply(c, false))
+		}
+	case OpStats:
+		s := &Stats{}
+		for _, p := range []*uint64{
+			&s.Requests, &s.ParseNs, &s.QueueNs,
+			&s.TxnNs, &s.CommitNs, &s.ReplyNs,
+			&s.Commits, &s.Aborts,
+		} {
+			*p = c.u64()
+		}
+		if c.err == nil {
+			r.Stats = s
+		}
+	default:
+		c.fail(fmt.Errorf("txkvwire: unknown reply op %d", r.Op))
+	}
+	return r
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked decode cursor. Every accessor records the first error
+// and returns zero values afterwards, so decoders are straight-line code
+// with one error check at the end — and cannot index out of bounds.
+
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *cursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if len(c.b)-c.off < n {
+		c.fail(fmt.Errorf("txkvwire: truncated payload (need %d bytes at offset %d of %d)", n, c.off, len(c.b)))
+		return false
+	}
+	return true
+}
+
+func (c *cursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) bool() bool {
+	v := c.u8()
+	if c.err == nil && v > 1 {
+		c.fail(fmt.Errorf("txkvwire: bad bool byte %d", v))
+	}
+	return v == 1
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if n < 0 || !c.need(n) {
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}

@@ -1,0 +1,232 @@
+package txkvwire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"swisstm/internal/util"
+)
+
+// randReq builds a random valid request of the given op.
+func randReq(rng *util.Rand, op Op, batchOK bool) Req {
+	r := Req{Op: op}
+	switch op {
+	case OpGet, OpDelete:
+		r.Key = rng.Next()
+	case OpPut:
+		r.Key, r.Val = rng.Next(), rng.Next()
+	case OpCAS:
+		r.Key, r.Old, r.Val = rng.Next(), rng.Next(), rng.Next()
+	case OpTransfer:
+		n := 2 + rng.Intn(MaxTransferKeys-1)
+		r.Amount = rng.Next()
+		for i := 0; i < n; i++ {
+			r.Keys = append(r.Keys, rng.Next())
+		}
+	case OpSum:
+		r.Shard = int32(rng.Intn(64)) - 1
+	case OpLen, OpStats:
+	case OpBatch:
+		if !batchOK {
+			panic("randReq: nested batch requested")
+		}
+		n := 1 + rng.Intn(8)
+		subOps := []Op{OpGet, OpPut, OpDelete, OpCAS, OpTransfer, OpSum, OpLen}
+		for i := 0; i < n; i++ {
+			r.Sub = append(r.Sub, randReq(rng, subOps[rng.Intn(len(subOps))], false))
+		}
+	}
+	return r
+}
+
+// randReply builds a random valid reply of the given op.
+func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
+	if rng.Intn(8) == 0 {
+		return Reply{Op: op, Err: "synthetic failure " + strings.Repeat("x", 1+rng.Intn(16))}
+	}
+	r := Reply{Op: op}
+	switch op {
+	case OpGet:
+		r.Found = rng.Intn(2) == 1
+		r.Val = rng.Next()
+	case OpPut, OpDelete, OpCAS, OpTransfer:
+		r.OK = rng.Intn(2) == 1
+	case OpSum, OpLen:
+		r.Val = rng.Next()
+	case OpBatch:
+		if !batchOK {
+			panic("randReply: nested batch requested")
+		}
+		n := 1 + rng.Intn(8)
+		subOps := []Op{OpGet, OpPut, OpDelete, OpCAS, OpTransfer, OpSum, OpLen}
+		for i := 0; i < n; i++ {
+			r.Sub = append(r.Sub, randReply(rng, subOps[rng.Intn(len(subOps))], false))
+		}
+	case OpStats:
+		r.Stats = &Stats{
+			Requests: rng.Next(), ParseNs: rng.Next(), QueueNs: rng.Next(),
+			TxnNs: rng.Next(), CommitNs: rng.Next(), ReplyNs: rng.Next(),
+			Commits: rng.Next(), Aborts: rng.Next(),
+		}
+	}
+	return r
+}
+
+var allOps = []Op{OpGet, OpPut, OpDelete, OpCAS, OpTransfer, OpSum, OpLen, OpBatch, OpStats}
+
+// TestReqRoundTrip encodes and decodes random requests of every op and
+// requires the decoded value to be identical — and every strict prefix
+// of the encoding to be rejected.
+func TestReqRoundTrip(t *testing.T) {
+	rng := util.NewRand(1)
+	for _, op := range allOps {
+		for rep := 0; rep < 50; rep++ {
+			req := randReq(rng, op, true)
+			enc, err := AppendReq(nil, req)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", op, err)
+			}
+			dec, err := DecodeReq(enc)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", op, err)
+			}
+			if !reflect.DeepEqual(req, dec) {
+				t.Fatalf("%v: round trip mismatch:\n have %+v\n want %+v", op, dec, req)
+			}
+			for cut := 0; cut < len(enc); cut++ {
+				if _, err := DecodeReq(enc[:cut]); err == nil {
+					t.Fatalf("%v: %d-byte prefix of %d-byte encoding decoded without error", op, cut, len(enc))
+				}
+			}
+			if _, err := DecodeReq(append(append([]byte(nil), enc...), 0xfe)); err == nil {
+				t.Fatalf("%v: trailing byte accepted", op)
+			}
+		}
+	}
+}
+
+// TestReplyRoundTrip is the reply-side twin, including error replies.
+func TestReplyRoundTrip(t *testing.T) {
+	rng := util.NewRand(2)
+	for _, op := range allOps {
+		for rep := 0; rep < 50; rep++ {
+			reply := randReply(rng, op, true)
+			enc, err := AppendReply(nil, reply)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", op, err)
+			}
+			dec, err := DecodeReply(enc)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", op, err)
+			}
+			want := reply
+			if want.Err != "" {
+				// An error reply round-trips only op + message.
+				want = Reply{Op: reply.Op, Err: reply.Err}
+			}
+			if !reflect.DeepEqual(want, dec) {
+				t.Fatalf("%v: round trip mismatch:\n have %+v\n want %+v", op, dec, want)
+			}
+			for cut := 0; cut < len(enc); cut++ {
+				if _, err := DecodeReply(enc[:cut]); err == nil {
+					t.Fatalf("%v: %d-byte prefix accepted", op, cut)
+				}
+			}
+		}
+	}
+	// The decode-failure reply carries OpInvalid; it must round-trip too.
+	enc, err := AppendReply(nil, Reply{Op: OpInvalid, Err: "bad request"})
+	if err != nil {
+		t.Fatalf("encode OpInvalid error reply: %v", err)
+	}
+	dec, err := DecodeReply(enc)
+	if err != nil || dec.Err != "bad request" {
+		t.Fatalf("OpInvalid error reply round trip: %+v, %v", dec, err)
+	}
+}
+
+// TestEncodeRejectsMalformed pins the encoder-side validation.
+func TestEncodeRejectsMalformed(t *testing.T) {
+	cases := []Req{
+		{Op: OpInvalid},
+		{Op: opMax},
+		{Op: OpTransfer, Keys: []uint64{1}},
+		{Op: OpTransfer, Keys: make([]uint64, MaxTransferKeys+1)},
+		{Op: OpBatch},
+		{Op: OpBatch, Sub: make([]Req, MaxBatch+1)},
+		{Op: OpBatch, Sub: []Req{{Op: OpBatch, Sub: []Req{{Op: OpLen}}}}},
+		{Op: OpBatch, Sub: []Req{{Op: OpStats}}},
+	}
+	for _, req := range cases {
+		if _, err := AppendReq(nil, req); err == nil {
+			t.Errorf("encode accepted malformed request %+v", req)
+		}
+	}
+	if _, err := AppendReply(nil, Reply{Op: OpStats}); err == nil {
+		t.Error("encode accepted stats reply without stats")
+	}
+	if _, err := AppendReply(nil, Reply{Op: OpBatch}); err == nil {
+		t.Error("encode accepted empty batch reply")
+	}
+}
+
+// TestDecodeRejectsMalformed feeds hand-built garbage payloads.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},                        // empty
+		{byte(opMax), 0, 0},       // unknown op
+		{byte(OpGet), 1, 2, 3},    // truncated key
+		{byte(OpBatch), 0, 0},     // zero-length batch
+		{byte(OpBatch), 255, 255}, // oversized batch count
+		{byte(OpTransfer), 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}, // one transfer key
+	}
+	for _, payload := range bad {
+		if _, err := DecodeReq(payload); err == nil {
+			t.Errorf("decode accepted malformed request payload % x", payload)
+		}
+	}
+	if _, err := DecodeReply([]byte{byte(OpGet), 7}); err == nil {
+		t.Error("decode accepted reply with bad status byte")
+	}
+	if _, err := DecodeReply([]byte{byte(OpGet), 0, 2, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("decode accepted reply with bad bool byte")
+	}
+}
+
+// TestFrameRoundTrip covers the length-prefixed framing layer.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xab}, 4096)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	var scratch []byte
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame mismatch: % x != % x", got, p)
+		}
+		scratch = got
+	}
+
+	// Oversized length prefix: rejected before any payload read.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated payload: io error, not a hang or panic.
+	trunc := []byte{8, 0, 0, 0, 1, 2, 3}
+	if _, err := ReadFrame(bytes.NewReader(trunc), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized write: got %v, want ErrFrameTooLarge", err)
+	}
+}
