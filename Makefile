@@ -8,11 +8,11 @@ GO ?= go
 # txkv rides along for its concurrent transfer-invariant test; the
 # server stack (wire/server/client) because its tests run many TCP
 # connections against one shared engine.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv smoke-server smoke-examples grid fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples grid fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -39,14 +39,14 @@ bench:
 # aborts/op, including the forced-conflict abort tier) of the core
 # engine micro-benchmarks and writes the machine-readable perf artifact
 # CI accumulates (non-gating; see DESIGN.md §7–§8).
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # bench-compare diffs two bench-json artifacts per engine/workload:
 #   make bench-compare BENCH_OLD=BENCH_PR4.json BENCH_NEW=BENCH_PR5.json
-BENCH_OLD ?= BENCH_PR4.json
-BENCH_NEW ?= BENCH_PR5.json
+BENCH_OLD ?= BENCH_PR5.json
+BENCH_NEW ?= BENCH_PR7.json
 bench-compare:
 	$(GO) run ./cmd/benchcompare $(BENCH_OLD) $(BENCH_NEW)
 
@@ -108,6 +108,14 @@ smoke-server:
 	fi
 	@echo "smoke-server OK: all four engines over TCP, closed+open loop, oracles green"
 
+# smoke-obs gates the observability surface (DESIGN.md §11): per engine
+# it starts an in-process server with the admin endpoint bound, applies
+# a contended load over real TCP, scrapes /metrics, and fails when any
+# promised metric family is missing or when /statz shows a violated
+# abort-cause partition (sum of causes != total aborts).
+smoke-obs:
+	$(GO) run ./cmd/obssmoke
+
 # grid runs the full experiment grid from scripts/experiments.json into
 # one merged CSV artifact (override cell size with GRID_OPS, e.g.
 # `make grid GRID_OPS=300` for a quick pass).
@@ -129,4 +137,4 @@ smoke-examples:
 	done
 	@echo "smoke-examples OK: all examples ran and self-checked"
 
-ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-examples
+ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples

@@ -26,6 +26,14 @@
 // declared fast path) and once through plain stm.Atomic (the "(plain)"
 // twin) — so the artifact holds the ablation pair side by side.
 //
+// The obs tier prices the per-transaction telemetry (DESIGN.md §11):
+// each engine runs the txkv read and update streams twice — once bare
+// and once with a TxnObs armed (the "(obs)" twin), which records the
+// retry-count and read/write-set-size histograms on every commit. The
+// contract is 0 allocs/op with instrumentation on; the ns/op delta is
+// a few ns per commit — single-digit percent on the leanest engines
+// (measured numbers in DESIGN.md §11.4).
+//
 // Measurements run single-goroutine via testing.Benchmark: the point is
 // per-access overhead — the quantity the paper's §3 design choices
 // minimize — not parallel scalability, which the figure experiments and
@@ -38,12 +46,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"testing"
 
 	"swisstm/internal/bench7"
 	"swisstm/internal/harness"
+	"swisstm/internal/obs"
 	"swisstm/internal/rbtree"
 	"swisstm/internal/results"
 	"swisstm/internal/stm"
@@ -53,9 +63,10 @@ import (
 )
 
 var (
-	out     = flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out     = flag.String("out", "BENCH_PR7.json", "output JSON path")
 	repeats = flag.Int("repeats", 5, "repeats per benchmark (median reported)")
 	benchMs = flag.Int("benchms", 300, "target measurement time per repeat, milliseconds")
+	run     = flag.String("run", "", "regexp selecting workload names (empty = all)")
 )
 
 // defaultEngines is the standard sweep: the three word-based engines
@@ -105,6 +116,34 @@ func roEngines() []harness.EngineSpec {
 // plainTwin reports whether spec is a ro-fastpath plain-Atomic twin.
 func plainTwin(spec harness.EngineSpec) bool {
 	return strings.HasSuffix(spec.DisplayName(), "(plain)")
+}
+
+// obsEngines pairs each engine with a telemetry-armed twin: the "(obs)"
+// label makes setup wire a fresh obs.TxnObs into the engine instance,
+// so one artifact prices the instrumented hot path against the bare one.
+func obsEngines() []harness.EngineSpec {
+	specs := make([]harness.EngineSpec, 0, 8)
+	for _, s := range defaultEngines {
+		specs = append(specs, s)
+		armed := s
+		armed.Label = s.DisplayName() + "(obs)"
+		specs = append(specs, armed)
+	}
+	return specs
+}
+
+// obsTwin reports whether spec is a telemetry-armed obs twin.
+func obsTwin(spec harness.EngineSpec) bool {
+	return strings.HasSuffix(spec.DisplayName(), "(obs)")
+}
+
+// armObs gives the spec its own TxnObs when it is an obs twin. Specs
+// are value copies, so each benchmark instance gets a private one.
+func armObs(spec harness.EngineSpec) harness.EngineSpec {
+	if obsTwin(spec) {
+		spec.TxnObs = obs.NewTxnObs()
+	}
+	return spec
 }
 
 // abortShape maps an engine kind to the commit-time conflict class its
@@ -184,6 +223,43 @@ func workloads() []workload {
 				stm.AtomicRO(th, get)
 			}, th.Stats
 		}},
+		{name: "obs-txkv-read", engines: obsEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				e := armObs(spec).New()
+				th := e.NewThread(0)
+				s := txkv.New(th, txkv.ConfigForKeys(4096))
+				for k := 1; k <= 4096; k++ {
+					kk := stm.Word(k)
+					stm.AtomicVoid(th, func(tx stm.Tx) { s.Put(tx, kk, kk) })
+				}
+				zipf := util.NewZipf(4096, 0.99)
+				rng := util.NewRand(977)
+				var k stm.Word
+				get := func(tx stm.TxRO) stm.Word { v, _ := s.Get(tx, k); return v }
+				return func() {
+					k = stm.Word(zipf.Next(rng) + 1)
+					stm.AtomicRO(th, get)
+				}, th.Stats
+			}},
+		{name: "obs-txkv-update", engines: obsEngines(),
+			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
+				e := armObs(spec).New()
+				th := e.NewThread(0)
+				s := txkv.New(th, txkv.ConfigForKeys(4096))
+				for k := 1; k <= 4096; k++ {
+					kk := stm.Word(k)
+					stm.AtomicVoid(th, func(tx stm.Tx) { s.Put(tx, kk, kk) })
+				}
+				zipf := util.NewZipf(4096, 0.99)
+				rng := util.NewRand(1201)
+				var k, v stm.Word
+				put := func(tx stm.Tx) bool { return s.Put(tx, k, v) }
+				return func() {
+					k = stm.Word(zipf.Next(rng) + 1)
+					v++
+					stm.Atomic(th, put)
+				}, th.Stats
+			}},
 		{name: "ro-fastpath-txkv", engines: roEngines(),
 			setup: func(spec harness.EngineSpec) (func(), func() stm.Stats) {
 				e := spec.New()
@@ -304,8 +380,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	sel, err := regexp.Compile(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -run regexp:", err)
+		os.Exit(2)
+	}
 	var recs []results.BenchRecord
 	for _, wl := range workloads() {
+		if !sel.MatchString(wl.name) {
+			continue
+		}
 		engines := wl.engines
 		if engines == nil {
 			engines = defaultEngines

@@ -114,9 +114,9 @@ func main() {
 							}
 							all = append(all, rec)
 							done++
-							fmt.Printf("[%d/%d] %s %s %s conns=%d rep=%d: tput=%.0f/s p99=%.0fns late=%d\n",
+							fmt.Printf("[%d/%d] %s %s %s conns=%d rep=%d: tput=%.0f/s p99=%.0fns srv_p99=%dns aborts=%d late=%d\n",
 								done, cells, exp.Name, kind, wl, nc, rep,
-								rec.Throughput, rec.LatP99Ns, rec.LateOps)
+								rec.Throughput, rec.LatP99Ns, rec.SrvP99Ns, rec.Aborts, rec.LateOps)
 							if oerr != nil {
 								oracleFailures++
 								fmt.Fprintf(os.Stderr, "grid: ORACLE FAILED %s %s %s conns=%d rep=%d: %v\n",

@@ -1,0 +1,143 @@
+// Command obssmoke is the observability smoke gate (`make smoke-obs`,
+// DESIGN.md §11): for each engine it starts an in-process txkvserver
+// with the admin surface bound to an ephemeral loopback port, applies a
+// short contended load over real TCP, then
+//
+//   - scrapes /metrics and fails when any promised metric family is
+//     missing (per-op request counters and latency histograms, per-op ×
+//     phase histograms, per-shard conflict counters, engine commit and
+//     abort-cause counters, per-transaction distributions), and
+//   - fetches /statz and fails when the abort-cause partition is
+//     violated (sum of the six causes must equal the abort total), when
+//     the validation split disagrees with its parent counter, or when
+//     the server-side latency percentiles are missing or non-monotone.
+//
+// Exit status 0 means every engine passed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/txkvserver"
+)
+
+// families are the /metrics substrings whose absence fails the gate:
+// one representative series per promised metric family.
+var families = []string{
+	`txkv_requests_total{op="get"}`,
+	`txkv_request_ns_bucket{op="get",le=`,
+	`txkv_request_ns_sum{op="get"}`,
+	`txkv_phase_ns_bucket{op="get",phase="queue",le=`,
+	`txkv_phase_ns_bucket{op="transfer",phase="txn",le=`,
+	`txkv_shard_conflicts_total{shard=`,
+	`stm_commits_total`,
+	`stm_ro_commits_total`,
+	`stm_aborts_total{cause="lock_conflict"}`,
+	`stm_aborts_total{cause="read_validation"}`,
+	`stm_txn_retries_bucket{le=`,
+	`stm_txn_read_set_entries_sum`,
+	`stm_txn_write_set_entries_count`,
+}
+
+func main() {
+	failures := 0
+	for _, kind := range []string{"swisstm", "tl2", "tinystm", "rstm"} {
+		if err := run(kind); err != nil {
+			fmt.Fprintf(os.Stderr, "obssmoke: %s: %v\n", kind, err)
+			failures++
+			continue
+		}
+		fmt.Printf("obssmoke: %s OK\n", kind)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "obssmoke: %d engine(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("smoke-obs OK: /metrics complete and abort partition holds on all engines")
+}
+
+func run(kind string) error {
+	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{
+		Engine: harness.EngineSpec{Kind: kind, Manager: "polka"},
+		Keys:   512,
+		Admin:  "127.0.0.1:0",
+	})
+	if err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer srv.Close()
+
+	// A contended transfer-heavy load over several connections, so the
+	// abort-cause counters actually move.
+	if _, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr:  srv.Addr().String(),
+		Mix:   txkv.TransferMix,
+		Conns: 4, Keys: 512, Ops: 2000, Seed: 1,
+	}); err != nil {
+		return fmt.Errorf("load run: %w", err)
+	}
+
+	base := "http://" + srv.AdminAddr().String()
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, f := range families {
+		if !strings.Contains(body, f) {
+			return fmt.Errorf("/metrics missing family %q", f)
+		}
+	}
+
+	zbody, err := httpGet(base + "/statz")
+	if err != nil {
+		return err
+	}
+	var z txkvserver.Statz
+	if err := json.Unmarshal([]byte(zbody), &z); err != nil {
+		return fmt.Errorf("/statz not JSON: %w", err)
+	}
+	st := z.Stats
+	if st.Requests == 0 || st.Commits == 0 {
+		return fmt.Errorf("no traffic recorded: %+v", st)
+	}
+	causes := z.Causes.ReadValidation + z.Causes.LockConflict + z.Causes.CommitValidation +
+		z.Causes.CMKill + z.Causes.UserError + z.Causes.ExplicitRestart
+	if causes != st.Aborts {
+		return fmt.Errorf("abort partition violated: causes sum %d != aborts %d", causes, st.Aborts)
+	}
+	if st.AbortsValidRead+st.AbortsValidCommit != st.AbortsValid {
+		return fmt.Errorf("validation split violated: read %d + commit %d != valid %d",
+			st.AbortsValidRead, st.AbortsValidCommit, st.AbortsValid)
+	}
+	if st.SrvP50Ns == 0 || st.SrvP99Ns < st.SrvP50Ns || st.SrvP999Ns < st.SrvP99Ns {
+		return fmt.Errorf("bad server percentiles p50=%d p99=%d p999=%d",
+			st.SrvP50Ns, st.SrvP99Ns, st.SrvP999Ns)
+	}
+	return nil
+}
+
+func httpGet(url string) (string, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}

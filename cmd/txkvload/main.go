@@ -179,9 +179,13 @@ func main() {
 		os.Exit(1)
 	}
 	for _, r := range all {
-		fmt.Printf("workload=%s engine=%s conns=%d rep=%d ops=%d tput=%.0f/s p50=%.0fns p99=%.0fns p999=%.0fns offered=%.0f achieved=%.0f late=%d checked=%v\n",
+		fmt.Printf("workload=%s engine=%s conns=%d rep=%d ops=%d tput=%.0f/s p50=%.0fns p99=%.0fns p999=%.0fns srv_p50=%dns srv_p99=%dns srv_p999=%dns aborts=%d(vr=%d vc=%d lk=%d) offered=%.0f achieved=%.0f late=%d checked=%v\n",
 			r.Workload, r.Engine, r.Threads, r.Repeat, r.Ops, r.Throughput,
-			r.LatP50Ns, r.LatP99Ns, r.LatP999Ns, r.OfferedRate, r.AchievedRate, r.LateOps, r.CheckedOK)
+			r.LatP50Ns, r.LatP99Ns, r.LatP999Ns,
+			r.SrvP50Ns, r.SrvP99Ns, r.SrvP999Ns,
+			r.Aborts, r.AbortsValidRead, r.AbortsValidCommit,
+			r.AbortsWW+r.AbortsLocked+r.LockAcquireFail,
+			r.OfferedRate, r.AchievedRate, r.LateOps, r.CheckedOK)
 	}
 	if oracleFailures > 0 {
 		fmt.Fprintf(os.Stderr, "txkvload: %d point(s) failed their oracles\n", oracleFailures)

@@ -9,6 +9,7 @@
 //
 //	txkvserver -addr 127.0.0.1:7070 -engine swisstm -keys 4096
 //	txkvserver -addr :0 -engine rstm -cm polka -threads 16
+//	txkvserver -addr :7070 -admin 127.0.0.1:7071   # /metrics, /statz, /debug/pprof/*
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		keys    = flag.Int("keys", 4096, "pre-filled key population (keys 1..n)")
 		balance = flag.Uint64("balance", uint64(txkv.DefaultBalance), "starting value per pre-filled key")
 		threads = flag.Int("threads", 8, "engine thread pool size")
+		admin   = flag.String("admin", "", "admin HTTP listen address for /metrics, /statz and /debug/pprof (off when empty; bind to loopback — unauthenticated)")
 	)
 	flag.Parse()
 	switch *engine {
@@ -46,12 +48,16 @@ func main() {
 		Keys:    *keys,
 		Balance: stm.Word(*balance),
 		Threads: *threads,
+		Admin:   *admin,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txkvserver:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("txkvserver: engine=%s keys=%d listening on %s\n", srv.Engine(), *keys, srv.Addr())
+	if a := srv.AdminAddr(); a != nil {
+		fmt.Printf("txkvserver: admin on http://%s (/metrics, /statz, /debug/pprof)\n", a)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

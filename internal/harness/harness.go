@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"swisstm/internal/cm"
+	"swisstm/internal/obs"
 	"swisstm/internal/results"
 	"swisstm/internal/rstm"
 	"swisstm/internal/stm"
@@ -54,6 +55,11 @@ type EngineSpec struct {
 	// UnwindAborts selects the engines' panic-delivery ablation for
 	// commit-time aborts (measurement only; see swisstm.Config).
 	UnwindAborts bool
+	// TxnObs, when non-nil, turns on the engines' per-transaction
+	// telemetry (retry/read-set/write-set histograms, DESIGN.md §11);
+	// the caller keeps the pointer to scrape it. Specs are copied by
+	// value, so give each engine instance its own TxnObs.
+	TxnObs *obs.TxnObs
 }
 
 // DisplayName returns the label used in tables.
@@ -117,6 +123,7 @@ func (s EngineSpec) New() stm.STM {
 			NoBackoff:    s.NoBackoff,
 			BackoffUnit:  s.BackoffUnit,
 			UnwindAborts: s.UnwindAborts,
+			Obs:          s.TxnObs,
 		})
 	case "tl2":
 		return tl2.New(tl2.Config{
@@ -125,6 +132,7 @@ func (s EngineSpec) New() stm.STM {
 			TableBits:    table,
 			BackoffUnit:  s.BackoffUnit,
 			UnwindAborts: s.UnwindAborts,
+			Obs:          s.TxnObs,
 		})
 	case "tinystm":
 		return tinystm.New(tinystm.Config{
@@ -133,6 +141,7 @@ func (s EngineSpec) New() stm.STM {
 			TableBits:    table,
 			BackoffUnit:  s.BackoffUnit,
 			UnwindAborts: s.UnwindAborts,
+			Obs:          s.TxnObs,
 		})
 	case "rstm":
 		acq := rstm.Eager
@@ -150,6 +159,7 @@ func (s EngineSpec) New() stm.STM {
 		return rstm.New(rstm.Config{
 			Acquire: acq, Reads: rd, Manager: cm.ByName(mgr),
 			BackoffUnit: s.BackoffUnit, UnwindAborts: s.UnwindAborts,
+			Obs: s.TxnObs,
 		})
 	}
 	panic("harness: unknown engine kind " + s.Kind)

@@ -1,0 +1,53 @@
+package obs
+
+import "sync/atomic"
+
+// AtomicHist is the concurrent flavor of Hist: recording is two
+// uncontended-CAS-free atomic adds (bucket + sum), so it is lock-free
+// and allocation-free from any number of goroutines.
+//
+// Snapshot is deliberately diff-tolerant rather than globally
+// consistent: each field is read with an individual atomic load, so a
+// snapshot taken under concurrent recording may observe a bucket
+// increment without the matching sum increment (or vice versa). Every
+// field is monotone non-decreasing, so diffs of two snapshots are
+// still per-field exact, and Count is derived from the bucket loads
+// so that Count == sum(Buckets) holds in every snapshot by
+// construction.
+type AtomicHist struct {
+	sum     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Record adds one observation.
+func (h *AtomicHist) Record(v uint64) {
+	h.buckets[BucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the histogram into a plain Hist. See the type doc
+// for the consistency contract.
+func (h *AtomicHist) Snapshot() Hist {
+	var s Hist
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// Counter is a lock-free monotone counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }

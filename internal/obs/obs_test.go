@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketLayout pins the bucket math: indices are monotone,
+// contiguous, and every value lands inside its bucket's bounds.
+func TestBucketLayout(t *testing.T) {
+	if BucketIndex(0) != 0 {
+		t.Fatalf("BucketIndex(0) = %d", BucketIndex(0))
+	}
+	// Exact buckets below 2*subCount.
+	for v := uint64(0); v < 16; v++ {
+		if BucketIndex(v) != int(v) {
+			t.Fatalf("BucketIndex(%d) = %d, want exact", v, BucketIndex(v))
+		}
+	}
+	// Every bucket's bounds round-trip through BucketIndex.
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if BucketIndex(lo) != i {
+			t.Fatalf("bucket %d: BucketIndex(lower=%d) = %d", i, lo, BucketIndex(lo))
+		}
+		if BucketIndex(hi) != i {
+			t.Fatalf("bucket %d: BucketIndex(upper=%d) = %d", i, hi, BucketIndex(hi))
+		}
+		if i > 0 && lo != BucketUpper(i-1)+1 {
+			t.Fatalf("bucket %d not contiguous: lower=%d, prev upper=%d", i, lo, BucketUpper(i-1))
+		}
+		// Relative bucket width ≤ 12.5% of the lower bound.
+		if lo >= 16 && hi != ^uint64(0) && float64(hi-lo+1) > float64(lo)/subCount+1 {
+			t.Fatalf("bucket %d too wide: [%d,%d]", i, lo, hi)
+		}
+	}
+	// Max-bucket overflow: the largest value maps to the last bucket.
+	if got := BucketIndex(math.MaxUint64); got != NumBuckets-1 {
+		t.Fatalf("BucketIndex(MaxUint64) = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+// TestHistEdgeCases covers zero, max-bucket overflow, and quantiles
+// on degenerate inputs.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	h.Record(0)
+	if h.Count != 1 || h.Sum != 0 || h.Buckets[0] != 1 {
+		t.Fatalf("after Record(0): %+v", h.Count)
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("quantile of all-zero = %d, want 0", got)
+	}
+	// Overflowing value lands in (and is reported from) the last bucket.
+	h.Record(math.MaxUint64)
+	if h.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("MaxUint64 not in last bucket")
+	}
+	if got := h.Quantile(1); got != math.MaxUint64 {
+		t.Fatalf("p100 = %d, want MaxUint64", got)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("p25 = %d, want 0", got)
+	}
+}
+
+// TestQuantileMonotone pins that Quantile is monotone in q and always
+// an upper bound for the true quantile.
+func TestQuantileMonotone(t *testing.T) {
+	var h Hist
+	vals := []uint64{1, 3, 17, 17, 90, 1000, 12345, 999999, 1 << 40}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("quantile not monotone: q=%.2f got %d < prev %d", q, got, prev)
+		}
+		prev = got
+	}
+	// p50 of 9 values is the 5th (=90); the bucket upper bound may
+	// exceed it by at most 12.5%.
+	p50 := h.Quantile(0.5)
+	if p50 < 90 || float64(p50) > 90*1.125+1 {
+		t.Fatalf("p50 = %d, want ≈90 (≤12.5%% high)", p50)
+	}
+}
+
+// TestShardMerge covers merge of per-thread shards: the fold must
+// equal a histogram that saw every observation.
+func TestShardMerge(t *testing.T) {
+	o := NewTxnObs()
+	var want Hist
+	for id := 0; id < 4; id++ {
+		sh := o.Shard(id)
+		for k := 0; k < 100; k++ {
+			v := uint64(id*1000 + k*7)
+			sh.Retries.Record(v)
+			want.Record(v)
+		}
+	}
+	// Same id twice returns the same shard.
+	if o.Shard(2) != o.Shard(2) {
+		t.Fatalf("Shard not idempotent")
+	}
+	m := o.Merged()
+	if m.Retries != want {
+		t.Fatalf("merged shards != direct histogram: count %d vs %d, sum %d vs %d",
+			m.Retries.Count, want.Count, m.Retries.Sum, want.Sum)
+	}
+}
+
+// TestHistSubDiff pins the snapshot/diff API: h.Sub(old) yields the
+// delta, clamped at zero for series that went backwards (torn reads).
+func TestHistSubDiff(t *testing.T) {
+	var a, b Hist
+	a.Record(5)
+	b = a
+	a.Record(100)
+	a.Sub(&b)
+	if a.Count != 1 || a.Sum != 100 || a.Buckets[BucketIndex(100)] != 1 {
+		t.Fatalf("diff wrong: count=%d sum=%d", a.Count, a.Sum)
+	}
+	// Clamp: subtracting a larger snapshot yields zero, not wraparound.
+	var small Hist
+	small.Record(1)
+	big := small
+	big.Record(1)
+	small.Sub(&big)
+	if small.Count != 0 || small.Sum != 0 {
+		t.Fatalf("clamped diff wrong: %d %d", small.Count, small.Sum)
+	}
+}
+
+// TestAtomicHistConcurrent hammers an AtomicHist from many goroutines
+// while snapshots are taken, pinning the documented diff-tolerance:
+// every field is monotone across successive snapshots and the final
+// snapshot is exact.
+func TestAtomicHistConcurrent(t *testing.T) {
+	var h AtomicHist
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				h.Record(uint64(w*per + k))
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+	var prev Hist
+	for {
+		s := h.Snapshot()
+		if s.Count < prev.Count || s.Sum < prev.Sum {
+			t.Fatalf("snapshot went backwards: count %d<%d or sum %d<%d",
+				s.Count, prev.Count, s.Sum, prev.Sum)
+		}
+		prev = s
+		select {
+		case <-stop:
+			final := h.Snapshot()
+			if final.Count != workers*per {
+				t.Fatalf("final count = %d, want %d", final.Count, workers*per)
+			}
+			var sum uint64
+			for i := range final.Buckets {
+				sum += final.Buckets[i]
+			}
+			if sum != final.Count {
+				t.Fatalf("Count %d != sum(Buckets) %d", final.Count, sum)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestRegistrySnapshotDiff exercises registry gather, lookup, and
+// snapshot subtraction.
+func TestRegistrySnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", Label{"op", "get"})
+	hh := r.Histogram("lat_ns", Label{"op", "get"})
+	r.RegisterCollector(func(s *Snapshot) {
+		s.AddCounter("collected_total", nil, 7)
+	})
+
+	c.Add(3)
+	hh.Record(100)
+	s0 := r.Gather()
+	c.Add(2)
+	hh.Record(200)
+	s1 := r.Gather()
+
+	if v, ok := s1.Counter("req_total", Label{"op", "get"}); !ok || v != 5 {
+		t.Fatalf("counter lookup: %d %v", v, ok)
+	}
+	if _, ok := s1.Counter("req_total", Label{"op", "put"}); ok {
+		t.Fatalf("lookup matched wrong labels")
+	}
+	if v, ok := s1.Counter("collected_total"); !ok || v != 7 {
+		t.Fatalf("collector series: %d %v", v, ok)
+	}
+	d := s1.Sub(s0)
+	if v, _ := d.Counter("req_total", Label{"op", "get"}); v != 2 {
+		t.Fatalf("diffed counter = %d, want 2", v)
+	}
+	dh, ok := d.Histogram("lat_ns", Label{"op", "get"})
+	if !ok || dh.Count != 1 || dh.Sum != 200 {
+		t.Fatalf("diffed hist: %v count=%d sum=%d", ok, dh.Count, dh.Sum)
+	}
+}
+
+// TestWritePrometheus pins the exposition format: TYPE headers,
+// cumulative le buckets ending in +Inf, _sum/_count, label escaping.
+func TestWritePrometheus(t *testing.T) {
+	s := &Snapshot{}
+	s.AddCounter("aborts_total", []Label{{"cause", "cm-kill"}}, 4)
+	var h Hist
+	h.Record(3)
+	h.Record(40)
+	s.AddHist("lat_ns", []Label{{"op", "get"}}, h)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE aborts_total counter",
+		`aborts_total{cause="cm-kill"} 4`,
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{op="get",le="3"} 1`,
+		`lat_ns_bucket{op="get",le="+Inf"} 2`,
+		`lat_ns_sum{op="get"} 43`,
+		`lat_ns_count{op="get"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative: the le="63" boundary (end of 40's octave group,
+	// [32,63]) must include both observations.
+	if !strings.Contains(out, `lat_ns_bucket{op="get",le="63"} 2`) {
+		t.Fatalf("missing cumulative 63 bucket in:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text
+// exposition format. Counters become `<name>{labels} <value>`;
+// histograms become cumulative `<name>_bucket{...,le="..."}` series
+// plus `_sum` and `_count`.
+//
+// Histogram buckets are coarsened on the way out: the internal
+// 496-bucket layout is folded to one `le` per octave boundary (the
+// inclusive upper edge of each power-of-two group), and emission
+// stops at the first boundary covering every observation (the rest
+// collapse into `+Inf`). That keeps a scrape at ~a dozen lines per
+// histogram with ≤2× boundary resolution, while quantiles computed
+// from the full-resolution Snapshot keep the 12.5% bucket error.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	// Group series by name so each family gets one # TYPE header.
+	names := make([]string, 0, len(s.Metrics))
+	byName := make(map[string][]*Metric, len(s.Metrics))
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if _, ok := byName[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		family := byName[name]
+		typ := "counter"
+		if family[0].Hist != nil {
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, m := range family {
+			var err error
+			if m.Hist != nil {
+				err = writeHist(w, m)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %d\n", m.Name, labelString(m.Labels, "", ""), m.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, m *Metric) error {
+	h := m.Hist
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.Buckets[i]
+		upper := BucketUpper(i)
+		// Octave boundary: the last bucket before the width doubles
+		// (upper+1 is a power of two), i.e. the end of each group.
+		if upper != ^uint64(0) && (upper+1)&upper != 0 {
+			continue
+		}
+		if upper == ^uint64(0) {
+			break // final group folds into +Inf below
+		}
+		le := fmt.Sprintf("%d", upper)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, labelString(m.Labels, "le", le), cum); err != nil {
+			return err
+		}
+		if cum == h.Count {
+			break // every observation covered; rest is +Inf
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		m.Name, labelString(m.Labels, "le", "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, labelString(m.Labels, "", ""), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels, "", ""), h.Count)
+	return err
+}
+
+// labelString renders {k="v",...}, appending an extra label (used for
+// le) when extraKey is non-empty. Returns "" for no labels at all.
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

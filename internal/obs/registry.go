@@ -1,0 +1,175 @@
+package obs
+
+import "sync"
+
+// Label is one key=value metric label.
+type Label struct {
+	Key, Value string
+}
+
+// Metric is one named series in a Snapshot: either a counter value or
+// a histogram, never both.
+type Metric struct {
+	Name   string
+	Labels []Label
+	Value  uint64 // counter value (Hist == nil)
+	Hist   *Hist  // histogram data, owned by the snapshot
+}
+
+// Snapshot is a point-in-time copy of a metric set. Snapshots are
+// plain data: they can be diffed (Sub), queried, and rendered to
+// Prometheus text long after the live metrics have moved on.
+type Snapshot struct {
+	Metrics []Metric
+}
+
+// AddCounter appends a counter series.
+func (s *Snapshot) AddCounter(name string, labels []Label, v uint64) {
+	s.Metrics = append(s.Metrics, Metric{Name: name, Labels: labels, Value: v})
+}
+
+// AddHist appends a histogram series (copies h).
+func (s *Snapshot) AddHist(name string, labels []Label, h Hist) {
+	c := h
+	s.Metrics = append(s.Metrics, Metric{Name: name, Labels: labels, Hist: &c})
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the value of the named counter series, or false if
+// absent.
+func (s *Snapshot) Counter(name string, labels ...Label) (uint64, bool) {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Hist == nil && m.Name == name && labelsEqual(m.Labels, labels) {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram series, or false if absent.
+func (s *Snapshot) Histogram(name string, labels ...Label) (*Hist, bool) {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Hist != nil && m.Name == name && labelsEqual(m.Labels, labels) {
+			return m.Hist, true
+		}
+	}
+	return nil, false
+}
+
+// Sub returns s minus prev, series by series (matched on name+labels,
+// clamped at zero). Series absent from prev pass through unchanged —
+// so diffing against an older snapshot that predates a series is
+// well-defined.
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	out := &Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for i := range s.Metrics {
+		m := s.Metrics[i]
+		if m.Hist != nil {
+			h := *m.Hist
+			if ph, ok := prev.Histogram(m.Name, m.Labels...); ok {
+				h.Sub(ph)
+			}
+			m.Hist = &h
+		} else if pv, ok := prev.Counter(m.Name, m.Labels...); ok {
+			m.Value = clampSub(m.Value, pv)
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+type regCounter struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type regHist struct {
+	name   string
+	labels []Label
+	h      *AtomicHist
+}
+
+// Registry owns a set of live metrics and produces Snapshots. Two
+// kinds of members:
+//
+//   - Owned counters/histograms created via Counter/Histogram: live
+//     lock-free objects the caller records into; gathered with atomic
+//     loads at snapshot time.
+//   - Collectors registered via RegisterCollector: callbacks that
+//     append externally-owned data (e.g. quiesced engine stats) to
+//     the snapshot. Collector cost and consistency are the
+//     collector's business — the server's collector drains the worker
+//     pool before reading engine-thread state.
+//
+// Registration takes a lock; recording into registered metrics never
+// does.
+type Registry struct {
+	mu         sync.Mutex
+	counters   []regCounter
+	hists      []regHist
+	collectors []func(*Snapshot)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a new counter series. Each call
+// creates a distinct series; callers keep the returned handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	c := new(Counter)
+	r.mu.Lock()
+	r.counters = append(r.counters, regCounter{name, labels, c})
+	r.mu.Unlock()
+	return c
+}
+
+// Histogram registers and returns a new atomic histogram series.
+func (r *Registry) Histogram(name string, labels ...Label) *AtomicHist {
+	h := new(AtomicHist)
+	r.mu.Lock()
+	r.hists = append(r.hists, regHist{name, labels, h})
+	r.mu.Unlock()
+	return h
+}
+
+// RegisterCollector adds a callback invoked on every Gather.
+func (r *Registry) RegisterCollector(fn func(*Snapshot)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Gather snapshots every registered metric, then runs the collectors.
+func (r *Registry) Gather() *Snapshot {
+	r.mu.Lock()
+	counters := r.counters
+	hists := r.hists
+	collectors := r.collectors
+	r.mu.Unlock()
+
+	s := &Snapshot{}
+	for _, rc := range counters {
+		s.AddCounter(rc.name, rc.labels, rc.c.Load())
+	}
+	for _, rh := range hists {
+		s.AddHist(rh.name, rh.labels, rh.h.Snapshot())
+	}
+	for _, fn := range collectors {
+		fn(s)
+	}
+	return s
+}

@@ -36,17 +36,21 @@ type Record struct {
 	Throughput  float64 `json:"throughput"`   // ops per second
 
 	// Full stm.Stats breakdown, aggregated across worker threads.
-	Commits         uint64 `json:"commits"`
-	ROCommits       uint64 `json:"ro_commits"` // commits of declared read-only transactions (DESIGN.md §9)
-	Aborts          uint64 `json:"aborts"`
-	AbortsWW        uint64 `json:"aborts_ww"`
-	AbortsValid     uint64 `json:"aborts_valid"`
-	AbortsLocked    uint64 `json:"aborts_locked"`
-	AbortsKilled    uint64 `json:"aborts_killed"`
-	AbortsExplicit  uint64 `json:"aborts_explicit"`
-	AbortsUser      uint64 `json:"aborts_user"` // AtomicErr bodies returning errors (DESIGN.md §9)
-	WaitsCM         uint64 `json:"waits_cm"`
-	LockAcquireFail uint64 `json:"lock_acquire_fail"`
+	Commits     uint64 `json:"commits"`
+	ROCommits   uint64 `json:"ro_commits"` // commits of declared read-only transactions (DESIGN.md §9)
+	Aborts      uint64 `json:"aborts"`
+	AbortsWW    uint64 `json:"aborts_ww"`
+	AbortsValid uint64 `json:"aborts_valid"`
+	// Validation-failure phase split (DESIGN.md §11):
+	// AbortsValidRead + AbortsValidCommit == AbortsValid.
+	AbortsValidRead   uint64 `json:"aborts_valid_read"`
+	AbortsValidCommit uint64 `json:"aborts_valid_commit"`
+	AbortsLocked      uint64 `json:"aborts_locked"`
+	AbortsKilled      uint64 `json:"aborts_killed"`
+	AbortsExplicit    uint64 `json:"aborts_explicit"`
+	AbortsUser        uint64 `json:"aborts_user"` // AtomicErr bodies returning errors (DESIGN.md §9)
+	WaitsCM           uint64 `json:"waits_cm"`
+	LockAcquireFail   uint64 `json:"lock_acquire_fail"`
 
 	// Abort delivery split (DESIGN.md §8): checked-return commit-path
 	// aborts vs panic/recover unwinds out of the user closure. Together
@@ -68,9 +72,17 @@ type Record struct {
 	// from request send; open loop: from scheduled arrival, queueing
 	// delay included). Phase columns are the server's mean per-request
 	// nanoseconds in each service phase.
-	LatP50Ns      float64 `json:"lat_p50_ns"`
-	LatP99Ns      float64 `json:"lat_p99_ns"`
-	LatP999Ns     float64 `json:"lat_p999_ns"`
+	LatP50Ns  float64 `json:"lat_p50_ns"`
+	LatP99Ns  float64 `json:"lat_p99_ns"`
+	LatP999Ns float64 `json:"lat_p999_ns"`
+	// Server-side request-latency percentiles (ns), read from the
+	// server's /metrics histograms at the end of the run. They cover the
+	// server's whole lifetime, so they equal the run's own distribution
+	// only when the server was launched for the run (-launch mode);
+	// zero for in-process runs.
+	SrvP50Ns      uint64  `json:"srv_p50_ns"`
+	SrvP99Ns      uint64  `json:"srv_p99_ns"`
+	SrvP999Ns     uint64  `json:"srv_p999_ns"`
 	PhaseParseNs  float64 `json:"phase_parse_ns"`
 	PhaseQueueNs  float64 `json:"phase_queue_ns"`
 	PhaseTxnNs    float64 `json:"phase_txn_ns"`
@@ -95,6 +107,8 @@ func (r *Record) SetStats(s stm.Stats) {
 	r.Aborts = s.Aborts
 	r.AbortsWW = s.AbortsWW
 	r.AbortsValid = s.AbortsValid
+	r.AbortsValidRead = s.AbortsValidRead
+	r.AbortsValidCommit = s.AbortsValidCommit
 	r.AbortsLocked = s.AbortsLocked
 	r.AbortsKilled = s.AbortsKilled
 	r.AbortsExplicit = s.AbortsExplicit
@@ -114,11 +128,13 @@ func (r *Record) SetStats(s stm.Stats) {
 var header = []string{
 	"experiment", "workload", "engine", "engine_kind", "threads", "repeat",
 	"seed", "duration_sec", "ops", "throughput",
-	"commits", "ro_commits", "aborts", "aborts_ww", "aborts_valid", "aborts_locked",
+	"commits", "ro_commits", "aborts", "aborts_ww", "aborts_valid",
+	"aborts_valid_read", "aborts_valid_commit", "aborts_locked",
 	"aborts_killed", "aborts_explicit", "aborts_user", "waits_cm", "lock_acquire_fail",
 	"aborts_unwound", "aborts_returned",
 	"reads_logged", "reads_deduped", "validations", "validation_reads",
 	"lat_p50_ns", "lat_p99_ns", "lat_p999_ns",
+	"srv_p50_ns", "srv_p99_ns", "srv_p999_ns",
 	"phase_parse_ns", "phase_queue_ns", "phase_txn_ns", "phase_commit_ns", "phase_reply_ns",
 	"offered_rate", "achieved_rate", "late_ops",
 	"abort_rate", "checked_ok",
@@ -137,6 +153,8 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.Aborts, 10),
 		strconv.FormatUint(r.AbortsWW, 10),
 		strconv.FormatUint(r.AbortsValid, 10),
+		strconv.FormatUint(r.AbortsValidRead, 10),
+		strconv.FormatUint(r.AbortsValidCommit, 10),
 		strconv.FormatUint(r.AbortsLocked, 10),
 		strconv.FormatUint(r.AbortsKilled, 10),
 		strconv.FormatUint(r.AbortsExplicit, 10),
@@ -152,6 +170,9 @@ func (r Record) row() []string {
 		strconv.FormatFloat(r.LatP50Ns, 'g', -1, 64),
 		strconv.FormatFloat(r.LatP99Ns, 'g', -1, 64),
 		strconv.FormatFloat(r.LatP999Ns, 'g', -1, 64),
+		strconv.FormatUint(r.SrvP50Ns, 10),
+		strconv.FormatUint(r.SrvP99Ns, 10),
+		strconv.FormatUint(r.SrvP999Ns, 10),
 		strconv.FormatFloat(r.PhaseParseNs, 'g', -1, 64),
 		strconv.FormatFloat(r.PhaseQueueNs, 'g', -1, 64),
 		strconv.FormatFloat(r.PhaseTxnNs, 'g', -1, 64),
@@ -230,26 +251,28 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.Commits, rec.ROCommits = u64(row[10]), u64(row[11])
 		rec.Aborts = u64(row[12])
 		rec.AbortsWW, rec.AbortsValid = u64(row[13]), u64(row[14])
-		rec.AbortsLocked, rec.AbortsKilled = u64(row[15]), u64(row[16])
-		rec.AbortsExplicit, rec.AbortsUser = u64(row[17]), u64(row[18])
-		rec.WaitsCM = u64(row[19])
-		rec.LockAcquireFail = u64(row[20])
-		rec.AbortsUnwound, rec.AbortsReturned = u64(row[21]), u64(row[22])
-		rec.ReadsLogged, rec.ReadsDeduped = u64(row[23]), u64(row[24])
-		rec.Validations, rec.ValidationReads = u64(row[25]), u64(row[26])
-		rec.LatP50Ns, rec.LatP99Ns, rec.LatP999Ns = f64(row[27]), f64(row[28]), f64(row[29])
-		rec.PhaseParseNs, rec.PhaseQueueNs = f64(row[30]), f64(row[31])
-		rec.PhaseTxnNs, rec.PhaseCommitNs, rec.PhaseReplyNs = f64(row[32]), f64(row[33]), f64(row[34])
-		rec.OfferedRate, rec.AchievedRate = f64(row[35]), f64(row[36])
-		rec.LateOps = u64(row[37])
-		rec.AbortRate = f64(row[38])
-		switch row[39] {
+		rec.AbortsValidRead, rec.AbortsValidCommit = u64(row[15]), u64(row[16])
+		rec.AbortsLocked, rec.AbortsKilled = u64(row[17]), u64(row[18])
+		rec.AbortsExplicit, rec.AbortsUser = u64(row[19]), u64(row[20])
+		rec.WaitsCM = u64(row[21])
+		rec.LockAcquireFail = u64(row[22])
+		rec.AbortsUnwound, rec.AbortsReturned = u64(row[23]), u64(row[24])
+		rec.ReadsLogged, rec.ReadsDeduped = u64(row[25]), u64(row[26])
+		rec.Validations, rec.ValidationReads = u64(row[27]), u64(row[28])
+		rec.LatP50Ns, rec.LatP99Ns, rec.LatP999Ns = f64(row[29]), f64(row[30]), f64(row[31])
+		rec.SrvP50Ns, rec.SrvP99Ns, rec.SrvP999Ns = u64(row[32]), u64(row[33]), u64(row[34])
+		rec.PhaseParseNs, rec.PhaseQueueNs = f64(row[35]), f64(row[36])
+		rec.PhaseTxnNs, rec.PhaseCommitNs, rec.PhaseReplyNs = f64(row[37]), f64(row[38]), f64(row[39])
+		rec.OfferedRate, rec.AchievedRate = f64(row[40]), f64(row[41])
+		rec.LateOps = u64(row[42])
+		rec.AbortRate = f64(row[43])
+		switch row[44] {
 		case "true":
 			rec.CheckedOK = true
 		case "false":
 			rec.CheckedOK = false
 		default:
-			keep(fmt.Errorf("bad checked_ok value %q", row[39]))
+			keep(fmt.Errorf("bad checked_ok value %q", row[44]))
 		}
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)

@@ -32,6 +32,7 @@ import (
 
 	"swisstm/internal/cm"
 	"swisstm/internal/mem"
+	"swisstm/internal/obs"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -82,6 +83,9 @@ type Config struct {
 	// UnwindAborts restores panic-delivered commit-time aborts; a
 	// measurement ablation only (see the field in package swisstm).
 	UnwindAborts bool
+	// Obs, when non-nil, collects per-transaction telemetry at commit
+	// (see the field in package swisstm; DESIGN.md §11).
+	Obs *obs.TxnObs
 }
 
 func (c *Config) fill() {
@@ -276,8 +280,14 @@ type txn struct {
 	lastCC   uint64      // commit counter at last validation
 	rng      *util.Rand
 	succ     int
-	roV      roTx // pre-allocated read-only view returned by Begin(ReadOnly)
-	stats    stm.Stats
+	// committing marks the window between entering commitRO/commitInner
+	// and the next begin, so the shared maybeValidate can attribute a
+	// validation failure to the read phase or the commit phase
+	// (stm.Stats.AbortsValidRead vs AbortsValidCommit).
+	committing bool
+	roV        roTx          // pre-allocated read-only view returned by Begin(ReadOnly)
+	obsh       *obs.TxnShard // per-thread telemetry shard (nil = obs off)
+	stats      stm.Stats
 }
 
 // NewThread implements stm.STM.
@@ -291,6 +301,9 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		rng: util.NewRand(uint64(id)*0x2545f491 + 11),
 	}
 	t.roV.t = t
+	if e.cfg.Obs != nil {
+		t.obsh = e.cfg.Obs.Shard(id)
+	}
 	return t
 }
 
@@ -387,6 +400,7 @@ func (t *txn) begin(restart bool) {
 	t.writeSet = t.writeSet[:0]
 	t.lazySet = t.lazySet[:0]
 	t.visSet = t.visSet[:0]
+	t.committing = false
 	t.lastCC = t.e.stableEpoch()
 	t.e.cfg.Manager.OnStart(&t.state, restart)
 }
@@ -405,6 +419,7 @@ func (t *txn) beginRO(restart bool) {
 		t.cur.status.Store(statusActive)
 	}
 	t.readSet = t.readSet[:0]
+	t.committing = false
 	t.lastCC = t.e.stableEpoch()
 	if t.e.cfg.Reads == Visible {
 		t.e.cfg.Manager.OnStart(&t.state, restart)
@@ -496,6 +511,11 @@ func (t *txn) maybeValidate() bool {
 		}
 		if !t.validate() {
 			t.stats.AbortsValid++
+			if t.committing {
+				t.stats.AbortsValidCommit++
+			} else {
+				t.stats.AbortsValidRead++
+			}
 			t.abort(false)
 			return false
 		}
@@ -704,6 +724,8 @@ func (t *txn) validate() bool {
 // stable epoch; visible readers may have been killed by a writer, which
 // the status CAS detects.
 func (t *txn) commitRO() bool {
+	t.committing = true
+	rs := len(t.readSet) + len(t.visSet)
 	if t.e.cfg.Reads == Invisible && len(t.readSet) > 0 {
 		if !t.maybeValidate() {
 			return false
@@ -717,6 +739,9 @@ func (t *txn) commitRO() bool {
 	t.dropVisible()
 	t.stats.Commits++
 	t.stats.ROCommits++
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(rs), 0)
+	}
 	return true
 }
 
@@ -726,6 +751,9 @@ func (t *txn) commitRO() bool {
 // checked return path through Commit; the UnwindAborts ablation restores
 // the old panic delivery for A/B measurement.
 func (t *txn) commitInner() bool {
+	t.committing = true
+	rs := len(t.readSet) + len(t.visSet)
+	ws := len(t.writeSet) + len(t.lazySet)
 	if t.killedAbort() {
 		return false
 	}
@@ -776,6 +804,9 @@ func (t *txn) commitInner() bool {
 		}
 		t.dropVisible()
 		t.stats.Commits++
+		if t.obsh != nil {
+			t.obsh.RecordCommit(uint64(t.succ), uint64(rs), uint64(ws))
+		}
 		return true
 	}
 	// Writer: enter the flip section (counter even→odd), validate, flip,
@@ -796,6 +827,7 @@ func (t *txn) commitInner() bool {
 	t.e.commits.Add(1) // leave the flip section (back to even)
 	if !ok {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidCommit++
 		t.abort(false)
 		return false
 	}
@@ -806,6 +838,9 @@ func (t *txn) commitInner() bool {
 	}
 	t.dropVisible()
 	t.stats.Commits++
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(rs), uint64(ws))
+	}
 	return true
 }
 

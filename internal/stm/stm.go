@@ -400,7 +400,7 @@ type Stats struct {
 	Aborts          uint64 // total rollbacks (all causes)
 	AbortsWW        uint64 // write/write conflicts (encounter-time)
 	AbortsValid     uint64 // read-set validation / extension failures
-	AbortsLocked    uint64 // read or commit hit a locked location
+	AbortsLocked    uint64 // read or commit hit a locked location (encounter-time)
 	AbortsKilled    uint64 // aborted by another transaction's CM decision
 	AbortsExplicit  uint64 // user-requested restarts (Tx.Restart)
 	AbortsUser      uint64 // rollbacks because an AtomicErr body returned an error
@@ -415,6 +415,16 @@ type Stats struct {
 	// per engine.
 	AbortsUnwound  uint64 // aborts delivered by panic/recover (mid-body conflicts, Restart)
 	AbortsReturned uint64 // aborts delivered as checked returns (commit-path conflicts, user errors)
+
+	// Validation-failure phase split (DESIGN.md §11): AbortsValid ==
+	// AbortsValidRead + AbortsValidCommit, asserted by the abort-cause
+	// partition tests per engine. Read-time failures are mid-body —
+	// a transactional read (or an opacity guard before an eager write)
+	// saw a newer version and the snapshot could not be extended.
+	// Commit-time failures are the final validation pass after the
+	// body returned.
+	AbortsValidRead   uint64 // mid-body read validation / extension failures
+	AbortsValidCommit uint64 // commit-time validation failures
 
 	// Hot-path instrumentation (DESIGN.md §7): how long read logs get and
 	// how much work validation does, so the read-set dedup win is visible
@@ -442,6 +452,8 @@ func (s *Stats) Add(other Stats) {
 	s.LockAcquireFail += other.LockAcquireFail
 	s.AbortsUnwound += other.AbortsUnwound
 	s.AbortsReturned += other.AbortsReturned
+	s.AbortsValidRead += other.AbortsValidRead
+	s.AbortsValidCommit += other.AbortsValidCommit
 	s.ReadsLogged += other.ReadsLogged
 	s.ReadsDeduped += other.ReadsDeduped
 	s.Validations += other.Validations
@@ -456,6 +468,45 @@ func (s *Stats) AbortRate() float64 {
 		return 0
 	}
 	return float64(s.Aborts) / float64(total)
+}
+
+// AbortCauses is the engine-agnostic abort-cause taxonomy (DESIGN.md
+// §11): every abort has exactly one cause, so Total() == Aborts holds
+// on every engine (the per-engine partition tests assert it). The six
+// causes fold the raw Stats counters as follows:
+//
+//	ReadValidation   = AbortsValidRead
+//	LockConflict     = AbortsWW + AbortsLocked + LockAcquireFail
+//	CommitValidation = AbortsValidCommit
+//	CMKill           = AbortsKilled
+//	UserError        = AbortsUser
+//	ExplicitRestart  = AbortsExplicit
+type AbortCauses struct {
+	ReadValidation   uint64 // mid-body read validation / snapshot extension failed
+	LockConflict     uint64 // couldn't acquire a location another txn holds (eager W/W, locked read, commit-time acquire)
+	CommitValidation uint64 // final validation pass failed at commit
+	CMKill           uint64 // killed by another transaction's contention-manager decision
+	UserError        uint64 // AtomicErr body returned an error
+	ExplicitRestart  uint64 // user-requested Tx.Restart
+}
+
+// Causes maps the raw counters onto the taxonomy.
+func (s *Stats) Causes() AbortCauses {
+	return AbortCauses{
+		ReadValidation:   s.AbortsValidRead,
+		LockConflict:     s.AbortsWW + s.AbortsLocked + s.LockAcquireFail,
+		CommitValidation: s.AbortsValidCommit,
+		CMKill:           s.AbortsKilled,
+		UserError:        s.AbortsUser,
+		ExplicitRestart:  s.AbortsExplicit,
+	}
+}
+
+// Total sums the six causes; equal to Stats.Aborts when the partition
+// invariant holds.
+func (c AbortCauses) Total() uint64 {
+	return c.ReadValidation + c.LockConflict + c.CommitValidation +
+		c.CMKill + c.UserError + c.ExplicitRestart
 }
 
 // RollbackSignal is the panic payload engines use to unwind an aborted

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"swisstm/internal/mem"
+	"swisstm/internal/obs"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -106,6 +107,11 @@ type Config struct {
 	// risk of a belated redo-log write-back or a zombie reader. The paper
 	// predicts (and the ablation benchmark confirms) a significant cost.
 	PrivatizationSafe bool
+	// Obs, when non-nil, collects per-transaction distribution telemetry
+	// (retry count, read-/write-set sizes) into per-thread shards at
+	// commit (DESIGN.md §11). Off (nil) by default; the instrumented
+	// path costs a handful of plain increments and no allocations.
+	Obs *obs.TxnObs
 }
 
 func (c *Config) fill() {
@@ -244,9 +250,10 @@ type txn struct {
 	poolIdx   int
 	rc        util.StripeCache // read-set dedup cache (DESIGN.md §7)
 	rng       *util.Rand
-	succ      int    // successive aborts of the current logical transaction
-	quiesceTS uint64 // commit timestamp to quiesce on (privatization safety)
-	roV       roTx   // pre-allocated read-only view returned by Begin(ReadOnly)
+	succ      int           // successive aborts of the current logical transaction
+	quiesceTS uint64        // commit timestamp to quiesce on (privatization safety)
+	roV       roTx          // pre-allocated read-only view returned by Begin(ReadOnly)
+	obsh      *obs.TxnShard // per-thread telemetry shard (nil = obs off)
 	stats     stm.Stats
 }
 
@@ -265,6 +272,9 @@ func (e *Engine) NewThread(id int) stm.Thread {
 	t.roV.t = t
 	t.rc.Init(1024)
 	t.cmTS.Store(infinity)
+	if e.cfg.Obs != nil {
+		t.obsh = e.cfg.Obs.Shard(id)
+	}
 	return t
 }
 
@@ -494,6 +504,7 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 			return val, true
 		}
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -503,12 +514,14 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 			return val, true
 		}
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
 	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
 	if v1>>1 > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -547,6 +560,7 @@ func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
 			return val, true
 		}
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -556,12 +570,14 @@ func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
 			return val, true
 		}
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
 	t.readLog = append(t.readLog, rEntry{lockIdx: idx, rlock: v1})
 	if v1>>1 > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -630,6 +646,7 @@ func (t *txn) store(a stm.Addr, v stm.Word) bool {
 	// we must revalidate before continuing.
 	if rv := t.e.rlocks[idx].Load(); rv != rLocked && rv>>1 > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return false
 	}
@@ -648,6 +665,9 @@ func (t *txn) commit() bool {
 	if len(t.writeLog) == 0 { // read-only fast path (line 35)
 		t.stats.Commits++
 		t.stats.ReadsLogged += uint64(len(t.readLog))
+		if t.obsh != nil {
+			t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), 0)
+		}
 		return true
 	}
 	// Lock the r-locks of all written stripes so readers cannot observe a
@@ -663,6 +683,7 @@ func (t *txn) commit() bool {
 			t.e.rlocks[we.lockIdx].Store(we.savedRLock)
 		}
 		t.stats.AbortsValid++
+		t.stats.AbortsValidCommit++
 		return t.commitAbort()
 	}
 	newRLock := ts << 1
@@ -679,6 +700,7 @@ func (t *txn) commit() bool {
 		t.e.rlocks[we.lockIdx].Store(newRLock)
 		t.e.wlocks[we.lockIdx].Store(nil)
 	}
+	ws := len(t.writeLog)
 	// Truncate the write log here rather than at the next begin: the log
 	// is then invariantly empty between transactions, which is what lets
 	// beginRO skip write-set init entirely (a stale log would make a later
@@ -689,6 +711,9 @@ func (t *txn) commit() bool {
 	}
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), uint64(ws))
+	}
 	return true
 }
 
@@ -699,6 +724,9 @@ func (t *txn) commitRO() bool {
 	t.stats.Commits++
 	t.stats.ROCommits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), 0)
+	}
 	return true
 }
 

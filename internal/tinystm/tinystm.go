@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"swisstm/internal/mem"
+	"swisstm/internal/obs"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	// UnwindAborts restores panic-delivered commit-time aborts; a
 	// measurement ablation only (see the field in package swisstm).
 	UnwindAborts bool
+	// Obs, when non-nil, collects per-transaction telemetry at commit
+	// (see the field in package swisstm; DESIGN.md §11).
+	Obs *obs.TxnObs
 }
 
 func (c *Config) fill() {
@@ -146,7 +150,8 @@ type txn struct {
 	rc       util.StripeCache // read-set dedup cache (DESIGN.md §7)
 	rng      *util.Rand
 	succ     int
-	roV      roTx // pre-allocated read-only view returned by Begin(ReadOnly)
+	roV      roTx          // pre-allocated read-only view returned by Begin(ReadOnly)
+	obsh     *obs.TxnShard // per-thread telemetry shard (nil = obs off)
 	stats    stm.Stats
 }
 
@@ -164,6 +169,9 @@ func (e *Engine) NewThread(id int) stm.Thread {
 	}
 	t.roV.t = t
 	t.rc.Init(1024)
+	if e.cfg.Obs != nil {
+		t.obsh = e.cfg.Obs.Shard(id)
+	}
 	return t
 }
 
@@ -331,6 +339,7 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 				return val, true
 			}
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
@@ -340,12 +349,14 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 				return val, true
 			}
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
 		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
 		if v1 > t.validTS && !t.extend() {
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
@@ -384,6 +395,7 @@ func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
 				return val, true
 			}
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
@@ -393,12 +405,14 @@ func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
 				return val, true
 			}
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
 		t.readLog = append(t.readLog, rEntry{idx: idx, ver: v1})
 		if v1 > t.validTS && !t.extend() {
 			t.stats.AbortsValid++
+			t.stats.AbortsValidRead++
 			t.abort()
 			return 0, false
 		}
@@ -441,6 +455,7 @@ func (t *txn) store(a stm.Addr, v stm.Word) bool {
 	}
 	if ver := t.e.vers[idx].Load(); ver > t.validTS && !t.extend() {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return false
 	}
@@ -455,6 +470,9 @@ func (t *txn) commitRO() bool {
 	t.stats.Commits++
 	t.stats.ROCommits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), 0)
+	}
 	return true
 }
 
@@ -465,11 +483,15 @@ func (t *txn) commit() bool {
 	if len(t.writeLog) == 0 {
 		t.stats.Commits++
 		t.stats.ReadsLogged += uint64(len(t.readLog))
+		if t.obsh != nil {
+			t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), 0)
+		}
 		return true
 	}
 	ts := t.e.clock.Add(1)
 	if ts > t.validTS+1 && !t.validate() {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidCommit++
 		return t.commitAbort()
 	}
 	for _, we := range t.writeLog {
@@ -485,9 +507,13 @@ func (t *txn) commit() bool {
 		t.e.vers[we.idx].Store(ts)
 		t.e.owners[we.idx].Store(nil)
 	}
+	ws := len(t.writeLog)
 	t.writeLog = t.writeLog[:0] // ownership transferred; nothing to release
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), uint64(ws))
+	}
 	return true
 }
 

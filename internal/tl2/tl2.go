@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"swisstm/internal/mem"
+	"swisstm/internal/obs"
 	"swisstm/internal/stm"
 	"swisstm/internal/util"
 )
@@ -48,6 +49,9 @@ type Config struct {
 	// UnwindAborts restores panic-delivered commit-time aborts; a
 	// measurement ablation only (see the field in package swisstm).
 	UnwindAborts bool
+	// Obs, when non-nil, collects per-transaction telemetry at commit
+	// (see the field in package swisstm; DESIGN.md §11).
+	Obs *obs.TxnObs
 }
 
 func (c *Config) fill() {
@@ -135,7 +139,8 @@ type txn struct {
 	saved     []savedLock // pre-lock versions, for release on commit abort
 	rng       *util.Rand
 	succ      int
-	roV       roTx // pre-allocated read-only view returned by Begin(ReadOnly)
+	roV       roTx          // pre-allocated read-only view returned by Begin(ReadOnly)
+	obsh      *obs.TxnShard // per-thread telemetry shard (nil = obs off)
 	stats     stm.Stats
 }
 
@@ -155,6 +160,9 @@ func (e *Engine) NewThread(id int) stm.Thread {
 		rng:     util.NewRand(uint64(id)*0x51f15ee1 + 7),
 	}
 	t.roV.t = t
+	if e.cfg.Obs != nil {
+		t.obsh = e.cfg.Obs.Shard(id)
+	}
 	return t
 }
 
@@ -303,6 +311,7 @@ func (t *txn) load(a stm.Addr) (stm.Word, bool) {
 	if v1>>1 > t.rv {
 		// Newer than our snapshot; TL2 has no extension mechanism.
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -330,6 +339,7 @@ func (t *txn) loadRO(a stm.Addr) (stm.Word, bool) {
 	}
 	if v1>>1 > t.rv {
 		t.stats.AbortsValid++
+		t.stats.AbortsValidRead++
 		t.abort()
 		return 0, false
 	}
@@ -359,6 +369,10 @@ func (t *txn) Store(a stm.Addr, v stm.Word) {
 func (t *txn) commitRO() bool {
 	t.stats.Commits++
 	t.stats.ROCommits++
+	if t.obsh != nil {
+		// TL2 RO keeps no read log, so the read-set size records 0.
+		t.obsh.RecordCommit(uint64(t.succ), 0, 0)
+	}
 	return true
 }
 
@@ -370,6 +384,9 @@ func (t *txn) commit() bool {
 	if len(t.writes) == 0 {
 		t.stats.Commits++ // read-only: already validated incrementally
 		t.stats.ReadsLogged += uint64(len(t.readLog))
+		if t.obsh != nil {
+			t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), 0)
+		}
 		return true
 	}
 	// Collect the distinct stripes of the write set, in a canonical order
@@ -439,11 +456,13 @@ func (t *txn) commit() bool {
 				}
 				t.releaseLocks(acquired)
 				t.stats.AbortsValid++
+				t.stats.AbortsValidCommit++
 				return t.commitAbort()
 			}
 			if v != t.readVer[i] {
 				t.releaseLocks(acquired)
 				t.stats.AbortsValid++
+				t.stats.AbortsValidCommit++
 				return t.commitAbort()
 			}
 		}
@@ -458,6 +477,9 @@ func (t *txn) commit() bool {
 	}
 	t.stats.Commits++
 	t.stats.ReadsLogged += uint64(len(t.readLog))
+	if t.obsh != nil {
+		t.obsh.RecordCommit(uint64(t.succ), uint64(len(t.readLog)), uint64(len(t.writes)))
+	}
 	return true
 }
 

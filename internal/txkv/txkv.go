@@ -123,6 +123,12 @@ func New(th stm.Thread, cfg Config) *Store {
 // Shards returns the shard count (the unit SumShard iterates).
 func (s *Store) Shards() int { return s.shards }
 
+// ShardOf returns the shard index key hashes to. It exposes the
+// internal placement read-only so callers can attribute per-shard
+// telemetry (the server's conflict counters, DESIGN.md §11) and,
+// later, route by affinity — without being able to perturb it.
+func (s *Store) ShardOf(key stm.Word) int { return int(mix(key)) & (s.shards - 1) }
+
 // mix is the splitmix64 finalizer: avalanches key bits so that hot
 // zipfian ranks and sequential key populations scatter across shards
 // and probe start points.

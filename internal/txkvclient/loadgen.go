@@ -98,7 +98,12 @@ type Result struct {
 	Offered, Achieved float64
 
 	// Server is the server-side counter delta over the run: phase
-	// nanosecond sums and engine commit/abort totals.
+	// nanosecond sums, engine commit/abort totals and the raw
+	// abort-cause taxonomy. The SrvP*Ns percentile fields are the
+	// exception — they are NOT diffed (percentiles of a cumulative
+	// histogram don't subtract); they carry the final snapshot's
+	// server-lifetime values, which equal the run's own distribution
+	// when the server was started for this run (the -launch drivers).
 	Server txkvwire.Stats
 
 	// OracleErr is the armed correctness oracles' verdict (nil = green):
@@ -123,14 +128,29 @@ func (r Result) Record(experiment, workload, engine, engineKind string, conns, r
 		Experiment: experiment, Workload: workload,
 		Engine: engine, EngineKind: engineKind,
 		Threads: conns, Repeat: repeat, Seed: seed,
-		DurationSec:   r.Duration.Seconds(),
-		Ops:           r.Ops,
-		Throughput:    r.Achieved,
-		Commits:       r.Server.Commits,
-		Aborts:        r.Server.Aborts,
-		LatP50Ns:      r.P50Ns,
-		LatP99Ns:      r.P99Ns,
-		LatP999Ns:     r.P999Ns,
+		DurationSec: r.Duration.Seconds(),
+		Ops:         r.Ops,
+		Throughput:  r.Achieved,
+		Commits:     r.Server.Commits,
+		Aborts:      r.Server.Aborts,
+
+		AbortsWW:          r.Server.AbortsWW,
+		AbortsValid:       r.Server.AbortsValid,
+		AbortsValidRead:   r.Server.AbortsValidRead,
+		AbortsValidCommit: r.Server.AbortsValidCommit,
+		AbortsLocked:      r.Server.AbortsLocked,
+		AbortsKilled:      r.Server.AbortsKilled,
+		AbortsExplicit:    r.Server.AbortsExplicit,
+		AbortsUser:        r.Server.AbortsUser,
+		LockAcquireFail:   r.Server.LockAcquireFail,
+
+		LatP50Ns:  r.P50Ns,
+		LatP99Ns:  r.P99Ns,
+		LatP999Ns: r.P999Ns,
+		SrvP50Ns:  r.Server.SrvP50Ns,
+		SrvP99Ns:  r.Server.SrvP99Ns,
+		SrvP999Ns: r.Server.SrvP999Ns,
+
 		PhaseParseNs:  phaseMean(r.Server.ParseNs, r.Server.Requests),
 		PhaseQueueNs:  phaseMean(r.Server.QueueNs, r.Server.Requests),
 		PhaseTxnNs:    phaseMean(r.Server.TxnNs, r.Server.Requests),
@@ -297,6 +317,21 @@ func Run(cfg LoadConfig) (Result, error) {
 		ReplyNs:  stats1.ReplyNs - stats0.ReplyNs,
 		Commits:  stats1.Commits - stats0.Commits,
 		Aborts:   stats1.Aborts - stats0.Aborts,
+
+		AbortsWW:          stats1.AbortsWW - stats0.AbortsWW,
+		AbortsValid:       stats1.AbortsValid - stats0.AbortsValid,
+		AbortsLocked:      stats1.AbortsLocked - stats0.AbortsLocked,
+		AbortsKilled:      stats1.AbortsKilled - stats0.AbortsKilled,
+		AbortsExplicit:    stats1.AbortsExplicit - stats0.AbortsExplicit,
+		AbortsUser:        stats1.AbortsUser - stats0.AbortsUser,
+		LockAcquireFail:   stats1.LockAcquireFail - stats0.LockAcquireFail,
+		AbortsValidRead:   stats1.AbortsValidRead - stats0.AbortsValidRead,
+		AbortsValidCommit: stats1.AbortsValidCommit - stats0.AbortsValidCommit,
+
+		// Lifetime percentiles, not diffable — see the Server field doc.
+		SrvP50Ns:  stats1.SrvP50Ns,
+		SrvP99Ns:  stats1.SrvP99Ns,
+		SrvP999Ns: stats1.SrvP999Ns,
 	}
 
 	if !cfg.SkipOracles {

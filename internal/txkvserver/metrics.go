@@ -3,52 +3,159 @@ package txkvserver
 import (
 	"bufio"
 	"net"
-	"sync/atomic"
 
+	"swisstm/internal/obs"
 	"swisstm/internal/txkvwire"
 )
 
-// metrics holds the server's flat per-request phase counters: plain
-// nanosecond sums plus a request count, the shape the related audit-log
-// service records per request and the results schema averages into
-// phase_*_ns columns (DESIGN.md §10). Atomic adds keep the hot path
-// lock-free; the counters are cumulative for the server's lifetime, so
-// a load run diffs two snapshots.
+// phase indices into opMetrics.phase. The request pipeline is measured
+// in five disjoint phases (DESIGN.md §10): frame decode, wait for an
+// engine thread, transaction body (final attempt), begin/commit/retry
+// remainder, and reply encode+write+flush.
+const (
+	phaseParse = iota
+	phaseQueue
+	phaseTxn
+	phaseCommit
+	phaseReply
+	phaseCount
+)
+
+var phaseNames = [phaseCount]string{"parse", "queue", "txn", "commit", "reply"}
+
+// opCount sizes the per-op metric tables: wire opcodes are contiguous
+// from OpInvalid (decode failures land there).
+const opCount = int(txkvwire.OpStats) + 1
+
+// opMetrics is one op type's pre-resolved metric handles. Handles are
+// looked up once at server start so the request path does no
+// name/label matching — recording is a handful of atomic adds.
+type opMetrics struct {
+	requests *obs.Counter
+	total    *obs.AtomicHist
+	phase    [phaseCount]*obs.AtomicHist
+}
+
+// metrics is the server's observability surface: per-op-type request
+// counters and latency histograms (total and per phase) plus per-shard
+// conflict counters, all owned by one obs.Registry so the admin
+// /metrics endpoint can render everything the request path records.
+//
+// Everything here is cumulative for the server's lifetime and recorded
+// lock-free; a load run diffs two snapshots. Snapshots are
+// diff-tolerant rather than globally consistent (see snapshot).
 type metrics struct {
-	requests atomic.Uint64
-	parseNs  atomic.Uint64
-	queueNs  atomic.Uint64
-	txnNs    atomic.Uint64
-	commitNs atomic.Uint64
-	replyNs  atomic.Uint64
+	reg *obs.Registry
+	ops [opCount]opMetrics
+	// shardConflicts[i] counts engine aborts attributed to requests
+	// whose (first) key hashes to shard i; the extra last entry counts
+	// aborts of multi-shard requests (sum/len/batch and key-less ops),
+	// labeled shard="multi".
+	shardConflicts []*obs.Counter
 }
 
-func (m *metrics) record(parse, queue, txn, commit, reply uint64) {
-	m.requests.Add(1)
-	m.parseNs.Add(parse)
-	m.queueNs.Add(queue)
-	m.txnNs.Add(txn)
-	m.commitNs.Add(commit)
-	m.replyNs.Add(reply)
-}
-
-// snapshot reads the counters into the wire Stats shape (the engine
-// commit/abort totals are filled in by the caller).
-func (m *metrics) snapshot() txkvwire.Stats {
-	return txkvwire.Stats{
-		Requests: m.requests.Load(),
-		ParseNs:  m.parseNs.Load(),
-		QueueNs:  m.queueNs.Load(),
-		TxnNs:    m.txnNs.Load(),
-		CommitNs: m.commitNs.Load(),
-		ReplyNs:  m.replyNs.Load(),
+func newMetrics(shards int) *metrics {
+	m := &metrics{reg: obs.NewRegistry()}
+	for op := 0; op < opCount; op++ {
+		name := txkvwire.Op(op).String()
+		m.ops[op].requests = m.reg.Counter("txkv_requests_total", obs.Label{Key: "op", Value: name})
+		m.ops[op].total = m.reg.Histogram("txkv_request_ns", obs.Label{Key: "op", Value: name})
+		for p := 0; p < phaseCount; p++ {
+			m.ops[op].phase[p] = m.reg.Histogram("txkv_phase_ns",
+				obs.Label{Key: "op", Value: name}, obs.Label{Key: "phase", Value: phaseNames[p]})
+		}
 	}
+	m.shardConflicts = make([]*obs.Counter, shards+1)
+	for i := 0; i < shards; i++ {
+		m.shardConflicts[i] = m.reg.Counter("txkv_shard_conflicts_total",
+			obs.Label{Key: "shard", Value: shardName(i)})
+	}
+	m.shardConflicts[shards] = m.reg.Counter("txkv_shard_conflicts_total",
+		obs.Label{Key: "shard", Value: "multi"})
+	return m
 }
 
-// newConnReader wraps the connection for frame reads. Replies are
-// written unbuffered (one WriteFrame per reply is two small writes on a
-// loopback TCP socket with default NODELAY), but reads are buffered so
-// a frame header and body coalesce into one syscall under pipelining.
+// shardName formats a shard index without fmt (called only at init,
+// but keeps the package's metric setup dependency-light).
+func shardName(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// record logs one fully served request of type op with its five phase
+// durations (ns). The total histogram records the phase sum, so
+// per-op totals and phase splits agree by construction.
+func (m *metrics) record(op txkvwire.Op, parse, queue, txn, commit, reply uint64) {
+	om := &m.ops[int(op)]
+	om.requests.Inc()
+	om.phase[phaseParse].Record(parse)
+	om.phase[phaseQueue].Record(queue)
+	om.phase[phaseTxn].Record(txn)
+	om.phase[phaseCommit].Record(commit)
+	om.phase[phaseReply].Record(reply)
+	om.total.Record(parse + queue + txn + commit + reply)
+}
+
+// recordConflicts attributes n engine aborts to shard (−1 = the
+// multi-shard bucket). Called only when n > 0, so conflict-free
+// requests touch no extra cache line.
+func (m *metrics) recordConflicts(shard int, n uint64) {
+	if shard < 0 || shard >= len(m.shardConflicts)-1 {
+		shard = len(m.shardConflicts) - 1
+	}
+	m.shardConflicts[shard].Add(n)
+}
+
+// snapshot folds the per-op histograms into the flat wire Stats shape
+// (phase sums + request count) and fills the server-lifetime latency
+// percentiles from the merged total histogram. The engine counters are
+// filled in by the caller.
+//
+// Consistency: each histogram/counter is read with individual atomic
+// loads while recording continues, so a snapshot may observe some of a
+// request's phase sums without its Requests increment (or vice versa)
+// — skew is bounded by the requests in flight at snapshot time. Every
+// field is monotone non-decreasing, so diffing two snapshots is
+// per-field exact and per-request means converge over any window that
+// dwarfs the in-flight count; the concurrent-snapshot test pins the
+// monotonicity half of this contract. (The previous flat-counter
+// implementation had the same torn window but left it undocumented.)
+func (m *metrics) snapshot() txkvwire.Stats {
+	var st txkvwire.Stats
+	var total obs.Hist
+	for op := 0; op < opCount; op++ {
+		om := &m.ops[op]
+		st.Requests += om.requests.Load()
+		ph := [phaseCount]obs.Hist{}
+		for p := 0; p < phaseCount; p++ {
+			ph[p] = om.phase[p].Snapshot()
+		}
+		st.ParseNs += ph[phaseParse].Sum
+		st.QueueNs += ph[phaseQueue].Sum
+		st.TxnNs += ph[phaseTxn].Sum
+		st.CommitNs += ph[phaseCommit].Sum
+		st.ReplyNs += ph[phaseReply].Sum
+		t := om.total.Snapshot()
+		total.Add(&t)
+	}
+	st.SrvP50Ns = total.Quantile(0.50)
+	st.SrvP99Ns = total.Quantile(0.99)
+	st.SrvP999Ns = total.Quantile(0.999)
+	return st
+}
+
+// newConnReader wraps the connection for frame reads: a frame header
+// and body coalesce into one syscall under pipelining. (Replies are
+// buffered symmetrically by serveConn's per-connection writer.)
 func newConnReader(c net.Conn) *bufio.Reader {
 	return bufio.NewReaderSize(c, 16<<10)
 }

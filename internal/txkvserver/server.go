@@ -16,13 +16,16 @@
 package txkvserver
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"swisstm/internal/harness"
+	"swisstm/internal/obs"
 	"swisstm/internal/stm"
 	"swisstm/internal/txkv"
 	"swisstm/internal/txkvwire"
@@ -40,6 +43,12 @@ type Config struct {
 	// Threads sizes the engine thread pool (default 8, capped at
 	// stm.MaxThreads).
 	Threads int
+	// Admin, when non-empty, is a second listen address serving the
+	// HTTP observability surface (DESIGN.md §11): GET /metrics
+	// (Prometheus text), /statz (JSON stats snapshot) and
+	// /debug/pprof/* (CPU/heap/block profiles). Off by default: the
+	// admin surface is unauthenticated, so bind it to loopback.
+	Admin string
 }
 
 func (c *Config) fill() error {
@@ -63,12 +72,16 @@ func (c *Config) fill() error {
 
 // Server is one listening txkv service instance.
 type Server struct {
-	cfg   Config
-	ln    net.Listener
-	eng   stm.STM
-	store *txkv.Store
-	pool  chan *worker
-	m     metrics
+	cfg    Config
+	ln     net.Listener
+	eng    stm.STM
+	store  *txkv.Store
+	pool   chan *worker
+	m      *metrics
+	txnObs *obs.TxnObs
+
+	adminLn  net.Listener
+	adminSrv *http.Server
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -90,11 +103,16 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if cfg.Engine.Kind == "" {
 		return nil, errors.New("txkvserver: no engine kind configured")
 	}
+	// Arm per-transaction telemetry on the server's own engine instance
+	// (the spec is a value copy, so this clobbers nothing outside it).
+	txnObs := obs.NewTxnObs()
+	cfg.Engine.TxnObs = txnObs
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine.New(),
-		pool:  make(chan *worker, cfg.Threads),
-		conns: make(map[net.Conn]struct{}),
+		cfg:    cfg,
+		eng:    cfg.Engine.New(),
+		txnObs: txnObs,
+		pool:   make(chan *worker, cfg.Threads),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		s.pool <- &worker{th: s.eng.NewThread(i)}
@@ -118,8 +136,20 @@ func Start(addr string, cfg Config) (*Server, error) {
 	}
 	s.pool <- w
 
+	s.m = newMetrics(s.store.Shards())
+	s.m.reg.RegisterCollector(s.collectEngine)
+
+	if cfg.Admin != "" {
+		if err := s.startAdmin(cfg.Admin); err != nil {
+			return nil, err
+		}
+	}
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if s.adminSrv != nil {
+			s.adminSrv.Close()
+		}
 		return nil, err
 	}
 	s.ln = ln
@@ -144,6 +174,9 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	err := s.ln.Close()
+	if s.adminSrv != nil {
+		s.adminSrv.Close()
+	}
 	for c := range s.conns {
 		c.Close()
 	}
@@ -183,9 +216,15 @@ func (s *Server) dropConn(conn net.Conn) {
 // serveConn runs one connection: read frame → decode → borrow thread →
 // transaction → reply, measuring each phase. Requests on one connection
 // are served in order; concurrency comes from concurrent connections.
+//
+// Replies go through a per-connection bufio.Writer flushed once per
+// frame, so a reply's 4-byte length prefix and payload always reach the
+// socket in one Write — a concurrent reader never observes a torn
+// frame, and header+payload coalesce into one syscall.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	br := newConnReader(conn)
+	bw := bufio.NewWriterSize(conn, 4<<10)
 	var fbuf, obuf []byte
 	for {
 		payload, err := txkvwire.ReadFrame(br, fbuf)
@@ -200,9 +239,11 @@ func (s *Server) serveConn(conn net.Conn) {
 
 		var reply txkvwire.Reply
 		var queueNs, txnNs, commitNs uint64
+		op := txkvwire.OpInvalid
 		if derr != nil {
 			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error()}
 		} else {
+			op = req.Op
 			reply, queueNs, txnNs, commitNs = s.dispatch(req)
 		}
 
@@ -214,12 +255,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			// frame rather than silently dropping the connection.
 			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply"})
 		}
-		if err := txkvwire.WriteFrame(conn, obuf); err != nil {
+		if err := txkvwire.WriteFrame(bw, obuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 		replyNs := uint64(time.Since(r0).Nanoseconds())
 
-		s.m.record(parseNs, queueNs, txnNs, commitNs, replyNs)
+		s.m.record(op, parseNs, queueNs, txnNs, commitNs, replyNs)
 	}
 }
 
@@ -237,9 +281,32 @@ func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnN
 	q0 := time.Now()
 	w := <-s.pool
 	queueNs = uint64(time.Since(q0).Nanoseconds())
+	abortsBefore := w.th.Stats().Aborts
 	reply, txnNs, commitNs = s.execute(w, req)
+	// Attribute this request's engine aborts to the shard its (first)
+	// key hashes to — the per-shard conflict heat map (DESIGN.md §11).
+	// Safe while we hold the worker: the thread is quiescent between
+	// its transactions, and only the borrower touches it.
+	if d := w.th.Stats().Aborts - abortsBefore; d > 0 {
+		s.m.recordConflicts(s.reqShard(req), d)
+	}
 	s.pool <- w
 	return reply, queueNs, txnNs, commitNs
+}
+
+// reqShard maps a request to the store shard its first key hashes to,
+// or −1 for requests that touch many shards (sum/len/batch) and so
+// belong in the "multi" conflict bucket.
+func (s *Server) reqShard(req txkvwire.Req) int {
+	switch req.Op {
+	case txkvwire.OpGet, txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS:
+		return s.store.ShardOf(stm.Word(req.Key))
+	case txkvwire.OpTransfer:
+		if len(req.Keys) > 0 {
+			return s.store.ShardOf(stm.Word(req.Keys[0]))
+		}
+	}
+	return -1
 }
 
 // validate rejects requests that the store defines as configuration
@@ -440,24 +507,48 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64) txkvwi
 	return txkvwire.Reply{Op: req.Op, Sub: subs}
 }
 
-// statsReply snapshots the phase counters and the engine commit/abort
-// totals. It drains the whole thread pool so every thread is idle while
-// its counters are read (stm.Thread.Stats is not safe to call
-// concurrently with the thread's own transactions); requests queued
-// behind the drain simply see one long queue phase.
-func (s *Server) statsReply() txkvwire.Reply {
+// drainStats sums the engine counters across the whole thread pool. It
+// drains the pool so every thread is idle while its counters are read
+// (stm.Thread.Stats is not safe to call concurrently with the thread's
+// own transactions); requests queued behind the drain simply see one
+// long queue phase.
+func (s *Server) drainStats() stm.Stats {
 	ws := make([]*worker, cap(s.pool))
 	for i := range ws {
 		ws[i] = <-s.pool
 	}
-	st := s.m.snapshot()
+	var sum stm.Stats
 	for _, w := range ws {
-		es := w.th.Stats()
-		st.Commits += es.Commits
-		st.Aborts += es.Aborts
+		sum.Add(w.th.Stats())
 	}
 	for _, w := range ws {
 		s.pool <- w
 	}
+	return sum
+}
+
+// statsSnapshot builds the full wire Stats: phase sums and latency
+// percentiles from the metrics registry, engine totals and the raw
+// abort-cause taxonomy from the drained thread pool.
+func (s *Server) statsSnapshot() txkvwire.Stats {
+	st := s.m.snapshot()
+	es := s.drainStats()
+	st.Commits = es.Commits
+	st.Aborts = es.Aborts
+	st.AbortsWW = es.AbortsWW
+	st.AbortsValid = es.AbortsValid
+	st.AbortsLocked = es.AbortsLocked
+	st.AbortsKilled = es.AbortsKilled
+	st.AbortsExplicit = es.AbortsExplicit
+	st.AbortsUser = es.AbortsUser
+	st.LockAcquireFail = es.LockAcquireFail
+	st.AbortsValidRead = es.AbortsValidRead
+	st.AbortsValidCommit = es.AbortsValidCommit
+	return st
+}
+
+// statsReply answers the wire Stats op.
+func (s *Server) statsReply() txkvwire.Reply {
+	st := s.statsSnapshot()
 	return txkvwire.Reply{Op: txkvwire.OpStats, Stats: &st}
 }

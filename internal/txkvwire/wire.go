@@ -93,6 +93,8 @@ func (o Op) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpInvalid:
+		return "invalid"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -123,7 +125,14 @@ type Reply struct {
 
 // Stats is the server's cumulative counter snapshot: flat per-request
 // phase nanosecond sums (divide by Requests for means) plus the engine's
-// commit/abort totals across the server's thread pool.
+// commit/abort totals across the server's thread pool, the raw
+// abort-cause taxonomy counters (DESIGN.md §11; they partition Aborts,
+// so clients may diff them like every other cumulative field), and the
+// server-lifetime request-latency percentiles. The percentile fields
+// are point-in-time quantile reads of the server's whole-life latency
+// histogram — NOT cumulative, so they must not be diffed; a load run
+// wanting run-scoped percentiles reads them from its final snapshot of
+// a server started for that run.
 type Stats struct {
 	Requests uint64 // requests fully served (reply flushed)
 	ParseNs  uint64 // frame decode
@@ -133,6 +142,24 @@ type Stats struct {
 	ReplyNs  uint64 // reply encode + write + flush
 	Commits  uint64 // engine transactions committed
 	Aborts   uint64 // engine transactions aborted
+
+	// Raw stm.Stats abort-cause counters (their sum equals Aborts).
+	AbortsWW        uint64 // eager write/write arbitration losses
+	AbortsValid     uint64 // validation failures (read- + commit-time)
+	AbortsLocked    uint64 // read of a locked location
+	AbortsKilled    uint64 // killed by another thread's contention manager
+	AbortsExplicit  uint64 // user-requested Restart
+	AbortsUser      uint64 // user-level errors delivered via AtomicErr
+	LockAcquireFail uint64 // commit-time lock acquisition conflicts
+	// Validation split: AbortsValidRead + AbortsValidCommit == AbortsValid.
+	AbortsValidRead   uint64 // failed mid-body (read-time extension/validation)
+	AbortsValidCommit uint64 // failed at commit-time validation
+
+	// Server-lifetime request latency percentiles (ns, histogram upper
+	// bounds, ≤12.5% relative error). Not cumulative: do not diff.
+	SrvP50Ns  uint64
+	SrvP99Ns  uint64
+	SrvP999Ns uint64
 }
 
 // ErrFrameTooLarge reports a frame length prefix above MaxFrame.
@@ -352,6 +379,10 @@ func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
 			r.Stats.Requests, r.Stats.ParseNs, r.Stats.QueueNs,
 			r.Stats.TxnNs, r.Stats.CommitNs, r.Stats.ReplyNs,
 			r.Stats.Commits, r.Stats.Aborts,
+			r.Stats.AbortsWW, r.Stats.AbortsValid, r.Stats.AbortsLocked,
+			r.Stats.AbortsKilled, r.Stats.AbortsExplicit, r.Stats.AbortsUser,
+			r.Stats.LockAcquireFail, r.Stats.AbortsValidRead, r.Stats.AbortsValidCommit,
+			r.Stats.SrvP50Ns, r.Stats.SrvP99Ns, r.Stats.SrvP999Ns,
 		} {
 			dst = binary.LittleEndian.AppendUint64(dst, v)
 		}
@@ -426,6 +457,10 @@ func decodeReply(c *cursor, batchOK bool) Reply {
 			&s.Requests, &s.ParseNs, &s.QueueNs,
 			&s.TxnNs, &s.CommitNs, &s.ReplyNs,
 			&s.Commits, &s.Aborts,
+			&s.AbortsWW, &s.AbortsValid, &s.AbortsLocked,
+			&s.AbortsKilled, &s.AbortsExplicit, &s.AbortsUser,
+			&s.LockAcquireFail, &s.AbortsValidRead, &s.AbortsValidCommit,
+			&s.SrvP50Ns, &s.SrvP99Ns, &s.SrvP999Ns,
 		} {
 			*p = c.u64()
 		}

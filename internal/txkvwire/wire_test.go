@@ -69,6 +69,10 @@ func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
 			Requests: rng.Next(), ParseNs: rng.Next(), QueueNs: rng.Next(),
 			TxnNs: rng.Next(), CommitNs: rng.Next(), ReplyNs: rng.Next(),
 			Commits: rng.Next(), Aborts: rng.Next(),
+			AbortsWW: rng.Next(), AbortsValid: rng.Next(), AbortsLocked: rng.Next(),
+			AbortsKilled: rng.Next(), AbortsExplicit: rng.Next(), AbortsUser: rng.Next(),
+			LockAcquireFail: rng.Next(), AbortsValidRead: rng.Next(), AbortsValidCommit: rng.Next(),
+			SrvP50Ns: rng.Next(), SrvP99Ns: rng.Next(), SrvP999Ns: rng.Next(),
 		}
 	}
 	return r
