@@ -8,11 +8,11 @@ GO ?= go
 # txkv rides along for its concurrent transfer-invariant test; the
 # server stack (wire/server/client) because its tests run many TCP
 # connections against one shared engine.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs ./internal/wal
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples grid fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover grid fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench:
 # aborts/op, including the forced-conflict abort tier) of the core
 # engine micro-benchmarks and writes the machine-readable perf artifact
 # CI accumulates (non-gating; see DESIGN.md §7–§8).
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
@@ -116,6 +116,16 @@ smoke-server:
 smoke-obs:
 	$(GO) run ./cmd/obssmoke
 
+# smoke-recover is the kill/recover durability gate (DESIGN.md §12):
+# per engine, crashkv SIGKILLs a real txkvserver process mid-load with
+# the commit log in group-fsync mode, then fails on a log checksum
+# error, a lost acknowledged write, or a restarted server whose state
+# disagrees with an independent replay of the log.
+smoke-recover:
+	$(GO) build -o bin/txkvserver ./cmd/txkvserver
+	$(GO) run ./cmd/crashkv -server bin/txkvserver \
+		-engines swisstm,tl2,tinystm,rstm -fsync group -warm 200ms
+
 # grid runs the full experiment grid from scripts/experiments.json into
 # one merged CSV artifact (override cell size with GRID_OPS, e.g.
 # `make grid GRID_OPS=300` for a quick pass).
@@ -137,4 +147,4 @@ smoke-examples:
 	done
 	@echo "smoke-examples OK: all examples ran and self-checked"
 
-ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples
+ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover

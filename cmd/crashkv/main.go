@@ -1,0 +1,246 @@
+// Command crashkv is the kill/recover durability oracle (DESIGN.md
+// §12): per engine it launches a real txkvserver process with the
+// commit log on, applies concurrent load over TCP while recording the
+// last acknowledged write per client, SIGKILLs the server mid-load,
+// and then checks three things:
+//
+//  1. The log's clean prefix replays without checksum errors
+//     (an independent in-process replay, not the server's).
+//  2. Every acknowledged write survived: for each client key,
+//     replayed value is between the last acked and last issued write
+//     (a later unacked write may legitimately have reached the log).
+//  3. A restarted server on the same directory serves exactly the
+//     replayed state (per-key values, key count, total balance) —
+//     and then shuts down cleanly on SIGTERM.
+//
+// Any violation exits non-zero. This is the crash half of the
+// durability contract; the graceful half (drain loses nothing) is
+// pinned by the txkvserver tests.
+//
+// Usage:
+//
+//	go build -o bin/txkvserver ./cmd/txkvserver
+//	go run ./cmd/crashkv -server bin/txkvserver -engines swisstm,tl2,tinystm,rstm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/wal"
+)
+
+func main() {
+	var (
+		serverBin = flag.String("server", "bin/txkvserver", "path to a txkvserver binary (a real process, so SIGKILL is a real crash)")
+		engines   = flag.String("engines", "swisstm,tl2,tinystm,rstm", "comma-separated engine kinds to crash")
+		fsync     = flag.String("fsync", "group", "commit log durability mode under test")
+		keys      = flag.Int("keys", 256, "server key population")
+		clients   = flag.Int("clients", 4, "concurrent load connections")
+		warm      = flag.Duration("warm", 200*time.Millisecond, "load duration before the kill")
+	)
+	flag.Parse()
+	if _, err := os.Stat(*serverBin); err != nil {
+		fmt.Fprintf(os.Stderr, "crashkv: server binary: %v (build it: go build -o bin/txkvserver ./cmd/txkvserver)\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, kind := range strings.Split(*engines, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" {
+			continue
+		}
+		if err := crashOne(*serverBin, kind, *fsync, *keys, *clients, *warm); err != nil {
+			fmt.Fprintf(os.Stderr, "crashkv: %s: FAIL: %v\n", kind, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("crashkv OK: every acked write survived SIGKILL on every engine")
+}
+
+// server is one launched txkvserver process.
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// launch starts the server binary with the commit log in dir and waits
+// for its portfile to announce the bound address.
+func launch(bin, kind, fsync string, keys int, dir string) (*server, error) {
+	pf := filepath.Join(dir, "..", filepath.Base(dir)+".port")
+	os.Remove(pf)
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-engine", kind, "-keys", fmt.Sprint(keys),
+		"-wal", dir, "-fsync", fsync, "-portfile", pf)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(pf)
+		if err == nil && len(b) > 0 {
+			return &server{cmd: cmd, addr: strings.TrimSpace(string(b))}, nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("server never wrote %s", pf)
+		}
+		if cmd.ProcessState != nil {
+			return nil, fmt.Errorf("server exited before listening")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func crashOne(bin, kind, fsync string, keys, clients int, warm time.Duration) error {
+	base, err := os.MkdirTemp("", "crashkv-"+kind+"-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+	dir := filepath.Join(base, "wal")
+
+	srv, err := launch(bin, kind, fsync, keys, dir)
+	if err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	defer func() {
+		srv.cmd.Process.Kill()
+		srv.cmd.Wait()
+	}()
+
+	// Load: each client owns one fresh key and writes v=1,2,3,...
+	// recording the last acknowledged and last issued value. Monotone
+	// per-key values make "did my acked write survive" a ≤ check.
+	lastAcked := make([]uint64, clients)
+	lastIssued := make([]uint64, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := txkvclient.DialRetry(srv.addr, 5*time.Second)
+			if err != nil {
+				return // the kill can race the dial; the ack check below decides
+			}
+			defer cl.Close()
+			key := uint64(10_000 + g)
+			for v := uint64(1); ; v++ {
+				lastIssued[g] = v
+				if _, err := cl.Put(key, v); err != nil {
+					return // server is gone
+				}
+				lastAcked[g] = v
+			}
+		}()
+	}
+	time.Sleep(warm)
+	if err := srv.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		return fmt.Errorf("kill: %w", err)
+	}
+	srv.cmd.Wait()
+	wg.Wait()
+
+	var acked uint64
+	for _, v := range lastAcked {
+		acked += v
+	}
+	if acked == 0 {
+		return fmt.Errorf("no write was acknowledged before the kill; nothing tested (raise -warm)")
+	}
+
+	// Independent replay of the log's clean prefix. A checksum or
+	// divergence error here is a durability bug, not a torn tail —
+	// Recover stops cleanly at those.
+	spec := harness.EngineSpec{Kind: kind, Manager: "polka"}
+	th := spec.New().NewThread(0)
+	store, info, err := txkv.ReplayWAL(wal.OSFS{}, dir, th)
+	if err != nil || store == nil {
+		return fmt.Errorf("replaying log after crash: %w (store nil: %v)", err, store == nil)
+	}
+	var replayLen, replaySum uint64
+	replayVals := make([]uint64, clients)
+	replayFound := make([]bool, clients)
+	stm.AtomicVoid(th, func(tx stm.Tx) {
+		replayLen = uint64(store.Len(tx))
+		replaySum = uint64(store.SumAll(tx))
+		for g := 0; g < clients; g++ {
+			v, ok := store.Get(tx, stm.Word(10_000+g))
+			replayVals[g], replayFound[g] = uint64(v), ok
+		}
+	})
+	for g := 0; g < clients; g++ {
+		if lastAcked[g] == 0 {
+			continue
+		}
+		if !replayFound[g] {
+			return fmt.Errorf("client %d: acked writes up to %d but key missing from replayed log", g, lastAcked[g])
+		}
+		if replayVals[g] < lastAcked[g] || replayVals[g] > lastIssued[g] {
+			return fmt.Errorf("client %d: replayed value %d outside [last acked %d, last issued %d]",
+				g, replayVals[g], lastAcked[g], lastIssued[g])
+		}
+	}
+
+	// Restart on the same directory: the server must serve exactly the
+	// replayed state.
+	srv2, err := launch(bin, kind, fsync, keys, dir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer func() {
+		srv2.cmd.Process.Kill()
+		srv2.cmd.Wait()
+	}()
+	cl, err := txkvclient.DialRetry(srv2.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial restarted server: %w", err)
+	}
+	defer cl.Close()
+	if n, err := cl.Len(); err != nil || n != replayLen {
+		return fmt.Errorf("restarted Len = %d (err %v), replay says %d", n, err, replayLen)
+	}
+	if sum, err := cl.Sum(-1); err != nil || sum != replaySum {
+		return fmt.Errorf("restarted Sum = %d (err %v), replay says %d", sum, err, replaySum)
+	}
+	for g := 0; g < clients; g++ {
+		if lastAcked[g] == 0 {
+			continue
+		}
+		v, found, err := cl.Get(uint64(10_000 + g))
+		if err != nil || !found || v != replayVals[g] {
+			return fmt.Errorf("client %d: restarted server has %d/%v (err %v), replay says %d",
+				g, v, found, err, replayVals[g])
+		}
+	}
+
+	// Graceful exit: SIGTERM must drain and exit zero.
+	if err := srv2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sigterm: %w", err)
+	}
+	if err := srv2.cmd.Wait(); err != nil {
+		return fmt.Errorf("restarted server did not exit cleanly on SIGTERM: %w", err)
+	}
+
+	fmt.Printf("crashkv: %s: acked=%d frames=%d truncated=%v — all acked writes recovered\n",
+		kind, acked, info.Frames, info.Truncated)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"swisstm/internal/txkv"
 	"swisstm/internal/txkvclient"
 	"swisstm/internal/txkvserver"
+	"swisstm/internal/wal"
 )
 
 func main() {
@@ -57,6 +59,10 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | csv | jsonl")
 		outDir  = flag.String("out", "", "directory for result files (default txkvload_runs for csv/jsonl)")
 		name    = flag.String("name", "txkvload", "result file base name")
+		walDir  = flag.String("wal", "", "launch mode: durable commit log directory for the launched server (a fresh subdirectory per point; off when empty)")
+		fsync   = flag.String("fsync", "group", "launch mode: commit log durability, always | group | none")
+		timeout = flag.Duration("timeout", 0, "per-request client deadline (0 = none)")
+		retries = flag.Int("retries", 0, "per-request transport-failure retry budget (0 = fail fast)")
 	)
 	flag.Parse()
 	if !results.KnownFormat(*format) {
@@ -73,6 +79,15 @@ func main() {
 	}
 	if *zipf < 0 || *zipf >= 1 {
 		fmt.Fprintf(os.Stderr, "txkvload: -zipf %v out of range (want 0 for uniform, or θ in (0,1))\n", *zipf)
+		os.Exit(2)
+	}
+	syncMode, err := wal.ParseSyncMode(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvload:", err)
+		os.Exit(2)
+	}
+	if *walDir != "" && !*launch {
+		fmt.Fprintln(os.Stderr, "txkvload: -wal only applies to -launch mode (point -addr at a server started with -wal instead)")
 		os.Exit(2)
 	}
 
@@ -129,10 +144,16 @@ func main() {
 						target := *addr
 						var srv *txkvserver.Server
 						if *launch {
+							scfg := txkvserver.Config{Engine: spec, Keys: *keys}
+							if *walDir != "" {
+								// A fresh log directory per point: replaying a
+								// previous point's log would skew the oracles.
+								scfg.WALDir = filepath.Join(*walDir,
+									fmt.Sprintf("%s-%s-c%d-r%d", spec.Kind, mix.Name, nc, rep))
+								scfg.WALSync = syncMode
+							}
 							var err error
-							srv, err = txkvserver.Start("127.0.0.1:0", txkvserver.Config{
-								Engine: spec, Keys: *keys,
-							})
+							srv, err = txkvserver.Start("127.0.0.1:0", scfg)
 							if err != nil {
 								return fmt.Errorf("%s: launch %s: %w", wl, spec.Kind, err)
 							}
@@ -146,6 +167,7 @@ func main() {
 							Addr: target, Mix: mix, Conns: nc,
 							Keys: *keys, Zipf: *zipf, Seed: runSeed,
 							Ops: *ops, Rate: *rate, LateThreshold: *late,
+							Timeout: *timeout, Retries: *retries,
 						})
 						if srv != nil {
 							srv.Close()
@@ -186,6 +208,10 @@ func main() {
 			r.Aborts, r.AbortsValidRead, r.AbortsValidCommit,
 			r.AbortsWW+r.AbortsLocked+r.LockAcquireFail,
 			r.OfferedRate, r.AchievedRate, r.LateOps, r.CheckedOK)
+		if r.WalFrames > 0 || r.Retries > 0 || r.Reconnects > 0 {
+			fmt.Printf("  wal: frames=%d bytes=%d mean_wal=%.0fns recovered=%d retries=%d reconnects=%d\n",
+				r.WalFrames, r.WalBytes, r.PhaseWalNs, r.WalRecoveredFrames, r.Retries, r.Reconnects)
+		}
 	}
 	if oracleFailures > 0 {
 		fmt.Fprintf(os.Stderr, "txkvload: %d point(s) failed their oracles\n", oracleFailures)

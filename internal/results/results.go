@@ -98,6 +98,21 @@ type Record struct {
 
 	AbortRate float64 `json:"abort_rate"` // aborts / (commits + aborts)
 	CheckedOK bool    `json:"checked_ok"` // post-run validation outcome
+
+	// Durable-commit-log profile (DESIGN.md §12), populated by the txkv
+	// load harness when the server runs with -wal; zero otherwise.
+	// PhaseWalNs is the server's mean per-request time spent appending
+	// to (and, under -fsync group/always, waiting on) the commit log.
+	PhaseWalNs         float64 `json:"phase_wal_ns"`
+	WalFrames          uint64  `json:"wal_frames"`           // redo records appended over the run
+	WalBytes           uint64  `json:"wal_bytes"`            // log bytes written over the run
+	WalRecoveredFrames uint64  `json:"wal_recovered_frames"` // frames replayed at server start
+
+	// Client-resilience counters (DESIGN.md §10): per-request retries
+	// after transport failures and successful reconnects, summed across
+	// the load generator's connections.
+	Retries    uint64 `json:"retries"`
+	Reconnects uint64 `json:"reconnects"`
 }
 
 // SetStats copies the full per-run statistics breakdown into r.
@@ -138,6 +153,8 @@ var header = []string{
 	"phase_parse_ns", "phase_queue_ns", "phase_txn_ns", "phase_commit_ns", "phase_reply_ns",
 	"offered_rate", "achieved_rate", "late_ops",
 	"abort_rate", "checked_ok",
+	"phase_wal_ns", "wal_frames", "wal_bytes", "wal_recovered_frames",
+	"retries", "reconnects",
 }
 
 func (r Record) row() []string {
@@ -183,6 +200,12 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.LateOps, 10),
 		strconv.FormatFloat(r.AbortRate, 'g', -1, 64),
 		strconv.FormatBool(r.CheckedOK),
+		strconv.FormatFloat(r.PhaseWalNs, 'g', -1, 64),
+		strconv.FormatUint(r.WalFrames, 10),
+		strconv.FormatUint(r.WalBytes, 10),
+		strconv.FormatUint(r.WalRecoveredFrames, 10),
+		strconv.FormatUint(r.Retries, 10),
+		strconv.FormatUint(r.Reconnects, 10),
 	}
 }
 
@@ -274,6 +297,10 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		default:
 			keep(fmt.Errorf("bad checked_ok value %q", row[44]))
 		}
+		rec.PhaseWalNs = f64(row[45])
+		rec.WalFrames, rec.WalBytes = u64(row[46]), u64(row[47])
+		rec.WalRecoveredFrames = u64(row[48])
+		rec.Retries, rec.Reconnects = u64(row[49]), u64(row[50])
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
 		}
@@ -458,6 +485,15 @@ type BenchRecord struct {
 	// (0 on the RO rows — TL2's read-only commit replays nothing).
 	ROCommitsPerOp       float64 `json:"ro_commits_per_op,omitempty"`
 	ValidationReadsPerOp float64 `json:"validation_reads_per_op,omitempty"`
+
+	// Commit-log price (wal tier, DESIGN.md §12): latency quantiles
+	// from the log writer's own histograms over the whole run. AppendNs
+	// is Publish-call-to-durable and only recorded by the waiting sync
+	// modes, so the fsync-none twin reports zeros here and its cost
+	// shows up in NsPerOp instead.
+	WalAppendP50Ns uint64 `json:"wal_append_p50_ns,omitempty"`
+	WalAppendP99Ns uint64 `json:"wal_append_p99_ns,omitempty"`
+	WalFsyncP99Ns  uint64 `json:"wal_fsync_p99_ns,omitempty"`
 }
 
 // WriteBenchJSON writes recs as one JSON document (an array), the

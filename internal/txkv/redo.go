@@ -1,0 +1,266 @@
+package txkv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/wal"
+)
+
+// Redo records (DESIGN.md §12): each WAL frame carries one redo
+// record — the logical effect of one acknowledged, committed txkv
+// transaction. A record is a short list of entries so that an
+// all-or-nothing batch is one frame (one atomic replay unit).
+//
+// Record payload layout (little-endian):
+//
+//	[ count u16 | entry... ]
+//
+// Entry layouts by op byte:
+//
+//	RedoInit:     [ op u8 | keys u64 | balance u64 ]
+//	RedoPut:      [ op u8 | key u64 | val u64 ]
+//	RedoDelete:   [ op u8 | key u64 ]
+//	RedoTransfer: [ op u8 | amount u64 | nkeys u16 | key u64 ... ]
+//
+// RedoInit is only valid as the single entry of frame 1: it records
+// the baseline population (keys 1..keys at balance each) that the
+// server seeded before serving, so replay reconstructs state without
+// any out-of-band configuration. A successful CAS is logged as a
+// RedoPut of its post-image; failed operations and reads log nothing.
+
+// RedoOp identifies a redo entry kind.
+type RedoOp uint8
+
+const (
+	// RedoInit seeds keys 1..Key with value Val each (frame 1 only).
+	RedoInit RedoOp = iota + 1
+	// RedoPut sets Key → Val.
+	RedoPut
+	// RedoDelete removes Key (which must be present at replay).
+	RedoDelete
+	// RedoTransfer moves Amount from Keys[0] to each of Keys[1:].
+	RedoTransfer
+)
+
+// RedoEntry is one logical mutation inside a redo record. Key/Val
+// double as keys/balance for RedoInit.
+type RedoEntry struct {
+	Op     RedoOp
+	Key    stm.Word
+	Val    stm.Word
+	Amount stm.Word
+	Keys   []stm.Word
+}
+
+// MaxRedoEntries bounds the entries in one record (mirrors the wire
+// protocol's batch cap).
+const MaxRedoEntries = 256
+
+// AppendRedo encodes entries onto dst and returns the extended slice.
+func AppendRedo(dst []byte, entries []RedoEntry) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > MaxRedoEntries {
+		return nil, fmt.Errorf("txkv: redo record with %d entries (want 1..%d)", len(entries), MaxRedoEntries)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		dst = append(dst, byte(e.Op))
+		switch e.Op {
+		case RedoInit, RedoPut:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Key))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Val))
+		case RedoDelete:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Key))
+		case RedoTransfer:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Amount))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Keys)))
+			for _, k := range e.Keys {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(k))
+			}
+		default:
+			return nil, fmt.Errorf("txkv: redo entry with unknown op %d", e.Op)
+		}
+	}
+	return dst, nil
+}
+
+// redoCursor is a bounds-checked decoder (the txkvwire cursor idiom):
+// accessors record the first error and return zeros afterwards, so
+// DecodeRedo is straight-line and cannot index out of bounds.
+type redoCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *redoCursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *redoCursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if len(c.b)-c.off < n {
+		c.fail(fmt.Errorf("txkv: truncated redo record (need %d bytes at offset %d of %d)", n, c.off, len(c.b)))
+		return false
+	}
+	return true
+}
+
+func (c *redoCursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *redoCursor) u16() uint16 {
+	if !c.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *redoCursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// DecodeRedo decodes one record. It never panics on arbitrary bytes
+// and rejects trailing garbage.
+func DecodeRedo(payload []byte) ([]RedoEntry, error) {
+	c := &redoCursor{b: payload}
+	n := int(c.u16())
+	if c.err == nil && (n < 1 || n > MaxRedoEntries) {
+		c.fail(fmt.Errorf("txkv: redo record with %d entries (want 1..%d)", n, MaxRedoEntries))
+	}
+	var entries []RedoEntry
+	for i := 0; i < n && c.err == nil; i++ {
+		var e RedoEntry
+		e.Op = RedoOp(c.u8())
+		switch e.Op {
+		case RedoInit, RedoPut:
+			e.Key = stm.Word(c.u64())
+			e.Val = stm.Word(c.u64())
+		case RedoDelete:
+			e.Key = stm.Word(c.u64())
+		case RedoTransfer:
+			e.Amount = stm.Word(c.u64())
+			nk := int(c.u16())
+			if !c.need(8 * nk) {
+				break
+			}
+			e.Keys = make([]stm.Word, nk)
+			for j := range e.Keys {
+				e.Keys[j] = stm.Word(c.u64())
+			}
+		default:
+			c.fail(fmt.Errorf("txkv: redo entry %d has unknown op %d", i, e.Op))
+		}
+		if c.err == nil {
+			entries = append(entries, e)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(payload) {
+		return nil, fmt.Errorf("txkv: %d trailing bytes after redo record", len(payload)-c.off)
+	}
+	return entries, nil
+}
+
+// initChunk bounds the keys seeded per prefill transaction, keeping
+// the allocation transactions short on every engine.
+const initChunk = 256
+
+// NewInitialized builds a store sized for keys and seeds keys 1..keys
+// with balance each — the server's baseline population and the replay
+// meaning of RedoInit.
+func NewInitialized(th stm.Thread, keys int, balance stm.Word) *Store {
+	s := New(th, ConfigForKeys(keys))
+	for lo := 1; lo <= keys; lo += initChunk {
+		hi := lo + initChunk - 1
+		if hi > keys {
+			hi = keys
+		}
+		stm.AtomicVoid(th, func(tx stm.Tx) {
+			for k := lo; k <= hi; k++ {
+				s.Put(tx, stm.Word(k), balance)
+			}
+		})
+	}
+	return s
+}
+
+// ApplyRedo replays one redo record as a single transaction. A
+// mutation the log says succeeded but the store rejects (deleting an
+// absent key, an impossible transfer) is divergence — the log prefix
+// no longer describes this store — and fails the replay.
+func (s *Store) ApplyRedo(th stm.Thread, entries []RedoEntry) error {
+	_, err := stm.AtomicErr(th, func(tx stm.Tx) (struct{}, error) {
+		for i := range entries {
+			e := &entries[i]
+			switch e.Op {
+			case RedoPut:
+				s.Put(tx, e.Key, e.Val)
+			case RedoDelete:
+				if !s.Delete(tx, e.Key) {
+					return struct{}{}, fmt.Errorf("txkv: redo delete of absent key %d (log diverged from store)", e.Key)
+				}
+			case RedoTransfer:
+				if !s.Transfer(tx, e.Keys, e.Amount) {
+					return struct{}{}, fmt.Errorf("txkv: redo transfer of %d over %v failed (log diverged from store)", e.Amount, e.Keys)
+				}
+			default:
+				return struct{}{}, fmt.Errorf("txkv: redo entry with op %d is not replayable mid-log", e.Op)
+			}
+		}
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// ReplayWAL recovers the log in dir and replays its clean prefix into
+// a fresh store on th's engine. It returns a nil store when the log
+// holds no frames (a fresh directory: the caller seeds and logs
+// RedoInit itself). A log whose first frame is not a RedoInit record,
+// or whose records diverge from the rebuilt store, is an error — the
+// log does not describe a txkv history.
+func ReplayWAL(fs wal.FS, dir string, th stm.Thread) (*Store, wal.RecoverInfo, error) {
+	var s *Store
+	info, err := wal.Recover(fs, dir, func(lsn uint64, payload []byte) error {
+		entries, err := DecodeRedo(payload)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", lsn, err)
+		}
+		if s == nil {
+			if len(entries) != 1 || entries[0].Op != RedoInit {
+				return fmt.Errorf("frame %d: log does not begin with an init record", lsn)
+			}
+			s = NewInitialized(th, int(entries[0].Key), entries[0].Val)
+			return nil
+		}
+		if err := s.ApplyRedo(th, entries); err != nil {
+			return fmt.Errorf("frame %d: %w", lsn, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	return s, info, nil
+}

@@ -1,0 +1,202 @@
+package txkv_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/wal"
+)
+
+func TestRedoRoundTrip(t *testing.T) {
+	records := [][]txkv.RedoEntry{
+		{{Op: txkv.RedoInit, Key: 512, Val: 1000}},
+		{{Op: txkv.RedoPut, Key: 7, Val: 77}},
+		{{Op: txkv.RedoDelete, Key: 7}},
+		{{Op: txkv.RedoTransfer, Amount: 5, Keys: []stm.Word{1, 2, 3}}},
+		{ // a batch: several entries in one atomic record
+			{Op: txkv.RedoPut, Key: 1, Val: 10},
+			{Op: txkv.RedoDelete, Key: 2},
+			{Op: txkv.RedoTransfer, Amount: 1, Keys: []stm.Word{3, 4}},
+		},
+	}
+	for i, entries := range records {
+		buf, err := txkv.AppendRedo(nil, entries)
+		if err != nil {
+			t.Fatalf("record %d: encode: %v", i, err)
+		}
+		got, err := txkv.DecodeRedo(buf)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("record %d: round trip\n got %+v\nwant %+v", i, got, entries)
+		}
+	}
+}
+
+func TestRedoDecodeRejectsMalformedInput(t *testing.T) {
+	valid, _ := txkv.AppendRedo(nil, []txkv.RedoEntry{{Op: txkv.RedoPut, Key: 1, Val: 2}})
+	bad := [][]byte{
+		{},                   // no count
+		{0, 0},               // zero entries
+		{1, 0},               // one entry, no body
+		{1, 0, 99},           // unknown op
+		valid[:len(valid)-1], // truncated entry
+		append(valid[:len(valid):len(valid)], 0xff), // trailing garbage
+	}
+	for i, b := range bad {
+		if _, err := txkv.DecodeRedo(b); err == nil {
+			t.Fatalf("case %d: DecodeRedo accepted %x", i, b)
+		}
+	}
+	if _, err := txkv.AppendRedo(nil, nil); err == nil {
+		t.Fatal("AppendRedo accepted an empty record")
+	}
+}
+
+// appendRecord encodes and durably appends one redo record.
+func appendRecord(t *testing.T, w *wal.Writer, entries []txkv.RedoEntry) {
+	t.Helper()
+	buf, err := txkv.AppendRedo(nil, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayWALRebuildsStore(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e stm.STM) {
+		dir := t.TempDir()
+		const keys, balance = 64, 100
+		w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoInit, Key: keys, Val: balance}})
+		appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoPut, Key: 3, Val: 333}})
+		appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoTransfer, Amount: 10, Keys: []stm.Word{1, 2, 4}}})
+		appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoDelete, Key: 5}})
+		appendRecord(t, w, []txkv.RedoEntry{ // batch is atomic
+			{Op: txkv.RedoPut, Key: 6, Val: 60},
+			{Op: txkv.RedoPut, Key: 200, Val: 60},
+		})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		th := e.NewThread(0)
+		s, info, err := txkv.ReplayWAL(wal.OSFS{}, dir, th)
+		if err != nil {
+			t.Fatalf("ReplayWAL: %v", err)
+		}
+		if s == nil || info.Frames != 5 || info.Truncated {
+			t.Fatalf("replay info = %+v (store nil: %v)", info, s == nil)
+		}
+
+		want := map[stm.Word]stm.Word{3: 333, 1: balance - 20, 2: balance + 10, 4: balance + 10, 6: 60, 200: 60}
+		stm.AtomicVoid(th, func(tx stm.Tx) {
+			for k, v := range want {
+				got, ok := s.Get(tx, k)
+				if !ok || got != v {
+					t.Fatalf("replayed Get(%d) = %d,%v; want %d", k, got, ok, v)
+				}
+			}
+			if _, ok := s.Get(tx, 5); ok {
+				t.Fatal("deleted key 5 survived replay")
+			}
+			// 64 seeded − 1 deleted + 1 inserted (3 and 6 overwrote seeds).
+			if got, wantLen := s.Len(tx), keys-1+1; got != wantLen {
+				t.Fatalf("replayed Len = %d, want %d", got, wantLen)
+			}
+		})
+	})
+}
+
+func TestReplayEmptyAndMissingLog(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e stm.STM) {
+		th := e.NewThread(0)
+		s, info, err := txkv.ReplayWAL(wal.OSFS{}, filepath.Join(t.TempDir(), "never-created"), th)
+		if err != nil || s != nil || info.Frames != 0 {
+			t.Fatalf("missing dir: store=%v info=%+v err=%v", s, info, err)
+		}
+	})
+}
+
+func TestReplayRejectsLogWithoutInit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoPut, Key: 1, Val: 1}})
+	w.Close()
+	spec := engineSpecs[0]
+	th := spec.New().NewThread(0)
+	if _, _, err := txkv.ReplayWAL(wal.OSFS{}, dir, th); err == nil ||
+		!strings.Contains(err.Error(), "init record") {
+		t.Fatalf("replay of init-less log: %v", err)
+	}
+}
+
+func TestReplayDivergenceFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoInit, Key: 8, Val: 10}})
+	appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoDelete, Key: 999}}) // never existed
+	w.Close()
+	spec := engineSpecs[0]
+	th := spec.New().NewThread(0)
+	if _, _, err := txkv.ReplayWAL(wal.OSFS{}, dir, th); err == nil ||
+		!strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("replay of diverged log: %v", err)
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoInit, Key: 8, Val: 10}})
+	appendRecord(t, w, []txkv.RedoEntry{{Op: txkv.RedoPut, Key: 1, Val: 11}})
+	w.Close()
+
+	// Crash garbage after the last clean frame.
+	names, err := os.ReadDir(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segment listing: %v %v", names, err)
+	}
+	p := filepath.Join(dir, names[len(names)-1].Name())
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+
+	spec := engineSpecs[0]
+	th := spec.New().NewThread(0)
+	s, info, err := txkv.ReplayWAL(wal.OSFS{}, dir, th)
+	if err != nil || s == nil {
+		t.Fatalf("replay of torn log: %v", err)
+	}
+	if !info.Truncated || info.Frames != 2 {
+		t.Fatalf("replay info = %+v, want 2 clean frames + truncated", info)
+	}
+	stm.AtomicVoid(th, func(tx stm.Tx) {
+		if v, ok := s.Get(tx, 1); !ok || v != 11 {
+			t.Fatalf("clean-prefix Get(1) = %d,%v", v, ok)
+		}
+	})
+}

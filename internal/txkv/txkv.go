@@ -192,6 +192,13 @@ func (s *Store) Put(tx stm.Tx, key, val stm.Word) bool {
 		slot := row[(start+i)&mask]
 		switch tx.ReadField(slot, sKey) {
 		case key:
+			// Read the value before overwriting it. The read makes a
+			// blind overwrite a read-modify-write, so two conflicting
+			// Puts cannot both validate: the engines' commit order for
+			// them is then observable at the point the body ends, which
+			// is what lets the WAL's ticket sequencer log mutations in
+			// commit order (DESIGN.md §12).
+			tx.ReadField(slot, sVal)
 			tx.WriteField(slot, sVal, val)
 			return false
 		case tombKey:

@@ -8,36 +8,83 @@ package txkvclient
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"swisstm/internal/txkvwire"
 )
 
+// Options tunes a Client's resilience. The zero value is the strict
+// fail-fast client: no deadlines, no retries.
+type Options struct {
+	// Timeout bounds each request round trip (connect + write + read).
+	// 0 = wait forever.
+	Timeout time.Duration
+	// MaxRetries is how many times a request is retried over a fresh
+	// connection after a transport failure, with bounded exponential
+	// backoff between attempts. Retrying gives at-least-once semantics:
+	// when the failure hit after the server executed the request (e.g.
+	// a lost reply), the retry applies it again. 0 = fail fast.
+	MaxRetries int
+	// BackoffBase/BackoffMax bound the backoff: attempt k sleeps a
+	// uniformly jittered duration in (0, min(BackoffBase<<k,
+	// BackoffMax)]. Defaults 1ms and 100ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o *Options) fill() {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 100 * time.Millisecond
+	}
+}
+
 // Client is one synchronous connection to a txkv server. It is not safe
 // for concurrent use; the load generator opens one Client per worker.
 type Client struct {
+	addr string
+	opts Options
 	conn net.Conn
 	br   *bufio.Reader
 	rbuf []byte
 	wbuf []byte
+
+	// Retries counts request attempts re-issued after a transport
+	// failure; Reconnects counts successful re-dials. Both are zero for
+	// a fail-fast client.
+	Retries    uint64
+	Reconnects uint64
 }
 
-// Dial connects to a txkv server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a txkv server with fail-fast semantics.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects with the given resilience options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts.fill()
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+	return &Client{addr: addr, opts: opts, conn: conn, br: bufio.NewReader(conn)}, nil
 }
 
 // DialRetry dials with retries until timeout elapses — the readiness
 // probe load drivers use right after launching a server.
 func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	return DialRetryOptions(addr, timeout, Options{})
+}
+
+// DialRetryOptions is DialRetry with resilience options on the
+// resulting client.
+func DialRetryOptions(addr string, timeout time.Duration, opts Options) (*Client, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		c, err := Dial(addr)
+		c, err := DialOptions(addr, opts)
 		if err == nil {
 			return c, nil
 		}
@@ -53,21 +100,68 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Do sends one request and waits for its reply. An error reply from the
 // server is returned as the reply with Err set, not as a Go error — the
-// Go error path is reserved for transport and protocol failures.
+// Go error path is reserved for transport and protocol failures. With
+// Options.MaxRetries set, a transport failure re-dials (bounded
+// exponential backoff with jitter) and re-issues the request; see the
+// at-least-once caveat on Options.
 func (c *Client) Do(req txkvwire.Req) (txkvwire.Reply, error) {
 	var err error
 	c.wbuf, err = txkvwire.AppendReq(c.wbuf[:0], req)
 	if err != nil {
-		return txkvwire.Reply{}, err
+		return txkvwire.Reply{}, err // malformed request: retrying can't help
+	}
+	reply, err := c.roundTrip()
+	for attempt := 0; err != nil && attempt < c.opts.MaxRetries; attempt++ {
+		c.Retries++
+		c.sleepBackoff(attempt)
+		if rerr := c.redial(); rerr != nil {
+			err = rerr
+			continue
+		}
+		reply, err = c.roundTrip()
+	}
+	return reply, err
+}
+
+// roundTrip writes the encoded request in c.wbuf and reads its reply,
+// under the per-request deadline when one is configured.
+func (c *Client) roundTrip() (txkvwire.Reply, error) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	}
 	if err := txkvwire.WriteFrame(c.conn, c.wbuf); err != nil {
 		return txkvwire.Reply{}, err
 	}
+	var err error
 	c.rbuf, err = txkvwire.ReadFrame(c.br, c.rbuf)
 	if err != nil {
 		return txkvwire.Reply{}, err
 	}
 	return txkvwire.DecodeReply(c.rbuf)
+}
+
+// redial replaces the connection after a transport failure.
+func (c *Client) redial() error {
+	c.conn.Close()
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.Reconnects++
+	return nil
+}
+
+// sleepBackoff sleeps the attempt's jittered backoff: full jitter over
+// an exponentially growing, capped window (so a burst of failing
+// clients does not reconnect in lockstep).
+func (c *Client) sleepBackoff(attempt int) {
+	max := c.opts.BackoffMax
+	if d := c.opts.BackoffBase << uint(attempt); d < max && d > 0 {
+		max = d
+	}
+	time.Sleep(time.Duration(1 + rand.Int63n(int64(max))))
 }
 
 // do is Do plus promotion of server-side error replies to Go errors,

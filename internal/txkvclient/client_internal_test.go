@@ -1,0 +1,58 @@
+package txkvclient
+
+import (
+	"testing"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/txkvserver"
+)
+
+// TestRetryReconnects breaks the client's connection out from under it
+// and checks the next request transparently redials and succeeds, with
+// the resilience counters recording what happened.
+func TestRetryReconnects(t *testing.T) {
+	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{
+		Engine: harness.EngineSpec{Kind: "swisstm", Manager: "polka"},
+		Keys:   64,
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	cl, err := DialRetryOptions(srv.Addr().String(), 5*time.Second, Options{
+		Timeout:     2 * time.Second,
+		MaxRetries:  3,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Get(1); err != nil {
+		t.Fatalf("get before break: %v", err)
+	}
+	cl.conn.Close() // sever the transport mid-session
+	v, found, err := cl.Get(1)
+	if err != nil || !found || v != 1000 {
+		t.Fatalf("get after break: %d %v %v (want transparent retry)", v, found, err)
+	}
+	if cl.Retries == 0 || cl.Reconnects == 0 {
+		t.Fatalf("resilience counters not recorded: retries=%d reconnects=%d", cl.Retries, cl.Reconnects)
+	}
+
+	// Fail-fast clients must keep the old behavior: a severed transport
+	// is the caller's problem.
+	strict, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial strict: %v", err)
+	}
+	defer strict.Close()
+	strict.conn.Close()
+	if _, _, err := strict.Get(1); err == nil {
+		t.Fatal("fail-fast client silently retried")
+	}
+}

@@ -46,6 +46,12 @@ type LoadConfig struct {
 	LateThreshold time.Duration
 	// SkipOracles disables the post-run correctness checks.
 	SkipOracles bool
+	// Timeout is the per-request deadline on every load connection
+	// (0 = none).
+	Timeout time.Duration
+	// Retries is the per-request transport-failure retry budget
+	// (bounded exponential backoff + reconnect; 0 = fail fast).
+	Retries int
 }
 
 func (c *LoadConfig) fill() error {
@@ -106,6 +112,11 @@ type Result struct {
 	// when the server was started for this run (the -launch drivers).
 	Server txkvwire.Stats
 
+	// Retries/Reconnects are the client-resilience counters summed
+	// across the run's connections: request attempts re-issued after a
+	// transport failure, and successful re-dials.
+	Retries, Reconnects uint64
+
 	// OracleErr is the armed correctness oracles' verdict (nil = green):
 	// key population intact, and — for conserving mixes — the total
 	// balance unchanged by the run.
@@ -160,6 +171,13 @@ func (r Result) Record(experiment, workload, engine, engineKind string, conns, r
 		AchievedRate:  r.Achieved,
 		LateOps:       r.LateOps,
 		CheckedOK:     r.OracleErr == nil,
+
+		PhaseWalNs:         phaseMean(r.Server.WalNs, r.Server.Requests),
+		WalFrames:          r.Server.WalFrames,
+		WalBytes:           r.Server.WalBytes,
+		WalRecoveredFrames: r.Server.WalRecovered,
+		Retries:            r.Retries,
+		Reconnects:         r.Reconnects,
 	}
 	if total := r.Server.Commits + r.Server.Aborts; total > 0 {
 		rec.AbortRate = float64(r.Server.Aborts) / float64(total)
@@ -294,6 +312,8 @@ func Run(cfg LoadConfig) (Result, error) {
 	for _, w := range workers {
 		all = append(all, w.lat...)
 		res.LateOps += w.late
+		res.Retries += w.cl.Retries
+		res.Reconnects += w.cl.Reconnects
 	}
 	res.Ops = uint64(len(all))
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -328,10 +348,16 @@ func Run(cfg LoadConfig) (Result, error) {
 		AbortsValidRead:   stats1.AbortsValidRead - stats0.AbortsValidRead,
 		AbortsValidCommit: stats1.AbortsValidCommit - stats0.AbortsValidCommit,
 
+		WalNs:     stats1.WalNs - stats0.WalNs,
+		WalFrames: stats1.WalFrames - stats0.WalFrames,
+		WalBytes:  stats1.WalBytes - stats0.WalBytes,
+
 		// Lifetime percentiles, not diffable — see the Server field doc.
 		SrvP50Ns:  stats1.SrvP50Ns,
 		SrvP99Ns:  stats1.SrvP99Ns,
 		SrvP999Ns: stats1.SrvP999Ns,
+		// Set once at server start (the recovery scan), so also lifetime.
+		WalRecovered: stats1.WalRecovered,
 	}
 
 	if !cfg.SkipOracles {
@@ -396,7 +422,10 @@ type ldWorker struct {
 }
 
 func newLdWorker(cfg LoadConfig, id int) (*ldWorker, error) {
-	cl, err := DialRetry(cfg.Addr, 5*time.Second)
+	cl, err := DialRetryOptions(cfg.Addr, 5*time.Second, Options{
+		Timeout:    cfg.Timeout,
+		MaxRetries: cfg.Retries,
+	})
 	if err != nil {
 		return nil, err
 	}

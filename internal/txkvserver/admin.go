@@ -74,6 +74,21 @@ type Statz struct {
 	Stats  txkvwire.Stats    `json:"stats"`
 	Causes stm.AbortCauses   `json:"causes"`
 	Obs    map[string]uint64 `json:"txn_obs"` // committed-txn distribution counts/means
+	Wal    *WalStatz         `json:"wal,omitempty"`
+}
+
+// WalStatz reports the commit log's configuration and what the start-
+// up recovery scan found; the crash/recover oracle reads it to check
+// the restarted server against the log it replayed.
+type WalStatz struct {
+	Dir             string `json:"dir"`
+	Mode            string `json:"mode"`
+	RecoveredFrames uint64 `json:"recovered_frames"`
+	RecoveredBytes  uint64 `json:"recovered_bytes"`
+	LastLSN         uint64 `json:"last_lsn"`
+	Segments        int    `json:"segments"`
+	Truncated       bool   `json:"truncated"`
+	TruncateReason  string `json:"truncate_reason,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -96,6 +111,18 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 			"read_set_p99":     sum.ReadSet.Quantile(0.99),
 			"write_set_p99":    sum.WriteSet.Quantile(0.99),
 		},
+	}
+	if s.wal != nil {
+		z.Wal = &WalStatz{
+			Dir:             s.cfg.WALDir,
+			Mode:            s.cfg.WALSync.String(),
+			RecoveredFrames: s.walInfo.Frames,
+			RecoveredBytes:  s.walInfo.Bytes,
+			LastLSN:         s.walInfo.LastLSN,
+			Segments:        s.walInfo.Segments,
+			Truncated:       s.walInfo.Truncated,
+			TruncateReason:  s.walInfo.Reason,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -9,19 +9,21 @@ import (
 )
 
 // phase indices into opMetrics.phase. The request pipeline is measured
-// in five disjoint phases (DESIGN.md §10): frame decode, wait for an
-// engine thread, transaction body (final attempt), begin/commit/retry
-// remainder, and reply encode+write+flush.
+// in six disjoint phases (DESIGN.md §10, §12): frame decode, wait for
+// an engine thread, transaction body (final attempt), begin/commit/
+// retry remainder, commit-log append (zero with the WAL off), and
+// reply encode+write+flush.
 const (
 	phaseParse = iota
 	phaseQueue
 	phaseTxn
 	phaseCommit
+	phaseWal
 	phaseReply
 	phaseCount
 )
 
-var phaseNames = [phaseCount]string{"parse", "queue", "txn", "commit", "reply"}
+var phaseNames = [phaseCount]string{"parse", "queue", "txn", "commit", "wal", "reply"}
 
 // opCount sizes the per-op metric tables: wire opcodes are contiguous
 // from OpInvalid (decode failures land there).
@@ -91,18 +93,19 @@ func shardName(i int) string {
 	return string(buf[pos:])
 }
 
-// record logs one fully served request of type op with its five phase
+// record logs one fully served request of type op with its six phase
 // durations (ns). The total histogram records the phase sum, so
 // per-op totals and phase splits agree by construction.
-func (m *metrics) record(op txkvwire.Op, parse, queue, txn, commit, reply uint64) {
+func (m *metrics) record(op txkvwire.Op, parse, queue, txn, commit, wal, reply uint64) {
 	om := &m.ops[int(op)]
 	om.requests.Inc()
 	om.phase[phaseParse].Record(parse)
 	om.phase[phaseQueue].Record(queue)
 	om.phase[phaseTxn].Record(txn)
 	om.phase[phaseCommit].Record(commit)
+	om.phase[phaseWal].Record(wal)
 	om.phase[phaseReply].Record(reply)
-	om.total.Record(parse + queue + txn + commit + reply)
+	om.total.Record(parse + queue + txn + commit + wal + reply)
 }
 
 // recordConflicts attributes n engine aborts to shard (−1 = the
@@ -143,6 +146,7 @@ func (m *metrics) snapshot() txkvwire.Stats {
 		st.QueueNs += ph[phaseQueue].Sum
 		st.TxnNs += ph[phaseTxn].Sum
 		st.CommitNs += ph[phaseCommit].Sum
+		st.WalNs += ph[phaseWal].Sum
 		st.ReplyNs += ph[phaseReply].Sum
 		t := om.total.Snapshot()
 		total.Add(&t)

@@ -22,6 +22,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swisstm/internal/harness"
@@ -29,6 +30,7 @@ import (
 	"swisstm/internal/stm"
 	"swisstm/internal/txkv"
 	"swisstm/internal/txkvwire"
+	"swisstm/internal/wal"
 )
 
 // Config describes one server instance.
@@ -49,6 +51,26 @@ type Config struct {
 	// /debug/pprof/* (CPU/heap/block profiles). Off by default: the
 	// admin surface is unauthenticated, so bind it to loopback.
 	Admin string
+	// WALDir, when non-empty, turns on the durable commit log
+	// (DESIGN.md §12): mutations are acknowledged only after their redo
+	// record is in the log, and Start replays any existing log in the
+	// directory before serving (the recovered population overrides
+	// Keys/Balance).
+	WALDir string
+	// WALSync selects the log's durability mode (default
+	// wal.SyncGroup); ignored without WALDir.
+	WALSync wal.SyncMode
+	// WALFS overrides the log's filesystem (fault injection in tests);
+	// nil means the real one.
+	WALFS wal.FS
+	// ReadTimeout, when positive, bounds the wait for the next request
+	// frame on an idle connection; the connection is dropped on expiry.
+	// Zero means wait forever (the load-gen default: its connections
+	// are legitimately idle between phases).
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each reply write so a client
+	// that stops reading cannot pin a connection goroutine forever.
+	WriteTimeout time.Duration
 }
 
 func (c *Config) fill() error {
@@ -80,13 +102,23 @@ type Server struct {
 	m      *metrics
 	txnObs *obs.TxnObs
 
+	wal     *wal.Writer     // nil when the commit log is off
+	walM    *wal.Metrics    // non-nil iff wal is
+	walInfo wal.RecoverInfo // what Start's recovery scan found
+
 	adminLn  net.Listener
 	adminSrv *http.Server
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// draining tells connection loops to stop picking up new requests;
+	// set by Drain before it stamps immediate read deadlines.
+	draining atomic.Bool
+	fatal    chan struct{} // closed when the accept loop dies unexpectedly
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    bool
+	acceptErr error
+	wg        sync.WaitGroup
 }
 
 // worker is one pooled engine thread.
@@ -107,40 +139,68 @@ func Start(addr string, cfg Config) (*Server, error) {
 	// (the spec is a value copy, so this clobbers nothing outside it).
 	txnObs := obs.NewTxnObs()
 	cfg.Engine.TxnObs = txnObs
+	if cfg.WALDir != "" && cfg.WALFS == nil {
+		cfg.WALFS = wal.OSFS{}
+	}
 	s := &Server{
 		cfg:    cfg,
 		eng:    cfg.Engine.New(),
 		txnObs: txnObs,
 		pool:   make(chan *worker, cfg.Threads),
 		conns:  make(map[net.Conn]struct{}),
+		fatal:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		s.pool <- &worker{th: s.eng.NewThread(i)}
 	}
 
-	// Pre-fill keys 1..Keys in bounded transactions on a pool thread, so
-	// the balance-conservation oracle has a known starting sum.
+	// Build the store on a pool thread: from the commit log's clean
+	// prefix when one exists (the log, not the flags, defines the
+	// recovered population), from the Keys/Balance baseline otherwise —
+	// in bounded transactions, so the balance-conservation oracle has a
+	// known starting sum.
 	w := <-s.pool
-	s.store = txkv.New(w.th, txkv.ConfigForKeys(cfg.Keys))
-	const chunk = 256
-	for base := 1; base <= cfg.Keys; base += chunk {
-		end := base + chunk
-		if end > cfg.Keys+1 {
-			end = cfg.Keys + 1
+	if cfg.WALDir != "" {
+		store, info, err := txkv.ReplayWAL(cfg.WALFS, cfg.WALDir, w.th)
+		if err != nil {
+			return nil, fmt.Errorf("txkvserver: wal recovery: %w", err)
 		}
-		stm.AtomicVoid(w.th, func(tx stm.Tx) {
-			for k := base; k < end; k++ {
-				s.store.Put(tx, stm.Word(k), cfg.Balance)
-			}
-		})
+		s.store, s.walInfo = store, info
+	}
+	recovered := s.store != nil
+	if !recovered {
+		s.store = txkv.NewInitialized(w.th, cfg.Keys, cfg.Balance)
 	}
 	s.pool <- w
 
 	s.m = newMetrics(s.store.Shards())
 	s.m.reg.RegisterCollector(s.collectEngine)
 
+	if cfg.WALDir != "" {
+		s.walM = wal.NewMetrics(s.m.reg)
+		wr, err := wal.Open(wal.Options{
+			Dir: cfg.WALDir, FS: cfg.WALFS, Sync: cfg.WALSync, Metrics: s.walM,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("txkvserver: wal open: %w", err)
+		}
+		s.wal = wr
+		if !recovered {
+			// Frame 1 of a fresh log records the baseline population, so
+			// replay needs no out-of-band configuration. Durable before
+			// the first client is accepted, whatever the sync mode.
+			if err := s.logInit(); err != nil {
+				wr.Close()
+				return nil, fmt.Errorf("txkvserver: wal init record: %w", err)
+			}
+		}
+	}
+
 	if cfg.Admin != "" {
 		if err := s.startAdmin(cfg.Admin); err != nil {
+			if s.wal != nil {
+				s.wal.Close()
+			}
 			return nil, err
 		}
 	}
@@ -150,6 +210,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 		if s.adminSrv != nil {
 			s.adminSrv.Close()
 		}
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return nil, err
 	}
 	s.ln = ln
@@ -158,18 +221,58 @@ func Start(addr string, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// logInit durably appends the log's init record (frame 1).
+func (s *Server) logInit() error {
+	buf, err := txkv.AppendRedo(nil, []txkv.RedoEntry{
+		{Op: txkv.RedoInit, Key: stm.Word(s.cfg.Keys), Val: s.cfg.Balance},
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Append(buf); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// WalRecovery reports what Start's recovery scan found (the zero
+// value when the commit log is off or the directory was fresh).
+func (s *Server) WalRecovery() wal.RecoverInfo { return s.walInfo }
+
+// Done is closed when the server dies on its own — the accept loop
+// failing while the server is not shutting down. Err then reports why.
+func (s *Server) Done() <-chan struct{} { return s.fatal }
+
+// Err returns the accept-loop error that closed Done, if any.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptErr
+}
+
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Engine returns the display name of the backing engine.
 func (s *Server) Engine() string { return s.eng.Name() }
 
-// Close stops accepting, closes every live connection and waits for the
-// connection goroutines to drain.
-func (s *Server) Close() error {
+// Close stops accepting, closes every live connection immediately
+// (in-flight requests are abandoned) and waits for the connection
+// goroutines; with the commit log on it then flushes and closes the
+// log, so every previously acknowledged write is durable.
+func (s *Server) Close() error { return s.shutdown(false) }
+
+// Drain is the graceful twin of Close: stop accepting, let each
+// connection finish the request it is serving (and ack it durably),
+// then stop reading further requests, flush and sync the commit log,
+// and return. A drained shutdown loses no acknowledged operation.
+func (s *Server) Drain() error { return s.shutdown(true) }
+
+func (s *Server) shutdown(drain bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
@@ -177,11 +280,31 @@ func (s *Server) Close() error {
 	if s.adminSrv != nil {
 		s.adminSrv.Close()
 	}
-	for c := range s.conns {
-		c.Close()
+	if drain {
+		// Flag first, then stamp immediate read deadlines: a connection
+		// blocked on its next frame wakes with a timeout and exits; one
+		// mid-request finishes, sees the flag at the loop top and exits.
+		// (serveConn re-checks the flag after re-arming its deadline, so
+		// this order cannot strand a connection on a fresh timeout.)
+		s.draining.Store(true)
+		now := time.Now()
+		for c := range s.conns {
+			c.SetReadDeadline(now)
+		}
+	} else {
+		for c := range s.conns {
+			c.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.wal != nil {
+		// All connection goroutines are done: every acknowledged write
+		// has been published. Close drains and syncs the log.
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -190,7 +313,16 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			// Expected when Close/Drain tears the listener down; anything
+			// else is fatal — surface it so the process can exit non-zero
+			// instead of serving nothing forever.
+			s.mu.Lock()
+			if !s.closed && s.acceptErr == nil {
+				s.acceptErr = err
+				close(s.fatal)
+			}
+			s.mu.Unlock()
+			return
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -227,9 +359,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 4<<10)
 	var fbuf, obuf []byte
 	for {
+		if s.draining.Load() {
+			return // drained: the previous request was the last one served
+		}
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if s.draining.Load() {
+			return // re-check: the re-armed deadline must not outlive a drain
+		}
 		payload, err := txkvwire.ReadFrame(br, fbuf)
 		if err != nil {
-			return // client went away or framing broke; drop the connection
+			return // client went away, read timed out or framing broke
 		}
 		fbuf = payload
 
@@ -238,13 +379,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		parseNs := uint64(time.Since(t0).Nanoseconds())
 
 		var reply txkvwire.Reply
-		var queueNs, txnNs, commitNs uint64
+		var queueNs, txnNs, commitNs, walNs uint64
 		op := txkvwire.OpInvalid
 		if derr != nil {
 			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error()}
 		} else {
 			op = req.Op
-			reply, queueNs, txnNs, commitNs = s.dispatch(req)
+			reply, queueNs, txnNs, commitNs, walNs = s.dispatch(req)
 		}
 
 		r0 := time.Now()
@@ -255,6 +396,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			// frame rather than silently dropping the connection.
 			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply"})
 		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		if err := txkvwire.WriteFrame(bw, obuf); err != nil {
 			return
 		}
@@ -263,26 +407,30 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		replyNs := uint64(time.Since(r0).Nanoseconds())
 
-		s.m.record(op, parseNs, queueNs, txnNs, commitNs, replyNs)
+		s.m.record(op, parseNs, queueNs, txnNs, commitNs, walNs, replyNs)
 	}
 }
 
-// dispatch validates the request, borrows a pool thread and executes the
-// transaction, returning the reply and the queue/txn/commit phase times.
-func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnNs, commitNs uint64) {
+// dispatch validates the request, borrows a pool thread and executes
+// the transaction, returning the reply and the queue/txn/commit/wal
+// phase times. The commit-log publish happens after the worker is
+// back in the pool: a group fsync blocks only this connection's
+// goroutine, never an engine thread.
+func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnNs, commitNs, walNs uint64) {
 	if err := s.validate(req, true); err != nil {
-		return txkvwire.Reply{Op: req.Op, Err: err.Error()}, 0, 0, 0
+		return txkvwire.Reply{Op: req.Op, Err: err.Error()}, 0, 0, 0, 0
 	}
 	if req.Op == txkvwire.OpStats {
 		// Stats needs no engine thread: it drains the pool itself to
 		// read the per-thread counters race-free.
-		return s.statsReply(), 0, 0, 0
+		return s.statsReply(), 0, 0, 0, 0
 	}
 	q0 := time.Now()
 	w := <-s.pool
 	queueNs = uint64(time.Since(q0).Nanoseconds())
 	abortsBefore := w.th.Stats().Aborts
-	reply, txnNs, commitNs = s.execute(w, req)
+	var pend pendingLog
+	reply, txnNs, commitNs = s.execute(w, req, &pend)
 	// Attribute this request's engine aborts to the shard its (first)
 	// key hashes to — the per-shard conflict heat map (DESIGN.md §11).
 	// Safe while we hold the worker: the thread is quiescent between
@@ -291,7 +439,10 @@ func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnN
 		s.m.recordConflicts(s.reqShard(req), d)
 	}
 	s.pool <- w
-	return reply, queueNs, txnNs, commitNs
+	if pend.live {
+		walNs = s.publishWAL(&pend, req, &reply)
+	}
+	return reply, queueNs, txnNs, commitNs, walNs
 }
 
 // reqShard maps a request to the store shard its first key hashes to,
@@ -348,13 +499,23 @@ func (s *Server) validate(req txkvwire.Req, batchOK bool) error {
 // thread. txnNs is the body duration of the final (committing) attempt;
 // commitNs is the rest of the atomic call — begin, commit, and any
 // aborted attempts with their back-off.
-func (s *Server) execute(w *worker, req txkvwire.Req) (reply txkvwire.Reply, txnNs, commitNs uint64) {
+//
+// Commit-log ordering: each mutating body abandons the previous
+// attempt's log slot on entry (pend.drop — an aborted attempt must not
+// hold its place in the log) and reserves a fresh slot as its LAST
+// step iff the mutation will commit (pend.reserve — after the body's
+// transactional reads, so ticket order matches commit order for
+// conflicting transactions; DESIGN.md §12). The caller publishes the
+// surviving slot after returning the worker to the pool.
+func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply txkvwire.Reply, txnNs, commitNs uint64) {
 	defer func() {
 		// A foreign panic out of a transaction body (e.g. a shard
 		// overflowing on Put) has already rolled the attempt back and
 		// released its locks (stm.Thread.Unwind); surface it as an error
-		// reply instead of tearing the whole server down.
+		// reply instead of tearing the whole server down. Any log slot
+		// the dead attempt reserved must be released with it.
 		if r := recover(); r != nil {
+			pend.drop(s)
 			reply = txkvwire.Reply{Op: req.Op, Err: fmt.Sprintf("%s: %v", req.Op, r)}
 		}
 	}()
@@ -376,25 +537,31 @@ func (s *Server) execute(w *worker, req txkvwire.Req) (reply txkvwire.Reply, txn
 		reply = txkvwire.Reply{Op: req.Op, Found: res.found, Val: uint64(res.val)}
 	case txkvwire.OpPut:
 		ins := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			pend.drop(s)
 			b0 := time.Now()
 			ok := s.store.Put(tx, stm.Word(req.Key), stm.Word(req.Val))
 			bodyNs = time.Since(b0).Nanoseconds()
+			pend.reserve(s, true)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ins}
 	case txkvwire.OpDelete:
 		ex := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			pend.drop(s)
 			b0 := time.Now()
 			ok := s.store.Delete(tx, stm.Word(req.Key))
 			bodyNs = time.Since(b0).Nanoseconds()
+			pend.reserve(s, ok)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ex}
 	case txkvwire.OpCAS:
 		sw := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			pend.drop(s)
 			b0 := time.Now()
 			ok := s.store.CAS(tx, stm.Word(req.Key), stm.Word(req.Old), stm.Word(req.Val))
 			bodyNs = time.Since(b0).Nanoseconds()
+			pend.reserve(s, ok)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: sw}
@@ -404,9 +571,11 @@ func (s *Server) execute(w *worker, req txkvwire.Req) (reply txkvwire.Reply, txn
 			keys[i] = stm.Word(k)
 		}
 		ok := stm.Atomic(w.th, func(tx stm.Tx) bool {
+			pend.drop(s)
 			b0 := time.Now()
 			ok := s.store.Transfer(tx, keys, stm.Word(req.Amount))
 			bodyNs = time.Since(b0).Nanoseconds()
+			pend.reserve(s, ok)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ok}
@@ -432,7 +601,7 @@ func (s *Server) execute(w *worker, req txkvwire.Req) (reply txkvwire.Reply, txn
 		})
 		reply = txkvwire.Reply{Op: req.Op, Val: uint64(n)}
 	case txkvwire.OpBatch:
-		reply = s.executeBatch(w, req, &bodyNs)
+		reply = s.executeBatch(w, req, &bodyNs, pend)
 	default:
 		return txkvwire.Reply{Op: req.Op, Err: "unhandled op"}, 0, 0
 	}
@@ -453,12 +622,15 @@ var errBatchAbort = errors.New("batch aborted")
 // an absent key) returns an error from the body, which rolls the whole
 // transaction back — no sub-op's write survives — and surfaces as an
 // error reply naming the failing index.
-func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64) txkvwire.Reply {
+func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *pendingLog) txkvwire.Reply {
 	subs, err := stm.AtomicErr(w.th, func(tx stm.Tx) ([]txkvwire.Reply, error) {
+		pend.drop(s)
 		b0 := time.Now()
 		defer func() { *bodyNs = time.Since(b0).Nanoseconds() }()
+		mutated := false
 		subs := make([]txkvwire.Reply, len(req.Sub))
 		for i, sub := range req.Sub {
+			mutated = mutated || mutates(sub.Op)
 			switch sub.Op {
 			case txkvwire.OpGet:
 				v, ok := s.store.Get(tx, stm.Word(sub.Key))
@@ -499,6 +671,10 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64) txkvwi
 				return nil, fmt.Errorf("%w at index %d: op %s not allowed in batch", errBatchAbort, i, sub.Op)
 			}
 		}
+		// Reaching here means every conditional sub-op succeeded, so
+		// "contains a mutating sub-op" is exactly "this commit must be
+		// logged" — one slot for the whole atomic batch.
+		pend.reserve(s, mutated)
 		return subs, nil
 	})
 	if err != nil {
@@ -544,6 +720,11 @@ func (s *Server) statsSnapshot() txkvwire.Stats {
 	st.LockAcquireFail = es.LockAcquireFail
 	st.AbortsValidRead = es.AbortsValidRead
 	st.AbortsValidCommit = es.AbortsValidCommit
+	if s.walM != nil {
+		st.WalFrames = s.walM.Frames.Load()
+		st.WalBytes = s.walM.Bytes.Load()
+		st.WalRecovered = s.walM.Recovered.Load()
+	}
 	return st
 }
 

@@ -1,0 +1,126 @@
+package txkvserver
+
+import (
+	"sync"
+	"time"
+
+	"swisstm/internal/stm"
+	"swisstm/internal/txkv"
+	"swisstm/internal/txkvwire"
+	"swisstm/internal/wal"
+)
+
+// WAL integration (DESIGN.md §12). A mutating request's redo record
+// must land in the log in the engines' commit order, but the log
+// append happens outside the transaction. The bridge is a ticket:
+// the transaction body draws a log slot as its LAST step — after
+// every transactional read — so for any two conflicting transactions
+// the second committer's ticket postdates the first's commit, and
+// ticket order equals commit order. Aborted attempts re-enter the
+// body and must release the previous attempt's slot first, or the
+// in-order log writer would stall forever waiting for it.
+
+// pendingLog carries a request's reserved log slot from the
+// transaction body (reserve) to the publish point in dispatch, after
+// the engine thread has been returned to the pool — an fsync must
+// never hold a pooled thread hostage.
+type pendingLog struct {
+	tk   wal.Ticket
+	live bool
+}
+
+// drop abandons an unpublished slot: at the top of a (re-)executed
+// transaction body, and on any path where the reserved slot will not
+// be published (failed op, panic out of the body).
+func (p *pendingLog) drop(s *Server) {
+	if p.live {
+		s.wal.Abandon(p.tk)
+		p.live = false
+	}
+}
+
+// reserve draws this attempt's slot iff the WAL is on and the attempt
+// will commit a mutation (ok). Must be the body's last step.
+func (p *pendingLog) reserve(s *Server, ok bool) {
+	if ok && s.wal != nil {
+		p.tk = s.wal.Reserve()
+		p.live = true
+	}
+}
+
+// redoBufs pools redo-record encode buffers across requests.
+var redoBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// publishWAL encodes the request's logical effect and publishes it at
+// the reserved slot, waiting out the group fsync when the sync mode
+// demands one. On failure the reply is rewritten to an error: the
+// client must treat the op as not acknowledged (it may or may not
+// have applied in memory; it is not durable).
+func (s *Server) publishWAL(pend *pendingLog, req txkvwire.Req, reply *txkvwire.Reply) uint64 {
+	t0 := time.Now()
+	entries := redoForReply(req, reply, nil)
+	if len(entries) == 0 {
+		pend.drop(s)
+		return uint64(time.Since(t0).Nanoseconds())
+	}
+	bufp := redoBufs.Get().(*[]byte)
+	buf, err := txkv.AppendRedo((*bufp)[:0], entries)
+	if err == nil {
+		pend.live = false
+		err = s.wal.Publish(pend.tk, buf)
+		*bufp = buf
+	} else {
+		pend.drop(s)
+	}
+	redoBufs.Put(bufp)
+	if err != nil {
+		*reply = txkvwire.Reply{Op: req.Op, Err: "wal: " + err.Error()}
+	}
+	return uint64(time.Since(t0).Nanoseconds())
+}
+
+// redoForReply derives the redo entries of a successfully executed
+// request from its request/reply pair: exactly the mutations the
+// reply acknowledges, in batch order. Failed conditionals and reads
+// contribute nothing; a successful CAS logs its post-image as a put.
+func redoForReply(req txkvwire.Req, reply *txkvwire.Reply, dst []txkv.RedoEntry) []txkv.RedoEntry {
+	if reply.Err != "" {
+		return dst
+	}
+	switch req.Op {
+	case txkvwire.OpPut:
+		dst = append(dst, txkv.RedoEntry{Op: txkv.RedoPut, Key: stm.Word(req.Key), Val: stm.Word(req.Val)})
+	case txkvwire.OpDelete:
+		if reply.OK {
+			dst = append(dst, txkv.RedoEntry{Op: txkv.RedoDelete, Key: stm.Word(req.Key)})
+		}
+	case txkvwire.OpCAS:
+		if reply.OK {
+			dst = append(dst, txkv.RedoEntry{Op: txkv.RedoPut, Key: stm.Word(req.Key), Val: stm.Word(req.Val)})
+		}
+	case txkvwire.OpTransfer:
+		if reply.OK {
+			keys := make([]stm.Word, len(req.Keys))
+			for i, k := range req.Keys {
+				keys[i] = stm.Word(k)
+			}
+			dst = append(dst, txkv.RedoEntry{Op: txkv.RedoTransfer, Amount: stm.Word(req.Amount), Keys: keys})
+		}
+	case txkvwire.OpBatch:
+		for i := range req.Sub {
+			dst = redoForReply(req.Sub[i], &reply.Sub[i], dst)
+		}
+	}
+	return dst
+}
+
+// mutates reports whether a batch sub-op that reached this point
+// mutated the store: conditional sub-ops abort the whole batch on
+// failure, so mere arrival means success for them.
+func mutates(op txkvwire.Op) bool {
+	switch op {
+	case txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS, txkvwire.OpTransfer:
+		return true
+	}
+	return false
+}

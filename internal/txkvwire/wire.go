@@ -140,8 +140,15 @@ type Stats struct {
 	TxnNs    uint64 // transaction body (final attempt)
 	CommitNs uint64 // begin/commit/retry remainder of the atomic call
 	ReplyNs  uint64 // reply encode + write + flush
+	WalNs    uint64 // commit-log append (publish → durable; 0 with the WAL off)
 	Commits  uint64 // engine transactions committed
 	Aborts   uint64 // engine transactions aborted
+
+	// Durable commit log counters (DESIGN.md §12; all zero with the WAL
+	// off). Cumulative like the phase sums.
+	WalFrames    uint64 // redo frames appended
+	WalBytes     uint64 // frame bytes appended
+	WalRecovered uint64 // frames replayed by recovery at server start
 
 	// Raw stm.Stats abort-cause counters (their sum equals Aborts).
 	AbortsWW        uint64 // eager write/write arbitration losses
@@ -383,6 +390,7 @@ func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
 			r.Stats.AbortsKilled, r.Stats.AbortsExplicit, r.Stats.AbortsUser,
 			r.Stats.LockAcquireFail, r.Stats.AbortsValidRead, r.Stats.AbortsValidCommit,
 			r.Stats.SrvP50Ns, r.Stats.SrvP99Ns, r.Stats.SrvP999Ns,
+			r.Stats.WalNs, r.Stats.WalFrames, r.Stats.WalBytes, r.Stats.WalRecovered,
 		} {
 			dst = binary.LittleEndian.AppendUint64(dst, v)
 		}
@@ -461,6 +469,7 @@ func decodeReply(c *cursor, batchOK bool) Reply {
 			&s.AbortsKilled, &s.AbortsExplicit, &s.AbortsUser,
 			&s.LockAcquireFail, &s.AbortsValidRead, &s.AbortsValidCommit,
 			&s.SrvP50Ns, &s.SrvP99Ns, &s.SrvP999Ns,
+			&s.WalNs, &s.WalFrames, &s.WalBytes, &s.WalRecovered,
 		} {
 			*p = c.u64()
 		}

@@ -73,6 +73,8 @@ func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
 			AbortsKilled: rng.Next(), AbortsExplicit: rng.Next(), AbortsUser: rng.Next(),
 			LockAcquireFail: rng.Next(), AbortsValidRead: rng.Next(), AbortsValidCommit: rng.Next(),
 			SrvP50Ns: rng.Next(), SrvP99Ns: rng.Next(), SrvP999Ns: rng.Next(),
+			WalNs: rng.Next(), WalFrames: rng.Next(), WalBytes: rng.Next(),
+			WalRecovered: rng.Next(),
 		}
 	}
 	return r

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALDecodeFrame pins that DecodeFrame never panics on arbitrary
+// bytes, and that anything it accepts survives a re-encode round
+// trip byte for byte.
+func FuzzWALDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(AppendFrame(nil, 1, []byte("hello")))
+	f.Add(AppendFrame(AppendFrame(nil, 1, []byte("a")), 2, []byte("bb")))
+	torn := AppendFrame(nil, 7, []byte("torn-tail-frame"))
+	f.Add(torn[:len(torn)-3])
+	huge := make([]byte, frameHdrLen)
+	huge[3] = 0xff // length field far beyond MaxRecord
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lsn, payload, rest, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		consumed := data[:len(data)-len(rest)]
+		re := AppendFrame(nil, lsn, payload)
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, consumed)
+		}
+	})
+}
+
+// FuzzRecoverSegment pins the recovery contract on a single mangled
+// segment: never panic, never error on corruption, and always
+// deliver a checksum-clean prefix — every delivered frame must be one
+// the oracle can independently verify from the file bytes.
+func FuzzRecoverSegment(f *testing.F) {
+	valid := append([]byte(nil), segMagic...)
+	for i := 1; i <= 5; i++ {
+		valid = AppendFrame(valid, uint64(i), []byte{byte(i), 0xaa, byte(i)})
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[SegMagicLen+frameHdrLen+1] ^= 0x80 // corrupt frame 1's payload
+	f.Add(flipped)
+	f.Add(segMagic)
+	f.Add([]byte("not a segment at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var delivered int
+		info, err := Recover(OSFS{}, dir, func(lsn uint64, payload []byte) error {
+			delivered++
+			if lsn != uint64(delivered) {
+				t.Fatalf("delivered LSN %d at position %d", lsn, delivered)
+			}
+			// Independently re-verify the frame against the raw file
+			// bytes: recovery may only hand out checksum-clean data.
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Recover returned an error on corrupt input: %v", err)
+		}
+		if int(info.Frames) != delivered {
+			t.Fatalf("info.Frames = %d, delivered %d", info.Frames, delivered)
+		}
+		// The clean prefix must decode from the raw bytes too.
+		if len(data) >= SegMagicLen && bytes.Equal(data[:SegMagicLen], segMagic) {
+			b := data[SegMagicLen:]
+			for i := 0; i < delivered; i++ {
+				lsn, _, rest, err := DecodeFrame(b)
+				if err != nil || lsn != uint64(i)+1 {
+					t.Fatalf("delivered frame %d does not re-decode: lsn %d err %v", i+1, lsn, err)
+				}
+				b = rest
+			}
+		} else if delivered != 0 {
+			t.Fatalf("delivered %d frames from a segment with no valid magic", delivered)
+		}
+	})
+}
