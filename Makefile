@@ -8,11 +8,11 @@ GO ?= go
 # txkv rides along for its concurrent transfer-invariant test; the
 # server stack (wire/server/client) because its tests run many TCP
 # connections against one shared engine.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs ./internal/wal
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs ./internal/wal ./internal/chaos
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover grid fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos grid fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -126,6 +126,16 @@ smoke-recover:
 	$(GO) run ./cmd/crashkv -server bin/txkvserver \
 		-engines swisstm,tl2,tinystm,rstm -fsync group -warm 200ms
 
+# smoke-chaos is the overload/fault-injection gate (DESIGN.md §13):
+# per engine, chaoskv storms a real server through the seeded chaos
+# proxy — admission limits armed, open-loop load above capacity,
+# truncation/RST/blackhole faults enabled — and fails on a lost
+# acknowledged write, an error reply without a typed code, a server
+# crash or hung drain, zero sheds (overload never engaged), or an
+# unbounded p99 for accepted requests.
+smoke-chaos:
+	$(GO) run ./cmd/chaoskv -engines swisstm,tl2 -seed 1 -duration 1500ms
+
 # grid runs the full experiment grid from scripts/experiments.json into
 # one merged CSV artifact (override cell size with GRID_OPS, e.g.
 # `make grid GRID_OPS=300` for a quick pass).
@@ -147,4 +157,4 @@ smoke-examples:
 	done
 	@echo "smoke-examples OK: all examples ran and self-checked"
 
-ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover
+ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos

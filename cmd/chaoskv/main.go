@@ -1,0 +1,375 @@
+// Command chaoskv is the network-fault/overload oracle (DESIGN.md
+// §13): per engine it starts a real txkvserver with admission control
+// armed, puts the seeded chaos proxy (internal/chaos) in front of it,
+// and drives open-loop load through the proxy — added latency, jitter,
+// mid-frame truncation, hard resets and blackholes included — while a
+// direct (un-proxied) control connection watches the server. It then
+// checks:
+//
+//  1. Zero acked-write loss: each worker writes monotone values to its
+//     own key and records the last acknowledged one; after the storm
+//     the server must hold a value in [last acked, last issued] for
+//     every key — through every reset and truncation.
+//  2. Typed errors only: every error reply that reaches a client
+//     carries a valid wire Code (an untyped error is a server bug).
+//  3. Overload is real and shed: the server's shed counter must move
+//     (otherwise the gate tested nothing), and the p99 latency of
+//     ACCEPTED requests must stay under -p99-limit — bounded
+//     time-in-system for admitted work while offered load exceeds
+//     capacity. Latency is measured send→reply of the successful
+//     attempt, not from the scheduled arrival: the open-loop backlog
+//     is unbounded by design, the server's promise is only about what
+//     it accepts.
+//  4. No crash, no deadlock: the server must stay up through the storm
+//     and drain cleanly (bounded time) afterwards.
+//
+// Any violation exits non-zero.
+//
+// Usage:
+//
+//	go run ./cmd/chaoskv -engines swisstm,tl2 -seed 1 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"swisstm/internal/chaos"
+	"swisstm/internal/harness"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/txkvserver"
+	"swisstm/internal/txkvwire"
+)
+
+func main() {
+	var (
+		engines  = flag.String("engines", "swisstm,tl2", "comma-separated engine kinds to storm")
+		seed     = flag.Uint64("seed", 1, "chaos plan seed (same seed + same conn order = same faults)")
+		duration = flag.Duration("duration", 2*time.Second, "storm duration per engine")
+		clients  = flag.Int("clients", 16, "concurrent proxied load connections")
+		rate     = flag.Float64("rate", 8000, "open-loop arrival rate, ops/sec (set above capacity)")
+		keys     = flag.Int("keys", 32768, "server key population (scans of it are the convoy-forming heavy op)")
+		threads  = flag.Int("threads", 1, "server engine thread pool (small, so overload is cheap to reach)")
+		maxQueue = flag.Int("max-queue", 8, "server admission queue cap")
+		maxWait  = flag.Duration("max-queue-wait", time.Millisecond, "server queue wait bound")
+		budget   = flag.Duration("budget", 150*time.Millisecond, "client per-request deadline budget (wire TTL; also bounds the transport wait)")
+		opTO     = flag.Duration("op-timeout", 250*time.Millisecond, "client per-attempt timeout (rescues blackholed connections)")
+		p99Limit = flag.Duration("p99-limit", 750*time.Millisecond, "bound on the p99 latency of accepted requests (the heaviest accepted op is a batch of 8 full-store scans, so the bound is engine-speed headroom, not a queueing SLO)")
+		lat      = flag.Duration("chaos-lat", 500*time.Microsecond, "proxy added latency per chunk")
+		jitter   = flag.Duration("chaos-jitter", time.Millisecond, "proxy latency jitter")
+		bw       = flag.Int("chaos-bw", 0, "proxy bandwidth throttle, bytes/sec (0 = unlimited)")
+		pTrunc   = flag.Float64("p-trunc", 0.12, "per-connection mid-stream truncation probability")
+		pRST     = flag.Float64("p-rst", 0.12, "per-connection hard-reset probability")
+		pHole    = flag.Float64("p-hole", 0.06, "per-connection blackhole probability")
+	)
+	flag.Parse()
+
+	plan := chaos.Plan{
+		Seed: *seed, Latency: *lat, Jitter: *jitter, BandwidthBps: *bw,
+		TruncateProb: *pTrunc, RSTProb: *pRST, BlackholeProb: *pHole,
+		FireAfterMin: 64, FireAfterMax: 4096,
+	}
+	cfg := stormConfig{
+		plan: plan, duration: *duration, clients: *clients, rate: *rate,
+		keys: *keys, threads: *threads, maxQueue: *maxQueue, maxWait: *maxWait,
+		budget: *budget, opTO: *opTO, p99Limit: *p99Limit,
+	}
+
+	failed := false
+	for _, kind := range strings.Split(*engines, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" {
+			continue
+		}
+		if err := stormOne(kind, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "chaoskv: %s: FAIL: %v\n", kind, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("chaoskv OK: no acked-write loss, typed sheds only, bounded accepted-p99, clean drain")
+}
+
+type stormConfig struct {
+	plan     chaos.Plan
+	duration time.Duration
+	clients  int
+	rate     float64
+	keys     int
+	threads  int
+	maxQueue int
+	maxWait  time.Duration
+	budget   time.Duration
+	opTO     time.Duration
+	p99Limit time.Duration
+}
+
+// worker is one proxied load connection's bookkeeping.
+type worker struct {
+	id         int
+	lastIssued uint64
+	lastAcked  uint64
+	accepted   []time.Duration // send→reply of successful attempts
+	codes      map[txkvwire.Code]uint64
+	untyped    uint64 // error replies without a valid code — must stay 0
+	transport  uint64 // attempts lost to the network (resets, timeouts, torn frames)
+}
+
+func stormOne(kind string, cfg stormConfig) error {
+	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{
+		Engine:       harness.EngineSpec{Kind: kind, Manager: "polka"},
+		Keys:         cfg.keys,
+		Threads:      cfg.threads,
+		MaxConns:     2*cfg.clients + 8, // headroom for the control conn and redial churn
+		MaxQueue:     cfg.maxQueue,
+		MaxQueueWait: cfg.maxWait,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer srv.Close()
+
+	proxy, err := chaos.New("127.0.0.1:0", srv.Addr().String(), cfg.plan)
+	if err != nil {
+		return fmt.Errorf("start proxy: %w", err)
+	}
+	defer proxy.Close()
+	fmt.Printf("chaoskv: %s: server=%s proxy=%s plan: %s\n", kind, srv.Addr(), proxy.Addr(), cfg.plan)
+
+	// Direct (un-proxied) control connection: counter baselines now,
+	// acked-write verification after the storm.
+	// Retries on the control path outlast the residual queue: for a
+	// short while after the workers stop, batches they abandoned are
+	// still occupying the engine, so even direct verification reads can
+	// be shed. That is correct server behavior — the reader just tries
+	// again.
+	ctl, err := txkvclient.DialRetryOptions(srv.Addr().String(), 5*time.Second, txkvclient.Options{
+		Timeout: 2 * time.Second, MaxRetries: 100, BackoffBase: 2 * time.Millisecond, BackoffMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("dial control: %w", err)
+	}
+	defer ctl.Close()
+	stats0, err := ctl.Stats()
+	if err != nil {
+		return fmt.Errorf("baseline stats: %w", err)
+	}
+
+	// Open-loop arrival process: tokens at cfg.rate for cfg.duration.
+	// The buffered channel holds the whole backlog so the generator
+	// never blocks; workers drain what the proxied path can carry and
+	// the rest is abandoned at stop (reported, not an error — offered
+	// load exceeding capacity is the point).
+	total := uint64(cfg.rate * cfg.duration.Seconds())
+	tokens := make(chan struct{}, total)
+	stop := make(chan struct{})
+	go func() {
+		interval := float64(time.Second) / cfg.rate
+		start := time.Now()
+		for i := uint64(0); i < total; i++ {
+			sched := start.Add(time.Duration(float64(i) * interval))
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			tokens <- struct{}{}
+		}
+		close(stop)
+	}()
+
+	workers := make([]*worker, cfg.clients)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.clients; g++ {
+		w := &worker{id: g, codes: map[txkvwire.Code]uint64{}}
+		workers[g] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker(w, proxy.Addr().String(), cfg, tokens, stop)
+		}()
+	}
+	wg.Wait()
+
+	// The server must still be alive.
+	select {
+	case <-srv.Done():
+		return fmt.Errorf("server accept loop died during the storm: %v", srv.Err())
+	default:
+	}
+
+	// Fold the verdicts.
+	var issued, ackedOps, untyped, transport uint64
+	var lats []time.Duration
+	codes := map[txkvwire.Code]uint64{}
+	for _, w := range workers {
+		issued += w.lastIssued
+		ackedOps += w.lastAcked
+		untyped += w.untyped
+		transport += w.transport
+		lats = append(lats, w.accepted...)
+		for c, n := range w.codes {
+			codes[c] += n
+		}
+	}
+	if untyped > 0 {
+		return fmt.Errorf("%d error replies carried no valid code", untyped)
+	}
+	if ackedOps == 0 {
+		return fmt.Errorf("no write was ever acknowledged; the storm tested nothing (lower -rate or raise -duration)")
+	}
+
+	// Acked-write oracle over the direct connection, crashkv-style:
+	// monotone per-key values make survival a range check.
+	for _, w := range workers {
+		if w.lastAcked == 0 {
+			continue
+		}
+		v, found, err := ctl.Get(workerKey(w.id))
+		if err != nil {
+			return fmt.Errorf("worker %d: verification read: %w", w.id, err)
+		}
+		if !found {
+			return fmt.Errorf("worker %d: acked writes up to %d but key is gone — ACKED WRITE LOST", w.id, w.lastAcked)
+		}
+		if v < w.lastAcked || v > w.lastIssued {
+			return fmt.Errorf("worker %d: value %d outside [last acked %d, last issued %d] — ACKED WRITE LOST",
+				w.id, v, w.lastAcked, w.lastIssued)
+		}
+	}
+
+	stats1, err := ctl.Stats()
+	if err != nil {
+		return fmt.Errorf("final stats: %w", err)
+	}
+	sheds := stats1.Sheds - stats0.Sheds
+	deadlines := stats1.DeadlineExceeded - stats0.DeadlineExceeded
+	connRej := stats1.ConnsRejected - stats0.ConnsRejected
+	if sheds == 0 {
+		return fmt.Errorf("server shed nothing — overload never engaged, the gate tested nothing (raise -rate or shrink -max-queue)")
+	}
+
+	// Bounded time-in-system for accepted work.
+	if len(lats) == 0 {
+		return fmt.Errorf("no request was ever accepted")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[(len(lats)*99+99)/100-1] // nearest-rank
+	if p99 > cfg.p99Limit {
+		return fmt.Errorf("accepted-request p99 %v exceeds %v — admission control is not bounding time-in-system", p99, cfg.p99Limit)
+	}
+
+	// No deadlock: drain must complete in bounded time.
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain() }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("server drain hung — deadlock")
+	}
+
+	ps := proxy.Stats()
+	fmt.Printf("chaoskv: %s: issued=%d acked=%d accepted=%d p99=%v sheds=%d deadline=%d connrej=%d transport=%d codes=%v faults{trunc=%d rst=%d hole=%d}/%d conns\n",
+		kind, issued, ackedOps, len(lats), p99.Round(time.Microsecond),
+		sheds, deadlines, connRej, transport, fmtCodes(codes),
+		ps.Truncates, ps.RSTs, ps.Blackholes, ps.Conns)
+	return nil
+}
+
+func workerKey(id int) uint64 { return uint64(100_000 + id) }
+
+// runWorker drains arrival tokens through one proxied connection until
+// the stop signal: 60% monotone Puts to its own key, 20% Gets of a
+// neighbor key, 20% full-store scans. The scans hold an engine thread
+// for whole milliseconds, so arrivals behind them pile into the
+// admission queue — that convoy is what makes the shed counters move
+// with a deliberately small thread pool. Fail-fast client (no built-in
+// retry) so every attempt
+// is observed and timed individually; transport failures re-dial
+// through the proxy and move on — a mutation is never blindly
+// re-issued, the [acked, issued] range check absorbs the uncertainty.
+func runWorker(w *worker, proxyAddr string, cfg stormConfig, tokens <-chan struct{}, stop <-chan struct{}) {
+	opts := txkvclient.Options{Timeout: cfg.opTO}
+	cl, err := txkvclient.DialOptions(proxyAddr, opts)
+	if err != nil {
+		return
+	}
+	defer func() { cl.Close() }()
+
+	key := workerKey(w.id)
+	var v uint64
+	for n := uint64(0); ; n++ {
+		select {
+		case <-stop:
+			return
+		case <-tokens:
+		}
+		var req txkvwire.Req
+		mutation := false
+		switch {
+		case n%10 < 6:
+			mutation = true
+			v++
+			w.lastIssued = v
+			req = txkvwire.Req{Op: txkvwire.OpPut, Key: key, Val: v, TTL: cfg.budget}
+		case n%10 < 8:
+			req = txkvwire.Req{Op: txkvwire.OpGet, Key: workerKey(int(n) % cfg.clients), TTL: cfg.budget}
+		default:
+			// A batch of full-store scans occupies an engine thread for
+			// several milliseconds on every engine — long enough that
+			// requests queued behind it overrun the queue-wait bound.
+			sub := make([]txkvwire.Req, 8)
+			for i := range sub {
+				sub[i] = txkvwire.Req{Op: txkvwire.OpSum, Shard: -1}
+			}
+			req = txkvwire.Req{Op: txkvwire.OpBatch, Sub: sub, TTL: cfg.budget}
+		}
+		t0 := time.Now()
+		reply, err := cl.Do(req)
+		if err != nil {
+			w.transport++
+			cl.Close()
+			if cl, err = txkvclient.DialOptions(proxyAddr, opts); err != nil {
+				return // proxy itself is gone; the storm is over
+			}
+			continue
+		}
+		if reply.Err != "" {
+			if reply.Code == txkvwire.CodeNone {
+				w.untyped++
+			}
+			w.codes[reply.Code]++
+			continue
+		}
+		w.accepted = append(w.accepted, time.Since(t0))
+		if mutation {
+			w.lastAcked = v
+		}
+	}
+}
+
+func fmtCodes(codes map[txkvwire.Code]uint64) string {
+	if len(codes) == 0 {
+		return "{}"
+	}
+	keys := make([]txkvwire.Code, 0, len(codes))
+	for c := range codes {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, c := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", c, codes[c])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

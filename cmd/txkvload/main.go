@@ -43,26 +43,28 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "address of an already-running txkvserver (mutually exclusive with -launch)")
-		launch  = flag.Bool("launch", false, "launch an in-process server per engine on an ephemeral loopback port")
-		engines = flag.String("engines", "swisstm,tinystm,rstm,tl2", "comma-separated engine kinds (launch mode); label for -addr mode")
-		manager = flag.String("cm", "polka", "RSTM contention manager (launch mode)")
-		mixes   = flag.String("mixes", "read-heavy,update-heavy,transfer", "comma-separated workload mixes")
-		conns   = flag.String("conns", "2", "comma-separated connection-count sweep")
-		rate    = flag.Float64("rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
-		ops     = flag.Uint64("ops", 2000, "total operations per measured point")
-		keys    = flag.Int("keys", 1024, "key population (server pre-filled with keys 1..n)")
-		zipf    = flag.Float64("zipf", 0.99, "zipfian key-popularity skew θ in (0,1); 0 = uniform")
-		seed    = flag.Uint64("seed", 1, "base seed for the per-connection RNGs (0 = time-derived)")
-		late    = flag.Duration("late", time.Millisecond, "open-loop late-dispatch threshold")
-		repeats = flag.Int("repeats", 1, "measured repeats per point")
-		format  = flag.String("format", "text", "output format: text | csv | jsonl")
-		outDir  = flag.String("out", "", "directory for result files (default txkvload_runs for csv/jsonl)")
-		name    = flag.String("name", "txkvload", "result file base name")
-		walDir  = flag.String("wal", "", "launch mode: durable commit log directory for the launched server (a fresh subdirectory per point; off when empty)")
-		fsync   = flag.String("fsync", "group", "launch mode: commit log durability, always | group | none")
-		timeout = flag.Duration("timeout", 0, "per-request client deadline (0 = none)")
-		retries = flag.Int("retries", 0, "per-request transport-failure retry budget (0 = fail fast)")
+		addr     = flag.String("addr", "", "address of an already-running txkvserver (mutually exclusive with -launch)")
+		launch   = flag.Bool("launch", false, "launch an in-process server per engine on an ephemeral loopback port")
+		engines  = flag.String("engines", "swisstm,tinystm,rstm,tl2", "comma-separated engine kinds (launch mode); label for -addr mode")
+		manager  = flag.String("cm", "polka", "RSTM contention manager (launch mode)")
+		mixes    = flag.String("mixes", "read-heavy,update-heavy,transfer", "comma-separated workload mixes")
+		conns    = flag.String("conns", "2", "comma-separated connection-count sweep")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
+		ops      = flag.Uint64("ops", 2000, "total operations per measured point")
+		keys     = flag.Int("keys", 1024, "key population (server pre-filled with keys 1..n)")
+		zipf     = flag.Float64("zipf", 0.99, "zipfian key-popularity skew θ in (0,1); 0 = uniform")
+		seed     = flag.Uint64("seed", 1, "base seed for the per-connection RNGs (0 = time-derived)")
+		late     = flag.Duration("late", time.Millisecond, "open-loop late-dispatch threshold")
+		repeats  = flag.Int("repeats", 1, "measured repeats per point")
+		format   = flag.String("format", "text", "output format: text | csv | jsonl")
+		outDir   = flag.String("out", "", "directory for result files (default txkvload_runs for csv/jsonl)")
+		name     = flag.String("name", "txkvload", "result file base name")
+		walDir   = flag.String("wal", "", "launch mode: durable commit log directory for the launched server (a fresh subdirectory per point; off when empty)")
+		fsync    = flag.String("fsync", "group", "launch mode: commit log durability, always | group | none")
+		timeout  = flag.Duration("timeout", 0, "per-request client deadline (0 = none)")
+		retries  = flag.Int("retries", 0, "per-request retry budget for retryable shed replies and transport failures (0 = fail fast)")
+		retryMut = flag.Bool("retry-mutations", false, "opt mutations into transport-failure retry (at-least-once)")
+		budget   = flag.Duration("budget", 0, "per-request deadline budget propagated to the server as the wire TTL (0 = none)")
 	)
 	flag.Parse()
 	if !results.KnownFormat(*format) {
@@ -168,6 +170,7 @@ func main() {
 							Keys: *keys, Zipf: *zipf, Seed: runSeed,
 							Ops: *ops, Rate: *rate, LateThreshold: *late,
 							Timeout: *timeout, Retries: *retries,
+							RetryMutations: *retryMut, Budget: *budget,
 						})
 						if srv != nil {
 							srv.Close()

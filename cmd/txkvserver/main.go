@@ -48,6 +48,9 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 0, "per-connection idle read timeout (0 = no limit)")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-reply write timeout (0 = no limit)")
 		portFile = flag.String("portfile", "", "write the bound data address to this file once listening (for harnesses using :0)")
+		maxConns = flag.Int("max-conns", 0, "connection cap: excess connections get one Overloaded frame and close (0 = unlimited)")
+		maxQueue = flag.Int("max-queue", 0, "admission queue cap: requests arriving at a full queue are shed Overloaded (0 = unlimited)")
+		maxWait  = flag.Duration("max-queue-wait", 0, "bound on one request's wait for an engine thread before it is shed Overloaded (0 = unlimited)")
 	)
 	flag.Parse()
 	switch *engine {
@@ -72,6 +75,9 @@ func main() {
 		WALSync:      mode,
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
+		MaxConns:     *maxConns,
+		MaxQueue:     *maxQueue,
+		MaxQueueWait: *maxWait,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txkvserver:", err)

@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func startProxy(t *testing.T, target string, plan Plan) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:0", target, plan)
+	if err != nil {
+		t.Fatalf("chaos.New: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestFaithfulRelay: the zero plan is a plain TCP relay.
+func TestFaithfulRelay(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Plan{})
+	c := dialProxy(t, p)
+
+	msg := bytes.Repeat([]byte("roundtrip"), 100)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo corrupted through faithful relay")
+	}
+	if st := p.Stats(); st.Conns != 1 || st.Truncates+st.RSTs+st.Blackholes != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestLatencyShaping: each direction adds Plan.Latency per chunk, so an
+// echo round trip takes at least twice that.
+func TestLatencyShaping(t *testing.T) {
+	ln := echoServer(t)
+	const lat = 30 * time.Millisecond
+	p := startProxy(t, ln.Addr().String(), Plan{Latency: lat})
+	c := dialProxy(t, p)
+
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d < 2*lat {
+		t.Fatalf("round trip %v faster than two one-way latencies %v", d, 2*lat)
+	}
+}
+
+// TestBandwidthThrottle: serialization delay scales with chunk size.
+func TestBandwidthThrottle(t *testing.T) {
+	ln := echoServer(t)
+	// 10 kB/s: a 2 kB message costs ≥200ms each way.
+	p := startProxy(t, ln.Addr().String(), Plan{BandwidthBps: 10_000})
+	c := dialProxy(t, p)
+
+	msg := bytes.Repeat([]byte{0xab}, 2000)
+	start := time.Now()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("2 kB echo at 10 kB/s took only %v", d)
+	}
+}
+
+// TestTruncate: with p=1 and a fixed fire offset, the connection dies
+// after exactly fireAfter forwarded bytes — mid-stream.
+func TestTruncate(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Plan{
+		TruncateProb: 1, FireAfterMin: 10, FireAfterMax: 10,
+	})
+	c := dialProxy(t, p)
+
+	if _, err := c.Write(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := io.Copy(io.Discard, c)
+	if err == nil && n >= 100 {
+		t.Fatalf("full 100-byte echo survived a 10-byte truncation (read %d)", n)
+	}
+	if n > 10 {
+		t.Fatalf("read %d echoed bytes, fault was scheduled at 10 total", n)
+	}
+	if st := p.Stats(); st.Truncates != 1 {
+		t.Fatalf("want 1 truncate, got %+v", st)
+	}
+}
+
+// TestRST: the client observes a hard error, not a clean EOF.
+func TestRST(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Plan{
+		RSTProb: 1, FireAfterMin: 1, FireAfterMax: 1,
+	})
+	c := dialProxy(t, p)
+
+	if _, err := c.Write([]byte("doomed")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The 6-byte write crosses the 1-byte fire offset, so the shared
+	// forwarded-byte budget is spent before anything can echo back:
+	// the client must see a failure (RST, or EOF where the FIN/RST
+	// race is platform-dependent) and zero payload.
+	n, err := io.Copy(io.Discard, c)
+	if err == nil && n > 0 {
+		t.Fatalf("read %d bytes through a connection reset at byte 1", n)
+	}
+	if st := p.Stats(); st.RSTs != 1 {
+		t.Fatalf("want 1 rst, got %+v", st)
+	}
+}
+
+// TestBlackhole: the connection stays open but nothing comes back —
+// only the client's own deadline saves it.
+func TestBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Plan{
+		BlackholeProb: 1, FireAfterMin: 1, FireAfterMax: 1,
+	})
+	c := dialProxy(t, p)
+
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	n, err := c.Read(buf)
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("want read timeout through blackhole, got n=%d err=%v", n, err)
+	}
+	if st := p.Stats(); st.Blackholes != 1 {
+		t.Fatalf("want 1 blackhole, got %+v", st)
+	}
+}
+
+// TestDeterminism: the same plan resolves the same per-connection
+// schedule, and a different seed diverges somewhere.
+func TestDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, TruncateProb: 0.3, RSTProb: 0.3, BlackholeProb: 0.3, FireAfterMax: 1 << 16}
+	if err := plan.fill(); err != nil {
+		t.Fatal(err)
+	}
+	other := plan
+	other.Seed = 43
+	if err := other.fill(); err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for i := uint64(0); i < 64; i++ {
+		a, b := plan.decide(i), plan.decide(i)
+		if a != b {
+			t.Fatalf("conn %d: same seed resolved different plans %+v vs %+v", i, a, b)
+		}
+		if plan.decide(i) != other.decide(i) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatalf("seeds 42 and 43 resolved identical schedules for 64 connections")
+	}
+}
+
+// TestPlanValidation: malformed plans are rejected.
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{TruncateProb: 0.6, RSTProb: 0.6},
+		{TruncateProb: -0.1},
+		{Latency: -time.Second},
+		{FireAfterMin: 10, FireAfterMax: 5},
+	}
+	for i, pl := range bad {
+		if err := pl.fill(); err == nil {
+			t.Fatalf("plan %d accepted: %+v", i, pl)
+		}
+	}
+}
+
+// TestProxyCloseUnblocks: Close severs even a blackholed pair and
+// returns promptly.
+func TestProxyCloseUnblocks(t *testing.T) {
+	ln := echoServer(t)
+	p := startProxy(t, ln.Addr().String(), Plan{BlackholeProb: 1, FireAfterMax: 1})
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("stuck")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("proxy Close hung on a blackholed connection")
+	}
+}

@@ -113,6 +113,13 @@ type Record struct {
 	// the load generator's connections.
 	Retries    uint64 `json:"retries"`
 	Reconnects uint64 `json:"reconnects"`
+
+	// Admission-control counters (DESIGN.md §13), diffed over the run
+	// window from the server's Stats: requests shed before execution
+	// (queue full, queue wait limit, draining) and requests dropped
+	// because their deadline budget expired server-side.
+	Sheds            uint64 `json:"sheds"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 }
 
 // SetStats copies the full per-run statistics breakdown into r.
@@ -155,6 +162,7 @@ var header = []string{
 	"abort_rate", "checked_ok",
 	"phase_wal_ns", "wal_frames", "wal_bytes", "wal_recovered_frames",
 	"retries", "reconnects",
+	"sheds", "deadline_exceeded",
 }
 
 func (r Record) row() []string {
@@ -206,6 +214,8 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.WalRecoveredFrames, 10),
 		strconv.FormatUint(r.Retries, 10),
 		strconv.FormatUint(r.Reconnects, 10),
+		strconv.FormatUint(r.Sheds, 10),
+		strconv.FormatUint(r.DeadlineExceeded, 10),
 	}
 }
 
@@ -301,6 +311,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.WalFrames, rec.WalBytes = u64(row[46]), u64(row[47])
 		rec.WalRecoveredFrames = u64(row[48])
 		rec.Retries, rec.Reconnects = u64(row[49]), u64(row[50])
+		rec.Sheds, rec.DeadlineExceeded = u64(row[51]), u64(row[52])
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
 		}

@@ -7,6 +7,7 @@ package txkvclient
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -15,23 +16,61 @@ import (
 	"swisstm/internal/txkvwire"
 )
 
+// ErrCircuitOpen is returned by Do without touching the network while
+// the circuit breaker is open: the server answered Overloaded
+// BreakerThreshold times in a row, so the client fails fast for
+// BreakerCooldown instead of adding to the pile-up.
+var ErrCircuitOpen = errors.New("txkvclient: circuit breaker open (server overloaded)")
+
 // Options tunes a Client's resilience. The zero value is the strict
-// fail-fast client: no deadlines, no retries.
+// fail-fast client: no deadlines, no retries, no breaker.
 type Options struct {
 	// Timeout bounds each request round trip (connect + write + read).
 	// 0 = wait forever.
 	Timeout time.Duration
-	// MaxRetries is how many times a request is retried over a fresh
-	// connection after a transport failure, with bounded exponential
-	// backoff between attempts. Retrying gives at-least-once semantics:
-	// when the failure hit after the server executed the request (e.g.
-	// a lost reply), the retry applies it again. 0 = fail fast.
+	// MaxRetries is how many times one request may be re-issued, with
+	// bounded exponential backoff between attempts. Two distinct
+	// failures trigger a retry (DESIGN.md §13):
+	//
+	//   - a reply with a retryable code (Overloaded, Draining): the
+	//     server shed the request BEFORE executing it, so re-issuing is
+	//     safe for every op, mutations included;
+	//   - a transport failure (connection reset, timeout, torn frame):
+	//     the server may have executed the request and only the reply
+	//     was lost, so re-issuing a mutation risks applying it twice —
+	//     mutations are retried only with RetryMutations set, reads
+	//     always.
+	//
+	// Permanent codes (Rejected, DeadlineExceeded, Internal) are never
+	// retried. 0 = fail fast.
 	MaxRetries int
+	// RetryMutations opts mutating requests (put/delete/cas/transfer
+	// and batches containing them) into transport-failure retry,
+	// accepting at-least-once semantics. Off by default: a lost reply
+	// must not silently re-apply a transfer.
+	RetryMutations bool
 	// BackoffBase/BackoffMax bound the backoff: attempt k sleeps a
 	// uniformly jittered duration in (0, min(BackoffBase<<k,
 	// BackoffMax)]. Defaults 1ms and 100ms.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Budget is the default per-request deadline budget: each Do gets
+	// Budget of wall-clock time across ALL its attempts, and every
+	// attempt advertises the remaining budget to the server as the wire
+	// TTL, so the server stops queueing work the client has already
+	// given up on. A request's own TTL, when set, overrides Budget.
+	// 0 = no deadline.
+	Budget time.Duration
+	// BreakerThreshold, when positive, opens the circuit breaker after
+	// that many consecutive Overloaded replies: Do then fails fast with
+	// ErrCircuitOpen (no network traffic) until BreakerCooldown has
+	// passed, after which one probe request is let through — success
+	// closes the breaker, another Overloaded re-opens it. 0 = no
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open (default
+	// 100ms).
+	BreakerCooldown time.Duration
 }
 
 func (o *Options) fill() {
@@ -40,6 +79,9 @@ func (o *Options) fill() {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 100 * time.Millisecond
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 100 * time.Millisecond
 	}
 }
 
@@ -53,11 +95,21 @@ type Client struct {
 	rbuf []byte
 	wbuf []byte
 
-	// Retries counts request attempts re-issued after a transport
-	// failure; Reconnects counts successful re-dials. Both are zero for
-	// a fail-fast client.
-	Retries    uint64
-	Reconnects uint64
+	// breaker state: consecutive Overloaded replies seen, and the time
+	// before which Do fails fast. Client is single-goroutine, so plain
+	// fields suffice.
+	breakerFails int
+	breakerUntil time.Time
+
+	// Retries counts re-issued request attempts (shed replies and
+	// transport failures alike); Reconnects counts successful re-dials;
+	// ShedRetries is the subset of Retries triggered by a typed
+	// retryable code; BreakerOpens counts open transitions. All zero
+	// for a fail-fast client.
+	Retries      uint64
+	Reconnects   uint64
+	ShedRetries  uint64
+	BreakerOpens uint64
 }
 
 // Dial connects to a txkv server with fail-fast semantics.
@@ -99,35 +151,131 @@ func DialRetryOptions(addr string, timeout time.Duration, opts Options) (*Client
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Do sends one request and waits for its reply. An error reply from the
-// server is returned as the reply with Err set, not as a Go error — the
-// Go error path is reserved for transport and protocol failures. With
-// Options.MaxRetries set, a transport failure re-dials (bounded
-// exponential backoff with jitter) and re-issues the request; see the
-// at-least-once caveat on Options.
+// server is returned as the reply with Err set (and a typed Code), not
+// as a Go error — the Go error path is reserved for transport and
+// protocol failures, plus ErrCircuitOpen. With Options.MaxRetries set,
+// retryable shed replies and (for reads, or with RetryMutations) lost
+// connections re-issue the request with full-jitter backoff; the
+// remaining deadline budget rides along as the wire TTL.
 func (c *Client) Do(req txkvwire.Req) (txkvwire.Reply, error) {
+	if c.opts.BreakerThreshold > 0 && time.Now().Before(c.breakerUntil) {
+		return txkvwire.Reply{}, ErrCircuitOpen
+	}
+	// The deadline covers the whole Do — every attempt plus the
+	// backoffs between them. A request-level TTL overrides the
+	// configured default budget.
+	var deadline time.Time
+	if req.TTL > 0 {
+		deadline = time.Now().Add(req.TTL)
+	} else if c.opts.Budget > 0 {
+		req.TTL = c.opts.Budget
+		deadline = time.Now().Add(c.opts.Budget)
+	}
+	transportOK := c.opts.RetryMutations || !mutatingReq(req)
+
+	var reply txkvwire.Reply
 	var err error
-	c.wbuf, err = txkvwire.AppendReq(c.wbuf[:0], req)
-	if err != nil {
-		return txkvwire.Reply{}, err // malformed request: retrying can't help
-	}
-	reply, err := c.roundTrip()
-	for attempt := 0; err != nil && attempt < c.opts.MaxRetries; attempt++ {
-		c.Retries++
-		c.sleepBackoff(attempt)
-		if rerr := c.redial(); rerr != nil {
-			err = rerr
-			continue
+	for attempt := 0; ; attempt++ {
+		c.wbuf, err = txkvwire.AppendReq(c.wbuf[:0], req)
+		if err != nil {
+			return txkvwire.Reply{}, err // malformed request: retrying can't help
 		}
-		reply, err = c.roundTrip()
+		reply, err = c.roundTrip(deadline)
+		if err == nil {
+			c.breakerNote(reply.Code)
+			if !reply.Code.Retryable() {
+				return reply, nil
+			}
+			// Stop retrying when attempts are spent or this reply just
+			// tripped the breaker — hammering an overloaded server with
+			// the remaining attempts is what the breaker exists to stop.
+			if attempt >= c.opts.MaxRetries || c.breakerErr() != nil {
+				return reply, nil
+			}
+			c.ShedRetries++
+		} else {
+			if attempt >= c.opts.MaxRetries || !transportOK {
+				return reply, err
+			}
+		}
+		c.Retries++
+		c.sleepBackoff(attempt, deadline)
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				// Budget exhausted: surface whatever the last attempt got.
+				return reply, err
+			}
+			req.TTL = rem
+		}
+		if err != nil {
+			// Transport failures poison the connection; shed replies
+			// arrive on a healthy one, so only the former re-dials.
+			if rerr := c.redial(); rerr != nil {
+				err = rerr
+			}
+		}
 	}
-	return reply, err
+}
+
+// breakerErr reports ErrCircuitOpen while the breaker is open, nil
+// otherwise.
+func (c *Client) breakerErr() error {
+	if c.opts.BreakerThreshold > 0 && time.Now().Before(c.breakerUntil) {
+		return ErrCircuitOpen
+	}
+	return nil
+}
+
+// breakerNote feeds one reply code into the breaker: consecutive
+// Overloaded replies trip it open for BreakerCooldown; anything else
+// closes it.
+func (c *Client) breakerNote(code txkvwire.Code) {
+	if c.opts.BreakerThreshold <= 0 {
+		return
+	}
+	if code != txkvwire.CodeOverloaded {
+		c.breakerFails = 0
+		return
+	}
+	c.breakerFails++
+	if c.breakerFails >= c.opts.BreakerThreshold {
+		c.breakerUntil = time.Now().Add(c.opts.BreakerCooldown)
+		c.breakerFails = 0
+		c.BreakerOpens++
+	}
+}
+
+// mutatingReq reports whether a request (or any batch sub-request)
+// writes the store — the ops whose transport-failure retry is gated by
+// Options.RetryMutations.
+func mutatingReq(req txkvwire.Req) bool {
+	switch req.Op {
+	case txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS, txkvwire.OpTransfer:
+		return true
+	case txkvwire.OpBatch:
+		for i := range req.Sub {
+			if mutatingReq(req.Sub[i]) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // roundTrip writes the encoded request in c.wbuf and reads its reply,
-// under the per-request deadline when one is configured.
-func (c *Client) roundTrip() (txkvwire.Reply, error) {
+// under the tighter of the per-attempt Timeout and the request's
+// overall deadline.
+func (c *Client) roundTrip(deadline time.Time) (txkvwire.Reply, error) {
+	var connDL time.Time
 	if c.opts.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		connDL = time.Now().Add(c.opts.Timeout)
+	}
+	if !deadline.IsZero() && (connDL.IsZero() || deadline.Before(connDL)) {
+		connDL = deadline
+	}
+	if !connDL.IsZero() {
+		c.conn.SetDeadline(connDL)
 	}
 	if err := txkvwire.WriteFrame(c.conn, c.wbuf); err != nil {
 		return txkvwire.Reply{}, err
@@ -155,13 +303,22 @@ func (c *Client) redial() error {
 
 // sleepBackoff sleeps the attempt's jittered backoff: full jitter over
 // an exponentially growing, capped window (so a burst of failing
-// clients does not reconnect in lockstep).
-func (c *Client) sleepBackoff(attempt int) {
+// clients does not reconnect in lockstep), never past the request's
+// deadline.
+func (c *Client) sleepBackoff(attempt int, deadline time.Time) {
 	max := c.opts.BackoffMax
 	if d := c.opts.BackoffBase << uint(attempt); d < max && d > 0 {
 		max = d
 	}
-	time.Sleep(time.Duration(1 + rand.Int63n(int64(max))))
+	d := time.Duration(1 + rand.Int63n(int64(max)))
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < d {
+			d = rem
+		}
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // do is Do plus promotion of server-side error replies to Go errors,

@@ -49,9 +49,16 @@ type LoadConfig struct {
 	// Timeout is the per-request deadline on every load connection
 	// (0 = none).
 	Timeout time.Duration
-	// Retries is the per-request transport-failure retry budget
-	// (bounded exponential backoff + reconnect; 0 = fail fast).
+	// Retries is the per-request retry budget — typed retryable shed
+	// replies and transport failures (bounded exponential backoff +
+	// reconnect; 0 = fail fast).
 	Retries int
+	// RetryMutations opts mutations into transport-failure retry
+	// (at-least-once); see Options.RetryMutations.
+	RetryMutations bool
+	// Budget is the per-request deadline budget propagated to the
+	// server as the wire TTL (0 = none); see Options.Budget.
+	Budget time.Duration
 }
 
 func (c *LoadConfig) fill() error {
@@ -178,6 +185,8 @@ func (r Result) Record(experiment, workload, engine, engineKind string, conns, r
 		WalRecoveredFrames: r.Server.WalRecovered,
 		Retries:            r.Retries,
 		Reconnects:         r.Reconnects,
+		Sheds:              r.Server.Sheds,
+		DeadlineExceeded:   r.Server.DeadlineExceeded,
 	}
 	if total := r.Server.Commits + r.Server.Aborts; total > 0 {
 		rec.AbortRate = float64(r.Server.Aborts) / float64(total)
@@ -352,6 +361,10 @@ func Run(cfg LoadConfig) (Result, error) {
 		WalFrames: stats1.WalFrames - stats0.WalFrames,
 		WalBytes:  stats1.WalBytes - stats0.WalBytes,
 
+		Sheds:            stats1.Sheds - stats0.Sheds,
+		DeadlineExceeded: stats1.DeadlineExceeded - stats0.DeadlineExceeded,
+		ConnsRejected:    stats1.ConnsRejected - stats0.ConnsRejected,
+
 		// Lifetime percentiles, not diffable — see the Server field doc.
 		SrvP50Ns:  stats1.SrvP50Ns,
 		SrvP99Ns:  stats1.SrvP99Ns,
@@ -423,8 +436,10 @@ type ldWorker struct {
 
 func newLdWorker(cfg LoadConfig, id int) (*ldWorker, error) {
 	cl, err := DialRetryOptions(cfg.Addr, 5*time.Second, Options{
-		Timeout:    cfg.Timeout,
-		MaxRetries: cfg.Retries,
+		Timeout:        cfg.Timeout,
+		MaxRetries:     cfg.Retries,
+		RetryMutations: cfg.RetryMutations,
+		Budget:         cfg.Budget,
 	})
 	if err != nil {
 		return nil, err

@@ -54,6 +54,16 @@ type metrics struct {
 	// aborts of multi-shard requests (sum/len/batch and key-less ops),
 	// labeled shard="multi".
 	shardConflicts []*obs.Counter
+
+	// Admission-control outcomes (DESIGN.md §13). A shed is a request
+	// turned away before it borrowed an engine thread; the reason label
+	// says which bound fired. Deadline expiries and connection-cap
+	// rejections are counted separately — they are not capacity sheds.
+	shedQueueFull    *obs.Counter // txkv_sheds_total{reason="queue_full"}
+	shedQueueWait    *obs.Counter // txkv_sheds_total{reason="queue_wait"}
+	shedDraining     *obs.Counter // txkv_sheds_total{reason="draining"}
+	deadlineExceeded *obs.Counter // txkv_deadline_exceeded_total
+	connsRejected    *obs.Counter // txkv_conns_rejected_total
 }
 
 func newMetrics(shards int) *metrics {
@@ -74,7 +84,29 @@ func newMetrics(shards int) *metrics {
 	}
 	m.shardConflicts[shards] = m.reg.Counter("txkv_shard_conflicts_total",
 		obs.Label{Key: "shard", Value: "multi"})
+	m.shedQueueFull = m.reg.Counter("txkv_sheds_total", obs.Label{Key: "reason", Value: "queue_full"})
+	m.shedQueueWait = m.reg.Counter("txkv_sheds_total", obs.Label{Key: "reason", Value: "queue_wait"})
+	m.shedDraining = m.reg.Counter("txkv_sheds_total", obs.Label{Key: "reason", Value: "draining"})
+	m.deadlineExceeded = m.reg.Counter("txkv_deadline_exceeded_total")
+	m.connsRejected = m.reg.Counter("txkv_conns_rejected_total")
 	return m
+}
+
+// recordShed counts one admission rejection by its wire code: sheds
+// (Overloaded split by which bound fired, Draining) and deadline
+// expiries feed separate counters because a deadline miss is the
+// client's budget running out, not the server refusing capacity.
+func (m *metrics) recordShed(code txkvwire.Code, queueFull bool) {
+	switch {
+	case code == txkvwire.CodeDraining:
+		m.shedDraining.Inc()
+	case code == txkvwire.CodeDeadlineExceeded:
+		m.deadlineExceeded.Inc()
+	case queueFull:
+		m.shedQueueFull.Inc()
+	default:
+		m.shedQueueWait.Inc()
+	}
 }
 
 // shardName formats a shard index without fmt (called only at init,
@@ -154,6 +186,9 @@ func (m *metrics) snapshot() txkvwire.Stats {
 	st.SrvP50Ns = total.Quantile(0.50)
 	st.SrvP99Ns = total.Quantile(0.99)
 	st.SrvP999Ns = total.Quantile(0.999)
+	st.Sheds = m.shedQueueFull.Load() + m.shedQueueWait.Load() + m.shedDraining.Load()
+	st.DeadlineExceeded = m.deadlineExceeded.Load()
+	st.ConnsRejected = m.connsRejected.Load()
 	return st
 }
 

@@ -71,6 +71,21 @@ type Config struct {
 	// WriteTimeout, when positive, bounds each reply write so a client
 	// that stops reading cannot pin a connection goroutine forever.
 	WriteTimeout time.Duration
+
+	// Admission control (DESIGN.md §13). All three default to 0 =
+	// unbounded, the pre-admission behavior: dispatch blocks on the
+	// thread pool forever and accept never refuses.
+	//
+	// MaxConns caps live client connections; excess connections get one
+	// Overloaded error frame and are closed.
+	MaxConns int
+	// MaxQueue caps requests waiting for an engine thread across all
+	// connections; a request arriving at a full queue is shed with
+	// Overloaded instead of joining it.
+	MaxQueue int
+	// MaxQueueWait bounds how long one request may wait for an engine
+	// thread before it is shed with Overloaded.
+	MaxQueueWait time.Duration
 }
 
 func (c *Config) fill() error {
@@ -110,8 +125,13 @@ type Server struct {
 	adminSrv *http.Server
 
 	// draining tells connection loops to stop picking up new requests;
-	// set by Drain before it stamps immediate read deadlines.
+	// set by Drain before it stamps immediate read deadlines. drainc is
+	// its channel twin, closed at the same moment, so a request already
+	// waiting in the admission queue can select on it and answer
+	// Draining instead of hanging until a thread frees up.
 	draining atomic.Bool
+	drainc   chan struct{}
+	queued   atomic.Int64  // requests currently waiting for a pool thread
 	fatal    chan struct{} // closed when the accept loop dies unexpectedly
 
 	mu        sync.Mutex
@@ -148,6 +168,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 		txnObs: txnObs,
 		pool:   make(chan *worker, cfg.Threads),
 		conns:  make(map[net.Conn]struct{}),
+		drainc: make(chan struct{}),
 		fatal:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Threads; i++ {
@@ -286,12 +307,16 @@ func (s *Server) shutdown(drain bool) error {
 		// mid-request finishes, sees the flag at the loop top and exits.
 		// (serveConn re-checks the flag after re-arming its deadline, so
 		// this order cannot strand a connection on a fresh timeout.)
+		// Closing drainc wakes requests already waiting in the admission
+		// queue: they reply Draining instead of hanging for a thread.
 		s.draining.Store(true)
+		close(s.drainc)
 		now := time.Now()
 		for c := range s.conns {
 			c.SetReadDeadline(now)
 		}
 	} else {
+		close(s.drainc)
 		for c := range s.conns {
 			c.Close()
 		}
@@ -330,10 +355,37 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.m.connsRejected.Inc()
+			// Tell the client why before hanging up, off the accept path
+			// so a slow-reading reject cannot stall admission.
+			go rejectConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
+	}
+}
+
+// rejectConn answers a connection over the MaxConns cap: one Overloaded
+// error frame (so a code-aware client backs off and retries rather than
+// seeing an opaque hangup), then close. Bounded by a write deadline —
+// a client that never reads cannot pin the goroutine.
+func rejectConn(conn net.Conn) {
+	defer conn.Close()
+	obuf, err := txkvwire.AppendReply(nil, txkvwire.Reply{
+		Op: txkvwire.OpInvalid, Err: "overloaded: connection limit reached", Code: txkvwire.CodeOverloaded,
+	})
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	bw := bufio.NewWriterSize(conn, 256)
+	if txkvwire.WriteFrame(bw, obuf) == nil {
+		bw.Flush()
 	}
 }
 
@@ -382,10 +434,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		var queueNs, txnNs, commitNs, walNs uint64
 		op := txkvwire.OpInvalid
 		if derr != nil {
-			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error()}
+			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error(), Code: txkvwire.CodeRejected}
 		} else {
 			op = req.Op
-			reply, queueNs, txnNs, commitNs, walNs = s.dispatch(req)
+			// The deadline clock starts at arrival (frame decoded), not
+			// at client send: the TTL is a budget for server-side work,
+			// and the wire carries a duration precisely so that clock
+			// skew between client and server cannot distort it.
+			var deadline time.Time
+			if req.TTL > 0 {
+				deadline = t0.Add(req.TTL)
+			}
+			reply, queueNs, txnNs, commitNs, walNs = s.dispatch(req, deadline)
 		}
 
 		r0 := time.Now()
@@ -394,7 +454,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			// An unencodable reply is a server bug; degrade to an error
 			// frame rather than silently dropping the connection.
-			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply"})
+			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply", Code: txkvwire.CodeInternal})
 		}
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -411,23 +471,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// dispatch validates the request, borrows a pool thread and executes
-// the transaction, returning the reply and the queue/txn/commit/wal
-// phase times. The commit-log publish happens after the worker is
-// back in the pool: a group fsync blocks only this connection's
-// goroutine, never an engine thread.
-func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnNs, commitNs, walNs uint64) {
+// dispatch validates the request, borrows a pool thread (bounded by
+// the admission limits and the request's deadline) and executes the
+// transaction, returning the reply and the queue/txn/commit/wal phase
+// times. The commit-log publish happens after the worker is back in
+// the pool: a group fsync blocks only this connection's goroutine,
+// never an engine thread.
+//
+// Every exit path — shed, expired, executed — reports its queue time,
+// so txkv_phase_ns{phase="queue"} covers rejected admissions too and
+// total stays the phase sum by construction (DESIGN.md §13).
+func (s *Server) dispatch(req txkvwire.Req, deadline time.Time) (reply txkvwire.Reply, queueNs, txnNs, commitNs, walNs uint64) {
 	if err := s.validate(req, true); err != nil {
-		return txkvwire.Reply{Op: req.Op, Err: err.Error()}, 0, 0, 0, 0
+		return txkvwire.Reply{Op: req.Op, Err: err.Error(), Code: txkvwire.CodeRejected}, 0, 0, 0, 0
 	}
 	if req.Op == txkvwire.OpStats {
 		// Stats needs no engine thread: it drains the pool itself to
-		// read the per-thread counters race-free.
+		// read the per-thread counters race-free. It also skips
+		// admission — the observability plane must answer precisely
+		// when the serving plane is saturated.
 		return s.statsReply(), 0, 0, 0, 0
 	}
 	q0 := time.Now()
-	w := <-s.pool
+	w, code, msg, queueFull := s.admit(q0, deadline)
 	queueNs = uint64(time.Since(q0).Nanoseconds())
+	if w == nil {
+		s.m.recordShed(code, queueFull)
+		return txkvwire.Reply{Op: req.Op, Err: msg, Code: code}, queueNs, 0, 0, 0
+	}
 	abortsBefore := w.th.Stats().Aborts
 	var pend pendingLog
 	reply, txnNs, commitNs = s.execute(w, req, &pend)
@@ -443,6 +514,58 @@ func (s *Server) dispatch(req txkvwire.Req) (reply txkvwire.Reply, queueNs, txnN
 		walNs = s.publishWAL(&pend, req, &reply)
 	}
 	return reply, queueNs, txnNs, commitNs, walNs
+}
+
+// admit borrows an engine thread subject to the admission bounds
+// (DESIGN.md §13): the request's deadline, Config.MaxQueue and
+// Config.MaxQueueWait, and an in-progress drain. On refusal it returns
+// a nil worker plus the typed code and message for the shed reply;
+// queueFull distinguishes the occupancy shed from the wait-limit shed
+// for the reason-labeled counter.
+func (s *Server) admit(now, deadline time.Time) (w *worker, code txkvwire.Code, msg string, queueFull bool) {
+	if !deadline.IsZero() && !now.Before(deadline) {
+		return nil, txkvwire.CodeDeadlineExceeded, "deadline expired before execution", false
+	}
+	// Fast path: a free thread admits immediately. The queue bounds
+	// waiters, not throughput, so occupancy is only checked when the
+	// request would actually wait.
+	select {
+	case w = <-s.pool:
+		return w, 0, "", false
+	default:
+	}
+	n := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	if max := s.cfg.MaxQueue; max > 0 && n > int64(max) {
+		return nil, txkvwire.CodeOverloaded, "overloaded: admission queue full", true
+	}
+	// Wait bounded by whichever of MaxQueueWait and the deadline bites
+	// first; the code reports which bound fired. No bound and no
+	// deadline means wait indefinitely (but never through a drain).
+	wait := s.cfg.MaxQueueWait
+	code, msg = txkvwire.CodeOverloaded, "overloaded: queue wait limit exceeded"
+	if !deadline.IsZero() {
+		if d := time.Until(deadline); wait == 0 || d < wait {
+			if d <= 0 {
+				return nil, txkvwire.CodeDeadlineExceeded, "deadline expired waiting for an engine thread", false
+			}
+			wait, code, msg = d, txkvwire.CodeDeadlineExceeded, "deadline expired waiting for an engine thread"
+		}
+	}
+	var timec <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timec = t.C
+	}
+	select {
+	case w = <-s.pool:
+		return w, 0, "", false
+	case <-timec:
+		return nil, code, msg, false
+	case <-s.drainc:
+		return nil, txkvwire.CodeDraining, "draining: server shutting down", false
+	}
 }
 
 // reqShard maps a request to the store shard its first key hashes to,
@@ -516,7 +639,7 @@ func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply t
 		// the dead attempt reserved must be released with it.
 		if r := recover(); r != nil {
 			pend.drop(s)
-			reply = txkvwire.Reply{Op: req.Op, Err: fmt.Sprintf("%s: %v", req.Op, r)}
+			reply = txkvwire.Reply{Op: req.Op, Err: fmt.Sprintf("%s: %v", req.Op, r), Code: txkvwire.CodeInternal}
 		}
 	}()
 
@@ -603,7 +726,7 @@ func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply t
 	case txkvwire.OpBatch:
 		reply = s.executeBatch(w, req, &bodyNs, pend)
 	default:
-		return txkvwire.Reply{Op: req.Op, Err: "unhandled op"}, 0, 0
+		return txkvwire.Reply{Op: req.Op, Err: "unhandled op", Code: txkvwire.CodeInternal}, 0, 0
 	}
 	totalNs := time.Since(a0).Nanoseconds()
 	txnNs = uint64(bodyNs)
@@ -678,7 +801,10 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *
 		return subs, nil
 	})
 	if err != nil {
-		return txkvwire.Reply{Op: req.Op, Err: err.Error()}
+		// Batch aborts are all client-condition failures (CAS miss,
+		// absent delete, failing transfer): retrying verbatim would hit
+		// the same condition, so they are permanent Rejected.
+		return txkvwire.Reply{Op: req.Op, Err: err.Error(), Code: txkvwire.CodeRejected}
 	}
 	return txkvwire.Reply{Op: req.Op, Sub: subs}
 }

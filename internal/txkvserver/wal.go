@@ -74,7 +74,9 @@ func (s *Server) publishWAL(pend *pendingLog, req txkvwire.Req, reply *txkvwire.
 	}
 	redoBufs.Put(bufp)
 	if err != nil {
-		*reply = txkvwire.Reply{Op: req.Op, Err: "wal: " + err.Error()}
+		// Internal, not retryable: the mutation may have applied in
+		// memory, so a blind retry could double-apply it.
+		*reply = txkvwire.Reply{Op: req.Op, Err: "wal: " + err.Error(), Code: txkvwire.CodeInternal}
 	}
 	return uint64(time.Since(t0).Nanoseconds())
 }

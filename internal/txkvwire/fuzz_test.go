@@ -3,6 +3,7 @@ package txkvwire
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 // FuzzDecodeReq asserts the request decoder is total: arbitrary bytes
@@ -20,6 +21,10 @@ func FuzzDecodeReq(f *testing.F) {
 		{Op: OpLen},
 		{Op: OpStats},
 		{Op: OpBatch, Sub: []Req{{Op: OpPut, Key: 1, Val: 2}, {Op: OpGet, Key: 1}}},
+		// Deadline header variants (DESIGN.md §13).
+		{Op: OpGet, Key: 42, TTL: 50 * time.Millisecond},
+		{Op: OpPut, Key: 1, Val: 2, TTL: time.Microsecond},
+		{Op: OpBatch, Sub: []Req{{Op: OpLen}}, TTL: MaxTTL},
 	}
 	for _, r := range seed {
 		enc, err := AppendReq(nil, r)
@@ -54,10 +59,15 @@ func FuzzDecodeReply(f *testing.F) {
 	seed := []Reply{
 		{Op: OpGet, Found: true, Val: 7},
 		{Op: OpPut, OK: true},
-		{Op: OpTransfer, Err: "insufficient balance"},
-		{Op: OpInvalid, Err: "bad request"},
-		{Op: OpStats, Stats: &Stats{Requests: 1, ParseNs: 2}},
+		{Op: OpTransfer, Err: "insufficient balance", Code: CodeRejected},
+		{Op: OpInvalid, Err: "bad request", Code: CodeRejected},
+		{Op: OpStats, Stats: &Stats{Requests: 1, ParseNs: 2, Sheds: 3}},
 		{Op: OpBatch, Sub: []Reply{{Op: OpGet, Found: false}}},
+		// One seed per overload-protection code (DESIGN.md §13).
+		{Op: OpPut, Err: "shed: queue full", Code: CodeOverloaded},
+		{Op: OpGet, Err: "deadline expired in queue", Code: CodeDeadlineExceeded},
+		{Op: OpCAS, Err: "server draining", Code: CodeDraining},
+		{Op: OpTransfer, Err: "panic in body", Code: CodeInternal},
 	}
 	for _, r := range seed {
 		enc, err := AppendReply(nil, r)

@@ -10,10 +10,18 @@
 // Framing: every message is a 4-byte little-endian payload length
 // followed by the payload. Payloads are capped at MaxFrame; a frame
 // announcing more is a protocol error and the connection is dropped.
-// The payload starts with a one-byte opcode; all integers are
-// little-endian fixed width. Decoders are total: any truncated,
-// oversized or garbage payload yields an error, never a panic — the
-// fuzz targets in this package pin that down.
+// A request payload starts with a one-byte flags header (optionally
+// followed by a per-request TTL) and then a one-byte opcode; a reply
+// payload starts with the opcode. All integers are little-endian fixed
+// width. Decoders are total: any truncated, oversized or garbage
+// payload yields an error, never a panic — the fuzz targets in this
+// package pin that down.
+//
+// Error replies are typed (DESIGN.md §13): every error carries a Code
+// that tells the client whether retrying can help (Overloaded,
+// Draining) or never will (Rejected, DeadlineExceeded, Internal). An
+// untyped error cannot be encoded, so "the client saw an error it
+// cannot classify" is a protocol violation, not a judgment call.
 package txkvwire
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Protocol limits. Encoders refuse to produce frames outside them and
@@ -34,7 +43,71 @@ const (
 	MaxTransferKeys = 64
 	// MaxErrLen caps an error reply's message in bytes.
 	MaxErrLen = 1024
+	// MaxTTL caps a request's deadline TTL (the wire carries whole
+	// microseconds in a uint32; anything longer is not a deadline).
+	MaxTTL = time.Duration(1<<32-1) * time.Microsecond
 )
+
+// Request payload header flags. Unknown bits are a protocol error, so
+// the header can grow without silently misparsing old decoders.
+const reqFlagTTL = 1 << 0
+
+// Code classifies an error reply (DESIGN.md §13). The zero value
+// CodeNone marks a non-error reply and is invalid on the wire: a
+// conforming encoder refuses to emit an error reply without a code.
+type Code uint8
+
+const (
+	// CodeNone is the zero value of a success reply, never sent in an
+	// error reply.
+	CodeNone Code = iota
+	// CodeRejected is permanent: the request itself is invalid (reserved
+	// key, bad shard, malformed payload) or its conditional failed
+	// (batch abort). Retrying the same request returns the same answer.
+	CodeRejected
+	// CodeOverloaded is retryable: admission control shed the request —
+	// the queue was full or the bounded queue wait expired — before any
+	// transaction ran. Retry after backing off.
+	CodeOverloaded
+	// CodeDeadlineExceeded is permanent for this request: its deadline
+	// expired before a pool thread picked it up. The time budget is the
+	// caller's; once spent, re-sending the same budget cannot help.
+	CodeDeadlineExceeded
+	// CodeDraining is retryable (elsewhere): the server is shutting down
+	// gracefully and stopped admitting work. No transaction ran.
+	CodeDraining
+	// CodeInternal is permanent: a server-side failure (panic out of a
+	// transaction body, commit-log append failure, unencodable reply).
+	// The op may or may not have applied; it was not acknowledged.
+	CodeInternal
+
+	codeMax
+)
+
+// Retryable reports whether the error is worth retrying: the server
+// shed the request before executing it and expects to recover.
+func (c Code) Retryable() bool {
+	return c == CodeOverloaded || c == CodeDraining
+}
+
+// String names the code for error messages and metric labels.
+func (c Code) String() string {
+	switch c {
+	case CodeNone:
+		return "none"
+	case CodeRejected:
+		return "rejected"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDeadlineExceeded:
+		return "deadline_exceeded"
+	case CodeDraining:
+		return "draining"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
 
 // Op identifies a request (and echoes in its reply).
 type Op uint8
@@ -109,13 +182,22 @@ type Req struct {
 	Keys   []uint64 // Transfer: source + destinations
 	Shard  int32    // Sum: shard index, -1 = whole store
 	Sub    []Req    // Batch sub-requests (no nesting)
+
+	// TTL is the request's remaining deadline budget when it left the
+	// client (0 = none). The server anchors it at decode time: a request
+	// still queued for a pool thread when arrival+TTL passes is dropped
+	// with CodeDeadlineExceeded instead of executing late. Microsecond
+	// wire resolution; top-level requests only (not batch sub-requests).
+	TTL time.Duration
 }
 
-// Reply is one decoded reply. Err != "" marks an error reply; all other
-// fields are then zero.
+// Reply is one decoded reply. Err != "" marks an error reply; Code then
+// classifies it (always a valid non-None code on the wire) and all
+// other fields are zero.
 type Reply struct {
 	Op    Op
 	Err   string
+	Code  Code    // error class; CodeNone iff Err == ""
 	Found bool    // Get
 	Val   uint64  // Get value, Sum, Len
 	OK    bool    // Put, Delete, CAS, Transfer
@@ -167,6 +249,11 @@ type Stats struct {
 	SrvP50Ns  uint64
 	SrvP99Ns  uint64
 	SrvP999Ns uint64
+
+	// Overload-protection counters (DESIGN.md §13). Cumulative.
+	Sheds            uint64 // requests shed by admission control (Overloaded + Draining replies)
+	DeadlineExceeded uint64 // requests dropped because their deadline expired pre-execution
+	ConnsRejected    uint64 // connections refused at the MaxConns limit
 }
 
 // ErrFrameTooLarge reports a frame length prefix above MaxFrame.
@@ -217,12 +304,28 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 
 // AppendReq appends r's payload encoding to dst. It validates the
 // request against the protocol limits so a conforming encoder can never
-// emit a frame a conforming decoder rejects.
+// emit a frame a conforming decoder rejects. The payload leads with a
+// one-byte flags header carrying the optional TTL.
 func AppendReq(dst []byte, r Req) ([]byte, error) {
+	if r.TTL < 0 || r.TTL > MaxTTL {
+		return nil, fmt.Errorf("txkvwire: request TTL %v out of range (0..%v)", r.TTL, MaxTTL)
+	}
+	if r.TTL > 0 {
+		dst = append(dst, reqFlagTTL)
+		us := uint32((r.TTL + time.Microsecond - 1) / time.Microsecond)
+		dst = binary.LittleEndian.AppendUint32(dst, us)
+	} else {
+		dst = append(dst, 0)
+	}
 	return appendReq(dst, r, true)
 }
 
 func appendReq(dst []byte, r Req, batchOK bool) ([]byte, error) {
+	if !batchOK && r.TTL != 0 {
+		// The deadline belongs to the whole request; a per-sub-op TTL
+		// would be meaningless inside one atomic batch.
+		return nil, errors.New("txkvwire: TTL on a batch sub-request")
+	}
 	dst = append(dst, byte(r.Op))
 	switch r.Op {
 	case OpGet, OpDelete:
@@ -277,7 +380,20 @@ func appendReq(dst []byte, r Req, batchOK bool) ([]byte, error) {
 // consumed: trailing bytes are a protocol error.
 func DecodeReq(payload []byte) (Req, error) {
 	c := cursor{b: payload}
+	flags := c.u8()
+	if c.err == nil && flags&^byte(reqFlagTTL) != 0 {
+		c.fail(fmt.Errorf("txkvwire: unknown request flags %#x", flags))
+	}
+	var ttl time.Duration
+	if c.err == nil && flags&reqFlagTTL != 0 {
+		us := c.u32()
+		if c.err == nil && us == 0 {
+			c.fail(errors.New("txkvwire: TTL flag with zero TTL"))
+		}
+		ttl = time.Duration(us) * time.Microsecond
+	}
 	r := decodeReq(&c, true)
+	r.TTL = ttl
 	if c.err != nil {
 		return Req{}, c.err
 	}
@@ -338,7 +454,9 @@ func decodeReq(c *cursor, batchOK bool) Req {
 // Reply encoding
 
 // AppendReply appends r's payload encoding to dst. Error replies carry
-// only the opcode (OpInvalid allowed there) and the message.
+// only the opcode (OpInvalid allowed there), the error code and the
+// message; encoding an error without a valid code is refused, so an
+// untyped error can never reach the wire.
 func AppendReply(dst []byte, r Reply) ([]byte, error) {
 	return appendReply(dst, r, true)
 }
@@ -346,14 +464,20 @@ func AppendReply(dst []byte, r Reply) ([]byte, error) {
 func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
 	dst = append(dst, byte(r.Op))
 	if r.Err != "" {
+		if r.Code == CodeNone || r.Code >= codeMax {
+			return nil, fmt.Errorf("txkvwire: error reply without a valid code (%d): %q", r.Code, r.Err)
+		}
 		msg := r.Err
 		if len(msg) > MaxErrLen {
 			msg = msg[:MaxErrLen]
 		}
-		dst = append(dst, 1)
+		dst = append(dst, 1, byte(r.Code))
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
 		dst = append(dst, msg...)
 		return dst, nil
+	}
+	if r.Code != CodeNone {
+		return nil, fmt.Errorf("txkvwire: code %v on a success reply", r.Code)
 	}
 	dst = append(dst, 0)
 	switch r.Op {
@@ -391,6 +515,7 @@ func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
 			r.Stats.LockAcquireFail, r.Stats.AbortsValidRead, r.Stats.AbortsValidCommit,
 			r.Stats.SrvP50Ns, r.Stats.SrvP99Ns, r.Stats.SrvP999Ns,
 			r.Stats.WalNs, r.Stats.WalFrames, r.Stats.WalBytes, r.Stats.WalRecovered,
+			r.Stats.Sheds, r.Stats.DeadlineExceeded, r.Stats.ConnsRejected,
 		} {
 			dst = binary.LittleEndian.AppendUint64(dst, v)
 		}
@@ -425,11 +550,17 @@ func decodeReply(c *cursor, batchOK bool) Reply {
 	}
 	switch status {
 	case 1:
+		code := Code(c.u8())
+		if c.err == nil && (code == CodeNone || code >= codeMax) {
+			c.fail(fmt.Errorf("txkvwire: error reply with unknown code %d", code))
+			return r
+		}
 		n := int(c.u16())
 		if c.err == nil && (n < 1 || n > MaxErrLen) {
 			c.fail(fmt.Errorf("txkvwire: error reply with %d-byte message (want 1..%d)", n, MaxErrLen))
 			return r
 		}
+		r.Code = code
 		r.Err = string(c.bytes(n))
 		return r
 	case 0:
@@ -470,6 +601,7 @@ func decodeReply(c *cursor, batchOK bool) Reply {
 			&s.LockAcquireFail, &s.AbortsValidRead, &s.AbortsValidCommit,
 			&s.SrvP50Ns, &s.SrvP99Ns, &s.SrvP999Ns,
 			&s.WalNs, &s.WalFrames, &s.WalBytes, &s.WalRecovered,
+			&s.Sheds, &s.DeadlineExceeded, &s.ConnsRejected,
 		} {
 			*p = c.u64()
 		}

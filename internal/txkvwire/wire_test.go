@@ -5,13 +5,21 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"swisstm/internal/util"
 )
 
+// errCodes are the valid wire error codes.
+var errCodes = []Code{CodeRejected, CodeOverloaded, CodeDeadlineExceeded, CodeDraining, CodeInternal}
+
 // randReq builds a random valid request of the given op.
 func randReq(rng *util.Rand, op Op, batchOK bool) Req {
 	r := Req{Op: op}
+	if batchOK && rng.Intn(4) == 0 {
+		// Whole microseconds: the wire resolution, so DeepEqual holds.
+		r.TTL = time.Duration(1+rng.Intn(5_000_000)) * time.Microsecond
+	}
 	switch op {
 	case OpGet, OpDelete:
 		r.Key = rng.Next()
@@ -44,7 +52,11 @@ func randReq(rng *util.Rand, op Op, batchOK bool) Req {
 // randReply builds a random valid reply of the given op.
 func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
 	if rng.Intn(8) == 0 {
-		return Reply{Op: op, Err: "synthetic failure " + strings.Repeat("x", 1+rng.Intn(16))}
+		return Reply{
+			Op:   op,
+			Err:  "synthetic failure " + strings.Repeat("x", 1+rng.Intn(16)),
+			Code: errCodes[rng.Intn(len(errCodes))],
+		}
 	}
 	r := Reply{Op: op}
 	switch op {
@@ -129,8 +141,8 @@ func TestReplyRoundTrip(t *testing.T) {
 			}
 			want := reply
 			if want.Err != "" {
-				// An error reply round-trips only op + message.
-				want = Reply{Op: reply.Op, Err: reply.Err}
+				// An error reply round-trips only op + code + message.
+				want = Reply{Op: reply.Op, Err: reply.Err, Code: reply.Code}
 			}
 			if !reflect.DeepEqual(want, dec) {
 				t.Fatalf("%v: round trip mismatch:\n have %+v\n want %+v", op, dec, want)
@@ -143,13 +155,53 @@ func TestReplyRoundTrip(t *testing.T) {
 		}
 	}
 	// The decode-failure reply carries OpInvalid; it must round-trip too.
-	enc, err := AppendReply(nil, Reply{Op: OpInvalid, Err: "bad request"})
+	enc, err := AppendReply(nil, Reply{Op: OpInvalid, Err: "bad request", Code: CodeRejected})
 	if err != nil {
 		t.Fatalf("encode OpInvalid error reply: %v", err)
 	}
 	dec, err := DecodeReply(enc)
-	if err != nil || dec.Err != "bad request" {
+	if err != nil || dec.Err != "bad request" || dec.Code != CodeRejected {
 		t.Fatalf("OpInvalid error reply round trip: %+v, %v", dec, err)
+	}
+}
+
+// TestErrorCodeTaxonomy pins the retryable/permanent split: exactly the
+// pre-execution shed codes invite a retry.
+func TestErrorCodeTaxonomy(t *testing.T) {
+	retryable := map[Code]bool{CodeOverloaded: true, CodeDraining: true}
+	for _, c := range errCodes {
+		if c.Retryable() != retryable[c] {
+			t.Errorf("%v.Retryable() = %v, want %v", c, c.Retryable(), retryable[c])
+		}
+	}
+	if CodeNone.Retryable() {
+		t.Error("CodeNone must not be retryable")
+	}
+}
+
+// TestReqTTLRoundTrip pins TTL encoding: sub-microsecond TTLs round up
+// (a deadline must never shrink to zero in transit) and the TTL header
+// survives every op.
+func TestReqTTLRoundTrip(t *testing.T) {
+	enc, err := AppendReq(nil, Req{Op: OpLen, TTL: 1500 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReq(enc)
+	if err != nil || dec.TTL != 2*time.Microsecond {
+		t.Fatalf("sub-µs TTL: got %v, %v (want 2µs, rounded up)", dec.TTL, err)
+	}
+	if _, err := AppendReq(nil, Req{Op: OpLen, TTL: MaxTTL + time.Microsecond}); err == nil {
+		t.Fatal("oversized TTL accepted")
+	}
+	if _, err := AppendReq(nil, Req{Op: OpLen, TTL: -time.Second}); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+	if _, err := AppendReq(nil, Req{
+		Op:  OpBatch,
+		Sub: []Req{{Op: OpLen, TTL: time.Second}},
+	}); err == nil {
+		t.Fatal("TTL on a batch sub-request accepted")
 	}
 }
 
@@ -176,17 +228,32 @@ func TestEncodeRejectsMalformed(t *testing.T) {
 	if _, err := AppendReply(nil, Reply{Op: OpBatch}); err == nil {
 		t.Error("encode accepted empty batch reply")
 	}
+	// Typed-error discipline: no untyped errors, no codes on successes.
+	if _, err := AppendReply(nil, Reply{Op: OpGet, Err: "boom"}); err == nil {
+		t.Error("encode accepted an error reply without a code")
+	}
+	if _, err := AppendReply(nil, Reply{Op: OpGet, Err: "boom", Code: codeMax}); err == nil {
+		t.Error("encode accepted an error reply with an out-of-range code")
+	}
+	if _, err := AppendReply(nil, Reply{Op: OpGet, Found: true, Code: CodeOverloaded}); err == nil {
+		t.Error("encode accepted a success reply carrying an error code")
+	}
 }
 
-// TestDecodeRejectsMalformed feeds hand-built garbage payloads.
+// TestDecodeRejectsMalformed feeds hand-built garbage payloads. Request
+// payloads lead with the flags header byte (0 = no TTL).
 func TestDecodeRejectsMalformed(t *testing.T) {
 	bad := [][]byte{
-		{},                        // empty
-		{byte(opMax), 0, 0},       // unknown op
-		{byte(OpGet), 1, 2, 3},    // truncated key
-		{byte(OpBatch), 0, 0},     // zero-length batch
-		{byte(OpBatch), 255, 255}, // oversized batch count
-		{byte(OpTransfer), 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}, // one transfer key
+		{},                           // empty
+		{0},                          // header only, no opcode
+		{0, byte(opMax), 0, 0},       // unknown op
+		{0, byte(OpGet), 1, 2, 3},    // truncated key
+		{0, byte(OpBatch), 0, 0},     // zero-length batch
+		{0, byte(OpBatch), 255, 255}, // oversized batch count
+		{0, byte(OpTransfer), 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}, // one transfer key
+		{0xfe, byte(OpLen)},          // unknown flag bits
+		{1, 0, 0, 0, 0, byte(OpLen)}, // TTL flag with zero TTL
+		{1, 10, 0, 0, byte(OpLen)},   // truncated TTL
 	}
 	for _, payload := range bad {
 		if _, err := DecodeReq(payload); err == nil {
@@ -198,6 +265,13 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 	if _, err := DecodeReply([]byte{byte(OpGet), 0, 2, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
 		t.Error("decode accepted reply with bad bool byte")
+	}
+	// Error replies must carry a known code.
+	if _, err := DecodeReply([]byte{byte(OpGet), 1, 0, 1, 0, 'x'}); err == nil {
+		t.Error("decode accepted an error reply with code 0")
+	}
+	if _, err := DecodeReply([]byte{byte(OpGet), 1, byte(codeMax), 1, 0, 'x'}); err == nil {
+		t.Error("decode accepted an error reply with an unknown code")
 	}
 }
 
