@@ -8,11 +8,11 @@ GO ?= go
 # txkv rides along for its concurrent transfer-invariant test; the
 # server stack (wire/server/client) because its tests run many TCP
 # connections against one shared engine.
-RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs ./internal/wal ./internal/chaos
+RACE_PKGS := ./internal/swisstm ./internal/tl2 ./internal/tinystm ./internal/rstm ./internal/cm ./internal/txkv ./internal/bench7 ./internal/txkvwire ./internal/txkvserver ./internal/txkvclient ./internal/obs ./internal/wal ./internal/chaos ./internal/coalesce
 
 SMOKE_DIR ?= /tmp/swisstm-smoke
 
-.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos grid fmt vet bench bench-json bench-compare ci
+.PHONY: build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos smoke-coalesce grid fmt vet bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench:
 # aborts/op, including the forced-conflict abort tier) of the core
 # engine micro-benchmarks and writes the machine-readable perf artifact
 # CI accumulates (non-gating; see DESIGN.md §7–§8).
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
@@ -136,6 +136,16 @@ smoke-recover:
 smoke-chaos:
 	$(GO) run ./cmd/chaoskv -engines swisstm,tl2 -seed 1 -duration 1500ms
 
+# smoke-coalesce is the commit-coalescing + change-feed gate (DESIGN.md
+# §14): per engine, pipelined open-loop load with per-shard coalescing
+# on and the commit log in group-fsync mode, a feed tailer on every
+# shard from sequence 1, and the transfer balance oracle over the same
+# wire. Fails on an oracle violation, a lost or duplicated reply, a
+# feed subscriber that misses/duplicates/reorders an event or stalls
+# after drain, or a /metrics page without the batch-size histogram.
+smoke-coalesce:
+	$(GO) run ./cmd/coalsmoke
+
 # grid runs the full experiment grid from scripts/experiments.json into
 # one merged CSV artifact (override cell size with GRID_OPS, e.g.
 # `make grid GRID_OPS=300` for a quick pass).
@@ -157,4 +167,4 @@ smoke-examples:
 	done
 	@echo "smoke-examples OK: all examples ran and self-checked"
 
-ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos
+ci: fmt vet build test race smoke smoke-txkv smoke-server smoke-obs smoke-examples smoke-recover smoke-chaos smoke-coalesce

@@ -44,6 +44,15 @@
 // acked-write durability wait). The ≤15% target in ISSUE 8 compares
 // the (wal-none) twin against the bare row.
 //
+// The coalesce tier prices per-shard commit coalescing at the service
+// level (DESIGN.md §14): per engine, an in-process server with the
+// commit log in group-fsync mode is driven by the pipelined open-loop
+// load generator at a fixed offered rate, once with coalescing off and
+// once with batch 32 — the "(coalesce)" twin. Its rows report
+// commits_per_op and fsyncs_per_op, the amortization ratios: the
+// coalesced twin folds many single-key ops into one engine commit and
+// one log frame, so both drop at equal offered load.
+//
 // Measurements run single-goroutine via testing.Benchmark: the point is
 // per-access overhead — the quantity the paper's §3 design choices
 // minimize — not parallel scalability, which the figure experiments and
@@ -60,6 +69,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"swisstm/internal/bench7"
 	"swisstm/internal/harness"
@@ -69,12 +79,14 @@ import (
 	"swisstm/internal/stm"
 	"swisstm/internal/stm/stmtest"
 	"swisstm/internal/txkv"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/txkvserver"
 	"swisstm/internal/util"
 	"swisstm/internal/wal"
 )
 
 var (
-	out     = flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out     = flag.String("out", "BENCH_PR10.json", "output JSON path")
 	repeats = flag.Int("repeats", 5, "repeats per benchmark (median reported)")
 	benchMs = flag.Int("benchms", 300, "target measurement time per repeat, milliseconds")
 	run     = flag.String("run", "", "regexp selecting workload names (empty = all)")
@@ -483,6 +495,94 @@ func setupAbortHeavy(e stm.STM) (func(), func() stm.Stats) {
 	}, stats
 }
 
+// coalesceTier measures the commit-coalescing amortization at the
+// service level: a real server over TCP per (engine, batch) twin, the
+// pipelined open-loop load at a fixed offered rate, and the engine
+// commit / log fsync counter deltas divided by completed operations.
+// NsPerOp carries the client-observed p50 from scheduled arrival — the
+// fair per-op latency at equal offered load.
+func coalesceTier(sel *regexp.Regexp, repeats int) []results.BenchRecord {
+	const name = "coalesce-service"
+	if !sel.MatchString(name) {
+		return nil
+	}
+	var recs []results.BenchRecord
+	for _, spec := range defaultEngines {
+		for _, batch := range []int{0, 32} {
+			label := spec.DisplayName()
+			if batch > 0 {
+				label += "(coalesce)"
+			}
+			var p50s, commits, fsyncs []float64
+			opsRun := 0
+			for r := 0; r < repeats; r++ {
+				res, err := runCoalescePoint(spec, batch, uint64(r+1))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: coalesce tier %s: %v\n", label, err)
+					os.Exit(1)
+				}
+				p50s = append(p50s, res.P50Ns)
+				commits = append(commits, float64(res.Server.Commits)/float64(res.Ops))
+				fsyncs = append(fsyncs, float64(res.Server.WalFsyncs)/float64(res.Ops))
+				opsRun = int(res.Ops)
+			}
+			rec := results.BenchRecord{
+				Name:         name + "/" + label,
+				Workload:     name,
+				Engine:       label,
+				EngineKind:   spec.Kind,
+				Ops:          opsRun,
+				NsPerOp:      median(p50s),
+				CommitsPerOp: median(commits),
+				FsyncsPerOp:  median(fsyncs),
+				Repeats:      repeats,
+			}
+			recs = append(recs, rec)
+			fmt.Printf("%-36s %10.1f ns/op %8.3f commits/op %8.3f fsyncs/op\n",
+				rec.Name, rec.NsPerOp, rec.CommitsPerOp, rec.FsyncsPerOp)
+		}
+	}
+	return recs
+}
+
+// runCoalescePoint is one coalesce-tier measurement: a fresh server
+// with the durable log in group-fsync mode, driven update-heavy at the
+// tier's fixed offered rate over pipelined connections.
+func runCoalescePoint(spec harness.EngineSpec, batch int, seed uint64) (txkvclient.Result, error) {
+	dir, err := os.MkdirTemp("", "benchcoalesce-")
+	if err != nil {
+		return txkvclient.Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{
+		Engine: spec, Keys: 1024,
+		WALDir: dir, WALSync: wal.SyncGroup,
+		Pipeline: 32, CoalesceBatch: batch, CoalesceWait: time.Millisecond,
+	})
+	if err != nil {
+		return txkvclient.Result{}, err
+	}
+	defer srv.Close()
+	// The point is amortization at equal offered load: a rate both
+	// twins sustain, a gather window (1ms) long enough that the
+	// coalesced twin's log frames arrive sparser than the group-fsync
+	// cadence. The uncoalesced twin publishes one frame per write and
+	// keeps the syncer saturated; the coalesced twin folds a batch into
+	// one commit and one frame, so both ratios drop.
+	res, err := txkvclient.Run(txkvclient.LoadConfig{
+		Addr: srv.Addr().String(), Mix: txkv.UpdateHeavy, Conns: 4,
+		Keys: 1024, Ops: 8000, Rate: 20000, Seed: seed,
+		Pipeline: 32, LateThreshold: time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.OracleErr != nil {
+		return res, fmt.Errorf("oracle: %w", res.OracleErr)
+	}
+	return res, nil
+}
+
 func median(vals []float64) float64 {
 	sort.Float64s(vals)
 	n := len(vals)
@@ -565,6 +665,7 @@ func main() {
 				rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.AbortsPerOp)
 		}
 	}
+	recs = append(recs, coalesceTier(sel, *repeats)...)
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -57,6 +57,17 @@ type gridExperiment struct {
 	Conns []int     `json:"conns"`
 	Rates []float64 `json:"rates"`
 	Ops   uint64    `json:"ops"`
+
+	// Pipelining and commit coalescing (DESIGN.md §14). Pipeline > 1
+	// switches the load clients to pipelined mode with that in-flight
+	// window. CoalesceBatch is a grid axis like Conns: each entry is a
+	// per-shard batch size for the launched server (0 = coalescing off),
+	// defaulting to [0] when absent, so on/off twins of the same cell
+	// land in the same CSV. CoalesceWaitUs is the batch wait in µs
+	// (default 200).
+	Pipeline       int   `json:"pipeline"`
+	CoalesceBatch  []int `json:"coalesce_batch"`
+	CoalesceWaitUs int   `json:"coalesce_wait_us"`
 }
 
 func main() {
@@ -76,7 +87,8 @@ func main() {
 
 	cells := 0
 	for _, exp := range cfg.Experiments {
-		cells += len(cfg.Engines) * len(exp.Mixes) * len(exp.Conns) * len(exp.Rates) * cfg.Repeats
+		cells += len(cfg.Engines) * len(exp.Mixes) * len(exp.Conns) * len(exp.Rates) *
+			len(coalesceAxis(exp)) * cfg.Repeats
 	}
 	fmt.Printf("grid: %d experiments, %d cells → %s/grid.csv\n", len(cfg.Experiments), cells, *outDir)
 
@@ -106,21 +118,23 @@ func main() {
 					}
 					wl := fmt.Sprintf("txkvsrv/%s-%s-%s", mix.Name, dist, mode)
 					for _, nc := range exp.Conns {
-						for rep := 0; rep < cfg.Repeats; rep++ {
-							rec, oerr, err := runCell(cfg, spec, exp, wl, mix, nc, rate, ops, rep)
-							if err != nil {
-								fmt.Fprintf(os.Stderr, "grid: %s %s %s conns=%d: %v\n", exp.Name, kind, wl, nc, err)
-								os.Exit(1)
-							}
-							all = append(all, rec)
-							done++
-							fmt.Printf("[%d/%d] %s %s %s conns=%d rep=%d: tput=%.0f/s p99=%.0fns srv_p99=%dns aborts=%d late=%d\n",
-								done, cells, exp.Name, kind, wl, nc, rep,
-								rec.Throughput, rec.LatP99Ns, rec.SrvP99Ns, rec.Aborts, rec.LateOps)
-							if oerr != nil {
-								oracleFailures++
-								fmt.Fprintf(os.Stderr, "grid: ORACLE FAILED %s %s %s conns=%d rep=%d: %v\n",
-									exp.Name, kind, wl, nc, rep, oerr)
+						for _, cb := range coalesceAxis(exp) {
+							for rep := 0; rep < cfg.Repeats; rep++ {
+								rec, oerr, err := runCell(cfg, spec, exp, wl, mix, nc, rate, cb, ops, rep)
+								if err != nil {
+									fmt.Fprintf(os.Stderr, "grid: %s %s %s conns=%d: %v\n", exp.Name, kind, wl, nc, err)
+									os.Exit(1)
+								}
+								all = append(all, rec)
+								done++
+								fmt.Printf("[%d/%d] %s %s %s conns=%d coalesce=%d rep=%d: tput=%.0f/s p99=%.0fns srv_p99=%dns aborts=%d late=%d\n",
+									done, cells, exp.Name, kind, wl, nc, cb, rep,
+									rec.Throughput, rec.LatP99Ns, rec.SrvP99Ns, rec.Aborts, rec.LateOps)
+								if oerr != nil {
+									oracleFailures++
+									fmt.Fprintf(os.Stderr, "grid: ORACLE FAILED %s %s %s conns=%d rep=%d: %v\n",
+										exp.Name, kind, wl, nc, rep, oerr)
+								}
 							}
 						}
 					}
@@ -140,10 +154,23 @@ func main() {
 	}
 }
 
+// coalesceAxis is an experiment's commit-coalescing sweep: the listed
+// batch sizes, or the single "off" cell when the config names none.
+func coalesceAxis(exp gridExperiment) []int {
+	if len(exp.CoalesceBatch) == 0 {
+		return []int{0}
+	}
+	return exp.CoalesceBatch
+}
+
 // runCell launches a fresh in-process server for one grid cell, drives
 // it over TCP, and returns the cell's record plus any oracle failure.
-func runCell(cfg gridConfig, spec harness.EngineSpec, exp gridExperiment, wl string, mix txkv.Mix, nc int, rate float64, ops uint64, rep int) (results.Record, error, error) {
-	srv, err := txkvserver.Start("127.0.0.1:0", txkvserver.Config{Engine: spec, Keys: cfg.Keys})
+func runCell(cfg gridConfig, spec harness.EngineSpec, exp gridExperiment, wl string, mix txkv.Mix, nc int, rate float64, cb int, ops uint64, rep int) (results.Record, error, error) {
+	scfg := txkvserver.Config{Engine: spec, Keys: cfg.Keys, CoalesceBatch: cb}
+	if exp.CoalesceWaitUs > 0 {
+		scfg.CoalesceWait = time.Duration(exp.CoalesceWaitUs) * time.Microsecond
+	}
+	srv, err := txkvserver.Start("127.0.0.1:0", scfg)
 	if err != nil {
 		return results.Record{}, nil, fmt.Errorf("launch: %w", err)
 	}
@@ -151,18 +178,21 @@ func runCell(cfg gridConfig, spec harness.EngineSpec, exp gridExperiment, wl str
 
 	runSeed := cfg.Seed
 	if runSeed != 0 {
-		runSeed = harness.DeriveSeed(runSeed, exp.Name+"/"+spec.Kind+"/"+wl, nc, rep)
+		runSeed = harness.DeriveSeed(runSeed, exp.Name+"/"+spec.Kind+"/"+wl, nc*1000+cb, rep)
 	}
 	res, err := txkvclient.Run(txkvclient.LoadConfig{
 		Addr: srv.Addr().String(), Mix: mix, Conns: nc,
 		Keys: cfg.Keys, Zipf: cfg.Zipf, Seed: runSeed,
 		Ops: ops, Rate: rate,
 		LateThreshold: time.Duration(cfg.LateMs * float64(time.Millisecond)),
+		Pipeline:      exp.Pipeline,
 	})
 	if err != nil {
 		return results.Record{}, nil, err
 	}
-	return res.Record(exp.Name, wl, spec.DisplayName(), spec.Kind, nc, rep, runSeed), res.OracleErr, nil
+	rec := res.Record(exp.Name, wl, spec.DisplayName(), spec.Kind, nc, rep, runSeed)
+	rec.Pipeline, rec.CoalesceBatch = exp.Pipeline, cb
+	return rec, res.OracleErr, nil
 }
 
 func loadConfig(path string) (gridConfig, error) {

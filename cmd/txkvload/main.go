@@ -65,6 +65,9 @@ func main() {
 		retries  = flag.Int("retries", 0, "per-request retry budget for retryable shed replies and transport failures (0 = fail fast)")
 		retryMut = flag.Bool("retry-mutations", false, "opt mutations into transport-failure retry (at-least-once)")
 		budget   = flag.Duration("budget", 0, "per-request deadline budget propagated to the server as the wire TTL (0 = none)")
+		pipeline = flag.Int("pipeline", 0, "per-connection in-flight window; >1 switches the client to pipelined mode (sheds counted, not retried)")
+		coBatch  = flag.Int("coalesce-batch", 0, "launch mode: per-shard commit coalescing batch size for the launched server (0 = off)")
+		coWait   = flag.Duration("coalesce-wait", 200*time.Microsecond, "launch mode: commit coalescing max batch wait for the launched server")
 	)
 	flag.Parse()
 	if !results.KnownFormat(*format) {
@@ -90,6 +93,10 @@ func main() {
 	}
 	if *walDir != "" && !*launch {
 		fmt.Fprintln(os.Stderr, "txkvload: -wal only applies to -launch mode (point -addr at a server started with -wal instead)")
+		os.Exit(2)
+	}
+	if *coBatch > 0 && !*launch {
+		fmt.Fprintln(os.Stderr, "txkvload: -coalesce-batch only applies to -launch mode (start the server with -coalesce-batch instead)")
 		os.Exit(2)
 	}
 
@@ -146,7 +153,10 @@ func main() {
 						target := *addr
 						var srv *txkvserver.Server
 						if *launch {
-							scfg := txkvserver.Config{Engine: spec, Keys: *keys}
+							scfg := txkvserver.Config{
+								Engine: spec, Keys: *keys,
+								CoalesceBatch: *coBatch, CoalesceWait: *coWait,
+							}
 							if *walDir != "" {
 								// A fresh log directory per point: replaying a
 								// previous point's log would skew the oracles.
@@ -171,6 +181,7 @@ func main() {
 							Ops: *ops, Rate: *rate, LateThreshold: *late,
 							Timeout: *timeout, Retries: *retries,
 							RetryMutations: *retryMut, Budget: *budget,
+							Pipeline: *pipeline,
 						})
 						if srv != nil {
 							srv.Close()
@@ -179,6 +190,7 @@ func main() {
 							return fmt.Errorf("%s: %w", wl, err)
 						}
 						rec := res.Record("txkvload", wl, spec.DisplayName(), spec.Kind, nc, rep, runSeed)
+						rec.Pipeline, rec.CoalesceBatch = *pipeline, *coBatch
 						all = append(all, rec)
 						if res.OracleErr != nil {
 							oracleFailures++
@@ -214,6 +226,11 @@ func main() {
 		if r.WalFrames > 0 || r.Retries > 0 || r.Reconnects > 0 {
 			fmt.Printf("  wal: frames=%d bytes=%d mean_wal=%.0fns recovered=%d retries=%d reconnects=%d\n",
 				r.WalFrames, r.WalBytes, r.PhaseWalNs, r.WalRecoveredFrames, r.Retries, r.Reconnects)
+		}
+		if r.CoalesceBatches > 0 {
+			fmt.Printf("  coalesce: batches=%d items=%d commits/op=%.3f fsyncs/op=%.3f feed_events=%d\n",
+				r.CoalesceBatches, r.CoalesceItems,
+				float64(r.Commits)/float64(r.Ops), float64(r.WalFsyncs)/float64(r.Ops), r.FeedEvents)
 		}
 	}
 	if oracleFailures > 0 {

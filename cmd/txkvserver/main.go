@@ -51,6 +51,9 @@ func main() {
 		maxConns = flag.Int("max-conns", 0, "connection cap: excess connections get one Overloaded frame and close (0 = unlimited)")
 		maxQueue = flag.Int("max-queue", 0, "admission queue cap: requests arriving at a full queue are shed Overloaded (0 = unlimited)")
 		maxWait  = flag.Duration("max-queue-wait", 0, "bound on one request's wait for an engine thread before it is shed Overloaded (0 = unlimited)")
+		pipeline = flag.Int("pipeline", 16, "per-connection in-flight request window (1 = strict request/reply)")
+		coBatch  = flag.Int("coalesce-batch", 0, "per-shard commit coalescing: max single-key ops per batched transaction (0 = off)")
+		coWait   = flag.Duration("coalesce-wait", 200*time.Microsecond, "commit coalescing: max time the first queued op waits for a batch to fill")
 	)
 	flag.Parse()
 	switch *engine {
@@ -66,18 +69,21 @@ func main() {
 	}
 
 	srv, err := txkvserver.Start(*addr, txkvserver.Config{
-		Engine:       harness.EngineSpec{Kind: *engine, Manager: *manager},
-		Keys:         *keys,
-		Balance:      stm.Word(*balance),
-		Threads:      *threads,
-		Admin:        *admin,
-		WALDir:       *walDir,
-		WALSync:      mode,
-		ReadTimeout:  *readTO,
-		WriteTimeout: *writeTO,
-		MaxConns:     *maxConns,
-		MaxQueue:     *maxQueue,
-		MaxQueueWait: *maxWait,
+		Engine:        harness.EngineSpec{Kind: *engine, Manager: *manager},
+		Keys:          *keys,
+		Balance:       stm.Word(*balance),
+		Threads:       *threads,
+		Admin:         *admin,
+		WALDir:        *walDir,
+		WALSync:       mode,
+		ReadTimeout:   *readTO,
+		WriteTimeout:  *writeTO,
+		MaxConns:      *maxConns,
+		MaxQueue:      *maxQueue,
+		MaxQueueWait:  *maxWait,
+		Pipeline:      *pipeline,
+		CoalesceBatch: *coBatch,
+		CoalesceWait:  *coWait,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txkvserver:", err)

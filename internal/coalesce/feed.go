@@ -1,0 +1,198 @@
+// Per-shard change feed: an append-only sequence of committed
+// mutations, tailable by subscribers (DESIGN.md §14.4).
+//
+// Ordering uses the same ticket discipline as the commit log
+// (DESIGN.md §12): a publisher reserves a ticket inside its
+// transaction body — after every read that decides the outcome, so
+// ticket order agrees with the engines' commit order for conflicting
+// transactions — and publishes its events after the commit. Publishes
+// arriving out of ticket order park until their predecessors land, so
+// event sequence numbers are assigned in commit order and are
+// contiguous per shard.
+package coalesce
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"swisstm/internal/obs"
+)
+
+// Event is one committed mutation in a shard's change feed: a write
+// (post-image value) or a delete. Seq is the shard-local commit
+// sequence number, contiguous from 1.
+type Event struct {
+	Seq uint64
+	Del bool
+	Key uint64
+	Val uint64
+}
+
+// Feed is one shard's change feed: a bounded ring of recent events
+// plus a ticket sequencer admitting publishers in commit order.
+// Subscribers that fall more than the ring capacity behind are lagged
+// out with an error rather than stalling publishers.
+type Feed struct {
+	capacity int
+	events   *obs.Counter // optional: events published
+
+	last atomic.Uint64 // last ticket handed out
+
+	mu     sync.Mutex
+	admit  uint64             // next ticket allowed to append
+	parked map[uint64][]Event // out-of-order publishes; nil = abandoned
+	next   uint64             // next seq to assign (1-based)
+	start  uint64             // oldest seq still retained
+	buf    []Event            // ring storage, len == capacity
+	wake   chan struct{}      // closed and replaced on every append
+	closed bool
+}
+
+// DefaultFeedCap bounds each shard's retained event window. At ~32
+// bytes per event this is ~128 KiB per shard.
+const DefaultFeedCap = 1 << 12
+
+// NewFeed returns an empty feed retaining up to capacity events
+// (DefaultFeedCap when capacity <= 0). events, when non-nil, counts
+// every published event.
+func NewFeed(capacity int, events *obs.Counter) *Feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCap
+	}
+	return &Feed{
+		capacity: capacity,
+		events:   events,
+		admit:    1,
+		parked:   make(map[uint64][]Event),
+		next:     1,
+		start:    1,
+		buf:      make([]Event, capacity),
+		wake:     make(chan struct{}),
+	}
+}
+
+// Reserve draws the next ticket. Call inside the transaction body as
+// one of its last steps (after every read that decides the outcome);
+// publish or abandon the ticket exactly once after the body returns.
+func (f *Feed) Reserve() uint64 { return f.last.Add(1) }
+
+// Publish appends events under tk's position in the commit order,
+// assigning contiguous sequence numbers. A publish ahead of its
+// predecessors parks (copying events) until they land.
+func (f *Feed) Publish(tk uint64, events []Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tk != f.admit {
+		cp := make([]Event, len(events))
+		copy(cp, events)
+		f.parked[tk] = cp
+		return
+	}
+	n := f.appendLocked(events)
+	f.admit++
+	n += f.drainParkedLocked()
+	if n > 0 {
+		f.wakeLocked()
+	}
+}
+
+// Abandon releases tk without events — a retried transaction attempt
+// dropping the ticket of the attempt that did not commit.
+func (f *Feed) Abandon(tk uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tk != f.admit {
+		f.parked[tk] = nil
+		return
+	}
+	f.admit++
+	if f.drainParkedLocked() > 0 {
+		f.wakeLocked()
+	}
+}
+
+func (f *Feed) drainParkedLocked() int {
+	n := 0
+	for {
+		ev, ok := f.parked[f.admit]
+		if !ok {
+			return n
+		}
+		delete(f.parked, f.admit)
+		n += f.appendLocked(ev)
+		f.admit++
+	}
+}
+
+func (f *Feed) appendLocked(events []Event) int {
+	for i := range events {
+		e := events[i]
+		e.Seq = f.next
+		f.buf[(f.next-1)%uint64(f.capacity)] = e
+		f.next++
+	}
+	if f.next-f.start > uint64(f.capacity) {
+		f.start = f.next - uint64(f.capacity)
+	}
+	if f.events != nil && len(events) > 0 {
+		f.events.Add(uint64(len(events)))
+	}
+	return len(events)
+}
+
+// Next copies up to max ready events with seq >= cursor into dst[:0].
+// cursor 0 means "from now" (skip history). The returned next value is
+// the cursor for the following call. When no events are ready, batch
+// is empty and wait is a channel closed on the next append; done
+// additionally reports that the feed is closed and fully delivered. A
+// non-nil err means the subscriber lagged: events at cursor were
+// already evicted from the ring.
+func (f *Feed) Next(cursor uint64, dst []Event, max int) (batch []Event, next uint64, wait <-chan struct{}, done bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cursor == 0 {
+		cursor = f.next
+	}
+	if cursor < f.start {
+		return nil, cursor, nil, false,
+			fmt.Errorf("feed lagged: cursor %d evicted (oldest retained seq %d)", cursor, f.start)
+	}
+	batch = dst[:0]
+	for cursor < f.next && len(batch) < max {
+		batch = append(batch, f.buf[(cursor-1)%uint64(f.capacity)])
+		cursor++
+	}
+	if len(batch) > 0 {
+		return batch, cursor, nil, false, nil
+	}
+	if f.closed {
+		return nil, cursor, nil, true, nil
+	}
+	return nil, cursor, f.wake, false, nil
+}
+
+// End returns the next sequence number to be assigned: the feed holds
+// exactly the events with seq in [1, End()).
+func (f *Feed) End() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Close marks the feed finished and wakes every waiting subscriber;
+// Next drains remaining events, then reports done.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.wakeLocked()
+}
+
+func (f *Feed) wakeLocked() {
+	close(f.wake)
+	f.wake = make(chan struct{})
+}

@@ -120,6 +120,20 @@ type Record struct {
 	// because their deadline budget expired server-side.
 	Sheds            uint64 `json:"sheds"`
 	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+
+	// Pipelining/coalescing profile (DESIGN.md §14), populated by the
+	// txkv load harness: the run's client config (per-connection
+	// pipeline window, coalesce batch size; 0 = off) and the server-side
+	// deltas over the run window — coalesced flushes and the items they
+	// absorbed, change-feed events published, and commit-log fsyncs
+	// (the group-commit amortization evidence: with coalescing on,
+	// commits/op and fsyncs/op drop at equal offered rate).
+	Pipeline        int    `json:"pipeline"`
+	CoalesceBatch   int    `json:"coalesce_batch"`
+	CoalesceBatches uint64 `json:"coalesce_batches"`
+	CoalesceItems   uint64 `json:"coalesce_items"`
+	FeedEvents      uint64 `json:"feed_events"`
+	WalFsyncs       uint64 `json:"wal_fsyncs"`
 }
 
 // SetStats copies the full per-run statistics breakdown into r.
@@ -163,6 +177,8 @@ var header = []string{
 	"phase_wal_ns", "wal_frames", "wal_bytes", "wal_recovered_frames",
 	"retries", "reconnects",
 	"sheds", "deadline_exceeded",
+	"pipeline", "coalesce_batch", "coalesce_batches", "coalesce_items",
+	"feed_events", "wal_fsyncs",
 }
 
 func (r Record) row() []string {
@@ -216,6 +232,12 @@ func (r Record) row() []string {
 		strconv.FormatUint(r.Reconnects, 10),
 		strconv.FormatUint(r.Sheds, 10),
 		strconv.FormatUint(r.DeadlineExceeded, 10),
+		strconv.Itoa(r.Pipeline),
+		strconv.Itoa(r.CoalesceBatch),
+		strconv.FormatUint(r.CoalesceBatches, 10),
+		strconv.FormatUint(r.CoalesceItems, 10),
+		strconv.FormatUint(r.FeedEvents, 10),
+		strconv.FormatUint(r.WalFsyncs, 10),
 	}
 }
 
@@ -312,6 +334,9 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		rec.WalRecoveredFrames = u64(row[48])
 		rec.Retries, rec.Reconnects = u64(row[49]), u64(row[50])
 		rec.Sheds, rec.DeadlineExceeded = u64(row[51]), u64(row[52])
+		rec.Pipeline, rec.CoalesceBatch = ints(row[53]), ints(row[54])
+		rec.CoalesceBatches, rec.CoalesceItems = u64(row[55]), u64(row[56])
+		rec.FeedEvents, rec.WalFsyncs = u64(row[57]), u64(row[58])
 		if perr != nil {
 			return nil, fmt.Errorf("results: data row %d: %w", i+1, perr)
 		}
@@ -505,6 +530,13 @@ type BenchRecord struct {
 	WalAppendP50Ns uint64 `json:"wal_append_p50_ns,omitempty"`
 	WalAppendP99Ns uint64 `json:"wal_append_p99_ns,omitempty"`
 	WalFsyncP99Ns  uint64 `json:"wal_fsync_p99_ns,omitempty"`
+
+	// Coalescing amortization evidence (coalesce tier, DESIGN.md §14):
+	// engine commits and commit-log fsyncs per completed operation at a
+	// fixed offered rate. The on/off twins at the same rate show the
+	// group-commit win directly.
+	CommitsPerOp float64 `json:"commits_per_op,omitempty"`
+	FsyncsPerOp  float64 `json:"fsyncs_per_op,omitempty"`
 }
 
 // WriteBenchJSON writes recs as one JSON document (an array), the

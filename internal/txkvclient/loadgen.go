@@ -59,6 +59,12 @@ type LoadConfig struct {
 	// Budget is the per-request deadline budget propagated to the
 	// server as the wire TTL (0 = none); see Options.Budget.
 	Budget time.Duration
+	// Pipeline, when > 1, switches every connection to pipelined mode
+	// (pipeline.go): that many logical operations in flight per
+	// connection, replies collected in order. Timeout/Retries/
+	// RetryMutations are ignored in pipelined mode — shed replies are
+	// counted (Result.ErrOps), not retried.
+	Pipeline int
 }
 
 func (c *LoadConfig) fill() error {
@@ -85,6 +91,9 @@ func (c *LoadConfig) fill() error {
 	}
 	if c.Rate < 0 {
 		return fmt.Errorf("txkvclient: negative arrival rate %v", c.Rate)
+	}
+	if c.Pipeline < 0 {
+		return fmt.Errorf("txkvclient: negative pipeline window %d", c.Pipeline)
 	}
 	if c.Mix.TransferPct > 0 && c.Keys <= c.Mix.TransferKeys {
 		return fmt.Errorf("txkvclient: mix %s needs more than %d keys, have %d", c.Mix.Name, c.Mix.TransferKeys, c.Keys)
@@ -123,6 +132,12 @@ type Result struct {
 	// across the run's connections: request attempts re-issued after a
 	// transport failure, and successful re-dials.
 	Retries, Reconnects uint64
+
+	// ErrOps counts operations that completed with a shed reply
+	// (Overloaded/Draining/DeadlineExceeded) in pipelined mode, where
+	// sheds are counted rather than retried. Always 0 in synchronous
+	// mode (there a shed either retries or fails the run).
+	ErrOps uint64
 
 	// OracleErr is the armed correctness oracles' verdict (nil = green):
 	// key population intact, and — for conserving mixes — the total
@@ -187,6 +202,11 @@ func (r Result) Record(experiment, workload, engine, engineKind string, conns, r
 		Reconnects:         r.Reconnects,
 		Sheds:              r.Server.Sheds,
 		DeadlineExceeded:   r.Server.DeadlineExceeded,
+
+		CoalesceBatches: r.Server.CoalesceBatches,
+		CoalesceItems:   r.Server.CoalesceItems,
+		FeedEvents:      r.Server.FeedEvents,
+		WalFsyncs:       r.Server.WalFsyncs,
 	}
 	if total := r.Server.Commits + r.Server.Aborts; total > 0 {
 		rec.AbortRate = float64(r.Server.Aborts) / float64(total)
@@ -226,103 +246,114 @@ func Run(cfg LoadConfig) (Result, error) {
 		return Result{}, err
 	}
 
-	workers := make([]*ldWorker, cfg.Conns)
-	for i := range workers {
-		w, err := newLdWorker(cfg, i)
+	var all []int64
+	var start time.Time
+	if cfg.Pipeline > 1 {
+		start = time.Now()
+		lat, lateOps, errOps, err := runPipelined(cfg, start)
 		if err != nil {
-			for _, p := range workers[:i] {
-				p.cl.Close()
-			}
 			return Result{}, err
 		}
-		workers[i] = w
-	}
-	defer func() {
-		for _, w := range workers {
-			w.cl.Close()
-		}
-	}()
-
-	start := time.Now()
-	var runErr atomic.Value // first worker error
-	fail := func(err error) {
-		if err != nil {
-			runErr.CompareAndSwap(nil, err) // nolint: first error wins
-		}
-	}
-
-	var wg sync.WaitGroup
-	if cfg.Rate == 0 {
-		// Closed loop: each connection issues its quota back to back.
-		quota := cfg.Ops / uint64(cfg.Conns)
-		extra := cfg.Ops % uint64(cfg.Conns)
-		for i, w := range workers {
-			n := quota
-			if uint64(i) < extra {
-				n++
-			}
-			wg.Add(1)
-			go func(w *ldWorker, n uint64) {
-				defer wg.Done()
-				for j := uint64(0); j < n; j++ {
-					t0 := time.Now()
-					if err := w.op(); err != nil {
-						fail(err)
-						return
-					}
-					w.lat = append(w.lat, time.Since(t0).Nanoseconds())
-				}
-			}(w, n)
-		}
+		res.Duration = time.Since(start)
+		all, res.LateOps, res.ErrOps = lat, lateOps, errOps
 	} else {
-		// Open loop: a generator emits arrival tokens at the fixed rate
-		// (catching up without re-pacing when it oversleeps, so the
-		// arrival schedule is faithful), workers consume them. The
-		// channel holds every token, so a saturated fleet never blocks
-		// the arrival process — it just grows the queue, which is
-		// exactly the latency the scheduled-arrival measurement charges.
-		tokens := make(chan time.Time, cfg.Ops)
-		interval := float64(time.Second) / cfg.Rate
-		go func() {
-			for i := uint64(0); i < cfg.Ops; i++ {
-				sched := start.Add(time.Duration(float64(i) * interval))
-				if d := time.Until(sched); d > 0 {
-					time.Sleep(d)
+		workers := make([]*ldWorker, cfg.Conns)
+		for i := range workers {
+			w, err := newLdWorker(cfg, i)
+			if err != nil {
+				for _, p := range workers[:i] {
+					p.cl.Close()
 				}
-				tokens <- sched
+				return Result{}, err
 			}
-			close(tokens)
-		}()
-		for _, w := range workers {
-			wg.Add(1)
-			go func(w *ldWorker) {
-				defer wg.Done()
-				for sched := range tokens {
-					if time.Since(sched) > cfg.LateThreshold {
-						w.late++
-					}
-					if err := w.op(); err != nil {
-						fail(err)
-						return
-					}
-					w.lat = append(w.lat, time.Since(sched).Nanoseconds())
-				}
-			}(w)
+			workers[i] = w
 		}
-	}
-	wg.Wait()
-	res.Duration = time.Since(start)
-	if err, _ := runErr.Load().(error); err != nil {
-		return Result{}, err
-	}
+		defer func() {
+			for _, w := range workers {
+				w.cl.Close()
+			}
+		}()
 
-	// Merge per-worker measurements.
-	var all []int64
-	for _, w := range workers {
-		all = append(all, w.lat...)
-		res.LateOps += w.late
-		res.Retries += w.cl.Retries
-		res.Reconnects += w.cl.Reconnects
+		start = time.Now()
+		var runErr atomic.Value // first worker error
+		fail := func(err error) {
+			if err != nil {
+				runErr.CompareAndSwap(nil, err) // nolint: first error wins
+			}
+		}
+
+		var wg sync.WaitGroup
+		if cfg.Rate == 0 {
+			// Closed loop: each connection issues its quota back to back.
+			quota := cfg.Ops / uint64(cfg.Conns)
+			extra := cfg.Ops % uint64(cfg.Conns)
+			for i, w := range workers {
+				n := quota
+				if uint64(i) < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(w *ldWorker, n uint64) {
+					defer wg.Done()
+					for j := uint64(0); j < n; j++ {
+						t0 := time.Now()
+						if err := w.op(); err != nil {
+							fail(err)
+							return
+						}
+						w.lat = append(w.lat, time.Since(t0).Nanoseconds())
+					}
+				}(w, n)
+			}
+		} else {
+			// Open loop: a generator emits arrival tokens at the fixed rate
+			// (catching up without re-pacing when it oversleeps, so the
+			// arrival schedule is faithful), workers consume them. The
+			// channel holds every token, so a saturated fleet never blocks
+			// the arrival process — it just grows the queue, which is
+			// exactly the latency the scheduled-arrival measurement charges.
+			tokens := make(chan time.Time, cfg.Ops)
+			interval := float64(time.Second) / cfg.Rate
+			go func() {
+				for i := uint64(0); i < cfg.Ops; i++ {
+					sched := start.Add(time.Duration(float64(i) * interval))
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+					tokens <- sched
+				}
+				close(tokens)
+			}()
+			for _, w := range workers {
+				wg.Add(1)
+				go func(w *ldWorker) {
+					defer wg.Done()
+					for sched := range tokens {
+						if time.Since(sched) > cfg.LateThreshold {
+							w.late++
+						}
+						if err := w.op(); err != nil {
+							fail(err)
+							return
+						}
+						w.lat = append(w.lat, time.Since(sched).Nanoseconds())
+					}
+				}(w)
+			}
+		}
+		wg.Wait()
+		res.Duration = time.Since(start)
+		if err, _ := runErr.Load().(error); err != nil {
+			return Result{}, err
+		}
+
+		// Merge per-worker measurements.
+		for _, w := range workers {
+			all = append(all, w.lat...)
+			res.LateOps += w.late
+			res.Retries += w.cl.Retries
+			res.Reconnects += w.cl.Reconnects
+		}
 	}
 	res.Ops = uint64(len(all))
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -364,6 +395,11 @@ func Run(cfg LoadConfig) (Result, error) {
 		Sheds:            stats1.Sheds - stats0.Sheds,
 		DeadlineExceeded: stats1.DeadlineExceeded - stats0.DeadlineExceeded,
 		ConnsRejected:    stats1.ConnsRejected - stats0.ConnsRejected,
+
+		CoalesceBatches: stats1.CoalesceBatches - stats0.CoalesceBatches,
+		CoalesceItems:   stats1.CoalesceItems - stats0.CoalesceItems,
+		FeedEvents:      stats1.FeedEvents - stats0.FeedEvents,
+		WalFsyncs:       stats1.WalFsyncs - stats0.WalFsyncs,
 
 		// Lifetime percentiles, not diffable — see the Server field doc.
 		SrvP50Ns:  stats1.SrvP50Ns,

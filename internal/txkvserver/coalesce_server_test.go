@@ -1,0 +1,288 @@
+package txkvserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swisstm/internal/harness"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkvclient"
+	"swisstm/internal/txkvwire"
+)
+
+// startCoalesced boots a server with the per-shard batchers on.
+func startCoalesced(t *testing.T, kind string, keys int, cfg Config) *Server {
+	t.Helper()
+	cfg.Engine = harness.EngineSpec{Kind: kind, Manager: "polka"}
+	cfg.Keys = keys
+	if cfg.CoalesceBatch == 0 {
+		cfg.CoalesceBatch = 8
+	}
+	srv, err := Start("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("start %s server: %v", kind, err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestPipelinedRepliesInOrder pins the pipelining contract (DESIGN.md
+// §14.5): many requests in flight on one connection, replies in exactly
+// request order.
+func TestPipelinedRepliesInOrder(t *testing.T) {
+	srv := startCoalesced(t, "swisstm", 256, Config{Pipeline: 8, CoalesceWait: 100 * time.Microsecond})
+	p, err := txkvclient.DialPipe(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 64
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			// Interleave writes and reads so replies cross batcher flushes.
+			req := txkvwire.Req{Op: txkvwire.OpPut, Key: uint64(1 + i%32), Val: uint64(i)}
+			if i%3 == 2 {
+				// Read back the key the Put two requests earlier wrote.
+				req = txkvwire.Req{Op: txkvwire.OpGet, Key: uint64(1 + (i-2)%32)}
+			}
+			if err := p.Submit(req, i, true, true); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		tag, last, reply, err := p.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if tag.(int) != i || !last {
+			t.Fatalf("reply %d carries tag %v (last=%v): replies out of request order", i, tag, last)
+		}
+		if reply.Err != "" {
+			t.Fatalf("reply %d: %s", i, reply.Err)
+		}
+		if reply.Op == txkvwire.OpGet && i >= 2 {
+			// The Get at i reads the Put from i-2 on the same key; in-order
+			// execution of a pipelined connection makes the value exact.
+			if !reply.Found || reply.Val != uint64(i-2) {
+				t.Fatalf("pipelined get %d saw (%d, %v), want value %d", i, reply.Val, reply.Found, i-2)
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+}
+
+// TestCoalescedOpsOverWire drives every single-key op through the
+// batchers over real TCP and checks results are indistinguishable from
+// the pooled path while the stats prove batching actually happened.
+func TestCoalescedOpsOverWire(t *testing.T) {
+	for _, kind := range engineKinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			srv := startCoalesced(t, kind, 128, Config{Pipeline: 16, CoalesceWait: 200 * time.Microsecond})
+			p, err := txkvclient.DialPipe(srv.Addr().String(), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+
+			const n = 200
+			errc := make(chan error, 1)
+			go func() {
+				for i := 0; i < n; i++ {
+					k := uint64(1 + i%64)
+					var req txkvwire.Req
+					switch i % 4 {
+					case 0:
+						req = txkvwire.Req{Op: txkvwire.OpPut, Key: k, Val: uint64(i)}
+					case 1:
+						req = txkvwire.Req{Op: txkvwire.OpGet, Key: k}
+					case 2:
+						req = txkvwire.Req{Op: txkvwire.OpCAS, Key: k, Old: uint64(i), Val: 1}
+					default:
+						req = txkvwire.Req{Op: txkvwire.OpDelete, Key: 100 + k}
+					}
+					if err := p.Submit(req, i, true, true); err != nil {
+						errc <- err
+						return
+					}
+				}
+				errc <- nil
+			}()
+			for i := 0; i < n; i++ {
+				if _, _, reply, err := p.Recv(); err != nil || reply.Err != "" {
+					t.Fatalf("reply %d: %v / %q", i, err, reply.Err)
+				}
+			}
+			if err := <-errc; err != nil {
+				t.Fatal(err)
+			}
+
+			cl, err := txkvclient.Dial(srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			st, err := cl.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CoalesceBatches == 0 || st.CoalesceItems < st.CoalesceBatches {
+				t.Fatalf("batchers idle: %d batches / %d items", st.CoalesceBatches, st.CoalesceItems)
+			}
+			if st.CoalesceItems != n {
+				t.Fatalf("coalesced %d items, want every one of the %d single-key ops", st.CoalesceItems, n)
+			}
+		})
+	}
+}
+
+// TestSubscribeStreamsCommitsInOrder tails one shard's change feed over
+// the wire while writing to it, then drains the server: the subscriber
+// must see every mutation of its shard exactly once, in commit order,
+// and then the clean end-of-feed.
+func TestSubscribeStreamsCommitsInOrder(t *testing.T) {
+	srv := startCoalesced(t, "tl2", 64, Config{Pipeline: 8, CoalesceWait: 100 * time.Microsecond})
+	// Pick the shard of key 1 and collect every key landing there.
+	shard := srv.store.ShardOf(1)
+	var keys []uint64
+	for k := stm.Word(1); len(keys) < 4; k++ {
+		if srv.store.ShardOf(k) == shard {
+			keys = append(keys, uint64(k))
+		}
+	}
+
+	sub, err := txkvclient.DialSubscribe(srv.Addr().String(), shard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	cl, err := txkvclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writes per key, then one delete: 3 events per key in a known
+	// per-key order (cross-key interleaving is the server's to choose).
+	for _, k := range keys {
+		if _, err := cl.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Put(k, k*10+1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	go srv.Drain()
+
+	var events []txkvwire.FeedEvent
+	for {
+		batch, err := sub.Next()
+		if errors.Is(err, txkvclient.ErrFeedClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		events = append(events, batch...)
+	}
+	if len(events) != 3*len(keys) {
+		t.Fatalf("subscriber saw %d events, want %d (3 per key)", len(events), 3*len(keys))
+	}
+	perKey := make(map[uint64]int)
+	for i, e := range events {
+		if e.Seq != uint64(i)+1 {
+			t.Fatalf("event %d has seq %d: lost, duplicated or reordered", i, e.Seq)
+		}
+		switch perKey[e.Key] {
+		case 0:
+			if e.Del || e.Val != e.Key*10 {
+				t.Fatalf("key %d event 0: %+v, want first put", e.Key, e)
+			}
+		case 1:
+			if e.Del || e.Val != e.Key*10+1 {
+				t.Fatalf("key %d event 1: %+v, want second put", e.Key, e)
+			}
+		case 2:
+			if !e.Del {
+				t.Fatalf("key %d event 2: %+v, want delete", e.Key, e)
+			}
+		default:
+			t.Fatalf("key %d saw a fourth event: %+v", e.Key, e)
+		}
+		perKey[e.Key]++
+	}
+}
+
+// TestTTLExpiredInBatchShedsOnlyThatItem is the over-the-wire half of
+// the PR 9 shed-accounting regression: with coalescing on, a request
+// whose TTL expires while queued for its flush is shed alone with
+// DeadlineExceeded; its batch-mates commit normally.
+func TestTTLExpiredInBatchShedsOnlyThatItem(t *testing.T) {
+	// A long gather window guarantees the 1µs TTL expires in-queue.
+	srv := startCoalesced(t, "swisstm", 64,
+		Config{Pipeline: 8, CoalesceBatch: 1000, CoalesceWait: 50 * time.Millisecond})
+	p, err := txkvclient.DialPipe(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	shard := srv.store.ShardOf(1)
+	var other uint64
+	for k := stm.Word(2); other == 0; k++ {
+		if srv.store.ShardOf(k) == shard {
+			other = uint64(k)
+		}
+	}
+	if err := p.Submit(txkvwire.Req{Op: txkvwire.OpPut, Key: 1, Val: 7, TTL: time.Microsecond}, "doomed", true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(txkvwire.Req{Op: txkvwire.OpPut, Key: other, Val: 8}, "live", true, true); err != nil {
+		t.Fatal(err)
+	}
+
+	tag, _, reply, err := p.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "doomed" || reply.Code != txkvwire.CodeDeadlineExceeded {
+		t.Fatalf("expired request: tag=%v reply=%+v, want DeadlineExceeded", tag, reply)
+	}
+	tag, _, reply, err = p.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "live" || reply.Err != "" {
+		t.Fatalf("batch-mate of expired request: tag=%v reply=%+v", tag, reply)
+	}
+
+	cl, err := txkvclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if v, _, _ := cl.Get(1); v == 7 {
+		t.Fatal("expired put reached the store")
+	}
+	if v, _, _ := cl.Get(other); v != 8 {
+		t.Fatalf("live put lost: %d", v)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded counter %d, want 1", st.DeadlineExceeded)
+	}
+}

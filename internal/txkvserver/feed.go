@@ -1,0 +1,214 @@
+package txkvserver
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"swisstm/internal/coalesce"
+	"swisstm/internal/stm"
+	"swisstm/internal/txkvwire"
+)
+
+// Change-feed integration (DESIGN.md §14.4). Every committed mutation
+// is published to its shard's feed in commit order, whichever path
+// executed it: the coalescer publishes its own flushes, and the pooled
+// request path carries its events through a pendingFeed — the feed
+// twin of pendingLog, with the same ticket discipline. A body collects
+// its events as it mutates, reserves one feed ticket per touched shard
+// as its LAST step (after every outcome-deciding read), and dispatch
+// publishes after the commit. Aborted attempts abandon their tickets
+// at body re-entry, exactly like the log slot.
+
+// pendingFeed accumulates one request's feed events and per-shard
+// ticket reservations across transaction attempts.
+type pendingFeed struct {
+	events []coalesce.Event
+	shards []int      // shards[i] is the shard of events[i]
+	slots  []feedSlot // one reserved ticket per distinct shard
+}
+
+type feedSlot struct {
+	shard int
+	tk    uint64
+}
+
+var feedPendPool = sync.Pool{New: func() any { return &pendingFeed{} }}
+
+func getPendingFeed() *pendingFeed { return feedPendPool.Get().(*pendingFeed) }
+
+func putPendingFeed(p *pendingFeed) {
+	p.reset()
+	feedPendPool.Put(p)
+}
+
+func (p *pendingFeed) reset() {
+	p.events = p.events[:0]
+	p.shards = p.shards[:0]
+	p.slots = p.slots[:0]
+}
+
+// drop abandons the previous attempt's tickets and clears its events:
+// at the top of a (re-)executed body and on a panic out of it.
+func (p *pendingFeed) drop(s *Server) {
+	for _, sl := range p.slots {
+		s.feeds[sl.shard].Abandon(sl.tk)
+	}
+	p.reset()
+}
+
+// add records one committed-if-we-commit mutation. Call only for
+// mutations the current attempt actually applied.
+func (p *pendingFeed) add(s *Server, e coalesce.Event) {
+	p.events = append(p.events, e)
+	p.shards = append(p.shards, s.store.ShardOf(stm.Word(e.Key)))
+}
+
+// reserve draws one ticket per distinct touched shard, in first-touch
+// order. Must be the body's last step (ticket order = commit order).
+func (p *pendingFeed) reserve(s *Server) {
+	for _, sh := range p.shards {
+		have := false
+		for _, sl := range p.slots {
+			if sl.shard == sh {
+				have = true
+				break
+			}
+		}
+		if !have {
+			p.slots = append(p.slots, feedSlot{shard: sh, tk: s.feeds[sh].Reserve()})
+		}
+	}
+}
+
+// publish hands each shard its events at the reserved ticket. Call
+// after the transaction committed; a no-op when nothing was reserved.
+func (p *pendingFeed) publish(s *Server) {
+	for _, sl := range p.slots {
+		var evs []coalesce.Event
+		for i, sh := range p.shards {
+			if sh == sl.shard {
+				evs = append(evs, p.events[i])
+			}
+		}
+		s.feeds[sl.shard].Publish(sl.tk, evs)
+	}
+	p.reset()
+}
+
+// enqueueCoalesced builds the batcher item for a single-key op and
+// hands it to its shard's queue. Call on the connection's reader
+// goroutine: the enqueue order into each shard queue is then exactly
+// the connection's request order, which is what makes pipelined
+// read-your-writes hold (DESIGN.md §14.5) — a dispatch goroutine per
+// request would race same-connection ops into the queue. Enqueue never
+// blocks (a full queue sheds), so the reader stays responsive.
+// ok=false means the request was refused and reply is the shed reply.
+func (s *Server) enqueueCoalesced(req txkvwire.Req, deadline time.Time) (it *coalesce.Item, reply txkvwire.Reply, ok bool) {
+	var op coalesce.Op
+	switch req.Op {
+	case txkvwire.OpGet:
+		op = coalesce.OpGet
+	case txkvwire.OpPut:
+		op = coalesce.OpPut
+	case txkvwire.OpDelete:
+		op = coalesce.OpDelete
+	case txkvwire.OpCAS:
+		op = coalesce.OpCAS
+	}
+	it = coalesce.NewItem(op, stm.Word(req.Key), stm.Word(req.Val), stm.Word(req.Old), deadline)
+	if code, msg := s.co.Enqueue(it); code != 0 {
+		s.m.recordShed(code, code == txkvwire.CodeOverloaded)
+		return nil, txkvwire.Reply{Op: req.Op, Err: msg, Code: code}, false
+	}
+	return it, txkvwire.Reply{}, true
+}
+
+// awaitCoalesced waits for an enqueued item's individual result. The
+// batcher's flush reports the item's phase share (queue = exact
+// time-to-flush, txn/commit/wal = the batch's divided among its
+// items), so the server-side phase accounting stays comparable with
+// the pooled path.
+func (s *Server) awaitCoalesced(op txkvwire.Op, it *coalesce.Item) (reply txkvwire.Reply, queueNs, txnNs, commitNs, walNs uint64) {
+	res := <-it.Done()
+	if res.Err != "" {
+		if res.Shed {
+			s.m.recordShed(res.Code, false)
+		}
+		return txkvwire.Reply{Op: op, Err: res.Err, Code: res.Code},
+			res.QueueNs, res.TxnNs, res.CommitNs, res.WalNs
+	}
+	return txkvwire.Reply{Op: op, Found: res.Found, Val: uint64(res.Val), OK: res.OK},
+		res.QueueNs, res.TxnNs, res.CommitNs, res.WalNs
+}
+
+// dispatchCoalesced is enqueue + await in one call, for paths that do
+// not need the reader-ordered split.
+func (s *Server) dispatchCoalesced(req txkvwire.Req, deadline time.Time) (reply txkvwire.Reply, queueNs, txnNs, commitNs, walNs uint64) {
+	it, refusal, ok := s.enqueueCoalesced(req, deadline)
+	if !ok {
+		return refusal, 0, 0, 0, 0
+	}
+	return s.awaitCoalesced(req.Op, it)
+}
+
+// feedHeartbeat is how often an idle feed stream sends an empty Events
+// frame: keeps dead-subscriber detection bounded (the write fails) and
+// tells a live client the stream is merely quiet.
+const feedHeartbeat = 500 * time.Millisecond
+
+// streamFeed tails one shard's change feed onto the connection until
+// the feed closes (drain: remaining events, then a Draining error
+// frame), the subscriber falls out of the retention window (a Rejected
+// error frame), or the client goes away. from is the first sequence
+// wanted; 0 means "from now".
+func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, shard int, from uint64) {
+	f := s.feeds[shard]
+	cursor := from
+	evbuf := make([]coalesce.Event, 0, txkvwire.MaxFeedEvents)
+	wire := make([]txkvwire.FeedEvent, 0, txkvwire.MaxFeedEvents)
+	var obuf []byte
+	hb := time.NewTimer(feedHeartbeat)
+	defer hb.Stop()
+	for {
+		batch, next, wait, done, err := f.Next(cursor, evbuf, txkvwire.MaxFeedEvents)
+		cursor = next
+		if err != nil {
+			s.writeReply(conn, bw, &obuf, txkvwire.Reply{
+				Op: txkvwire.OpSubscribe, Err: err.Error(), Code: txkvwire.CodeRejected}, true)
+			return
+		}
+		if len(batch) > 0 {
+			wire = wire[:0]
+			for _, e := range batch {
+				wire = append(wire, txkvwire.FeedEvent{Seq: e.Seq, Del: e.Del, Key: e.Key, Val: e.Val})
+			}
+			if !s.writeReply(conn, bw, &obuf, txkvwire.Reply{Op: txkvwire.OpSubscribe, Events: wire}, true) {
+				return
+			}
+			continue
+		}
+		if done {
+			s.writeReply(conn, bw, &obuf, txkvwire.Reply{
+				Op: txkvwire.OpSubscribe, Err: "draining: feed closed", Code: txkvwire.CodeDraining}, true)
+			return
+		}
+		if !hb.Stop() {
+			select {
+			case <-hb.C:
+			default:
+			}
+		}
+		hb.Reset(feedHeartbeat)
+		select {
+		case <-wait:
+		case <-hb.C:
+			// Idle heartbeat: an empty Events frame. Its write failing
+			// is how a dead subscriber is detected and released.
+			if !s.writeReply(conn, bw, &obuf, txkvwire.Reply{Op: txkvwire.OpSubscribe}, true) {
+				return
+			}
+		}
+	}
+}

@@ -27,7 +27,7 @@ var phaseNames = [phaseCount]string{"parse", "queue", "txn", "commit", "wal", "r
 
 // opCount sizes the per-op metric tables: wire opcodes are contiguous
 // from OpInvalid (decode failures land there).
-const opCount = int(txkvwire.OpStats) + 1
+const opCount = int(txkvwire.OpSubscribe) + 1
 
 // opMetrics is one op type's pre-resolved metric handles. Handles are
 // looked up once at server start so the request path does no

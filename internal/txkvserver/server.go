@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swisstm/internal/coalesce"
 	"swisstm/internal/harness"
 	"swisstm/internal/obs"
 	"swisstm/internal/stm"
@@ -86,6 +87,27 @@ type Config struct {
 	// MaxQueueWait bounds how long one request may wait for an engine
 	// thread before it is shed with Overloaded.
 	MaxQueueWait time.Duration
+
+	// Pipeline is the per-connection in-flight request window (DESIGN.md
+	// §14.5): a reader goroutine admits up to this many decoded requests
+	// concurrently while a writer goroutine sends replies in request
+	// order. Default 16; 1 restores strictly serial per-connection
+	// service.
+	Pipeline int
+
+	// CoalesceBatch, when positive, turns on per-shard commit coalescing
+	// (DESIGN.md §14): single-key ops are routed to per-shard batchers
+	// that execute up to CoalesceBatch items as ONE engine transaction
+	// and ONE commit-log frame. Requires Threads + store shards ≤
+	// stm.MaxThreads (each shard gets a dedicated engine thread).
+	CoalesceBatch int
+	// CoalesceWait is the batcher's max wait before flushing an
+	// incomplete batch (default 200µs); ignored with coalescing off.
+	CoalesceWait time.Duration
+	// FeedCap is the per-shard change-feed ring capacity (default
+	// coalesce.DefaultFeedCap). The feed is always on: every committed
+	// mutation is published, whichever path executed it.
+	FeedCap int
 }
 
 func (c *Config) fill() error {
@@ -104,6 +126,15 @@ func (c *Config) fill() error {
 	if c.Threads < 1 || c.Threads > stm.MaxThreads {
 		return fmt.Errorf("txkvserver: thread pool size %d out of range 1..%d", c.Threads, stm.MaxThreads)
 	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 16
+	}
+	if c.Pipeline < 1 {
+		return fmt.Errorf("txkvserver: pipeline window %d out of range (want ≥ 1)", c.Pipeline)
+	}
+	if c.CoalesceWait == 0 {
+		c.CoalesceWait = 200 * time.Microsecond
+	}
 	return nil
 }
 
@@ -121,6 +152,11 @@ type Server struct {
 	walM    *wal.Metrics    // non-nil iff wal is
 	walInfo wal.RecoverInfo // what Start's recovery scan found
 
+	co         *coalesce.Coalescer // nil with coalescing off
+	coM        *coalesce.Metrics   // non-nil iff co is
+	feeds      []*coalesce.Feed    // one change feed per store shard, always on
+	feedEvents *obs.Counter        // txkv_feed_events_total
+
 	adminLn  net.Listener
 	adminSrv *http.Server
 
@@ -134,11 +170,20 @@ type Server struct {
 	queued   atomic.Int64  // requests currently waiting for a pool thread
 	fatal    chan struct{} // closed when the accept loop dies unexpectedly
 
+	// statsMu serializes drainStats: a stats snapshot empties the whole
+	// thread pool, so two concurrent snapshots would deadlock splitting it.
+	statsMu sync.Mutex
+
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	closed    bool
 	acceptErr error
 	wg        sync.WaitGroup
+	// subWg tracks connections that became feed subscribers: they
+	// outlive the request plane (wg) and are released only after the
+	// feeds close, so a drain can flush the request plane first and
+	// still hand subscribers every committed event before goodbye.
+	subWg sync.WaitGroup
 }
 
 // worker is one pooled engine thread.
@@ -197,6 +242,15 @@ func Start(addr string, cfg Config) (*Server, error) {
 	s.m = newMetrics(s.store.Shards())
 	s.m.reg.RegisterCollector(s.collectEngine)
 
+	// Change feeds are always on: every mutating path publishes its
+	// committed mutations, so subscribers see one consistent per-shard
+	// stream whichever path (pooled or coalesced) executed the write.
+	s.feedEvents = s.m.reg.Counter("txkv_feed_events_total")
+	s.feeds = make([]*coalesce.Feed, s.store.Shards())
+	for i := range s.feeds {
+		s.feeds[i] = coalesce.NewFeed(cfg.FeedCap, s.feedEvents)
+	}
+
 	if cfg.WALDir != "" {
 		s.walM = wal.NewMetrics(s.m.reg)
 		wr, err := wal.Open(wal.Options{
@@ -217,8 +271,35 @@ func Start(addr string, cfg Config) (*Server, error) {
 		}
 	}
 
+	if cfg.CoalesceBatch > 0 {
+		shards := s.store.Shards()
+		if cfg.Threads+shards > stm.MaxThreads {
+			if s.wal != nil {
+				s.wal.Close()
+			}
+			return nil, fmt.Errorf("txkvserver: coalescing needs %d pool + %d shard threads > stm.MaxThreads (%d)",
+				cfg.Threads, shards, stm.MaxThreads)
+		}
+		// Dedicated engine threads for the shard workers, above the
+		// pool's 0..Threads-1 range.
+		threads := make([]stm.Thread, shards)
+		for i := range threads {
+			threads[i] = s.eng.NewThread(cfg.Threads + i)
+		}
+		s.coM = coalesce.NewMetrics(s.m.reg)
+		s.co = coalesce.New(s.store, threads, s.wal, s.feeds, coalesce.Config{
+			BatchSize: cfg.CoalesceBatch,
+			MaxWait:   cfg.CoalesceWait,
+			Metrics:   s.coM,
+			Conflicts: s.m.recordConflicts,
+		})
+	}
+
 	if cfg.Admin != "" {
 		if err := s.startAdmin(cfg.Admin); err != nil {
+			if s.co != nil {
+				s.co.Close()
+			}
 			if s.wal != nil {
 				s.wal.Close()
 			}
@@ -230,6 +311,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		if s.adminSrv != nil {
 			s.adminSrv.Close()
+		}
+		if s.co != nil {
+			s.co.Close()
 		}
 		if s.wal != nil {
 			s.wal.Close()
@@ -323,6 +407,18 @@ func (s *Server) shutdown(drain bool) error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Request plane quiet: every accepted request completed (pending
+	// coalesced items flushed — their replies gate the goroutines wg
+	// just waited for). Stop the batchers, then close the feeds so
+	// subscriber connections flush their remaining events, send a final
+	// Draining frame and exit.
+	if s.co != nil {
+		s.co.Close()
+	}
+	for _, f := range s.feeds {
+		f.Close()
+	}
+	s.subWg.Wait()
 	if s.wal != nil {
 		// All connection goroutines are done: every acknowledged write
 		// has been published. Close drains and syncs the log.
@@ -389,30 +485,70 @@ func rejectConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dropConn(conn net.Conn) {
-	conn.Close()
-	s.mu.Lock()
-	delete(s.conns, conn)
-	s.mu.Unlock()
-	s.wg.Done()
+// inflight is one pipelined request's slot in a connection's reply
+// order: the reader fills it (directly for decode errors and subscribe
+// takeovers, via a dispatch goroutine otherwise) and closes done; the
+// writer waits on done and sends the reply. Replies always go out in
+// request order because slots travel a FIFO channel.
+type inflight struct {
+	op      txkvwire.Op
+	parseNs uint64
+	done    chan struct{}
+
+	// Filled before done closes.
+	reply                           txkvwire.Reply
+	queueNs, txnNs, commitNs, walNs uint64
+
+	// Non-nil: this slot converts the connection into a feed
+	// subscriber once the writer reaches it (all earlier replies out).
+	sub *txkvwire.Req
 }
 
-// serveConn runs one connection: read frame → decode → borrow thread →
-// transaction → reply, measuring each phase. Requests on one connection
-// are served in order; concurrency comes from concurrent connections.
+// serveConn runs one pipelined connection (DESIGN.md §14.5): a reader
+// goroutine decodes frames and launches up to Config.Pipeline requests
+// concurrently; this goroutine writes the replies back in request
+// order. The in-flight window is bounded by a semaphore acquired at
+// decode and released at reply, so a connection can keep the engine
+// busy without a round-trip per request but cannot queue unboundedly.
 //
-// Replies go through a per-connection bufio.Writer flushed once per
-// frame, so a reply's 4-byte length prefix and payload always reach the
-// socket in one Write — a concurrent reader never observes a torn
-// frame, and header+payload coalesce into one syscall.
+// Replies go through a per-connection bufio.Writer flushed whenever the
+// reply queue goes empty (and before blocking on a slow request), so a
+// reply's 4-byte length prefix and payload always reach the socket in
+// one Write — a concurrent reader never observes a torn frame — and
+// back-to-back pipelined replies coalesce into one syscall.
 func (s *Server) serveConn(conn net.Conn) {
-	defer s.dropConn(conn)
+	isSub := false
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		if isSub {
+			s.subWg.Done() // wg slot was handed off at subscribe takeover
+		} else {
+			s.wg.Done()
+		}
+	}()
+	window := s.cfg.Pipeline
+	order := make(chan *inflight, window)
+	sem := make(chan struct{}, window)
+	subc := make(chan bool, 1)
+	go func() { subc <- s.connWriter(conn, order, sem) }()
+	s.connReader(conn, order, sem)
+	close(order)
+	isSub = <-subc
+}
+
+// connReader reads and decodes frames, admitting each into the
+// in-flight window. It returns when the client goes away, the server
+// drains, or the connection becomes a feed subscriber (per the wire
+// contract no further requests are read after a subscribe).
+func (s *Server) connReader(conn net.Conn, order chan<- *inflight, sem chan struct{}) {
 	br := newConnReader(conn)
-	bw := bufio.NewWriterSize(conn, 4<<10)
-	var fbuf, obuf []byte
+	var fbuf []byte
 	for {
 		if s.draining.Load() {
-			return // drained: the previous request was the last one served
+			return // drained: the previous request was the last one read
 		}
 		if s.cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -428,47 +564,151 @@ func (s *Server) serveConn(conn net.Conn) {
 
 		t0 := time.Now()
 		req, derr := txkvwire.DecodeReq(payload)
-		parseNs := uint64(time.Since(t0).Nanoseconds())
-
-		var reply txkvwire.Reply
-		var queueNs, txnNs, commitNs, walNs uint64
-		op := txkvwire.OpInvalid
+		// Blocks while the window is full: each slot holds one token
+		// from decode to reply, so order (capacity = window) never
+		// blocks below and the reader exerts back-pressure on the wire.
+		sem <- struct{}{}
+		fl := &inflight{op: txkvwire.OpInvalid, parseNs: uint64(time.Since(t0).Nanoseconds()),
+			done: make(chan struct{})}
 		if derr != nil {
-			reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error(), Code: txkvwire.CodeRejected}
-		} else {
-			op = req.Op
-			// The deadline clock starts at arrival (frame decoded), not
-			// at client send: the TTL is a budget for server-side work,
-			// and the wire carries a duration precisely so that clock
-			// skew between client and server cannot distort it.
-			var deadline time.Time
-			if req.TTL > 0 {
-				deadline = t0.Add(req.TTL)
+			fl.reply = txkvwire.Reply{Op: txkvwire.OpInvalid, Err: derr.Error(), Code: txkvwire.CodeRejected}
+			close(fl.done)
+			order <- fl
+			continue
+		}
+		fl.op = req.Op
+		if req.Op == txkvwire.OpSubscribe {
+			if req.Shard < 0 || int(req.Shard) >= s.store.Shards() {
+				fl.reply = txkvwire.Reply{Op: req.Op, Code: txkvwire.CodeRejected,
+					Err: fmt.Sprintf("subscribe: shard %d out of range (store has %d)", req.Shard, s.store.Shards())}
+				close(fl.done)
+				order <- fl
+				continue
 			}
-			reply, queueNs, txnNs, commitNs, walNs = s.dispatch(req, deadline)
+			r := req
+			fl.sub = &r
+			close(fl.done)
+			order <- fl
+			return // the writer takes the connection over
 		}
+		// The deadline clock starts at arrival (frame decoded), not
+		// at client send: the TTL is a budget for server-side work,
+		// and the wire carries a duration precisely so that clock
+		// skew between client and server cannot distort it.
+		var deadline time.Time
+		if req.TTL > 0 {
+			deadline = t0.Add(req.TTL)
+		}
+		if s.co != nil {
+			switch req.Op {
+			case txkvwire.OpGet, txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS:
+				// Enqueue here, on the reader goroutine, so this
+				// connection's ops land in the shard queues in request
+				// order — pipelined read-your-writes (DESIGN.md §14.5).
+				// Only the wait for the flush moves off-thread.
+				if err := s.validate(req, true); err != nil {
+					fl.reply = txkvwire.Reply{Op: req.Op, Err: err.Error(), Code: txkvwire.CodeRejected}
+					close(fl.done)
+				} else if it, refusal, ok := s.enqueueCoalesced(req, deadline); !ok {
+					fl.reply = refusal
+					close(fl.done)
+				} else {
+					go func() {
+						fl.reply, fl.queueNs, fl.txnNs, fl.commitNs, fl.walNs = s.awaitCoalesced(req.Op, it)
+						close(fl.done)
+					}()
+				}
+				order <- fl
+				continue
+			}
+		}
+		go func() {
+			fl.reply, fl.queueNs, fl.txnNs, fl.commitNs, fl.walNs = s.dispatch(req, deadline)
+			close(fl.done)
+		}()
+		order <- fl
+	}
+}
 
+// connWriter sends replies in request order, then (for a subscriber
+// takeover) streams the change feed. It reports whether the wg→subWg
+// handoff happened, and never returns before every in-flight dispatch
+// has finished — a write error switches to draining the slots (wait,
+// release, discard) so no dispatch goroutine outlives the connection's
+// wait-group slot.
+func (s *Server) connWriter(conn net.Conn, order <-chan *inflight, sem <-chan struct{}) (handed bool) {
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	var obuf []byte
+	failed := false
+	for fl := range order {
+		select {
+		case <-fl.done:
+		default:
+			// The next reply in order is not ready: push buffered
+			// replies to the client before blocking on it.
+			if !failed && bw.Flush() != nil {
+				failed = true
+				conn.Close()
+			}
+			<-fl.done
+		}
+		<-sem
+		if failed {
+			continue
+		}
+		if fl.sub != nil {
+			// Every earlier reply is out: release the request-plane wg
+			// slot (Add before Done keeps shutdown's subWg.Wait
+			// race-free) and stream until the feed closes or the client
+			// goes away. Remaining slots, if any, are discarded.
+			s.subWg.Add(1)
+			s.wg.Done()
+			handed = true
+			r0 := time.Now()
+			if s.writeReply(conn, bw, &obuf, txkvwire.Reply{Op: txkvwire.OpSubscribe}, true) {
+				s.m.record(fl.op, fl.parseNs, 0, 0, 0, 0, uint64(time.Since(r0).Nanoseconds()))
+				s.streamFeed(conn, bw, int(fl.sub.Shard), fl.sub.From)
+			}
+			failed = true
+			conn.Close()
+			continue
+		}
 		r0 := time.Now()
-		obuf = obuf[:0]
-		obuf, err = txkvwire.AppendReply(obuf, reply)
-		if err != nil {
-			// An unencodable reply is a server bug; degrade to an error
-			// frame rather than silently dropping the connection.
-			obuf, _ = txkvwire.AppendReply(obuf[:0], txkvwire.Reply{Op: req.Op, Err: "internal: unencodable reply", Code: txkvwire.CodeInternal})
-		}
-		if s.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		}
-		if err := txkvwire.WriteFrame(bw, obuf); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
+		if !s.writeReply(conn, bw, &obuf, fl.reply, len(order) == 0) {
+			failed = true
+			conn.Close()
+			continue
 		}
 		replyNs := uint64(time.Since(r0).Nanoseconds())
-
-		s.m.record(op, parseNs, queueNs, txnNs, commitNs, walNs, replyNs)
+		s.m.record(fl.op, fl.parseNs, fl.queueNs, fl.txnNs, fl.commitNs, fl.walNs, replyNs)
 	}
+	if !failed {
+		bw.Flush()
+	}
+	return handed
+}
+
+// writeReply encodes and writes one reply frame, flushing when asked.
+// False means the connection is broken.
+func (s *Server) writeReply(conn net.Conn, bw *bufio.Writer, obuf *[]byte, reply txkvwire.Reply, flush bool) bool {
+	buf, err := txkvwire.AppendReply((*obuf)[:0], reply)
+	if err != nil {
+		// An unencodable reply is a server bug; degrade to an error
+		// frame rather than silently dropping the connection.
+		buf, _ = txkvwire.AppendReply((*obuf)[:0], txkvwire.Reply{
+			Op: reply.Op, Err: "internal: unencodable reply", Code: txkvwire.CodeInternal})
+	}
+	*obuf = buf
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if txkvwire.WriteFrame(bw, buf) != nil {
+		return false
+	}
+	if flush && bw.Flush() != nil {
+		return false
+	}
+	return true
 }
 
 // dispatch validates the request, borrows a pool thread (bounded by
@@ -492,6 +732,14 @@ func (s *Server) dispatch(req txkvwire.Req, deadline time.Time) (reply txkvwire.
 		// when the serving plane is saturated.
 		return s.statsReply(), 0, 0, 0, 0
 	}
+	if s.co != nil {
+		switch req.Op {
+		case txkvwire.OpGet, txkvwire.OpPut, txkvwire.OpDelete, txkvwire.OpCAS:
+			// Single-key ops ride the per-shard batchers instead of the
+			// thread pool; their admission bound is the shard queue.
+			return s.dispatchCoalesced(req, deadline)
+		}
+	}
 	q0 := time.Now()
 	w, code, msg, queueFull := s.admit(q0, deadline)
 	queueNs = uint64(time.Since(q0).Nanoseconds())
@@ -501,7 +749,8 @@ func (s *Server) dispatch(req txkvwire.Req, deadline time.Time) (reply txkvwire.
 	}
 	abortsBefore := w.th.Stats().Aborts
 	var pend pendingLog
-	reply, txnNs, commitNs = s.execute(w, req, &pend)
+	pf := getPendingFeed()
+	reply, txnNs, commitNs = s.execute(w, req, &pend, pf)
 	// Attribute this request's engine aborts to the shard its (first)
 	// key hashes to — the per-shard conflict heat map (DESIGN.md §11).
 	// Safe while we hold the worker: the thread is quiescent between
@@ -510,6 +759,10 @@ func (s *Server) dispatch(req txkvwire.Req, deadline time.Time) (reply txkvwire.
 		s.m.recordConflicts(s.reqShard(req), d)
 	}
 	s.pool <- w
+	// Feed first, then log: the feed reflects the in-memory commit,
+	// which already happened, so tailers are not gated on fsync.
+	pf.publish(s)
+	putPendingFeed(pf)
 	if pend.live {
 		walNs = s.publishWAL(&pend, req, &reply)
 	}
@@ -630,15 +883,16 @@ func (s *Server) validate(req txkvwire.Req, batchOK bool) error {
 // transactional reads, so ticket order matches commit order for
 // conflicting transactions; DESIGN.md §12). The caller publishes the
 // surviving slot after returning the worker to the pool.
-func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply txkvwire.Reply, txnNs, commitNs uint64) {
+func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog, pf *pendingFeed) (reply txkvwire.Reply, txnNs, commitNs uint64) {
 	defer func() {
 		// A foreign panic out of a transaction body (e.g. a shard
 		// overflowing on Put) has already rolled the attempt back and
 		// released its locks (stm.Thread.Unwind); surface it as an error
-		// reply instead of tearing the whole server down. Any log slot
-		// the dead attempt reserved must be released with it.
+		// reply instead of tearing the whole server down. Any log or
+		// feed slot the dead attempt reserved must be released with it.
 		if r := recover(); r != nil {
 			pend.drop(s)
+			pf.drop(s)
 			reply = txkvwire.Reply{Op: req.Op, Err: fmt.Sprintf("%s: %v", req.Op, r), Code: txkvwire.CodeInternal}
 		}
 	}()
@@ -661,30 +915,43 @@ func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply t
 	case txkvwire.OpPut:
 		ins := stm.Atomic(w.th, func(tx stm.Tx) bool {
 			pend.drop(s)
+			pf.drop(s)
 			b0 := time.Now()
 			ok := s.store.Put(tx, stm.Word(req.Key), stm.Word(req.Val))
+			pf.add(s, coalesce.Event{Key: req.Key, Val: req.Val})
 			bodyNs = time.Since(b0).Nanoseconds()
 			pend.reserve(s, true)
+			pf.reserve(s)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ins}
 	case txkvwire.OpDelete:
 		ex := stm.Atomic(w.th, func(tx stm.Tx) bool {
 			pend.drop(s)
+			pf.drop(s)
 			b0 := time.Now()
 			ok := s.store.Delete(tx, stm.Word(req.Key))
+			if ok {
+				pf.add(s, coalesce.Event{Del: true, Key: req.Key})
+			}
 			bodyNs = time.Since(b0).Nanoseconds()
 			pend.reserve(s, ok)
+			pf.reserve(s)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ex}
 	case txkvwire.OpCAS:
 		sw := stm.Atomic(w.th, func(tx stm.Tx) bool {
 			pend.drop(s)
+			pf.drop(s)
 			b0 := time.Now()
 			ok := s.store.CAS(tx, stm.Word(req.Key), stm.Word(req.Old), stm.Word(req.Val))
+			if ok {
+				pf.add(s, coalesce.Event{Key: req.Key, Val: req.Val})
+			}
 			bodyNs = time.Since(b0).Nanoseconds()
 			pend.reserve(s, ok)
+			pf.reserve(s)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: sw}
@@ -695,10 +962,20 @@ func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply t
 		}
 		ok := stm.Atomic(w.th, func(tx stm.Tx) bool {
 			pend.drop(s)
+			pf.drop(s)
 			b0 := time.Now()
 			ok := s.store.Transfer(tx, keys, stm.Word(req.Amount))
+			if ok {
+				// The feed carries post-images; read them back inside
+				// the same transaction (read-own-write is exact).
+				for _, k := range keys {
+					v, _ := s.store.Get(tx, k)
+					pf.add(s, coalesce.Event{Key: uint64(k), Val: uint64(v)})
+				}
+			}
 			bodyNs = time.Since(b0).Nanoseconds()
 			pend.reserve(s, ok)
+			pf.reserve(s)
 			return ok
 		})
 		reply = txkvwire.Reply{Op: req.Op, OK: ok}
@@ -724,7 +1001,7 @@ func (s *Server) execute(w *worker, req txkvwire.Req, pend *pendingLog) (reply t
 		})
 		reply = txkvwire.Reply{Op: req.Op, Val: uint64(n)}
 	case txkvwire.OpBatch:
-		reply = s.executeBatch(w, req, &bodyNs, pend)
+		reply = s.executeBatch(w, req, &bodyNs, pend, pf)
 	default:
 		return txkvwire.Reply{Op: req.Op, Err: "unhandled op", Code: txkvwire.CodeInternal}, 0, 0
 	}
@@ -745,9 +1022,10 @@ var errBatchAbort = errors.New("batch aborted")
 // an absent key) returns an error from the body, which rolls the whole
 // transaction back — no sub-op's write survives — and surfaces as an
 // error reply naming the failing index.
-func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *pendingLog) txkvwire.Reply {
+func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *pendingLog, pf *pendingFeed) txkvwire.Reply {
 	subs, err := stm.AtomicErr(w.th, func(tx stm.Tx) ([]txkvwire.Reply, error) {
 		pend.drop(s)
+		pf.drop(s)
 		b0 := time.Now()
 		defer func() { *bodyNs = time.Since(b0).Nanoseconds() }()
 		mutated := false
@@ -760,16 +1038,19 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *
 				subs[i] = txkvwire.Reply{Op: sub.Op, Found: ok, Val: uint64(v)}
 			case txkvwire.OpPut:
 				ins := s.store.Put(tx, stm.Word(sub.Key), stm.Word(sub.Val))
+				pf.add(s, coalesce.Event{Key: sub.Key, Val: sub.Val})
 				subs[i] = txkvwire.Reply{Op: sub.Op, OK: ins}
 			case txkvwire.OpDelete:
 				if !s.store.Delete(tx, stm.Word(sub.Key)) {
 					return nil, fmt.Errorf("%w at index %d: delete: key %d absent", errBatchAbort, i, sub.Key)
 				}
+				pf.add(s, coalesce.Event{Del: true, Key: sub.Key})
 				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
 			case txkvwire.OpCAS:
 				if !s.store.CAS(tx, stm.Word(sub.Key), stm.Word(sub.Old), stm.Word(sub.Val)) {
 					return nil, fmt.Errorf("%w at index %d: cas: key %d not at expected value", errBatchAbort, i, sub.Key)
 				}
+				pf.add(s, coalesce.Event{Key: sub.Key, Val: sub.Val})
 				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
 			case txkvwire.OpTransfer:
 				keys := make([]stm.Word, len(sub.Keys))
@@ -778,6 +1059,10 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *
 				}
 				if !s.store.Transfer(tx, keys, stm.Word(sub.Amount)) {
 					return nil, fmt.Errorf("%w at index %d: transfer failed", errBatchAbort, i)
+				}
+				for _, k := range keys {
+					v, _ := s.store.Get(tx, k)
+					pf.add(s, coalesce.Event{Key: uint64(k), Val: uint64(v)})
 				}
 				subs[i] = txkvwire.Reply{Op: sub.Op, OK: true}
 			case txkvwire.OpSum:
@@ -798,6 +1083,7 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *
 		// "contains a mutating sub-op" is exactly "this commit must be
 		// logged" — one slot for the whole atomic batch.
 		pend.reserve(s, mutated)
+		pf.reserve(s)
 		return subs, nil
 	})
 	if err != nil {
@@ -809,12 +1095,16 @@ func (s *Server) executeBatch(w *worker, req txkvwire.Req, bodyNs *int64, pend *
 	return txkvwire.Reply{Op: req.Op, Sub: subs}
 }
 
-// drainStats sums the engine counters across the whole thread pool. It
-// drains the pool so every thread is idle while its counters are read
-// (stm.Thread.Stats is not safe to call concurrently with the thread's
-// own transactions); requests queued behind the drain simply see one
-// long queue phase.
+// drainStats sums the engine counters across the whole thread pool
+// plus the coalescer's shard workers. It drains the pool so every
+// thread is idle while its counters are read (stm.Thread.Stats is not
+// safe to call concurrently with the thread's own transactions);
+// requests queued behind the drain simply see one long queue phase.
+// statsMu serializes concurrent drains — two of them would each hold
+// part of the pool and deadlock waiting for the rest.
 func (s *Server) drainStats() stm.Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	ws := make([]*worker, cap(s.pool))
 	for i := range ws {
 		ws[i] = <-s.pool
@@ -825,6 +1115,9 @@ func (s *Server) drainStats() stm.Stats {
 	}
 	for _, w := range ws {
 		s.pool <- w
+	}
+	if s.co != nil {
+		sum.Add(s.co.Stats())
 	}
 	return sum
 }
@@ -850,7 +1143,13 @@ func (s *Server) statsSnapshot() txkvwire.Stats {
 		st.WalFrames = s.walM.Frames.Load()
 		st.WalBytes = s.walM.Bytes.Load()
 		st.WalRecovered = s.walM.Recovered.Load()
+		st.WalFsyncs = s.walM.FsyncNs.Snapshot().Count
 	}
+	if s.coM != nil {
+		st.CoalesceBatches = s.coM.Batches.Load()
+		st.CoalesceItems = s.coM.Items.Load()
+	}
+	st.FeedEvents = s.feedEvents.Load()
 	return st
 }
 

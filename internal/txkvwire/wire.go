@@ -46,6 +46,9 @@ const (
 	// MaxTTL caps a request's deadline TTL (the wire carries whole
 	// microseconds in a uint32; anything longer is not a deadline).
 	MaxTTL = time.Duration(1<<32-1) * time.Microsecond
+	// MaxFeedEvents caps the change-feed events in one Subscribe reply
+	// frame; a busy feed streams as many frames as it needs.
+	MaxFeedEvents = 512
 )
 
 // Request payload header flags. Unknown bits are a protocol error, so
@@ -141,6 +144,13 @@ const (
 	// OpStats returns the server's cumulative request/phase counters.
 	// Reply: Stats.
 	OpStats
+	// OpSubscribe tails one shard's change feed (Shard, From). The
+	// server acknowledges with an empty-Events reply, then streams one
+	// reply frame per event batch on the same connection until the
+	// subscriber disconnects or the server drains (a final error frame
+	// with CodeDraining). No further requests are read from a
+	// subscribed connection.
+	OpSubscribe
 
 	opMax
 )
@@ -166,6 +176,8 @@ func (o Op) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpSubscribe:
+		return "subscribe"
 	case OpInvalid:
 		return "invalid"
 	}
@@ -180,8 +192,9 @@ type Req struct {
 	Old    uint64   // CAS expected value
 	Amount uint64   // Transfer
 	Keys   []uint64 // Transfer: source + destinations
-	Shard  int32    // Sum: shard index, -1 = whole store
+	Shard  int32    // Sum: shard index, -1 = whole store; Subscribe: shard to tail
 	Sub    []Req    // Batch sub-requests (no nesting)
+	From   uint64   // Subscribe: first feed sequence wanted (0 = from now)
 
 	// TTL is the request's remaining deadline budget when it left the
 	// client (0 = none). The server anchors it at decode time: a request
@@ -203,6 +216,20 @@ type Reply struct {
 	OK    bool    // Put, Delete, CAS, Transfer
 	Sub   []Reply // Batch
 	Stats *Stats  // Stats
+	// Events carries a Subscribe stream frame's change-feed batch. The
+	// subscription ack frame has zero events; stream frames carry
+	// 1..MaxFeedEvents each.
+	Events []FeedEvent
+}
+
+// FeedEvent is one committed mutation in a shard's change feed
+// (DESIGN.md §14.4): a write with its post-image value, or a delete.
+// Seq is the shard-local commit sequence number, contiguous from 1.
+type FeedEvent struct {
+	Seq uint64
+	Del bool
+	Key uint64
+	Val uint64 // zero for deletes
 }
 
 // Stats is the server's cumulative counter snapshot: flat per-request
@@ -254,6 +281,14 @@ type Stats struct {
 	Sheds            uint64 // requests shed by admission control (Overloaded + Draining replies)
 	DeadlineExceeded uint64 // requests dropped because their deadline expired pre-execution
 	ConnsRejected    uint64 // connections refused at the MaxConns limit
+
+	// Commit-coalescing and change-feed counters (DESIGN.md §14; zero
+	// with coalescing off, except FeedEvents which every mutating path
+	// publishes). Cumulative.
+	CoalesceBatches uint64 // batch flushes executed (one engine txn each)
+	CoalesceItems   uint64 // single-key ops executed inside flushes
+	FeedEvents      uint64 // change-feed events published across all shards
+	WalFsyncs       uint64 // commit-log fsync batches (group/always modes)
 }
 
 // ErrFrameTooLarge reports a frame length prefix above MaxFrame.
@@ -350,6 +385,12 @@ func appendReq(dst []byte, r Req, batchOK bool) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Shard))
 	case OpLen, OpStats:
 		// opcode only
+	case OpSubscribe:
+		if !batchOK {
+			return nil, errors.New("txkvwire: subscribe inside a batch")
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Shard))
+		dst = binary.LittleEndian.AppendUint64(dst, r.From)
 	case OpBatch:
 		if !batchOK {
 			return nil, errors.New("txkvwire: nested batch")
@@ -359,8 +400,8 @@ func appendReq(dst []byte, r Req, batchOK bool) ([]byte, error) {
 		}
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Sub)))
 		for _, sub := range r.Sub {
-			if sub.Op == OpStats {
-				return nil, errors.New("txkvwire: stats inside a batch")
+			if sub.Op == OpStats || sub.Op == OpSubscribe {
+				return nil, fmt.Errorf("txkvwire: %v inside a batch", sub.Op)
 			}
 			var err error
 			if dst, err = appendReq(dst, sub, false); err != nil {
@@ -426,6 +467,13 @@ func decodeReq(c *cursor, batchOK bool) Req {
 		r.Shard = int32(c.u32())
 	case OpLen, OpStats:
 		// opcode only
+	case OpSubscribe:
+		if !batchOK {
+			c.fail(errors.New("txkvwire: subscribe inside a batch"))
+			return r
+		}
+		r.Shard = int32(c.u32())
+		r.From = c.u64()
 	case OpBatch:
 		if !batchOK {
 			c.fail(errors.New("txkvwire: nested batch"))
@@ -438,8 +486,8 @@ func decodeReq(c *cursor, batchOK bool) Req {
 		}
 		for i := 0; i < n && c.err == nil; i++ {
 			sub := decodeReq(c, false)
-			if sub.Op == OpStats {
-				c.fail(errors.New("txkvwire: stats inside a batch"))
+			if sub.Op == OpStats || sub.Op == OpSubscribe {
+				c.fail(fmt.Errorf("txkvwire: %v inside a batch", sub.Op))
 				return r
 			}
 			r.Sub = append(r.Sub, sub)
@@ -516,8 +564,21 @@ func appendReply(dst []byte, r Reply, batchOK bool) ([]byte, error) {
 			r.Stats.SrvP50Ns, r.Stats.SrvP99Ns, r.Stats.SrvP999Ns,
 			r.Stats.WalNs, r.Stats.WalFrames, r.Stats.WalBytes, r.Stats.WalRecovered,
 			r.Stats.Sheds, r.Stats.DeadlineExceeded, r.Stats.ConnsRejected,
+			r.Stats.CoalesceBatches, r.Stats.CoalesceItems,
+			r.Stats.FeedEvents, r.Stats.WalFsyncs,
 		} {
 			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	case OpSubscribe:
+		if len(r.Events) > MaxFeedEvents {
+			return nil, fmt.Errorf("txkvwire: subscribe reply with %d events (max %d)", len(r.Events), MaxFeedEvents)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Events)))
+		for _, e := range r.Events {
+			dst = binary.LittleEndian.AppendUint64(dst, e.Seq)
+			dst = appendBool(dst, e.Del)
+			dst = binary.LittleEndian.AppendUint64(dst, e.Key)
+			dst = binary.LittleEndian.AppendUint64(dst, e.Val)
 		}
 	default:
 		return nil, fmt.Errorf("txkvwire: unknown reply op %d", r.Op)
@@ -602,11 +663,27 @@ func decodeReply(c *cursor, batchOK bool) Reply {
 			&s.SrvP50Ns, &s.SrvP99Ns, &s.SrvP999Ns,
 			&s.WalNs, &s.WalFrames, &s.WalBytes, &s.WalRecovered,
 			&s.Sheds, &s.DeadlineExceeded, &s.ConnsRejected,
+			&s.CoalesceBatches, &s.CoalesceItems,
+			&s.FeedEvents, &s.WalFsyncs,
 		} {
 			*p = c.u64()
 		}
 		if c.err == nil {
 			r.Stats = s
+		}
+	case OpSubscribe:
+		n := int(c.u16())
+		if c.err == nil && n > MaxFeedEvents {
+			c.fail(fmt.Errorf("txkvwire: subscribe reply with %d events (max %d)", n, MaxFeedEvents))
+			return r
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			var e FeedEvent
+			e.Seq = c.u64()
+			e.Del = c.bool()
+			e.Key = c.u64()
+			e.Val = c.u64()
+			r.Events = append(r.Events, e)
 		}
 	default:
 		c.fail(fmt.Errorf("txkvwire: unknown reply op %d", r.Op))

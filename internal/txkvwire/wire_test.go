@@ -35,6 +35,9 @@ func randReq(rng *util.Rand, op Op, batchOK bool) Req {
 		}
 	case OpSum:
 		r.Shard = int32(rng.Intn(64)) - 1
+	case OpSubscribe:
+		r.Shard = int32(rng.Intn(64)) - 1
+		r.From = rng.Next()
 	case OpLen, OpStats:
 	case OpBatch:
 		if !batchOK {
@@ -67,6 +70,17 @@ func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
 		r.OK = rng.Intn(2) == 1
 	case OpSum, OpLen:
 		r.Val = rng.Next()
+	case OpSubscribe:
+		// Empty Events (a heartbeat or the subscription ack) must round
+		// trip as well as a full frame.
+		if n := rng.Intn(8); n > 0 {
+			for i := 0; i < n; i++ {
+				r.Events = append(r.Events, FeedEvent{
+					Seq: rng.Next(), Del: rng.Intn(4) == 0,
+					Key: rng.Next(), Val: rng.Next(),
+				})
+			}
+		}
 	case OpBatch:
 		if !batchOK {
 			panic("randReply: nested batch requested")
@@ -86,13 +100,15 @@ func randReply(rng *util.Rand, op Op, batchOK bool) Reply {
 			LockAcquireFail: rng.Next(), AbortsValidRead: rng.Next(), AbortsValidCommit: rng.Next(),
 			SrvP50Ns: rng.Next(), SrvP99Ns: rng.Next(), SrvP999Ns: rng.Next(),
 			WalNs: rng.Next(), WalFrames: rng.Next(), WalBytes: rng.Next(),
-			WalRecovered: rng.Next(),
+			WalRecovered:    rng.Next(),
+			CoalesceBatches: rng.Next(), CoalesceItems: rng.Next(),
+			FeedEvents: rng.Next(), WalFsyncs: rng.Next(),
 		}
 	}
 	return r
 }
 
-var allOps = []Op{OpGet, OpPut, OpDelete, OpCAS, OpTransfer, OpSum, OpLen, OpBatch, OpStats}
+var allOps = []Op{OpGet, OpPut, OpDelete, OpCAS, OpTransfer, OpSum, OpLen, OpBatch, OpStats, OpSubscribe}
 
 // TestReqRoundTrip encodes and decodes random requests of every op and
 // requires the decoded value to be identical — and every strict prefix
@@ -216,6 +232,7 @@ func TestEncodeRejectsMalformed(t *testing.T) {
 		{Op: OpBatch, Sub: make([]Req, MaxBatch+1)},
 		{Op: OpBatch, Sub: []Req{{Op: OpBatch, Sub: []Req{{Op: OpLen}}}}},
 		{Op: OpBatch, Sub: []Req{{Op: OpStats}}},
+		{Op: OpBatch, Sub: []Req{{Op: OpSubscribe}}},
 	}
 	for _, req := range cases {
 		if _, err := AppendReq(nil, req); err == nil {
